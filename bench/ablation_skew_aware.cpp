@@ -1,0 +1,84 @@
+// Ablation — skew-aware partitioning on vs. off inside SDS-Sort itself.
+//
+// Not a paper figure: this isolates the paper's central mechanism from the
+// rest of the engineering. With `Config::skew_aware = false` SDS-Sort
+// degrades to classic regular-sampling partitioning (duplicated global
+// pivots collapse to one boundary), which is exactly the failure the
+// baselines exhibit — demonstrating the fix is the partition method, not
+// incidental implementation differences.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "workloads/zipf.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+
+constexpr int kRanks = 16;
+constexpr std::size_t kPerRank = 10000;
+
+struct AblationPoint {
+  TimedResult timing;
+  double rdfa = 0.0;
+};
+
+AblationPoint run_case(double alpha, bool skew_aware, std::size_t budget) {
+  sim::Cluster cluster(sim::ClusterConfig{kRanks});
+  AblationPoint point;
+  std::mutex mu;
+  point.timing = time_spmd(cluster, [&](sim::Comm& world) {
+    auto data = workloads::zipf_keys(
+        kPerRank, alpha,
+        derive_seed(80801, static_cast<std::uint64_t>(world.rank())));
+    Config cfg;
+    cfg.skew_aware = skew_aware;
+    cfg.mem_limit_records = budget;
+    std::vector<std::uint64_t> out;
+    const double secs = timed_section(world, [&] {
+      out = sds_sort<std::uint64_t>(world, std::move(data), cfg);
+    });
+    auto lb = measure_load_balance(world, out.size());
+    std::lock_guard<std::mutex> lk(mu);
+    if (lb.rdfa > point.rdfa) point.rdfa = lb.rdfa;
+    return secs;
+  });
+  return point;
+}
+}  // namespace
+
+int main() {
+  print_header("Ablation — skew-aware partitioning on/off",
+               "16 ranks x 10k Zipf records, per-rank budget 3x average; "
+               "identical pipeline except Config::skew_aware.");
+
+  const std::size_t budget = 3 * kPerRank;
+  TextTable table;
+  table.header({"alpha", "skew-aware time(s)", "skew-aware RDFA",
+                "plain time(s)", "plain RDFA"});
+  bool plain_fails_heavy = false;
+  bool aware_survives_all = true;
+  for (double alpha : {0.7, 1.4, 2.1}) {
+    auto aware = run_case(alpha, true, budget);
+    auto plain = run_case(alpha, false, budget);
+    aware_survives_all = aware_survives_all && aware.timing.ok;
+    if (!plain.timing.ok && alpha > 1.0) plain_fails_heavy = true;
+    table.row({fmt_seconds(alpha, 1), time_cell(aware.timing),
+               rdfa_cell(aware.rdfa, aware.timing.ok), time_cell(plain.timing),
+               rdfa_cell(plain.rdfa, plain.timing.ok)});
+  }
+  std::cout << table.str() << "\n";
+  print_shape(
+      "with skew-aware partitioning disabled, SDS-Sort inherits the classic "
+      "algorithm's imbalance (RDFA explodes / OOM on heavy skew); enabling "
+      "it bounds RDFA and always completes.");
+  print_verdict(std::string("plain variant failed on heavy skew: ") +
+                (plain_fails_heavy ? "yes" : "no") +
+                "; skew-aware survived all: " +
+                (aware_survives_all ? "yes" : "no") + ".");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (Section 4): it prints the same rows/series the paper reports,
+// plus a `paper-shape:` line stating the qualitative claim the measurement
+// should reproduce, and a `measured:` verdict. Absolute numbers differ from
+// Edison (this substrate is a simulated cluster on one box); the *shape* —
+// who wins, by what rough factor, where crossovers fall — is the target.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sdss.hpp"
+#include "util/format.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace sdss::bench {
+
+/// Barrier-bracketed measurement of one SPMD section: synchronizes all
+/// ranks, runs fn, synchronizes again, returns this rank's elapsed seconds
+/// (the max over ranks is the SPMD critical path).
+inline double timed_section(sim::Comm& world,
+                            const std::function<void()>& fn) {
+  world.barrier();
+  WallTimer timer;
+  fn();
+  world.barrier();
+  return timer.seconds();
+}
+
+/// Run one timed SPMD experiment. `body` performs its own (untimed) setup,
+/// then brackets the measured region with timed_section and returns the
+/// seconds. The reported figure is the slowest rank. A failed run yields a
+/// negative seconds value (-1 generic, -2 simulated OOM).
+struct TimedResult {
+  double seconds = -1.0;      ///< slowest rank's wall time
+  double crit_path_cpu = 0.0; ///< max over ranks of total thread-CPU time:
+                              ///< the parallel makespan proxy on a host with
+                              ///< fewer cores than simulated ranks
+  bool ok = false;
+  bool oom = false;
+  PhaseLedger breakdown;  ///< per-phase max over ranks
+};
+
+inline TimedResult time_spmd(
+    sim::Cluster& cluster,
+    const std::function<double(sim::Comm&)>& body) {
+  std::mutex mu;
+  double max_seconds = 0.0;
+  auto res = cluster.run_collect([&](sim::Comm& world) {
+    world.ledger().clear();
+    const double s = body(world);
+    std::lock_guard<std::mutex> lk(mu);
+    if (s > max_seconds) max_seconds = s;
+  });
+  TimedResult out;
+  out.ok = res.ok;
+  out.oom = res.oom;
+  out.seconds = res.ok ? max_seconds : (res.oom ? -2.0 : -1.0);
+  out.breakdown = res.max_ledger();
+  for (const PhaseLedger& l : res.ledgers) {
+    out.crit_path_cpu = std::max(out.crit_path_cpu, l.cpu_total());
+  }
+  return out;
+}
+
+/// Render a time cell: seconds, or the paper's failure annotations.
+inline std::string time_cell(const TimedResult& r, int precision = 4) {
+  if (r.ok) return fmt_seconds(r.seconds, precision);
+  return r.oom ? "OOM" : "FAIL";
+}
+
+inline std::string rdfa_cell(double v, bool ok) {
+  if (!ok) return "inf";  // paper Table 3 prints infinity for OOM runs
+  return fmt_seconds(v, 4);
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& description) {
+  std::cout << "\n=== " << experiment << " ===\n" << description << "\n\n";
+}
+
+inline void print_shape(const std::string& claim) {
+  std::cout << "paper-shape: " << claim << "\n";
+}
+
+inline void print_verdict(const std::string& verdict) {
+  std::cout << "measured:    " << verdict << "\n";
+}
+
+/// Throughput in MB/min from records, record size and seconds (the paper
+/// quotes TB/min at Edison scale).
+inline double mb_per_min(std::uint64_t records, std::size_t record_bytes,
+                         double seconds) {
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(records) * static_cast<double>(record_bytes) /
+         (1024.0 * 1024.0) / (seconds / 60.0);
+}
+
+}  // namespace sdss::bench

@@ -1,0 +1,110 @@
+// Extension — GraySort-style benchmark records (paper Section 6 future
+// work: "carry out more tests with well-known sorting benchmarks").
+//
+// Sort Benchmark records: 100 bytes, 10-byte binary key. Two workloads:
+// the standard uniform-key GraySort, and a Daytona-style duplicate-stress
+// variant with 40% of records on one hot key. The skewed run gives every
+// algorithm a per-rank budget of 3x the average, so partition quality is
+// pass/fail, not just a time.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "baselines/hyksort.hpp"
+#include "baselines/samplesort.hpp"
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "workloads/graysort.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+using workloads::GraySortRecord;
+
+constexpr int kRanks = 8;
+constexpr std::size_t kPerRank = 20000;  // 2 MB/rank of 100-byte records
+
+struct Point {
+  TimedResult timing;
+  double rdfa = 0.0;
+};
+
+Point run_algo(const std::string& algo, bool skewed, std::size_t budget) {
+  sim::Cluster cluster(
+      sim::ClusterConfig{kRanks, 1, sim::NetworkModel::aries_like()});
+  Point point;
+  std::mutex mu;
+  point.timing = time_spmd(cluster, [&](sim::Comm& world) {
+    const auto first = static_cast<std::uint64_t>(world.rank()) * kPerRank;
+    auto data = skewed
+                    ? workloads::graysort_records_skewed(first, kPerRank, 303,
+                                                         0.4)
+                    : workloads::graysort_records(first, kPerRank, 303);
+    std::vector<GraySortRecord> out;
+    const double secs = timed_section(world, [&] {
+      if (algo == "SDS-Sort" || algo == "SDS-Sort/stable") {
+        Config cfg;
+        cfg.stable = algo == "SDS-Sort/stable";
+        cfg.mem_limit_records = budget;
+        out = sds_sort<GraySortRecord>(world, std::move(data), cfg,
+                                       workloads::graysort_key);
+      } else if (algo == "HykSort") {
+        baselines::HykSortConfig cfg;
+        cfg.mem_limit_records = budget;
+        out = baselines::hyksort<GraySortRecord>(world, std::move(data), cfg,
+                                                 workloads::graysort_key);
+      } else {
+        baselines::SampleSortConfig cfg;
+        cfg.mem_limit_records = budget;
+        out = baselines::sample_sort<GraySortRecord>(world, std::move(data),
+                                                     cfg,
+                                                     workloads::graysort_key);
+      }
+    });
+    auto lb = measure_load_balance(world, out.size());
+    std::lock_guard<std::mutex> lk(mu);
+    if (lb.rdfa > point.rdfa) point.rdfa = lb.rdfa;
+    return secs;
+  });
+  return point;
+}
+}  // namespace
+
+int main() {
+  print_header("Extension — GraySort benchmark records",
+               "8 ranks x 20k 100-byte records (10-byte binary keys); "
+               "skewed variant: 40% hot key, per-rank budget 3x average.");
+
+  const std::uint64_t total_records =
+      static_cast<std::uint64_t>(kRanks) * kPerRank;
+  TextTable table;
+  table.header({"workload", "algorithm", "time(s)", "RDFA",
+                "throughput(MB/min)"});
+  bool sds_skew_ok = true;
+  for (bool skewed : {false, true}) {
+    const std::size_t budget = skewed ? 3 * kPerRank : 0;
+    for (const char* algo :
+         {"SampleSort", "HykSort", "SDS-Sort", "SDS-Sort/stable"}) {
+      auto pt = run_algo(algo, skewed, budget);
+      if (skewed && std::string(algo).starts_with("SDS")) {
+        sds_skew_ok = sds_skew_ok && pt.timing.ok;
+      }
+      table.row({skewed ? "skewed(40% hot)" : "uniform", algo,
+                 time_cell(pt.timing), rdfa_cell(pt.rdfa, pt.timing.ok),
+                 pt.timing.ok
+                     ? fmt_seconds(mb_per_min(total_records, 100,
+                                              pt.timing.seconds),
+                                   0)
+                     : "-"});
+    }
+  }
+  std::cout << table.str() << "\n";
+  print_shape(
+      "uniform GraySort: everyone completes with comparable times; skewed "
+      "GraySort: the sample/histogram baselines blow the budget (hot key "
+      "on one rank) while both SDS variants stay within RDFA <= 4.");
+  print_verdict(std::string("SDS variants completed the skewed workload: ") +
+                (sds_skew_ok ? "yes" : "no") + ".");
+  return 0;
+}

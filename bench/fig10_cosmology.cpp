@@ -1,0 +1,74 @@
+// Fig. 10 — sorting cosmology particles by cluster ID (paper Section 4.2).
+//
+// Paper: 2.1 TB / 68G particles on 16K cores, cluster-ID delta = 0.73%.
+// HykSort dies with OOM (the duplicate population is ~120x the per-rank
+// average); SDS-Sort (15.6 TB/min) and SDS-Sort/stable (7.9 TB/min)
+// complete with RDFA 1.396. Scaled-down: 512 ranks x 2k particles with a
+// 2.5x-average budget: HykSort's duplicate bucket reaches delta*p ~ 3.8x
+// the average and blows the budget, while SDS-Sort's skew-aware split
+// keeps every rank near 1.7x.
+#include <iostream>
+
+#include "real_data.hpp"
+#include "util/rng.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+
+constexpr int kRanks = 512;
+constexpr std::size_t kPerRank = 2000;
+
+std::vector<workloads::Particle> cosmo_shard(int rank) {
+  return workloads::cosmology_particles(
+      kPerRank, derive_seed(91001, static_cast<std::uint64_t>(rank)));
+}
+
+std::uint64_t cosmo_key(const workloads::Particle& p) { return p.cluster_id; }
+}  // namespace
+
+int main() {
+  print_header("Fig. 10 — sorting cosmology particles by cluster ID",
+               "512 ranks x 2k synthetic particles (delta ~ 0.73%), per-rank "
+               "budget 2.5x average; per-phase breakdown in max-over-ranks CPU "
+               "time (the critical path).");
+
+  const std::size_t budget = kPerRank * 5 / 2;
+  auto hyk = run_real_data<workloads::Particle>(
+      kRanks, budget, RealAlgo::kHykSort, cosmo_shard, cosmo_key);
+  auto sds = run_real_data<workloads::Particle>(
+      kRanks, budget, RealAlgo::kSds, cosmo_shard, cosmo_key);
+  auto stab = run_real_data<workloads::Particle>(
+      kRanks, budget, RealAlgo::kSdsStable, cosmo_shard, cosmo_key);
+
+  TextTable table;
+  table.header({"algorithm", "crit-path(s)", "pivot-sel(s)", "exchange(s)",
+                "local-ord(s)", "other(s)"});
+  print_breakdown_rows(table, "HykSort", hyk);
+  print_breakdown_rows(table, "SDS-Sort", sds);
+  print_breakdown_rows(table, "SDS-Sort/stable", stab);
+  std::cout << table.str() << "\n";
+
+  const std::uint64_t records =
+      static_cast<std::uint64_t>(kRanks) * kPerRank;
+  print_shape(
+      "HykSort fails with OOM on the duplicated cluster IDs; both SDS "
+      "variants complete quickly (paper: 15.6 and 7.9 TB/min), the stable "
+      "version ~2x slower than the fast one.");
+  std::string verdict = std::string("HykSort: ") +
+                        (hyk.timing.oom ? "OOM (as in the paper)"
+                                        : (hyk.timing.ok ? "completed" : "failed"));
+  if (sds.timing.ok) {
+    verdict += "; SDS throughput " +
+               fmt_seconds(mb_per_min(records, sizeof(workloads::Particle),
+                                      sds.timing.crit_path_cpu),
+                           0) +
+               " MB/min, RDFA " + fmt_seconds(sds.rdfa, 3);
+  }
+  if (stab.timing.ok) {
+    verdict += "; stable/fast time ratio " +
+               fmt_seconds(stab.timing.crit_path_cpu / sds.timing.crit_path_cpu, 2) + "x";
+  }
+  print_verdict(verdict + ".");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Fig. 5a — all-to-all data exchange with vs. without node-level merging,
+// as a function of the per-node data size (paper Section 4.1.1, tau_m).
+//
+// Paper setup: Edison, merging wins below ~160 MB/node because it amortizes
+// per-message latency; above that, letting every core feed the network wins.
+// Scaled-down setup: 16 ranks on 4 nodes over the slow-Ethernet-like model,
+// sweeping the per-node volume. The same crossover must appear: "Merging"
+// below some volume, "No-Merging" above.
+#include <algorithm>
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/exchange.hpp"
+#include "core/node_merge.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+
+using namespace sdss;
+using namespace sdss::bench;
+
+constexpr int kRanks = 16;
+constexpr int kCoresPerNode = 4;
+constexpr std::uint64_t kUniverse = 1ull << 40;
+
+/// Even value-range partition boundaries of sorted uniform data.
+std::vector<std::size_t> even_bounds(const std::vector<std::uint64_t>& data,
+                                     int p) {
+  std::vector<std::size_t> bounds(static_cast<std::size_t>(p) + 1, 0);
+  for (int d = 1; d < p; ++d) {
+    const std::uint64_t cut =
+        kUniverse / static_cast<std::uint64_t>(p) * static_cast<std::uint64_t>(d);
+    bounds[static_cast<std::size_t>(d)] = static_cast<std::size_t>(
+        std::lower_bound(data.begin(), data.end(), cut) - data.begin());
+  }
+  bounds[static_cast<std::size_t>(p)] = data.size();
+  return bounds;
+}
+
+std::vector<std::uint64_t> shard_for(int rank, std::size_t n) {
+  auto v = workloads::uniform_u64(
+      n, derive_seed(50501, static_cast<std::uint64_t>(rank)), kUniverse);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 5a — node-level merging vs. direct exchange",
+               "16 ranks / 4 nodes, slow-Ethernet network model; time of the "
+               "all-to-all exchange phase only.");
+
+  sim::ClusterConfig cc;
+  cc.num_ranks = kRanks;
+  cc.cores_per_node = kCoresPerNode;
+  // The "low-throughput network" regime of paper Section 2.3: a high
+  // per-message cost is what node-level merging amortizes.
+  cc.network.latency_s = 1e-3;
+  cc.network.bandwidth_Bps = 1.0e9;
+  sim::Cluster cluster(cc);
+
+  TextTable table;
+  table.header({"bytes/node", "Merging(s)", "No-Merging(s)", "winner"});
+  int merge_wins_small = 0;
+  int direct_wins_large = 0;
+  const std::vector<std::size_t> node_bytes{64u << 10, 256u << 10, 1u << 20,
+                                            4u << 20, 16u << 20};
+  for (std::size_t idx = 0; idx < node_bytes.size(); ++idx) {
+    const std::size_t bytes = node_bytes[idx];
+    const std::size_t per_rank =
+        bytes / sizeof(std::uint64_t) / static_cast<std::size_t>(kCoresPerNode);
+
+    auto direct = time_spmd(cluster, [&](sim::Comm& world) {
+      auto data = shard_for(world.rank(), per_rank);
+      return timed_section(world, [&] {
+        const auto bounds = even_bounds(data, world.size());
+        const auto plan = plan_exchange(world, bounds, 0);
+        auto recv = sync_exchange<std::uint64_t>(world, data, plan);
+      });
+    });
+
+    auto merged = time_spmd(cluster, [&](sim::Comm& world) {
+      auto data = shard_for(world.rank(), per_rank);
+      // Communicator refinement is one-time setup; the measured region is
+      // the node merge plus the (leaders-only) exchange.
+      auto pair = refine_comm(world);
+      return timed_section(world, [&] {
+        node_merge<std::uint64_t>(pair.local, data, /*stable=*/false);
+        if (!pair.leaders.valid()) return;  // handed off to the leader
+        const auto bounds = even_bounds(data, pair.leaders.size());
+        const auto plan = plan_exchange(pair.leaders, bounds, 0);
+        auto recv = sync_exchange<std::uint64_t>(pair.leaders, data, plan);
+      });
+    });
+
+    const bool merging_wins = merged.seconds < direct.seconds;
+    if (idx < 2 && merging_wins) ++merge_wins_small;
+    if (idx + 2 >= node_bytes.size() && !merging_wins) ++direct_wins_large;
+    table.row({human_bytes(bytes), time_cell(merged), time_cell(direct),
+               merging_wins ? "Merging" : "No-Merging"});
+  }
+  std::cout << table.str() << "\n";
+  print_shape(
+      "merging wins for small per-node volumes (latency-bound), direct "
+      "exchange wins for large ones (bandwidth-bound); paper crossover "
+      "~160MB on Aries.");
+  print_verdict("merging won " + std::to_string(merge_wins_small) +
+                "/2 smallest sizes; direct won " +
+                std::to_string(direct_wins_large) + "/2 largest sizes.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 5b — overlapping the all-to-all exchange with local ordering vs. not
+// overlapping, as a function of process count (paper Section 4.1.1, tau_o).
+//
+// Paper setup: overlap wins below ~4096 processes (per-rank network share is
+// small, the CPU can merge while data is in flight); above that the
+// bookkeeping of thousands of outstanding messages erases the benefit.
+// Scaled-down setup: a moderate-latency model and p = 2..32; the expected
+// shape is overlap ahead at small p with a shrinking (or inverting) gap as
+// p grows.
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+}  // namespace
+
+int main() {
+  print_header("Fig. 5b — overlapping vs. non-overlapping exchange",
+               "full sds_sort time, uniform keys, 30k records/rank, "
+               "moderate-latency network model.");
+
+  sim::NetworkModel net;
+  net.latency_s = 2e-4;       // per-message latency worth hiding
+  net.bandwidth_Bps = 2.0e8;  // per-rank link
+
+  TextTable table;
+  table.header({"p", "Overlapping(s)", "No-overlapping(s)", "winner"});
+  int largest_overlap_win = 0;
+  int smallest_blocking_win_above = 0;
+  const std::vector<int> procs{2, 4, 8, 16, 32, 64, 128};
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const int p = procs[i];
+    sim::Cluster cluster(sim::ClusterConfig{p, 1, net});
+    auto run_with = [&](std::size_t tau_o) {
+      return time_spmd(cluster, [&](sim::Comm& world) {
+        auto data = workloads::uniform_u64(
+            30000, derive_seed(50502, static_cast<std::uint64_t>(world.rank())),
+            1ull << 40);
+        Config cfg;
+        cfg.tau_o = tau_o;
+        return timed_section(world, [&] {
+          auto out = sds_sort<std::uint64_t>(world, std::move(data), cfg);
+        });
+      });
+    };
+    auto overlapped = run_with(/*tau_o=*/1u << 20);  // always overlap
+    auto blocking = run_with(/*tau_o=*/0);           // never overlap
+    const double gap = blocking.seconds - overlapped.seconds;
+    if (gap > 0) {
+      largest_overlap_win = p;
+    } else if (largest_overlap_win > 0 && smallest_blocking_win_above == 0) {
+      smallest_blocking_win_above = p;
+    }
+    table.row({std::to_string(p), time_cell(overlapped), time_cell(blocking),
+               gap > 0 ? "Overlapping" : "No-overlapping"});
+  }
+  std::cout << table.str() << "\n";
+  print_shape(
+      "overlap is faster at small-to-moderate p; the advantage inverts as p "
+      "grows (the bookkeeping of many outstanding messages eats the "
+      "benefit); paper crossover ~4096 processes on Edison.");
+  print_verdict(
+      "overlap won up to p=" + std::to_string(largest_overlap_win) +
+      (smallest_blocking_win_above > 0
+           ? ", blocking won from p=" +
+                 std::to_string(smallest_blocking_win_above) +
+                 " (scaled-down analogue of the paper's tau_o crossover)."
+           : "; no inversion within the simulated range."));
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fig. 6c — end-to-end sort time on skewed data as the replication ratio
+// delta grows (paper Section 4.1.2, Table 2's alpha sweep).
+//
+// Paper: SDS-Sort and SDS-Sort/stable scale smoothly across delta = 0.2% ..
+// 6.4%; HykSort only survives small deltas and then dies of load-imbalance
+// OOM ("certain nodes will be assigned so much data that the processes run
+// out of memory").
+//
+// Scaled-down: 32 ranks, 8k records/rank, a per-rank budget of 3x the
+// average. The sweep is extended into Table 1's heavier alphas so the OOM
+// onset is visible at this scale (with only 32 ranks a duplicate population
+// must exceed 3N/(32) ~ 9.4% of N to blow the budget; the paper hits the
+// same wall at delta ~ 1% only because p is in the thousands).
+#include <cstdint>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "baselines/hyksort.hpp"
+#include "core/driver.hpp"
+#include "workloads/zipf.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+
+constexpr int kRanks = 32;
+constexpr std::size_t kPerRank = 8000;
+}  // namespace
+
+int main() {
+  print_header("Fig. 6c — sorting skewed data across replication ratios",
+               "32 ranks, 8k records/rank, per-rank memory budget = 3x "
+               "average; Zipf alpha sweep.");
+
+  sim::Cluster cluster(
+      sim::ClusterConfig{kRanks, 1, sim::NetworkModel::aries_like()});
+  const std::size_t budget = 3 * kPerRank;
+
+  auto shard_for = [](int rank, double alpha) {
+    return workloads::zipf_keys(
+        kPerRank, alpha, derive_seed(60604, static_cast<std::uint64_t>(rank)));
+  };
+
+  TextTable table;
+  table.header({"alpha", "delta(%)", "HykSort(s)", "SDS-Sort(s)",
+                "SDS-Sort/stable(s)"});
+  bool hyk_died = false;
+  bool sds_all_ok = true;
+  for (double alpha : {0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.8, 2.1}) {
+    const workloads::ZipfGenerator gen(alpha);
+
+    auto hyk = time_spmd(cluster, [&](sim::Comm& world) {
+      auto data = shard_for(world.rank(), alpha);
+      baselines::HykSortConfig cfg;
+      cfg.mem_limit_records = budget;
+      return timed_section(world, [&] {
+        auto out = baselines::hyksort<std::uint64_t>(world, std::move(data),
+                                                     cfg);
+      });
+    });
+    auto run_sds = [&](bool stable) {
+      return time_spmd(cluster, [&](sim::Comm& world) {
+        auto data = shard_for(world.rank(), alpha);
+        Config cfg;
+        cfg.stable = stable;
+        cfg.mem_limit_records = budget;
+        return timed_section(world, [&] {
+          auto out = sds_sort<std::uint64_t>(world, std::move(data), cfg);
+        });
+      });
+    };
+    auto sds = run_sds(false);
+    auto sds_stable = run_sds(true);
+
+    hyk_died = hyk_died || hyk.oom;
+    sds_all_ok = sds_all_ok && sds.ok && sds_stable.ok;
+    table.row({fmt_seconds(alpha, 1),
+               fmt_seconds(gen.theoretical_delta() * 100.0, 1),
+               time_cell(hyk), time_cell(sds), time_cell(sds_stable)});
+  }
+  std::cout << table.str() << "\n";
+  print_shape(
+      "SDS-Sort (fast and stable) completes at every delta with stable "
+      "times; HykSort works only below an OOM threshold and fails beyond "
+      "it (paper: delta > ~1% at Edison scale).");
+  print_verdict(std::string("HykSort OOM observed: ") +
+                (hyk_died ? "yes" : "no") + "; SDS-Sort completed all: " +
+                (sds_all_ok ? "yes" : "no") + ".");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 9 — sorting Palomar Transient Factory detections by real-bogus
+// score (paper Section 4.2).
+//
+// Paper: 27 GB / 1G records on 192 cores; the score key is 28.02%
+// duplicated. HykSort survives (the whole set fits on one 64 GB node) but
+// with RDFA 32.68 its exchange/ordering dominates; SDS-Sort is 3.4x faster
+// and SDS-Sort/stable 2.2x faster. Scaled-down: 8 ranks x 100k records.
+#include <iostream>
+
+#include "real_data.hpp"
+#include "util/rng.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+
+constexpr int kRanks = 64;
+constexpr std::size_t kPerRank = 12500;
+
+std::vector<workloads::PtfRecord> ptf_shard(int rank) {
+  return workloads::ptf_records(
+      kPerRank, derive_seed(90901, static_cast<std::uint64_t>(rank)));
+}
+
+float ptf_key(const workloads::PtfRecord& r) { return r.rb_score; }
+}  // namespace
+
+int main() {
+  print_header("Fig. 9 — sorting PTF data by real-bogus score",
+               "64 ranks x 12.5k synthetic PTF records (delta ~ 28%), no "
+               "memory budget (the paper's PTF set fits on one node); "
+               "per-phase breakdown in max-over-ranks CPU time (the "
+               "critical path).");
+
+  auto hyk = run_real_data<workloads::PtfRecord>(
+      kRanks, /*mem_limit=*/0, RealAlgo::kHykSort, ptf_shard, ptf_key);
+  auto sds = run_real_data<workloads::PtfRecord>(
+      kRanks, 0, RealAlgo::kSds, ptf_shard, ptf_key);
+  auto stab = run_real_data<workloads::PtfRecord>(
+      kRanks, 0, RealAlgo::kSdsStable, ptf_shard, ptf_key);
+
+  TextTable table;
+  table.header({"algorithm", "crit-path(s)", "pivot-sel(s)", "exchange(s)",
+                "local-ord(s)", "other(s)"});
+  print_breakdown_rows(table, "HykSort", hyk);
+  print_breakdown_rows(table, "SDS-Sort", sds);
+  print_breakdown_rows(table, "SDS-Sort/stable", stab);
+  std::cout << table.str() << "\n";
+
+  const double speedup =
+      hyk.timing.ok && sds.timing.ok
+          ? hyk.timing.crit_path_cpu / sds.timing.crit_path_cpu
+          : 0.0;
+  const double speedup_stable =
+      hyk.timing.ok && stab.timing.ok
+          ? hyk.timing.crit_path_cpu / stab.timing.crit_path_cpu
+          : 0.0;
+  print_shape(
+      "SDS-Sort beats HykSort clearly on the 28%-duplicated key (paper: "
+      "3.4x; stable 2.2x); HykSort's loss concentrates in its "
+      "exchange+ordering (it carries the duplicate pile on one rank).");
+  print_verdict("SDS speedup over HykSort: " + fmt_seconds(speedup, 2) +
+                "x; stable: " + fmt_seconds(speedup_stable, 2) +
+                "x; RDFA HykSort " + fmt_seconds(hyk.rdfa, 2) + " vs SDS " +
+                fmt_seconds(sds.rdfa, 2) + ".");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Shared machinery for the real-application-data experiments (Figs. 9/10,
+// Table 4): synthetic PTF detections sorted by real-bogus score and
+// synthetic cosmology particles sorted by cluster ID.
+//
+// Scale notes. The imbalance that kills HykSort is relative: the duplicated
+// key's population is delta*N = (delta*p) x the average per-rank load. The
+// paper's PTF run (192 cores, delta=28%) has delta*p ~ 54 -> HykSort
+// survives only because one Edison node can hold the whole 27 GB (RDFA
+// 32.68, no OOM); its cosmology run (16K cores, delta=0.73%) has delta*p ~
+// 120 >> the memory headroom -> OOM. We reproduce both regimes at reduced
+// scale: PTF on 8 ranks with no budget (finite but large RDFA), cosmology
+// on 256 ranks with a 2x-average budget (delta*p ~ 1.9 + the surrounding
+// bucket exceeds it; SDS's skew-aware split stays well below).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "baselines/hyksort.hpp"
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "workloads/cosmology.hpp"
+#include "workloads/ptf.hpp"
+
+namespace sdss::bench {
+
+struct RealDataResult {
+  TimedResult timing;
+  double rdfa = 0.0;
+};
+
+enum class RealAlgo { kHykSort, kSds, kSdsStable };
+
+inline const char* real_algo_name(RealAlgo a) {
+  switch (a) {
+    case RealAlgo::kHykSort:
+      return "HykSort";
+    case RealAlgo::kSds:
+      return "SDS-Sort";
+    case RealAlgo::kSdsStable:
+      return "SDS-Sort/stable";
+  }
+  return "?";
+}
+
+/// Run one algorithm over per-rank shards produced by `make_shard(rank)`,
+/// sorting by `key`. Records both the phase breakdown and the RDFA.
+template <typename T, typename KeyFn, typename MakeShard>
+RealDataResult run_real_data(int ranks, std::size_t mem_limit,
+                             RealAlgo algo, MakeShard make_shard, KeyFn key) {
+  sim::Cluster cluster(
+      sim::ClusterConfig{ranks, 1, sim::NetworkModel::aries_like()});
+  RealDataResult result;
+  std::mutex mu;
+  double max_rdfa = 0.0;
+  result.timing = time_spmd(cluster, [&](sim::Comm& world) {
+    std::vector<T> data = make_shard(world.rank());
+    std::vector<T> out;
+    const double secs = timed_section(world, [&] {
+      switch (algo) {
+        case RealAlgo::kHykSort: {
+          baselines::HykSortConfig cfg;
+          cfg.mem_limit_records = mem_limit;
+          out = baselines::hyksort<T>(world, std::move(data), cfg, key);
+          break;
+        }
+        case RealAlgo::kSds:
+        case RealAlgo::kSdsStable: {
+          Config cfg;
+          cfg.stable = algo == RealAlgo::kSdsStable;
+          cfg.mem_limit_records = mem_limit;
+          // Scaled-down tau_o: Edison's 4096-core overlap threshold maps to
+          // ~256 simulated ranks, so the PTF run (64 ranks, like the
+          // paper's 192 cores) overlaps and the cosmology run (512 ranks,
+          // like the paper's 16K cores) uses the blocking exchange — the
+          // same adaptive decisions the paper's runs made.
+          cfg.tau_o = 256;
+          out = sds_sort<T>(world, std::move(data), cfg, key);
+          break;
+        }
+      }
+    });
+    auto lb = measure_load_balance(world, out.size());
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (lb.rdfa > max_rdfa) max_rdfa = lb.rdfa;
+    }
+    return secs;
+  });
+  result.rdfa = max_rdfa;
+  return result;
+}
+
+/// Print the paper's stacked-bar breakdown as a table row. All per-phase
+/// figures are max-over-ranks thread-CPU time: the honest parallel-makespan
+/// proxy on a host with fewer cores than simulated ranks (wall time there
+/// serializes every rank's work and hides load imbalance entirely).
+inline void print_breakdown_rows(TextTable& table, const std::string& algo,
+                                 const RealDataResult& r) {
+  if (!r.timing.ok) {
+    table.row({algo, "OOM", "-", "-", "-", "-"});
+    return;
+  }
+  const PhaseLedger& b = r.timing.breakdown;
+  const double other =
+      b.cpu_seconds(Phase::kOther) + b.cpu_seconds(Phase::kNodeMerge);
+  table.row({algo, fmt_seconds(r.timing.crit_path_cpu),
+             fmt_seconds(b.cpu_seconds(Phase::kPivotSelection)),
+             fmt_seconds(b.cpu_seconds(Phase::kExchange)),
+             fmt_seconds(b.cpu_seconds(Phase::kLocalOrdering)),
+             fmt_seconds(other)});
+}
+
+}  // namespace sdss::bench

@@ -1,0 +1,70 @@
+// Table 4 — RDFA on the real-application data sets (paper Section 4.2).
+//
+// Paper:            HykSort   SDS-Sort   SDS-Sort/stable
+//   PTF              32.6759   1.9908     1.6908
+//   Cosmology        inf       1.3962     1.3962
+// PTF's 28%-duplicated key gives HykSort a finite but huge RDFA (the data
+// still fits on a node); the cosmology run's budget makes the same
+// imbalance fatal (inf).
+#include <iostream>
+
+#include "real_data.hpp"
+#include "util/rng.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+}  // namespace
+
+int main() {
+  print_header("Table 4 — RDFA on PTF and cosmology data",
+               "PTF: 8 ranks x 100k records, no budget. Cosmology: 512 "
+               "ranks x 2k particles, 2.5x-average budget.");
+
+  auto ptf_shard = [](int rank) {
+    return workloads::ptf_records(
+        100000, derive_seed(90901, static_cast<std::uint64_t>(rank)));
+  };
+  auto ptf_key = [](const workloads::PtfRecord& r) { return r.rb_score; };
+  auto cosmo_shard = [](int rank) {
+    return workloads::cosmology_particles(
+        2000, derive_seed(91001, static_cast<std::uint64_t>(rank)));
+  };
+  auto cosmo_key = [](const workloads::Particle& p) { return p.cluster_id; };
+
+  TextTable table;
+  table.header({"dataset", "HykSort", "SDS-Sort", "SDS-Sort/stable"});
+
+  auto ptf_h = run_real_data<workloads::PtfRecord>(8, 0, RealAlgo::kHykSort,
+                                                   ptf_shard, ptf_key);
+  auto ptf_s = run_real_data<workloads::PtfRecord>(8, 0, RealAlgo::kSds,
+                                                   ptf_shard, ptf_key);
+  auto ptf_t = run_real_data<workloads::PtfRecord>(8, 0, RealAlgo::kSdsStable,
+                                                   ptf_shard, ptf_key);
+  table.row({"PTF", rdfa_cell(ptf_h.rdfa, ptf_h.timing.ok),
+             rdfa_cell(ptf_s.rdfa, ptf_s.timing.ok),
+             rdfa_cell(ptf_t.rdfa, ptf_t.timing.ok)});
+
+  const std::size_t budget = 2000 * 5 / 2;
+  auto cos_h = run_real_data<workloads::Particle>(
+      512, budget, RealAlgo::kHykSort, cosmo_shard, cosmo_key);
+  auto cos_s = run_real_data<workloads::Particle>(512, budget, RealAlgo::kSds,
+                                                  cosmo_shard, cosmo_key);
+  auto cos_t = run_real_data<workloads::Particle>(
+      512, budget, RealAlgo::kSdsStable, cosmo_shard, cosmo_key);
+  table.row({"Cosmology", rdfa_cell(cos_h.rdfa, cos_h.timing.ok),
+             rdfa_cell(cos_s.rdfa, cos_s.timing.ok),
+             rdfa_cell(cos_t.rdfa, cos_t.timing.ok)});
+
+  std::cout << table.str() << "\n";
+  print_shape(
+      "PTF: HykSort's RDFA is far above SDS-Sort's ~2 (paper: 32.7 vs "
+      "1.99/1.69). Cosmology: HykSort = inf (OOM) while both SDS variants "
+      "stay near 1.4.");
+  print_verdict("PTF HykSort/SDS RDFA ratio: " +
+                fmt_seconds(ptf_h.rdfa / (ptf_s.rdfa > 0 ? ptf_s.rdfa : 1), 1) +
+                "x; cosmology HykSort " +
+                std::string(cos_h.timing.ok ? "completed (unexpected)" : "inf") +
+                ", SDS RDFA " + fmt_seconds(cos_s.rdfa, 3) + ".");
+  return 0;
+}

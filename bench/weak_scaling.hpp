@@ -1,0 +1,99 @@
+// Shared machinery for the weak-scaling experiments (Figs. 7/8, Table 3).
+//
+// Paper setup: 400 MB (100M records) per process, 0.5K..128K cores, Uniform
+// and Zipf(0.7-2.0) workloads; HykSort OOMs on the skewed workload at every
+// scale. Scaled-down setup: 20k records/rank, 4..64 ranks, Aries-like
+// model, HykSort budgeted at 3x the average load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "baselines/hyksort.hpp"
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss::bench {
+
+inline constexpr std::size_t kWeakPerRank = 20000;
+inline const std::vector<int> kWeakRanks{4, 8, 16, 32, 64};
+
+enum class WeakWorkload { kUniform, kZipf };
+
+inline std::vector<std::uint64_t> weak_shard(WeakWorkload w, int rank) {
+  const std::uint64_t seed =
+      derive_seed(70701, static_cast<std::uint64_t>(rank));
+  if (w == WeakWorkload::kUniform) {
+    return workloads::uniform_u64(kWeakPerRank, seed, 1ull << 40);
+  }
+  // Paper Fig. 8 labels the workload "Zipf(0.7-2.0)"; alpha 1.4 is the
+  // midpoint and matches Table 1's delta = 32% row.
+  return workloads::zipf_keys(kWeakPerRank, 1.4, seed);
+}
+
+enum class Algo { kHykSort, kSds, kSdsStable };
+
+inline const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kHykSort:
+      return "HykSort";
+    case Algo::kSds:
+      return "SDS-Sort";
+    case Algo::kSdsStable:
+      return "SDS-Sort/stable";
+  }
+  return "?";
+}
+
+struct WeakPoint {
+  TimedResult timing;
+  double rdfa = 0.0;  ///< valid only when timing.ok
+};
+
+/// One weak-scaling measurement: run `algo` on `p` ranks over `w`, with a
+/// per-rank budget of 3x the average (the paper's OOM trigger for HykSort
+/// on skewed data).
+inline WeakPoint weak_scaling_point(int p, WeakWorkload w, Algo algo) {
+  sim::Cluster cluster(
+      sim::ClusterConfig{p, 1, sim::NetworkModel::aries_like()});
+  const std::size_t budget = 3 * kWeakPerRank;
+  WeakPoint point;
+  std::mutex mu;
+  double max_rdfa = 0.0;
+  point.timing = time_spmd(cluster, [&](sim::Comm& world) {
+    auto data = weak_shard(w, world.rank());
+    std::vector<std::uint64_t> out;
+    const double secs = timed_section(world, [&] {
+      switch (algo) {
+        case Algo::kHykSort: {
+          baselines::HykSortConfig cfg;
+          cfg.mem_limit_records = budget;
+          out = baselines::hyksort<std::uint64_t>(world, std::move(data), cfg);
+          break;
+        }
+        case Algo::kSds:
+        case Algo::kSdsStable: {
+          Config cfg;
+          cfg.stable = algo == Algo::kSdsStable;
+          cfg.mem_limit_records = budget;
+          out = sds_sort<std::uint64_t>(world, std::move(data), cfg);
+          break;
+        }
+      }
+    });
+    auto lb = measure_load_balance(world, out.size());
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (lb.rdfa > max_rdfa) max_rdfa = lb.rdfa;
+    }
+    return secs;
+  });
+  point.rdfa = max_rdfa;
+  return point;
+}
+
+}  // namespace sdss::bench

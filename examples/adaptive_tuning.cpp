@@ -1,0 +1,83 @@
+// Adaptive-parameter tuning on the current machine (the methodology of the
+// paper's Section 4.1.1, packaged as a user tool).
+//
+// SDS-Sort's thresholds — tau_m (node merging), tau_o (exchange/ordering
+// overlap), tau_s (merge vs. re-sort) — are machine-dependent; the paper
+// derives Edison's values empirically. This example reruns miniature
+// versions of those experiments on the simulated cluster at hand and prints
+// a Config a user could start from.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sdss.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "workloads/generators.hpp"
+
+namespace {
+using namespace sdss;
+
+double run_sort(sim::Cluster& cluster, std::size_t per_rank,
+                const Config& cfg) {
+  WallTimer timer;
+  cluster.run([&](sim::Comm& world) {
+    auto data = workloads::uniform_u64(
+        per_rank, derive_seed(21, static_cast<std::uint64_t>(world.rank())),
+        1ull << 40);
+    auto out = sds_sort<std::uint64_t>(world, std::move(data), cfg);
+  });
+  return timer.seconds();
+}
+}  // namespace
+
+int main() {
+  sim::ClusterConfig cc;
+  cc.num_ranks = 16;
+  cc.cores_per_node = 4;
+  cc.network = sim::NetworkModel::slow_ethernet_like();
+  sim::Cluster cluster(cc);
+
+  std::printf("tuning SDS-Sort on a %d-rank / %d-cores-per-node cluster\n\n",
+              cc.num_ranks, cc.cores_per_node);
+
+  // tau_o: overlap vs. blocking at this scale.
+  Config overlap_on;
+  overlap_on.tau_o = 1u << 20;
+  Config overlap_off;
+  overlap_off.tau_o = 0;
+  const double t_overlap = run_sort(cluster, 40000, overlap_on);
+  const double t_block = run_sort(cluster, 40000, overlap_off);
+  std::printf("overlap experiment:   overlapped %.4fs vs blocking %.4fs\n",
+              t_overlap, t_block);
+  const bool prefer_overlap = t_overlap <= t_block;
+
+  // tau_m: node merging for small vs. large shards.
+  Config merge_on;
+  merge_on.tau_m_bytes = ~std::size_t{0} >> 1;  // always merge
+  Config merge_off;
+  merge_off.tau_m_bytes = 0;  // never merge
+  std::size_t tau_m_bytes = 0;
+  for (std::size_t per_rank : {2000u, 16000u, 128000u}) {
+    const double t_merge = run_sort(cluster, per_rank, merge_on);
+    const double t_plain = run_sort(cluster, per_rank, merge_off);
+    std::printf("node-merge experiment: %7zu rec/rank: merged %.4fs vs "
+                "direct %.4fs\n",
+                per_rank, t_merge, t_plain);
+    if (t_merge < t_plain) {
+      tau_m_bytes = std::max(
+          tau_m_bytes,
+          per_rank * sizeof(std::uint64_t) / static_cast<std::size_t>(cc.num_ranks));
+    }
+  }
+
+  std::printf("\nrecommended starting Config for this machine:\n");
+  std::printf("  cfg.tau_m_bytes = %zu;%s\n", tau_m_bytes,
+              tau_m_bytes == 0 ? "  // node merging never paid off" : "");
+  std::printf("  cfg.tau_o       = %s;\n",
+              prefer_overlap ? "4096  // overlap pays off at this scale"
+                             : "0     // blocking exchange was faster");
+  std::printf("  cfg.tau_s       = 4000;  // merge-all below, re-sort above "
+              "(see bench/fig5c)\n");
+  return 0;
+}

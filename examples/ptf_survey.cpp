@@ -1,0 +1,80 @@
+// PTF transient-survey pipeline (the paper's Section 4.2 motivation).
+//
+// The Palomar Transient Factory's real/bogus classifier scores every
+// detection; analysts rank detections by score to pick follow-up targets.
+// The score column is heavily duplicated (the classifier saturates), so a
+// *stable* skew-aware sort is exactly what SDS-Sort provides: detections
+// keep their catalog order within equal scores, and no rank drowns in the
+// saturated-score pile.
+//
+// The pipeline: generate a synthetic catalog -> stable sds_sort by score ->
+// compute the global score threshold for the top-K candidates -> each rank
+// extracts its share of candidates.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sdss.hpp"
+#include "util/rng.hpp"
+#include "workloads/ptf.hpp"
+
+int main() {
+  using namespace sdss;
+  using workloads::PtfRecord;
+
+  constexpr int kRanks = 8;
+  constexpr std::size_t kPerRank = 250000;
+  constexpr std::size_t kTopK = 1000;  // follow-up capacity per night
+
+  sim::Cluster cluster(sim::ClusterConfig{kRanks, /*cores_per_node=*/2});
+  cluster.run([](sim::Comm& world) {
+    // 1) Each rank loads its catalog shard (synthetic: delta ~ 28% of the
+    //    scores sit on the classifier's saturated value).
+    auto catalog = workloads::ptf_records(
+        kPerRank, derive_seed(7, static_cast<std::uint64_t>(world.rank())));
+
+    // 2) Stable sort by score: equal scores stay in catalog order, which
+    //    downstream dedup relies on. No secondary key needed.
+    Config cfg;
+    cfg.stable = true;
+    auto key = [](const PtfRecord& r) { return r.rb_score; };
+    auto sorted = sds_sort<PtfRecord>(world, std::move(catalog), cfg, key);
+
+    // 3) The best candidates are the K highest scores. Ranks hold
+    //    consecutive score ranges, so count from the top across ranks.
+    const auto counts = world.allgather<std::size_t>(sorted.size());
+    std::size_t remaining = kTopK;
+    std::size_t my_take = 0;
+    for (int r = world.size() - 1; r >= 0 && remaining > 0; --r) {
+      const std::size_t here =
+          std::min(remaining, counts[static_cast<std::size_t>(r)]);
+      if (r == world.rank()) my_take = here;
+      remaining -= here;
+    }
+    std::vector<PtfRecord> candidates(
+        sorted.end() - static_cast<std::ptrdiff_t>(my_take), sorted.end());
+
+    // 4) Report: global threshold score and the balance of the sort.
+    const float local_min = candidates.empty()
+                                ? 2.0f
+                                : candidates.front().rb_score;
+    const float threshold = world.allreduce<float>(
+        local_min, [](float a, float b) { return a < b ? a : b; });
+    const auto balance = measure_load_balance(world, sorted.size());
+    if (world.rank() == 0) {
+      std::printf("PTF survey: %d ranks x %zu detections\n", world.size(),
+                  kPerRank);
+      std::printf("stable sort by real-bogus score: RDFA %.4f\n",
+                  balance.rdfa);
+      std::printf("top-%zu follow-up threshold: score >= %.6f\n", kTopK,
+                  static_cast<double>(threshold));
+    }
+    const auto takes = world.allgather<std::size_t>(my_take);
+    if (world.rank() == 0) {
+      std::printf("candidates per rank (top ranks hold the best scores):");
+      for (std::size_t t : takes) std::printf(" %zu", t);
+      std::printf("\n");
+    }
+  });
+  return 0;
+}

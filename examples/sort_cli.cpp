@@ -1,0 +1,180 @@
+// A command-line driver for experimenting with every sorting algorithm and
+// knob in the repository — the fifth example and the quickest way to poke
+// at the system without writing code.
+//
+// Usage:
+//   sort_cli [algo] [workload] [ranks] [records-per-rank] [options...]
+//     algo:      sds | sds-stable | hyksort | samplesort | radix | bitonic
+//     workload:  uniform | zipf:<alpha> | sorted | equal
+//     options:   --budget=<x>     per-rank memory budget, multiple of avg
+//                --nodes=<c>      cores per node (default 1)
+//                --net=aries|slow|none
+//
+// Examples:
+//   sort_cli sds zipf:1.4 16 20000
+//   sort_cli hyksort zipf:1.4 16 20000 --budget=3     # watch it OOM
+//   sort_cli sds-stable uniform 8 100000 --nodes=4 --net=slow
+#include <cstdio>
+#include <fstream>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/bitonic.hpp"
+#include "baselines/hyksort.hpp"
+#include "baselines/radixsort.hpp"
+#include "baselines/samplesort.hpp"
+#include "sdss.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/zipf.hpp"
+
+namespace {
+using namespace sdss;
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: sort_cli [algo] [workload] [ranks] [records/rank] "
+               "[--budget=X] [--nodes=C] [--net=aries|slow|none]\n"
+               "  algo: sds | sds-stable | hyksort | samplesort | radix | "
+               "bitonic\n"
+               "  workload: uniform | zipf:<alpha> | sorted | equal\n");
+  std::exit(2);
+}
+
+std::vector<std::uint64_t> make_workload(const std::string& w, std::size_t n,
+                                         int rank) {
+  const std::uint64_t seed = derive_seed(2024, static_cast<std::uint64_t>(rank));
+  if (w == "uniform") return workloads::uniform_u64(n, seed, 1ull << 40);
+  if (w.rfind("zipf:", 0) == 0) {
+    return workloads::zipf_keys(n, std::atof(w.c_str() + 5), seed);
+  }
+  if (w == "sorted") {
+    auto v = workloads::uniform_u64(n, seed, 1ull << 40);
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+  if (w == "equal") return std::vector<std::uint64_t>(n, 7);
+  usage();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string algo = "sds";
+  std::string workload = "uniform";
+  int ranks = 8;
+  std::size_t per_rank = 20000;
+  double budget_factor = 0.0;
+  int cores_per_node = 1;
+  std::string net = "aries";
+  std::string trace_path;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--budget=", 0) == 0) {
+      budget_factor = std::atof(arg.c_str() + 9);
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      cores_per_node = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--net=", 0) == 0) {
+      net = arg.substr(6);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+    } else {
+      switch (positional++) {
+        case 0:
+          algo = arg;
+          break;
+        case 1:
+          workload = arg;
+          break;
+        case 2:
+          ranks = std::atoi(arg.c_str());
+          break;
+        case 3:
+          per_rank = static_cast<std::size_t>(std::atoll(arg.c_str()));
+          break;
+        default:
+          usage();
+      }
+    }
+  }
+  if (ranks < 1 || cores_per_node < 1) usage();
+
+  sim::ClusterConfig cc;
+  cc.num_ranks = ranks;
+  cc.cores_per_node = cores_per_node;
+  cc.network = net == "aries"  ? sim::NetworkModel::aries_like()
+               : net == "slow" ? sim::NetworkModel::slow_ethernet_like()
+                               : sim::NetworkModel::none();
+  cc.enable_trace = !trace_path.empty();
+  sim::Cluster cluster(cc);
+  const auto budget =
+      static_cast<std::size_t>(budget_factor * static_cast<double>(per_rank));
+
+  std::printf("algo=%s workload=%s ranks=%d records/rank=%zu budget=%zu "
+              "net=%s nodes=%d\n",
+              algo.c_str(), workload.c_str(), ranks, per_rank, budget,
+              net.c_str(), cores_per_node);
+
+  WallTimer total;
+  auto result = cluster.run_collect([&](sim::Comm& world) {
+    auto data = make_workload(workload, per_rank, world.rank());
+    std::vector<std::uint64_t> out;
+    if (algo == "sds" || algo == "sds-stable") {
+      Config cfg;
+      cfg.stable = algo == "sds-stable";
+      cfg.mem_limit_records = budget;
+      out = sds_sort<std::uint64_t>(world, std::move(data), cfg);
+    } else if (algo == "hyksort") {
+      baselines::HykSortConfig cfg;
+      cfg.mem_limit_records = budget;
+      out = baselines::hyksort<std::uint64_t>(world, std::move(data), cfg);
+    } else if (algo == "samplesort") {
+      baselines::SampleSortConfig cfg;
+      cfg.mem_limit_records = budget;
+      out = baselines::sample_sort<std::uint64_t>(world, std::move(data), cfg);
+    } else if (algo == "radix") {
+      baselines::RadixSortConfig cfg;
+      cfg.mem_limit_records = budget;
+      out = baselines::radix_sort_distributed<std::uint64_t>(
+          world, std::move(data), cfg);
+    } else if (algo == "bitonic") {
+      out = baselines::bitonic_sort<std::uint64_t>(world, std::move(data));
+    } else {
+      throw Error("unknown algorithm: " + algo);
+    }
+    const bool ok = is_globally_sorted<std::uint64_t>(world, out);
+    auto lb = measure_load_balance(world, out.size());
+    if (world.rank() == 0) {
+      std::printf("globally sorted: %s, RDFA %.4f, max load %zu\n",
+                  ok ? "yes" : "NO", lb.rdfa, lb.max_load);
+    }
+  });
+  const double seconds = total.seconds();
+
+  if (!result.ok) {
+    std::printf("run FAILED on rank %d: %s\n", result.failed_rank,
+                result.error.c_str());
+    return result.oom ? 3 : 1;
+  }
+  if (!trace_path.empty()) {
+    std::ofstream tf(trace_path);
+    sim::write_chrome_trace(tf, result.trace);
+    std::printf("wrote %zu trace events to %s (open in chrome://tracing)\n",
+                result.trace.size(), trace_path.c_str());
+  }
+  const auto breakdown = result.max_ledger();
+  std::printf("wall time %.4fs | crit-path phases (CPU): pivot %.4fs, "
+              "exchange %.4fs, ordering %.4fs, other %.4fs\n",
+              seconds, breakdown.cpu_seconds(Phase::kPivotSelection),
+              breakdown.cpu_seconds(Phase::kExchange),
+              breakdown.cpu_seconds(Phase::kLocalOrdering),
+              breakdown.cpu_seconds(Phase::kOther) +
+                  breakdown.cpu_seconds(Phase::kNodeMerge));
+  return 0;
+}

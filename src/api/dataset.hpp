@@ -1,0 +1,226 @@
+// Dataset<T>: the downstream-facing convenience layer over sds_sort.
+//
+// The paper's motivation (Section 1) is data services — SciDB, the
+// Scientific Data Services framework, BD-CATS — that sort records in
+// parallel to gain access locality and then run range/order-based analyses.
+// This header packages that usage: a distributed collection with
+// sort-by-key, order statistics (quantiles, top-k, global index lookup),
+// value histograms and range extraction, all built on the library's
+// primitives. Every method is collective over the owning communicator.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "core/validate.hpp"
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+
+namespace sdss {
+
+template <typename T>
+class Dataset {
+ public:
+  /// Wrap this rank's shard of a distributed collection.
+  Dataset(sim::Comm& comm, std::vector<T> shard)
+      : comm_(&comm), shard_(std::move(shard)) {}
+
+  sim::Comm& comm() const { return *comm_; }
+  const std::vector<T>& shard() const { return shard_; }
+  std::vector<T>&& take_shard() && { return std::move(shard_); }
+  std::size_t local_count() const { return shard_.size(); }
+
+  /// Collective: total records across ranks.
+  std::uint64_t global_count() const {
+    return comm_->allreduce<std::uint64_t>(
+        static_cast<std::uint64_t>(shard_.size()),
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  }
+
+  /// Collective: globally sort by kf(record); returns the sorted dataset
+  /// (this rank holds the rank()-th key range). The source dataset is
+  /// consumed.
+  template <KeyFunction<T> KeyFn = IdentityKey>
+  Dataset sorted_by(KeyFn kf = {}, const Config& cfg = {}) && {
+    auto out = sds_sort<T, KeyFn>(*comm_, std::move(shard_), cfg, kf);
+    Dataset d(*comm_, std::move(out));
+    d.sorted_ = true;
+    return d;
+  }
+
+  /// Whether this dataset was produced by sorted_by (order-dependent
+  /// queries below require it).
+  bool is_sorted() const { return sorted_; }
+
+  /// Collective: the record at global index `idx` of the sorted order
+  /// (0-based), or nullopt if idx is out of range. Requires is_sorted().
+  std::optional<T> at_global_index(std::uint64_t idx) const {
+    require_sorted();
+    const auto counts =
+        comm_->allgather<std::uint64_t>(static_cast<std::uint64_t>(
+            shard_.size()));
+    std::uint64_t before = 0;
+    int owner = -1;
+    for (int r = 0; r < comm_->size(); ++r) {
+      const std::uint64_t c = counts[static_cast<std::size_t>(r)];
+      if (idx < before + c) {
+        owner = r;
+        break;
+      }
+      before += c;
+    }
+    std::uint8_t found = owner >= 0 ? 1 : 0;
+    T value{};
+    if (owner == comm_->rank()) {
+      value = shard_[static_cast<std::size_t>(idx - before)];
+    }
+    if (found != 0u) {
+      comm_->bcast_value(value, owner);
+    }
+    // Everyone agrees on found-ness (counts are global knowledge).
+    return found != 0u ? std::optional<T>(value) : std::nullopt;
+  }
+
+  /// Collective: exact q-quantiles of the sorted order (nearest-rank), one
+  /// record per q in [0, 1]. Requires is_sorted().
+  std::vector<T> quantiles(std::span<const double> qs) const {
+    require_sorted();
+    const std::uint64_t n = global_count();
+    std::vector<T> out;
+    out.reserve(qs.size());
+    for (double q : qs) {
+      if (n == 0) break;
+      q = std::clamp(q, 0.0, 1.0);
+      auto rank_idx = static_cast<std::uint64_t>(
+          q * static_cast<double>(n - 1) + 0.5);
+      if (rank_idx >= n) rank_idx = n - 1;
+      auto v = at_global_index(rank_idx);
+      if (v.has_value()) out.push_back(*v);
+    }
+    return out;
+  }
+
+  /// Collective: the k records with the largest keys, gathered onto every
+  /// rank in descending key order. Requires is_sorted().
+  std::vector<T> top_k(std::size_t k) const {
+    require_sorted();
+    const auto counts = comm_->allgather<std::uint64_t>(
+        static_cast<std::uint64_t>(shard_.size()));
+    // My share: walk ranks from the top.
+    std::uint64_t remaining = k;
+    std::uint64_t my_take = 0;
+    for (int r = comm_->size() - 1; r >= 0 && remaining > 0; --r) {
+      const std::uint64_t here =
+          std::min<std::uint64_t>(remaining, counts[static_cast<std::size_t>(r)]);
+      if (r == comm_->rank()) my_take = here;
+      remaining -= here;
+    }
+    std::vector<T> mine(shard_.end() - static_cast<std::ptrdiff_t>(my_take),
+                        shard_.end());
+    auto all = comm_->allgatherv<T>(mine);  // ascending, rank order
+    std::reverse(all.begin(), all.end());
+    return all;
+  }
+
+  /// Collective: this rank's records with keys in [lo, hi), concatenated
+  /// over ranks in order (each rank returns only its own slice). Requires
+  /// is_sorted(); O(log n) locally.
+  template <KeyFunction<T> KeyFn = IdentityKey>
+  std::span<const T> local_key_range(const KeyType<KeyFn, T>& lo,
+                                     const KeyType<KeyFn, T>& hi,
+                                     KeyFn kf = {}) const {
+    require_sorted();
+    using K = KeyType<KeyFn, T>;
+    auto key_less = [&kf](const T& e, const K& k) { return kf(e) < k; };
+    const auto b = std::lower_bound(shard_.begin(), shard_.end(), lo, key_less);
+    const auto e = std::lower_bound(shard_.begin(), shard_.end(), hi, key_less);
+    return std::span<const T>(shard_.data() + (b - shard_.begin()),
+                              static_cast<std::size_t>(e - b));
+  }
+
+  /// Collective: global key histogram over [lo, hi) with `buckets` equal
+  /// bins (keys outside are clamped into the edge bins). Works on sorted or
+  /// unsorted data.
+  template <KeyFunction<T> KeyFn = IdentityKey>
+  std::vector<std::uint64_t> key_histogram(double lo, double hi,
+                                           std::size_t buckets,
+                                           KeyFn kf = {}) const {
+    std::vector<std::uint64_t> local(buckets, 0);
+    const double width = (hi - lo) / static_cast<double>(buckets);
+    for (const T& v : shard_) {
+      const double k = static_cast<double>(kf(v));
+      auto b = width > 0 ? static_cast<std::ptrdiff_t>((k - lo) / width)
+                         : std::ptrdiff_t{0};
+      if (b < 0) b = 0;
+      if (b >= static_cast<std::ptrdiff_t>(buckets)) {
+        b = static_cast<std::ptrdiff_t>(buckets) - 1;
+      }
+      ++local[static_cast<std::size_t>(b)];
+    }
+    return comm_->allreduce_vec<std::uint64_t>(
+        local, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  }
+
+  /// Collective: global min/max keys, or nullopt when empty.
+  template <KeyFunction<T> KeyFn = IdentityKey>
+  std::optional<std::pair<KeyType<KeyFn, T>, KeyType<KeyFn, T>>> key_extrema(
+      KeyFn kf = {}) const {
+    using K = KeyType<KeyFn, T>;
+    struct Agg {
+      K min;
+      K max;
+      std::uint8_t has;
+    };
+    Agg mine{};
+    mine.has = shard_.empty() ? 0 : 1;
+    if (mine.has != 0u) {
+      auto [mn, mx] = std::minmax_element(shard_.begin(), shard_.end(),
+                                          by_key(kf));
+      mine.min = kf(*mn);
+      mine.max = kf(*mx);
+    }
+    const Agg agg = comm_->allreduce<Agg>(mine, [](const Agg& a, const Agg& b) {
+      if (a.has == 0u) return b;
+      if (b.has == 0u) return a;
+      Agg out;
+      out.has = 1;
+      out.min = b.min < a.min ? b.min : a.min;
+      out.max = a.max < b.max ? b.max : a.max;
+      return out;
+    });
+    if (agg.has == 0u) return std::nullopt;
+    return std::make_pair(agg.min, agg.max);
+  }
+
+  /// Collective: RDFA of the current shard sizes.
+  double load_rdfa() const {
+    return measure_load_balance(*comm_, shard_.size()).rdfa;
+  }
+
+  /// Collective: verify global sortedness by kf.
+  template <KeyFunction<T> KeyFn = IdentityKey>
+  bool verify_sorted(KeyFn kf = {}) const {
+    return is_globally_sorted<T, KeyFn>(*comm_, shard_, kf);
+  }
+
+ private:
+  void require_sorted() const {
+    if (!sorted_) {
+      throw Error("Dataset: order-dependent query on an unsorted dataset");
+    }
+  }
+
+  sim::Comm* comm_;
+  std::vector<T> shard_;
+  bool sorted_ = false;
+};
+
+}  // namespace sdss

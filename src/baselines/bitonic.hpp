@@ -1,0 +1,78 @@
+// Distributed bitonic sort baseline (Bilardi & Nicolau; the paper's [4]).
+//
+// Block bitonic sort over a power-of-two communicator: every rank keeps a
+// locally sorted block and participates in log²(p) compare-exchange rounds,
+// each exchanging its whole block with a hypercube partner and keeping the
+// low or high half. Communication volume is Θ(n log² p) — the reason the
+// paper (Section 5) prefers sampling sorts on distributed memory — which
+// this implementation reproduces measurably.
+//
+// Uneven shard sizes are handled by padding to the global maximum with
+// flagged sentinel records that sort above every real record and are
+// stripped before returning.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/pivots.hpp"
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/seq_sort.hpp"
+#include "util/phase_ledger.hpp"
+
+namespace sdss::baselines {
+
+/// Sort the distributed vector with bitonic sort. Requires a power-of-two
+/// communicator size. Non-stable.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<T> bitonic_sort(sim::Comm& comm, std::vector<T> data,
+                            KeyFn kf = {}) {
+  const int p = comm.size();
+  if (p > 1 && (p & (p - 1)) != 0) {
+    throw CommError("bitonic_sort: communicator size must be a power of two");
+  }
+  PhaseLedger& ledger = comm.ledger();
+  if (p <= 1) {
+    seq_sort<T, KeyFn>(data, /*stable=*/false, kf);
+    return data;
+  }
+
+  // Pad to equal block length with sentinels: (key, is_pad) lexicographic,
+  // so every pad sorts after every real record of any key.
+  struct Padded {
+    T value;
+    std::uint8_t pad;
+  };
+  auto padded_key = [kf](const Padded& e) {
+    return std::make_pair(kf(e.value), e.pad);
+  };
+
+  std::vector<Padded> block;
+  {
+    ScopedPhase phase(&ledger, Phase::kOther);
+    const std::size_t max_n = comm.allreduce<std::size_t>(
+        data.size(),
+        [](std::size_t a, std::size_t b) { return a > b ? a : b; });
+    block.reserve(max_n);
+    for (const T& v : data) block.push_back(Padded{v, 0});
+    const Padded sentinel{data.empty() ? T{} : data.front(), 1};
+    block.resize(max_n, sentinel);
+    std::sort(block.begin(), block.end(), by_key(padded_key));
+  }
+  {
+    ScopedPhase phase(&ledger, Phase::kExchange);
+    detail::bitonic_sort_blocks(comm, block, padded_key);
+  }
+
+  std::vector<T> out;
+  out.reserve(block.size());
+  for (const Padded& e : block) {
+    if (e.pad == 0) out.push_back(e.value);
+  }
+  return out;
+}
+
+}  // namespace sdss::baselines

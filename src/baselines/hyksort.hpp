@@ -1,0 +1,154 @@
+// HykSort (Sundar, Malhotra, Biros, ICS'13) — the paper's state-of-the-art
+// comparator.
+//
+// k-way hypercube quicksort on a distributed communicator: each round
+// selects k-1 splitters by iterative global histogramming of key values,
+// partitions the locally sorted data into k buckets, regroups the ranks
+// into k blocks with an all-to-all (each rank sends bucket g to the peer
+// g·gsize + rank mod gsize), merges what arrived, and recurses on the
+// block-local communicator. After log_k(p) rounds the data is globally
+// sorted across ranks.
+//
+// Faithfully reproduced weakness (the paper's entire point): splitters are
+// *key values* with no secondary key, so a run of duplicated keys cannot be
+// subdivided — whole duplicate populations land on single ranks, inflating
+// RDFA (Table 3: ∞) and, with a per-rank memory budget, dying with OOM
+// (Figs. 8/10).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/exchange.hpp"
+#include "core/histogram_pivots.hpp"
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/kway_merge.hpp"
+#include "sortcore/local_sort.hpp"
+#include "util/phase_ledger.hpp"
+
+namespace sdss::baselines {
+
+struct HykSortConfig {
+  /// k-way communication split; the paper (and [28]) use 128 as optimal.
+  int kway = 128;
+  /// Simulated per-rank memory budget in records (0 = unlimited).
+  std::size_t mem_limit_records = 0;
+  /// Histogram candidates sampled per rank per refinement round.
+  std::size_t splitter_samples = 64;
+  /// Histogram refinement rounds.
+  int refine_rounds = 2;
+  /// Shared-memory parallelism of the initial local sort (HykSort's own
+  /// sample-based — not skew-aware — parallel merge).
+  int threads = 1;
+};
+
+namespace detail {
+
+/// HykSort's splitters come from the shared histogram selector
+/// (core/histogram_pivots.hpp), parameterized by this config.
+template <typename T, typename KeyFn>
+std::vector<KeyType<KeyFn, T>> histogram_splitters(
+    sim::Comm& comm, std::span<const T> sorted, int k,
+    const HykSortConfig& cfg, KeyFn kf) {
+  HistogramSelectConfig hs;
+  hs.samples_per_rank = cfg.splitter_samples;
+  hs.refine_rounds = cfg.refine_rounds;
+  return histogram_select_splitters<T, KeyFn>(comm, sorted, k, hs, kf);
+}
+
+}  // namespace detail
+
+/// Sort the distributed vector with HykSort. Non-stable. Throws SimOomError
+/// when a rank's post-exchange volume exceeds the configured budget.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<T> hyksort(sim::Comm& comm, std::vector<T> data,
+                       const HykSortConfig& cfg = {}, KeyFn kf = {}) {
+  using K = KeyType<KeyFn, T>;
+  PhaseLedger& ledger = comm.ledger();
+  {
+    // HykSort's shared-memory local sort uses sample-based (non-skew-aware)
+    // parallel merging — the Fig. 6a comparison point.
+    ScopedPhase phase(&ledger, Phase::kOther);
+    LocalSortConfig lcfg;
+    lcfg.threads = cfg.threads;
+    lcfg.method = MergePartitionMethod::kSampleOnly;
+    local_sort<T, KeyFn>(data, lcfg, kf);
+  }
+
+  sim::Comm cur = comm;
+  while (cur.size() > 1) {
+    const int p = cur.size();
+    int k = std::min(cfg.kway, p);
+    while (p % k != 0) --k;  // k must divide p for block regrouping
+    const int gsize = p / k;
+
+    std::vector<K> splitters;
+    {
+      ScopedPhase phase(&ledger, Phase::kPivotSelection);
+      splitters = detail::histogram_splitters<T, KeyFn>(cur, data, k, cfg, kf);
+    }
+
+    {
+      ScopedPhase phase(&ledger, Phase::kExchange);
+      // Bucket boundaries (plain upper_bound — duplicates are NOT split).
+      std::vector<std::size_t> bucket_bounds(static_cast<std::size_t>(k) + 1,
+                                             0);
+      bucket_bounds[static_cast<std::size_t>(k)] = data.size();
+      auto less_key = [&kf](const K& key, const T& e) { return key < kf(e); };
+      for (int g = 1; g < k; ++g) {
+        bucket_bounds[static_cast<std::size_t>(g)] = static_cast<std::size_t>(
+            std::upper_bound(data.begin(), data.end(),
+                             splitters[static_cast<std::size_t>(g - 1)],
+                             less_key) -
+            data.begin());
+      }
+      // Send bucket g to rank g*gsize + (rank % gsize).
+      std::vector<std::size_t> bounds(static_cast<std::size_t>(p) + 1, 0);
+      std::vector<std::size_t> scounts(static_cast<std::size_t>(p), 0);
+      std::vector<std::size_t> sdispls(static_cast<std::size_t>(p), 0);
+      for (int g = 0; g < k; ++g) {
+        const int dest = g * gsize + (cur.rank() % gsize);
+        const auto gi = static_cast<std::size_t>(g);
+        scounts[static_cast<std::size_t>(dest)] =
+            bucket_bounds[gi + 1] - bucket_bounds[gi];
+        sdispls[static_cast<std::size_t>(dest)] = bucket_bounds[gi];
+      }
+      const auto rcounts = cur.alltoall<std::size_t>(scounts);
+      std::vector<std::size_t> rdispls(static_cast<std::size_t>(p), 0);
+      std::size_t off = 0;
+      for (std::size_t s = 0; s < static_cast<std::size_t>(p); ++s) {
+        rdispls[s] = off;
+        off += rcounts[s];
+      }
+      if (cfg.mem_limit_records != 0 && off > cfg.mem_limit_records) {
+        throw SimOomError(cur.rank(), off, cfg.mem_limit_records);
+      }
+      std::vector<T> recv(off);
+      cur.alltoallv<T>(data, scounts, sdispls, recv, rcounts, rdispls);
+
+      // Merge the (up to k non-empty) received chunks. The paper's HykSort
+      // overlaps this with the exchange, which is why its reported Exchange
+      // time contains local ordering (paper footnote 4); we account it the
+      // same way.
+      std::vector<std::span<const T>> chunks;
+      for (std::size_t s = 0; s < static_cast<std::size_t>(p); ++s) {
+        if (rcounts[s] > 0) {
+          chunks.emplace_back(recv.data() + rdispls[s], rcounts[s]);
+        }
+      }
+      std::vector<T> merged(off);
+      kway_merge<T, KeyFn>(chunks, merged, kf);
+      data = std::move(merged);
+    }
+
+    cur = cur.split(cur.rank() / gsize, cur.rank());
+  }
+  return data;
+}
+
+}  // namespace sdss::baselines

@@ -1,0 +1,125 @@
+// Distributed radix sort baseline (Thearling & Smith, the paper's [30]).
+//
+// The classic non-sampling competitor: build a global histogram of the top
+// `kBucketBits` key bits, carve the bucket space into p contiguous ranges of
+// near-equal total count, exchange once, finish locally. Because a bucket —
+// like a duplicated sample pivot — cannot be subdivided by key value alone,
+// a hot key overloads whichever rank owns its bucket: the same skew
+// sensitivity the sampling sorts exhibit, measured in the extra benches.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/exchange.hpp"
+#include "core/local_order.hpp"
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/radix.hpp"
+#include "util/phase_ledger.hpp"
+
+namespace sdss::baselines {
+
+struct RadixSortConfig {
+  /// Histogram resolution: 2^bits buckets over the top key bits.
+  int bucket_bits = 12;
+  /// Simulated per-rank memory budget in records (0 = unlimited).
+  std::size_t mem_limit_records = 0;
+  /// Final-merge parallelism.
+  int threads = 1;
+};
+
+/// Sort the distributed vector by kf(record), which must be an unsigned
+/// integer. Non-stable across ranks (stable within, by radix construction).
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<T> radix_sort_distributed(sim::Comm& comm, std::vector<T> data,
+                                      const RadixSortConfig& cfg = {},
+                                      KeyFn kf = {}) {
+  using K = KeyType<KeyFn, T>;
+  static_assert(std::is_unsigned_v<K>,
+                "distributed radix sort requires an unsigned integer key");
+  PhaseLedger& ledger = comm.ledger();
+  {
+    ScopedPhase phase(&ledger, Phase::kOther);
+    radix_sort(data, kf);
+  }
+  const auto p = static_cast<std::size_t>(comm.size());
+  if (p <= 1) return data;
+
+  // Bucket by the top bits of the OCCUPIED key range, not the key type's
+  // range: with e.g. 40-bit keys in a 64-bit type, shifting by 52 would put
+  // every record in bucket 0 and rank 0 would drown.
+  const K local_max = data.empty() ? K{0} : kf(data.back());  // sorted data
+  const K global_max = comm.allreduce<K>(
+      local_max, [](K a, K b) { return a > b ? a : b; });
+  const int width = std::bit_width(global_max);
+  const int shift = width > cfg.bucket_bits ? width - cfg.bucket_bits : 0;
+  const std::size_t buckets = std::size_t{1} << cfg.bucket_bits;
+  auto bucket_of = [&](const T& v) {
+    const auto b = static_cast<std::size_t>(kf(v) >> shift);
+    return b < buckets ? b : buckets - 1;
+  };
+
+  std::vector<std::size_t> bounds(p + 1, 0);
+  bounds[p] = data.size();
+  {
+    ScopedPhase phase(&ledger, Phase::kPivotSelection);
+    // Local histogram over the (already sorted) data: bucket b occupies
+    // [start[b], start[b+1]).
+    std::vector<std::uint64_t> hist(buckets, 0);
+    for (const T& v : data) ++hist[bucket_of(v)];
+    const auto global = comm.allreduce_vec<std::uint64_t>(
+        hist, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    std::uint64_t total = 0;
+    for (std::uint64_t h : global) total += h;
+
+    // Greedy carve: walk buckets, closing a rank's range once its count
+    // reaches the remaining-average target.
+    std::vector<std::size_t> bucket_end(p, buckets);  // first bucket NOT owned
+    std::uint64_t acc = 0;
+    std::uint64_t assigned = 0;
+    std::size_t rank_idx = 0;
+    for (std::size_t b = 0; b < buckets && rank_idx + 1 < p; ++b) {
+      acc += global[b];
+      const std::uint64_t target =
+          (total - assigned) / static_cast<std::uint64_t>(p - rank_idx);
+      if (acc >= target) {
+        bucket_end[rank_idx] = b + 1;
+        assigned += acc;
+        acc = 0;
+        ++rank_idx;
+      }
+    }
+    for (; rank_idx + 1 < p; ++rank_idx) bucket_end[rank_idx] = buckets;
+
+    // Local boundaries: rank d receives local records whose bucket is in
+    // [bucket_end[d-1], bucket_end[d]); data is sorted, so binary search.
+    auto bucket_less = [&](const T& v, std::size_t b) {
+      return bucket_of(v) < b;
+    };
+    for (std::size_t d = 0; d + 1 < p; ++d) {
+      bounds[d + 1] = static_cast<std::size_t>(
+          std::lower_bound(data.begin(), data.end(), bucket_end[d],
+                           bucket_less) -
+          data.begin());
+    }
+  }
+
+  ExchangePlan plan;
+  std::vector<T> recv;
+  {
+    ScopedPhase phase(&ledger, Phase::kExchange);
+    plan = plan_exchange(comm, bounds, cfg.mem_limit_records);
+    recv = sync_exchange<T>(comm, data, plan);
+  }
+  {
+    ScopedPhase phase(&ledger, Phase::kLocalOrdering);
+    return merge_all<T, KeyFn>(std::move(recv), plan.rcounts, plan.rdispls,
+                               /*stable=*/false, cfg.threads, kf);
+  }
+}
+
+}  // namespace sdss::baselines

@@ -1,0 +1,67 @@
+// SDS-Sort configuration: the paper's tunables (stable flag sf; thresholds
+// τm, τo, τs; cores per node c) plus simulation and ablation knobs.
+#pragma once
+
+#include <cstddef>
+
+#include "sortcore/algo.hpp"
+
+namespace sdss {
+
+enum class PivotSelection {
+  kAuto,      ///< distributed bitonic when p is a power of two, else gather
+  kBitonic,   ///< force distributed bitonic (p must be a power of two)
+  kGather,    ///< allgather local pivots, sort locally, select
+  kHistogram, ///< iterative histogramming of the data (Solomonik & Kale,
+              ///< discussed in paper Section 2.4; the skew-aware partition
+              ///< repairs its duplicate-key blind spot downstream)
+};
+
+struct Config {
+  /// sf: preserve the relative order of duplicate keys (paper Section 2.5.2).
+  bool stable = false;
+
+  /// τm: node-level merging happens when the average all-to-all message
+  /// (local bytes / p) is at most this size (paper Section 2.3; empirically
+  /// 160 MB on Edison's Aries). 0 disables node merging. The default is the
+  /// laptop-scale equivalent: merge only genuinely small exchanges.
+  std::size_t tau_m_bytes = 0;
+
+  /// τo: overlap the exchange with local ordering only when p < τo and
+  /// stable sorting is not requested (paper Section 2.6; 4096 on Edison).
+  std::size_t tau_o = 4096;
+
+  /// τs: below τs processes the final local ordering merges the p received
+  /// chunks; at or above it, a full re-sort is cheaper (paper Section 2.7;
+  /// 4000 on Edison).
+  std::size_t tau_s = 4000;
+
+  /// c: shared-memory parallelism for local sorting/merging. 0 means "use
+  /// the communicator's cores-per-node".
+  int threads = 0;
+
+  /// Simulated per-rank memory budget, in records, applied to the post-
+  /// exchange receive volume. 0 = unlimited. Models Edison's 64 GB nodes;
+  /// exceeding it throws SimOomError (how HykSort fails in Figs. 8/10).
+  std::size_t mem_limit_records = 0;
+
+  /// Ablation: disable to use plain duplicated-pivot partitioning (the
+  /// behaviour SDS-Sort fixes).
+  bool skew_aware = true;
+
+  /// Ablation: disable to binary-search the whole local array instead of
+  /// the O(n/p) window bracketed by local pivots (paper Section 2.5.1).
+  bool local_pivot_partition = true;
+
+  PivotSelection pivot_selection = PivotSelection::kAuto;
+
+  /// Per-chunk kernel of the shared-memory local sorts (paper: "dynamic
+  /// selection of data processing algorithms"). kRadix/kAuto apply only to
+  /// unsigned-integer keys.
+  LocalSortAlgo local_algo = LocalSortAlgo::kComparison;
+
+  /// Run count at or below which the re-sort path merges natural runs.
+  std::size_t run_merge_threshold = 64;
+};
+
+}  // namespace sdss

@@ -1,0 +1,186 @@
+// The SDS-Sort driver (paper Fig. 1).
+//
+// Pipeline, with every adaptive decision the paper describes:
+//   1. skew-aware shared-memory local sort (SdssLocalSort, §2.2);
+//   2. node-level merging when the average exchange message is below τm
+//      (SdssRefineComm + SdssNodeMerge, §2.3);
+//   3. regular sampling of p-1 local pivots and global pivot selection via
+//      distributed bitonic sort (§2.4);
+//   4. fast/stable skew-aware partitioning accelerated by local pivots
+//      (SdssPartition, §2.5) — O(4N/p) workload bound;
+//   5. adaptive all-to-all: blocking alltoallv, or nonblocking exchange
+//      overlapped with pairwise merging when p < τo and not stable (§2.6);
+//   6. adaptive final ordering: merge-all below τs, run-aware re-sort above
+//      (§2.7).
+//
+// The output is distributed: rank d holds the d-th value range, globally
+// sorted across ranks; with cfg.stable, duplicate keys keep their original
+// (rank-major) relative order. After node merging only node leaders hold
+// data — exactly the paper's semantics of continuing with p/c processes.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/exchange.hpp"
+#include "core/histogram_pivots.hpp"
+#include "core/local_order.hpp"
+#include "core/node_merge.hpp"
+#include "core/partition.hpp"
+#include "core/pivots.hpp"
+#include "core/sampling.hpp"
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/local_sort.hpp"
+#include "util/phase_ledger.hpp"
+
+namespace sdss {
+
+enum class ExchangeMode { kSync, kOverlapped, kNone };
+enum class FinalOrdering { kMergeAll, kResort, kOverlapMerge, kNone };
+
+/// Per-rank account of what the adaptive machinery decided, for tests and
+/// benches.
+struct SortReport {
+  std::size_t output_records = 0;
+  std::size_t recv_records = 0;   ///< post-exchange load (RDFA numerator)
+  bool node_merged = false;       ///< node-level merging was performed
+  bool active = true;             ///< false: handed data to the node leader
+  ExchangeMode exchange = ExchangeMode::kNone;
+  FinalOrdering ordering = FinalOrdering::kNone;
+};
+
+/// Sort the distributed vector `data` (one shard per rank of `comm`) by
+/// kf(record). Returns this rank's shard of the globally sorted output.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
+                        const Config& cfg = {}, KeyFn kf = {},
+                        SortReport* report = nullptr) {
+  using K = KeyType<KeyFn, T>;
+  PhaseLedger& ledger = comm.ledger();
+  SortReport local_report;
+  SortReport& rep = report != nullptr ? *report : local_report;
+  rep = SortReport{};
+
+  int c = cfg.threads > 0 ? cfg.threads : comm.cores_per_node();
+
+  {
+    // Initial local ordering: lets regular sampling see the local value
+    // distribution and makes every later step run-/merge-friendly.
+    ScopedPhase phase(&ledger, Phase::kOther);
+    LocalSortConfig lcfg;
+    lcfg.threads = c;
+    lcfg.stable = cfg.stable;
+    lcfg.algo = cfg.local_algo;
+    local_sort<T, KeyFn>(data, lcfg, kf);
+  }
+
+  sim::Comm active = comm;
+  if (comm.size() > 1 && cfg.tau_m_bytes > 0 && comm.cores_per_node() > 1) {
+    ScopedPhase phase(&ledger, Phase::kNodeMerge);
+    // Merge decision must be identical on every rank: use the global
+    // average shard size (paper: n/p <= tau_m).
+    const auto total = comm.allreduce<std::uint64_t>(
+        static_cast<std::uint64_t>(data.size()),
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    const auto p = static_cast<std::uint64_t>(comm.size());
+    const std::uint64_t avg_msg_bytes = total * sizeof(T) / (p * p);
+    if (avg_msg_bytes <= cfg.tau_m_bytes) {
+      NodeCommPair pair = refine_comm(comm);
+      node_merge<T, KeyFn>(pair.local, data, cfg.stable, kf, c);
+      rep.node_merged = true;
+      if (!pair.leaders.valid()) {
+        // This rank handed its data to the node leader and is done.
+        rep.active = false;
+        rep.output_records = 0;
+        return {};
+      }
+      active = pair.leaders;
+      c = 1;  // paper Fig. 1 line 6: leaders continue single-threaded
+    }
+  }
+
+  const int p = active.size();
+  if (p <= 1) {
+    rep.output_records = data.size();
+    return data;
+  }
+
+  // Pivot selection + partitioning.
+  std::vector<std::size_t> bounds;
+  {
+    ScopedPhase phase(&ledger, Phase::kPivotSelection);
+    const LocalSamples<K> samples = sample_local_pivots<T, KeyFn>(
+        data, static_cast<std::size_t>(p - 1), kf);
+    std::vector<K> pivots;
+    if (cfg.pivot_selection == PivotSelection::kHistogram) {
+      pivots = histogram_select_splitters<T, KeyFn>(active, data, p, {}, kf);
+    } else {
+      // Unbalanced input defeats stride-p selection (samples from small
+      // shards outvote those from big ones); kAuto detects it and switches
+      // to weighted selection. Forced kBitonic/kGather stay literal.
+      struct SizeAgg {
+        std::uint64_t max;
+        std::uint64_t sum;
+      };
+      const SizeAgg agg = active.allreduce<SizeAgg>(
+          SizeAgg{data.size(), data.size()},
+          [](const SizeAgg& a, const SizeAgg& b) {
+            return SizeAgg{a.max > b.max ? a.max : b.max, a.sum + b.sum};
+          });
+      const bool unbalanced =
+          agg.max * static_cast<std::uint64_t>(p) > 2 * agg.sum + 64;
+      if (cfg.pivot_selection == PivotSelection::kAuto && unbalanced) {
+        pivots = select_global_pivots_weighted<K>(active, samples.keys,
+                                                  data.size());
+      } else {
+        pivots = select_global_pivots<K>(active, samples.keys,
+                                         cfg.pivot_selection);
+      }
+    }
+    bounds = sdss_partition<T, KeyFn>(active, data, samples, pivots, cfg, kf);
+  }
+
+  ExchangePlan plan;
+  {
+    ScopedPhase phase(&ledger, Phase::kExchange);
+    plan = plan_exchange(active, bounds, cfg.mem_limit_records);
+  }
+  rep.recv_records = plan.recv_total;
+
+  std::vector<T> out;
+  const bool overlap =
+      !cfg.stable && static_cast<std::size_t>(p) < cfg.tau_o;
+  if (!overlap) {
+    rep.exchange = ExchangeMode::kSync;
+    std::vector<T> recv;
+    {
+      ScopedPhase phase(&ledger, Phase::kExchange);
+      recv = sync_exchange<T>(active, data, plan);
+    }
+    {
+      ScopedPhase phase(&ledger, Phase::kLocalOrdering);
+      if (static_cast<std::size_t>(p) < cfg.tau_s) {
+        rep.ordering = FinalOrdering::kMergeAll;
+        out = merge_all<T, KeyFn>(std::move(recv), plan.rcounts, plan.rdispls,
+                                  cfg.stable, c, kf);
+      } else {
+        rep.ordering = FinalOrdering::kResort;
+        out = resort_all<T, KeyFn>(std::move(recv), cfg.stable, c,
+                                   cfg.run_merge_threshold, kf);
+      }
+    }
+  } else {
+    rep.exchange = ExchangeMode::kOverlapped;
+    rep.ordering = FinalOrdering::kOverlapMerge;
+    ScopedPhase phase(&ledger, Phase::kExchange);
+    out = overlap_exchange_merge<T, KeyFn>(active, data, plan, kf);
+  }
+
+  rep.output_records = out.size();
+  return out;
+}
+
+}  // namespace sdss

@@ -1,0 +1,158 @@
+// The all-to-all data exchange (paper Fig. 1 lines 10-16 and Section 2.6).
+//
+// `plan_exchange` turns the partition boundaries into the count/displacement
+// quadruple, exchanging counts with one alltoall and enforcing the simulated
+// per-rank memory budget (the OOM that kills HykSort on skewed data).
+//
+// Two exchange modes:
+//  * sync_exchange: blocking alltoallv (required for stable sorting, whose
+//    source-rank order the blocking collective preserves; also used above
+//    τo processes).
+//  * overlap_exchange_merge: SdssAlltoallvAsync + SdssFinished +
+//    SdssMergeTwo — post all nonblocking sends/receives, then merge chunk
+//    pairs as they complete, overlapping communication with local ordering.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/kway_merge.hpp"
+#include "util/error.hpp"
+
+namespace sdss {
+
+struct ExchangePlan {
+  std::vector<std::size_t> scounts, sdispls, rcounts, rdispls;
+  std::size_t recv_total = 0;
+};
+
+/// Exchange counts and build the plan. Throws SimOomError if the receive
+/// volume exceeds `mem_limit_records` (0 = unlimited).
+inline ExchangePlan plan_exchange(sim::Comm& comm,
+                                  std::span<const std::size_t> bounds,
+                                  std::size_t mem_limit_records) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  ExchangePlan plan;
+  plan.scounts.resize(p);
+  plan.sdispls.resize(p);
+  for (std::size_t d = 0; d < p; ++d) {
+    plan.sdispls[d] = bounds[d];
+    plan.scounts[d] = bounds[d + 1] - bounds[d];
+  }
+  plan.rcounts = comm.alltoall<std::size_t>(plan.scounts);
+  plan.rdispls.resize(p);
+  std::size_t off = 0;
+  for (std::size_t s = 0; s < p; ++s) {
+    plan.rdispls[s] = off;
+    off += plan.rcounts[s];
+  }
+  plan.recv_total = off;
+  if (mem_limit_records != 0 && plan.recv_total > mem_limit_records) {
+    throw SimOomError(comm.rank(), plan.recv_total, mem_limit_records);
+  }
+  return plan;
+}
+
+/// Blocking exchange: returns the receive buffer (p sorted chunks laid out
+/// by source rank at plan.rdispls).
+template <typename T>
+std::vector<T> sync_exchange(sim::Comm& comm, std::span<const T> data,
+                             const ExchangePlan& plan) {
+  std::vector<T> recv(plan.recv_total);
+  comm.alltoallv<T>(data, plan.scounts, plan.sdispls, recv, plan.rcounts,
+                    plan.rdispls);
+  return recv;
+}
+
+/// Asynchronous exchange overlapped with incremental merging: chunks are
+/// merged pairwise (smallest two first, Huffman-style, ~O(n log p) total) as
+/// they arrive, so by the time the last message lands most ordering work is
+/// done. Non-stable only (completion order is arrival order). Returns the
+/// fully merged, sorted local output.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<T> overlap_exchange_merge(sim::Comm& comm, std::span<const T> data,
+                                      const ExchangePlan& plan, KeyFn kf = {}) {
+  const auto p = static_cast<std::size_t>(comm.size());
+  const auto me = static_cast<std::size_t>(comm.rank());
+
+  // Post receives first, then sends (sends are eager-buffered; receives
+  // complete as the network model delivers them).
+  std::vector<T> recv(plan.recv_total);
+  std::vector<sim::Request> reqs;
+  std::vector<std::size_t> req_src;
+  reqs.reserve(p);
+  for (std::size_t s = 0; s < p; ++s) {
+    if (s == me || plan.rcounts[s] == 0) continue;
+    reqs.push_back(comm.irecv<T>(
+        std::span<T>(recv.data() + plan.rdispls[s], plan.rcounts[s]),
+        static_cast<int>(s), /*tag=*/3001));
+    req_src.push_back(s);
+  }
+  for (std::size_t d = 0; d < p; ++d) {
+    if (d == me || plan.scounts[d] == 0) continue;
+    comm.isend<T>(
+        std::span<const T>(data.data() + plan.sdispls[d], plan.scounts[d]),
+        static_cast<int>(d), /*tag=*/3001);
+  }
+
+  // Pool of sorted chunks awaiting merging; the self-chunk is available
+  // immediately.
+  std::vector<std::vector<T>> pool;
+  if (plan.scounts[me] > 0) {
+    pool.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(plan.sdispls[me]),
+                      data.begin() + static_cast<std::ptrdiff_t>(
+                                         plan.sdispls[me] + plan.scounts[me]));
+  }
+
+  // SdssMergeTwo: merge the two smallest chunks in the pool.
+  auto merge_two = [&]() {
+    std::size_t a = 0, b = 1;
+    if (pool[b].size() < pool[a].size()) std::swap(a, b);
+    for (std::size_t i = 2; i < pool.size(); ++i) {
+      if (pool[i].size() < pool[a].size()) {
+        b = a;
+        a = i;
+      } else if (pool[i].size() < pool[b].size()) {
+        b = i;
+      }
+    }
+    std::vector<std::span<const T>> two{std::span<const T>(pool[a]),
+                                        std::span<const T>(pool[b])};
+    std::vector<T> merged(pool[a].size() + pool[b].size());
+    kway_merge<T, KeyFn>(two, merged, kf);
+    if (a > b) std::swap(a, b);
+    pool[a] = std::move(merged);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(b));
+  };
+
+  // SdssFinished loop: whenever a receive completes, move its chunk into
+  // the pool; merge opportunistically while more data is in flight.
+  std::vector<char> done(reqs.size(), 0);
+  std::size_t outstanding = reqs.size();
+  while (outstanding > 0) {
+    const int idx = sim::Request::wait_any(reqs, done);
+    if (idx < 0) break;
+    done[static_cast<std::size_t>(idx)] = 1;
+    --outstanding;
+    const std::size_t s = req_src[static_cast<std::size_t>(idx)];
+    pool.emplace_back(
+        recv.begin() + static_cast<std::ptrdiff_t>(plan.rdispls[s]),
+        recv.begin() +
+            static_cast<std::ptrdiff_t>(plan.rdispls[s] + plan.rcounts[s]));
+    // One smallest-pair merge per arrival keeps the pool shallow without
+    // degenerating into repeated prefix accumulation (always merging the
+    // two smallest keeps the total work at ~O(n log p), Huffman-style).
+    if (pool.size() >= 2 && outstanding > 0) merge_two();
+  }
+  // Drain the pool.
+  while (pool.size() >= 2) merge_two();
+  if (pool.empty()) return {};
+  return std::move(pool.front());
+}
+
+}  // namespace sdss

@@ -1,0 +1,147 @@
+// Histogram-based splitter selection (Solomonik & Kale, the paper's [24];
+// discussed and set aside in Section 2.4).
+//
+// Iteratively refine a candidate set of key values so that the global rank
+// of splitter g approaches g·N/k: sample candidates from the local sorted
+// data, allreduce their global ranks, keep the closest per target, resample
+// inside the bracketing interval. HykSort selects its k-way splitters this
+// way, and SDS-Sort can optionally use it for global pivots
+// (PivotSelection::kHistogram). Its documented weakness — the paper's
+// reason for preferring regular sampling + skew-aware partitioning — is
+// that on duplicate-heavy keys no key VALUE has the target rank, so the
+// chosen splitters collapse onto the duplicated value; SDS-Sort's
+// partitioner then has to repair the imbalance downstream, while HykSort's
+// plain partition cannot.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+
+namespace sdss {
+
+struct HistogramSelectConfig {
+  std::size_t samples_per_rank = 64;  ///< candidates contributed per round
+  int refine_rounds = 2;
+};
+
+/// Select k-1 splitter keys over the distributed sorted data such that
+/// splitter g's global rank is close to g·N/k. Collective; every rank
+/// returns the same non-decreasing splitter vector.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<KeyType<KeyFn, T>> histogram_select_splitters(
+    sim::Comm& comm, std::span<const T> sorted, int k,
+    const HistogramSelectConfig& cfg = {}, KeyFn kf = {}) {
+  using K = KeyType<KeyFn, T>;
+  const std::uint64_t total = comm.allreduce<std::uint64_t>(
+      static_cast<std::uint64_t>(sorted.size()),
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+
+  auto sample_range = [&](std::size_t lo, std::size_t hi, std::size_t count) {
+    std::vector<K> out;
+    if (hi <= lo || count == 0) return out;
+    const std::size_t len = hi - lo;
+    const std::size_t c = std::min(count, len);
+    out.reserve(c);
+    for (std::size_t i = 0; i < c; ++i) {
+      out.push_back(kf(sorted[lo + i * len / c]));
+    }
+    return out;
+  };
+
+  auto global_ranks = [&](const std::vector<K>& cands) {
+    std::vector<std::uint64_t> local(cands.size());
+    auto less_key = [&kf](const K& key, const T& e) { return key < kf(e); };
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      local[i] = static_cast<std::uint64_t>(
+          std::upper_bound(sorted.begin(), sorted.end(), cands[i], less_key) -
+          sorted.begin());
+    }
+    return comm.allreduce_vec<std::uint64_t>(
+        local, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  };
+
+  std::vector<K> cands = comm.allgatherv<K>(
+      sample_range(0, sorted.size(), cfg.samples_per_rank));
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+
+  std::vector<K> splitters(static_cast<std::size_t>(k - 1));
+  for (int round = 0;; ++round) {
+    if (cands.empty()) {
+      // Degenerate (no data anywhere).
+      splitters.assign(static_cast<std::size_t>(k - 1), KeyLimits<K>::max());
+      return splitters;
+    }
+    const auto ranks = global_ranks(cands);
+    if (round + 1 >= cfg.refine_rounds) {
+      for (int g = 1; g < k; ++g) {
+        const std::uint64_t target = total * static_cast<std::uint64_t>(g) /
+                                     static_cast<std::uint64_t>(k);
+        std::size_t best = 0;
+        std::uint64_t best_err = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+          const std::uint64_t err =
+              ranks[i] > target ? ranks[i] - target : target - ranks[i];
+          if (err < best_err) {
+            best_err = err;
+            best = i;
+          }
+        }
+        splitters[static_cast<std::size_t>(g - 1)] = cands[best];
+      }
+      std::sort(splitters.begin(), splitters.end());
+      return splitters;
+    }
+    // Refinement: resample locally inside the bracket around each target.
+    std::vector<K> local_next;
+    auto less_key = [&kf](const K& key, const T& e) { return key < kf(e); };
+    auto key_less = [&kf](const T& e, const K& key) { return kf(e) < key; };
+    const std::size_t per_target = std::max<std::size_t>(
+        2, cfg.samples_per_rank / static_cast<std::size_t>(k));
+    for (int g = 1; g < k; ++g) {
+      const std::uint64_t target = total * static_cast<std::uint64_t>(g) /
+                                   static_cast<std::uint64_t>(k);
+      std::size_t lo_idx = 0;
+      bool have_lo = false;
+      std::size_t hi_idx = cands.size() - 1;
+      bool have_hi = false;
+      for (std::size_t i = 0; i < cands.size(); ++i) {
+        if (ranks[i] < target) {
+          lo_idx = i;
+          have_lo = true;
+        } else if (!have_hi) {
+          hi_idx = i;
+          have_hi = true;
+        }
+      }
+      std::size_t lo = 0;
+      std::size_t hi = sorted.size();
+      if (have_lo) {
+        lo = static_cast<std::size_t>(
+            std::lower_bound(sorted.begin(), sorted.end(), cands[lo_idx],
+                             key_less) -
+            sorted.begin());
+      }
+      if (have_hi) {
+        hi = static_cast<std::size_t>(
+            std::upper_bound(sorted.begin(), sorted.end(), cands[hi_idx],
+                             less_key) -
+            sorted.begin());
+      }
+      auto extra = sample_range(lo, hi, per_target);
+      local_next.insert(local_next.end(), extra.begin(), extra.end());
+    }
+    auto next = comm.allgatherv<K>(local_next);
+    cands.insert(cands.end(), next.begin(), next.end());
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  }
+}
+
+}  // namespace sdss

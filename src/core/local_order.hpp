@@ -1,0 +1,61 @@
+// Adaptive final local ordering (paper Section 2.7, Fig. 1 lines 17-21).
+//
+// After a blocking exchange the receive buffer is p sorted chunks. Two ways
+// to finish:
+//  * merging (SdssMergeAll): k-way merge of the p chunks — O(n log p), the
+//    winner while p is modest;
+//  * sorting (SdssLocalSort): re-sort the whole buffer — O(n log n) but flat
+//    in p, and run-aware sorting exploits the partial order, so it wins for
+//    very large p.
+// The driver picks by τs. Stability: the merge path is stable across source
+// ranks by construction; the sort path uses a stable sort.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sortcore/key.hpp"
+#include "sortcore/local_sort.hpp"
+#include "sortcore/runs.hpp"
+
+namespace sdss {
+
+/// SdssMergeAll: merge the p received chunks (laid out at `displs` in
+/// `recv`) with `threads`-way parallel skew-aware merging.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<T> merge_all(std::vector<T>&& recv,
+                         std::span<const std::size_t> counts,
+                         std::span<const std::size_t> displs, bool stable,
+                         int threads, KeyFn kf = {}) {
+  std::vector<std::span<const T>> chunks;
+  chunks.reserve(counts.size());
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    chunks.emplace_back(recv.data() + displs[s], counts[s]);
+  }
+  std::vector<T> out(recv.size());
+  parallel_merge_chunks<T, KeyFn>(chunks, out,
+                                  static_cast<std::size_t>(threads < 1 ? 1
+                                                                       : threads),
+                                  stable, MergePartitionMethod::kSkewAware, kf);
+  return out;
+}
+
+/// The sorting alternative: re-sort the receive buffer. Sequential calls are
+/// run-aware (O(n) on already-ordered data); parallel calls use
+/// SdssLocalSort.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<T> resort_all(std::vector<T>&& recv, bool stable, int threads,
+                          std::size_t run_merge_threshold, KeyFn kf = {}) {
+  if (threads <= 1) {
+    run_aware_sort<T, KeyFn>(recv, stable, kf, run_merge_threshold);
+  } else {
+    LocalSortConfig cfg;
+    cfg.threads = threads;
+    cfg.stable = stable;
+    local_sort<T, KeyFn>(recv, cfg, kf);
+  }
+  return std::move(recv);
+}
+
+}  // namespace sdss

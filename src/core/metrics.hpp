@@ -1,0 +1,33 @@
+// Load-balance metrics over a communicator: the paper's RDFA (Tables 3/4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "util/stats.hpp"
+
+namespace sdss {
+
+struct LoadBalance {
+  std::vector<std::size_t> loads;  ///< per-rank record counts, rank order
+  double rdfa = 1.0;               ///< max/avg (Li et al.)
+  std::size_t max_load = 0;
+  std::uint64_t total = 0;
+};
+
+/// Collective: gather per-rank loads and compute RDFA on every rank.
+inline LoadBalance measure_load_balance(sim::Comm& comm, std::size_t my_load) {
+  LoadBalance lb;
+  lb.loads = comm.allgather<std::size_t>(my_load);
+  lb.rdfa = rdfa(lb.loads);
+  for (std::size_t m : lb.loads) {
+    lb.max_load = lb.max_load > m ? lb.max_load : m;
+    lb.total += m;
+  }
+  return lb;
+}
+
+}  // namespace sdss

@@ -1,0 +1,81 @@
+// Node-level merging (paper Section 2.3, Fig. 1 lines 3-7).
+//
+// When the average all-to-all message would be small (n/p ≤ τm), SDS-Sort
+// first merges the sorted arrays of all ranks on a node onto the node
+// leader, then continues with the leaders-only communicator: p' = p/c ranks
+// each holding c·n records. Fewer, larger messages amortize the per-message
+// network latency — the win on low-throughput interconnects; on fast
+// networks the merge overhead and the leader's c× injection volume lose
+// (Fig. 5a).
+//
+// SdssRefineComm maps to split_by_node() (the analogue of
+// MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)) plus a leaders-only split;
+// SdssNodeMerge is the skew-aware k-way merge of local_sort.hpp driven over
+// the intra-node communicator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/local_sort.hpp"
+
+namespace sdss {
+
+struct NodeCommPair {
+  sim::Comm local;    ///< ranks sharing this rank's node
+  sim::Comm leaders;  ///< node leaders only; invalid on non-leaders
+};
+
+/// SdssRefineComm: build the intra-node communicator cl and the global
+/// leaders communicator cg.
+inline NodeCommPair refine_comm(sim::Comm& comm) {
+  NodeCommPair pair;
+  pair.local = comm.split_by_node();
+  const bool leader = pair.local.rank() == 0;
+  pair.leaders =
+      comm.split(leader ? 0 : sim::Comm::kUndefined, comm.rank());
+  return pair;
+}
+
+/// SdssNodeMerge: gather every node rank's sorted `data` onto the node
+/// leader and merge (skew-aware, stable across source-rank order). On
+/// return the leader holds the merged node data; other ranks hold nothing.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+void node_merge(sim::Comm& local, std::vector<T>& data, bool stable,
+                KeyFn kf = {}, int merge_threads = 1) {
+  constexpr int kTag = 2001;
+  if (local.size() <= 1) return;
+  if (local.rank() != 0) {
+    local.send<T>(data, 0, kTag);
+    data.clear();
+    data.shrink_to_fit();
+    return;
+  }
+  // Leader: receive chunks in node-rank order (stability order: node ranks
+  // are consecutive global ranks).
+  std::vector<std::vector<T>> chunks;
+  chunks.reserve(static_cast<std::size_t>(local.size()));
+  chunks.push_back(std::move(data));
+  for (int src = 1; src < local.size(); ++src) {
+    chunks.push_back(local.recv_any_size<T>(src, kTag));
+  }
+  std::size_t total = 0;
+  std::vector<std::span<const T>> spans;
+  spans.reserve(chunks.size());
+  for (const auto& c : chunks) {
+    spans.emplace_back(c);
+    total += c.size();
+  }
+  std::vector<T> merged(total);
+  parallel_merge_chunks<T, KeyFn>(spans, merged,
+                                  static_cast<std::size_t>(
+                                      merge_threads < 1 ? 1 : merge_threads),
+                                  stable, MergePartitionMethod::kSkewAware, kf);
+  data = std::move(merged);
+}
+
+}  // namespace sdss

@@ -1,0 +1,207 @@
+// SdssPartition (paper Section 2.5, Fig. 2): compute the all-to-all send
+// boundaries from the global pivots — fast and skew-aware.
+//
+// Three ingredients:
+//  * Local-pivot acceleration (Section 2.5.1): each global pivot is first
+//    ranked among the rank's own p-1 local samples, which brackets an
+//    O(n/p) window of the sorted local array; the binary search runs inside
+//    that window instead of the whole array.
+//  * Fast skew-aware partitioning (Section 2.5.2): a run of rs duplicated
+//    global pivots with value v makes each rank split its own run of v's
+//    evenly across the rs processes sharing v. (Per DESIGN.md Section 4 we
+//    split the exact duplicate run [lower_bound(v), upper_bound(v)), which
+//    is the paper's evident intent and is provably order-correct.)
+//  * Stable skew-aware partitioning: the global sequence of v's, ordered by
+//    source rank, is cut into rs contiguous groups of ⌈total/rs⌉; each
+//    process computes its intersection with each group in closed form from
+//    an allgather of per-rank duplicate counts (the paper's cv vector).
+//
+// Returns boundaries b[0..p]: rank d receives local elements [b[d], b[d+1]).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/replicated.hpp"
+#include "core/sampling.hpp"
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+
+namespace sdss {
+
+namespace detail {
+
+/// Binary searches over the sorted local array, optionally windowed by the
+/// local samples (positions of known values bracketing the target).
+template <typename T, typename KeyFn>
+class WindowedSearch {
+ public:
+  using K = KeyType<KeyFn, T>;
+
+  WindowedSearch(std::span<const T> data, const LocalSamples<K>* samples,
+                 KeyFn kf)
+      : data_(data), samples_(samples), kf_(kf) {}
+
+  /// Index of the first element with key > v.
+  std::size_t upper(const K& v) const {
+    auto [lo, hi] = window_upper(v);
+    auto less_key = [this](const K& k, const T& e) { return k < kf_(e); };
+    return static_cast<std::size_t>(
+        std::upper_bound(data_.begin() + static_cast<std::ptrdiff_t>(lo),
+                         data_.begin() + static_cast<std::ptrdiff_t>(hi), v,
+                         less_key) -
+        data_.begin());
+  }
+
+  /// Index of the first element with key >= v.
+  std::size_t lower(const K& v) const {
+    auto [lo, hi] = window_lower(v);
+    auto key_less = [this](const T& e, const K& k) { return kf_(e) < k; };
+    return static_cast<std::size_t>(
+        std::lower_bound(data_.begin() + static_cast<std::ptrdiff_t>(lo),
+                         data_.begin() + static_cast<std::ptrdiff_t>(hi), v,
+                         key_less) -
+        data_.begin());
+  }
+
+ private:
+  /// [lo, hi) window guaranteed to contain upper_bound(v).
+  std::pair<std::size_t, std::size_t> window_upper(const K& v) const {
+    if (samples_ == nullptr || samples_->keys.empty()) {
+      return {0, data_.size()};
+    }
+    const auto& keys = samples_->keys;
+    const auto c = static_cast<std::size_t>(
+        std::upper_bound(keys.begin(), keys.end(), v) - keys.begin());
+    const std::size_t lo = c > 0 ? samples_->positions[c - 1] + 1 : 0;
+    const std::size_t hi =
+        c < keys.size() ? samples_->positions[c] + 1 : data_.size();
+    return {std::min(lo, data_.size()), std::min(hi, data_.size())};
+  }
+
+  /// [lo, hi) window guaranteed to contain lower_bound(v).
+  std::pair<std::size_t, std::size_t> window_lower(const K& v) const {
+    if (samples_ == nullptr || samples_->keys.empty()) {
+      return {0, data_.size()};
+    }
+    const auto& keys = samples_->keys;
+    const auto c = static_cast<std::size_t>(
+        std::lower_bound(keys.begin(), keys.end(), v) - keys.begin());
+    const std::size_t lo = c > 0 ? samples_->positions[c - 1] + 1 : 0;
+    const std::size_t hi =
+        c < keys.size() ? samples_->positions[c] + 1 : data_.size();
+    return {std::min(lo, data_.size()), std::min(hi, data_.size())};
+  }
+
+  std::span<const T> data_;
+  const LocalSamples<K>* samples_;
+  KeyFn kf_;
+};
+
+}  // namespace detail
+
+/// Compute the send boundaries of this rank's sorted `data` for the
+/// all-to-all exchange. Collective when cfg.stable (allgathers per-run
+/// duplicate counts); pure local computation otherwise.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<std::size_t> sdss_partition(
+    sim::Comm& comm, std::span<const T> data,
+    const LocalSamples<KeyType<KeyFn, T>>& samples,
+    std::span<const KeyType<KeyFn, T>> global_pivots, const Config& cfg,
+    KeyFn kf = {}) {
+  using K = KeyType<KeyFn, T>;
+  const auto p = static_cast<std::size_t>(comm.size());
+  if (global_pivots.size() + 1 != p) {
+    throw std::invalid_argument("sdss_partition: need p-1 global pivots");
+  }
+  std::vector<std::size_t> bounds(p + 1, 0);
+  bounds[p] = data.size();
+  if (p == 1) return bounds;
+
+  detail::WindowedSearch<T, KeyFn> search(
+      data, cfg.local_pivot_partition ? &samples : nullptr, kf);
+
+  std::size_t i = 0;
+  while (i < global_pivots.size()) {
+    const auto info = sdss_replicated<K>(global_pivots, i);
+    const K& v = global_pivots[i];
+    const std::size_t rs = info.run_size;
+
+    if (!info.replicated || !cfg.skew_aware) {
+      // Traditional partitioning (paper Fig. 2 line 30): everything <= v
+      // goes below the boundary. With a duplicated pivot and skew_aware
+      // off, every boundary of the run collapses to the same position —
+      // the imbalance SDS-Sort is designed to avoid.
+      const std::size_t pd = search.upper(v);
+      for (std::size_t q = 0; q < rs; ++q) bounds[i + q + 1] = pd;
+      i += rs;
+      continue;
+    }
+
+    // Duplicated pivot v shared by ranks [i, i+rs).
+    const std::size_t lo = search.lower(v);
+    const std::size_t hi = search.upper(v);
+    const std::size_t cnt = hi - lo;
+    if (!cfg.stable) {
+      // Fast version: split this rank's v-run evenly across the rs ranks.
+      for (std::size_t q = 1; q <= rs; ++q) {
+        bounds[i + q] = lo + cnt * q / rs;
+      }
+    } else {
+      // Stable version: cut the global v-space (ordered by source rank)
+      // into rs groups of sa; my slice is [sb, sb+cnt).
+      const auto counts = comm.allgather<std::uint64_t>(cnt);
+      std::uint64_t total = 0;
+      std::uint64_t sb = 0;
+      for (std::size_t r = 0; r < counts.size(); ++r) {
+        if (static_cast<int>(r) < comm.rank()) sb += counts[r];
+        total += counts[r];
+      }
+      const std::uint64_t sa = total == 0 ? 1 : (total + rs - 1) / rs;
+      for (std::size_t q = 1; q <= rs; ++q) {
+        const std::uint64_t target = std::min<std::uint64_t>(q * sa, total);
+        const std::uint64_t taken =
+            target <= sb ? 0
+                         : std::min<std::uint64_t>(target - sb, cnt);
+        bounds[i + q] = lo + static_cast<std::size_t>(taken);
+      }
+    }
+    i += rs;
+  }
+  // Monotonicity is structural, but guard against key-comparison anomalies
+  // (e.g. NaN keys) corrupting the exchange.
+  for (std::size_t d = 0; d < p; ++d) {
+    if (bounds[d] > bounds[d + 1]) {
+      throw std::logic_error("sdss_partition: non-monotone boundaries");
+    }
+  }
+  return bounds;
+}
+
+/// Baseline partition used by Fig. 6b's "Sequential Scan" series: a single
+/// linear pass over the local data counting records per destination range.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<std::size_t> full_scan_partition(
+    std::span<const T> data, std::span<const KeyType<KeyFn, T>> global_pivots,
+    KeyFn kf = {}) {
+  const std::size_t p = global_pivots.size() + 1;
+  std::vector<std::size_t> bounds(p + 1, 0);
+  bounds[p] = data.size();
+  std::size_t d = 0;
+  for (std::size_t idx = 0; idx < data.size(); ++idx) {
+    const auto k = kf(data[idx]);
+    while (d < global_pivots.size() && global_pivots[d] < k) {
+      ++d;
+      bounds[d] = idx;
+    }
+  }
+  for (std::size_t q = d + 1; q < p; ++q) bounds[q] = data.size();
+  return bounds;
+}
+
+}  // namespace sdss

@@ -1,0 +1,206 @@
+// Global pivot selection (paper Section 2.4, Fig. 1 step 9: SdssSelectPivots).
+//
+// The p(p-1) local pivots are sorted globally and the p-1 global pivots are
+// taken at regular stride p. The paper selects with a distributed bitonic
+// sort so no single process must hold all p(p-1) pivots; we implement that
+// (block-wise hypercube bitonic, valid for power-of-two p) with a
+// gather-sort-select fallback for arbitrary p — the classic PSRS approach.
+// Both produce identical pivots (the selection is deterministic on the
+// sorted pivot pool), which the tests assert.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/comm.hpp"
+#include "sortcore/kway_merge.hpp"
+
+namespace sdss {
+
+namespace detail {
+
+inline bool is_power_of_two(int p) { return p > 0 && (p & (p - 1)) == 0; }
+
+/// One compare-exchange step of block bitonic sort: exchange whole blocks
+/// with `partner`, merge, keep the low or high half. Blocks stay sorted.
+template <typename T, typename KeyFn>
+void bitonic_merge_split(sim::Comm& comm, std::vector<T>& block, int partner,
+                         bool keep_low, int tag, KeyFn kf) {
+  std::vector<T> theirs(block.size());
+  comm.sendrecv<T>(block, theirs, partner, tag);
+  const std::size_t m = block.size();
+  std::vector<T> keep(m);
+  auto less = by_key(kf);
+  if (keep_low) {
+    // m smallest of the merged 2m.
+    std::size_t a = 0, b = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (b >= m || (a < m && !less(theirs[b], block[a]))) {
+        keep[i] = block[a++];
+      } else {
+        keep[i] = theirs[b++];
+      }
+    }
+  } else {
+    // m largest, produced back-to-front.
+    std::size_t a = m, b = m;
+    for (std::size_t i = m; i-- > 0;) {
+      if (b == 0 || (a > 0 && !less(block[a - 1], theirs[b - 1]))) {
+        keep[i] = block[--a];
+      } else {
+        keep[i] = theirs[--b];
+      }
+    }
+  }
+  block = std::move(keep);
+}
+
+/// Distributed bitonic sort of equal-size sorted blocks across a
+/// power-of-two communicator. Afterwards the concatenation of blocks in
+/// rank order is globally sorted.
+template <typename T, typename KeyFn = IdentityKey>
+void bitonic_sort_blocks(sim::Comm& comm, std::vector<T>& block,
+                         KeyFn kf = {}) {
+  const int p = comm.size();
+  if (!is_power_of_two(p)) {
+    throw std::invalid_argument("bitonic_sort_blocks: p must be a power of 2");
+  }
+  const int rank = comm.rank();
+  int tag = 1000;
+  for (int k = 2; k <= p; k <<= 1) {
+    for (int j = k >> 1; j > 0; j >>= 1) {
+      const int partner = rank ^ j;
+      const bool ascending = (rank & k) == 0;
+      const bool keep_low = ascending == (rank < partner);
+      bitonic_merge_split(comm, block, partner, keep_low, tag++, kf);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Weighted global pivot selection for unbalanced inputs. Regular stride-p
+/// selection implicitly assumes every rank holds ~N/p records: each sample
+/// stands for the same number of records. When shard sizes differ wildly
+/// (extreme: all data on one rank, every other rank contributing sentinel
+/// samples), the stride walks mostly over weightless sentinels and the
+/// chosen pivots collapse. Here each sample carries its source shard's
+/// record count as a weight, and pivot t is placed where the cumulative
+/// weight reaches (t+1)/p of the total — reducing to regular selection on
+/// balanced input. Collective; every rank returns the same sorted vector.
+template <typename K>
+std::vector<K> select_global_pivots_weighted(sim::Comm& comm,
+                                             std::span<const K> local_pivots,
+                                             std::uint64_t local_count) {
+  const int p = comm.size();
+  if (p <= 1) return {};
+  struct Weighted {
+    K key;
+    std::uint64_t weight;
+  };
+  std::vector<Weighted> mine;
+  mine.reserve(local_pivots.size());
+  for (const K& k : local_pivots) {
+    mine.push_back(Weighted{k, local_count});
+  }
+  auto pool = comm.allgatherv<Weighted>(mine);
+  std::sort(pool.begin(), pool.end(),
+            [](const Weighted& a, const Weighted& b) { return a.key < b.key; });
+  std::uint64_t total = 0;
+  for (const auto& w : pool) total += w.weight;
+
+  std::vector<K> pivots;
+  pivots.reserve(static_cast<std::size_t>(p - 1));
+  if (total == 0) {
+    pivots.assign(static_cast<std::size_t>(p - 1), KeyLimits<K>::max());
+    return pivots;
+  }
+  std::uint64_t acc = 0;
+  std::size_t idx = 0;
+  for (int t = 1; t < p; ++t) {
+    const std::uint64_t target =
+        total * static_cast<std::uint64_t>(t) / static_cast<std::uint64_t>(p);
+    while (idx + 1 < pool.size() && acc + pool[idx].weight < target) {
+      acc += pool[idx].weight;
+      ++idx;
+    }
+    pivots.push_back(pool[idx].key);
+  }
+  return pivots;
+}
+
+/// Select the p-1 global pivots from each rank's p-1 sorted local pivots.
+/// Every rank returns the same pivot vector, sorted non-decreasing.
+template <typename K>
+std::vector<K> select_global_pivots(sim::Comm& comm,
+                                    std::span<const K> local_pivots,
+                                    PivotSelection method =
+                                        PivotSelection::kAuto) {
+  const int p = comm.size();
+  if (p <= 1) return {};
+  const auto m = static_cast<std::size_t>(p - 1);
+  if (local_pivots.size() != m) {
+    throw std::invalid_argument(
+        "select_global_pivots: expected p-1 local pivots");
+  }
+
+  bool use_bitonic = false;
+  switch (method) {
+    case PivotSelection::kAuto:
+      use_bitonic = detail::is_power_of_two(p);
+      break;
+    case PivotSelection::kBitonic:
+      if (!detail::is_power_of_two(p)) {
+        throw std::invalid_argument(
+            "bitonic pivot selection requires a power-of-two process count");
+      }
+      use_bitonic = true;
+      break;
+    case PivotSelection::kGather:
+      use_bitonic = false;
+      break;
+    case PivotSelection::kHistogram:
+      throw std::invalid_argument(
+          "histogram pivot selection operates on the data itself; use "
+          "histogram_select_splitters (the sds_sort driver does this "
+          "automatically for Config::pivot_selection = kHistogram)");
+  }
+
+  std::vector<K> pivots(m);
+  if (use_bitonic) {
+    // Sort the p(p-1) pivots in place across ranks, then each rank extracts
+    // the selected positions falling into its block and allgathers them.
+    std::vector<K> block(local_pivots.begin(), local_pivots.end());
+    std::sort(block.begin(), block.end());
+    detail::bitonic_sort_blocks(comm, block);
+
+    const std::size_t my_begin = static_cast<std::size_t>(comm.rank()) * m;
+    std::vector<K> mine;
+    std::vector<std::size_t> mine_idx;
+    for (std::size_t t = 0; t < m; ++t) {
+      // Global pivot t sits at sorted position (t+1)*p - 1 (stride p).
+      const std::size_t pos = (t + 1) * static_cast<std::size_t>(p) - 1;
+      if (pos >= my_begin && pos < my_begin + m) {
+        mine.push_back(block[pos - my_begin]);
+        mine_idx.push_back(t);
+      }
+    }
+    const auto all = comm.allgatherv<K>(mine);
+    const auto all_idx = comm.allgatherv<std::size_t>(mine_idx);
+    for (std::size_t i = 0; i < all.size(); ++i) pivots[all_idx[i]] = all[i];
+  } else {
+    // Fallback: every rank gathers the full pivot pool and selects locally.
+    auto pool = comm.allgatherv<K>(local_pivots);
+    std::sort(pool.begin(), pool.end());
+    for (std::size_t t = 0; t < m; ++t) {
+      pivots[t] = pool[(t + 1) * static_cast<std::size_t>(p) - 1];
+    }
+  }
+  return pivots;
+}
+
+}  // namespace sdss

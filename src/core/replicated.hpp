@@ -1,0 +1,43 @@
+// SdssReplicated (paper Fig. 3): detect runs of duplicated global pivots.
+//
+// For a pivot index i, reports whether Pg[i] is duplicated among its
+// neighbours, the size rs of the duplicate run, the rank rr of Pg[i] within
+// the run, and the index of the last distinct pivot before the run (the
+// paper's ppv), if any.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace sdss {
+
+template <typename K>
+struct ReplicatedInfo {
+  bool replicated = false;   ///< fr: Pg[i] equals a neighbouring pivot
+  std::size_t run_begin = 0; ///< first pivot index of the run containing i
+  std::size_t run_size = 1;  ///< rs: how many pivots share the value
+  std::size_t rank_in_run = 0;  ///< rr: position of i within the run
+  std::optional<K> prev_value;  ///< ppv: last distinct pivot before the run
+};
+
+template <typename K>
+ReplicatedInfo<K> sdss_replicated(std::span<const K> pivots, std::size_t i) {
+  ReplicatedInfo<K> info;
+  const K& v = pivots[i];
+  auto equal = [](const K& a, const K& b) { return !(a < b) && !(b < a); };
+
+  std::size_t begin = i;
+  while (begin > 0 && equal(pivots[begin - 1], v)) --begin;
+  std::size_t end = i + 1;
+  while (end < pivots.size() && equal(pivots[end], v)) ++end;
+
+  info.run_begin = begin;
+  info.run_size = end - begin;
+  info.rank_in_run = i - begin;
+  info.replicated = info.run_size > 1;
+  if (begin > 0) info.prev_value = pivots[begin - 1];
+  return info;
+}
+
+}  // namespace sdss

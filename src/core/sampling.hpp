@@ -1,0 +1,57 @@
+// Regular sampling of local pivots (paper Section 2.4, Fig. 1 step 8).
+//
+// After the initial local sort, each rank picks p-1 keys at regular stride
+// ⌊n/p⌋. Because the data is sorted, each local pivot represents at most
+// 2N/p² records — the property the O(4N/p) workload bound rests on. The
+// sample *positions* are kept alongside the keys: they bracket the O(n/p)
+// search windows used by the local-pivot-accelerated partition.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "sortcore/key.hpp"
+
+namespace sdss {
+
+template <typename K>
+struct LocalSamples {
+  std::vector<K> keys;             ///< p-1 sampled keys, non-decreasing
+  std::vector<std::size_t> positions;  ///< index in the local array of each
+};
+
+/// Sample `count` local pivots from sorted `data`. When the rank holds fewer
+/// records than pivots, trailing samples clamp to the last element; an empty
+/// rank contributes the maximum key value so its pivots sort harmlessly to
+/// the top of the global pivot pool.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+LocalSamples<KeyType<KeyFn, T>> sample_local_pivots(std::span<const T> data,
+                                                    std::size_t count,
+                                                    KeyFn kf = {}) {
+  using K = KeyType<KeyFn, T>;
+  LocalSamples<K> s;
+  s.keys.reserve(count);
+  s.positions.reserve(count);
+  const std::size_t n = data.size();
+  if (n == 0) {
+    s.keys.assign(count, KeyLimits<K>::max());
+    s.positions.assign(count, 0);
+    return s;
+  }
+  // Positions are computed per index, (i+1)·n/(count+1), NOT by
+  // accumulating a floored stride: an accumulated ⌊n/p⌋ drifts by up to p
+  // records by the last sample, which systematically shifts every pivot low
+  // and overloads the top value range (an O(p/n) relative error that
+  // dominates at large p with small shards).
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t pos = (i + 1) * n / (count + 1);
+    if (pos >= n) pos = n - 1;
+    s.keys.push_back(kf(data[pos]));
+    s.positions.push_back(pos);
+  }
+  return s;
+}
+
+}  // namespace sdss

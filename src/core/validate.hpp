@@ -1,0 +1,75 @@
+// Distributed validation of a parallel sort's output:
+//  * global sortedness — every rank locally sorted, and each rank's minimum
+//    at or above the previous non-empty rank's maximum;
+//  * permutation — order-independent multiset checksum equal before/after;
+//  * stability (for origin-tagged records) — checked by the caller on
+//    gathered data or via the boundary condition on equal keys.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/seq_sort.hpp"
+#include "util/hash.hpp"
+
+namespace sdss {
+
+/// Collective: true on every rank iff the distributed data (rank order) is
+/// globally sorted by kf.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+bool is_globally_sorted(sim::Comm& comm, std::span<const T> data,
+                        KeyFn kf = {}) {
+  using K = KeyType<KeyFn, T>;
+  struct Extremes {
+    K min;
+    K max;
+    std::uint8_t has;
+  };
+  Extremes mine{};
+  mine.has = data.empty() ? 0 : 1;
+  if (mine.has != 0u) {
+    mine.min = kf(data.front());
+    mine.max = kf(data.back());
+  }
+  const bool local_ok = is_sorted_by_key<T, KeyFn>(data, kf);
+  const auto all = comm.allgather<Extremes>(mine);
+  bool ok = local_ok;
+  std::optional<K> prev_max;
+  for (const auto& e : all) {
+    if (e.has == 0u) continue;
+    if (prev_max.has_value() && e.min < *prev_max) ok = false;
+    prev_max = e.max;
+  }
+  // Everyone must agree (a rank with unsorted local data fails everywhere).
+  const int votes =
+      comm.allreduce<int>(ok ? 1 : 0, [](int a, int b) { return a + b; });
+  return votes == comm.size();
+}
+
+/// Collective: order-independent checksum of the distributed multiset.
+template <typename T>
+MultisetChecksum global_checksum(sim::Comm& comm, std::span<const T> data) {
+  const MultisetChecksum mine = multiset_checksum<T>(data);
+  struct Pair {
+    std::uint64_t sum;
+    std::uint64_t count;
+  };
+  const Pair p = comm.allreduce<Pair>(
+      Pair{mine.sum, mine.count}, [](const Pair& a, const Pair& b) {
+        return Pair{a.sum + b.sum, a.count + b.count};
+      });
+  return MultisetChecksum{p.sum, p.count};
+}
+
+/// Collective: concatenate every rank's data onto all ranks, in rank order
+/// (for small test workloads only).
+template <typename T>
+std::vector<T> gather_all(sim::Comm& comm, std::span<const T> data) {
+  return comm.allgatherv<T>(data);
+}
+
+}  // namespace sdss

@@ -1,0 +1,144 @@
+#include "par/thread_pool.hpp"
+
+#include <exception>
+
+namespace sdss::par {
+
+// A Batch is one parallel_for invocation: an atomic claim counter over the
+// iteration space plus completion tracking. Workers and the caller all pull
+// indices with fetch_add until the space is exhausted.
+struct ThreadPool::Batch {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr error;  // first exception, guarded by err_mu
+  std::mutex err_mu;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  std::size_t size() const { return end - begin; }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::shared_ptr<Batch> batch) {
+  if (workers_.empty()) return;  // caller will drain the batch inline
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(batch));
+  }
+  cv_.notify_all();
+}
+
+void ThreadPool::run_batch(Batch& batch) {
+  const std::size_t n = batch.size();
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    try {
+      (*batch.body)(batch.begin + i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(batch.err_mu);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    const std::size_t completed =
+        batch.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (completed == n) {
+      std::lock_guard<std::mutex> lk(batch.done_mu);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      batch = queue_.front();
+      // Leave the batch queued until its iteration space is exhausted so
+      // multiple workers can join it; pop once fully claimed.
+      if (batch->next.load(std::memory_order_relaxed) >= batch->size()) {
+        queue_.erase(queue_.begin());
+        continue;
+      }
+    }
+    run_batch(*batch);
+    {
+      // Remove the batch if it is still at the front and fully claimed.
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].get() == batch.get()) {
+          queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  if (end - begin == 1) {
+    body(begin);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->begin = begin;
+  batch->end = end;
+  batch->body = &body;
+  enqueue(batch);
+  run_batch(*batch);  // caller participates
+  {
+    std::unique_lock<std::mutex> lk(batch->done_mu);
+    batch->done_cv.wait(
+        lk, [&] { return batch->done.load(std::memory_order_acquire) ==
+                         batch->size(); });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::parallel_invoke(
+    const std::vector<std::function<void()>>& thunks) {
+  std::function<void(std::size_t)> body = [&](std::size_t i) { thunks[i](); };
+  parallel_for(0, thunks.size(), body);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(
+      std::thread::hardware_concurrency() > 1
+          ? static_cast<std::size_t>(std::thread::hardware_concurrency() - 1)
+          : 0);
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  ThreadPool::global().parallel_for(begin, end, body);
+}
+
+void parallel_invoke(const std::vector<std::function<void()>>& thunks) {
+  ThreadPool::global().parallel_invoke(thunks);
+}
+
+}  // namespace sdss::par

@@ -1,0 +1,69 @@
+// Shared-memory parallel substrate used by SdssLocalSort and the node-level
+// merge: a fixed-size worker pool with a work-sharing parallel_for.
+//
+// Design constraints that matter here:
+//  * Callers (simulated MPI ranks) may invoke parallel_for concurrently from
+//    many threads; the pool must serve them all without deadlock.
+//  * The calling thread always participates in executing its own loop, so a
+//    pool with zero workers (hardware_concurrency() == 1) degrades to plain
+//    sequential execution and parallel_for never blocks on an idle pool.
+//  * Tasks submitted through parallel_for must not block on communication;
+//    they are pure compute (sort/merge kernels).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdss::par {
+
+/// A fixed pool of worker threads executing queued std::function jobs.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. Zero is valid: all work runs inline in the
+  /// submitting thread.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run body(i) for i in [begin, end). The caller participates; returns when
+  /// every iteration has finished. Exceptions from body are rethrown in the
+  /// caller (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Run each thunk once, in parallel; caller participates.
+  void parallel_invoke(const std::vector<std::function<void()>>& thunks);
+
+  /// Process-wide default pool (hardware_concurrency()-1 workers).
+  static ThreadPool& global();
+
+ private:
+  struct Batch;
+
+  void enqueue(std::shared_ptr<Batch> batch);
+  void worker_loop();
+  static void run_batch(Batch& batch);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::shared_ptr<Batch>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience wrappers over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+void parallel_invoke(const std::vector<std::function<void()>>& thunks);
+
+}  // namespace sdss::par

@@ -1,0 +1,27 @@
+// Umbrella header for the SDS-Sort library.
+//
+// Quickstart:
+//
+//   #include "sdss.hpp"
+//
+//   sdss::sim::Cluster cluster({.num_ranks = 16, .cores_per_node = 4,
+//                               .network = sdss::sim::NetworkModel::aries_like()});
+//   cluster.run([](sdss::sim::Comm& world) {
+//     std::vector<double> shard = load_my_shard(world.rank());
+//     sdss::Config cfg;
+//     cfg.stable = true;                 // preserve duplicate order
+//     auto sorted = sdss::sds_sort(world, std::move(shard), cfg);
+//     // `sorted` is this rank's slice of the globally ordered data.
+//   });
+#pragma once
+
+#include "api/dataset.hpp"        // IWYU pragma: export
+#include "core/config.hpp"        // IWYU pragma: export
+#include "core/driver.hpp"        // IWYU pragma: export
+#include "core/metrics.hpp"       // IWYU pragma: export
+#include "core/validate.hpp"      // IWYU pragma: export
+#include "sim/cluster.hpp"        // IWYU pragma: export
+#include "sim/comm.hpp"           // IWYU pragma: export
+#include "sim/network.hpp"        // IWYU pragma: export
+#include "sortcore/local_sort.hpp"  // IWYU pragma: export
+#include "sortcore/runs.hpp"        // IWYU pragma: export

@@ -1,0 +1,159 @@
+#include "sim/cluster.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sim/state.hpp"
+#include "util/error.hpp"
+
+namespace sdss::sim {
+
+using detail::ClusterState;
+using detail::ContextInfo;
+
+PhaseLedger RunResult::max_ledger() const {
+  PhaseLedger out;
+  for (const PhaseLedger& l : ledgers) out.max_with(l);
+  return out;
+}
+
+CommStats RunResult::total_comm() const {
+  CommStats out;
+  for (const CommStats& s : comm_stats) out += s;
+  return out;
+}
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
+  if (cfg_.num_ranks < 1) throw CommError("cluster needs at least one rank");
+  if (cfg_.cores_per_node < 1) {
+    throw CommError("cluster needs at least one core per node");
+  }
+}
+
+namespace {
+
+/// Launch one thread per rank, run fn, join; returns the first non-abort
+/// exception (if any), the rank that raised it, and the per-rank ledgers.
+struct LaunchOutcome {
+  std::exception_ptr primary;
+  int failed_rank = -1;
+  std::vector<PhaseLedger> ledgers;
+  std::vector<CommStats> comm_stats;
+  std::vector<TraceEvent> trace;
+};
+
+LaunchOutcome launch(const ClusterConfig& cfg,
+                     const std::function<void(Comm&)>& fn) {
+  // Fresh state per run so a Cluster object is reusable and an aborted run
+  // leaves no residue.
+  ClusterState st;
+  st.num_ranks = cfg.num_ranks;
+  st.cores_per_node = cfg.cores_per_node;
+  st.network = cfg.network;
+  st.mailboxes.resize(static_cast<std::size_t>(cfg.num_ranks));
+  st.ledgers.resize(static_cast<std::size_t>(cfg.num_ranks));
+  st.comm_stats.resize(static_cast<std::size_t>(cfg.num_ranks));
+  st.trace_enabled = cfg.enable_trace;
+  st.trace_epoch = detail::Clock::now();
+  st.rank_cvs.reserve(static_cast<std::size_t>(cfg.num_ranks));
+  for (int r = 0; r < cfg.num_ranks; ++r) {
+    st.rank_cvs.push_back(std::make_unique<std::condition_variable>());
+  }
+
+  ContextInfo world;
+  world.world_ranks.resize(static_cast<std::size_t>(cfg.num_ranks));
+  for (int r = 0; r < cfg.num_ranks; ++r) {
+    world.world_ranks[static_cast<std::size_t>(r)] = r;
+  }
+  world.slot.resize(cfg.num_ranks);
+  world.intra_node = cfg.num_ranks <= cfg.cores_per_node;
+  st.contexts.emplace(0, std::move(world));
+
+  std::mutex err_mu;
+  LaunchOutcome out;
+
+  auto abort_cluster = [&st](const std::string& cause) {
+    std::lock_guard<std::mutex> lk(st.mu);
+    if (!st.aborted) {
+      st.aborted = true;
+      st.abort_cause = cause;
+    }
+    st.cv.notify_all();
+    for (auto& cv : st.rank_cvs) cv->notify_all();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.num_ranks));
+  for (int r = 0; r < cfg.num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm world_comm = detail::make_comm(&st, /*ctx=*/0, /*rank=*/r,
+                                          cfg.num_ranks, /*world_rank=*/r);
+      try {
+        fn(world_comm);
+      } catch (const SimAbortError&) {
+        // Secondary casualty of another rank's failure; ignore.
+      } catch (const std::exception& e) {
+        {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!out.primary) {
+            out.primary = std::current_exception();
+            out.failed_rank = r;
+          }
+        }
+        abort_cluster(e.what());
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!out.primary) {
+            out.primary = std::current_exception();
+            out.failed_rank = r;
+          }
+        }
+        abort_cluster("unknown exception");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.ledgers = std::move(st.ledgers);
+  out.comm_stats = std::move(st.comm_stats);
+  out.trace = std::move(st.trace);
+  return out;
+}
+
+}  // namespace
+
+RunResult Cluster::run_collect(const std::function<void(Comm&)>& fn) {
+  LaunchOutcome lo = launch(cfg_, fn);
+  RunResult res;
+  res.ledgers = std::move(lo.ledgers);
+  res.comm_stats = std::move(lo.comm_stats);
+  res.trace = std::move(lo.trace);
+  if (lo.primary) {
+    res.ok = false;
+    res.failed_rank = lo.failed_rank;
+    try {
+      std::rethrow_exception(lo.primary);
+    } catch (const SimOomError& e) {
+      res.oom = true;
+      res.error = e.what();
+    } catch (const std::exception& e) {
+      res.error = e.what();
+    } catch (...) {
+      res.error = "unknown exception";
+    }
+  }
+  return res;
+}
+
+void Cluster::run(const std::function<void(Comm&)>& fn) {
+  LaunchOutcome lo = launch(cfg_, fn);
+  if (lo.primary) std::rethrow_exception(lo.primary);
+}
+
+void Cluster::run_once(const ClusterConfig& cfg,
+                       const std::function<void(Comm&)>& fn) {
+  Cluster(cfg).run(fn);
+}
+
+}  // namespace sdss::sim

@@ -1,0 +1,76 @@
+// Cluster: the launcher of a simulated SPMD run.
+//
+// A Cluster spawns one thread per simulated MPI rank, hands each a world
+// `Comm`, and joins them. Ranks are grouped into simulated nodes of
+// `cores_per_node` consecutive ranks; the `NetworkModel` prices inter- and
+// intra-node traffic. If any rank throws, the cluster aborts: all peers
+// blocked in communication unwind with `SimAbortError` and the primary
+// exception is surfaced (run) or captured (run_collect).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/comm.hpp"
+#include "sim/comm_stats.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+#include "util/phase_ledger.hpp"
+
+namespace sdss::sim {
+
+struct ClusterConfig {
+  int num_ranks = 1;
+  int cores_per_node = 1;
+  NetworkModel network{};
+  /// Record every send/collective into RunResult::trace (see sim/trace.hpp).
+  bool enable_trace = false;
+};
+
+/// Outcome of a run_collect(): per-rank phase ledgers plus error state, so a
+/// bench harness can report simulated failures (e.g. HykSort's OOM) without
+/// exceptions escaping.
+struct RunResult {
+  bool ok = true;
+  std::string error;       ///< what() of the primary exception, if any
+  int failed_rank = -1;    ///< rank that raised it
+  bool oom = false;        ///< primary exception was a SimOomError
+  std::vector<PhaseLedger> ledgers;  ///< indexed by world rank
+  std::vector<CommStats> comm_stats;  ///< indexed by world rank
+  std::vector<TraceEvent> trace;      ///< populated when enable_trace is set
+
+  /// Critical-path breakdown: element-wise max over ranks.
+  PhaseLedger max_ledger() const;
+
+  /// Whole-cluster communication totals.
+  CommStats total_comm() const;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+
+  const ClusterConfig& config() const { return cfg_; }
+  int num_ranks() const { return cfg_.num_ranks; }
+  int num_nodes() const {
+    return (cfg_.num_ranks + cfg_.cores_per_node - 1) / cfg_.cores_per_node;
+  }
+
+  /// Run `fn(world)` on every rank. Rethrows the first real exception any
+  /// rank raised (ranks unwound by the abort are not reported).
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Like run(), but captures failure into the result instead of throwing.
+  RunResult run_collect(const std::function<void(Comm&)>& fn);
+
+  /// One-shot convenience: configure, run, discard.
+  static void run_once(const ClusterConfig& cfg,
+                       const std::function<void(Comm&)>& fn);
+
+ private:
+  ClusterConfig cfg_;
+};
+
+}  // namespace sdss::sim

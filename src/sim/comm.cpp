@@ -1,0 +1,748 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "sim/state.hpp"
+
+namespace sdss::sim {
+
+namespace detail {
+Comm make_comm(ClusterState* st, int ctx, int rank, int size, int world_rank) {
+  return Comm(st, ctx, rank, size, world_rank);
+}
+}  // namespace detail
+
+using detail::Clock;
+using detail::CollSlot;
+using detail::ClusterState;
+using detail::ContextInfo;
+using detail::Mailbox;
+using detail::Message;
+
+namespace {
+
+void check_abort(const ClusterState& st) {
+  if (st.aborted) throw SimAbortError(st.abort_cause);
+}
+
+/// Result of scanning a mailbox for a match.
+struct MatchScan {
+  bool ready = false;                     // a deliverable match exists
+  std::deque<Message>::iterator it{};     // ... at this position
+  bool future = false;                    // a match exists but is in flight
+  Clock::time_point deadline{};           // ... deliverable at this time
+};
+
+/// Find the first matching message. Per-source FIFO is preserved: if the
+/// first match from some source is still in flight, later messages from that
+/// source are not allowed to overtake it.
+MatchScan scan_mailbox(Mailbox& mb, int ctx, int src, int tag,
+                       Clock::time_point now) {
+  MatchScan r;
+  // Sources whose earliest match is still in flight; at most a handful of
+  // distinct sources have traffic pending in practice, linear scan is fine.
+  std::vector<int> blocked;
+  for (auto it = mb.messages.begin(); it != mb.messages.end(); ++it) {
+    if (it->ctx != ctx) continue;
+    if (src != Comm::kAnySource && it->src != src) continue;
+    if (tag != Comm::kAnyTag && it->tag != tag) continue;
+    if (std::find(blocked.begin(), blocked.end(), it->src) != blocked.end()) {
+      continue;
+    }
+    if (it->deliver_at <= now) {
+      r.ready = true;
+      r.it = it;
+      return r;
+    }
+    if (!r.future || it->deliver_at < r.deadline) {
+      r.future = true;
+      r.deadline = it->deliver_at;
+    }
+    if (src != Comm::kAnySource) return r;  // specific source: stop here
+    blocked.push_back(it->src);
+  }
+  return r;
+}
+
+std::size_t ceil_log2(std::size_t p) {
+  std::size_t bits = 0;
+  std::size_t v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Record a collective's contribution to this rank's counters and trace,
+/// then sleep for its modeled network cost (outside any lock).
+void charge(ClusterState& st, int world_rank, bool intra_node,
+            std::size_t messages, std::size_t bytes_out, std::size_t bytes_in,
+            const char* op) {
+  CommStats& cs = st.comm_stats[static_cast<std::size_t>(world_rank)];
+  ++cs.collectives;
+  cs.collective_bytes_out += bytes_out;
+  double modeled = 0.0;
+  if (st.network.enabled() &&
+      (messages != 0 || bytes_out != 0 || bytes_in != 0)) {
+    modeled =
+        st.network.exchange_time(messages, bytes_out, bytes_in, intra_node);
+  }
+  if (st.trace_enabled) {
+    std::lock_guard<std::mutex> lk(st.mu);
+    const double now = st.trace_now();
+    st.trace.push_back(TraceEvent{TraceEvent::Kind::kCollective, world_rank,
+                                  -1, op, bytes_out, now, now + modeled});
+  }
+  if (modeled > 0.0) std::this_thread::sleep_for(st.network.to_duration(modeled));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+namespace detail {
+struct RequestImpl {
+  ClusterState* st = nullptr;
+  int ctx = 0;
+  int world_rank = 0;  // owner's world rank (mailbox index)
+  bool is_recv = false;
+  void* buf = nullptr;
+  std::size_t capacity = 0;
+  int src = Comm::kAnySource;
+  int tag = Comm::kAnyTag;
+
+  bool completed = false;
+  std::size_t received = 0;
+  int actual_src = -1;
+
+  /// Try to complete a receive. Caller holds st->mu. Returns the deadline of
+  /// an in-flight match via `out` when not completable yet.
+  bool try_complete(MatchScan* out) {
+    if (completed) return true;
+    Mailbox& mb = st->mailboxes[static_cast<std::size_t>(world_rank)];
+    MatchScan m = scan_mailbox(mb, ctx, src, tag, Clock::now());
+    if (m.ready) {
+      const Message& msg = *m.it;
+      if (msg.payload.size() > capacity) {
+        throw CommError("irecv: message larger than receive buffer");
+      }
+      std::memcpy(buf, msg.payload.data(), msg.payload.size());
+      received = msg.payload.size();
+      actual_src = msg.src;
+      mb.messages.erase(m.it);
+      completed = true;
+      return true;
+    }
+    if (out != nullptr) *out = m;
+    return false;
+  }
+};
+}  // namespace detail
+
+bool Request::test() {
+  if (!impl_) throw CommError("test() on an empty request");
+  if (impl_->completed) return true;
+  std::lock_guard<std::mutex> lk(impl_->st->mu);
+  check_abort(*impl_->st);
+  return impl_->try_complete(nullptr);
+}
+
+void Request::wait() {
+  if (!impl_) throw CommError("wait() on an empty request");
+  if (impl_->completed) return;
+  std::unique_lock<std::mutex> lk(impl_->st->mu);
+  auto& cv = impl_->st->rank_cv(impl_->world_rank);
+  for (;;) {
+    check_abort(*impl_->st);
+    MatchScan m;
+    if (impl_->try_complete(&m)) return;
+    if (m.future) {
+      cv.wait_until(lk, m.deadline);
+    } else {
+      cv.wait(lk);
+    }
+  }
+}
+
+std::size_t Request::bytes() const {
+  if (!impl_) throw CommError("bytes() on an empty request");
+  return impl_->received;
+}
+
+int Request::source() const {
+  if (!impl_) throw CommError("source() on an empty request");
+  return impl_->actual_src;
+}
+
+int Request::wait_any(std::span<Request> reqs, std::span<const char> skip) {
+  ClusterState* st = nullptr;
+  for (auto& r : reqs) {
+    if (r.impl_) {
+      st = r.impl_->st;
+      break;
+    }
+  }
+  if (st == nullptr) return -1;
+  int owner = -1;
+  for (auto& r : reqs) {
+    if (r.impl_) {
+      owner = r.impl_->world_rank;
+      break;
+    }
+  }
+  std::unique_lock<std::mutex> lk(st->mu);
+  auto& owner_cv = st->rank_cv(owner);
+  for (;;) {
+    check_abort(*st);
+    bool any_pending = false;
+    bool have_deadline = false;
+    Clock::time_point deadline{};
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      if (i < skip.size() && skip[i]) continue;
+      auto& impl = reqs[i].impl_;
+      if (!impl) continue;
+      if (impl->completed) return static_cast<int>(i);
+      any_pending = true;
+      MatchScan m;
+      if (impl->try_complete(&m)) return static_cast<int>(i);
+      if (m.future && (!have_deadline || m.deadline < deadline)) {
+        have_deadline = true;
+        deadline = m.deadline;
+      }
+    }
+    if (!any_pending) return -1;
+    if (have_deadline) {
+      owner_cv.wait_until(lk, deadline);
+    } else {
+      owner_cv.wait(lk);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+int Comm::world_rank_of(int comm_rank) const {
+  // Caller must hold st_->mu.
+  const ContextInfo& info = st_->contexts.at(ctx_);
+  return info.world_ranks[static_cast<std::size_t>(comm_rank)];
+}
+
+void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
+  require_valid();
+  if (dest < 0 || dest >= size_) throw CommError("send: destination out of range");
+  Message msg;
+  msg.ctx = ctx_;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
+
+  std::lock_guard<std::mutex> lk(st_->mu);
+  check_abort(*st_);
+  const int dest_world = world_rank_of(dest);
+  const bool intra = st_->node_of(dest_world) == st_->node_of(world_rank_);
+  msg.deliver_at = Clock::now();
+  if (st_->network.enabled()) {
+    msg.deliver_at += st_->network.to_duration(
+        st_->network.message_time(bytes, intra));
+  }
+  st_->mailboxes[static_cast<std::size_t>(dest_world)].messages.push_back(
+      std::move(msg));
+  CommStats& cs = st_->comm_stats[static_cast<std::size_t>(world_rank_)];
+  ++cs.p2p_messages;
+  cs.p2p_bytes += bytes;
+  if (st_->trace_enabled) {
+    const double now = st_->trace_now();
+    st_->trace.push_back(TraceEvent{TraceEvent::Kind::kSend, world_rank_,
+                                    dest_world, "send", bytes, now, now});
+  }
+  st_->rank_cv(dest_world).notify_all();
+}
+
+std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
+                             int* out_src) {
+  require_valid();
+  std::unique_lock<std::mutex> lk(st_->mu);
+  Mailbox& mb = st_->mailboxes[static_cast<std::size_t>(world_rank_)];
+  auto& cv = st_->rank_cv(world_rank_);
+  for (;;) {
+    check_abort(*st_);
+    MatchScan m = scan_mailbox(mb, ctx_, src, tag, Clock::now());
+    if (m.ready) {
+      const Message& msg = *m.it;
+      if (msg.payload.size() > capacity) {
+        throw CommError("recv: message larger than receive buffer");
+      }
+      const std::size_t n = msg.payload.size();
+      if (n > 0) std::memcpy(buf, msg.payload.data(), n);
+      if (out_src != nullptr) *out_src = msg.src;
+      mb.messages.erase(m.it);
+      return n;
+    }
+    if (m.future) {
+      cv.wait_until(lk, m.deadline);
+    } else {
+      cv.wait(lk);
+    }
+  }
+}
+
+std::size_t Comm::probe_bytes(int src, int tag, int* out_src) {
+  require_valid();
+  std::unique_lock<std::mutex> lk(st_->mu);
+  Mailbox& mb = st_->mailboxes[static_cast<std::size_t>(world_rank_)];
+  auto& cv = st_->rank_cv(world_rank_);
+  for (;;) {
+    check_abort(*st_);
+    MatchScan m = scan_mailbox(mb, ctx_, src, tag, Clock::now());
+    if (m.ready) {
+      if (out_src != nullptr) *out_src = m.it->src;
+      return m.it->payload.size();
+    }
+    if (m.future) {
+      cv.wait_until(lk, m.deadline);
+    } else {
+      cv.wait(lk);
+    }
+  }
+}
+
+Request Comm::isend_bytes(const void* data, std::size_t bytes, int dest,
+                          int tag) {
+  // Eager buffered send: the payload is copied into the destination mailbox
+  // immediately, so the request completes at once. The network model still
+  // delays *matching* on the receiver side via deliver_at.
+  send_bytes(data, bytes, dest, tag);
+  Request r;
+  r.impl_ = std::make_shared<detail::RequestImpl>();
+  r.impl_->st = st_;
+  r.impl_->completed = true;
+  return r;
+}
+
+Request Comm::irecv_bytes(void* buf, std::size_t capacity, int src, int tag) {
+  require_valid();
+  Request r;
+  r.impl_ = std::make_shared<detail::RequestImpl>();
+  auto& impl = *r.impl_;
+  impl.st = st_;
+  impl.ctx = ctx_;
+  impl.world_rank = world_rank_;
+  impl.is_recv = true;
+  impl.buf = buf;
+  impl.capacity = capacity;
+  impl.src = src;
+  impl.tag = tag;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Collective machinery
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Runs the two-phase collective protocol. `deposit` publishes this rank's
+/// arguments into the slot (called under the lock); `copy` moves data (called
+/// WITHOUT the lock; peer deposits are stable because every rank blocks until
+/// all ranks departed).
+template <typename DepositFn, typename CopyFn>
+void run_collective(ClusterState* st, int ctx, int size, DepositFn&& deposit,
+                    CopyFn&& copy) {
+  std::unique_lock<std::mutex> lk(st->mu);
+  ContextInfo& info = st->contexts.at(ctx);
+  CollSlot& slot = info.slot;
+
+  // Wait for the slot to accept a new collective (the previous one must have
+  // fully drained).
+  while (slot.phase != CollSlot::PhaseState::kArriving) {
+    check_abort(*st);
+    st->cv.wait(lk);
+  }
+  check_abort(*st);
+
+  deposit(slot);
+  const std::uint64_t my_gen = slot.generation;
+  if (++slot.arrived == size) {
+    slot.phase = CollSlot::PhaseState::kCopying;
+    st->cv.notify_all();
+  } else {
+    while (!(slot.phase == CollSlot::PhaseState::kCopying &&
+             slot.generation == my_gen)) {
+      check_abort(*st);
+      st->cv.wait(lk);
+    }
+  }
+
+  // The copy runs without the lock; peer buffers stay valid because every
+  // rank blocks below until all ranks departed. If OUR copy throws (e.g. a
+  // count-validation error), the departure bookkeeping must still happen
+  // before unwinding — otherwise peers still copying could read this
+  // rank's send buffer after the caller destroys it.
+  lk.unlock();
+  std::exception_ptr copy_error;
+  try {
+    copy(static_cast<const CollSlot&>(slot),
+         static_cast<const ContextInfo&>(info));
+  } catch (...) {
+    copy_error = std::current_exception();
+  }
+  lk.lock();
+
+  if (++slot.departed == size) {
+    slot.arrived = 0;
+    slot.departed = 0;
+    slot.phase = CollSlot::PhaseState::kArriving;
+    ++slot.generation;
+    st->cv.notify_all();
+  } else {
+    while (slot.generation == my_gen) {
+      if (st->aborted) break;  // peers are unwinding; don't wait on them
+      st->cv.wait(lk);
+    }
+  }
+  if (copy_error) std::rethrow_exception(copy_error);
+  check_abort(*st);
+}
+
+}  // namespace
+
+void Comm::barrier() {
+  require_valid();
+  bool intra = false;
+  run_collective(
+      st_, ctx_, size_, [](CollSlot&) {},
+      [&](const CollSlot&, const ContextInfo& info) {
+        intra = info.intra_node;
+      });
+  charge(*st_, world_rank_, intra,
+         ceil_log2(static_cast<std::size_t>(size_)), 0, 0, "barrier");
+}
+
+void Comm::bcast_bytes(void* buf, std::size_t bytes, int root) {
+  require_valid();
+  if (root < 0 || root >= size_) throw CommError("bcast: root out of range");
+  const int me = rank_;
+  bool intra = false;
+  run_collective(
+      st_, ctx_, size_,
+      [&](CollSlot& slot) {
+        slot.send_ptr[static_cast<std::size_t>(me)] = buf;
+        slot.send_bytes[static_cast<std::size_t>(me)] = bytes;
+      },
+      [&](const CollSlot& slot, const ContextInfo& info) {
+        intra = info.intra_node;
+        if (me != root && bytes > 0) {
+          std::memcpy(buf, slot.send_ptr[static_cast<std::size_t>(root)],
+                      bytes);
+        }
+      });
+  if (me == root) {
+    charge(*st_, world_rank_, intra, ceil_log2(static_cast<std::size_t>(size_)),
+           bytes, 0, "bcast");
+  } else {
+    charge(*st_, world_rank_, intra, 1, 0, bytes, "bcast");
+  }
+}
+
+void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
+                        int root) {
+  require_valid();
+  if (root < 0 || root >= size_) throw CommError("gather: root out of range");
+  const int me = rank_;
+  bool intra = false;
+  run_collective(
+      st_, ctx_, size_,
+      [&](CollSlot& slot) {
+        slot.send_ptr[static_cast<std::size_t>(me)] = send;
+        slot.send_bytes[static_cast<std::size_t>(me)] = bytes;
+      },
+      [&](const CollSlot& slot, const ContextInfo& info) {
+        intra = info.intra_node;
+        if (me == root && bytes > 0) {
+          auto* out = static_cast<std::byte*>(recv);
+          for (int s = 0; s < size_; ++s) {
+            std::memcpy(out + static_cast<std::size_t>(s) * bytes,
+                        slot.send_ptr[static_cast<std::size_t>(s)], bytes);
+          }
+        }
+      });
+  if (me == root) {
+    charge(*st_, world_rank_, intra, static_cast<std::size_t>(size_ - 1), 0,
+           bytes * static_cast<std::size_t>(size_ - 1), "gather");
+  } else {
+    charge(*st_, world_rank_, intra, 1, bytes, 0, "gather");
+  }
+}
+
+void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
+  require_valid();
+  const int me = rank_;
+  bool intra = false;
+  run_collective(
+      st_, ctx_, size_,
+      [&](CollSlot& slot) {
+        slot.send_ptr[static_cast<std::size_t>(me)] = send;
+        slot.send_bytes[static_cast<std::size_t>(me)] = bytes;
+      },
+      [&](const CollSlot& slot, const ContextInfo& info) {
+        intra = info.intra_node;
+        if (bytes == 0) return;
+        auto* out = static_cast<std::byte*>(recv);
+        for (int s = 0; s < size_; ++s) {
+          std::memcpy(out + static_cast<std::size_t>(s) * bytes,
+                      slot.send_ptr[static_cast<std::size_t>(s)], bytes);
+        }
+      });
+  const auto others = static_cast<std::size_t>(size_ - 1);
+  charge(*st_, world_rank_, intra, others, bytes * others, bytes * others, "allgather");
+}
+
+void Comm::allgatherv_bytes(const void* send, std::size_t send_bytes,
+                            void* recv, const std::size_t* recv_bytes,
+                            const std::size_t* recv_displs) {
+  require_valid();
+  const int me = rank_;
+  bool intra = false;
+  std::size_t total_in = 0;
+  run_collective(
+      st_, ctx_, size_,
+      [&](CollSlot& slot) {
+        slot.send_ptr[static_cast<std::size_t>(me)] = send;
+        slot.send_bytes[static_cast<std::size_t>(me)] = send_bytes;
+      },
+      [&](const CollSlot& slot, const ContextInfo& info) {
+        intra = info.intra_node;
+        auto* out = static_cast<std::byte*>(recv);
+        for (int s = 0; s < size_; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          if (recv_bytes[si] != slot.send_bytes[si]) {
+            throw CommError("allgatherv: receive size disagrees with sender");
+          }
+          if (recv_bytes[si] > 0) {
+            std::memcpy(out + recv_displs[si], slot.send_ptr[si],
+                        recv_bytes[si]);
+          }
+          if (s != me) total_in += recv_bytes[si];
+        }
+      });
+  const auto others = static_cast<std::size_t>(size_ - 1);
+  charge(*st_, world_rank_, intra, others, send_bytes * others, total_in, "allgatherv");
+}
+
+void Comm::scatter_bytes(const void* send, std::size_t bytes, void* recv,
+                         int root) {
+  require_valid();
+  if (root < 0 || root >= size_) throw CommError("scatter: root out of range");
+  const int me = rank_;
+  bool intra = false;
+  run_collective(
+      st_, ctx_, size_,
+      [&](CollSlot& slot) {
+        slot.send_ptr[static_cast<std::size_t>(me)] = send;
+        slot.send_bytes[static_cast<std::size_t>(me)] = bytes;
+      },
+      [&](const CollSlot& slot, const ContextInfo& info) {
+        intra = info.intra_node;
+        if (bytes == 0) return;
+        const auto* in = static_cast<const std::byte*>(
+            slot.send_ptr[static_cast<std::size_t>(root)]);
+        std::memcpy(recv, in + static_cast<std::size_t>(me) * bytes, bytes);
+      });
+  if (me == root) {
+    charge(*st_, world_rank_, intra, static_cast<std::size_t>(size_ - 1),
+           bytes * static_cast<std::size_t>(size_ - 1), 0, "scatter");
+  } else {
+    charge(*st_, world_rank_, intra, 1, 0, bytes, "scatter");
+  }
+}
+
+void Comm::alltoall_bytes(const void* send, std::size_t per_peer, void* recv) {
+  require_valid();
+  const int me = rank_;
+  bool intra = false;
+  run_collective(
+      st_, ctx_, size_,
+      [&](CollSlot& slot) {
+        slot.send_ptr[static_cast<std::size_t>(me)] = send;
+        slot.send_bytes[static_cast<std::size_t>(me)] = per_peer;
+      },
+      [&](const CollSlot& slot, const ContextInfo& info) {
+        intra = info.intra_node;
+        if (per_peer == 0) return;
+        auto* out = static_cast<std::byte*>(recv);
+        for (int s = 0; s < size_; ++s) {
+          const auto* in =
+              static_cast<const std::byte*>(slot.send_ptr[static_cast<std::size_t>(s)]);
+          std::memcpy(out + static_cast<std::size_t>(s) * per_peer,
+                      in + static_cast<std::size_t>(me) * per_peer, per_peer);
+        }
+      });
+  const auto others = static_cast<std::size_t>(size_ - 1);
+  charge(*st_, world_rank_, intra, others, per_peer * others, per_peer * others, "alltoall");
+}
+
+void Comm::alltoallv_bytes(const void* send, const std::size_t* scounts,
+                           const std::size_t* sdispls, void* recv,
+                           const std::size_t* rcounts,
+                           const std::size_t* rdispls) {
+  require_valid();
+  const int me = rank_;
+  bool intra = false;
+  std::size_t bytes_out = 0;
+  std::size_t bytes_in = 0;
+  std::size_t peers = 0;
+  for (int s = 0; s < size_; ++s) {
+    if (s == me) continue;
+    const auto si = static_cast<std::size_t>(s);
+    bytes_out += scounts[si];
+    if (scounts[si] > 0 || rcounts[si] > 0) ++peers;
+  }
+  run_collective(
+      st_, ctx_, size_,
+      [&](CollSlot& slot) {
+        const auto mi = static_cast<std::size_t>(me);
+        slot.send_ptr[mi] = send;
+        slot.send_counts[mi] = scounts;
+        slot.send_displs[mi] = sdispls;
+      },
+      [&](const CollSlot& slot, const ContextInfo& info) {
+        intra = info.intra_node;
+        auto* out = static_cast<std::byte*>(recv);
+        for (int s = 0; s < size_; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          const std::size_t len = slot.send_counts[si][me];
+          if (len != rcounts[si]) {
+            throw CommError(
+                "alltoallv: send count from peer disagrees with expected "
+                "receive count");
+          }
+          if (len == 0) continue;
+          const auto* in = static_cast<const std::byte*>(slot.send_ptr[si]);
+          std::memcpy(out + rdispls[si], in + slot.send_displs[si][me], len);
+          if (s != me) bytes_in += len;
+        }
+      });
+  charge(*st_, world_rank_, intra, peers, bytes_out, bytes_in, "alltoallv");
+}
+
+// ---------------------------------------------------------------------------
+// Communicator management
+// ---------------------------------------------------------------------------
+
+int Comm::node_id() const {
+  require_valid();
+  return st_->node_of(world_rank_);
+}
+
+int Comm::cores_per_node() const {
+  require_valid();
+  return st_->cores_per_node;
+}
+
+PhaseLedger& Comm::ledger() const {
+  require_valid();
+  return st_->ledgers[static_cast<std::size_t>(world_rank_)];
+}
+
+const CommStats& Comm::stats() const {
+  require_valid();
+  return st_->comm_stats[static_cast<std::size_t>(world_rank_)];
+}
+
+Comm Comm::split(int color, int key) const {
+  require_valid();
+  struct Triple {
+    int color;
+    int key;
+    int parent_rank;
+  };
+  // const_cast-free: allgather is non-const because collectives mutate the
+  // slot; split is logically const on the communicator itself.
+  Comm& self = *const_cast<Comm*>(this);
+  const Triple mine{color, key, rank_};
+  const auto all = self.allgather(mine);
+
+  // Distinct participating colors, sorted: group g is the g-th color.
+  std::vector<int> colors;
+  for (const Triple& t : all) {
+    if (t.color != kUndefined) colors.push_back(t.color);
+  }
+  std::sort(colors.begin(), colors.end());
+  colors.erase(std::unique(colors.begin(), colors.end()), colors.end());
+  const int ngroups = static_cast<int>(colors.size());
+
+  // Parent rank 0 reserves a contiguous block of context ids.
+  int base = 0;
+  if (rank_ == 0) {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    base = st_->next_ctx;
+    st_->next_ctx += ngroups;
+  }
+  self.bcast_value(base, 0);
+
+  if (color == kUndefined) return Comm();
+
+  // Members of my group, ordered by (key, parent rank).
+  std::vector<Triple> members;
+  for (const Triple& t : all) {
+    if (t.color == color) members.push_back(t);
+  }
+  std::stable_sort(members.begin(), members.end(),
+                   [](const Triple& a, const Triple& b) {
+                     return a.key != b.key ? a.key < b.key
+                                           : a.parent_rank < b.parent_rank;
+                   });
+  int new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i].parent_rank == rank_) {
+      new_rank = static_cast<int>(i);
+      break;
+    }
+  }
+  const auto group_it = std::find(colors.begin(), colors.end(), color);
+  const int ctx = base + static_cast<int>(group_it - colors.begin());
+
+  // Register the new context (idempotent: every member computes the same
+  // info; the first to take the lock inserts it).
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    if (st_->contexts.find(ctx) == st_->contexts.end()) {
+      const ContextInfo& parent = st_->contexts.at(ctx_);
+      ContextInfo info;
+      info.world_ranks.reserve(members.size());
+      for (const Triple& t : members) {
+        info.world_ranks.push_back(
+            parent.world_ranks[static_cast<std::size_t>(t.parent_rank)]);
+      }
+      info.slot.resize(static_cast<int>(members.size()));
+      info.intra_node = true;
+      for (int wr : info.world_ranks) {
+        if (st_->node_of(wr) != st_->node_of(info.world_ranks.front())) {
+          info.intra_node = false;
+          break;
+        }
+      }
+      st_->contexts.emplace(ctx, std::move(info));
+      st_->cv.notify_all();
+    }
+  }
+  return Comm(st_, ctx, new_rank, static_cast<int>(members.size()),
+              world_rank_);
+}
+
+Comm Comm::split_by_node() const {
+  require_valid();
+  return split(node_id(), rank_);
+}
+
+}  // namespace sdss::sim

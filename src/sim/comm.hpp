@@ -1,0 +1,357 @@
+// Public communicator interface of the simulated message-passing runtime.
+//
+// `Comm` mirrors the MPI subset SDS-Sort is written against: blocking and
+// nonblocking point-to-point with tag matching, the collectives used by the
+// algorithm (barrier, bcast, gather, allgather(v), alltoall(v), allreduce,
+// exscan), and communicator splitting including split-by-node (the analogue
+// of MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)). Ranks are threads inside a
+// `Cluster` (see sim/cluster.hpp); a Comm is a cheap value handle.
+//
+// Typed convenience wrappers (templates at the bottom) operate on
+// trivially-copyable element types and element counts; the raw *_bytes
+// methods are the actual transport.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "sim/comm_stats.hpp"
+#include "util/error.hpp"
+#include "util/phase_ledger.hpp"
+
+namespace sdss::sim {
+
+class Comm;
+
+namespace detail {
+struct ClusterState;
+struct RequestImpl;
+/// Internal factory used by the Cluster launcher.
+Comm make_comm(ClusterState* st, int ctx, int rank, int size, int world_rank);
+}  // namespace detail
+
+template <typename T>
+concept Transportable = std::is_trivially_copyable_v<T>;
+
+/// Handle to a nonblocking operation. Copyable (shared state); completed
+/// send requests are trivially done, receive requests complete when a
+/// matching message has been delivered (network model included).
+class Request {
+ public:
+  Request() = default;
+
+  /// True once the operation has completed. Non-blocking; a receive request
+  /// polls its mailbox.
+  bool test();
+
+  /// Block until complete.
+  void wait();
+
+  /// Completed receive: number of bytes received.
+  std::size_t bytes() const;
+  /// Completed receive: actual source rank (useful with kAnySource).
+  int source() const;
+
+  bool valid() const { return impl_ != nullptr; }
+
+  /// Block until at least one of `reqs` completes; returns the index of a
+  /// newly completed request (requests already completed are skipped if
+  /// `skip_done[i]` is true). Returns -1 if every request is already done.
+  static int wait_any(std::span<Request> reqs, std::span<const char> skip_done);
+
+ private:
+  friend class Comm;
+  std::shared_ptr<detail::RequestImpl> impl_;
+};
+
+class Comm {
+ public:
+  static constexpr int kAnySource = -1;
+  static constexpr int kAnyTag = -1;
+  /// Pass as `color` to split() to receive an invalid Comm (the rank opts
+  /// out of the new communicator, like MPI_UNDEFINED).
+  static constexpr int kUndefined = -1;
+
+  Comm() = default;
+
+  bool valid() const { return st_ != nullptr; }
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+  /// Rank within the whole cluster (the world communicator).
+  int world_rank() const { return world_rank_; }
+  /// Simulated node this rank lives on (world_rank / cores_per_node).
+  int node_id() const;
+  int cores_per_node() const;
+
+  /// Per-rank phase ledger for time-breakdown reporting (Figs. 9/10).
+  PhaseLedger& ledger() const;
+
+  /// Per-rank communication counters (messages and bytes this rank sent).
+  const CommStats& stats() const;
+
+  // --- Point-to-point (raw bytes) -------------------------------------
+  void send_bytes(const void* data, std::size_t bytes, int dest, int tag);
+  /// Blocking receive; returns bytes received. Throws CommError if the
+  /// message exceeds `capacity`. `out_src` receives the sender's rank.
+  std::size_t recv_bytes(void* buf, std::size_t capacity, int src, int tag,
+                         int* out_src = nullptr);
+  /// Blocking probe: size in bytes of the next matching message, without
+  /// removing it.
+  std::size_t probe_bytes(int src, int tag, int* out_src = nullptr);
+  Request isend_bytes(const void* data, std::size_t bytes, int dest, int tag);
+  Request irecv_bytes(void* buf, std::size_t capacity, int src, int tag);
+
+  // --- Collectives (raw bytes). All ranks of the communicator must call
+  // the same collective in the same order. ------------------------------
+  void barrier();
+  void bcast_bytes(void* buf, std::size_t bytes, int root);
+  /// Equal-size gather; `recv` (size * bytes) is used on the root only.
+  void gather_bytes(const void* send, std::size_t bytes, void* recv, int root);
+  void allgather_bytes(const void* send, std::size_t bytes, void* recv);
+  void allgatherv_bytes(const void* send, std::size_t send_bytes, void* recv,
+                        const std::size_t* recv_bytes,
+                        const std::size_t* recv_displs);
+  /// Equal-size scatter: root's `send` (size * bytes) is split by rank;
+  /// every rank receives its `bytes` slice into `recv`.
+  void scatter_bytes(const void* send, std::size_t bytes, void* recv,
+                     int root);
+  void alltoall_bytes(const void* send, std::size_t per_peer, void* recv);
+  /// Irregular all-to-all; counts/displacements are in bytes, indexed by
+  /// peer rank. Send and receive buffers must not alias. Each pair
+  /// (scounts[me→s], rcounts[s→me]) is cross-validated; mismatch throws.
+  void alltoallv_bytes(const void* send, const std::size_t* scounts,
+                       const std::size_t* sdispls, void* recv,
+                       const std::size_t* rcounts, const std::size_t* rdispls);
+
+  // --- Communicator management ----------------------------------------
+  /// Split into sub-communicators by `color` (kUndefined opts out), ranked
+  /// by (`key`, parent rank).
+  Comm split(int color, int key) const;
+  /// Sub-communicator of the ranks sharing this rank's simulated node.
+  Comm split_by_node() const;
+
+  // --- Typed convenience wrappers --------------------------------------
+  template <Transportable T>
+  void send(std::span<const T> data, int dest, int tag = 0) {
+    send_bytes(data.data(), data.size_bytes(), dest, tag);
+  }
+
+  template <Transportable T>
+  void send_value(const T& v, int dest, int tag = 0) {
+    send_bytes(&v, sizeof(T), dest, tag);
+  }
+
+  /// Receive into `buf`; returns the number of elements received.
+  template <Transportable T>
+  std::size_t recv(std::span<T> buf, int src, int tag = 0,
+                   int* out_src = nullptr) {
+    const std::size_t b =
+        recv_bytes(buf.data(), buf.size_bytes(), src, tag, out_src);
+    if (b % sizeof(T) != 0) throw CommError("recv: size not element-aligned");
+    return b / sizeof(T);
+  }
+
+  template <Transportable T>
+  T recv_value(int src, int tag = 0, int* out_src = nullptr) {
+    T v;
+    if (recv_bytes(&v, sizeof(T), src, tag, out_src) != sizeof(T)) {
+      throw CommError("recv_value: short message");
+    }
+    return v;
+  }
+
+  /// Probe-then-receive a message of unknown length.
+  template <Transportable T>
+  std::vector<T> recv_any_size(int src, int tag = 0, int* out_src = nullptr) {
+    int actual = kAnySource;
+    const std::size_t bytes = probe_bytes(src, tag, &actual);
+    if (bytes % sizeof(T) != 0) {
+      throw CommError("recv_any_size: size not element-aligned");
+    }
+    std::vector<T> out(bytes / sizeof(T));
+    recv_bytes(out.data(), bytes, actual, tag, out_src);
+    return out;
+  }
+
+  template <Transportable T>
+  Request isend(std::span<const T> data, int dest, int tag = 0) {
+    return isend_bytes(data.data(), data.size_bytes(), dest, tag);
+  }
+
+  template <Transportable T>
+  Request irecv(std::span<T> buf, int src, int tag = 0) {
+    return irecv_bytes(buf.data(), buf.size_bytes(), src, tag);
+  }
+
+  /// Buffered exchange with a partner (both sides send then receive; sends
+  /// are buffered by the runtime so this cannot deadlock). Returns elements
+  /// received.
+  template <Transportable T>
+  std::size_t sendrecv(std::span<const T> out, std::span<T> in, int partner,
+                       int tag = 0) {
+    send(out, partner, tag);
+    return recv(in, partner, tag);
+  }
+
+  template <Transportable T>
+  void bcast_value(T& v, int root) {
+    bcast_bytes(&v, sizeof(T), root);
+  }
+
+  template <Transportable T>
+  void bcast(std::span<T> data, int root) {
+    bcast_bytes(data.data(), data.size_bytes(), root);
+  }
+
+  /// Gather one value per rank onto every rank.
+  template <Transportable T>
+  std::vector<T> allgather(const T& mine) {
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    allgather_bytes(&mine, sizeof(T), out.data());
+    return out;
+  }
+
+  /// Gather variable-length spans from every rank onto every rank,
+  /// concatenated in rank order. `counts_out`, if non-null, receives the
+  /// per-rank element counts.
+  template <Transportable T>
+  std::vector<T> allgatherv(std::span<const T> mine,
+                            std::vector<std::size_t>* counts_out = nullptr) {
+    const auto counts = allgather<std::size_t>(mine.size());
+    std::vector<std::size_t> byte_counts(counts.size()), displs(counts.size());
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      byte_counts[i] = counts[i] * sizeof(T);
+      displs[i] = off;
+      off += byte_counts[i];
+    }
+    std::vector<T> out(off / sizeof(T));
+    allgatherv_bytes(mine.data(), mine.size_bytes(), out.data(),
+                     byte_counts.data(), displs.data());
+    if (counts_out != nullptr) *counts_out = counts;
+    return out;
+  }
+
+  /// One value to and from each peer.
+  template <Transportable T>
+  std::vector<T> alltoall(std::span<const T> one_per_peer) {
+    if (one_per_peer.size() != static_cast<std::size_t>(size())) {
+      throw CommError("alltoall: need exactly one element per peer");
+    }
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    alltoall_bytes(one_per_peer.data(), sizeof(T), out.data());
+    return out;
+  }
+
+  /// Typed irregular all-to-all with element counts; writes into a
+  /// preallocated receive buffer (counts must have been exchanged already,
+  /// mirroring the paper's explicit count exchange in Fig. 1 steps 11-16).
+  template <Transportable T>
+  void alltoallv(std::span<const T> send, std::span<const std::size_t> scounts,
+                 std::span<const std::size_t> sdispls, std::span<T> recv,
+                 std::span<const std::size_t> rcounts,
+                 std::span<const std::size_t> rdispls) {
+    const auto p = static_cast<std::size_t>(size());
+    if (scounts.size() != p || sdispls.size() != p || rcounts.size() != p ||
+        rdispls.size() != p) {
+      throw CommError("alltoallv: count/displacement arrays must have size p");
+    }
+    std::vector<std::size_t> sb(p), sd(p), rb(p), rd(p);
+    for (std::size_t i = 0; i < p; ++i) {
+      sb[i] = scounts[i] * sizeof(T);
+      sd[i] = sdispls[i] * sizeof(T);
+      rb[i] = rcounts[i] * sizeof(T);
+      rd[i] = rdispls[i] * sizeof(T);
+    }
+    alltoallv_bytes(send.data(), sb.data(), sd.data(), recv.data(), rb.data(),
+                    rd.data());
+  }
+
+  /// Scatter one value per rank from the root.
+  template <Transportable T>
+  T scatter_value(std::span<const T> send, int root) {
+    if (rank() == root &&
+        send.size() != static_cast<std::size_t>(size())) {
+      throw CommError("scatter: root needs one element per rank");
+    }
+    T out;
+    scatter_bytes(send.data(), sizeof(T), &out, root);
+    return out;
+  }
+
+  /// Reduce a single value onto `root` (other ranks get their own value
+  /// back unchanged — check rank() == root before using the result).
+  template <Transportable T, typename Op>
+  T reduce(const T& mine, Op op, int root) {
+    std::vector<T> all(rank() == root ? static_cast<std::size_t>(size()) : 0);
+    gather_bytes(&mine, sizeof(T), all.data(), root);
+    if (rank() != root) return mine;
+    T acc = all[0];
+    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+    return acc;
+  }
+
+  /// Reduce a single value with a commutative-associative op, result on all
+  /// ranks. Implemented over allgather (p is small in the simulation).
+  template <Transportable T, typename Op>
+  T allreduce(const T& mine, Op op) {
+    const auto all = allgather(mine);
+    T acc = all[0];
+    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+    return acc;
+  }
+
+  /// Element-wise allreduce over equal-length vectors: gather to rank 0,
+  /// reduce there, broadcast the result (O(p·n) data movement total, not
+  /// the O(p²·n) an allgather-everywhere would cost).
+  template <Transportable T, typename Op>
+  std::vector<T> allreduce_vec(std::span<const T> mine, Op op) {
+    const std::size_t n = mine.size();
+    std::vector<T> acc(mine.begin(), mine.end());
+    if (size() > 1) {
+      std::vector<T> pool;
+      if (rank() == 0) pool.resize(n * static_cast<std::size_t>(size()));
+      gather_bytes(mine.data(), mine.size_bytes(), pool.data(), /*root=*/0);
+      if (rank() == 0) {
+        for (std::size_t r = 1; r < static_cast<std::size_t>(size()); ++r) {
+          for (std::size_t i = 0; i < n; ++i) {
+            acc[i] = op(acc[i], pool[r * n + i]);
+          }
+        }
+      }
+      bcast(std::span<T>(acc), /*root=*/0);
+    }
+    return acc;
+  }
+
+  /// Exclusive prefix sum of one value per rank (rank 0 gets T{}).
+  template <Transportable T>
+  T exscan_sum(const T& mine) {
+    const auto all = allgather(mine);
+    T acc{};
+    for (int i = 0; i < rank(); ++i) acc = acc + all[static_cast<std::size_t>(i)];
+    return acc;
+  }
+
+ private:
+  friend Comm detail::make_comm(detail::ClusterState*, int, int, int, int);
+  Comm(detail::ClusterState* st, int ctx, int rank, int size, int world_rank)
+      : st_(st), ctx_(ctx), rank_(rank), size_(size), world_rank_(world_rank) {}
+
+  void require_valid() const {
+    if (!valid()) throw CommError("operation on an invalid communicator");
+  }
+  int world_rank_of(int comm_rank) const;
+
+  detail::ClusterState* st_ = nullptr;
+  int ctx_ = 0;
+  int rank_ = 0;
+  int size_ = 0;
+  int world_rank_ = 0;
+};
+
+}  // namespace sdss::sim

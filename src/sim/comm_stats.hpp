@@ -1,0 +1,32 @@
+// Per-rank communication accounting.
+//
+// The runtime counts every point-to-point message and every collective a
+// rank issues, with the bytes it pushes into the network. This is how the
+// benches quantify claims like the paper's Section 5 observation that
+// non-sampling sorts (bitonic: Θ(n log² p) volume) "need a significant
+// amount of communication" compared to single-exchange sampling sorts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdss::sim {
+
+struct CommStats {
+  std::uint64_t p2p_messages = 0;   ///< point-to-point sends issued
+  std::uint64_t p2p_bytes = 0;      ///< ... and their payload bytes
+  std::uint64_t collectives = 0;    ///< collective operations entered
+  std::uint64_t collective_bytes_out = 0;  ///< bytes contributed to them
+
+  std::uint64_t total_bytes() const { return p2p_bytes + collective_bytes_out; }
+
+  CommStats& operator+=(const CommStats& o) {
+    p2p_messages += o.p2p_messages;
+    p2p_bytes += o.p2p_bytes;
+    collectives += o.collectives;
+    collective_bytes_out += o.collective_bytes_out;
+    return *this;
+  }
+};
+
+}  // namespace sdss::sim

@@ -1,0 +1,54 @@
+#include "sim/network.hpp"
+
+namespace sdss::sim {
+
+double NetworkModel::message_time(std::size_t bytes, bool intra_node) const {
+  double lat = latency_s;
+  double bw = bandwidth_Bps;
+  if (intra_node) {
+    lat *= intra_node_latency_factor;
+    bw *= intra_node_bandwidth_factor;
+  }
+  double t = lat;
+  if (bw > 0.0) t += static_cast<double>(bytes) / bw;
+  return t;
+}
+
+double NetworkModel::exchange_time(std::size_t peer_messages,
+                                   std::size_t bytes_out, std::size_t bytes_in,
+                                   bool intra_node) const {
+  double lat = latency_s;
+  double bw = bandwidth_Bps;
+  if (intra_node) {
+    lat *= intra_node_latency_factor;
+    bw *= intra_node_bandwidth_factor;
+  }
+  double t = lat * static_cast<double>(peer_messages);
+  if (bw > 0.0) {
+    const std::size_t dominant = bytes_out > bytes_in ? bytes_out : bytes_in;
+    t += static_cast<double>(dominant) / bw;
+  }
+  return t;
+}
+
+std::chrono::steady_clock::duration NetworkModel::to_duration(
+    double seconds) const {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+NetworkModel NetworkModel::aries_like() {
+  NetworkModel m;
+  m.latency_s = 2e-6;
+  m.bandwidth_Bps = 8.0e9;
+  return m;
+}
+
+NetworkModel NetworkModel::slow_ethernet_like() {
+  NetworkModel m;
+  m.latency_s = 5e-5;
+  m.bandwidth_Bps = 1.0e9;
+  return m;
+}
+
+}  // namespace sdss::sim

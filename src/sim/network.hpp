@@ -1,0 +1,57 @@
+// LogGP-style interconnect model for the simulated cluster.
+//
+// The paper's adaptive decisions (node-level merging below τm, overlap of
+// exchange and ordering below τo) are driven by the latency/bandwidth ratio
+// of the machine's interconnect. Real hardware is not available here, so the
+// runtime charges each message a modeled cost:
+//
+//    t(message) = latency + bytes / bandwidth
+//
+// applied as (a) a delivery delay on point-to-point messages (a receiver
+// cannot match a message before its deliver-at time) and (b) a post-exchange
+// stall on collectives proportional to the number of peer messages and the
+// bytes moved. Intra-node traffic uses a cheaper profile (shared memory vs.
+// NIC), which is what makes node-level merging profitable on slow networks.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace sdss::sim {
+
+struct NetworkModel {
+  /// Per-message latency, seconds, for inter-node traffic.
+  double latency_s = 0.0;
+  /// Link bandwidth, bytes/second, for inter-node traffic. 0 = infinite.
+  double bandwidth_Bps = 0.0;
+  /// Multipliers applied to intra-node (same simulated node) traffic:
+  /// latency shrinks, bandwidth grows.
+  double intra_node_latency_factor = 0.1;
+  double intra_node_bandwidth_factor = 8.0;
+
+  bool enabled() const { return latency_s > 0.0 || bandwidth_Bps > 0.0; }
+
+  /// Modeled transfer time for one message of `bytes` bytes.
+  double message_time(std::size_t bytes, bool intra_node) const;
+
+  /// Modeled time for a rank that exchanges with `peer_messages` peers,
+  /// pushing `bytes_out` and pulling `bytes_in` in total.
+  double exchange_time(std::size_t peer_messages, std::size_t bytes_out,
+                       std::size_t bytes_in, bool intra_node) const;
+
+  std::chrono::steady_clock::duration to_duration(double seconds) const;
+
+  /// No modeled network: messages are instantaneous (pure shared memory).
+  static NetworkModel none() { return {}; }
+
+  /// Roughly Edison's Aries: ~1 us latency, ~8 GB/s per-rank bandwidth,
+  /// scaled so that laptop-size runs show Aries-like ratios.
+  static NetworkModel aries_like();
+
+  /// A commodity cluster: ~50 us latency, ~1 GB/s. Node-level merging pays
+  /// off on this profile, as in the paper's "low-throughput network" case.
+  static NetworkModel slow_ethernet_like();
+};
+
+}  // namespace sdss::sim

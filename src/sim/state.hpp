@@ -1,0 +1,120 @@
+// Internal shared state of a simulated cluster run. Not part of the public
+// API: include only from sim/*.cpp.
+//
+// Concurrency design: one big mutex (`mu`) plus one condition variable (`cv`)
+// guard all mailboxes, collective slots and context registration. Every
+// blocking operation waits on `cv` with a predicate that also observes the
+// abort flag, so a failing rank wakes every blocked peer. A single lock is
+// deliberately chosen over fine-grained locking: the runtime simulates a
+// cluster for algorithm-behaviour studies, it is not itself the object of
+// performance measurement, and one lock makes the blocking semantics easy to
+// reason about and impossible to deadlock by lock ordering.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/comm_stats.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+#include "util/phase_ledger.hpp"
+
+namespace sdss::sim::detail {
+
+using Clock = std::chrono::steady_clock;
+
+/// One in-flight point-to-point message.
+struct Message {
+  int ctx = 0;        ///< communicator context id
+  int src = 0;        ///< sender's rank *within that communicator*
+  int tag = 0;
+  Clock::time_point deliver_at{};  ///< earliest matchable time (network model)
+  std::vector<std::byte> payload;
+};
+
+/// Per-world-rank mailbox: FIFO per (ctx, src, tag) by construction because
+/// messages are appended in send order and matched front-to-back.
+struct Mailbox {
+  std::deque<Message> messages;
+};
+
+/// Collective rendezvous slot: two-phase (arrive/deposit, then copy/depart)
+/// protocol keyed by the communicator's context. All ranks of a communicator
+/// must issue collectives in the same order, as in MPI.
+struct CollSlot {
+  enum class PhaseState { kArriving, kCopying };
+  PhaseState phase = PhaseState::kArriving;
+  std::uint64_t generation = 0;
+  int arrived = 0;
+  int departed = 0;
+
+  // Deposited views of each participant's arguments; valid for the duration
+  // of the collective because depositors block until everyone departed.
+  std::vector<const void*> send_ptr;
+  std::vector<std::size_t> send_bytes;
+  std::vector<const std::size_t*> send_counts;  // per-peer byte counts (v-ops)
+  std::vector<const std::size_t*> send_displs;  // per-peer byte displs (v-ops)
+
+  void resize(int p) {
+    send_ptr.assign(static_cast<std::size_t>(p), nullptr);
+    send_bytes.assign(static_cast<std::size_t>(p), 0);
+    send_counts.assign(static_cast<std::size_t>(p), nullptr);
+    send_displs.assign(static_cast<std::size_t>(p), nullptr);
+  }
+};
+
+/// A communicator's identity: the world ranks of its members, in
+/// communicator-rank order.
+struct ContextInfo {
+  std::vector<int> world_ranks;
+  CollSlot slot;
+  bool intra_node = false;  ///< all members on the same simulated node
+};
+
+struct ClusterState {
+  std::mutex mu;
+  /// Collective-protocol and abort wakeups.
+  std::condition_variable cv;
+  /// Per-rank mailbox wakeups: a sender notifies only the destination
+  /// rank's variable, so point-to-point traffic does not stampede every
+  /// blocked thread in the cluster.
+  std::vector<std::unique_ptr<std::condition_variable>> rank_cvs;
+
+  std::condition_variable& rank_cv(int world_rank) {
+    return *rank_cvs[static_cast<std::size_t>(world_rank)];
+  }
+
+  int num_ranks = 0;
+  int cores_per_node = 1;
+  NetworkModel network;
+
+  bool aborted = false;
+  std::string abort_cause;
+
+  std::vector<Mailbox> mailboxes;           // indexed by world rank
+  std::map<int, ContextInfo> contexts;      // ctx id -> info
+  int next_ctx = 1;                         // 0 is the world communicator
+
+  std::vector<PhaseLedger> ledgers;         // indexed by world rank
+  std::vector<CommStats> comm_stats;        // indexed by world rank
+
+  bool trace_enabled = false;
+  Clock::time_point trace_epoch{};
+  std::vector<TraceEvent> trace;            // guarded by mu
+
+  double trace_now() const {
+    return std::chrono::duration<double>(Clock::now() - trace_epoch).count();
+  }
+
+  int node_of(int world_rank) const { return world_rank / cores_per_node; }
+};
+
+}  // namespace sdss::sim::detail

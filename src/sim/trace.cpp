@@ -1,0 +1,27 @@
+#include "sim/trace.hpp"
+
+namespace sdss::sim {
+
+void write_chrome_trace(std::ostream& os,
+                        std::span<const TraceEvent> events) {
+  os << "[\n";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    // Durations below 1 us still need to render; clamp to 1 us.
+    const double us_begin = e.t_begin * 1e6;
+    double us_dur = (e.t_end - e.t_begin) * 1e6;
+    if (us_dur < 1.0) us_dur = 1.0;
+    os << R"(  {"name": ")" << e.op << R"(", "cat": ")"
+       << (e.kind == TraceEvent::Kind::kSend ? "p2p" : "collective")
+       << R"(", "ph": "X", "pid": 1, "tid": )" << e.rank << R"(, "ts": )"
+       << us_begin << R"(, "dur": )" << us_dur << R"(, "args": {"bytes": )"
+       << e.bytes;
+    if (e.peer >= 0) os << R"(, "peer": )" << e.peer;
+    os << "}}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace sdss::sim

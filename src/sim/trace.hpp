@@ -1,0 +1,37 @@
+// Communication tracing: an optional per-run event log of every
+// point-to-point send and collective a rank issues, exportable in the
+// Chrome trace-event JSON format (load in chrome://tracing or Perfetto to
+// see each simulated rank as a timeline row).
+//
+// Enable with ClusterConfig::enable_trace; retrieve the events from
+// RunResult::trace and write them with write_chrome_trace(). Tracing adds
+// one locked vector append per operation — fine for algorithm study, not
+// meant to be on while timing benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sdss::sim {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSend, kCollective };
+  Kind kind = Kind::kSend;
+  int rank = 0;        ///< issuing rank (world)
+  int peer = -1;       ///< destination world rank (sends) or -1
+  const char* op = ""; ///< operation name ("send", "alltoallv", ...)
+  std::uint64_t bytes = 0;
+  double t_begin = 0;  ///< seconds since the run started
+  double t_end = 0;
+};
+
+/// Serialize events as a Chrome trace-event JSON array. Each rank is a
+/// "thread"; sends and collectives are complete ("X") events with byte
+/// counts in args.
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events);
+
+}  // namespace sdss::sim

@@ -1,0 +1,14 @@
+// Selection of the per-chunk sorting kernel — the paper's "dynamic
+// selection of data processing algorithms" knob, shared between the
+// shared-memory sorting library and the distributed driver's Config.
+#pragma once
+
+namespace sdss {
+
+enum class LocalSortAlgo {
+  kComparison,  ///< std::sort / std::stable_sort
+  kRadix,       ///< LSD radix (unsigned integer keys only; always stable)
+  kAuto,        ///< radix when the key is an unsigned integer, else comparison
+};
+
+}  // namespace sdss

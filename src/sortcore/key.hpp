@@ -1,0 +1,68 @@
+// Key projection utilities.
+//
+// Every sort in the library is parameterized by a key-projection callable
+// `KeyFn : const T& -> K` with K totally ordered. The paper's headline design
+// point is that SDS-Sort never needs a *secondary* sorting key: the
+// projection is the one and only key, and skew-aware partitioning handles
+// duplicates. `IdentityKey` covers plain arithmetic element types.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <type_traits>
+
+namespace sdss {
+
+struct IdentityKey {
+  template <typename T>
+  const T& operator()(const T& v) const noexcept {
+    return v;
+  }
+};
+
+template <typename F, typename T>
+concept KeyFunction = std::invocable<const F&, const T&> &&
+                      std::totally_ordered<std::remove_cvref_t<
+                          std::invoke_result_t<const F&, const T&>>>;
+
+template <typename F, typename T>
+using KeyType = std::remove_cvref_t<std::invoke_result_t<const F&, const T&>>;
+
+/// Strict-weak-order comparator over elements induced by a key projection.
+template <typename KeyFn>
+struct KeyLess {
+  KeyFn key;
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return key(a) < key(b);
+  }
+};
+
+template <typename KeyFn>
+KeyLess<KeyFn> by_key(KeyFn kf) {
+  return KeyLess<KeyFn>{std::move(kf)};
+}
+
+/// Customization point for the largest representable key value, used as a
+/// harmless sentinel when an empty rank must still contribute sample pivots
+/// (they sort to the top of the global pivot pool and never cut a range).
+/// The default covers every arithmetic type; specialize for composite keys.
+template <typename K, typename = void>
+struct KeyLimits {
+  static K max() { return std::numeric_limits<K>::max(); }
+};
+
+/// Fixed-length byte-string keys (e.g. the 10-byte GraySort key).
+template <std::size_t N>
+struct KeyLimits<std::array<std::uint8_t, N>> {
+  static std::array<std::uint8_t, N> max() {
+    std::array<std::uint8_t, N> k;
+    k.fill(0xff);
+    return k;
+  }
+};
+
+}  // namespace sdss

@@ -1,0 +1,160 @@
+// K-way merging of sorted runs with a tournament (loser) tree.
+//
+// This is the workhorse of the final local-ordering step when it chooses
+// "merging" (p sorted chunks arrive from p processes, paper Section 2.7,
+// complexity O(n log p)) and of the shared-memory parallel merge inside
+// SdssLocalSort. The merge is stable across runs: ties are won by the run
+// with the smaller index, so concatenating runs in origin order and merging
+// preserves the relative order of equal keys.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sortcore/key.hpp"
+
+namespace sdss {
+
+/// Tournament tree over k sorted runs. pop() yields the globally smallest
+/// remaining element (ties by run index) in O(log k). The tree is padded to
+/// the next power of two with permanently exhausted pseudo-runs.
+template <typename T, typename KeyFn>
+class LoserTree {
+ public:
+  LoserTree(std::span<const std::span<const T>> runs, KeyFn kf)
+      : runs_(runs.begin(), runs.end()), pos_(runs.size(), 0), kf_(kf) {
+    const std::size_t k = runs_.size();
+    cap_ = 1;
+    while (cap_ < k) cap_ <<= 1;
+    remaining_ = 0;
+    for (const auto& r : runs_) remaining_ += r.size();
+
+    // Bottom-up tournament: w[x] is the winner at tree position x; internal
+    // node x stores the loser of the match played there.
+    tree_.assign(cap_, kEmpty);
+    std::vector<std::size_t> w(2 * cap_, kEmpty);
+    for (std::size_t i = 0; i < k; ++i) w[cap_ + i] = i;
+    for (std::size_t node = cap_ - 1; node >= 1; --node) {
+      const std::size_t a = w[2 * node];
+      const std::size_t b = w[2 * node + 1];
+      if (beats(a, b)) {
+        w[node] = a;
+        tree_[node] = b;
+      } else {
+        w[node] = b;
+        tree_[node] = a;
+      }
+    }
+    winner_ = cap_ > 1 ? w[1] : (k == 1 ? 0 : kEmpty);
+  }
+
+  bool empty() const { return remaining_ == 0; }
+  std::size_t size() const { return remaining_; }
+
+  /// Index of the run holding the current minimum. Precondition: !empty().
+  std::size_t min_run() const { return winner_; }
+
+  /// Pop the current minimum. Precondition: !empty().
+  const T& pop() {
+    const std::size_t r = winner_;
+    const T& v = runs_[r][pos_[r]];
+    ++pos_[r];
+    --remaining_;
+    replay(r);
+    return v;
+  }
+
+ private:
+  static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+
+  bool exhausted(std::size_t run) const {
+    return run == kEmpty || pos_[run] >= runs_[run].size();
+  }
+
+  /// True if run a's head must be emitted no later than run b's head.
+  bool beats(std::size_t a, std::size_t b) const {
+    if (exhausted(b)) return true;
+    if (exhausted(a)) return false;
+    const auto& ka = kf_(runs_[a][pos_[a]]);
+    const auto& kb = kf_(runs_[b][pos_[b]]);
+    if (ka < kb) return true;
+    if (kb < ka) return false;
+    return a < b;  // stability: lower run index wins ties
+  }
+
+  /// Replay the path from run r's leaf to the root after its head changed.
+  void replay(std::size_t run) {
+    std::size_t winner = run;
+    for (std::size_t node = (run + cap_) / 2; node >= 1; node /= 2) {
+      if (beats(tree_[node], winner)) std::swap(tree_[node], winner);
+    }
+    winner_ = winner;
+  }
+
+  std::vector<std::span<const T>> runs_;
+  std::vector<std::size_t> pos_;
+  std::vector<std::size_t> tree_;  // internal nodes hold losers; [1] is root
+  std::size_t cap_ = 1;            // padded leaf count (power of two)
+  std::size_t remaining_ = 0;
+  std::size_t winner_ = kEmpty;
+  KeyFn kf_;
+};
+
+/// Merge `runs` (each individually sorted by kf) into `out`, stably across
+/// run order. `out.size()` must equal the total input size. Small run counts
+/// use specialized paths (copy / two-way merge).
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+void kway_merge(std::span<const std::span<const T>> runs, std::span<T> out,
+                KeyFn kf = {}) {
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  if (out.size() != total) {
+    throw std::invalid_argument("kway_merge: output size mismatch");
+  }
+  // Drop empty runs but keep relative order (stability depends on it).
+  std::vector<std::span<const T>> live;
+  live.reserve(runs.size());
+  for (const auto& r : runs) {
+    if (!r.empty()) live.push_back(r);
+  }
+  if (live.empty()) return;
+  if (live.size() == 1) {
+    std::copy(live[0].begin(), live[0].end(), out.begin());
+    return;
+  }
+  if (live.size() == 2) {
+    // Two-way merge; first-run priority on ties gives stability.
+    auto a = live[0].begin();
+    auto b = live[1].begin();
+    auto o = out.begin();
+    while (a != live[0].end() && b != live[1].end()) {
+      if (kf(*b) < kf(*a)) {
+        *o++ = *b++;
+      } else {
+        *o++ = *a++;
+      }
+    }
+    o = std::copy(a, live[0].end(), o);
+    std::copy(b, live[1].end(), o);
+    return;
+  }
+  LoserTree<T, KeyFn> tree(live, kf);
+  auto o = out.begin();
+  while (!tree.empty()) *o++ = tree.pop();
+}
+
+/// Convenience overload: merge and return a fresh vector.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<T> kway_merge_to_vector(std::span<const std::span<const T>> runs,
+                                    KeyFn kf = {}) {
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  std::vector<T> out(total);
+  kway_merge<T, KeyFn>(runs, out, kf);
+  return out;
+}
+
+}  // namespace sdss

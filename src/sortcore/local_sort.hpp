@@ -1,0 +1,154 @@
+// SdssLocalSort: shared-memory parallel sorting with skew-aware merging
+// (paper Section 2.2).
+//
+// The strategy is the classic chunk/sort/merge: split the array into c
+// chunks, sort each on its own core (std::sort or std::stable_sort per the
+// stable flag), then merge the c sorted chunks in parallel. The merge uses
+// the skew-aware partition of merge_partition.hpp, so heavily duplicated
+// keys still yield c near-equal merge tasks — "SdssLocalSort is a shared
+// memory version of SDS-Sort without network connection".
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+#include "sortcore/algo.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/kway_merge.hpp"
+#include "sortcore/merge_partition.hpp"
+#include "sortcore/radix.hpp"
+#include "sortcore/runs.hpp"
+#include "sortcore/seq_sort.hpp"
+
+namespace sdss {
+
+struct LocalSortConfig {
+  int threads = 1;   ///< c: chunk count == worker count (paper's cores/node)
+  bool stable = false;
+  MergePartitionMethod method = MergePartitionMethod::kSkewAware;
+  LocalSortAlgo algo = LocalSortAlgo::kComparison;
+  std::size_t seq_threshold = 4096;  ///< below this, sort sequentially
+  /// Recognize partially ordered chunks (paper Sections 1/2.7): when a
+  /// chunk decomposes into at most this many natural runs, merge the runs
+  /// (O(n log r), O(n) when already sorted) instead of a full sort. 0
+  /// disables the scan.
+  std::size_t exploit_runs_below = 64;
+};
+
+namespace detail {
+
+/// Sort one contiguous chunk with the selected kernel.
+template <typename T, typename KeyFn>
+void sort_chunk(std::span<T> chunk, const LocalSortConfig& cfg, KeyFn kf) {
+  using K = KeyType<KeyFn, T>;
+  if constexpr (!std::is_unsigned_v<K>) {
+    if (cfg.algo == LocalSortAlgo::kRadix) {
+      throw std::invalid_argument(
+          "LocalSortAlgo::kRadix requires an unsigned integer key");
+    }
+  }
+  // Partially ordered input: a cheap O(n) scan decides whether run merging
+  // beats re-sorting from scratch.
+  if (cfg.exploit_runs_below > 1 && chunk.size() > 1) {
+    const std::size_t runs = count_runs<T, KeyFn>(chunk, kf);
+    if (runs <= cfg.exploit_runs_below) {
+      std::vector<T> tmp(chunk.begin(), chunk.end());
+      run_aware_sort<T, KeyFn>(tmp, cfg.stable, kf, cfg.exploit_runs_below);
+      std::copy(tmp.begin(), tmp.end(), chunk.begin());
+      return;
+    }
+  }
+  if constexpr (std::is_unsigned_v<K>) {
+    const bool use_radix =
+        cfg.algo == LocalSortAlgo::kRadix ||
+        (cfg.algo == LocalSortAlgo::kAuto && chunk.size() >= 2048);
+    if (use_radix) {
+      // radix_sort operates on a vector; chunks are array slices, so sort
+      // through a scratch vector. (Radix needs O(n) scratch regardless.)
+      std::vector<T> tmp(chunk.begin(), chunk.end());
+      radix_sort(tmp, kf);
+      std::copy(tmp.begin(), tmp.end(), chunk.begin());
+      return;
+    }
+  }
+  seq_sort<T, KeyFn>(chunk, cfg.stable, kf);
+}
+
+}  // namespace detail
+
+/// Merge already-sorted chunks into `out` using `parts` parallel merge
+/// tasks partitioned by `method`. Chunks must be passed in stability order
+/// (origin order); the merge is stable across chunks when `stable` is set
+/// (and ties always resolve by chunk index regardless).
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+void parallel_merge_chunks(std::span<const std::span<const T>> chunks,
+                           std::span<T> out, std::size_t parts, bool stable,
+                           MergePartitionMethod method, KeyFn kf = {},
+                           par::ThreadPool* pool = nullptr) {
+  if (parts == 0) parts = 1;
+  const MergePartition plan =
+      plan_merge_partition<T, KeyFn>(chunks, parts, stable, method, kf);
+
+  // Output offset of each part.
+  std::vector<std::size_t> offsets(parts + 1, 0);
+  for (std::size_t t = 0; t < parts; ++t) {
+    offsets[t + 1] = offsets[t] + plan.part_size(t);
+  }
+
+  auto merge_part = [&](std::size_t t) {
+    std::vector<std::span<const T>> pieces;
+    pieces.reserve(chunks.size());
+    for (std::size_t j = 0; j < chunks.size(); ++j) {
+      const std::size_t b = plan.bounds[t][j];
+      const std::size_t e = plan.bounds[t + 1][j];
+      pieces.push_back(chunks[j].subspan(b, e - b));
+    }
+    kway_merge<T, KeyFn>(pieces, out.subspan(offsets[t], offsets[t + 1] - offsets[t]),
+                         kf);
+  };
+
+  if (parts == 1) {
+    merge_part(0);
+    return;
+  }
+  par::ThreadPool& tp = pool != nullptr ? *pool : par::ThreadPool::global();
+  tp.parallel_for(0, parts, merge_part);
+}
+
+/// Sort `data` in place with c-way shared-memory parallelism.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+void local_sort(std::vector<T>& data, const LocalSortConfig& cfg, KeyFn kf = {},
+                par::ThreadPool* pool = nullptr) {
+  const std::size_t n = data.size();
+  const auto c = static_cast<std::size_t>(cfg.threads < 1 ? 1 : cfg.threads);
+  if (c == 1 || n < cfg.seq_threshold || n < 2 * c) {
+    detail::sort_chunk<T, KeyFn>(std::span<T>(data), cfg, kf);
+    return;
+  }
+
+  // Chunk boundaries: c near-equal contiguous chunks (origin order, which is
+  // also the stability order).
+  std::vector<std::size_t> bounds(c + 1, 0);
+  for (std::size_t i = 0; i <= c; ++i) bounds[i] = i * n / c;
+
+  par::ThreadPool& tp = pool != nullptr ? *pool : par::ThreadPool::global();
+  tp.parallel_for(0, c, [&](std::size_t i) {
+    detail::sort_chunk<T, KeyFn>(
+        std::span<T>(data.data() + bounds[i], bounds[i + 1] - bounds[i]), cfg,
+        kf);
+  });
+
+  std::vector<std::span<const T>> chunks(c);
+  for (std::size_t i = 0; i < c; ++i) {
+    chunks[i] = std::span<const T>(data.data() + bounds[i],
+                                   bounds[i + 1] - bounds[i]);
+  }
+  std::vector<T> scratch(n);
+  parallel_merge_chunks<T, KeyFn>(chunks, scratch, c, cfg.stable, cfg.method,
+                                  kf, &tp);
+  data = std::move(scratch);
+}
+
+}  // namespace sdss

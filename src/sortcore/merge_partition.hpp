@@ -1,0 +1,189 @@
+// Skew-aware partitioning of sorted chunks for parallel merging.
+//
+// Given c sorted chunks, split the merged value space into `parts` pieces of
+// near-equal TOTAL size so that `parts` threads can merge independently.
+// Plain sample-based partitioning (used by HykSort's shared-memory merge)
+// places every copy of a duplicated pivot value in one part, so one thread
+// inherits nearly all of a skewed distribution (paper Fig. 6a). The
+// skew-aware method detects duplicated pivots — exactly like SdssReplicated
+// does at the distributed level — and splits the run of duplicates evenly
+// (fast version) or in chunk-major order (stable version) across the parts
+// that share the pivot value.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sortcore/key.hpp"
+
+namespace sdss {
+
+enum class MergePartitionMethod {
+  kSkewAware,   ///< duplicate-aware even split (SDS-Sort)
+  kSampleOnly,  ///< plain upper_bound on sampled pivots (baseline)
+};
+
+/// Partition plan: part t of chunk j is [bounds[t][j], bounds[t+1][j]).
+struct MergePartition {
+  std::vector<std::vector<std::size_t>> bounds;  // (parts+1) x chunks
+
+  std::size_t parts() const {
+    return bounds.empty() ? 0 : bounds.size() - 1;
+  }
+
+  std::size_t part_size(std::size_t t) const {
+    std::size_t s = 0;
+    for (std::size_t j = 0; j < bounds[t].size(); ++j) {
+      s += bounds[t + 1][j] - bounds[t][j];
+    }
+    return s;
+  }
+
+  std::vector<std::size_t> part_sizes() const {
+    std::vector<std::size_t> out(parts());
+    for (std::size_t t = 0; t < out.size(); ++t) out[t] = part_size(t);
+    return out;
+  }
+};
+
+namespace detail {
+
+/// Regular sampling of pivot keys from each sorted chunk, then global pivot
+/// selection at regular stride — the shared-memory mirror of the paper's
+/// Section 2.4.
+template <typename T, typename KeyFn>
+std::vector<KeyType<KeyFn, T>> sample_pivots(
+    std::span<const std::span<const T>> chunks, std::size_t parts, KeyFn kf) {
+  using K = KeyType<KeyFn, T>;
+  std::vector<K> samples;
+  samples.reserve(chunks.size() * parts);
+  for (const auto& c : chunks) {
+    if (c.empty()) continue;
+    // parts-1 samples at regular stride (the last element of each stripe).
+    for (std::size_t s = 1; s < parts; ++s) {
+      const std::size_t idx = s * c.size() / parts;
+      samples.push_back(kf(c[idx == 0 ? 0 : idx - 1]));
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  std::vector<K> pivots;
+  pivots.reserve(parts - 1);
+  if (samples.empty()) return pivots;
+  for (std::size_t t = 1; t < parts; ++t) {
+    std::size_t idx = t * samples.size() / parts;
+    if (idx > 0) --idx;
+    pivots.push_back(samples[idx]);
+  }
+  return pivots;
+}
+
+}  // namespace detail
+
+/// Build a partition plan for merging `chunks` with `parts` parallel parts.
+/// `stable` selects the chunk-major duplicate split (relative order of equal
+/// keys across chunks is preserved by part boundaries).
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+MergePartition plan_merge_partition(
+    std::span<const std::span<const T>> chunks, std::size_t parts, bool stable,
+    MergePartitionMethod method = MergePartitionMethod::kSkewAware,
+    KeyFn kf = {}) {
+  using K = KeyType<KeyFn, T>;
+  const std::size_t nc = chunks.size();
+  MergePartition plan;
+  if (parts == 0) parts = 1;
+  plan.bounds.assign(parts + 1, std::vector<std::size_t>(nc, 0));
+  for (std::size_t j = 0; j < nc; ++j) {
+    plan.bounds[parts][j] = chunks[j].size();
+  }
+  if (parts == 1 || nc == 0) return plan;
+
+  const std::vector<K> pivots = detail::sample_pivots(chunks, parts, kf);
+  if (pivots.empty()) return plan;  // all chunks empty
+  auto key_less = [&kf](const T& v, const K& k) { return kf(v) < k; };
+  auto less_key = [&kf](const K& k, const T& v) { return k < kf(v); };
+
+  auto upper = [&](std::size_t j, const K& k) {
+    return static_cast<std::size_t>(
+        std::upper_bound(chunks[j].begin(), chunks[j].end(), k, less_key) -
+        chunks[j].begin());
+  };
+  auto lower = [&](std::size_t j, const K& k) {
+    return static_cast<std::size_t>(
+        std::lower_bound(chunks[j].begin(), chunks[j].end(), k, key_less) -
+        chunks[j].begin());
+  };
+
+  std::size_t t = 0;
+  while (t + 1 < parts) {
+    const K v = pivots[t];
+    // Length of the run of equal pivots starting at t (SdssReplicated's rs).
+    std::size_t rs = 1;
+    while (t + rs < pivots.size() && !(pivots[t + rs] < v) && !(v < pivots[t + rs])) {
+      ++rs;
+    }
+    if (method == MergePartitionMethod::kSampleOnly || rs == 1) {
+      // Plain partition: every boundary of the run lands at upper_bound(v),
+      // which for duplicated pivots gives the degenerate empty parts the
+      // baseline suffers from.
+      for (std::size_t q = 0; q < rs; ++q) {
+        for (std::size_t j = 0; j < nc; ++j) {
+          plan.bounds[t + q + 1][j] = upper(j, v);
+        }
+      }
+      if (method == MergePartitionMethod::kSkewAware && rs == 1) {
+        // Single pivot: nothing to split.
+      }
+      t += rs;
+      continue;
+    }
+
+    // Duplicated pivot value v shared by rs consecutive parts: split the
+    // exact run of v's. (DESIGN.md Section 4: we refine the paper's
+    // [upper_bound(ppv), upper_bound(v)) range to the exact duplicate run
+    // [lower_bound(v), upper_bound(v)) for order-correctness.)
+    std::vector<std::size_t> lo(nc), cnt(nc);
+    std::size_t total = 0;
+    for (std::size_t j = 0; j < nc; ++j) {
+      lo[j] = lower(j, v);
+      cnt[j] = upper(j, v) - lo[j];
+      total += cnt[j];
+    }
+    if (!stable) {
+      // Fast version: each chunk splits its own duplicates evenly.
+      for (std::size_t q = 1; q <= rs; ++q) {
+        for (std::size_t j = 0; j < nc; ++j) {
+          plan.bounds[t + q][j] = lo[j] + cnt[j] * q / rs;
+        }
+      }
+    } else {
+      // Stable version: the global run of v's, ordered chunk-major (the
+      // stability order), is cut into rs contiguous groups of ~total/rs.
+      const std::size_t sa = (total + rs - 1) / rs;
+      std::vector<std::size_t> prefix(nc, 0);
+      for (std::size_t j = 1; j < nc; ++j) {
+        prefix[j] = prefix[j - 1] + cnt[j - 1];
+      }
+      for (std::size_t q = 1; q <= rs; ++q) {
+        const std::size_t target = std::min(q * sa, total);
+        for (std::size_t j = 0; j < nc; ++j) {
+          const std::size_t taken =
+              target <= prefix[j]
+                  ? 0
+                  : std::min(target - prefix[j], cnt[j]);
+          plan.bounds[t + q][j] = lo[j] + taken;
+        }
+      }
+    }
+    t += rs;
+  }
+  // The q == rs boundary of the final run may have written bounds[parts];
+  // restore the full-chunk terminator.
+  for (std::size_t j = 0; j < nc; ++j) {
+    plan.bounds[parts][j] = chunks[j].size();
+  }
+  return plan;
+}
+
+}  // namespace sdss

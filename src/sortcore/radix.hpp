@@ -1,0 +1,87 @@
+// LSD radix sort for records with unsigned-integer keys.
+//
+// Radix sort is one of the classic non-sampling parallel sorts the paper
+// contrasts with (Section 5, Thearling & Smith); it also serves as a fast
+// stable sequential sort for integer-keyed records (e.g. cosmology cluster
+// IDs). Stable by construction: each digit pass is a counting sort that
+// preserves the order of equal digits.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "sortcore/key.hpp"
+
+namespace sdss {
+
+/// Sort `data` by kf(record), which must yield an unsigned integer type.
+/// 8-bit digits, least significant first; passes covering only zero digits
+/// across the whole input are skipped.
+template <typename T, typename KeyFn = IdentityKey>
+void radix_sort(std::vector<T>& data, KeyFn kf = {}) {
+  using Key = KeyType<KeyFn, T>;
+  static_assert(std::is_unsigned_v<Key>,
+                "radix_sort requires an unsigned integer key");
+  constexpr int kDigitBits = 8;
+  constexpr std::size_t kBuckets = 1u << kDigitBits;
+  constexpr int kPasses = static_cast<int>(sizeof(Key));
+
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+
+  // One histogram per pass, computed in a single sweep.
+  std::vector<std::array<std::size_t, kBuckets>> hist(
+      static_cast<std::size_t>(kPasses));
+  for (auto& h : hist) h.fill(0);
+  for (const T& v : data) {
+    Key k = kf(v);
+    for (int pass = 0; pass < kPasses; ++pass) {
+      ++hist[static_cast<std::size_t>(pass)][k & (kBuckets - 1)];
+      k >>= kDigitBits;
+    }
+  }
+
+  std::vector<T> scratch(n);
+  T* src = data.data();
+  T* dst = scratch.data();
+  bool swapped = false;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    auto& h = hist[static_cast<std::size_t>(pass)];
+    // Skip passes where every key has the same digit.
+    bool trivial = false;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (h[b] == n) {
+        trivial = true;
+        break;
+      }
+      if (h[b] != 0) break;
+    }
+    if (trivial) continue;
+    // Exclusive prefix sum -> bucket start offsets.
+    std::size_t sum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::size_t c = h[b];
+      h[b] = sum;
+      sum += c;
+    }
+    const int shift = pass * kDigitBits;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Key k = kf(src[i]);
+      const auto digit =
+          static_cast<std::size_t>((k >> shift) & (kBuckets - 1));
+      dst[h[digit]++] = src[i];
+    }
+    std::swap(src, dst);
+    swapped = !swapped;
+  }
+  if (swapped) {
+    // Result currently lives in `scratch`.
+    std::copy(scratch.begin(), scratch.end(), data.begin());
+  }
+}
+
+}  // namespace sdss

@@ -1,0 +1,136 @@
+// Natural-run detection and run-aware sorting for partially ordered data.
+//
+// The paper (Sections 1, 2.7) observes that partially ordered inputs — and
+// the p-chunk output of the data exchange — can be ordered in O(N) instead
+// of O(N log N) by recognizing existing sorted runs and merging them
+// (Chandramouli & Goldstein's "Patience is a virtue" is cited). This module
+// implements that: detect maximal non-descending runs (and, for the
+// non-stable path, strictly descending runs, reversed in place), then merge
+// them if the input is "partially ordered enough", otherwise fall back to a
+// full comparison sort.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sortcore/key.hpp"
+#include "sortcore/kway_merge.hpp"
+#include "sortcore/seq_sort.hpp"
+
+namespace sdss {
+
+/// Boundaries of maximal runs: run i is [bounds[i], bounds[i+1]).
+struct RunScan {
+  std::vector<std::size_t> bounds;
+  std::size_t count() const { return bounds.empty() ? 0 : bounds.size() - 1; }
+};
+
+/// Scan for maximal non-descending runs. With `reverse_descending` (valid
+/// only for non-stable sorting), maximal *strictly* descending runs are
+/// reversed in place first, so e.g. a reverse-sorted array becomes one run.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+RunScan find_runs(std::span<T> data, bool reverse_descending, KeyFn kf = {}) {
+  RunScan scan;
+  const std::size_t n = data.size();
+  scan.bounds.push_back(0);
+  if (n == 0) return scan;
+  std::size_t i = 0;
+  while (i + 1 < n) {
+    std::size_t j = i + 1;
+    if (kf(data[j]) < kf(data[i])) {
+      // Strictly descending run [i, j...].
+      while (j + 1 < n && kf(data[j + 1]) < kf(data[j])) ++j;
+      if (reverse_descending) {
+        std::reverse(data.begin() + static_cast<std::ptrdiff_t>(i),
+                     data.begin() + static_cast<std::ptrdiff_t>(j + 1));
+      } else {
+        // Stable path: each element of a descending run is its own run
+        // start; record singleton boundaries (the merge keeps order).
+        for (std::size_t s = i + 1; s <= j; ++s) scan.bounds.push_back(s);
+      }
+    } else {
+      // Non-descending run.
+      while (j + 1 < n && !(kf(data[j + 1]) < kf(data[j]))) ++j;
+    }
+    if (j + 1 < n) scan.bounds.push_back(j + 1);
+    i = j + 1;
+  }
+  scan.bounds.push_back(n);
+  // A trailing single element forms its own run; the loop above already
+  // accounted for it via the final boundary.
+  if (scan.bounds.size() >= 2 &&
+      scan.bounds[scan.bounds.size() - 2] == scan.bounds.back()) {
+    scan.bounds.pop_back();
+  }
+  return scan;
+}
+
+/// Count natural non-descending runs without modifying the data.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::size_t count_runs(std::span<const T> data, KeyFn kf = {}) {
+  if (data.empty()) return 0;
+  std::size_t runs = 1;
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    if (kf(data[i]) < kf(data[i - 1])) ++runs;
+  }
+  return runs;
+}
+
+enum class OrderingStrategy {
+  kAlreadySorted,  ///< single run: O(N) scan, nothing to do
+  kRunMerge,       ///< few runs: k-way merged, O(N log r)
+  kFullSort,       ///< many runs: comparison sort, O(N log N)
+};
+
+struct RunAwareResult {
+  OrderingStrategy strategy = OrderingStrategy::kFullSort;
+  std::size_t runs = 0;
+};
+
+/// Sort `data`, exploiting partial order. The run-merge path is taken when
+/// the run count is at most `max_merge_runs` (0 picks a heuristic bound).
+/// Stable when `stable` is set (descending runs are then not reversed).
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+RunAwareResult run_aware_sort(std::vector<T>& data, bool stable,
+                              KeyFn kf = {}, std::size_t max_merge_runs = 0) {
+  RunAwareResult res;
+  const std::size_t n = data.size();
+  if (n <= 1) {
+    res.strategy = OrderingStrategy::kAlreadySorted;
+    res.runs = n;
+    return res;
+  }
+  if (max_merge_runs == 0) {
+    // Merging r runs costs ~N log r with a higher constant than std::sort's
+    // N log N inner loop; it wins clearly when r is small. 64 runs is a
+    // conservative crossover measured on this substrate.
+    max_merge_runs = 64;
+  }
+  RunScan scan = find_runs<T, KeyFn>(data, /*reverse_descending=*/!stable, kf);
+  res.runs = scan.count();
+  if (res.runs <= 1) {
+    res.strategy = OrderingStrategy::kAlreadySorted;
+    return res;
+  }
+  if (res.runs > max_merge_runs) {
+    res.strategy = OrderingStrategy::kFullSort;
+    seq_sort<T, KeyFn>(data, stable, kf);
+    return res;
+  }
+  res.strategy = OrderingStrategy::kRunMerge;
+  std::vector<std::span<const T>> runs;
+  runs.reserve(res.runs);
+  for (std::size_t r = 0; r + 1 < scan.bounds.size(); ++r) {
+    runs.emplace_back(data.data() + scan.bounds[r],
+                      scan.bounds[r + 1] - scan.bounds[r]);
+  }
+  std::vector<T> out(n);
+  kway_merge<T, KeyFn>(runs, out, kf);
+  data = std::move(out);
+  return res;
+}
+
+}  // namespace sdss

@@ -1,0 +1,27 @@
+// Sequential sorting entry points: thin wrappers around std::sort and
+// std::stable_sort selected by the stable flag, exactly the per-core
+// primitives SDS-Sort builds on (paper Section 2.2 and Table 1).
+#pragma once
+
+#include <algorithm>
+#include <span>
+
+#include "sortcore/key.hpp"
+
+namespace sdss {
+
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+void seq_sort(std::span<T> data, bool stable, KeyFn kf = {}) {
+  if (stable) {
+    std::stable_sort(data.begin(), data.end(), by_key(kf));
+  } else {
+    std::sort(data.begin(), data.end(), by_key(kf));
+  }
+}
+
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+bool is_sorted_by_key(std::span<const T> data, KeyFn kf = {}) {
+  return std::is_sorted(data.begin(), data.end(), by_key(kf));
+}
+
+}  // namespace sdss

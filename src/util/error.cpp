@@ -1,0 +1,22 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace sdss {
+
+namespace {
+std::string oom_message(int rank, std::size_t required, std::size_t limit) {
+  std::ostringstream os;
+  os << "simulated out-of-memory on rank " << rank << ": requires " << required
+     << " records but the per-rank limit is " << limit;
+  return os.str();
+}
+}  // namespace
+
+SimOomError::SimOomError(int rank, std::size_t required, std::size_t limit)
+    : Error(oom_message(rank, required, limit)),
+      rank_(rank),
+      required_(required),
+      limit_(limit) {}
+
+}  // namespace sdss

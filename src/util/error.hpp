@@ -1,0 +1,58 @@
+// Error types shared across the sdss library.
+//
+// All recoverable failure modes of the simulated cluster and of the sorting
+// algorithms are reported as exceptions derived from `sdss::Error`, so a
+// harness can distinguish "the algorithm failed the way the paper says it
+// fails" (e.g. `SimOomError`, reproducing HykSort's out-of-memory behaviour
+// on skewed data) from genuine bugs.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace sdss {
+
+/// Base class for all errors raised by the sdss library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A rank exceeded its simulated per-process memory budget.
+///
+/// The paper's Edison nodes have 64 GB; HykSort's histogram partitioning
+/// assigns all records with a duplicated key to one process, which runs out
+/// of memory (Figs. 8/10, Tables 3/4). `Config::mem_limit_records` models
+/// that budget; exceeding it throws this.
+class SimOomError : public Error {
+ public:
+  SimOomError(int rank, std::size_t required, std::size_t limit);
+
+  int rank() const noexcept { return rank_; }
+  std::size_t required() const noexcept { return required_; }
+  std::size_t limit() const noexcept { return limit_; }
+
+ private:
+  int rank_;
+  std::size_t required_;
+  std::size_t limit_;
+};
+
+/// Raised in ranks that were blocked in a communication call when another
+/// rank of the same cluster run threw. The throwing rank's exception is the
+/// primary error; aborted ranks unwind with this.
+class SimAbortError : public Error {
+ public:
+  explicit SimAbortError(const std::string& cause)
+      : Error("cluster aborted: " + cause) {}
+};
+
+/// Misuse of the communication API (mismatched message sizes, invalid rank,
+/// collective called with inconsistent arguments, ...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace sdss

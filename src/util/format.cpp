@@ -1,0 +1,75 @@
+#include "util/format.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace sdss {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 5) {
+    v /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(v < 10 && unit > 0 ? 1 : 0) << v
+     << kUnits[unit];
+  return os.str();
+}
+
+std::string human_count(std::uint64_t n) {
+  static const char* kUnits[] = {"", "k", "M", "G"};
+  double v = static_cast<double>(n);
+  int unit = 0;
+  while (v >= 1000.0 && unit < 3) {
+    v /= 1000.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(unit == 0 ? 0 : 1) << v << kUnits[unit];
+  return os.str();
+}
+
+std::string fmt_seconds(double s, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << s;
+  return os.str();
+}
+
+void TextTable::header(std::vector<std::string> cells) {
+  rows_.insert(rows_.begin(), std::move(cells));
+  has_header_ = true;
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths;
+  for (const auto& r : rows_) {
+    if (widths.size() < r.size()) widths.resize(r.size(), 0);
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      widths[i] = std::max(widths[i], r[i].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t ri = 0; ri < rows_.size(); ++ri) {
+    const auto& r = rows_[ri];
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2) << r[i];
+    }
+    os << '\n';
+    if (ri == 0 && has_header_) {
+      std::size_t total = 0;
+      for (std::size_t w : widths) total += w + 2;
+      os << std::string(total, '-') << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sdss

@@ -1,0 +1,34 @@
+// Text-table formatting used by the bench harness so every binary prints the
+// same aligned rows the paper's tables/figures report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdss {
+
+/// "4.0MB", "1.5GB", ... (powers of 1024, one decimal).
+std::string human_bytes(std::uint64_t bytes);
+
+/// "12.3k", "4.1M", ... for record counts.
+std::string human_count(std::uint64_t n);
+
+/// Fixed-precision seconds, e.g. "0.0123".
+std::string fmt_seconds(double s, int precision = 4);
+
+/// A simple aligned text table: add a header row then data rows; str()
+/// right-pads every column to its widest cell.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+  std::string str() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  bool has_header_ = false;
+};
+
+}  // namespace sdss

@@ -1,0 +1,71 @@
+// Order-independent checksums used to verify that a parallel sort is an
+// exact permutation of its input: each rank hashes every record, the
+// per-record hashes are summed (addition is commutative, so redistribution
+// does not change the sum), and the global sums before/after the sort are
+// compared with an allreduce.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+namespace sdss {
+
+/// 64-bit avalanche mix (finalizer of MurmurHash3 / SplitMix64).
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash the object representation of a trivially copyable value.
+template <typename T>
+std::uint64_t hash_bytes(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&value);
+  std::size_t i = 0;
+  // FNV-style over whole 8-byte words, then the tail.
+  for (; i + 8 <= sizeof(T); i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, bytes + i, 8);
+    h = mix64(h ^ w);
+  }
+  if (i < sizeof(T)) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, bytes + i, sizeof(T) - i);
+    h = mix64(h ^ w);
+  }
+  return h;
+}
+
+/// Commutative multiset checksum of a range: sum of per-record hashes plus
+/// the count. Equal multisets give equal checksums; a lost, duplicated, or
+/// corrupted record changes the sum with overwhelming probability.
+struct MultisetChecksum {
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const MultisetChecksum&,
+                         const MultisetChecksum&) = default;
+
+  MultisetChecksum& operator+=(const MultisetChecksum& o) {
+    sum += o.sum;
+    count += o.count;
+    return *this;
+  }
+};
+
+template <typename T>
+MultisetChecksum multiset_checksum(std::span<const T> data) {
+  MultisetChecksum c;
+  for (const T& v : data) {
+    c.sum += hash_bytes(v);
+    ++c.count;
+  }
+  return c;
+}
+
+}  // namespace sdss

@@ -1,0 +1,58 @@
+#include "util/phase_ledger.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+
+namespace sdss {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kPivotSelection:
+      return "pivot-selection";
+    case Phase::kExchange:
+      return "exchange";
+    case Phase::kLocalOrdering:
+      return "local-ordering";
+    case Phase::kNodeMerge:
+      return "node-merge";
+    case Phase::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+double PhaseLedger::total() const {
+  double t = 0.0;
+  for (double s : wall_) t += s;
+  return t;
+}
+
+double PhaseLedger::cpu_total() const {
+  double t = 0.0;
+  for (double s : cpu_) t += s;
+  return t;
+}
+
+void PhaseLedger::max_with(const PhaseLedger& other) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    wall_[i] = std::max(wall_[i], other.wall_[i]);
+    cpu_[i] = std::max(cpu_[i], other.cpu_[i]);
+  }
+}
+
+void PhaseLedger::add_all(const PhaseLedger& other) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    wall_[i] += other.wall_[i];
+    cpu_[i] += other.cpu_[i];
+  }
+}
+
+}  // namespace sdss

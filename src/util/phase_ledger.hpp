@@ -1,0 +1,100 @@
+// Per-rank time accounting by algorithm phase.
+//
+// The paper reports end-to-end times broken down into "Pivot selection",
+// "Exchange", "Local-ordering" and "Other" (Figs. 9 and 10). Each simulated
+// rank owns a PhaseLedger; the algorithm brackets its phases with
+// ScopedPhase, and the harness reduces the per-rank ledgers (max over ranks,
+// matching how an SPMD program's critical path is reported).
+//
+// Two clocks are recorded per phase:
+//  * wall seconds — elapsed real time. On a host with as many cores as
+//    simulated ranks this is the honest per-rank cost; on an oversubscribed
+//    host it is inflated by unrelated threads' timeslices.
+//  * CPU seconds — this thread's CLOCK_THREAD_CPUTIME_ID. Immune to
+//    oversubscription, so max-over-ranks CPU time is the faithful proxy for
+//    the parallel critical path when the simulation runs on fewer cores
+//    than ranks (the load-imbalance experiments, Figs. 9/10, rely on it).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "util/timer.hpp"
+
+namespace sdss {
+
+enum class Phase : int {
+  kPivotSelection = 0,  ///< sampling + global pivot selection + partitioning
+  kExchange = 1,        ///< all-to-all data exchange (incl. async overlap)
+  kLocalOrdering = 2,   ///< final merge/sort of received chunks
+  kNodeMerge = 3,       ///< node-level merging before the exchange
+  kOther = 4,           ///< everything else (initial local sort, setup, ...)
+};
+
+inline constexpr std::size_t kNumPhases = 5;
+
+std::string_view phase_name(Phase p);
+
+/// Current thread's consumed CPU seconds (CLOCK_THREAD_CPUTIME_ID).
+double thread_cpu_seconds();
+
+/// Accumulates wall-clock and thread-CPU seconds per phase. Not
+/// thread-safe: one ledger per rank, touched only by that rank's thread.
+class PhaseLedger {
+ public:
+  void add(Phase p, double wall_seconds, double cpu_seconds = 0.0) {
+    wall_[static_cast<int>(p)] += wall_seconds;
+    cpu_[static_cast<int>(p)] += cpu_seconds;
+  }
+
+  double seconds(Phase p) const { return wall_[static_cast<int>(p)]; }
+  double cpu_seconds(Phase p) const { return cpu_[static_cast<int>(p)]; }
+
+  double total() const;
+  double cpu_total() const;
+
+  void clear() {
+    wall_.fill(0.0);
+    cpu_.fill(0.0);
+  }
+
+  /// Element-wise max: used to reduce per-rank ledgers into the SPMD
+  /// critical-path breakdown the paper plots.
+  void max_with(const PhaseLedger& other);
+
+  /// Element-wise sum.
+  void add_all(const PhaseLedger& other);
+
+ private:
+  std::array<double, kNumPhases> wall_{};
+  std::array<double, kNumPhases> cpu_{};
+};
+
+/// RAII phase bracket. A null ledger makes it a no-op so library code can be
+/// called without any accounting.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseLedger* ledger, Phase phase)
+      : ledger_(ledger), phase_(phase) {
+    if (ledger_ != nullptr) cpu_start_ = thread_cpu_seconds();
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() {
+    if (ledger_ != nullptr) {
+      ledger_->add(phase_, timer_.seconds(),
+                   thread_cpu_seconds() - cpu_start_);
+    }
+  }
+
+ private:
+  PhaseLedger* ledger_;
+  Phase phase_;
+  WallTimer timer_;
+  double cpu_start_ = 0.0;
+};
+
+}  // namespace sdss

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random generation helpers.
+//
+// Every generator in the library is seeded explicitly so that tests and
+// benches are reproducible run-to-run. `SplitMix64` provides cheap,
+// high-quality 64-bit streams and is also used to derive independent
+// per-rank seeds from a single base seed.
+#pragma once
+
+#include <cstdint>
+
+namespace sdss {
+
+/// SplitMix64 (Steele et al.): tiny, statistically solid 64-bit PRNG.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias for small bounds.
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mix a base seed with a stream index (e.g. a rank id) into an independent
+/// seed. Two different (seed, stream) pairs give unrelated sequences.
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  SplitMix64 mix(base ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  mix.next();
+  return mix.next();
+}
+
+}  // namespace sdss

@@ -1,0 +1,46 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sdss {
+
+double rdfa(std::span<const std::size_t> loads) {
+  if (loads.empty()) return 1.0;
+  std::size_t max_load = 0;
+  std::uint64_t total = 0;
+  for (std::size_t m : loads) {
+    max_load = std::max(max_load, m);
+    total += m;
+  }
+  if (total == 0) return 1.0;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(loads.size());
+  return static_cast<double>(max_load) / avg;
+}
+
+double measure_delta(std::span<const std::uint64_t> keys) {
+  if (keys.empty()) return 0.0;
+  std::unordered_map<std::uint64_t, std::size_t> counts;
+  counts.reserve(keys.size() / 4 + 16);
+  std::size_t best = 0;
+  for (std::uint64_t k : keys) {
+    best = std::max(best, ++counts[k]);
+  }
+  return static_cast<double>(best) / static_cast<double>(keys.size());
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: rank = max(1, ceil(q*n)), 1-indexed.
+  const double r = std::ceil(q * static_cast<double>(xs.size()));
+  const auto rank = static_cast<std::size_t>(r < 1.0 ? 1.0 : r);
+  const auto clamped = std::min(rank - 1, xs.size() - 1);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(clamped),
+                   xs.end());
+  return xs[clamped];
+}
+
+}  // namespace sdss

@@ -1,0 +1,50 @@
+// Small statistics helpers: load-balance metrics (RDFA, the paper's
+// headline balance measure), replication ratio delta, and an online
+// mean/min/max accumulator used by the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace sdss {
+
+/// RDFA = max_i(m_i) / avg_i(m_i): Relative Deviation of the largest
+/// partition From the Average (Li et al. '93; paper Tables 3 and 4).
+/// Returns +inf if the average is zero but the max is not (degenerate), and
+/// 1.0 for an empty or all-zero load vector.
+double rdfa(std::span<const std::size_t> loads);
+
+/// delta = d / N where d is the multiplicity of the most frequent key:
+/// the paper's "maximum replication ratio" (Section 4.1). Keys are taken as
+/// already projected 64-bit values.
+double measure_delta(std::span<const std::uint64_t> keys);
+
+/// Streaming min/mean/max accumulator.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact p-quantile (nearest-rank) of a copy of `xs`.
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace sdss

@@ -1,0 +1,26 @@
+// Monotonic wall-clock timer used by benches and the phase ledger.
+#pragma once
+
+#include <chrono>
+
+namespace sdss {
+
+/// A simple RAII-free stopwatch over std::chrono::steady_clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sdss

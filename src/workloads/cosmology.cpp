@@ -1,0 +1,40 @@
+#include "workloads/cosmology.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss::workloads {
+
+std::vector<Particle> cosmology_particles(std::size_t n, std::uint64_t seed,
+                                          const CosmologyOptions& opt) {
+  ZipfGenerator cluster_of(opt.alpha, opt.clusters);
+  SplitMix64 rng(seed);
+  std::vector<Particle> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Particle p;
+    p.cluster_id = cluster_of(rng);
+    // Cluster center derived deterministically from the ID; particles
+    // scatter around it. (A box-muller pair would be prettier physics; a
+    // bounded uniform scatter exercises the same sort paths.)
+    SplitMix64 center(derive_seed(17, p.cluster_id));
+    const float cx = static_cast<float>(center.next_double()) * opt.box;
+    const float cy = static_cast<float>(center.next_double()) * opt.box;
+    const float cz = static_cast<float>(center.next_double()) * opt.box;
+    const auto scatter = [&rng, &opt] {
+      return static_cast<float>((rng.next_double() - 0.5) * 0.02) * opt.box;
+    };
+    p.x = cx + scatter();
+    p.y = cy + scatter();
+    p.z = cz + scatter();
+    p.vx = static_cast<float>(rng.next_double() * 2.0 - 1.0) * 500.0f;
+    p.vy = static_cast<float>(rng.next_double() * 2.0 - 1.0) * 500.0f;
+    p.vz = static_cast<float>(rng.next_double() * 2.0 - 1.0) * 500.0f;
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sdss::workloads

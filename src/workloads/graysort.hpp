@@ -1,0 +1,77 @@
+// GraySort / TeraSort-style records (the paper's future work: "carry out
+// more tests with well-known sorting benchmarks").
+//
+// The Sort Benchmark (sortbenchmark.org) record is 100 bytes: a 10-byte
+// binary key followed by 90 bytes of payload. This generator follows the
+// gensort convention of pseudo-random keys deterministic in the record
+// index, so distributed shards can be produced independently per rank and
+// the full input is reproducible from (seed, first_index, count).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdss::workloads {
+
+struct GraySortRecord {
+  std::array<std::uint8_t, 10> key;
+  std::array<std::uint8_t, 90> payload;
+};
+static_assert(sizeof(GraySortRecord) == 100);
+
+inline std::array<std::uint8_t, 10> graysort_key(const GraySortRecord& r) {
+  return r.key;
+}
+
+/// Generate `count` records for global indices [first, first+count).
+inline std::vector<GraySortRecord> graysort_records(std::uint64_t first,
+                                                    std::size_t count,
+                                                    std::uint64_t seed) {
+  std::vector<GraySortRecord> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    GraySortRecord& r = out[i];
+    SplitMix64 rng(derive_seed(seed, first + i));
+    const std::uint64_t hi = rng.next();
+    const std::uint64_t lo = rng.next();
+    for (int b = 0; b < 8; ++b) {
+      r.key[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(hi >> (56 - 8 * b));
+    }
+    r.key[8] = static_cast<std::uint8_t>(lo >> 8);
+    r.key[9] = static_cast<std::uint8_t>(lo);
+    // Payload: record index (for validation) then filler.
+    std::uint64_t idx = first + i;
+    for (int b = 0; b < 8; ++b) {
+      r.payload[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(idx >> (56 - 8 * b));
+    }
+    std::uint64_t fill = rng.next();
+    for (std::size_t b = 8; b < r.payload.size(); ++b) {
+      fill = fill * 6364136223846793005ULL + 1442695040888963407ULL;
+      r.payload[b] = static_cast<std::uint8_t>(fill >> 33);
+    }
+  }
+  return out;
+}
+
+/// A skewed GraySort variant: a fraction of the keys collapse onto one hot
+/// key (Daytona-style duplicate stress), exercising skew-aware partitioning
+/// on byte-string keys.
+inline std::vector<GraySortRecord> graysort_records_skewed(
+    std::uint64_t first, std::size_t count, std::uint64_t seed,
+    double hot_fraction) {
+  auto out = graysort_records(first, count, seed);
+  SplitMix64 rng(derive_seed(seed ^ 0xabcdef, first));
+  std::array<std::uint8_t, 10> hot;
+  hot.fill(0x42);
+  for (auto& r : out) {
+    if (rng.next_double() < hot_fraction) r.key = hot;
+  }
+  return out;
+}
+
+}  // namespace sdss::workloads

@@ -1,0 +1,34 @@
+#include "workloads/ptf.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sdss::workloads {
+
+std::vector<PtfRecord> ptf_records(std::size_t n, std::uint64_t seed,
+                                   const PtfOptions& opt) {
+  SplitMix64 rng(seed);
+  std::vector<PtfRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    PtfRecord r;
+    if (rng.next_double() < opt.bogus_fraction) {
+      r.rb_score = opt.bogus_score;
+    } else {
+      // Smooth score mass; squaring biases toward low scores like a real
+      // classifier's output on a mostly-bogus stream.
+      const double u = rng.next_double();
+      r.rb_score = static_cast<float>(u * u);
+      if (r.rb_score == opt.bogus_score) r.rb_score = 1e-6f;
+    }
+    r.obj_id = static_cast<std::uint32_t>(rng.next());
+    r.ra = static_cast<float>(rng.next_double() * 360.0);
+    r.dec = static_cast<float>(rng.next_double() * 180.0 - 90.0);
+    r.mjd = 56000.0 + rng.next_double() * 1500.0;
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace sdss::workloads

@@ -1,0 +1,42 @@
+// Record types used by the examples, tests and benches.
+#pragma once
+
+#include <cstdint>
+
+namespace sdss::workloads {
+
+/// A cosmological simulation particle as sorted by BD-CATS (paper Section
+/// 4.2): the clustering ID is the sort key, position and velocity ride along
+/// as payload — 32 bytes total, like the paper's 2.1 TB / 68G-particle set.
+struct Particle {
+  std::uint64_t cluster_id;
+  float x, y, z;
+  float vx, vy, vz;
+};
+
+/// A Palomar Transient Factory detection: the real-bogus classifier score is
+/// the (heavily duplicated, delta ~ 28%) sort key; the rest is payload.
+struct PtfRecord {
+  float rb_score;      ///< real/bogus classifier output in [0, 1]
+  std::uint32_t obj_id;
+  float ra;            ///< right ascension, degrees
+  float dec;           ///< declination, degrees
+  double mjd;          ///< modified Julian date of the detection
+};
+
+/// Key + provenance, used to verify stability: after a stable sort, records
+/// with equal keys must be ordered by (origin rank, origin index).
+template <typename K>
+struct Tagged {
+  K key;
+  std::uint32_t src_rank;
+  std::uint32_t src_index;
+};
+
+template <typename K>
+bool tagged_before(const Tagged<K>& a, const Tagged<K>& b) {
+  if (a.src_rank != b.src_rank) return a.src_rank < b.src_rank;
+  return a.src_index < b.src_index;
+}
+
+}  // namespace sdss::workloads

@@ -1,0 +1,40 @@
+#include "workloads/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sdss::workloads {
+
+ZipfGenerator::ZipfGenerator(double alpha, std::size_t universe)
+    : alpha_(alpha), universe_(universe) {
+  if (universe_ == 0) throw std::invalid_argument("zipf: empty universe");
+  cdf_.resize(universe_);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < universe_; ++i) {
+    sum += std::pow(static_cast<double>(i + 1), -alpha_);
+    cdf_[i] = sum;
+  }
+  const double norm = 1.0 / sum;
+  for (double& c : cdf_) c *= norm;
+  cdf_.back() = 1.0;  // guard against rounding
+  delta_ = std::pow(1.0, -alpha_) * norm;
+}
+
+std::uint64_t ZipfGenerator::operator()(SplitMix64& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+}
+
+std::vector<std::uint64_t> zipf_keys(std::size_t n, double alpha,
+                                     std::uint64_t seed,
+                                     std::size_t universe) {
+  ZipfGenerator gen(alpha, universe);
+  SplitMix64 rng(seed);
+  std::vector<std::uint64_t> out(n);
+  for (auto& k : out) k = gen(rng);
+  return out;
+}
+
+}  // namespace sdss::workloads

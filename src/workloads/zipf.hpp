@@ -1,0 +1,48 @@
+// Zipf-distributed key generation (paper Section 4.1).
+//
+// The paper's skewed workloads draw from p(i) = C / i^alpha over a fixed
+// value universe. The maximum replication ratio delta = d/N is then ~p(1) =
+// C. With a universe of 10,000 values — the calibration this module
+// defaults to — the alpha -> delta mapping matches the paper's Table 2
+// (alpha 0.4..0.9 -> delta 0.2%..6.4%) and Table 1 (alpha 0.7/1.4/2.1 ->
+// delta 2%/32%/63%).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sdss::workloads {
+
+class ZipfGenerator {
+ public:
+  static constexpr std::size_t kDefaultUniverse = 10000;
+
+  /// Build the inverse-CDF table for p(i) = C/i^alpha, i in [1, universe].
+  ZipfGenerator(double alpha, std::size_t universe = kDefaultUniverse);
+
+  /// Draw one value in [1, universe]; value 1 is the most frequent.
+  std::uint64_t operator()(SplitMix64& rng) const;
+
+  /// Expected maximum replication ratio: p(1) = C = 1/H(alpha, universe).
+  double theoretical_delta() const { return delta_; }
+
+  double alpha() const { return alpha_; }
+  std::size_t universe() const { return universe_; }
+
+ private:
+  double alpha_;
+  std::size_t universe_;
+  double delta_;
+  std::vector<double> cdf_;  ///< cdf_[i] = P(value <= i+1)
+};
+
+/// n Zipf keys with the given alpha/universe, deterministic in `seed`.
+std::vector<std::uint64_t> zipf_keys(std::size_t n, double alpha,
+                                     std::uint64_t seed,
+                                     std::size_t universe =
+                                         ZipfGenerator::kDefaultUniverse);
+
+}  // namespace sdss::workloads

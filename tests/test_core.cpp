@@ -1,0 +1,536 @@
+// Unit tests for the SDS-Sort core building blocks: regular sampling,
+// global pivot selection (bitonic == gather), SdssReplicated, SdssPartition
+// (fast + stable, windowed + full-scan), node-level merging, and the
+// exchange machinery with the simulated memory budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/exchange.hpp"
+#include "core/node_merge.hpp"
+#include "core/partition.hpp"
+#include "core/pivots.hpp"
+#include "core/replicated.hpp"
+#include "core/sampling.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+
+// --- sampling ---------------------------------------------------------------
+
+TEST(Sampling, RegularStride) {
+  std::vector<int> data(100);
+  std::iota(data.begin(), data.end(), 0);
+  auto s = sample_local_pivots<int>(data, 4);
+  ASSERT_EQ(s.keys.size(), 4u);
+  // stride = 100/5 = 20: positions 20, 40, 60, 80.
+  EXPECT_EQ(s.positions, (std::vector<std::size_t>{20, 40, 60, 80}));
+  EXPECT_EQ(s.keys, (std::vector<int>{20, 40, 60, 80}));
+}
+
+TEST(Sampling, SmallArrayClamps) {
+  std::vector<int> data{5, 6};
+  auto s = sample_local_pivots<int>(data, 7);
+  ASSERT_EQ(s.keys.size(), 7u);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_LT(s.positions[i], 2u);
+    EXPECT_TRUE(s.keys[i] == 5 || s.keys[i] == 6);
+  }
+  EXPECT_TRUE(std::is_sorted(s.keys.begin(), s.keys.end()));
+}
+
+TEST(Sampling, EmptyArrayYieldsMaxKeys) {
+  std::vector<double> data;
+  auto s = sample_local_pivots<double>(data, 3);
+  ASSERT_EQ(s.keys.size(), 3u);
+  for (double k : s.keys) {
+    EXPECT_EQ(k, std::numeric_limits<double>::max());
+  }
+}
+
+// --- pivot selection ----------------------------------------------------------
+
+TEST(Pivots, BitonicBlocksSortGlobally) {
+  Cluster(ClusterConfig{8}).run([](Comm& c) {
+    SplitMix64 rng(derive_seed(77, static_cast<std::uint64_t>(c.rank())));
+    std::vector<std::uint64_t> block(16);
+    for (auto& x : block) x = rng.next_below(1000);
+    std::sort(block.begin(), block.end());
+    detail::bitonic_sort_blocks(c, block);
+    EXPECT_TRUE(std::is_sorted(block.begin(), block.end()));
+    // Global order across ranks: my max <= next rank's min.
+    auto mins = c.allgather<std::uint64_t>(block.front());
+    auto maxs = c.allgather<std::uint64_t>(block.back());
+    for (int r = 1; r < c.size(); ++r) {
+      EXPECT_LE(maxs[static_cast<std::size_t>(r - 1)],
+                mins[static_cast<std::size_t>(r)]);
+    }
+  });
+}
+
+TEST(Pivots, BitonicRejectsNonPowerOfTwo) {
+  Cluster(ClusterConfig{3}).run([](Comm& c) {
+    std::vector<int> pl(2, c.rank());
+    EXPECT_THROW(select_global_pivots<int>(c, pl, PivotSelection::kBitonic),
+                 std::invalid_argument);
+    c.barrier();
+  });
+}
+
+TEST(Pivots, BitonicAndGatherAgree) {
+  for (int p : {2, 4, 8}) {
+    Cluster(ClusterConfig{p}).run([p](Comm& c) {
+      // Deterministic sorted local pivots per rank.
+      SplitMix64 rng(derive_seed(123, static_cast<std::uint64_t>(c.rank())));
+      std::vector<std::uint64_t> pl(static_cast<std::size_t>(p - 1));
+      for (auto& x : pl) x = rng.next_below(500);
+      std::sort(pl.begin(), pl.end());
+      auto a = select_global_pivots<std::uint64_t>(c, pl,
+                                                   PivotSelection::kBitonic);
+      auto b = select_global_pivots<std::uint64_t>(c, pl,
+                                                   PivotSelection::kGather);
+      EXPECT_EQ(a, b) << "p=" << p;
+      EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    });
+  }
+}
+
+TEST(Pivots, AutoFallsBackForOddCounts) {
+  Cluster(ClusterConfig{6}).run([](Comm& c) {
+    std::vector<int> pl(5);
+    std::iota(pl.begin(), pl.end(), c.rank() * 5);
+    auto piv = select_global_pivots<int>(c, pl, PivotSelection::kAuto);
+    EXPECT_EQ(piv.size(), 5u);
+    EXPECT_TRUE(std::is_sorted(piv.begin(), piv.end()));
+    // Everyone agrees.
+    auto all = c.allgatherv<int>(piv);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i], piv[i % piv.size()]);
+    }
+  });
+}
+
+TEST(Pivots, WeightedSelectionIgnoresWeightlessSentinels) {
+  Cluster(ClusterConfig{4}).run([](Comm& c) {
+    // Only rank 1 holds data: its samples must dominate the selection.
+    std::vector<std::uint64_t> pl;
+    std::uint64_t count = 0;
+    if (c.rank() == 1) {
+      pl = {100, 200, 300};
+      count = 4000;
+    } else {
+      pl = {~0ull, ~0ull, ~0ull};  // sentinel pivots from empty shards
+      count = 0;
+    }
+    auto piv = select_global_pivots_weighted<std::uint64_t>(c, pl, count);
+    ASSERT_EQ(piv.size(), 3u);
+    EXPECT_EQ(piv[0], 100u);
+    EXPECT_EQ(piv[1], 200u);
+    EXPECT_EQ(piv[2], 300u);
+  });
+}
+
+TEST(Pivots, WeightedSelectionOnBalancedInputIsReasonable) {
+  Cluster(ClusterConfig{4}).run([](Comm& c) {
+    // Rank r samples {r*100+25, r*100+50, r*100+75}: globally the keys tile
+    // [25, 375]; weighted selection must pick spread-out pivots.
+    std::vector<std::uint64_t> pl{
+        static_cast<std::uint64_t>(c.rank()) * 100 + 25,
+        static_cast<std::uint64_t>(c.rank()) * 100 + 50,
+        static_cast<std::uint64_t>(c.rank()) * 100 + 75};
+    auto piv = select_global_pivots_weighted<std::uint64_t>(c, pl, 1000);
+    ASSERT_EQ(piv.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(piv.begin(), piv.end()));
+    EXPECT_LT(piv[0], piv[2]);
+    // Agreement across ranks.
+    auto all = c.allgatherv<std::uint64_t>(piv);
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i], piv[i % 3]);
+    }
+  });
+}
+
+TEST(Pivots, WeightedSelectionAllEmpty) {
+  Cluster(ClusterConfig{3}).run([](Comm& c) {
+    std::vector<std::uint64_t> pl(2, ~0ull);
+    auto piv = select_global_pivots_weighted<std::uint64_t>(c, pl, 0);
+    ASSERT_EQ(piv.size(), 2u);
+    EXPECT_EQ(piv[0], ~0ull);
+  });
+}
+
+TEST(Pivots, SingleRankHasNone) {
+  Cluster(ClusterConfig{1}).run([](Comm& c) {
+    std::vector<int> pl;
+    EXPECT_TRUE(select_global_pivots<int>(c, pl).empty());
+  });
+}
+
+// --- SdssReplicated ------------------------------------------------------------
+
+TEST(Replicated, NoDuplicates) {
+  std::vector<int> pg{1, 3, 5, 7};
+  for (std::size_t i = 0; i < pg.size(); ++i) {
+    auto info = sdss_replicated<int>(pg, i);
+    EXPECT_FALSE(info.replicated);
+    EXPECT_EQ(info.run_size, 1u);
+    EXPECT_EQ(info.rank_in_run, 0u);
+    if (i > 0) {
+      ASSERT_TRUE(info.prev_value.has_value());
+      EXPECT_EQ(*info.prev_value, pg[i - 1]);
+    } else {
+      EXPECT_FALSE(info.prev_value.has_value());
+    }
+  }
+}
+
+TEST(Replicated, MiddleRun) {
+  std::vector<int> pg{1, 4, 4, 4, 9};
+  auto info = sdss_replicated<int>(pg, 2);
+  EXPECT_TRUE(info.replicated);
+  EXPECT_EQ(info.run_begin, 1u);
+  EXPECT_EQ(info.run_size, 3u);
+  EXPECT_EQ(info.rank_in_run, 1u);
+  ASSERT_TRUE(info.prev_value.has_value());
+  EXPECT_EQ(*info.prev_value, 1);
+}
+
+TEST(Replicated, RunAtStartHasNoPrev) {
+  std::vector<int> pg{2, 2, 5};
+  auto info = sdss_replicated<int>(pg, 0);
+  EXPECT_TRUE(info.replicated);
+  EXPECT_EQ(info.run_size, 2u);
+  EXPECT_FALSE(info.prev_value.has_value());
+}
+
+TEST(Replicated, AllEqual) {
+  std::vector<int> pg{7, 7, 7};
+  auto info = sdss_replicated<int>(pg, 2);
+  EXPECT_EQ(info.run_begin, 0u);
+  EXPECT_EQ(info.run_size, 3u);
+  EXPECT_EQ(info.rank_in_run, 2u);
+}
+
+// --- SdssPartition ---------------------------------------------------------------
+
+/// Single-rank-free harness: run partition logic on p simulated ranks and
+/// return all bounds (gathered) for inspection.
+std::vector<std::vector<std::size_t>> run_partition(
+    int p, const std::vector<std::vector<std::uint64_t>>& shards,
+    const std::vector<std::uint64_t>& pivots, Config cfg) {
+  std::vector<std::vector<std::size_t>> result(static_cast<std::size_t>(p));
+  std::mutex mu;
+  Cluster(ClusterConfig{p}).run([&](Comm& c) {
+    auto data = shards[static_cast<std::size_t>(c.rank())];
+    std::sort(data.begin(), data.end());
+    auto samples = sample_local_pivots<std::uint64_t>(
+        data, static_cast<std::size_t>(p - 1));
+    auto bounds = sdss_partition<std::uint64_t>(c, data, samples, pivots, cfg);
+    std::lock_guard<std::mutex> lk(mu);
+    result[static_cast<std::size_t>(c.rank())] = bounds;
+  });
+  return result;
+}
+
+TEST(Partition, UniqueKeysMatchUpperBound) {
+  const int p = 4;
+  std::vector<std::vector<std::uint64_t>> shards;
+  for (int r = 0; r < p; ++r) {
+    shards.push_back(workloads::uniform_u64(
+        500, derive_seed(9, static_cast<std::uint64_t>(r)), 1u << 20));
+  }
+  std::vector<std::uint64_t> pivots{1u << 18, 2u << 18, 3u << 18};
+  Config cfg;
+  auto bounds = run_partition(p, shards, pivots, cfg);
+  for (int r = 0; r < p; ++r) {
+    auto data = shards[static_cast<std::size_t>(r)];
+    std::sort(data.begin(), data.end());
+    const auto& b = bounds[static_cast<std::size_t>(r)];
+    ASSERT_EQ(b.size(), static_cast<std::size_t>(p + 1));
+    EXPECT_EQ(b[0], 0u);
+    EXPECT_EQ(b[static_cast<std::size_t>(p)], data.size());
+    for (std::size_t d = 0; d < pivots.size(); ++d) {
+      const auto expect = static_cast<std::size_t>(
+          std::upper_bound(data.begin(), data.end(), pivots[d]) -
+          data.begin());
+      EXPECT_EQ(b[d + 1], expect) << "rank " << r << " pivot " << d;
+    }
+  }
+}
+
+TEST(Partition, WindowedAndFullSearchAgree) {
+  const int p = 8;
+  std::vector<std::vector<std::uint64_t>> shards;
+  for (int r = 0; r < p; ++r) {
+    shards.push_back(workloads::zipf_keys(
+        2000, 1.2, derive_seed(31, static_cast<std::uint64_t>(r))));
+  }
+  // Pivots with duplicates, from a zipf draw.
+  std::vector<std::uint64_t> pivots{1, 1, 2, 4, 9, 9, 200};
+  Config windowed;
+  windowed.local_pivot_partition = true;
+  Config full;
+  full.local_pivot_partition = false;
+  auto a = run_partition(p, shards, pivots, windowed);
+  auto b = run_partition(p, shards, pivots, full);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Partition, FastSkewAwareSplitsDuplicates) {
+  const int p = 4;
+  // Every shard: 1000 copies of key 5 (plus a few distinct values).
+  std::vector<std::vector<std::uint64_t>> shards(
+      static_cast<std::size_t>(p));
+  for (auto& s : shards) {
+    s.assign(1000, 5);
+    s.push_back(1);
+    s.push_back(9);
+  }
+  // Pivot run: {5, 5, 5} — ranks 0..2 share the duplicates.
+  std::vector<std::uint64_t> pivots{5, 5, 5};
+  Config cfg;  // skew_aware on, fast version
+  auto bounds = run_partition(p, shards, pivots, cfg);
+  for (int r = 0; r < p; ++r) {
+    const auto& b = bounds[static_cast<std::size_t>(r)];
+    // Destination loads from this shard: each of ranks 0..2 gets ~1/3 of
+    // the 5s; rank 3 gets only the key 9.
+    const std::size_t d0 = b[1] - b[0];
+    const std::size_t d1 = b[2] - b[1];
+    const std::size_t d2 = b[3] - b[2];
+    const std::size_t d3 = b[4] - b[3];
+    EXPECT_NEAR(static_cast<double>(d0), 334.0, 2.0);  // includes key 1
+    EXPECT_NEAR(static_cast<double>(d1), 333.0, 2.0);
+    EXPECT_NEAR(static_cast<double>(d2), 334.0, 2.0);
+    EXPECT_EQ(d3, 1u);  // key 9 only
+  }
+}
+
+TEST(Partition, SkewAwareOffSendsAllDuplicatesToOneRank) {
+  const int p = 4;
+  std::vector<std::vector<std::uint64_t>> shards(
+      static_cast<std::size_t>(p), std::vector<std::uint64_t>(1000, 5));
+  std::vector<std::uint64_t> pivots{5, 5, 5};
+  Config cfg;
+  cfg.skew_aware = false;
+  auto bounds = run_partition(p, shards, pivots, cfg);
+  for (int r = 0; r < p; ++r) {
+    const auto& b = bounds[static_cast<std::size_t>(r)];
+    EXPECT_EQ(b[1] - b[0], 1000u);  // everything to rank 0
+    EXPECT_EQ(b[4] - b[1], 0u);
+  }
+}
+
+TEST(Partition, StableVersionIsRankMajor) {
+  const int p = 4;
+  // Rank r holds r*100 copies of key 7: global duplicate space = 0 + 100 +
+  // 200 + 300 = 600, rs = 3 groups of sa = 200.
+  std::vector<std::vector<std::uint64_t>> shards;
+  for (int r = 0; r < p; ++r) {
+    shards.emplace_back(static_cast<std::size_t>(r) * 100, 7);
+  }
+  std::vector<std::uint64_t> pivots{7, 7, 7};
+  Config cfg;
+  cfg.stable = true;
+  auto bounds = run_partition(p, shards, pivots, cfg);
+  // Global positions: rank1's 7s = [0,100), rank2's = [100,300),
+  // rank3's = [300,600). Groups: [0,200) -> dest 0, [200,400) -> dest 1,
+  // [400,600) -> dest 2.
+  // rank 1 (100 records): all in group 0.
+  EXPECT_EQ(bounds[1][1] - bounds[1][0], 100u);
+  // rank 2 (200 records): [100,300) -> 100 to dest0, 100 to dest1.
+  EXPECT_EQ(bounds[2][1] - bounds[2][0], 100u);
+  EXPECT_EQ(bounds[2][2] - bounds[2][1], 100u);
+  // rank 3 (300 records): [300,600) -> 100 to dest1, 200 to dest2.
+  EXPECT_EQ(bounds[3][1] - bounds[3][0], 0u);
+  EXPECT_EQ(bounds[3][2] - bounds[3][1], 100u);
+  EXPECT_EQ(bounds[3][3] - bounds[3][2], 200u);
+}
+
+TEST(Partition, LoadBoundHoldsOnZipf) {
+  // The headline theorem: max load <= ~4N/p on heavily skewed data.
+  for (double alpha : {0.7, 1.4, 2.1}) {
+    const int p = 8;
+    const std::size_t per_rank = 4000;
+    std::vector<std::size_t> loads(static_cast<std::size_t>(p), 0);
+    std::mutex mu;
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      auto data = workloads::zipf_keys(
+          per_rank, alpha,
+          derive_seed(55, static_cast<std::uint64_t>(c.rank())));
+      std::sort(data.begin(), data.end());
+      auto samples = sample_local_pivots<std::uint64_t>(
+          data, static_cast<std::size_t>(p - 1));
+      auto pivots = select_global_pivots<std::uint64_t>(c, samples.keys);
+      Config cfg;
+      auto bounds =
+          sdss_partition<std::uint64_t>(c, data, samples, pivots, cfg);
+      auto plan = plan_exchange(c, bounds, 0);
+      std::lock_guard<std::mutex> lk(mu);
+      loads[static_cast<std::size_t>(c.rank())] = plan.recv_total;
+    });
+    const std::size_t total = per_rank * static_cast<std::size_t>(p);
+    const std::size_t bound = 4 * total / static_cast<std::size_t>(p);
+    for (int r = 0; r < p; ++r) {
+      EXPECT_LE(loads[static_cast<std::size_t>(r)], bound)
+          << "alpha=" << alpha << " rank=" << r;
+    }
+  }
+}
+
+TEST(Partition, FullScanMatchesBinarySearch) {
+  auto data = workloads::zipf_keys(3000, 1.0, 77);
+  std::sort(data.begin(), data.end());
+  std::vector<std::uint64_t> pivots{1, 3, 3, 10, 40};
+  auto scan = full_scan_partition<std::uint64_t>(data, pivots);
+  ASSERT_EQ(scan.size(), 7u);
+  EXPECT_EQ(scan[0], 0u);
+  EXPECT_EQ(scan[6], data.size());
+  for (std::size_t d = 0; d < pivots.size(); ++d) {
+    const auto expect = static_cast<std::size_t>(
+        std::upper_bound(data.begin(), data.end(), pivots[d]) - data.begin());
+    EXPECT_EQ(scan[d + 1], expect) << "pivot " << d;
+  }
+}
+
+// --- node merge ------------------------------------------------------------------
+
+TEST(NodeMerge, LeaderCollectsNodeData) {
+  Cluster(ClusterConfig{8, /*cores_per_node=*/4}).run([](Comm& c) {
+    auto pair = refine_comm(c);
+    EXPECT_EQ(pair.local.size(), 4);
+    EXPECT_EQ(pair.leaders.valid(), pair.local.rank() == 0);
+    std::vector<std::uint64_t> data = workloads::uniform_u64(
+        200, derive_seed(88, static_cast<std::uint64_t>(c.rank())), 1000);
+    std::sort(data.begin(), data.end());
+    node_merge<std::uint64_t>(pair.local, data, /*stable=*/false);
+    if (pair.local.rank() == 0) {
+      EXPECT_EQ(data.size(), 800u);
+      EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+    } else {
+      EXPECT_TRUE(data.empty());
+    }
+  });
+}
+
+TEST(NodeMerge, StablePreservesRankOrder) {
+  using Rec = workloads::Tagged<std::uint32_t>;
+  Cluster(ClusterConfig{4, /*cores_per_node=*/4}).run([](Comm& c) {
+    std::vector<std::uint32_t> keys(300);
+    SplitMix64 rng(derive_seed(3, static_cast<std::uint64_t>(c.rank())));
+    for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(4));
+    std::sort(keys.begin(), keys.end());
+    auto data = workloads::tag_keys(keys, c.rank());
+    auto pair = refine_comm(c);
+    node_merge<Rec>(pair.local, data, /*stable=*/true,
+                    [](const Rec& r) { return r.key; });
+    if (pair.local.rank() == 0) {
+      ASSERT_EQ(data.size(), 1200u);
+      for (std::size_t i = 1; i < data.size(); ++i) {
+        ASSERT_LE(data[i - 1].key, data[i].key);
+        if (data[i - 1].key == data[i].key) {
+          ASSERT_TRUE(workloads::tagged_before(data[i - 1], data[i]));
+        }
+      }
+    }
+  });
+}
+
+TEST(NodeMerge, SingleRankNodeIsNoop) {
+  Cluster(ClusterConfig{2, /*cores_per_node=*/1}).run([](Comm& c) {
+    auto pair = refine_comm(c);
+    std::vector<std::uint64_t> data{3, 1, 2};
+    std::sort(data.begin(), data.end());
+    node_merge<std::uint64_t>(pair.local, data, false);
+    EXPECT_EQ(data.size(), 3u);
+  });
+}
+
+// --- exchange ---------------------------------------------------------------------
+
+TEST(Exchange, PlanRoundTripsCounts) {
+  Cluster(ClusterConfig{3}).run([](Comm& c) {
+    // Rank r sends r+1 records to every peer.
+    const auto p = static_cast<std::size_t>(c.size());
+    const auto mine = static_cast<std::size_t>(c.rank()) + 1;
+    std::vector<std::size_t> bounds(p + 1, 0);
+    for (std::size_t d = 0; d <= p; ++d) bounds[d] = d * mine;
+    auto plan = plan_exchange(c, bounds, 0);
+    EXPECT_EQ(plan.recv_total, 1u + 2u + 3u);
+    for (std::size_t s = 0; s < p; ++s) {
+      EXPECT_EQ(plan.rcounts[s], s + 1);
+    }
+  });
+}
+
+TEST(Exchange, MemLimitTriggersOom) {
+  auto res = Cluster(ClusterConfig{2}).run_collect([](Comm& c) {
+    const std::size_t n = 100;
+    std::vector<std::size_t> bounds{0, c.rank() == 0 ? 0u : 0u, n};
+    // Both ranks send everything to rank 1.
+    plan_exchange(c, bounds, /*mem_limit_records=*/150);
+    c.barrier();
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.oom);
+  EXPECT_EQ(res.failed_rank, 1);
+}
+
+TEST(Exchange, SyncExchangeDelivers) {
+  Cluster(ClusterConfig{4}).run([](Comm& c) {
+    // Rank r's data: 4 blocks of 10, block d tagged with destination d.
+    std::vector<std::uint64_t> data;
+    for (std::uint64_t d = 0; d < 4; ++d) {
+      for (int i = 0; i < 10; ++i) {
+        data.push_back(d * 1000 + static_cast<std::uint64_t>(c.rank()));
+      }
+    }
+    std::vector<std::size_t> bounds{0, 10, 20, 30, 40};
+    auto plan = plan_exchange(c, bounds, 0);
+    auto recv = sync_exchange<std::uint64_t>(c, data, plan);
+    ASSERT_EQ(recv.size(), 40u);
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(recv[plan.rdispls[s] + i],
+                  static_cast<std::uint64_t>(c.rank()) * 1000 + s);
+      }
+    }
+  });
+}
+
+TEST(Exchange, OverlapMergeProducesSortedOutput) {
+  Cluster(ClusterConfig{6}).run([](Comm& c) {
+    auto data = workloads::uniform_u64(
+        1200, derive_seed(17, static_cast<std::uint64_t>(c.rank())), 6000);
+    std::sort(data.begin(), data.end());
+    // Even partition by value range [r*1000, (r+1)*1000).
+    std::vector<std::size_t> bounds(7, 0);
+    for (std::size_t d = 1; d < 6; ++d) {
+      bounds[d] = static_cast<std::size_t>(
+          std::lower_bound(data.begin(), data.end(), d * 1000) - data.begin());
+    }
+    bounds[6] = data.size();
+    auto plan = plan_exchange(c, bounds, 0);
+    auto out = overlap_exchange_merge<std::uint64_t>(c, data, plan);
+    EXPECT_EQ(out.size(), plan.recv_total);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    // Values are in my range.
+    if (!out.empty()) {
+      EXPECT_GE(out.front(), static_cast<std::uint64_t>(c.rank()) * 1000);
+      EXPECT_LT(out.back(), static_cast<std::uint64_t>(c.rank() + 1) * 1000);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sdss

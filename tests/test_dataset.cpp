@@ -1,0 +1,250 @@
+// Tests for the Dataset<T> convenience layer: distributed sort-by-key plus
+// the order-based analytics the paper's motivating systems run on sorted
+// data (quantiles, top-k, range extraction, histograms).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "api/dataset.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+#include "workloads/cosmology.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+
+Dataset<std::uint64_t> make_sorted(Comm& world, std::size_t per_rank,
+                                   std::uint64_t universe = 1ull << 32) {
+  auto shard = workloads::uniform_u64(
+      per_rank, derive_seed(2201, static_cast<std::uint64_t>(world.rank())),
+      universe);
+  return Dataset<std::uint64_t>(world, std::move(shard)).sorted_by();
+}
+
+TEST(Dataset, CountsAndSortFlag) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    Dataset<std::uint64_t> ds(world,
+                              std::vector<std::uint64_t>(100, world.rank()));
+    EXPECT_EQ(ds.local_count(), 100u);
+    EXPECT_EQ(ds.global_count(), 400u);
+    EXPECT_FALSE(ds.is_sorted());
+    auto sorted = std::move(ds).sorted_by();
+    EXPECT_TRUE(sorted.is_sorted());
+    EXPECT_TRUE(sorted.verify_sorted());
+    EXPECT_EQ(sorted.global_count(), 400u);
+  });
+}
+
+TEST(Dataset, OrderQueriesRequireSorting) {
+  Cluster(ClusterConfig{2}).run([](Comm& world) {
+    Dataset<std::uint64_t> ds(world, {3, 1, 2});
+    EXPECT_THROW(ds.at_global_index(0), Error);
+    EXPECT_THROW(ds.top_k(1), Error);
+  });
+}
+
+TEST(Dataset, GlobalIndexLookup) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    // Rank r holds {r, r+4, r+8, ...}: globally the values 0..39.
+    std::vector<std::uint64_t> shard;
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      shard.push_back(static_cast<std::uint64_t>(world.rank()) + 4 * i);
+    }
+    auto ds = Dataset<std::uint64_t>(world, std::move(shard)).sorted_by();
+    for (std::uint64_t idx : {0u, 7u, 20u, 39u}) {
+      auto v = ds.at_global_index(idx);
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, idx);  // sorted order of 0..39 is the identity
+    }
+    EXPECT_FALSE(ds.at_global_index(40).has_value());
+  });
+}
+
+TEST(Dataset, QuantilesOfKnownSequence) {
+  Cluster(ClusterConfig{5}).run([](Comm& world) {
+    // Global content: 0..999 (rank r holds a contiguous 200-block,
+    // pre-shuffled within).
+    std::vector<std::uint64_t> shard;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      shard.push_back(static_cast<std::uint64_t>(world.rank()) * 200 + i);
+    }
+    SplitMix64 rng(derive_seed(2202, static_cast<std::uint64_t>(world.rank())));
+    for (std::size_t i = shard.size(); i > 1; --i) {
+      std::swap(shard[i - 1], shard[rng.next_below(i)]);
+    }
+    auto ds = Dataset<std::uint64_t>(world, std::move(shard)).sorted_by();
+    const std::vector<double> qs{0.0, 0.25, 0.5, 1.0};
+    auto vals = ds.quantiles(qs);
+    ASSERT_EQ(vals.size(), 4u);
+    EXPECT_EQ(vals[0], 0u);
+    EXPECT_NEAR(static_cast<double>(vals[1]), 250.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(vals[2]), 500.0, 1.0);
+    EXPECT_EQ(vals[3], 999u);
+  });
+}
+
+TEST(Dataset, TopKAcrossRankBoundaries) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    std::vector<std::uint64_t> shard;
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      shard.push_back(static_cast<std::uint64_t>(world.rank()) * 50 + i);
+    }
+    auto ds = Dataset<std::uint64_t>(world, std::move(shard)).sorted_by();
+    // k spanning more than the last rank's shard exercises the walk.
+    auto top = ds.top_k(75);
+    ASSERT_EQ(top.size(), 75u);
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i], 199u - i);
+    }
+  });
+}
+
+TEST(Dataset, TopKLargerThanDataset) {
+  Cluster(ClusterConfig{3}).run([](Comm& world) {
+    std::vector<std::uint64_t> shard(5, world.rank());
+    auto ds = Dataset<std::uint64_t>(world, std::move(shard)).sorted_by();
+    auto top = ds.top_k(1000);
+    EXPECT_EQ(top.size(), 15u);
+    EXPECT_TRUE(std::is_sorted(top.rbegin(), top.rend()));
+  });
+}
+
+TEST(Dataset, LocalKeyRangeExtraction) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    auto ds = make_sorted(world, 2000, /*universe=*/10000);
+    auto slice = ds.local_key_range<IdentityKey>(2500, 7500);
+    for (const auto& v : slice) {
+      EXPECT_GE(v, 2500u);
+      EXPECT_LT(v, 7500u);
+    }
+    // Union over ranks covers every in-range record exactly once.
+    const auto local = static_cast<std::uint64_t>(slice.size());
+    const auto total = world.allreduce<std::uint64_t>(
+        local, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    std::uint64_t expect = 0;
+    for (int r = 0; r < 4; ++r) {
+      for (auto v : workloads::uniform_u64(
+               2000, derive_seed(2201, static_cast<std::uint64_t>(r)), 10000)) {
+        if (v >= 2500 && v < 7500) ++expect;
+      }
+    }
+    EXPECT_EQ(total, expect);
+  });
+}
+
+TEST(Dataset, KeyHistogramSumsToCount) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    auto shard = workloads::zipf_keys(
+        3000, 1.0, derive_seed(2203, static_cast<std::uint64_t>(world.rank())));
+    Dataset<std::uint64_t> ds(world, std::move(shard));
+    auto hist = ds.key_histogram(0.0, 10000.0, 20);
+    std::uint64_t sum = 0;
+    for (auto h : hist) sum += h;
+    EXPECT_EQ(sum, ds.global_count());
+    // Zipf: the first bin holds the most mass.
+    EXPECT_EQ(std::max_element(hist.begin(), hist.end()) - hist.begin(), 0);
+  });
+}
+
+TEST(Dataset, KeyExtrema) {
+  Cluster(ClusterConfig{3}).run([](Comm& world) {
+    std::vector<std::uint64_t> shard{
+        static_cast<std::uint64_t>(world.rank()) * 10 + 5,
+        static_cast<std::uint64_t>(world.rank()) * 10 + 7};
+    Dataset<std::uint64_t> ds(world, std::move(shard));
+    auto ext = ds.key_extrema();
+    ASSERT_TRUE(ext.has_value());
+    EXPECT_EQ(ext->first, 5u);
+    EXPECT_EQ(ext->second, 27u);
+  });
+}
+
+TEST(Dataset, KeyExtremaEmpty) {
+  Cluster(ClusterConfig{2}).run([](Comm& world) {
+    Dataset<std::uint64_t> ds(world, {});
+    EXPECT_FALSE(ds.key_extrema().has_value());
+    EXPECT_EQ(ds.global_count(), 0u);
+  });
+}
+
+TEST(Dataset, RecordTypeWithProjectionEndToEnd) {
+  using workloads::Particle;
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    auto parts = workloads::cosmology_particles(
+        2000, derive_seed(2204, static_cast<std::uint64_t>(world.rank())));
+    auto key = [](const Particle& p) { return p.cluster_id; };
+    auto ds = Dataset<Particle>(world, std::move(parts)).sorted_by(key);
+    EXPECT_TRUE(ds.verify_sorted(key));
+    // Top-5 particles by cluster id live in the largest-id clusters.
+    auto top = ds.top_k(5);
+    ASSERT_EQ(top.size(), 5u);
+    for (std::size_t i = 1; i < top.size(); ++i) {
+      EXPECT_GE(top[i - 1].cluster_id, top[i].cluster_id);
+    }
+    EXPECT_LE(ds.load_rdfa(), 4.0);
+  });
+}
+
+TEST(Dataset, StableSortThroughConfig) {
+  using Rec = workloads::Tagged<std::uint32_t>;
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    SplitMix64 rng(derive_seed(2205, static_cast<std::uint64_t>(world.rank())));
+    std::vector<std::uint32_t> keys(500);
+    for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(4));
+    auto shard = workloads::tag_keys(keys, world.rank());
+    Config cfg;
+    cfg.stable = true;
+    auto key = [](const Rec& r) { return r.key; };
+    auto ds = Dataset<Rec>(world, std::move(shard)).sorted_by(key, cfg);
+    auto all = gather_all<Rec>(world, ds.shard());
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      ASSERT_LE(all[i - 1].key, all[i].key);
+      if (all[i - 1].key == all[i].key) {
+        ASSERT_TRUE(workloads::tagged_before(all[i - 1], all[i]));
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sdss
+
+namespace sdss {
+namespace {
+
+TEST(DatasetEdge, EmptyDatasetQueries) {
+  sim::Cluster(sim::ClusterConfig{3}).run([](sim::Comm& world) {
+    auto ds = Dataset<std::uint64_t>(world, {}).sorted_by();
+    EXPECT_EQ(ds.global_count(), 0u);
+    EXPECT_TRUE(ds.quantiles(std::vector<double>{0.5}).empty());
+    EXPECT_TRUE(ds.top_k(10).empty());
+    EXPECT_FALSE(ds.at_global_index(0).has_value());
+    EXPECT_TRUE(ds.verify_sorted());
+  });
+}
+
+TEST(DatasetEdge, SingletonDataset) {
+  sim::Cluster(sim::ClusterConfig{4}).run([](sim::Comm& world) {
+    std::vector<std::uint64_t> shard;
+    if (world.rank() == 1) shard.push_back(42);
+    auto ds = Dataset<std::uint64_t>(world, std::move(shard)).sorted_by();
+    auto v = ds.at_global_index(0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42u);
+    auto q = ds.quantiles(std::vector<double>{0.0, 1.0});
+    ASSERT_EQ(q.size(), 2u);
+    EXPECT_EQ(q[0], 42u);
+    EXPECT_EQ(q[1], 42u);
+  });
+}
+
+}  // namespace
+}  // namespace sdss

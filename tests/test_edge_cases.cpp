@@ -1,0 +1,226 @@
+// Additional edge cases across the stack: uneven node sizes, degenerate
+// shard shapes, extreme configurations, and end-to-end runs over the
+// remaining workload generators.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "core/validate.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+
+TEST(NodeEdge, UnevenLastNodeStillMergesAndSorts) {
+  // 6 ranks, 4 cores/node: node 0 has 4 ranks, node 1 only 2.
+  Cluster(ClusterConfig{6, /*cores_per_node=*/4}).run([](Comm& world) {
+    auto shard = workloads::uniform_u64(
+        500, derive_seed(901, static_cast<std::uint64_t>(world.rank())),
+        1u << 20);
+    const auto before = global_checksum<std::uint64_t>(world, shard);
+    Config cfg;
+    cfg.tau_m_bytes = 1u << 30;  // force node merging
+    SortReport rep;
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg, {}, &rep);
+    EXPECT_TRUE(rep.node_merged);
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+    EXPECT_EQ(before, (global_checksum<std::uint64_t>(world, out)));
+    // Leaders are world ranks 0 and 4.
+    if (world.rank() == 0 || world.rank() == 4) {
+      EXPECT_TRUE(rep.active);
+    } else {
+      EXPECT_FALSE(rep.active);
+    }
+  });
+}
+
+TEST(NodeEdge, WholeClusterIsOneNode) {
+  // All ranks on a single node: node merge funnels everything to rank 0,
+  // which then has a singleton leaders communicator (p' == 1).
+  Cluster(ClusterConfig{4, /*cores_per_node=*/8}).run([](Comm& world) {
+    auto shard = workloads::uniform_u64(
+        300, derive_seed(902, static_cast<std::uint64_t>(world.rank())), 1000);
+    Config cfg;
+    cfg.tau_m_bytes = 1u << 30;
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg);
+    if (world.rank() == 0) {
+      EXPECT_EQ(out.size(), 1200u);
+      EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST(NodeEdge, NodeMergeCombinedWithOverlapPath) {
+  Cluster(ClusterConfig{8, /*cores_per_node=*/2}).run([](Comm& world) {
+    auto shard = workloads::zipf_keys(
+        400, 1.0, derive_seed(903, static_cast<std::uint64_t>(world.rank())));
+    Config cfg;
+    cfg.tau_m_bytes = 1u << 30;  // merge: 4 leaders remain
+    cfg.tau_o = 1u << 20;        // then overlap among leaders
+    SortReport rep;
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg, {}, &rep);
+    if (rep.active) {
+      EXPECT_EQ(rep.exchange, ExchangeMode::kOverlapped);
+    }
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(ShardShapes, OneRankHoldsEverything) {
+  Cluster(ClusterConfig{5}).run([](Comm& world) {
+    std::vector<std::uint64_t> shard;
+    if (world.rank() == 3) {
+      shard = workloads::zipf_keys(5000, 1.4, 904);
+    }
+    const auto before = global_checksum<std::uint64_t>(world, shard);
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard));
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+    EXPECT_EQ(before, (global_checksum<std::uint64_t>(world, out)));
+    // The sort must spread rank 3's data across ranks (that is the point
+    // of a parallel sort: the load bound still applies).
+    auto lb = measure_load_balance(world, out.size());
+    EXPECT_LE(static_cast<double>(lb.max_load),
+              4.0 * 5000.0 / 5.0 + 32.0);
+  });
+}
+
+TEST(ShardShapes, WildlyUnevenInputs) {
+  Cluster(ClusterConfig{6}).run([](Comm& world) {
+    const std::size_t n = world.rank() % 2 == 0
+                              ? 10u
+                              : 3000u + 500u * static_cast<std::size_t>(world.rank());
+    auto shard = workloads::uniform_u64(
+        n, derive_seed(905, static_cast<std::uint64_t>(world.rank())),
+        1u << 24);
+    const auto before = global_checksum<std::uint64_t>(world, shard);
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard));
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+    EXPECT_EQ(before, (global_checksum<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(ShardShapes, SingleRecordTotal) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    std::vector<std::uint64_t> shard;
+    if (world.rank() == 2) shard.push_back(99);
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard));
+    const auto sizes = world.allgather<std::size_t>(out.size());
+    std::size_t total = 0;
+    for (auto s : sizes) total += s;
+    EXPECT_EQ(total, 1u);
+  });
+}
+
+TEST(Workloads, GaussianEndToEnd) {
+  Cluster(ClusterConfig{6}).run([](Comm& world) {
+    auto shard = workloads::gaussian_doubles(
+        3000, derive_seed(906, static_cast<std::uint64_t>(world.rank())),
+        100.0, 15.0);
+    const auto before = global_checksum<double>(world, shard);
+    auto out = sds_sort<double>(world, std::move(shard));
+    EXPECT_TRUE((is_globally_sorted<double>(world, out)));
+    EXPECT_EQ(before, (global_checksum<double>(world, out)));
+    // Gaussian bunches values near the mean; the load bound still holds.
+    auto lb = measure_load_balance(world, out.size());
+    EXPECT_LE(lb.rdfa, 4.0);
+  });
+}
+
+TEST(Workloads, PartiallyOrderedInputIsSortedAndFastPathTaken) {
+  // Globally partially ordered input: the initial local sort's run scan
+  // must take the run-merge shortcut (asserted indirectly: correctness plus
+  // the strategy flag on a local copy).
+  auto local = workloads::partially_ordered_u64(20000, 907, /*runs=*/4, 0.0);
+  auto copy = local;
+  auto res = run_aware_sort(copy, /*stable=*/false);
+  EXPECT_NE(res.strategy, OrderingStrategy::kFullSort);
+
+  Cluster(ClusterConfig{4}).run([&](Comm& world) {
+    auto shard = workloads::partially_ordered_u64(
+        5000, derive_seed(908, static_cast<std::uint64_t>(world.rank())), 4,
+        0.01);
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard));
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(Config, ThreadsOverrideIsRespected) {
+  Cluster(ClusterConfig{2, /*cores_per_node=*/4}).run([](Comm& world) {
+    auto shard = workloads::uniform_u64(
+        10000, derive_seed(909, static_cast<std::uint64_t>(world.rank())),
+        1u << 20);
+    Config cfg;
+    cfg.threads = 1;  // explicit override of cores_per_node
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg);
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(Config, ExtremeTauValuesAreSafe) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    auto mk = [&] {
+      return workloads::uniform_u64(
+          1000, derive_seed(910, static_cast<std::uint64_t>(world.rank())),
+          1u << 16);
+    };
+    for (std::size_t tau_s : {std::size_t{0}, std::size_t{1} << 30}) {
+      for (std::size_t tau_o : {std::size_t{0}, std::size_t{1} << 30}) {
+        Config cfg;
+        cfg.tau_s = tau_s;
+        cfg.tau_o = tau_o;
+        auto out = sds_sort<std::uint64_t>(world, mk(), cfg);
+        ASSERT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+      }
+    }
+  });
+}
+
+TEST(Network, FullPipelineUnderEveryNetworkPreset) {
+  for (auto net : {sim::NetworkModel::none(), sim::NetworkModel::aries_like(),
+                   sim::NetworkModel::slow_ethernet_like()}) {
+    Cluster(ClusterConfig{4, 2, net}).run([](Comm& world) {
+      auto shard = workloads::zipf_keys(
+          800, 1.4, derive_seed(911, static_cast<std::uint64_t>(world.rank())));
+      auto out = sds_sort<std::uint64_t>(world, std::move(shard));
+      EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+    });
+  }
+}
+
+TEST(Stability, TwoRanksManyDuplicateBlocks) {
+  using Rec = workloads::Tagged<std::uint32_t>;
+  Cluster(ClusterConfig{2}).run([](Comm& world) {
+    std::vector<std::uint32_t> keys;
+    for (std::uint32_t b = 0; b < 10; ++b) {
+      for (int i = 0; i < 200; ++i) keys.push_back(b);
+    }
+    auto shard = workloads::tag_keys(keys, world.rank());
+    Config cfg;
+    cfg.stable = true;
+    auto out = sds_sort<Rec>(world, std::move(shard), cfg,
+                             [](const Rec& r) { return r.key; });
+    auto all = gather_all<Rec>(world, out);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      ASSERT_LE(all[i - 1].key, all[i].key);
+      if (all[i - 1].key == all[i].key) {
+        ASSERT_TRUE(workloads::tagged_before(all[i - 1], all[i]));
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sdss

@@ -1,0 +1,290 @@
+// Tests for the extension features: scatter/reduce collectives, GraySort
+// byte-string-key records end-to-end, the distributed radix sort baseline,
+// and the dynamic local-sort kernel selection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/radixsort.hpp"
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "core/validate.hpp"
+#include "sim/cluster.hpp"
+#include "sortcore/local_sort.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/graysort.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+
+// --- scatter / reduce ---------------------------------------------------------
+
+TEST(SimCollectivesExt, ScatterDistributesRootData) {
+  Cluster(ClusterConfig{4}).run([](Comm& c) {
+    std::vector<int> send;
+    if (c.rank() == 1) {
+      send = {100, 101, 102, 103};
+    }
+    const int mine = c.scatter_value<int>(send, /*root=*/1);
+    EXPECT_EQ(mine, 100 + c.rank());
+  });
+}
+
+TEST(SimCollectivesExt, ScatterWrongSizeThrows) {
+  auto res = Cluster(ClusterConfig{3}).run_collect([](Comm& c) {
+    std::vector<int> send(c.rank() == 0 ? 2u : 0u);  // root has too few
+    c.scatter_value<int>(send, 0);
+  });
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(SimCollectivesExt, ReduceOntoRoot) {
+  Cluster(ClusterConfig{5}).run([](Comm& c) {
+    const int r = c.reduce<int>(c.rank() + 1, [](int a, int b) { return a + b; },
+                                /*root=*/3);
+    if (c.rank() == 3) {
+      EXPECT_EQ(r, 15);
+    }
+  });
+}
+
+// --- GraySort workload ------------------------------------------------------------
+
+TEST(GraySort, DeterministicAndIndependentOfSharding) {
+  // Records for indices [0, 100) equal the concatenation of [0,60)+[60,100).
+  const auto whole = workloads::graysort_records(0, 100, 9);
+  const auto a = workloads::graysort_records(0, 60, 9);
+  const auto b = workloads::graysort_records(60, 40, 9);
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(whole[i].key, a[i].key);
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(whole[60 + i].key, b[i].key);
+  }
+}
+
+TEST(GraySort, PayloadCarriesRecordIndex) {
+  const auto recs = workloads::graysort_records(1234, 3, 9);
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::uint64_t idx = 0;
+    for (int b = 0; b < 8; ++b) {
+      idx = (idx << 8) | recs[i].payload[static_cast<std::size_t>(b)];
+    }
+    EXPECT_EQ(idx, 1234 + i);
+  }
+}
+
+TEST(GraySort, SkewedVariantHasHotKey) {
+  const auto recs = workloads::graysort_records_skewed(0, 10000, 9, 0.3);
+  std::array<std::uint8_t, 10> hot;
+  hot.fill(0x42);
+  std::size_t hits = 0;
+  for (const auto& r : recs) {
+    if (r.key == hot) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.03);
+}
+
+TEST(GraySort, SdsSortHandlesByteStringKeys) {
+  using workloads::GraySortRecord;
+  Cluster(ClusterConfig{8}).run([](Comm& world) {
+    const auto first = static_cast<std::uint64_t>(world.rank()) * 2000;
+    auto shard = workloads::graysort_records(first, 2000, 77);
+    const auto before = global_checksum<GraySortRecord>(world, shard);
+    auto sorted = sds_sort<GraySortRecord>(world, std::move(shard), {},
+                                           workloads::graysort_key);
+    EXPECT_TRUE((is_globally_sorted<GraySortRecord>(
+        world, sorted, workloads::graysort_key)));
+    EXPECT_EQ(before, (global_checksum<GraySortRecord>(world, sorted)));
+  });
+}
+
+TEST(GraySort, SkewedByteKeysStayBalanced) {
+  using workloads::GraySortRecord;
+  Cluster(ClusterConfig{8}).run([](Comm& world) {
+    auto shard = workloads::graysort_records_skewed(
+        static_cast<std::uint64_t>(world.rank()) * 2000, 2000, 78, 0.4);
+    Config cfg;
+    cfg.stable = true;  // byte keys + stability: the full hard case
+    auto sorted = sds_sort<GraySortRecord>(world, std::move(shard), cfg,
+                                           workloads::graysort_key);
+    EXPECT_TRUE((is_globally_sorted<GraySortRecord>(
+        world, sorted, workloads::graysort_key)));
+    auto lb = measure_load_balance(world, sorted.size());
+    EXPECT_LE(lb.rdfa, 4.0);  // the paper's O(4N/p) bound
+  });
+}
+
+TEST(KeyLimitsTrait, ByteArrayMaxSortsLast) {
+  const auto mx = KeyLimits<std::array<std::uint8_t, 10>>::max();
+  std::array<std::uint8_t, 10> other;
+  other.fill(0xfe);
+  EXPECT_LT(other, mx);
+  EXPECT_EQ(KeyLimits<std::uint32_t>::max(), 0xffffffffu);
+}
+
+// --- distributed radix sort ---------------------------------------------------------
+
+TEST(RadixDistributed, SortsUniform) {
+  Cluster(ClusterConfig{6}).run([](Comm& world) {
+    auto shard = workloads::uniform_u64(
+        3000, derive_seed(55, static_cast<std::uint64_t>(world.rank())),
+        ~0ull);
+    const auto before = global_checksum<std::uint64_t>(world, shard);
+    auto out =
+        baselines::radix_sort_distributed<std::uint64_t>(world, std::move(shard));
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+    EXPECT_EQ(before, (global_checksum<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(RadixDistributed, BalancedOnUniform) {
+  Cluster(ClusterConfig{8}).run([](Comm& world) {
+    auto shard = workloads::uniform_u64(
+        4000, derive_seed(56, static_cast<std::uint64_t>(world.rank())),
+        ~0ull);
+    auto out =
+        baselines::radix_sort_distributed<std::uint64_t>(world, std::move(shard));
+    auto lb = measure_load_balance(world, out.size());
+    EXPECT_LE(lb.rdfa, 1.5);
+  });
+}
+
+TEST(RadixDistributed, SingleRank) {
+  Cluster(ClusterConfig{1}).run([](Comm& world) {
+    auto out = baselines::radix_sort_distributed<std::uint64_t>(world,
+                                                                {9, 2, 5});
+    EXPECT_EQ(out, (std::vector<std::uint64_t>{2, 5, 9}));
+  });
+}
+
+TEST(RadixDistributed, HotKeyOverloadsOneRank) {
+  // Keys identical in the top bits cannot be split across buckets: the
+  // bucket owner inherits everything, like a duplicated sample pivot.
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    std::vector<std::uint64_t> shard(2000, 0x1234567890abcdefull);
+    auto out =
+        baselines::radix_sort_distributed<std::uint64_t>(world, std::move(shard));
+    auto lb = measure_load_balance(world, out.size());
+    EXPECT_NEAR(lb.rdfa, 4.0, 0.01);
+  });
+}
+
+TEST(RadixDistributed, OomOnSkewWithBudget) {
+  auto res = Cluster(ClusterConfig{8}).run_collect([](Comm& world) {
+    auto shard = workloads::zipf_keys(
+        4000, 1.4, derive_seed(57, static_cast<std::uint64_t>(world.rank())));
+    baselines::RadixSortConfig cfg;
+    cfg.mem_limit_records = 8000;
+    baselines::radix_sort_distributed<std::uint64_t>(world, std::move(shard),
+                                                     cfg);
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.oom);
+}
+
+TEST(RadixDistributed, SortsRecordsWithProjection) {
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t seq;
+  };
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    SplitMix64 rng(derive_seed(58, static_cast<std::uint64_t>(world.rank())));
+    std::vector<Rec> shard(2000);
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+      shard[i] = {static_cast<std::uint32_t>(rng.next()), i};
+    }
+    auto key = [](const Rec& r) { return r.key; };
+    auto out = baselines::radix_sort_distributed<Rec>(world, std::move(shard),
+                                                      {}, key);
+    EXPECT_TRUE((is_globally_sorted<Rec>(world, out, key)));
+  });
+}
+
+// --- dynamic local-sort kernel selection ----------------------------------------------
+
+TEST(LocalSortAlgoSelection, RadixKernelSortsCorrectly) {
+  auto v = workloads::uniform_u64(50000, 59, ~0ull);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  LocalSortConfig cfg;
+  cfg.threads = 4;
+  cfg.algo = LocalSortAlgo::kRadix;
+  local_sort(v, cfg);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(LocalSortAlgoSelection, AutoPicksRadixForUnsignedAndWorks) {
+  auto v = workloads::uniform_u64(50000, 60, 1000);  // duplicate-heavy
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  LocalSortConfig cfg;
+  cfg.threads = 3;
+  cfg.algo = LocalSortAlgo::kAuto;
+  local_sort(v, cfg);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(LocalSortAlgoSelection, AutoFallsBackForFloatKeys) {
+  std::vector<double> v;
+  SplitMix64 rng(61);
+  for (int i = 0; i < 30000; ++i) v.push_back(rng.next_double());
+  LocalSortConfig cfg;
+  cfg.threads = 2;
+  cfg.algo = LocalSortAlgo::kAuto;  // double key: must fall back, not throw
+  local_sort(v, cfg);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(LocalSortAlgoSelection, RadixOnFloatKeysThrows) {
+  std::vector<double> v(10000, 1.0);
+  LocalSortConfig cfg;
+  cfg.algo = LocalSortAlgo::kRadix;
+  EXPECT_THROW(local_sort(v, cfg), std::invalid_argument);
+}
+
+TEST(LocalSortAlgoSelection, DriverPlumbsKernelChoice) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    auto shard = workloads::zipf_keys(
+        5000, 1.4, derive_seed(62, static_cast<std::uint64_t>(world.rank())));
+    Config cfg;
+    cfg.local_algo = LocalSortAlgo::kRadix;
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg);
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(LocalSortAlgoSelection, RadixKernelIsStable) {
+  struct Rec {
+    std::uint16_t key;
+    std::uint32_t seq;
+  };
+  std::vector<Rec> v;
+  SplitMix64 rng(63);
+  for (std::uint32_t i = 0; i < 40000; ++i) {
+    v.push_back({static_cast<std::uint16_t>(rng.next_below(8)), i});
+  }
+  LocalSortConfig cfg;
+  cfg.threads = 4;
+  cfg.stable = true;
+  cfg.algo = LocalSortAlgo::kRadix;
+  local_sort(v, cfg, [](const Rec& r) { return r.key; });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].seq, v[i].seq);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdss

@@ -1,0 +1,180 @@
+// Failure-injection tests: every adaptive path of every distributed
+// algorithm must fail *cleanly* (no hang, primary error surfaced, abort
+// classified) when a rank dies at an arbitrary point, when the memory
+// budget is violated mid-pipeline, and under API misuse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/hyksort.hpp"
+#include "baselines/radixsort.hpp"
+#include "baselines/samplesort.hpp"
+#include "core/driver.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+
+// --- a draconian budget must OOM cleanly through every adaptive path ------------
+
+struct OomPathCase {
+  bool stable;
+  std::size_t tau_o;        // forces sync (0) or overlap (big)
+  std::size_t tau_s;        // forces merge-all (big) or re-sort (0)
+  std::size_t tau_m_bytes;  // forces node merging when big
+  int cores_per_node;
+};
+
+class OomThroughEveryPath : public ::testing::TestWithParam<OomPathCase> {};
+
+TEST_P(OomThroughEveryPath, FailsCleanlyWithOom) {
+  const auto& pc = GetParam();
+  auto res =
+      Cluster(ClusterConfig{8, pc.cores_per_node}).run_collect([&](Comm& w) {
+        auto data = workloads::zipf_keys(
+            2000, 0.8, derive_seed(717, static_cast<std::uint64_t>(w.rank())));
+        Config cfg;
+        cfg.stable = pc.stable;
+        cfg.tau_o = pc.tau_o;
+        cfg.tau_s = pc.tau_s;
+        cfg.tau_m_bytes = pc.tau_m_bytes;
+        cfg.mem_limit_records = 1;  // impossible: everyone receives more
+        sds_sort<std::uint64_t>(w, std::move(data), cfg);
+      });
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.oom) << res.error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paths, OomThroughEveryPath,
+    ::testing::Values(OomPathCase{false, 0, 1u << 20, 0, 1},      // sync+merge
+                      OomPathCase{false, 0, 0, 0, 1},             // sync+resort
+                      OomPathCase{false, 1u << 20, 1u << 20, 0, 1},  // overlap
+                      OomPathCase{true, 0, 1u << 20, 0, 1},       // stable
+                      OomPathCase{false, 0, 1u << 20, 1u << 30, 4},  // nodemerge
+                      OomPathCase{true, 0, 1u << 20, 1u << 30, 4}));
+
+// --- a rank dying at arbitrary points must never hang the cluster ----------------
+
+TEST(RankDeath, DuringSdsSortAtVariousMoments) {
+  for (int victim : {0, 3, 7}) {
+    auto res = Cluster(ClusterConfig{8}).run_collect([&](Comm& w) {
+      if (w.rank() == victim) throw Error("injected death");
+      auto data = workloads::zipf_keys(
+          1500, 1.0, derive_seed(718, static_cast<std::uint64_t>(w.rank())));
+      sds_sort<std::uint64_t>(w, std::move(data));
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.failed_rank, victim);
+    EXPECT_FALSE(res.oom);
+  }
+}
+
+TEST(RankDeath, AfterPartialTrafficInHykSort) {
+  auto res = Cluster(ClusterConfig{8}).run_collect([&](Comm& w) {
+    auto data = workloads::zipf_keys(
+        1500, 1.0, derive_seed(719, static_cast<std::uint64_t>(w.rank())));
+    if (w.rank() == 5) {
+      // Participate in the first collectives, then die mid-algorithm.
+      w.allgather<int>(w.rank());
+      throw Error("late death");
+    }
+    w.allgather<int>(w.rank());
+    baselines::hyksort<std::uint64_t>(w, std::move(data));
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.failed_rank, 5);
+}
+
+TEST(RankDeath, OtherBaselinesAbortCleanly) {
+  auto res1 = Cluster(ClusterConfig{4}).run_collect([](Comm& w) {
+    if (w.rank() == 1) throw Error("boom");
+    baselines::sample_sort<std::uint64_t>(w, std::vector<std::uint64_t>(100, 1));
+  });
+  EXPECT_FALSE(res1.ok);
+
+  auto res2 = Cluster(ClusterConfig{4}).run_collect([](Comm& w) {
+    if (w.rank() == 2) throw Error("boom");
+    baselines::radix_sort_distributed<std::uint64_t>(
+        w, std::vector<std::uint64_t>(100, 1));
+  });
+  EXPECT_FALSE(res2.ok);
+  EXPECT_EQ(res2.failed_rank, 2);
+}
+
+// --- API misuse is rejected with errors, not corruption ---------------------------
+
+TEST(Misuse, PartitionWithWrongPivotCount) {
+  auto res = Cluster(ClusterConfig{3}).run_collect([](Comm& w) {
+    std::vector<std::uint64_t> data{1, 2, 3};
+    auto samples = sample_local_pivots<std::uint64_t>(data, 2);
+    std::vector<std::uint64_t> wrong_pivots{5};  // needs p-1 = 2
+    Config cfg;
+    sdss_partition<std::uint64_t>(w, data, samples, wrong_pivots, cfg);
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("p-1 global pivots"), std::string::npos);
+}
+
+TEST(Misuse, InvalidCommOperationsThrow) {
+  sim::Comm invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_THROW(invalid.barrier(), CommError);
+  EXPECT_THROW(invalid.send_value<int>(1, 0), CommError);
+  std::vector<int> buf(1);
+  EXPECT_THROW(invalid.recv<int>(buf, 0), CommError);
+}
+
+TEST(Misuse, EmptyRequestOperationsThrow) {
+  sim::Request r;
+  EXPECT_FALSE(r.valid());
+  EXPECT_THROW(r.test(), CommError);
+  EXPECT_THROW(r.wait(), CommError);
+  EXPECT_THROW(r.bytes(), CommError);
+  EXPECT_THROW(r.source(), CommError);
+}
+
+TEST(Misuse, AlltoallWrongElementCountThrows) {
+  auto res = Cluster(ClusterConfig{3}).run_collect([](Comm& w) {
+    std::vector<int> send(2, 0);  // needs 3
+    w.alltoall<int>(send);
+  });
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(Misuse, BcastRootOutOfRangeThrows) {
+  auto res = Cluster(ClusterConfig{2}).run_collect([](Comm& w) {
+    int v = 0;
+    w.bcast_value(v, 5);
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("root out of range"), std::string::npos);
+}
+
+// --- repeated failure/recovery cycles --------------------------------------------
+
+TEST(Recovery, ClusterObjectSurvivesFailedRuns) {
+  Cluster cl{ClusterConfig{4}};
+  for (int i = 0; i < 5; ++i) {
+    auto bad = cl.run_collect([i](Comm& w) {
+      if (w.rank() == i % 4) throw Error("cycle " + std::to_string(i));
+      w.barrier();
+    });
+    EXPECT_FALSE(bad.ok);
+    // A fresh run on the same Cluster object works fine afterwards.
+    cl.run([](Comm& w) {
+      auto all = w.allgather<int>(w.rank());
+      ASSERT_EQ(all.size(), 4u);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace sdss

@@ -1,0 +1,105 @@
+// Unit tests for the thread-pool substrate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "par/thread_pool.hpp"
+
+namespace sdss::par {
+namespace {
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(0, 100, [&](std::size_t i) { hits[i] = 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyAndSingletonRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, OffsetRange) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i));
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 50,
+                                 [&](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("unlucky");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelInvokeRunsAllThunks) {
+  ThreadPool pool(2);
+  std::atomic<int> mask{0};
+  std::vector<std::function<void()>> thunks;
+  for (int i = 0; i < 5; ++i) {
+    thunks.emplace_back([&mask, i] { mask.fetch_or(1 << i); });
+  }
+  pool.parallel_invoke(thunks);
+  EXPECT_EQ(mask.load(), 0b11111);
+}
+
+TEST(ThreadPool, ConcurrentCallersDoNotInterfere) {
+  ThreadPool pool(2);
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<long>> sums(4);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&pool, &sums, t] {
+      pool.parallel_for(0, 200, [&sums, t](std::size_t i) {
+        sums[static_cast<std::size_t>(t)].fetch_add(static_cast<long>(i));
+      });
+    });
+  }
+  for (auto& c : callers) c.join();
+  for (auto& s : sums) EXPECT_EQ(s.load(), 19900);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> n{0};
+  parallel_for(0, 64, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 64);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerCompletes) {
+  // parallel_for issued from inside a parallel task must not deadlock
+  // (caller always participates).
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) { n.fetch_add(1); });
+  });
+  EXPECT_EQ(n.load(), 32);
+}
+
+}  // namespace
+}  // namespace sdss::par

@@ -1,0 +1,340 @@
+// End-to-end integration tests of sds_sort: every adaptive path (sync /
+// overlapped exchange, merge-all / re-sort ordering, node merging), both
+// stability modes, many rank counts and workloads, with invariants checked
+// distributedly: global sortedness, multiset preservation, stability, and
+// the O(4N/p) load bound on skewed inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "core/validate.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+#include "workloads/cosmology.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/ptf.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+
+enum class Workload { kUniform, kZipfMild, kZipfHeavy, kAllEqual, kPresorted };
+
+std::vector<std::uint64_t> make_shard(Workload w, std::size_t n, int rank) {
+  const std::uint64_t seed =
+      derive_seed(1234, static_cast<std::uint64_t>(rank));
+  switch (w) {
+    case Workload::kUniform:
+      return workloads::uniform_u64(n, seed, 1ull << 40);
+    case Workload::kZipfMild:
+      return workloads::zipf_keys(n, 0.7, seed);
+    case Workload::kZipfHeavy:
+      return workloads::zipf_keys(n, 2.1, seed);
+    case Workload::kAllEqual:
+      return std::vector<std::uint64_t>(n, 77);
+    case Workload::kPresorted: {
+      auto v = workloads::uniform_u64(n, seed, 1ull << 40);
+      std::sort(v.begin(), v.end());
+      return v;
+    }
+  }
+  return {};
+}
+
+struct EndToEndCase {
+  int ranks;
+  Workload workload;
+  bool stable;
+  bool overlap;  // force the overlapped exchange path (tau_o high/low)
+  std::size_t per_rank;
+};
+
+class SdsSortEndToEnd : public ::testing::TestWithParam<EndToEndCase> {};
+
+TEST_P(SdsSortEndToEnd, SortsPreservesAndBalances) {
+  const auto& pc = GetParam();
+  Cluster cluster(ClusterConfig{pc.ranks});
+  cluster.run([&](Comm& world) {
+    auto shard = make_shard(pc.workload, pc.per_rank, world.rank());
+    const auto before = global_checksum<std::uint64_t>(world, shard);
+
+    Config cfg;
+    cfg.stable = pc.stable;
+    cfg.tau_o = pc.overlap ? 1u << 20 : 0;  // force / forbid overlap
+    SortReport rep;
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg, {}, &rep);
+
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+    const auto after = global_checksum<std::uint64_t>(world, out);
+    EXPECT_EQ(before, after) << "multiset not preserved";
+    EXPECT_EQ(rep.output_records, out.size());
+
+    // The headline theorem: post-exchange load <= 4N/p (+ small-sample
+    // slack at these tiny shard sizes).
+    if (pc.ranks > 1) {
+      auto lb = measure_load_balance(world, out.size());
+      const double bound =
+          4.2 * static_cast<double>(lb.total) / pc.ranks + 16;
+      EXPECT_LE(static_cast<double>(lb.max_load), bound)
+          << "rank load exceeds 4N/p bound";
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SdsSortEndToEnd,
+    ::testing::Values(
+        EndToEndCase{1, Workload::kUniform, false, false, 2000},
+        EndToEndCase{2, Workload::kUniform, false, false, 2000},
+        EndToEndCase{4, Workload::kUniform, false, false, 2000},
+        EndToEndCase{4, Workload::kUniform, false, true, 2000},
+        EndToEndCase{4, Workload::kUniform, true, false, 2000},
+        EndToEndCase{8, Workload::kZipfMild, false, false, 2000},
+        EndToEndCase{8, Workload::kZipfMild, false, true, 2000},
+        EndToEndCase{8, Workload::kZipfMild, true, false, 2000},
+        EndToEndCase{8, Workload::kZipfHeavy, false, true, 2000},
+        EndToEndCase{8, Workload::kZipfHeavy, true, false, 2000},
+        EndToEndCase{4, Workload::kAllEqual, false, false, 1500},
+        EndToEndCase{4, Workload::kAllEqual, true, false, 1500},
+        EndToEndCase{6, Workload::kPresorted, false, false, 2000},
+        EndToEndCase{5, Workload::kZipfHeavy, false, false, 1000},
+        EndToEndCase{7, Workload::kUniform, true, false, 1000},
+        EndToEndCase{16, Workload::kZipfMild, false, true, 500}));
+
+TEST(SdsSort, EmptyAndTinyShards) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    // Rank 2 holds nothing; others hold a handful.
+    std::vector<std::uint64_t> shard;
+    if (world.rank() != 2) {
+      shard = workloads::uniform_u64(
+          5, derive_seed(5, static_cast<std::uint64_t>(world.rank())), 100);
+    }
+    const auto before = global_checksum<std::uint64_t>(world, shard);
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard));
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+    EXPECT_EQ(before, (global_checksum<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(SdsSort, AllRanksEmpty) {
+  Cluster(ClusterConfig{3}).run([](Comm& world) {
+    std::vector<double> shard;
+    auto out = sds_sort<double>(world, std::move(shard));
+    EXPECT_TRUE(out.empty());
+  });
+}
+
+TEST(SdsSort, StabilityAcrossRanksOnHeavyDuplicates) {
+  using Rec = workloads::Tagged<std::uint32_t>;
+  Cluster(ClusterConfig{6}).run([](Comm& world) {
+    SplitMix64 rng(derive_seed(99, static_cast<std::uint64_t>(world.rank())));
+    std::vector<std::uint32_t> keys(1200);
+    for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(5));
+    auto shard = workloads::tag_keys(keys, world.rank());
+
+    Config cfg;
+    cfg.stable = true;
+    auto out = sds_sort<Rec>(world, std::move(shard), cfg,
+                             [](const Rec& r) { return r.key; });
+
+    // Gather everything and verify total order: by key, ties by
+    // (src_rank, src_index) — exactly what stable sorting promises.
+    auto all = gather_all<Rec>(world, out);
+    ASSERT_EQ(all.size(), 1200u * 6u);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      ASSERT_LE(all[i - 1].key, all[i].key);
+      if (all[i - 1].key == all[i].key) {
+        ASSERT_TRUE(workloads::tagged_before(all[i - 1], all[i]))
+            << "stability violated at position " << i;
+      }
+    }
+  });
+}
+
+TEST(SdsSort, FastVersionIsNotNecessarilyStableButSorted) {
+  using Rec = workloads::Tagged<std::uint32_t>;
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    std::vector<std::uint32_t> keys(800, 3);  // all equal
+    auto shard = workloads::tag_keys(keys, world.rank());
+    auto out = sds_sort<Rec>(world, std::move(shard), Config{},
+                             [](const Rec& r) { return r.key; });
+    EXPECT_TRUE((is_globally_sorted<Rec>(
+        world, out, [](const Rec& r) { return r.key; })));
+    // Fast version still balances all-equal keys across ranks.
+    auto lb = measure_load_balance(world, out.size());
+    EXPECT_LE(lb.rdfa, 2.0);
+  });
+}
+
+TEST(SdsSort, ReSortPathViaTauS) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    auto shard = workloads::uniform_u64(
+        3000, derive_seed(7, static_cast<std::uint64_t>(world.rank())),
+        1u << 20);
+    Config cfg;
+    cfg.tau_s = 2;  // force the re-sort ordering path
+    cfg.tau_o = 0;  // forbid overlap so the ordering decision applies
+    SortReport rep;
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg, {}, &rep);
+    EXPECT_EQ(rep.ordering, FinalOrdering::kResort);
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(SdsSort, ReportsExchangeMode) {
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    auto mk = [&] {
+      return workloads::uniform_u64(
+          500, derive_seed(8, static_cast<std::uint64_t>(world.rank())), 1000);
+    };
+    Config sync_cfg;
+    sync_cfg.tau_o = 0;
+    SortReport rep;
+    sds_sort<std::uint64_t>(world, mk(), sync_cfg, {}, &rep);
+    EXPECT_EQ(rep.exchange, ExchangeMode::kSync);
+    EXPECT_EQ(rep.ordering, FinalOrdering::kMergeAll);
+
+    Config async_cfg;
+    async_cfg.tau_o = 1000;
+    sds_sort<std::uint64_t>(world, mk(), async_cfg, {}, &rep);
+    EXPECT_EQ(rep.exchange, ExchangeMode::kOverlapped);
+
+    Config stable_cfg;
+    stable_cfg.stable = true;
+    stable_cfg.tau_o = 1000;  // stable forbids overlap regardless
+    sds_sort<std::uint64_t>(world, mk(), stable_cfg, {}, &rep);
+    EXPECT_EQ(rep.exchange, ExchangeMode::kSync);
+  });
+}
+
+TEST(SdsSort, NodeMergePathProducesLeaderOnlyOutput) {
+  Cluster(ClusterConfig{8, /*cores_per_node=*/4}).run([](Comm& world) {
+    auto shard = workloads::uniform_u64(
+        400, derive_seed(13, static_cast<std::uint64_t>(world.rank())),
+        1u << 20);
+    const auto before = global_checksum<std::uint64_t>(world, shard);
+    Config cfg;
+    cfg.tau_m_bytes = 1u << 30;  // force node merging
+    SortReport rep;
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg, {}, &rep);
+    EXPECT_TRUE(rep.node_merged);
+    if (world.rank() % 4 != 0) {
+      EXPECT_FALSE(rep.active);
+      EXPECT_TRUE(out.empty());
+    } else {
+      EXPECT_TRUE(rep.active);
+      EXPECT_FALSE(out.empty());
+    }
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+    EXPECT_EQ(before, (global_checksum<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(SdsSort, NodeMergeSkippedForLargeMessages) {
+  Cluster(ClusterConfig{8, /*cores_per_node=*/4}).run([](Comm& world) {
+    auto shard = workloads::uniform_u64(
+        4000, derive_seed(14, static_cast<std::uint64_t>(world.rank())),
+        1u << 20);
+    Config cfg;
+    cfg.tau_m_bytes = 8;  // threshold below the actual message size
+    SortReport rep;
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg, {}, &rep);
+    EXPECT_FALSE(rep.node_merged);
+    EXPECT_TRUE(rep.active);
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+  });
+}
+
+TEST(SdsSort, StableNodeMergeKeepsGlobalStability) {
+  using Rec = workloads::Tagged<std::uint32_t>;
+  Cluster(ClusterConfig{8, /*cores_per_node=*/2}).run([](Comm& world) {
+    SplitMix64 rng(derive_seed(15, static_cast<std::uint64_t>(world.rank())));
+    std::vector<std::uint32_t> keys(300);
+    for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_below(3));
+    auto shard = workloads::tag_keys(keys, world.rank());
+    Config cfg;
+    cfg.stable = true;
+    cfg.tau_m_bytes = 1u << 30;  // force node merging
+    auto out = sds_sort<Rec>(world, std::move(shard), cfg,
+                             [](const Rec& r) { return r.key; });
+    auto all = gather_all<Rec>(world, out);
+    ASSERT_EQ(all.size(), 300u * 8u);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      ASSERT_LE(all[i - 1].key, all[i].key);
+      if (all[i - 1].key == all[i].key) {
+        ASSERT_TRUE(workloads::tagged_before(all[i - 1], all[i]));
+      }
+    }
+  });
+}
+
+TEST(SdsSort, MemLimitOnSkewAwareOffReproducesOom) {
+  // Ablation: with skew-aware partitioning disabled and a memory budget,
+  // all-equal keys crash exactly like the baselines do.
+  auto res = Cluster(ClusterConfig{4}).run_collect([](Comm& world) {
+    std::vector<std::uint64_t> shard(2000, 42);
+    Config cfg;
+    cfg.skew_aware = false;
+    cfg.mem_limit_records = 4000;  // 2x average: fine if balanced
+    sds_sort<std::uint64_t>(world, std::move(shard), cfg);
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.oom);
+
+  // Skew-aware on: same budget succeeds.
+  auto ok = Cluster(ClusterConfig{4}).run_collect([](Comm& world) {
+    std::vector<std::uint64_t> shard(2000, 42);
+    Config cfg;
+    cfg.mem_limit_records = 4000;
+    auto out = sds_sort<std::uint64_t>(world, std::move(shard), cfg);
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(world, out)));
+  });
+  EXPECT_TRUE(ok.ok) << ok.error;
+}
+
+TEST(SdsSort, SortsRealRecordTypes) {
+  using workloads::Particle;
+  using workloads::PtfRecord;
+  Cluster(ClusterConfig{4}).run([](Comm& world) {
+    auto particles = workloads::cosmology_particles(
+        2000, derive_seed(16, static_cast<std::uint64_t>(world.rank())));
+    auto key = [](const Particle& p) { return p.cluster_id; };
+    auto sorted = sds_sort<Particle>(world, std::move(particles), {}, key);
+    EXPECT_TRUE((is_globally_sorted<Particle>(world, sorted, key)));
+
+    auto ptf = workloads::ptf_records(
+        2000, derive_seed(17, static_cast<std::uint64_t>(world.rank())));
+    Config stable;
+    stable.stable = true;
+    auto skey = [](const PtfRecord& r) { return r.rb_score; };
+    auto sorted_ptf = sds_sort<PtfRecord>(world, std::move(ptf), stable, skey);
+    EXPECT_TRUE((is_globally_sorted<PtfRecord>(world, sorted_ptf, skey)));
+  });
+}
+
+TEST(SdsSort, LedgerRecordsPhases) {
+  Cluster cluster(ClusterConfig{4});
+  auto res = cluster.run_collect([](Comm& world) {
+    auto shard = workloads::uniform_u64(
+        20000, derive_seed(18, static_cast<std::uint64_t>(world.rank())),
+        1u << 30);
+    sds_sort<std::uint64_t>(world, std::move(shard));
+  });
+  ASSERT_TRUE(res.ok) << res.error;
+  const auto breakdown = res.max_ledger();
+  EXPECT_GT(breakdown.seconds(Phase::kOther), 0.0);          // local sort
+  EXPECT_GT(breakdown.seconds(Phase::kPivotSelection), 0.0);
+  EXPECT_GT(breakdown.seconds(Phase::kExchange), 0.0);
+}
+
+}  // namespace
+}  // namespace sdss

@@ -1,0 +1,649 @@
+// Unit tests for the simulated message-passing runtime: point-to-point
+// semantics, every collective against a serial oracle, communicator
+// splitting, abort propagation, and the network model's delivery delay.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/comm.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+
+namespace sdss::sim {
+namespace {
+
+Cluster make_cluster(int ranks, int cores_per_node = 1,
+                     NetworkModel net = NetworkModel::none()) {
+  return Cluster(ClusterConfig{ranks, cores_per_node, net});
+}
+
+TEST(SimCluster, SingleRankRuns) {
+  make_cluster(1).run([](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+  });
+}
+
+TEST(SimCluster, RejectsBadConfig) {
+  EXPECT_THROW(make_cluster(0), CommError);
+  EXPECT_THROW(Cluster(ClusterConfig{4, 0}), CommError);
+}
+
+TEST(SimCluster, RanksSeeDistinctIds) {
+  std::atomic<int> seen_mask{0};
+  make_cluster(4).run([&](Comm& c) {
+    seen_mask.fetch_or(1 << c.rank());
+    EXPECT_EQ(c.size(), 4);
+    EXPECT_EQ(c.world_rank(), c.rank());
+  });
+  EXPECT_EQ(seen_mask.load(), 0b1111);
+}
+
+TEST(SimCluster, NodeMapping) {
+  make_cluster(8, /*cores_per_node=*/4).run([](Comm& c) {
+    EXPECT_EQ(c.node_id(), c.rank() / 4);
+    EXPECT_EQ(c.cores_per_node(), 4);
+  });
+}
+
+TEST(SimCluster, ReusableAcrossRuns) {
+  Cluster cl = make_cluster(3);
+  for (int iter = 0; iter < 3; ++iter) {
+    cl.run([](Comm& c) { c.barrier(); });
+  }
+}
+
+// --- point-to-point -------------------------------------------------------
+
+TEST(SimPt2pt, SendRecvValue) {
+  make_cluster(2).run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(42, 1, /*tag=*/7);
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 7), 42);
+    }
+  });
+}
+
+TEST(SimPt2pt, SendRecvSpan) {
+  make_cluster(2).run([](Comm& c) {
+    std::vector<std::uint64_t> data{1, 2, 3, 4, 5};
+    if (c.rank() == 0) {
+      c.send<std::uint64_t>(data, 1);
+    } else {
+      std::vector<std::uint64_t> buf(5);
+      EXPECT_EQ(c.recv<std::uint64_t>(buf, 0), 5u);
+      EXPECT_EQ(buf, data);
+    }
+  });
+}
+
+TEST(SimPt2pt, ZeroByteMessage) {
+  make_cluster(2).run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_bytes(nullptr, 0, 1, 3);
+    } else {
+      EXPECT_EQ(c.recv_bytes(nullptr, 0, 0, 3), 0u);
+    }
+  });
+}
+
+TEST(SimPt2pt, TagMatchingSelectsCorrectMessage) {
+  make_cluster(2).run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(10, 1, /*tag=*/1);
+      c.send_value<int>(20, 1, /*tag=*/2);
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(c.recv_value<int>(0, 2), 20);
+      EXPECT_EQ(c.recv_value<int>(0, 1), 10);
+    }
+  });
+}
+
+TEST(SimPt2pt, FifoPerSourceAndTag) {
+  make_cluster(2).run([](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 10; ++i) c.send_value<int>(i, 1, 0);
+    } else {
+      for (int i = 0; i < 10; ++i) EXPECT_EQ(c.recv_value<int>(0, 0), i);
+    }
+  });
+}
+
+TEST(SimPt2pt, AnySourceReceivesFromBoth) {
+  make_cluster(3).run([](Comm& c) {
+    if (c.rank() != 0) {
+      c.send_value<int>(c.rank(), 0, 0);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 2; ++i) {
+        int src = -2;
+        sum += c.recv_value<int>(Comm::kAnySource, 0, &src);
+        EXPECT_TRUE(src == 1 || src == 2);
+      }
+      EXPECT_EQ(sum, 3);
+    }
+  });
+}
+
+TEST(SimPt2pt, ProbeThenRecvAnySize) {
+  make_cluster(2).run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<double> v(17, 3.5);
+      c.send<double>(v, 1);
+    } else {
+      auto got = c.recv_any_size<double>(0);
+      ASSERT_EQ(got.size(), 17u);
+      EXPECT_EQ(got[16], 3.5);
+    }
+  });
+}
+
+TEST(SimPt2pt, RecvIntoTooSmallBufferThrows) {
+  auto res = make_cluster(2).run_collect([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v(8, 1);
+      c.send<int>(v, 1);
+      c.barrier();
+    } else {
+      std::vector<int> buf(2);
+      c.recv<int>(buf, 0);
+      c.barrier();
+    }
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("larger than receive buffer"), std::string::npos);
+}
+
+TEST(SimPt2pt, SendToInvalidRankThrows) {
+  auto res = make_cluster(2).run_collect([](Comm& c) {
+    if (c.rank() == 0) c.send_value<int>(1, 5, 0);
+    c.barrier();
+  });
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(SimPt2pt, SendRecvExchange) {
+  make_cluster(2).run([](Comm& c) {
+    std::vector<int> out(4, c.rank());
+    std::vector<int> in(4, -1);
+    const int partner = 1 - c.rank();
+    EXPECT_EQ(c.sendrecv<int>(out, in, partner), 4u);
+    EXPECT_EQ(in[0], partner);
+  });
+}
+
+TEST(SimPt2pt, NonblockingRoundtrip) {
+  make_cluster(2).run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v{5, 6, 7};
+      Request s = c.isend<int>(v, 1);
+      EXPECT_TRUE(s.test());
+      s.wait();
+    } else {
+      std::vector<int> buf(3);
+      Request r = c.irecv<int>(buf, 0);
+      r.wait();
+      EXPECT_EQ(r.bytes(), 3 * sizeof(int));
+      EXPECT_EQ(r.source(), 0);
+      EXPECT_EQ(buf[2], 7);
+    }
+  });
+}
+
+TEST(SimPt2pt, WaitAnyFindsEachSender) {
+  make_cluster(4).run([](Comm& c) {
+    if (c.rank() != 0) {
+      c.send_value<int>(100 + c.rank(), 0, 0);
+      return;
+    }
+    std::vector<int> bufs(3);
+    std::vector<Request> reqs;
+    for (int s = 1; s < 4; ++s) {
+      reqs.push_back(
+          c.irecv<int>(std::span<int>(&bufs[static_cast<std::size_t>(s - 1)], 1), s));
+    }
+    std::vector<char> done(3, 0);
+    int completed = 0;
+    while (completed < 3) {
+      int idx = Request::wait_any(reqs, done);
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, 3);
+      EXPECT_FALSE(done[static_cast<std::size_t>(idx)]);
+      done[static_cast<std::size_t>(idx)] = 1;
+      EXPECT_EQ(bufs[static_cast<std::size_t>(idx)], 101 + idx);
+      ++completed;
+    }
+    std::vector<char> all_done(3, 1);
+    EXPECT_EQ(Request::wait_any(reqs, all_done), -1);
+  });
+}
+
+// --- collectives ----------------------------------------------------------
+
+TEST(SimCollectives, BarrierManyRounds) {
+  std::atomic<int> counter{0};
+  make_cluster(6).run([&](Comm& c) {
+    for (int i = 0; i < 20; ++i) {
+      counter.fetch_add(1);
+      c.barrier();
+      // After each barrier every rank must observe a multiple of 6.
+      EXPECT_EQ(counter.load() % 6, 0);
+      c.barrier();
+    }
+  });
+}
+
+TEST(SimCollectives, BcastFromEveryRoot) {
+  make_cluster(5).run([](Comm& c) {
+    for (int root = 0; root < c.size(); ++root) {
+      int v = (c.rank() == root) ? 1000 + root : -1;
+      c.bcast_value(v, root);
+      EXPECT_EQ(v, 1000 + root);
+    }
+  });
+}
+
+TEST(SimCollectives, BcastSpan) {
+  make_cluster(3).run([](Comm& c) {
+    std::vector<double> v(64);
+    if (c.rank() == 1) {
+      for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+    }
+    c.bcast<double>(v, 1);
+    EXPECT_EQ(v[63], 63.0);
+  });
+}
+
+TEST(SimCollectives, GatherCollectsInRankOrder) {
+  make_cluster(4).run([](Comm& c) {
+    const int mine = c.rank() * 11;
+    std::vector<int> all(4, -1);
+    c.gather_bytes(&mine, sizeof(int), all.data(), /*root=*/2);
+    if (c.rank() == 2) {
+      EXPECT_EQ(all, (std::vector<int>{0, 11, 22, 33}));
+    }
+  });
+}
+
+TEST(SimCollectives, Allgather) {
+  make_cluster(4).run([](Comm& c) {
+    auto all = c.allgather<int>(c.rank() * c.rank());
+    ASSERT_EQ(all.size(), 4u);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(all[static_cast<std::size_t>(i)], i * i);
+    }
+  });
+}
+
+TEST(SimCollectives, AllgathervVariableSizes) {
+  make_cluster(4).run([](Comm& c) {
+    // Rank r contributes r copies of r.
+    std::vector<int> mine(static_cast<std::size_t>(c.rank()), c.rank());
+    std::vector<std::size_t> counts;
+    auto all = c.allgatherv<int>(mine, &counts);
+    ASSERT_EQ(all.size(), 0u + 1 + 2 + 3);
+    EXPECT_EQ(counts, (std::vector<std::size_t>{0, 1, 2, 3}));
+    EXPECT_EQ(all, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+  });
+}
+
+TEST(SimCollectives, Alltoall) {
+  make_cluster(4).run([](Comm& c) {
+    // Element for peer d is 10*me + d.
+    std::vector<int> send(4);
+    for (int d = 0; d < 4; ++d) {
+      send[static_cast<std::size_t>(d)] = 10 * c.rank() + d;
+    }
+    auto recv = c.alltoall<int>(send);
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)], 10 * s + c.rank());
+    }
+  });
+}
+
+TEST(SimCollectives, AlltoallvRedistributes) {
+  make_cluster(3).run([](Comm& c) {
+    // Rank r sends d+1 copies of value 100*r+d to peer d.
+    const auto p = static_cast<std::size_t>(c.size());
+    std::vector<std::size_t> scounts(p), sdispls(p);
+    std::vector<int> send;
+    for (std::size_t d = 0; d < p; ++d) {
+      scounts[d] = d + 1;
+      sdispls[d] = send.size();
+      for (std::size_t k = 0; k <= d; ++k) {
+        send.push_back(100 * c.rank() + static_cast<int>(d));
+      }
+    }
+    // Everyone receives rank()+1 values from each peer.
+    const std::size_t each = static_cast<std::size_t>(c.rank()) + 1;
+    std::vector<std::size_t> rcounts(p, each), rdispls(p);
+    for (std::size_t s = 0; s < p; ++s) rdispls[s] = s * each;
+    std::vector<int> recv(p * each, -1);
+    c.alltoallv<int>(send, scounts, sdispls, recv, rcounts, rdispls);
+    for (std::size_t s = 0; s < p; ++s) {
+      for (std::size_t k = 0; k < each; ++k) {
+        EXPECT_EQ(recv[s * each + k], static_cast<int>(100 * s) + c.rank());
+      }
+    }
+  });
+}
+
+TEST(SimCollectives, AlltoallvCountMismatchThrows) {
+  auto res = make_cluster(2).run_collect([](Comm& c) {
+    std::vector<int> send(2, 1);
+    std::vector<std::size_t> scounts{1, 1}, sdispls{0, 1};
+    // Receiver expects 2 from each: inconsistent.
+    std::vector<std::size_t> rcounts{2, 2}, rdispls{0, 2};
+    std::vector<int> recv(4);
+    c.alltoallv<int>(send, scounts, sdispls, recv, rcounts, rdispls);
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("alltoallv"), std::string::npos);
+}
+
+TEST(SimCollectives, AllreduceAndExscan) {
+  make_cluster(5).run([](Comm& c) {
+    const int sum =
+        c.allreduce<int>(c.rank() + 1, [](int a, int b) { return a + b; });
+    EXPECT_EQ(sum, 15);
+    const int mx =
+        c.allreduce<int>(c.rank(), [](int a, int b) { return std::max(a, b); });
+    EXPECT_EQ(mx, 4);
+    const long pre = c.exscan_sum<long>(c.rank() + 1);
+    long expect = 0;
+    for (int i = 0; i < c.rank(); ++i) expect += i + 1;
+    EXPECT_EQ(pre, expect);
+  });
+}
+
+TEST(SimCollectives, AllreduceVec) {
+  make_cluster(3).run([](Comm& c) {
+    std::vector<int> mine{c.rank(), 2 * c.rank(), 1};
+    auto out =
+        c.allreduce_vec<int>(mine, [](int a, int b) { return a + b; });
+    EXPECT_EQ(out, (std::vector<int>{3, 6, 3}));
+  });
+}
+
+TEST(SimCollectives, ConsecutiveCollectivesDoNotInterfere) {
+  make_cluster(4).run([](Comm& c) {
+    for (int i = 0; i < 50; ++i) {
+      auto all = c.allgather<int>(c.rank() + i);
+      for (int s = 0; s < 4; ++s) {
+        ASSERT_EQ(all[static_cast<std::size_t>(s)], s + i);
+      }
+    }
+  });
+}
+
+// --- split ----------------------------------------------------------------
+
+TEST(SimSplit, EvenOddSplit) {
+  make_cluster(6).run([](Comm& c) {
+    Comm sub = c.split(c.rank() % 2, c.rank());
+    ASSERT_TRUE(sub.valid());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), c.rank() / 2);
+    // Communication stays within the subgroup.
+    auto all = sub.allgather<int>(c.rank());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(all[i] % 2, c.rank() % 2);
+    }
+  });
+}
+
+TEST(SimSplit, KeyReordersRanks) {
+  make_cluster(4).run([](Comm& c) {
+    // Reverse rank order within a single group.
+    Comm sub = c.split(0, -c.rank());
+    EXPECT_EQ(sub.rank(), c.size() - 1 - c.rank());
+  });
+}
+
+TEST(SimSplit, UndefinedOptsOut) {
+  make_cluster(4).run([](Comm& c) {
+    Comm sub = c.split(c.rank() == 0 ? Comm::kUndefined : 7, c.rank());
+    if (c.rank() == 0) {
+      EXPECT_FALSE(sub.valid());
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+      EXPECT_EQ(sub.rank(), c.rank() - 1);
+    }
+  });
+}
+
+TEST(SimSplit, SplitByNodeGroupsConsecutiveRanks) {
+  make_cluster(8, /*cores_per_node=*/4).run([](Comm& c) {
+    Comm node = c.split_by_node();
+    ASSERT_TRUE(node.valid());
+    EXPECT_EQ(node.size(), 4);
+    EXPECT_EQ(node.rank(), c.rank() % 4);
+    auto nodes = node.allgather<int>(c.node_id());
+    for (int n : nodes) EXPECT_EQ(n, c.node_id());
+  });
+}
+
+TEST(SimSplit, NestedSplits) {
+  make_cluster(8).run([](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());
+    ASSERT_EQ(half.size(), 4);
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    ASSERT_EQ(quarter.size(), 2);
+    auto all = quarter.allgather<int>(c.rank());
+    EXPECT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[1] - all[0], 1);  // consecutive world ranks grouped
+  });
+}
+
+TEST(SimSplit, ParentStillUsableAfterSplit) {
+  make_cluster(4).run([](Comm& c) {
+    Comm sub = c.split(c.rank() % 2, c.rank());
+    sub.barrier();
+    auto all = c.allgather<int>(c.rank());
+    EXPECT_EQ(all.size(), 4u);
+  });
+}
+
+// --- abort / error propagation ---------------------------------------------
+
+TEST(SimAbort, ExceptionUnblocksPeersAndIsReported) {
+  auto res = make_cluster(4).run_collect([](Comm& c) {
+    if (c.rank() == 2) throw Error("rank 2 exploded");
+    c.barrier();  // would deadlock forever without abort propagation
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.failed_rank, 2);
+  EXPECT_NE(res.error.find("rank 2 exploded"), std::string::npos);
+}
+
+TEST(SimAbort, OomIsClassified) {
+  auto res = make_cluster(2).run_collect([](Comm& c) {
+    if (c.rank() == 1) throw SimOomError(1, 1000, 10);
+    c.barrier();
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_TRUE(res.oom);
+  EXPECT_EQ(res.failed_rank, 1);
+}
+
+TEST(SimAbort, RunRethrowsConcreteType) {
+  EXPECT_THROW(make_cluster(2).run([](Comm& c) {
+    if (c.rank() == 0) throw SimOomError(0, 5, 1);
+    c.recv_value<int>(1);  // blocks until aborted
+  }),
+               SimOomError);
+}
+
+TEST(SimAbort, UnblocksPointToPointWaiters) {
+  auto res = make_cluster(3).run_collect([](Comm& c) {
+    if (c.rank() == 0) throw Error("boom");
+    c.recv_value<int>(0);  // never sent
+  });
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.failed_rank, 0);
+}
+
+// --- network model ----------------------------------------------------------
+
+TEST(SimNetwork, DelayedDeliveryIsObserved) {
+  NetworkModel net;
+  net.latency_s = 0.05;  // 50 ms: measurable, brief
+  make_cluster(2, 1, net).run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(9, 1);
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      EXPECT_EQ(c.recv_value<int>(0), 9);
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      EXPECT_GE(waited, 0.045);
+    }
+  });
+}
+
+TEST(SimNetwork, IntraNodeIsCheaper) {
+  NetworkModel net;
+  net.latency_s = 0.08;
+  net.intra_node_latency_factor = 0.05;
+  // Ranks 0,1 share node 0; rank 2 is alone on node 1.
+  make_cluster(3, /*cores_per_node=*/2, net).run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(1, 1, 0);  // intra-node
+      c.send_value<int>(2, 2, 0);  // inter-node
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      c.recv_value<int>(0, 0);
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (c.rank() == 1) {
+        EXPECT_LT(waited, 0.05);  // ~4 ms modeled
+      } else {
+        EXPECT_GE(waited, 0.07);  // ~80 ms modeled
+      }
+    }
+  });
+}
+
+TEST(SimNetwork, TestPollsWithoutBlocking) {
+  NetworkModel net;
+  net.latency_s = 0.05;
+  make_cluster(2, 1, net).run([](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<int>(3, 1);
+    } else {
+      int buf = 0;
+      Request r = c.irecv<int>(std::span<int>(&buf, 1), 0);
+      // Immediately after send the message is still "in flight".
+      int polls = 0;
+      while (!r.test()) ++polls;
+      EXPECT_EQ(buf, 3);
+      EXPECT_GT(polls, 0);  // at least one poll saw it undelivered
+    }
+  });
+}
+
+TEST(SimNetwork, ExchangeTimeArithmetic) {
+  NetworkModel m;
+  m.latency_s = 1e-3;
+  m.bandwidth_Bps = 1e6;
+  // 4 peers, 2 KB out: 4 ms latency + 2 ms transfer.
+  EXPECT_NEAR(m.exchange_time(4, 2000, 1000, false), 0.006, 1e-9);
+  // Intra-node: latency/10, bandwidth*8 by default.
+  EXPECT_NEAR(m.exchange_time(4, 2000, 1000, true),
+              4 * 1e-4 + 2000.0 / 8e6, 1e-9);
+  EXPECT_NEAR(m.message_time(1000, false), 1e-3 + 1e-3, 1e-9);
+}
+
+// --- ledger ------------------------------------------------------------------
+
+TEST(SimLedger, PerRankLedgersAreCollected) {
+  Cluster cl = make_cluster(3);
+  auto res = cl.run_collect([](Comm& c) {
+    c.ledger().add(Phase::kExchange, 0.5 * (c.rank() + 1));
+  });
+  ASSERT_TRUE(res.ok);
+  ASSERT_EQ(res.ledgers.size(), 3u);
+  EXPECT_DOUBLE_EQ(res.ledgers[2].seconds(Phase::kExchange), 1.5);
+  EXPECT_DOUBLE_EQ(res.max_ledger().seconds(Phase::kExchange), 1.5);
+}
+
+}  // namespace
+}  // namespace sdss::sim
+
+namespace sdss::sim {
+namespace {
+
+TEST(SimTrace, DisabledByDefault) {
+  Cluster cl{ClusterConfig{2}};
+  auto res = cl.run_collect([](Comm& c) {
+    c.send_value<int>(1, 1 - c.rank(), 0);
+    c.recv_value<int>(1 - c.rank(), 0);
+    c.barrier();
+  });
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(res.trace.empty());
+}
+
+TEST(SimTrace, RecordsSendsAndCollectives) {
+  ClusterConfig cc{3};
+  cc.enable_trace = true;
+  auto res = Cluster(cc).run_collect([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v(10, 1);
+      c.send<int>(v, 1, 5);
+    } else if (c.rank() == 1) {
+      std::vector<int> buf(10);
+      c.recv<int>(buf, 0, 5);
+    }
+    c.barrier();
+    auto all = c.allgather<int>(c.rank());
+    (void)all;
+  });
+  ASSERT_TRUE(res.ok);
+  std::size_t sends = 0, collectives = 0;
+  bool saw_send_bytes = false;
+  for (const auto& e : res.trace) {
+    if (e.kind == TraceEvent::Kind::kSend) {
+      ++sends;
+      if (e.bytes == 40 && e.rank == 0 && e.peer == 1) saw_send_bytes = true;
+    } else {
+      ++collectives;
+    }
+  }
+  EXPECT_EQ(sends, 1u);
+  EXPECT_TRUE(saw_send_bytes);
+  EXPECT_EQ(collectives, 6u);  // 3 ranks x (barrier + allgather)
+}
+
+TEST(SimTrace, ChromeTraceJsonShape) {
+  std::vector<TraceEvent> events{
+      {TraceEvent::Kind::kSend, 0, 1, "send", 128, 0.001, 0.001},
+      {TraceEvent::Kind::kCollective, 1, -1, "alltoallv", 4096, 0.002, 0.004},
+  };
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\": \"send\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alltoallv\""), std::string::npos);
+  EXPECT_NE(json.find("\"peer\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\": 4096"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace sdss::sim

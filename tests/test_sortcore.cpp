@@ -1,0 +1,522 @@
+// Unit and property tests for the shared-memory sorting library: loser-tree
+// k-way merge, natural-run detection, radix sort, skew-aware merge
+// partitioning, and SdssLocalSort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "sortcore/key.hpp"
+#include "sortcore/kway_merge.hpp"
+#include "sortcore/local_sort.hpp"
+#include "sortcore/merge_partition.hpp"
+#include "sortcore/radix.hpp"
+#include "sortcore/runs.hpp"
+#include "sortcore/seq_sort.hpp"
+#include "util/rng.hpp"
+
+namespace sdss {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed,
+                                       std::uint64_t universe) {
+  SplitMix64 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_below(universe);
+  return v;
+}
+
+template <typename T>
+std::vector<std::span<const T>> as_spans(
+    const std::vector<std::vector<T>>& chunks) {
+  std::vector<std::span<const T>> s;
+  s.reserve(chunks.size());
+  for (const auto& c : chunks) s.emplace_back(c);
+  return s;
+}
+
+// --- kway_merge -------------------------------------------------------------
+
+TEST(KwayMerge, TwoRuns) {
+  std::vector<std::vector<int>> runs{{1, 3, 5}, {2, 4, 6}};
+  auto spans = as_spans(runs);
+  auto out = kway_merge_to_vector<int>(spans);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(KwayMerge, EmptyInputs) {
+  std::vector<std::vector<int>> runs{};
+  auto spans = as_spans(runs);
+  EXPECT_TRUE(kway_merge_to_vector<int>(spans).empty());
+
+  std::vector<std::vector<int>> runs2{{}, {}, {}};
+  auto spans2 = as_spans(runs2);
+  EXPECT_TRUE(kway_merge_to_vector<int>(spans2).empty());
+}
+
+TEST(KwayMerge, MixedEmptyAndSingleton) {
+  std::vector<std::vector<int>> runs{{}, {5}, {}, {1, 9}, {}};
+  auto spans = as_spans(runs);
+  auto out = kway_merge_to_vector<int>(spans);
+  EXPECT_EQ(out, (std::vector<int>{1, 5, 9}));
+}
+
+TEST(KwayMerge, OutputSizeMismatchThrows) {
+  std::vector<std::vector<int>> runs{{1, 2}};
+  auto spans = as_spans(runs);
+  std::vector<int> out(3);
+  EXPECT_THROW((kway_merge<int>(spans, out)), std::invalid_argument);
+}
+
+TEST(KwayMerge, StableAcrossRuns) {
+  // Records (key, origin); origins must appear in run order for equal keys.
+  struct Rec {
+    int key;
+    int origin;
+  };
+  std::vector<std::vector<Rec>> runs;
+  for (int r = 0; r < 5; ++r) {
+    std::vector<Rec> run;
+    for (int i = 0; i < 20; ++i) run.push_back({i / 4, r});
+    runs.push_back(std::move(run));
+  }
+  std::vector<std::span<const Rec>> spans;
+  for (const auto& r : runs) spans.emplace_back(r);
+  std::vector<Rec> out(100);
+  kway_merge<Rec>(spans, out, [](const Rec& r) { return r.key; });
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].key, out[i].key);
+    if (out[i - 1].key == out[i].key) {
+      ASSERT_LE(out[i - 1].origin, out[i].origin) << "tie broken out of order";
+    }
+  }
+}
+
+class KwayMergeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KwayMergeSweep, MatchesSortedConcatenation) {
+  const std::size_t k = GetParam();
+  SplitMix64 rng(k * 7919 + 3);
+  std::vector<std::vector<std::uint64_t>> runs(k);
+  std::vector<std::uint64_t> expect;
+  for (auto& run : runs) {
+    const std::size_t len = rng.next_below(200);
+    run = random_keys(len, rng.next(), 50);  // heavy duplication
+    std::sort(run.begin(), run.end());
+    expect.insert(expect.end(), run.begin(), run.end());
+  }
+  std::sort(expect.begin(), expect.end());
+  auto spans = as_spans(runs);
+  EXPECT_EQ(kway_merge_to_vector<std::uint64_t>(spans), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(RunCounts, KwayMergeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 31, 64));
+
+// --- runs / run-aware sort ---------------------------------------------------
+
+TEST(Runs, CountRuns) {
+  std::vector<int> v{1, 2, 3, 2, 3, 4, 1};
+  EXPECT_EQ(count_runs<int>(v), 3u);
+  EXPECT_EQ(count_runs<int>(std::vector<int>{}), 0u);
+  EXPECT_EQ(count_runs<int>(std::vector<int>{5}), 1u);
+  std::vector<int> sorted{1, 1, 2, 3};
+  EXPECT_EQ(count_runs<int>(sorted), 1u);
+}
+
+TEST(Runs, SortedInputIsSingleRunAndO_N) {
+  std::vector<int> v(1000);
+  std::iota(v.begin(), v.end(), 0);
+  auto res = run_aware_sort(v, /*stable=*/false);
+  EXPECT_EQ(res.strategy, OrderingStrategy::kAlreadySorted);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Runs, ReverseSortedBecomesSingleRunWhenUnstable) {
+  std::vector<int> v(500);
+  std::iota(v.begin(), v.end(), 0);
+  std::reverse(v.begin(), v.end());
+  auto res = run_aware_sort(v, /*stable=*/false);
+  EXPECT_EQ(res.strategy, OrderingStrategy::kAlreadySorted);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Runs, FewRunsUseMerge) {
+  std::vector<int> v;
+  for (int r = 0; r < 8; ++r) {
+    for (int i = 0; i < 100; ++i) v.push_back(i * 8 + r);
+  }
+  auto res = run_aware_sort(v, /*stable=*/false);
+  EXPECT_EQ(res.strategy, OrderingStrategy::kRunMerge);
+  EXPECT_EQ(res.runs, 8u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Runs, RandomDataFallsBackToFullSort) {
+  auto keys = random_keys(5000, 42, 1u << 30);
+  std::vector<std::uint64_t> v(keys.begin(), keys.end());
+  auto res = run_aware_sort(v, /*stable=*/false);
+  EXPECT_EQ(res.strategy, OrderingStrategy::kFullSort);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Runs, StablePreservesTieOrder) {
+  struct Rec {
+    int key;
+    int seq;
+  };
+  // Two ascending runs with overlapping duplicated keys.
+  std::vector<Rec> v;
+  for (int i = 0; i < 50; ++i) v.push_back({i / 5, i});
+  for (int i = 50; i < 100; ++i) v.push_back({(i - 50) / 5, i});
+  auto res = run_aware_sort(
+      v, /*stable=*/true, [](const Rec& r) { return r.key; });
+  EXPECT_EQ(res.strategy, OrderingStrategy::kRunMerge);
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].seq, v[i].seq);
+    }
+  }
+}
+
+class RunAwareSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+
+TEST_P(RunAwareSweep, SortsArbitraryRunStructures) {
+  const auto [nruns, stable] = GetParam();
+  SplitMix64 rng(nruns * 31 + (stable ? 1 : 0));
+  std::vector<std::uint64_t> v;
+  for (std::size_t r = 0; r < nruns; ++r) {
+    auto run = random_keys(20 + rng.next_below(60), rng.next(), 1000);
+    std::sort(run.begin(), run.end());
+    if (rng.next_below(2) == 0) std::reverse(run.begin(), run.end());
+    v.insert(v.end(), run.begin(), run.end());
+  }
+  std::vector<std::uint64_t> expect = v;
+  std::sort(expect.begin(), expect.end());
+  run_aware_sort(v, stable);
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Structures, RunAwareSweep,
+    ::testing::Combine(::testing::Values(1, 2, 5, 20, 100, 400),
+                       ::testing::Bool()));
+
+// --- radix sort --------------------------------------------------------------
+
+TEST(RadixSort, SortsUint64) {
+  auto v = random_keys(10000, 7, ~0ull);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  radix_sort(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(RadixSort, SortsSmallUniverse) {
+  auto v = random_keys(10000, 8, 3);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  radix_sort(v);
+  EXPECT_EQ(v, expect);
+}
+
+TEST(RadixSort, EmptyAndSingle) {
+  std::vector<std::uint64_t> v;
+  radix_sort(v);
+  EXPECT_TRUE(v.empty());
+  v = {9};
+  radix_sort(v);
+  EXPECT_EQ(v[0], 9u);
+}
+
+TEST(RadixSort, StableOnRecords) {
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t seq;
+  };
+  SplitMix64 rng(99);
+  std::vector<Rec> v;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    v.push_back({static_cast<std::uint32_t>(rng.next_below(16)), i});
+  }
+  radix_sort(v, [](const Rec& r) { return r.key; });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].seq, v[i].seq);
+    }
+  }
+}
+
+TEST(RadixSort, AllEqualKeysPreserveOrder) {
+  struct Rec {
+    std::uint16_t key;
+    int seq;
+  };
+  std::vector<Rec> v;
+  for (int i = 0; i < 100; ++i) v.push_back({7, i});
+  radix_sort(v, [](const Rec& r) { return r.key; });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)].seq, i);
+}
+
+// --- merge partition ----------------------------------------------------------
+
+std::vector<std::vector<std::uint64_t>> sorted_chunks(std::size_t nchunks,
+                                                      std::size_t per_chunk,
+                                                      std::uint64_t universe,
+                                                      std::uint64_t seed) {
+  std::vector<std::vector<std::uint64_t>> chunks(nchunks);
+  SplitMix64 rng(seed);
+  for (auto& c : chunks) {
+    c = random_keys(per_chunk, rng.next(), universe);
+    std::sort(c.begin(), c.end());
+  }
+  return chunks;
+}
+
+TEST(MergePartition, CoversEveryElementExactlyOnce) {
+  auto chunks = sorted_chunks(4, 1000, 1 << 20, 11);
+  auto spans = as_spans(chunks);
+  auto plan = plan_merge_partition<std::uint64_t>(spans, 4, false);
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      ASSERT_LE(plan.bounds[t][j], plan.bounds[t + 1][j]);
+    }
+    total += plan.part_size(t);
+  }
+  EXPECT_EQ(total, 4000u);
+}
+
+TEST(MergePartition, PartsAreValueOrdered) {
+  auto chunks = sorted_chunks(3, 500, 100, 13);  // heavy duplicates
+  auto spans = as_spans(chunks);
+  auto plan = plan_merge_partition<std::uint64_t>(spans, 5, false);
+  // max key of part t must be <= min key of part t+1.
+  std::uint64_t prev_max = 0;
+  bool have_prev = false;
+  for (std::size_t t = 0; t < 5; ++t) {
+    std::uint64_t mn = ~0ull, mx = 0;
+    bool any = false;
+    for (std::size_t j = 0; j < 3; ++j) {
+      for (std::size_t i = plan.bounds[t][j]; i < plan.bounds[t + 1][j]; ++i) {
+        mn = std::min(mn, chunks[j][i]);
+        mx = std::max(mx, chunks[j][i]);
+        any = true;
+      }
+    }
+    if (!any) continue;
+    if (have_prev) {
+      EXPECT_LE(prev_max, mn);
+    }
+    prev_max = mx;
+    have_prev = true;
+  }
+}
+
+TEST(MergePartition, SkewAwareBalancesAllEqualKeys) {
+  // Every key identical: the adversarial case. Sample-only puts everything
+  // in one part; skew-aware splits evenly.
+  std::vector<std::vector<std::uint64_t>> chunks(4,
+                                                 std::vector<std::uint64_t>(512, 42));
+  auto spans = as_spans(chunks);
+
+  // With all pivots equal, rs = parts-1 = 3 consecutive parts share the
+  // duplicates (the part after the run holds values > v, of which there are
+  // none); each sharing part gets ~total/rs — well inside the O(4N/p) bound.
+  auto skew = plan_merge_partition<std::uint64_t>(
+      spans, 4, false, MergePartitionMethod::kSkewAware);
+  auto sizes = skew.part_sizes();
+  const std::size_t bound = (2048 + 2) / 3 + 4;  // ceil(total/rs) + rounding
+  for (std::size_t t = 0; t < 4; ++t) {
+    EXPECT_LE(sizes[t], bound) << "part " << t;
+  }
+  EXPECT_EQ(sizes[0] + sizes[1] + sizes[2] + sizes[3], 2048u);
+
+  auto plain = plan_merge_partition<std::uint64_t>(
+      spans, 4, false, MergePartitionMethod::kSampleOnly);
+  auto plain_sizes = plain.part_sizes();
+  EXPECT_EQ(*std::max_element(plain_sizes.begin(), plain_sizes.end()), 2048u);
+}
+
+TEST(MergePartition, SkewAwareBoundsZipfLikeLoad) {
+  // 60% of all records share one key; parts must stay within ~2x average.
+  std::vector<std::vector<std::uint64_t>> chunks(8);
+  SplitMix64 rng(5);
+  for (auto& c : chunks) {
+    for (int i = 0; i < 1000; ++i) {
+      c.push_back(rng.next_below(10) < 6 ? 500u : rng.next_below(1000));
+    }
+    std::sort(c.begin(), c.end());
+  }
+  auto spans = as_spans(chunks);
+  auto plan = plan_merge_partition<std::uint64_t>(spans, 8, false);
+  const auto sizes = plan.part_sizes();
+  const std::size_t avg = 8000 / 8;
+  for (std::size_t t = 0; t < sizes.size(); ++t) {
+    EXPECT_LE(sizes[t], 2 * avg) << "part " << t << " overloaded";
+  }
+}
+
+TEST(MergePartition, StableSplitIsChunkMajor) {
+  // All-equal keys, stable: part boundaries must take chunks in order —
+  // part 0 = all of chunk 0 (and possibly a prefix of chunk 1), etc.
+  std::vector<std::vector<std::uint64_t>> chunks(4,
+                                                 std::vector<std::uint64_t>(100, 7));
+  auto spans = as_spans(chunks);
+  auto plan = plan_merge_partition<std::uint64_t>(
+      spans, 4, /*stable=*/true, MergePartitionMethod::kSkewAware);
+  // rs = 3 parts share the 400 duplicates in groups of sa = ceil(400/3) =
+  // 134, chunk-major: part 0 = chunk 0 (100) + 34 of chunk 1, part 1 = rest
+  // of chunk 1 + prefix of chunk 2, ... and part 3 (values > 7) is empty.
+  EXPECT_EQ(plan.part_size(0), 134u);
+  EXPECT_EQ(plan.part_size(1), 134u);
+  EXPECT_EQ(plan.part_size(2), 132u);
+  EXPECT_EQ(plan.part_size(3), 0u);
+  EXPECT_EQ(plan.bounds[1][0], 100u);  // all of chunk 0 in part 0
+  EXPECT_EQ(plan.bounds[1][1], 34u);   // plus a prefix of chunk 1
+  EXPECT_EQ(plan.bounds[1][2], 0u);
+  EXPECT_EQ(plan.bounds[1][3], 0u);
+}
+
+TEST(MergePartition, SinglePartAndEmptyChunks) {
+  std::vector<std::vector<std::uint64_t>> chunks{{}, {1, 2}, {}};
+  auto spans = as_spans(chunks);
+  auto plan = plan_merge_partition<std::uint64_t>(spans, 1, false);
+  EXPECT_EQ(plan.part_size(0), 2u);
+
+  std::vector<std::vector<std::uint64_t>> empties{{}, {}};
+  auto espans = as_spans(empties);
+  auto eplan = plan_merge_partition<std::uint64_t>(espans, 3, false);
+  for (std::size_t t = 0; t < 3; ++t) EXPECT_EQ(eplan.part_size(t), 0u);
+}
+
+// --- parallel merge + local sort ----------------------------------------------
+
+TEST(ParallelMerge, MatchesSerialMerge) {
+  auto chunks = sorted_chunks(6, 800, 64, 17);
+  auto spans = as_spans(chunks);
+  std::vector<std::uint64_t> expect;
+  for (const auto& c : chunks) expect.insert(expect.end(), c.begin(), c.end());
+  std::sort(expect.begin(), expect.end());
+  std::vector<std::uint64_t> out(expect.size());
+  parallel_merge_chunks<std::uint64_t>(spans, out, 4, false,
+                                       MergePartitionMethod::kSkewAware);
+  EXPECT_EQ(out, expect);
+}
+
+TEST(ParallelMerge, StableAcrossChunks) {
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t chunk;
+    std::uint32_t pos;
+  };
+  std::vector<std::vector<Rec>> chunks(5);
+  SplitMix64 rng(23);
+  for (std::uint32_t c = 0; c < 5; ++c) {
+    for (std::uint32_t i = 0; i < 400; ++i) {
+      chunks[c].push_back({static_cast<std::uint32_t>(rng.next_below(4)), c, i});
+    }
+    std::stable_sort(chunks[c].begin(), chunks[c].end(),
+                     [](const Rec& a, const Rec& b) { return a.key < b.key; });
+  }
+  std::vector<std::span<const Rec>> spans;
+  for (const auto& c : chunks) spans.emplace_back(c);
+  std::vector<Rec> out(2000);
+  parallel_merge_chunks<Rec>(spans, out, 5, /*stable=*/true,
+                             MergePartitionMethod::kSkewAware,
+                             [](const Rec& r) { return r.key; });
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].key, out[i].key);
+    if (out[i - 1].key == out[i].key) {
+      // Stability order: (chunk, pos) lexicographic.
+      ASSERT_TRUE(out[i - 1].chunk < out[i].chunk ||
+                  (out[i - 1].chunk == out[i].chunk &&
+                   out[i - 1].pos < out[i].pos))
+          << "stability violated at " << i;
+    }
+  }
+}
+
+struct LocalSortCase {
+  std::size_t n;
+  int threads;
+  bool stable;
+  std::uint64_t universe;
+};
+
+class LocalSortSweep : public ::testing::TestWithParam<LocalSortCase> {};
+
+TEST_P(LocalSortSweep, SortsAndPreservesMultiset) {
+  const auto& pc = GetParam();
+  auto v = random_keys(pc.n, pc.n * 13 + pc.universe, pc.universe);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  LocalSortConfig cfg;
+  cfg.threads = pc.threads;
+  cfg.stable = pc.stable;
+  local_sort(v, cfg);
+  EXPECT_EQ(v, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LocalSortSweep,
+    ::testing::Values(LocalSortCase{0, 4, false, 100},
+                      LocalSortCase{1, 4, false, 100},
+                      LocalSortCase{100, 1, false, 10},
+                      LocalSortCase{10000, 1, false, 1u << 30},
+                      LocalSortCase{10000, 2, false, 1u << 30},
+                      LocalSortCase{10000, 4, false, 5},   // extreme skew
+                      LocalSortCase{10000, 8, false, 1u << 30},
+                      LocalSortCase{10000, 4, true, 100},
+                      LocalSortCase{50000, 4, true, 3},
+                      LocalSortCase{50000, 6, false, 1000}));
+
+TEST(LocalSort, StablePreservesInputOrderOfDuplicates) {
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t seq;
+  };
+  SplitMix64 rng(31);
+  std::vector<Rec> v;
+  for (std::uint32_t i = 0; i < 30000; ++i) {
+    v.push_back({static_cast<std::uint32_t>(rng.next_below(8)), i});
+  }
+  LocalSortConfig cfg;
+  cfg.threads = 4;
+  cfg.stable = true;
+  local_sort(v, cfg, [](const Rec& r) { return r.key; });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].seq, v[i].seq);
+    }
+  }
+}
+
+TEST(LocalSort, SortsFloatKeysViaProjection) {
+  struct Particle {
+    float score;
+    std::uint64_t id;
+  };
+  SplitMix64 rng(77);
+  std::vector<Particle> v;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    v.push_back({static_cast<float>(rng.next_double()), i});
+  }
+  LocalSortConfig cfg;
+  cfg.threads = 4;
+  local_sort(v, cfg, [](const Particle& p) { return p.score; });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].score, v[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace sdss

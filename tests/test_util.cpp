@@ -1,0 +1,165 @@
+// Unit tests for the utility layer: stats (RDFA, delta), checksums,
+// formatting, phase ledger, and RNG determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/hash.hpp"
+#include "util/phase_ledger.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace sdss {
+namespace {
+
+TEST(Stats, RdfaBalanced) {
+  std::vector<std::size_t> loads{100, 100, 100, 100};
+  EXPECT_DOUBLE_EQ(rdfa(loads), 1.0);
+}
+
+TEST(Stats, RdfaSkewed) {
+  std::vector<std::size_t> loads{400, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(rdfa(loads), 4.0);
+}
+
+TEST(Stats, RdfaEdgeCases) {
+  EXPECT_DOUBLE_EQ(rdfa(std::vector<std::size_t>{}), 1.0);
+  EXPECT_DOUBLE_EQ(rdfa(std::vector<std::size_t>{0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(rdfa(std::vector<std::size_t>{7}), 1.0);
+}
+
+TEST(Stats, MeasureDelta) {
+  std::vector<std::uint64_t> keys{1, 2, 2, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_DOUBLE_EQ(measure_delta(keys), 0.3);
+  EXPECT_DOUBLE_EQ(measure_delta(std::vector<std::uint64_t>{}), 0.0);
+  std::vector<std::uint64_t> all_same(50, 9);
+  EXPECT_DOUBLE_EQ(measure_delta(all_same), 1.0);
+}
+
+TEST(Stats, OnlineStats) {
+  OnlineStats s;
+  for (double x : {3.0, 1.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Stats, Quantile) {
+  std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Hash, ChecksumDetectsDifferences) {
+  std::vector<std::uint64_t> a{1, 2, 3, 4};
+  std::vector<std::uint64_t> b{4, 3, 2, 1};  // permutation: equal checksum
+  std::vector<std::uint64_t> c{1, 2, 3, 5};  // different multiset
+  EXPECT_EQ(multiset_checksum<std::uint64_t>(a),
+            multiset_checksum<std::uint64_t>(b));
+  EXPECT_NE(multiset_checksum<std::uint64_t>(a),
+            multiset_checksum<std::uint64_t>(c));
+}
+
+TEST(Hash, ChecksumIsAdditive) {
+  std::vector<int> a{1, 2};
+  std::vector<int> b{3};
+  std::vector<int> ab{1, 2, 3};
+  auto ca = multiset_checksum<int>(a);
+  ca += multiset_checksum<int>(b);
+  EXPECT_EQ(ca, multiset_checksum<int>(ab));
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512B");
+  EXPECT_EQ(human_bytes(4096), "4.0KB");
+  EXPECT_EQ(human_bytes(160ull << 20), "160MB");
+}
+
+TEST(Format, HumanCount) {
+  EXPECT_EQ(human_count(999), "999");
+  EXPECT_EQ(human_count(1500), "1.5k");
+  EXPECT_EQ(human_count(2500000), "2.5M");
+}
+
+TEST(Format, TextTableAligns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(PhaseLedger, AccumulatesAndReduces) {
+  PhaseLedger a, b;
+  a.add(Phase::kExchange, 1.0);
+  a.add(Phase::kExchange, 0.5);
+  b.add(Phase::kExchange, 2.0);
+  b.add(Phase::kOther, 0.25);
+  EXPECT_DOUBLE_EQ(a.seconds(Phase::kExchange), 1.5);
+  a.max_with(b);
+  EXPECT_DOUBLE_EQ(a.seconds(Phase::kExchange), 2.0);
+  EXPECT_DOUBLE_EQ(a.seconds(Phase::kOther), 0.25);
+  EXPECT_DOUBLE_EQ(a.total(), 2.25);
+  a.clear();
+  EXPECT_DOUBLE_EQ(a.total(), 0.0);
+}
+
+TEST(PhaseLedger, ScopedPhaseMeasuresSomething) {
+  PhaseLedger l;
+  {
+    ScopedPhase p(&l, Phase::kLocalOrdering);
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  }
+  EXPECT_GT(l.seconds(Phase::kLocalOrdering), 0.0);
+  { ScopedPhase p(nullptr, Phase::kOther); }  // null ledger is a no-op
+}
+
+TEST(PhaseLedger, Names) {
+  EXPECT_EQ(phase_name(Phase::kPivotSelection), "pivot-selection");
+  EXPECT_EQ(phase_name(Phase::kExchange), "exchange");
+  EXPECT_EQ(phase_name(Phase::kLocalOrdering), "local-ordering");
+  EXPECT_EQ(phase_name(Phase::kNodeMerge), "node-merge");
+  EXPECT_EQ(phase_name(Phase::kOther), "other");
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DerivedSeedsDiffer) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  EXPECT_EQ(derive_seed(5, 3), derive_seed(5, 3));
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Error, OomCarriesContext) {
+  SimOomError e(3, 1000, 100);
+  EXPECT_EQ(e.rank(), 3);
+  EXPECT_EQ(e.required(), 1000u);
+  EXPECT_EQ(e.limit(), 100u);
+  EXPECT_NE(std::string(e.what()).find("rank 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdss

@@ -1,0 +1,160 @@
+// Tests for the workload generators, including the Zipf alpha -> delta
+// calibration the paper's Tables 1 and 2 depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "workloads/cosmology.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/ptf.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss::workloads {
+namespace {
+
+TEST(Zipf, Deterministic) {
+  EXPECT_EQ(zipf_keys(100, 0.7, 42), zipf_keys(100, 0.7, 42));
+  EXPECT_NE(zipf_keys(100, 0.7, 42), zipf_keys(100, 0.7, 43));
+}
+
+TEST(Zipf, ValuesInUniverse) {
+  auto keys = zipf_keys(10000, 1.0, 1, 500);
+  for (auto k : keys) {
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 500u);
+  }
+}
+
+TEST(Zipf, HigherAlphaIsMoreSkewed) {
+  const auto low = zipf_keys(50000, 0.4, 9);
+  const auto high = zipf_keys(50000, 2.1, 9);
+  EXPECT_LT(measure_delta(low), measure_delta(high));
+}
+
+struct DeltaCase {
+  double alpha;
+  double paper_delta;  // Table 2 (and Table 1's alpha 1.4/2.1 rows)
+};
+
+class ZipfDeltaCalibration : public ::testing::TestWithParam<DeltaCase> {};
+
+TEST_P(ZipfDeltaCalibration, MatchesPaperTable) {
+  const auto& c = GetParam();
+  ZipfGenerator gen(c.alpha);
+  // Theoretical delta within 35% relative of the paper's reported value.
+  EXPECT_NEAR(gen.theoretical_delta(), c.paper_delta, c.paper_delta * 0.35)
+      << "alpha=" << c.alpha;
+  // Empirical delta close to theoretical.
+  const auto keys = zipf_keys(200000, c.alpha, 4242);
+  EXPECT_NEAR(measure_delta(keys), gen.theoretical_delta(),
+              0.1 * gen.theoretical_delta() + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, ZipfDeltaCalibration,
+                         ::testing::Values(DeltaCase{0.4, 0.002},
+                                           DeltaCase{0.5, 0.005},
+                                           DeltaCase{0.6, 0.010},
+                                           DeltaCase{0.7, 0.020},
+                                           DeltaCase{0.8, 0.037},
+                                           DeltaCase{0.9, 0.064},
+                                           DeltaCase{1.4, 0.32},
+                                           DeltaCase{2.1, 0.63}));
+
+TEST(Uniform, RangeAndDeterminism) {
+  auto v = uniform_doubles(1000, 3, 10.0, 20.0);
+  for (double x : v) {
+    EXPECT_GE(x, 10.0);
+    EXPECT_LT(x, 20.0);
+  }
+  EXPECT_EQ(v, uniform_doubles(1000, 3, 10.0, 20.0));
+  auto u = uniform_u64(1000, 4, 50);
+  for (auto x : u) EXPECT_LT(x, 50u);
+}
+
+TEST(Gaussian, RoughMoments) {
+  auto v = gaussian_doubles(100000, 5, 10.0, 2.0);
+  double sum = 0;
+  for (double x : v) sum += x;
+  const double mean = sum / static_cast<double>(v.size());
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  double var = 0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size());
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(PartiallyOrdered, RunStructure) {
+  auto v = partially_ordered_u64(10000, 6, /*runs=*/8, /*disorder=*/0.0);
+  // Count descents: should be about runs-1.
+  std::size_t descents = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[i - 1]) ++descents;
+  }
+  EXPECT_LE(descents, 8u);
+  auto noisy = partially_ordered_u64(10000, 6, 8, 0.2);
+  std::size_t noisy_descents = 0;
+  for (std::size_t i = 1; i < noisy.size(); ++i) {
+    if (noisy[i] < noisy[i - 1]) ++noisy_descents;
+  }
+  EXPECT_GT(noisy_descents, descents);
+}
+
+TEST(Ptf, DeltaMatchesPaper) {
+  const auto recs = ptf_records(200000, 11);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(recs.size());
+  for (const auto& r : recs) {
+    std::uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(r.rb_score));
+    std::memcpy(&bits, &r.rb_score, sizeof(bits));
+    keys.push_back(bits);
+  }
+  // Paper: delta = 28.02% on the real-bogus score.
+  EXPECT_NEAR(measure_delta(keys), 0.2802, 0.01);
+}
+
+TEST(Ptf, ScoresInRange) {
+  for (const auto& r : ptf_records(5000, 12)) {
+    EXPECT_GE(r.rb_score, 0.0f);
+    EXPECT_LE(r.rb_score, 1.0f);
+    EXPECT_GE(r.ra, 0.0f);
+    EXPECT_LT(r.ra, 360.0f);
+  }
+}
+
+TEST(Cosmology, DeltaMatchesPaper) {
+  const auto parts = cosmology_particles(300000, 21);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(parts.size());
+  for (const auto& p : parts) keys.push_back(p.cluster_id);
+  // Paper: delta = 0.73% on the cluster-ID key.
+  EXPECT_NEAR(measure_delta(keys), 0.0073, 0.0025);
+}
+
+TEST(Cosmology, ParticlesInBox) {
+  CosmologyOptions opt;
+  for (const auto& p : cosmology_particles(2000, 22, opt)) {
+    EXPECT_GE(p.cluster_id, 1u);
+    EXPECT_LE(p.cluster_id, opt.clusters);
+    EXPECT_GT(p.x, -0.02f * opt.box);
+    EXPECT_LT(p.x, 1.02f * opt.box);
+  }
+}
+
+TEST(Tagged, WrapsProvenance) {
+  std::vector<std::uint64_t> keys{5, 6};
+  auto tagged = tag_keys(keys, 3);
+  ASSERT_EQ(tagged.size(), 2u);
+  EXPECT_EQ(tagged[1].key, 6u);
+  EXPECT_EQ(tagged[1].src_rank, 3u);
+  EXPECT_EQ(tagged[1].src_index, 1u);
+  EXPECT_TRUE(tagged_before(tagged[0], tagged[1]));
+}
+
+}  // namespace
+}  // namespace sdss::workloads

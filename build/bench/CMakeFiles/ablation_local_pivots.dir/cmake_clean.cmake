@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_local_pivots.dir/ablation_local_pivots.cpp.o"
+  "CMakeFiles/ablation_local_pivots.dir/ablation_local_pivots.cpp.o.d"
+  "ablation_local_pivots"
+  "ablation_local_pivots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_local_pivots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skew_aware.dir/ablation_skew_aware.cpp.o"
+  "CMakeFiles/ablation_skew_aware.dir/ablation_skew_aware.cpp.o.d"
+  "ablation_skew_aware"
+  "ablation_skew_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skew_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_algorithm_matrix.dir/extra_algorithm_matrix.cpp.o"
+  "CMakeFiles/extra_algorithm_matrix.dir/extra_algorithm_matrix.cpp.o.d"
+  "extra_algorithm_matrix"
+  "extra_algorithm_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_algorithm_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

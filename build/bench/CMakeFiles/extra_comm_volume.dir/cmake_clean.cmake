@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_comm_volume.dir/extra_comm_volume.cpp.o"
+  "CMakeFiles/extra_comm_volume.dir/extra_comm_volume.cpp.o.d"
+  "extra_comm_volume"
+  "extra_comm_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_comm_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_graysort.dir/extra_graysort.cpp.o"
+  "CMakeFiles/extra_graysort.dir/extra_graysort.cpp.o.d"
+  "extra_graysort"
+  "extra_graysort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_graysort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_tau_sweep.dir/extra_tau_sweep.cpp.o"
+  "CMakeFiles/extra_tau_sweep.dir/extra_tau_sweep.cpp.o.d"
+  "extra_tau_sweep"
+  "extra_tau_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_tau_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cosmology.dir/fig10_cosmology.cpp.o"
+  "CMakeFiles/fig10_cosmology.dir/fig10_cosmology.cpp.o.d"
+  "fig10_cosmology"
+  "fig10_cosmology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cosmology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

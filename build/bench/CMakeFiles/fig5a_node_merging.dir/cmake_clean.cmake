@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_node_merging.dir/fig5a_node_merging.cpp.o"
+  "CMakeFiles/fig5a_node_merging.dir/fig5a_node_merging.cpp.o.d"
+  "fig5a_node_merging"
+  "fig5a_node_merging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_node_merging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

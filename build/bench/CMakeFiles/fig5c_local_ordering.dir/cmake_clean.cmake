@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_local_ordering.dir/fig5c_local_ordering.cpp.o"
+  "CMakeFiles/fig5c_local_ordering.dir/fig5c_local_ordering.cpp.o.d"
+  "fig5c_local_ordering"
+  "fig5c_local_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_local_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

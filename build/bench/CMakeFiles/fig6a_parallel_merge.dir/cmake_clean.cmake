@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_parallel_merge.dir/fig6a_parallel_merge.cpp.o"
+  "CMakeFiles/fig6a_parallel_merge.dir/fig6a_parallel_merge.cpp.o.d"
+  "fig6a_parallel_merge"
+  "fig6a_parallel_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_parallel_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

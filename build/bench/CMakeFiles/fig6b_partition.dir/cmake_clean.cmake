@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_partition.dir/fig6b_partition.cpp.o"
+  "CMakeFiles/fig6b_partition.dir/fig6b_partition.cpp.o.d"
+  "fig6b_partition"
+  "fig6b_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

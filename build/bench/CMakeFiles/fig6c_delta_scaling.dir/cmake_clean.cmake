@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_delta_scaling.dir/fig6c_delta_scaling.cpp.o"
+  "CMakeFiles/fig6c_delta_scaling.dir/fig6c_delta_scaling.cpp.o.d"
+  "fig6c_delta_scaling"
+  "fig6c_delta_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_delta_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6c_delta_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_weak_scaling_uniform.dir/fig7_weak_scaling_uniform.cpp.o"
+  "CMakeFiles/fig7_weak_scaling_uniform.dir/fig7_weak_scaling_uniform.cpp.o.d"
+  "fig7_weak_scaling_uniform"
+  "fig7_weak_scaling_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_weak_scaling_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_weak_scaling_uniform.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_weak_scaling_zipf.dir/fig8_weak_scaling_zipf.cpp.o"
+  "CMakeFiles/fig8_weak_scaling_zipf.dir/fig8_weak_scaling_zipf.cpp.o.d"
+  "fig8_weak_scaling_zipf"
+  "fig8_weak_scaling_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_weak_scaling_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

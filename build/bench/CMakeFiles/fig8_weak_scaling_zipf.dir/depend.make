@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_weak_scaling_zipf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ptf.dir/fig9_ptf.cpp.o"
+  "CMakeFiles/fig9_ptf.dir/fig9_ptf.cpp.o.d"
+  "fig9_ptf"
+  "fig9_ptf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ptf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

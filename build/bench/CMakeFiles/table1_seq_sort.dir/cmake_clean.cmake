@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_seq_sort.dir/table1_seq_sort.cpp.o"
+  "CMakeFiles/table1_seq_sort.dir/table1_seq_sort.cpp.o.d"
+  "table1_seq_sort"
+  "table1_seq_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_seq_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

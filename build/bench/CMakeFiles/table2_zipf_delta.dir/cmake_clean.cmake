@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_zipf_delta.dir/table2_zipf_delta.cpp.o"
+  "CMakeFiles/table2_zipf_delta.dir/table2_zipf_delta.cpp.o.d"
+  "table2_zipf_delta"
+  "table2_zipf_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_zipf_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_zipf_delta.
+# This may be replaced when dependencies are built.

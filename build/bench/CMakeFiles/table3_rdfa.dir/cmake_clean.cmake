@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_rdfa.dir/table3_rdfa.cpp.o"
+  "CMakeFiles/table3_rdfa.dir/table3_rdfa.cpp.o.d"
+  "table3_rdfa"
+  "table3_rdfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rdfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

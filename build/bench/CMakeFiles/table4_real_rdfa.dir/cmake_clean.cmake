@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_real_rdfa.dir/table4_real_rdfa.cpp.o"
+  "CMakeFiles/table4_real_rdfa.dir/table4_real_rdfa.cpp.o.d"
+  "table4_real_rdfa"
+  "table4_real_rdfa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_real_rdfa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

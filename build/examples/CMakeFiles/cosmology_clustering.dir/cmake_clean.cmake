@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmology_clustering.dir/cosmology_clustering.cpp.o"
+  "CMakeFiles/cosmology_clustering.dir/cosmology_clustering.cpp.o.d"
+  "cosmology_clustering"
+  "cosmology_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmology_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

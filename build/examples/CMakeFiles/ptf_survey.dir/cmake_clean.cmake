@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptf_survey.dir/ptf_survey.cpp.o"
+  "CMakeFiles/ptf_survey.dir/ptf_survey.cpp.o.d"
+  "ptf_survey"
+  "ptf_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptf_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_cli.dir/sort_cli.cpp.o"
+  "CMakeFiles/sort_cli.dir/sort_cli.cpp.o.d"
+  "sort_cli"
+  "sort_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/par/thread_pool.cpp" "src/CMakeFiles/sdss.dir/par/thread_pool.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/par/thread_pool.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/sdss.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/comm.cpp" "src/CMakeFiles/sdss.dir/sim/comm.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/sim/comm.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/sdss.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/sdss.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/sdss.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/format.cpp" "src/CMakeFiles/sdss.dir/util/format.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/util/format.cpp.o.d"
+  "/root/repo/src/util/phase_ledger.cpp" "src/CMakeFiles/sdss.dir/util/phase_ledger.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/util/phase_ledger.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/sdss.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/util/stats.cpp.o.d"
+  "/root/repo/src/workloads/cosmology.cpp" "src/CMakeFiles/sdss.dir/workloads/cosmology.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/workloads/cosmology.cpp.o.d"
+  "/root/repo/src/workloads/ptf.cpp" "src/CMakeFiles/sdss.dir/workloads/ptf.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/workloads/ptf.cpp.o.d"
+  "/root/repo/src/workloads/zipf.cpp" "src/CMakeFiles/sdss.dir/workloads/zipf.cpp.o" "gcc" "src/CMakeFiles/sdss.dir/workloads/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

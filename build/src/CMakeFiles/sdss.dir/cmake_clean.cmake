@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdss.dir/par/thread_pool.cpp.o"
+  "CMakeFiles/sdss.dir/par/thread_pool.cpp.o.d"
+  "CMakeFiles/sdss.dir/sim/cluster.cpp.o"
+  "CMakeFiles/sdss.dir/sim/cluster.cpp.o.d"
+  "CMakeFiles/sdss.dir/sim/comm.cpp.o"
+  "CMakeFiles/sdss.dir/sim/comm.cpp.o.d"
+  "CMakeFiles/sdss.dir/sim/network.cpp.o"
+  "CMakeFiles/sdss.dir/sim/network.cpp.o.d"
+  "CMakeFiles/sdss.dir/sim/trace.cpp.o"
+  "CMakeFiles/sdss.dir/sim/trace.cpp.o.d"
+  "CMakeFiles/sdss.dir/util/error.cpp.o"
+  "CMakeFiles/sdss.dir/util/error.cpp.o.d"
+  "CMakeFiles/sdss.dir/util/format.cpp.o"
+  "CMakeFiles/sdss.dir/util/format.cpp.o.d"
+  "CMakeFiles/sdss.dir/util/phase_ledger.cpp.o"
+  "CMakeFiles/sdss.dir/util/phase_ledger.cpp.o.d"
+  "CMakeFiles/sdss.dir/util/stats.cpp.o"
+  "CMakeFiles/sdss.dir/util/stats.cpp.o.d"
+  "CMakeFiles/sdss.dir/workloads/cosmology.cpp.o"
+  "CMakeFiles/sdss.dir/workloads/cosmology.cpp.o.d"
+  "CMakeFiles/sdss.dir/workloads/ptf.cpp.o"
+  "CMakeFiles/sdss.dir/workloads/ptf.cpp.o.d"
+  "CMakeFiles/sdss.dir/workloads/zipf.cpp.o"
+  "CMakeFiles/sdss.dir/workloads/zipf.cpp.o.d"
+  "libsdss.a"
+  "libsdss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

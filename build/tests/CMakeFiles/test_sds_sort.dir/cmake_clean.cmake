@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sds_sort.dir/test_sds_sort.cpp.o"
+  "CMakeFiles/test_sds_sort.dir/test_sds_sort.cpp.o.d"
+  "test_sds_sort"
+  "test_sds_sort.pdb"
+  "test_sds_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sds_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_comm.dir/test_sim_comm.cpp.o"
+  "CMakeFiles/test_sim_comm.dir/test_sim_comm.cpp.o.d"
+  "test_sim_comm"
+  "test_sim_comm.pdb"
+  "test_sim_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sortcore.dir/test_sortcore.cpp.o"
+  "CMakeFiles/test_sortcore.dir/test_sortcore.cpp.o.d"
+  "test_sortcore"
+  "test_sortcore.pdb"
+  "test_sortcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sortcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

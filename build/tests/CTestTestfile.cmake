@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_par[1]_include.cmake")
+include("/root/repo/build/tests/test_sortcore[1]_include.cmake")
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_sds_sort[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_comm_stats_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")

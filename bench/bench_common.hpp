@@ -6,22 +6,124 @@
 // should reproduce, and a `measured:` verdict. Absolute numbers differ from
 // Edison (this substrate is a simulated cluster on one box); the *shape* —
 // who wins, by what rough factor, where crossovers fall — is the target.
+//
+// Telemetry: every time_spmd() call also records a telemetry::RunReport
+// (phases, comm counters, cluster config) into a process-wide registry.
+// When the process was started with `--json <path>` (recovered from
+// /proc/self/cmdline, so argv-less bench mains honor it too) or with
+// SDSS_BENCH_JSON=<path> in the environment, the registry is written to
+// that path at exit — one schema-versioned file per process, one report per
+// measured configuration. See docs/OBSERVABILITY.md for the schema and
+// docs/BENCHMARKING.md for the regression workflow around report_diff.
 #pragma once
 
 #include <algorithm>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sdss.hpp"
+#include "telemetry/report.hpp"
 #include "util/format.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
 
 namespace sdss::bench {
+
+/// Process-wide report accumulator. Always collects (the registry is cheap
+/// and lets tests inspect runs in-process); only writes a file when a
+/// destination was configured. Flushes from its destructor so plain bench
+/// mains need no teardown call.
+class BenchReporter {
+ public:
+  static BenchReporter& instance() {
+    static BenchReporter reporter;
+    return reporter;
+  }
+
+  telemetry::ReportRegistry& registry() { return registry_; }
+  const std::string& path() const { return path_; }
+
+  /// print_header() routes the bench's title here so every report carries
+  /// its experiment name.
+  void set_experiment(std::string name) { experiment_ = std::move(name); }
+  const std::string& experiment() const { return experiment_; }
+
+  /// Name for a run whose caller provided none: "<experiment> #<seq>".
+  std::string next_auto_name() {
+    return (experiment_.empty() ? std::string("run") : experiment_) + " #" +
+           std::to_string(++seq_);
+  }
+
+  void flush() {
+    if (flushed_ || path_.empty() || registry_.empty()) return;
+    flushed_ = true;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "bench: cannot write report file " << path_ << "\n";
+      return;
+    }
+    registry_.write(out);
+    std::cout << "wrote " << registry_.size() << " run report(s) to "
+              << path_ << "\n";
+  }
+
+  ~BenchReporter() { flush(); }
+
+ private:
+  BenchReporter() : path_(telemetry::report_path_from_cmdline_or_env()) {}
+
+  std::string path_;
+  std::string experiment_;
+  telemetry::ReportRegistry registry_;
+  int seq_ = 0;
+  bool flushed_ = false;
+};
+
+/// The report recorded by the most recent time_spmd() — the hook for
+/// enriching a run with data only the caller has (RDFA, adaptive
+/// decisions, workload δ). Nullptr before the first run.
+inline telemetry::RunReport* last_report() {
+  return BenchReporter::instance().registry().last();
+}
+
+/// Optional identity of one measured configuration, passed to time_spmd().
+/// Leave `name` empty for an auto-generated sequence name.
+struct RunMeta {
+  std::string name;
+  std::string algorithm;
+  std::string workload;
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+/// Record a locally-timed (non-SPMD) measurement as a run report: the hook
+/// for single-rank primitive benches (fig5c, fig6a/b, table2), which time
+/// with a raw WallTimer instead of a simulated cluster. The seconds land in
+/// `phase`; pass cpu_seconds 0 when only wall was measured.
+inline telemetry::RunReport& record_local_run(RunMeta meta,
+                                              double wall_seconds,
+                                              double cpu_seconds = 0.0,
+                                              Phase phase = Phase::kOther) {
+  auto& reporter = BenchReporter::instance();
+  telemetry::RunReport rep;
+  rep.name =
+      meta.name.empty() ? reporter.next_auto_name() : std::move(meta.name);
+  rep.experiment = reporter.experiment();
+  rep.algorithm = std::move(meta.algorithm);
+  rep.workload = std::move(meta.workload);
+  rep.params = std::move(meta.params);
+  rep.ranks = 1;
+  rep.wall_seconds = wall_seconds;
+  rep.crit_path_cpu_seconds = cpu_seconds;
+  rep.phases.add(phase, wall_seconds, cpu_seconds);
+  rep.rdfa = 1.0;
+  return reporter.registry().add(std::move(rep));
+}
 
 /// Barrier-bracketed measurement of one SPMD section: synchronizes all
 /// ranks, runs fn, synchronizes again, returns this rank's elapsed seconds
@@ -51,7 +153,7 @@ struct TimedResult {
 
 inline TimedResult time_spmd(
     sim::Cluster& cluster,
-    const std::function<double(sim::Comm&)>& body) {
+    const std::function<double(sim::Comm&)>& body, RunMeta meta = {}) {
   std::mutex mu;
   double max_seconds = 0.0;
   auto res = cluster.run_collect([&](sim::Comm& world) {
@@ -68,6 +170,30 @@ inline TimedResult time_spmd(
   for (const PhaseLedger& l : res.ledgers) {
     out.crit_path_cpu = std::max(out.crit_path_cpu, l.cpu_total());
   }
+
+  // Record the run report. Callers with post-run knowledge (RDFA, adaptive
+  // decisions) enrich it via last_report().
+  auto& reporter = BenchReporter::instance();
+  telemetry::RunReport rep;
+  rep.name =
+      meta.name.empty() ? reporter.next_auto_name() : std::move(meta.name);
+  rep.experiment = reporter.experiment();
+  rep.algorithm = std::move(meta.algorithm);
+  rep.workload = std::move(meta.workload);
+  rep.params = std::move(meta.params);
+  const sim::ClusterConfig& cc = cluster.config();
+  rep.ranks = cc.num_ranks;
+  rep.cores_per_node = cc.cores_per_node;
+  rep.net_latency_s = cc.network.latency_s;
+  rep.net_bandwidth_Bps = cc.network.bandwidth_Bps;
+  rep.ok = out.ok;
+  rep.oom = out.oom;
+  rep.wall_seconds = out.ok ? out.seconds : -1.0;
+  rep.crit_path_cpu_seconds = out.crit_path_cpu;
+  rep.phases = out.breakdown;
+  rep.comm_total = res.total_comm();
+  rep.comm_per_rank = std::move(res.comm_stats);
+  reporter.registry().add(std::move(rep));
   return out;
 }
 
@@ -84,6 +210,7 @@ inline std::string rdfa_cell(double v, bool ok) {
 
 inline void print_header(const std::string& experiment,
                          const std::string& description) {
+  BenchReporter::instance().set_experiment(experiment);
   std::cout << "\n=== " << experiment << " ===\n" << description << "\n\n";
 }
 

@@ -27,31 +27,44 @@ using namespace sdss::bench;
 constexpr int kRanks = 16;
 constexpr std::size_t kPerRank = 20000;
 
-sim::RunResult run_algo(const std::string& algo) {
+TimedResult run_algo(const std::string& algo) {
   sim::Cluster cluster(sim::ClusterConfig{kRanks});
-  return cluster.run_collect([&](sim::Comm& world) {
-    auto data = workloads::uniform_u64(
-        kPerRank, derive_seed(909, static_cast<std::uint64_t>(world.rank())),
-        1ull << 40);
-    if (algo == "SDS-Sort") {
-      auto out = sds_sort<std::uint64_t>(world, std::move(data));
-    } else if (algo == "SDS-Sort (hyk=2)") {
-      // unused marker
-    } else if (algo == "HykSort k=2") {
-      baselines::HykSortConfig cfg;
-      cfg.kway = 2;  // log2(p) rounds: the deep-recursion configuration
-      auto out = baselines::hyksort<std::uint64_t>(world, std::move(data), cfg);
-    } else if (algo == "HykSort k=128") {
-      auto out = baselines::hyksort<std::uint64_t>(world, std::move(data));
-    } else if (algo == "SampleSort") {
-      auto out = baselines::sample_sort<std::uint64_t>(world, std::move(data));
-    } else if (algo == "RadixSort") {
-      auto out = baselines::radix_sort_distributed<std::uint64_t>(
-          world, std::move(data));
-    } else if (algo == "BitonicSort") {
-      auto out = baselines::bitonic_sort<std::uint64_t>(world, std::move(data));
-    }
-  });
+  RunMeta meta;
+  meta.name = "comm-volume/" + algo;
+  meta.algorithm = algo;
+  meta.workload = "uniform u64";
+  meta.params = {{"records_per_rank", std::to_string(kPerRank)}};
+  return time_spmd(
+      cluster,
+      [&](sim::Comm& world) {
+        auto data = workloads::uniform_u64(
+            kPerRank,
+            derive_seed(909, static_cast<std::uint64_t>(world.rank())),
+            1ull << 40);
+        return timed_section(world, [&] {
+          if (algo == "SDS-Sort") {
+            auto out = sds_sort<std::uint64_t>(world, std::move(data));
+          } else if (algo == "HykSort k=2") {
+            baselines::HykSortConfig cfg;
+            cfg.kway = 2;  // log2(p) rounds: the deep-recursion configuration
+            auto out =
+                baselines::hyksort<std::uint64_t>(world, std::move(data), cfg);
+          } else if (algo == "HykSort k=128") {
+            auto out = baselines::hyksort<std::uint64_t>(world,
+                                                         std::move(data));
+          } else if (algo == "SampleSort") {
+            auto out =
+                baselines::sample_sort<std::uint64_t>(world, std::move(data));
+          } else if (algo == "RadixSort") {
+            auto out = baselines::radix_sort_distributed<std::uint64_t>(
+                world, std::move(data));
+          } else if (algo == "BitonicSort") {
+            auto out =
+                baselines::bitonic_sort<std::uint64_t>(world, std::move(data));
+          }
+        });
+      },
+      std::move(meta));
 }
 }  // namespace
 
@@ -74,7 +87,7 @@ int main() {
       table.row({algo, "FAIL", "-", "-", "-"});
       continue;
     }
-    const auto total = res.total_comm();
+    const auto total = last_report()->comm_total;
     if (std::string(algo) == "SDS-Sort") sds_bytes = total.total_bytes();
     if (std::string(algo) == "BitonicSort") {
       bitonic_bytes = total.total_bytes();

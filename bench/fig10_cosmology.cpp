@@ -35,11 +35,14 @@ int main() {
 
   const std::size_t budget = kPerRank * 5 / 2;
   auto hyk = run_real_data<workloads::Particle>(
-      kRanks, budget, RealAlgo::kHykSort, cosmo_shard, cosmo_key);
+      kRanks, budget, RealAlgo::kHykSort, cosmo_shard, cosmo_key,
+      "cosmology");
   auto sds = run_real_data<workloads::Particle>(
-      kRanks, budget, RealAlgo::kSds, cosmo_shard, cosmo_key);
+      kRanks, budget, RealAlgo::kSds, cosmo_shard, cosmo_key,
+      "cosmology");
   auto stab = run_real_data<workloads::Particle>(
-      kRanks, budget, RealAlgo::kSdsStable, cosmo_shard, cosmo_key);
+      kRanks, budget, RealAlgo::kSdsStable, cosmo_shard, cosmo_key,
+      "cosmology");
 
   TextTable table;
   table.header({"algorithm", "crit-path(s)", "pivot-sel(s)", "exchange(s)",

@@ -86,6 +86,17 @@ int main() {
       sort_wins_large = true;
     }
     if (merged.size() != kTotal) return 1;  // keep the optimizer honest
+    for (const auto& [method, secs] :
+         {std::pair<const char*, double>{"merge-all", t_merge},
+          {"re-sort", t_sort}}) {
+      RunMeta meta;
+      meta.name = "local-ordering/chunks=" + std::to_string(p) + "/" + method;
+      meta.algorithm = method;
+      meta.workload = "uniform 32B records";
+      meta.params = {{"records", std::to_string(kTotal)},
+                     {"chunks", std::to_string(p)}};
+      record_local_run(std::move(meta), secs, 0.0, Phase::kLocalOrdering);
+    }
     table.row({std::to_string(p), fmt_seconds(t_merge), fmt_seconds(t_sort),
                t_merge < t_sort ? "Merge" : "Sort"});
   }

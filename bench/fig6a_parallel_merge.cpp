@@ -96,6 +96,22 @@ int main() {
       auto chunks = make_chunks(zipf, total);
       const auto sds = merge_with(chunks, MergePartitionMethod::kSkewAware);
       const auto hyk = merge_with(chunks, MergePartitionMethod::kSampleOnly);
+      const char* workload = zipf ? "zipf:2.1" : "uniform";
+      for (const auto& [method, times] :
+           {std::pair<const char*, const MergeTimes&>{"skew-aware", sds},
+            {"sample-based", hyk}}) {
+        RunMeta meta;
+        meta.name = std::string("parallel-merge/") + workload + "/n=" +
+                    std::to_string(total) + "/" + method;
+        meta.algorithm = method;
+        meta.workload = workload;
+        meta.params = {{"records", std::to_string(total)},
+                       {"chunks", std::to_string(kChunks)},
+                       {"total_merge_s", fmt_seconds(times.total, 6)}};
+        // The critical path (slowest merge task) is the parallel makespan.
+        record_local_run(std::move(meta), times.critical, 0.0,
+                         Phase::kLocalOrdering);
+      }
       // Imbalance measure: critical path over ideal (total/4).
       if (zipf) {
         worst_hyk_ratio =

@@ -79,6 +79,19 @@ int main() {
     });
     last_scan = t_scan;
     last_sds = t_windowed;
+    for (const auto& [method, secs] :
+         {std::pair<const char*, double>{"sequential-scan", t_scan},
+          {"binary-search", t_binary},
+          {"local-pivot-windowed", t_windowed}}) {
+      RunMeta meta;
+      meta.name =
+          "partition/p=" + std::to_string(p) + "/" + method;
+      meta.algorithm = method;
+      meta.workload = "uniform u64, sorted";
+      meta.params = {{"records", std::to_string(kN)},
+                     {"destinations", std::to_string(p)}};
+      record_local_run(std::move(meta), secs, 0.0, Phase::kPivotSelection);
+    }
     table.row({std::to_string(p), fmt_seconds(t_scan, 6),
                fmt_seconds(t_binary, 6), fmt_seconds(t_windowed, 6)});
   }

@@ -33,11 +33,12 @@ int main() {
                "critical path).");
 
   auto hyk = run_real_data<workloads::PtfRecord>(
-      kRanks, /*mem_limit=*/0, RealAlgo::kHykSort, ptf_shard, ptf_key);
+      kRanks, /*mem_limit=*/0, RealAlgo::kHykSort, ptf_shard, ptf_key,
+      "ptf");
   auto sds = run_real_data<workloads::PtfRecord>(
-      kRanks, 0, RealAlgo::kSds, ptf_shard, ptf_key);
+      kRanks, 0, RealAlgo::kSds, ptf_shard, ptf_key, "ptf");
   auto stab = run_real_data<workloads::PtfRecord>(
-      kRanks, 0, RealAlgo::kSdsStable, ptf_shard, ptf_key);
+      kRanks, 0, RealAlgo::kSdsStable, ptf_shard, ptf_key, "ptf");
 
   TextTable table;
   table.header({"algorithm", "crit-path(s)", "pivot-sel(s)", "exchange(s)",

@@ -47,50 +47,79 @@ inline const char* real_algo_name(RealAlgo a) {
 }
 
 /// Run one algorithm over per-rank shards produced by `make_shard(rank)`,
-/// sorting by `key`. Records both the phase breakdown and the RDFA.
+/// sorting by `key`. Records both the phase breakdown and the RDFA, and
+/// annotates the run's telemetry report with the dataset name and the
+/// adaptive decisions the SDS driver took.
 template <typename T, typename KeyFn, typename MakeShard>
 RealDataResult run_real_data(int ranks, std::size_t mem_limit,
-                             RealAlgo algo, MakeShard make_shard, KeyFn key) {
+                             RealAlgo algo, MakeShard make_shard, KeyFn key,
+                             const std::string& dataset = "real-data") {
   sim::Cluster cluster(
       sim::ClusterConfig{ranks, 1, sim::NetworkModel::aries_like()});
   RealDataResult result;
   std::mutex mu;
-  double max_rdfa = 0.0;
-  result.timing = time_spmd(cluster, [&](sim::Comm& world) {
-    std::vector<T> data = make_shard(world.rank());
-    std::vector<T> out;
-    const double secs = timed_section(world, [&] {
-      switch (algo) {
-        case RealAlgo::kHykSort: {
-          baselines::HykSortConfig cfg;
-          cfg.mem_limit_records = mem_limit;
-          out = baselines::hyksort<T>(world, std::move(data), cfg, key);
-          break;
+  LoadBalance balance;
+  balance.rdfa = 0.0;
+  SortReport decisions;
+  RunMeta meta;
+  meta.name = dataset + "/p=" + std::to_string(ranks) + "/" +
+              real_algo_name(algo);
+  meta.algorithm = real_algo_name(algo);
+  meta.workload = dataset;
+  meta.params = {{"mem_budget_records", std::to_string(mem_limit)},
+                 {"record_bytes", std::to_string(sizeof(T))}};
+  result.timing = time_spmd(
+      cluster,
+      [&](sim::Comm& world) {
+        std::vector<T> data = make_shard(world.rank());
+        std::vector<T> out;
+        SortReport rank_report;
+        const double secs = timed_section(world, [&] {
+          switch (algo) {
+            case RealAlgo::kHykSort: {
+              baselines::HykSortConfig cfg;
+              cfg.mem_limit_records = mem_limit;
+              out = baselines::hyksort<T>(world, std::move(data), cfg, key);
+              break;
+            }
+            case RealAlgo::kSds:
+            case RealAlgo::kSdsStable: {
+              Config cfg;
+              cfg.stable = algo == RealAlgo::kSdsStable;
+              cfg.mem_limit_records = mem_limit;
+              // Scaled-down tau_o: Edison's 4096-core overlap threshold
+              // maps to ~256 simulated ranks, so the PTF run (64 ranks,
+              // like the paper's 192 cores) overlaps and the cosmology run
+              // (512 ranks, like the paper's 16K cores) uses the blocking
+              // exchange — the same adaptive decisions the paper's runs
+              // made.
+              cfg.tau_o = 256;
+              out = sds_sort<T>(world, std::move(data), cfg, key,
+                                &rank_report);
+              break;
+            }
+          }
+        });
+        auto lb = measure_load_balance(world, out.size());
+        if (world.rank() == 0) {
+          std::lock_guard<std::mutex> lk(mu);
+          balance = std::move(lb);
+          decisions = rank_report;
         }
-        case RealAlgo::kSds:
-        case RealAlgo::kSdsStable: {
-          Config cfg;
-          cfg.stable = algo == RealAlgo::kSdsStable;
-          cfg.mem_limit_records = mem_limit;
-          // Scaled-down tau_o: Edison's 4096-core overlap threshold maps to
-          // ~256 simulated ranks, so the PTF run (64 ranks, like the
-          // paper's 192 cores) overlaps and the cosmology run (512 ranks,
-          // like the paper's 16K cores) uses the blocking exchange — the
-          // same adaptive decisions the paper's runs made.
-          cfg.tau_o = 256;
-          out = sds_sort<T>(world, std::move(data), cfg, key);
-          break;
-        }
-      }
-    });
-    auto lb = measure_load_balance(world, out.size());
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      if (lb.rdfa > max_rdfa) max_rdfa = lb.rdfa;
+        return secs;
+      },
+      std::move(meta));
+  result.rdfa = balance.rdfa;
+  if (telemetry::RunReport* rep = last_report()) {
+    rep->rdfa = balance.rdfa;
+    rep->max_load = balance.max_load;
+    rep->total_records = balance.total;
+    if (algo != RealAlgo::kHykSort && result.timing.ok) {
+      rep->set_param("tau_o", "256");
+      rep->set_param("exchange", to_string(decisions.exchange));
+      rep->set_param("ordering", to_string(decisions.ordering));
     }
-    return secs;
-  });
-  result.rdfa = max_rdfa;
+  }
   return result;
 }
 

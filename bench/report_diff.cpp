@@ -1,0 +1,91 @@
+// report_diff — compare two bench report files and flag regressions.
+//
+// The seed of a perf-regression gate: capture a baseline once
+// (`fig8_weak_scaling_zipf --json before.json`), re-run after a change,
+// then `report_diff before.json after.json --threshold=0.15`. Reports are
+// matched by name; every phase plus the total and wall time is compared.
+// Exit status: 0 = no regression, 1 = at least one phase regressed past the
+// threshold, 2 = usage or file error. See docs/BENCHMARKING.md.
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "telemetry/diff.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: report_diff <before.json> <after.json> [options]\n"
+      "  --threshold=FRAC   relative slowdown that counts as a regression\n"
+      "                     (default 0.10 = 10%%)\n"
+      "  --min-seconds=S    ignore regressions smaller than S absolute\n"
+      "                     seconds (noise floor, default 0.001)\n"
+      "  --wall             compare wall seconds instead of CPU seconds\n"
+      "exit: 0 no regression, 1 regression found, 2 error\n");
+  std::exit(2);
+}
+
+/// Parse a nonnegative decimal option value; usage() on anything else
+/// (atof would turn a typo like --threshold=banana into silent 0.0).
+double parse_value(const std::string& arg, std::size_t prefix_len) {
+  const std::string text = arg.substr(prefix_len);
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() || v < 0.0) {
+    std::fprintf(stderr, "report_diff: bad option value: %s\n", arg.c_str());
+    usage();
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sdss::telemetry;
+
+  std::string before_path;
+  std::string after_path;
+  DiffOptions opts;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      opts.threshold = parse_value(arg, 12);
+    } else if (arg.rfind("--min-seconds=", 0) == 0) {
+      opts.min_seconds = parse_value(arg, 14);
+    } else if (arg == "--wall") {
+      opts.use_cpu = false;
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      usage();
+    } else {
+      switch (positional++) {
+        case 0:
+          before_path = arg;
+          break;
+        case 1:
+          after_path = arg;
+          break;
+        default:
+          usage();
+      }
+    }
+  }
+  if (positional != 2) usage();
+
+  try {
+    const ReportRegistry before = ReportRegistry::load_file(before_path);
+    const ReportRegistry after = ReportRegistry::load_file(after_path);
+    const DiffResult d = diff_registries(before, after, opts);
+    print_diff(std::cout, d, opts);
+    return d.any_regression ? 1 : 0;
+  } catch (const sdss::Error& e) {
+    std::fprintf(stderr, "report_diff: %s\n", e.what());
+    return 2;
+  }
+}

@@ -12,9 +12,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "telemetry/report.hpp"
 #include "util/rng.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/zipf.hpp"
@@ -92,6 +94,45 @@ BENCHMARK(BM_StdStableSort)
     ->Arg(kUniform)->Arg(kZipf07)->Arg(kZipf14)->Arg(kZipf21)
     ->Unit(benchmark::kMillisecond);
 
+// Console reporter that additionally records every benchmark run as a
+// telemetry::RunReport, so this (sequential, google-benchmark-driven) table
+// emits the same --json report files as the SPMD benches. The whole
+// per-iteration time lands in the "other" phase — there is no distributed
+// pipeline to break down — and the load is trivially balanced (1 rank).
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(sdss::telemetry::ReportRegistry* registry)
+      : registry_(registry) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      sdss::telemetry::RunReport rep;
+      rep.name = run.benchmark_name();
+      rep.experiment = "Table 1 — std::sort vs std::stable_sort";
+      rep.algorithm = run.run_name.function_name;
+      rep.workload = run.report_label;
+      rep.set_param("records", std::to_string(kN));
+      rep.ranks = 1;
+      rep.wall_seconds = run.real_accumulated_time / iters;
+      rep.crit_path_cpu_seconds = run.cpu_accumulated_time / iters;
+      rep.phases.add(sdss::Phase::kOther, rep.wall_seconds,
+                     rep.crit_path_cpu_seconds);
+      rep.rdfa = 1.0;
+      rep.max_load = kN;
+      rep.total_records = kN;
+      registry_->add(std::move(rep));
+    }
+  }
+
+ private:
+  sdss::telemetry::ReportRegistry* registry_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,8 +143,37 @@ int main(int argc, char** argv) {
                "Uniform/a0.7/a1.4/a2.1.\n"
                "paper-shape: stable_sort > sort everywhere; both drop "
                "monotonically as skew (delta) rises.\n\n";
+  // Strip --json before google-benchmark sees argv (it is ours, and this
+  // bench reads it via the shared /proc/self/cmdline path anyway).
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) continue;
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+
+  sdss::telemetry::ReportRegistry registry;
+  RecordingReporter reporter(&registry);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  const std::string json_path =
+      sdss::telemetry::report_path_from_cmdline_or_env();
+  if (!json_path.empty() && !registry.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "bench: cannot write report file " << json_path << "\n";
+      return 1;
+    }
+    registry.write(out);
+    std::cout << "wrote " << registry.size() << " run report(s) to "
+              << json_path << "\n";
+  }
   return 0;
 }

@@ -31,6 +31,16 @@ int main() {
     const double theo = gen.theoretical_delta() * 100.0;
     const double emp = measure_delta(keys) * 100.0;
     worst_rel = std::max(worst_rel, std::abs(theo - paper) / paper);
+    RunMeta meta;
+    meta.name = "zipf-delta/alpha=" + fmt_seconds(alpha, 1);
+    meta.algorithm = "ZipfGenerator";
+    meta.workload = "zipf:" + fmt_seconds(alpha, 1);
+    meta.params = {{"samples", "200000"},
+                   {"paper_delta_pct", fmt_seconds(paper, 1)},
+                   {"theoretical_delta_pct", fmt_seconds(theo, 4)},
+                   {"empirical_delta_pct", fmt_seconds(emp, 4)}};
+    // A calibration check, not a timing: the deltas are the measurement.
+    record_local_run(std::move(meta), 0.0);
     table.row({fmt_seconds(alpha, 1), fmt_seconds(paper, 1),
                fmt_seconds(theo, 2), fmt_seconds(emp, 2)});
   }

@@ -35,23 +35,24 @@ int main() {
   TextTable table;
   table.header({"dataset", "HykSort", "SDS-Sort", "SDS-Sort/stable"});
 
-  auto ptf_h = run_real_data<workloads::PtfRecord>(8, 0, RealAlgo::kHykSort,
-                                                   ptf_shard, ptf_key);
-  auto ptf_s = run_real_data<workloads::PtfRecord>(8, 0, RealAlgo::kSds,
-                                                   ptf_shard, ptf_key);
-  auto ptf_t = run_real_data<workloads::PtfRecord>(8, 0, RealAlgo::kSdsStable,
-                                                   ptf_shard, ptf_key);
+  auto ptf_h = run_real_data<workloads::PtfRecord>(
+      8, 0, RealAlgo::kHykSort, ptf_shard, ptf_key, "ptf");
+  auto ptf_s = run_real_data<workloads::PtfRecord>(
+      8, 0, RealAlgo::kSds, ptf_shard, ptf_key, "ptf");
+  auto ptf_t = run_real_data<workloads::PtfRecord>(
+      8, 0, RealAlgo::kSdsStable, ptf_shard, ptf_key, "ptf");
   table.row({"PTF", rdfa_cell(ptf_h.rdfa, ptf_h.timing.ok),
              rdfa_cell(ptf_s.rdfa, ptf_s.timing.ok),
              rdfa_cell(ptf_t.rdfa, ptf_t.timing.ok)});
 
   const std::size_t budget = 2000 * 5 / 2;
   auto cos_h = run_real_data<workloads::Particle>(
-      512, budget, RealAlgo::kHykSort, cosmo_shard, cosmo_key);
-  auto cos_s = run_real_data<workloads::Particle>(512, budget, RealAlgo::kSds,
-                                                  cosmo_shard, cosmo_key);
+      512, budget, RealAlgo::kHykSort, cosmo_shard, cosmo_key, "cosmology");
+  auto cos_s = run_real_data<workloads::Particle>(
+      512, budget, RealAlgo::kSds, cosmo_shard, cosmo_key, "cosmology");
   auto cos_t = run_real_data<workloads::Particle>(
-      512, budget, RealAlgo::kSdsStable, cosmo_shard, cosmo_key);
+      512, budget, RealAlgo::kSdsStable, cosmo_shard, cosmo_key,
+      "cosmology");
   table.row({"Cosmology", rdfa_cell(cos_h.rdfa, cos_h.timing.ok),
              rdfa_cell(cos_s.rdfa, cos_s.timing.ok),
              rdfa_cell(cos_t.rdfa, cos_t.timing.ok)});

@@ -54,6 +54,10 @@ struct WeakPoint {
   double rdfa = 0.0;  ///< valid only when timing.ok
 };
 
+inline const char* weak_workload_name(WeakWorkload w) {
+  return w == WeakWorkload::kUniform ? "uniform" : "zipf:1.4";
+}
+
 /// One weak-scaling measurement: run `algo` on `p` ranks over `w`, with a
 /// per-rank budget of 3x the average (the paper's OOM trigger for HykSort
 /// on skewed data).
@@ -63,36 +67,63 @@ inline WeakPoint weak_scaling_point(int p, WeakWorkload w, Algo algo) {
   const std::size_t budget = 3 * kWeakPerRank;
   WeakPoint point;
   std::mutex mu;
-  double max_rdfa = 0.0;
-  point.timing = time_spmd(cluster, [&](sim::Comm& world) {
-    auto data = weak_shard(w, world.rank());
-    std::vector<std::uint64_t> out;
-    const double secs = timed_section(world, [&] {
-      switch (algo) {
-        case Algo::kHykSort: {
-          baselines::HykSortConfig cfg;
-          cfg.mem_limit_records = budget;
-          out = baselines::hyksort<std::uint64_t>(world, std::move(data), cfg);
-          break;
+  LoadBalance balance;
+  balance.rdfa = 0.0;  // failed runs report 0, as before (printed as "inf")
+  SortReport decisions;
+  RunMeta meta;
+  meta.name = std::string("weak-scaling/") + weak_workload_name(w) +
+              "/p=" + std::to_string(p) + "/" + algo_name(algo);
+  meta.algorithm = algo_name(algo);
+  meta.workload = weak_workload_name(w);
+  meta.params = {{"records_per_rank", std::to_string(kWeakPerRank)},
+                 {"mem_budget_records", std::to_string(budget)}};
+  point.timing = time_spmd(
+      cluster,
+      [&](sim::Comm& world) {
+        auto data = weak_shard(w, world.rank());
+        std::vector<std::uint64_t> out;
+        SortReport rank_report;
+        const double secs = timed_section(world, [&] {
+          switch (algo) {
+            case Algo::kHykSort: {
+              baselines::HykSortConfig cfg;
+              cfg.mem_limit_records = budget;
+              out = baselines::hyksort<std::uint64_t>(world, std::move(data),
+                                                      cfg);
+              break;
+            }
+            case Algo::kSds:
+            case Algo::kSdsStable: {
+              Config cfg;
+              cfg.stable = algo == Algo::kSdsStable;
+              cfg.mem_limit_records = budget;
+              out = sds_sort<std::uint64_t>(world, std::move(data), cfg, {},
+                                            &rank_report);
+              break;
+            }
+          }
+        });
+        auto lb = measure_load_balance(world, out.size());
+        if (world.rank() == 0) {
+          // measure_load_balance is a collective: every rank computes the
+          // same answer, so one capture suffices.
+          std::lock_guard<std::mutex> lk(mu);
+          balance = std::move(lb);
+          decisions = rank_report;
         }
-        case Algo::kSds:
-        case Algo::kSdsStable: {
-          Config cfg;
-          cfg.stable = algo == Algo::kSdsStable;
-          cfg.mem_limit_records = budget;
-          out = sds_sort<std::uint64_t>(world, std::move(data), cfg);
-          break;
-        }
-      }
-    });
-    auto lb = measure_load_balance(world, out.size());
-    {
-      std::lock_guard<std::mutex> lk(mu);
-      if (lb.rdfa > max_rdfa) max_rdfa = lb.rdfa;
+        return secs;
+      },
+      std::move(meta));
+  point.rdfa = balance.rdfa;
+  if (telemetry::RunReport* rep = last_report()) {
+    rep->rdfa = balance.rdfa;
+    rep->max_load = balance.max_load;
+    rep->total_records = balance.total;
+    if (algo != Algo::kHykSort && point.timing.ok) {
+      rep->set_param("exchange", to_string(decisions.exchange));
+      rep->set_param("ordering", to_string(decisions.ordering));
     }
-    return secs;
-  });
-  point.rdfa = max_rdfa;
+  }
   return point;
 }
 

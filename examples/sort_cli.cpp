@@ -9,11 +9,16 @@
 //     options:   --budget=<x>     per-rank memory budget, multiple of avg
 //                --nodes=<c>      cores per node (default 1)
 //                --net=aries|slow|none
+//                --trace=<path>   chrome://tracing event log
+//                --json=<path>    machine-readable run report
+//                                 (docs/OBSERVABILITY.md)
 //
 // Examples:
 //   sort_cli sds zipf:1.4 16 20000
 //   sort_cli hyksort zipf:1.4 16 20000 --budget=3     # watch it OOM
 //   sort_cli sds-stable uniform 8 100000 --nodes=4 --net=slow
+//   sort_cli sds zipf:1.4 16 20000 --json=run.json
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <cstdlib>
@@ -26,6 +31,7 @@
 #include "baselines/radixsort.hpp"
 #include "baselines/samplesort.hpp"
 #include "sdss.hpp"
+#include "telemetry/report.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 #include "workloads/generators.hpp"
@@ -37,7 +43,8 @@ using namespace sdss;
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage: sort_cli [algo] [workload] [ranks] [records/rank] "
-               "[--budget=X] [--nodes=C] [--net=aries|slow|none]\n"
+               "[--budget=X] [--nodes=C] [--net=aries|slow|none] "
+               "[--trace=PATH] [--json=PATH]\n"
                "  algo: sds | sds-stable | hyksort | samplesort | radix | "
                "bitonic\n"
                "  workload: uniform | zipf:<alpha> | sorted | equal\n");
@@ -70,6 +77,7 @@ int main(int argc, char** argv) {
   int cores_per_node = 1;
   std::string net = "aries";
   std::string trace_path;
+  std::string json_path;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -82,6 +90,10 @@ int main(int argc, char** argv) {
       net = arg.substr(6);
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (arg == "-h" || arg == "--help") {
       usage();
     } else {
@@ -122,14 +134,19 @@ int main(int argc, char** argv) {
               net.c_str(), cores_per_node);
 
   WallTimer total;
+  LoadBalance balance;      // rank 0's capture (collective: same everywhere)
+  balance.rdfa = 0.0;       // stays 0 when the run fails before measuring
+  SortReport decisions;     // rank 0's adaptive decisions (sds only)
   auto result = cluster.run_collect([&](sim::Comm& world) {
     auto data = make_workload(workload, per_rank, world.rank());
     std::vector<std::uint64_t> out;
+    SortReport rank_report;
     if (algo == "sds" || algo == "sds-stable") {
       Config cfg;
       cfg.stable = algo == "sds-stable";
       cfg.mem_limit_records = budget;
-      out = sds_sort<std::uint64_t>(world, std::move(data), cfg);
+      out = sds_sort<std::uint64_t>(world, std::move(data), cfg, {},
+                                    &rank_report);
     } else if (algo == "hyksort") {
       baselines::HykSortConfig cfg;
       cfg.mem_limit_records = budget;
@@ -153,9 +170,48 @@ int main(int argc, char** argv) {
     if (world.rank() == 0) {
       std::printf("globally sorted: %s, RDFA %.4f, max load %zu\n",
                   ok ? "yes" : "NO", lb.rdfa, lb.max_load);
+      balance = std::move(lb);
+      decisions = rank_report;
     }
   });
   const double seconds = total.seconds();
+
+  if (!json_path.empty()) {
+    telemetry::RunReport rep;
+    rep.name = algo + "/" + workload + "/p=" + std::to_string(ranks);
+    rep.experiment = "sort_cli";
+    rep.algorithm = algo;
+    rep.workload = workload;
+    rep.set_param("records_per_rank", std::to_string(per_rank));
+    rep.set_param("mem_budget_records", std::to_string(budget));
+    if (result.ok && (algo == "sds" || algo == "sds-stable")) {
+      rep.set_param("exchange", to_string(decisions.exchange));
+      rep.set_param("ordering", to_string(decisions.ordering));
+      rep.set_param("node_merged", decisions.node_merged ? "yes" : "no");
+    }
+    rep.ranks = ranks;
+    rep.cores_per_node = cores_per_node;
+    rep.net_latency_s = cc.network.latency_s;
+    rep.net_bandwidth_Bps = cc.network.bandwidth_Bps;
+    rep.ok = result.ok;
+    rep.oom = result.oom;
+    rep.wall_seconds = result.ok ? seconds : -1.0;
+    rep.phases = result.max_ledger();
+    for (const PhaseLedger& l : result.ledgers) {
+      rep.crit_path_cpu_seconds =
+          std::max(rep.crit_path_cpu_seconds, l.cpu_total());
+    }
+    rep.comm_total = result.total_comm();
+    rep.comm_per_rank = result.comm_stats;
+    rep.rdfa = balance.rdfa;
+    rep.max_load = balance.max_load;
+    rep.total_records = balance.total;
+    telemetry::ReportRegistry registry;
+    registry.add(std::move(rep));
+    std::ofstream jf(json_path);
+    registry.write(jf);
+    std::printf("wrote run report to %s\n", json_path.c_str());
+  }
 
   if (!result.ok) {
     std::printf("run FAILED on rank %d: %s\n", result.failed_rank,

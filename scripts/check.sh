@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-command repo health check: configure, build, test, then smoke the
+# telemetry path — run one fast bench with --json and validate the emitted
+# run-report file (report_diff file file exits 0 iff the file parses and
+# matches itself). See docs/BENCHMARKING.md.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S . >/dev/null
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+echo "== tests =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== telemetry smoke =="
+report="$(mktemp /tmp/sdss-check-XXXXXX.json)"
+trap 'rm -f "$report"' EXIT
+"$BUILD_DIR"/bench/fig5c_local_ordering --json "$report"
+test -s "$report" || { echo "check: no report file written" >&2; exit 1; }
+"$BUILD_DIR"/bench/report_diff "$report" "$report"
+
+echo "== OK =="

@@ -41,6 +41,34 @@ namespace sdss {
 enum class ExchangeMode { kSync, kOverlapped, kNone };
 enum class FinalOrdering { kMergeAll, kResort, kOverlapMerge, kNone };
 
+/// Stable names for the adaptive decisions, used by telemetry reports and
+/// bench output (docs/OBSERVABILITY.md documents the vocabulary).
+inline const char* to_string(ExchangeMode m) {
+  switch (m) {
+    case ExchangeMode::kSync:
+      return "sync";
+    case ExchangeMode::kOverlapped:
+      return "overlapped";
+    case ExchangeMode::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+inline const char* to_string(FinalOrdering o) {
+  switch (o) {
+    case FinalOrdering::kMergeAll:
+      return "merge-all";
+    case FinalOrdering::kResort:
+      return "re-sort";
+    case FinalOrdering::kOverlapMerge:
+      return "overlap-merge";
+    case FinalOrdering::kNone:
+      return "none";
+  }
+  return "?";
+}
+
 /// Per-rank account of what the adaptive machinery decided, for tests and
 /// benches.
 struct SortReport {

@@ -1,0 +1,110 @@
+#include "telemetry/diff.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "util/format.hpp"
+
+namespace sdss::telemetry {
+
+namespace {
+
+bool is_regression(double before, double after, const DiffOptions& opts) {
+  return after > before * (1.0 + opts.threshold) &&
+         after - before > opts.min_seconds;
+}
+
+void compare_metric(DiffResult& out, const std::string& report,
+                    const std::string& metric, double before, double after,
+                    const DiffOptions& opts) {
+  PhaseDelta d;
+  d.report = report;
+  d.metric = metric;
+  d.before = before;
+  d.after = after;
+  d.regressed = is_regression(before, after, opts);
+  out.any_regression = out.any_regression || d.regressed;
+  out.deltas.push_back(std::move(d));
+}
+
+}  // namespace
+
+std::vector<PhaseDelta> DiffResult::regressions() const {
+  std::vector<PhaseDelta> out;
+  for (const PhaseDelta& d : deltas) {
+    if (d.regressed) out.push_back(d);
+  }
+  return out;
+}
+
+DiffResult diff_registries(const ReportRegistry& before,
+                           const ReportRegistry& after,
+                           const DiffOptions& opts) {
+  DiffResult out;
+  for (const RunReport& b : before.reports()) {
+    const RunReport* a = after.find(b.name);
+    if (a == nullptr) {
+      out.only_before.push_back(b.name);
+      continue;
+    }
+    if (b.ok != a->ok) {
+      // A run flipping between completing and failing dominates any timing
+      // delta; surface it as one pseudo-metric. Newly failing = regression.
+      PhaseDelta d;
+      d.report = b.name;
+      d.metric = a->ok ? "status: FAIL -> ok" : "status: ok -> FAIL";
+      d.regressed = !a->ok;
+      out.any_regression = out.any_regression || d.regressed;
+      out.deltas.push_back(std::move(d));
+      continue;
+    }
+    if (!b.ok) continue;  // both failed: nothing to time
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      const auto p = static_cast<Phase>(i);
+      const double bv =
+          opts.use_cpu ? b.phases.cpu_seconds(p) : b.phases.seconds(p);
+      const double av =
+          opts.use_cpu ? a->phases.cpu_seconds(p) : a->phases.seconds(p);
+      compare_metric(out, b.name, std::string(phase_name(p)), bv, av, opts);
+    }
+    compare_metric(out, b.name, "total",
+                   opts.use_cpu ? b.phases.cpu_total() : b.phases.total(),
+                   opts.use_cpu ? a->phases.cpu_total() : a->phases.total(),
+                   opts);
+    compare_metric(out, b.name, "wall", b.wall_seconds, a->wall_seconds,
+                   opts);
+  }
+  for (const RunReport& a : after.reports()) {
+    if (before.find(a.name) == nullptr) out.only_after.push_back(a.name);
+  }
+  return out;
+}
+
+void print_diff(std::ostream& os, const DiffResult& d,
+                const DiffOptions& opts) {
+  TextTable table;
+  table.header({"report", "metric", "before(s)", "after(s)", "delta", ""});
+  for (const PhaseDelta& pd : d.deltas) {
+    const double rel = pd.relative();
+    const char sign = rel >= 0.0 ? '+' : '-';
+    table.row({pd.report, pd.metric, fmt_seconds(pd.before),
+               fmt_seconds(pd.after),
+               sign + fmt_seconds(std::fabs(rel) * 100.0, 1) + "%",
+               pd.regressed ? "REGRESSION" : ""});
+  }
+  os << table.str();
+  for (const std::string& name : d.only_before) {
+    os << "only in before: " << name << "\n";
+  }
+  for (const std::string& name : d.only_after) {
+    os << "only in after:  " << name << "\n";
+  }
+  const auto regs = d.regressions();
+  os << (regs.empty() ? "no regressions" : "REGRESSIONS: ")
+     << (regs.empty() ? "" : std::to_string(regs.size()))
+     << " (threshold " << fmt_seconds(opts.threshold * 100.0, 0)
+     << "%, floor " << fmt_seconds(opts.min_seconds, 4) << "s, "
+     << (opts.use_cpu ? "cpu" : "wall") << " clock)\n";
+}
+
+}  // namespace sdss::telemetry

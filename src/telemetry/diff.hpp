@@ -1,0 +1,59 @@
+// Report comparison: the seed of a performance-regression gate.
+//
+// diff_registries() matches the reports of two files by name and compares
+// every phase (plus the phase total and end-to-end wall time) against a
+// relative threshold with an absolute-seconds floor — sub-millisecond
+// phases jitter by large factors on a shared host, so a pure ratio test
+// would cry wolf constantly. The bench/report_diff binary is a thin CLI
+// over this; tests drive the logic directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/report.hpp"
+
+namespace sdss::telemetry {
+
+struct DiffOptions {
+  /// A phase regresses when after > before * (1 + threshold) ...
+  double threshold = 0.10;
+  /// ... and the absolute growth exceeds this floor (noise guard).
+  double min_seconds = 1e-3;
+  /// Compare CPU seconds (the critical-path proxy, default) or wall.
+  bool use_cpu = true;
+};
+
+struct PhaseDelta {
+  std::string report;  ///< RunReport::name
+  std::string metric;  ///< phase name, "total", or "wall"
+  double before = 0.0;
+  double after = 0.0;
+  bool regressed = false;
+
+  /// Relative change, e.g. +0.25 = 25% slower. 0 when before is 0.
+  double relative() const {
+    return before > 0.0 ? after / before - 1.0 : 0.0;
+  }
+};
+
+struct DiffResult {
+  std::vector<PhaseDelta> deltas;          ///< every compared metric
+  std::vector<std::string> only_before;    ///< names missing from `after`
+  std::vector<std::string> only_after;     ///< names missing from `before`
+  bool any_regression = false;
+
+  std::vector<PhaseDelta> regressions() const;
+};
+
+DiffResult diff_registries(const ReportRegistry& before,
+                           const ReportRegistry& after,
+                           const DiffOptions& opts = {});
+
+/// Human-readable rendering of a diff (the report_diff CLI output): one row
+/// per compared metric, regressions flagged, unmatched reports listed.
+void print_diff(std::ostream& os, const DiffResult& d,
+                const DiffOptions& opts);
+
+}  // namespace sdss::telemetry

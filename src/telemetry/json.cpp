@@ -1,0 +1,407 @@
+#include "telemetry/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sdss::telemetry {
+
+namespace {
+
+// Shortest round-trip rendering (std::to_chars general form): 5.0 -> "5",
+// 0.1 -> "0.1", 1e-9 -> "1e-09". Non-finite values have no JSON spelling;
+// emit null like every pragmatic serializer does.
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  os.write(buf, res.ptr - buf);
+}
+
+void write_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void newline_indent(std::ostream& os, int indent, int depth) {
+  if (indent <= 0) return;
+  os << '\n';
+  for (int i = 0; i < indent * depth; ++i) os << ' ';
+}
+
+// --- recursive-descent parser --------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("JSON parse error at byte " + std::to_string(pos_) + ": " +
+                what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return Json();
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // The writer only emits \u for control characters; decode the
+          // BMP code point as UTF-8 and reject surrogates.
+          if (cp >= 0xD800 && cp <= 0xDFFF) fail("surrogate \\u escape");
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double v = 0.0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ ||
+        pos_ == start) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return Json(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) throw Error("Json::push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  return 0;
+}
+
+Json& Json::set(std::string key, Json v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) throw Error("Json::set on non-object");
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  static const Json kNull;
+  const Json* v = find(key);
+  return v != nullptr ? *v : kNull;
+}
+
+bool Json::operator==(const Json& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == o.bool_;
+    case Type::kNumber:
+      return num_ == o.num_;
+    case Type::kString:
+      return str_ == o.str_;
+    case Type::kArray:
+      return arr_ == o.arr_;
+    case Type::kObject:
+      return obj_ == o.obj_;
+  }
+  return false;
+}
+
+void Json::write_indented(std::ostream& os, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      os << "null";
+      break;
+    case Type::kBool:
+      os << (bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      write_number(os, num_);
+      break;
+    case Type::kString:
+      write_string(os, str_);
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i != 0) os << ',';
+        newline_indent(os, indent, depth + 1);
+        arr_[i].write_indented(os, indent, depth + 1);
+      }
+      newline_indent(os, indent, depth);
+      os << ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      bool first = true;
+      for (const auto& [k, v] : obj_) {
+        if (!first) os << ',';
+        first = false;
+        newline_indent(os, indent, depth + 1);
+        write_string(os, k);
+        os << (indent > 0 ? ": " : ":");
+        v.write_indented(os, indent, depth + 1);
+      }
+      newline_indent(os, indent, depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+void Json::write(std::ostream& os, int indent) const {
+  write_indented(os, indent, 0);
+}
+
+std::string Json::dump(int indent) const {
+  std::ostringstream os;
+  write(os, indent);
+  return os.str();
+}
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace sdss::telemetry

@@ -1,0 +1,115 @@
+// Minimal JSON document model for the telemetry layer: writer and parser
+// with zero third-party dependencies.
+//
+// Design constraints, in order:
+//  * stable output — objects preserve insertion order, numbers render via
+//    std::to_chars shortest-round-trip form, so serializing the same report
+//    twice produces byte-identical files (diffable, cacheable);
+//  * round-trip fidelity — parse(dump(x)) == x for every value the
+//    telemetry layer emits (numbers are stored as double: integers are
+//    exact up to 2^53, far beyond any bench counter);
+//  * small surface — just what RunReport serialization and report_diff
+//    loading need, not a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sdss::telemetry {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  ///< null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(std::int64_t v) : Json(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : Json(std::string(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  // --- scalar access (defaulted: telemetry fields are all optional) ------
+  bool bool_or(bool def = false) const {
+    return type_ == Type::kBool ? bool_ : def;
+  }
+  double number_or(double def = 0.0) const {
+    return type_ == Type::kNumber ? num_ : def;
+  }
+  std::uint64_t u64_or(std::uint64_t def = 0) const {
+    return type_ == Type::kNumber ? static_cast<std::uint64_t>(num_) : def;
+  }
+  const std::string& string_or(const std::string& def) const {
+    return type_ == Type::kString ? str_ : def;
+  }
+  std::string string_value() const {
+    return type_ == Type::kString ? str_ : std::string();
+  }
+
+  // --- array ------------------------------------------------------------
+  void push_back(Json v);
+  const std::vector<Json>& items() const { return arr_; }
+  std::size_t size() const;
+
+  // --- object (insertion-ordered) ----------------------------------------
+  /// Set `key` to `v`; replaces an existing key in place (order preserved),
+  /// appends otherwise. Returns *this for chaining.
+  Json& set(std::string key, Json v);
+  /// Member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Member lookup that never fails: returns a shared null for misses, so
+  /// readers can chain `j.at("a").at("b").number_or(0)`.
+  const Json& at(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  bool operator==(const Json& o) const;
+
+  // --- serialization ------------------------------------------------------
+  /// Write as JSON text. indent > 0 pretty-prints with that many spaces per
+  /// level; indent == 0 emits the compact single-line form.
+  void write(std::ostream& os, int indent = 0) const;
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document. Throws sdss::Error with the byte
+  /// offset on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+ private:
+  void write_indented(std::ostream& os, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace sdss::telemetry

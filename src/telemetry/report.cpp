@@ -1,0 +1,245 @@
+#include "telemetry/report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace sdss::telemetry {
+
+namespace {
+
+Json phase_entry(const PhaseLedger& l, Phase p) {
+  Json e = Json::object();
+  e.set("wall_s", l.seconds(p));
+  e.set("cpu_s", l.cpu_seconds(p));
+  return e;
+}
+
+Json comm_entry(const sim::CommStats& c) {
+  Json e = Json::object();
+  e.set("p2p_messages", c.p2p_messages);
+  e.set("p2p_bytes", c.p2p_bytes);
+  e.set("collectives", c.collectives);
+  e.set("collective_bytes_out", c.collective_bytes_out);
+  return e;
+}
+
+sim::CommStats comm_from_json(const Json& j) {
+  sim::CommStats c;
+  c.p2p_messages = j.at("p2p_messages").u64_or();
+  c.p2p_bytes = j.at("p2p_bytes").u64_or();
+  c.collectives = j.at("collectives").u64_or();
+  c.collective_bytes_out = j.at("collective_bytes_out").u64_or();
+  return c;
+}
+
+}  // namespace
+
+void RunReport::set_param(const std::string& key, std::string value) {
+  for (auto& [k, v] : params) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  params.emplace_back(key, std::move(value));
+}
+
+const std::string* RunReport::find_param(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json to_json(const RunReport& r) {
+  Json j = Json::object();
+  j.set("name", r.name);
+  j.set("experiment", r.experiment);
+  j.set("algorithm", r.algorithm);
+  j.set("workload", r.workload);
+
+  Json params = Json::object();
+  for (const auto& [k, v] : r.params) params.set(k, v);
+  j.set("params", std::move(params));
+
+  Json cluster = Json::object();
+  cluster.set("ranks", r.ranks);
+  cluster.set("cores_per_node", r.cores_per_node);
+  cluster.set("net_latency_s", r.net_latency_s);
+  cluster.set("net_bandwidth_Bps", r.net_bandwidth_Bps);
+  j.set("cluster", std::move(cluster));
+
+  Json outcome = Json::object();
+  outcome.set("ok", r.ok);
+  outcome.set("oom", r.oom);
+  outcome.set("wall_seconds", r.wall_seconds);
+  outcome.set("crit_path_cpu_seconds", r.crit_path_cpu_seconds);
+  j.set("outcome", std::move(outcome));
+
+  Json phases = Json::object();
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const auto p = static_cast<Phase>(i);
+    phases.set(std::string(phase_name(p)), phase_entry(r.phases, p));
+  }
+  Json total = Json::object();
+  total.set("wall_s", r.phases.total());
+  total.set("cpu_s", r.phases.cpu_total());
+  phases.set("total", std::move(total));
+  j.set("phases", std::move(phases));
+
+  Json comm = comm_entry(r.comm_total);
+  comm.set("total_bytes", r.comm_total.total_bytes());
+  Json per_rank = Json::array();
+  for (const sim::CommStats& c : r.comm_per_rank) {
+    // Compact fixed-position row: [p2p_messages, p2p_bytes, collectives,
+    // collective_bytes_out] — 256-rank runs stay readable and small.
+    Json row = Json::array();
+    row.push_back(c.p2p_messages);
+    row.push_back(c.p2p_bytes);
+    row.push_back(c.collectives);
+    row.push_back(c.collective_bytes_out);
+    per_rank.push_back(std::move(row));
+  }
+  comm.set("per_rank", std::move(per_rank));
+  j.set("comm", std::move(comm));
+
+  Json lb = Json::object();
+  lb.set("rdfa", r.rdfa);
+  lb.set("max_load", r.max_load);
+  lb.set("total_records", r.total_records);
+  j.set("load_balance", std::move(lb));
+  return j;
+}
+
+RunReport report_from_json(const Json& j) {
+  RunReport r;
+  r.name = j.at("name").string_value();
+  r.experiment = j.at("experiment").string_value();
+  r.algorithm = j.at("algorithm").string_value();
+  r.workload = j.at("workload").string_value();
+  for (const auto& [k, v] : j.at("params").members()) {
+    r.params.emplace_back(k, v.string_value());
+  }
+
+  const Json& cluster = j.at("cluster");
+  r.ranks = static_cast<int>(cluster.at("ranks").number_or());
+  r.cores_per_node =
+      static_cast<int>(cluster.at("cores_per_node").number_or(1));
+  r.net_latency_s = cluster.at("net_latency_s").number_or();
+  r.net_bandwidth_Bps = cluster.at("net_bandwidth_Bps").number_or();
+
+  const Json& outcome = j.at("outcome");
+  r.ok = outcome.at("ok").bool_or(true);
+  r.oom = outcome.at("oom").bool_or(false);
+  r.wall_seconds = outcome.at("wall_seconds").number_or(-1.0);
+  r.crit_path_cpu_seconds = outcome.at("crit_path_cpu_seconds").number_or();
+
+  const Json& phases = j.at("phases");
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const auto p = static_cast<Phase>(i);
+    const Json& e = phases.at(std::string(phase_name(p)));
+    r.phases.add(p, e.at("wall_s").number_or(), e.at("cpu_s").number_or());
+  }
+
+  const Json& comm = j.at("comm");
+  r.comm_total = comm_from_json(comm);
+  for (const Json& row : comm.at("per_rank").items()) {
+    sim::CommStats c;
+    const auto& cells = row.items();
+    if (cells.size() == 4) {
+      c.p2p_messages = cells[0].u64_or();
+      c.p2p_bytes = cells[1].u64_or();
+      c.collectives = cells[2].u64_or();
+      c.collective_bytes_out = cells[3].u64_or();
+    }
+    r.comm_per_rank.push_back(c);
+  }
+
+  const Json& lb = j.at("load_balance");
+  r.rdfa = lb.at("rdfa").number_or();
+  r.max_load = lb.at("max_load").u64_or();
+  r.total_records = lb.at("total_records").u64_or();
+  return r;
+}
+
+RunReport& ReportRegistry::add(RunReport r) {
+  reports_.push_back(std::move(r));
+  return reports_.back();
+}
+
+const RunReport* ReportRegistry::find(const std::string& name) const {
+  for (const RunReport& r : reports_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+Json ReportRegistry::to_json() const {
+  Json file = Json::object();
+  file.set("schema_version", kReportSchemaVersion);
+  file.set("generator", kReportGenerator);
+  Json arr = Json::array();
+  for (const RunReport& r : reports_) arr.push_back(telemetry::to_json(r));
+  file.set("reports", std::move(arr));
+  return file;
+}
+
+void ReportRegistry::write(std::ostream& os) const {
+  to_json().write(os, 2);
+  os << '\n';
+}
+
+ReportRegistry ReportRegistry::load(const Json& file) {
+  const int version =
+      static_cast<int>(file.at("schema_version").number_or(-1));
+  if (version < 1 || version > kReportSchemaVersion) {
+    throw Error("unsupported report schema_version " +
+                std::to_string(version) + " (this build reads <= " +
+                std::to_string(kReportSchemaVersion) + ")");
+  }
+  ReportRegistry reg;
+  for (const Json& r : file.at("reports").items()) {
+    reg.add(report_from_json(r));
+  }
+  return reg;
+}
+
+ReportRegistry ReportRegistry::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open report file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return load(Json::parse(buf.str()));
+}
+
+std::string report_path_from_cmdline_or_env() {
+  // Bench mains are argv-less `int main()`; /proc/self/cmdline recovers the
+  // flag anyway (NUL-separated argv). Best-effort: on any failure fall back
+  // to the environment variable.
+  std::ifstream cmdline("/proc/self/cmdline", std::ios::binary);
+  if (cmdline) {
+    std::ostringstream buf;
+    buf << cmdline.rdbuf();
+    const std::string raw = buf.str();
+    std::vector<std::string> argv;
+    std::size_t start = 0;
+    while (start < raw.size()) {
+      const std::size_t end = raw.find('\0', start);
+      argv.push_back(raw.substr(start, end - start));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    for (std::size_t i = 0; i < argv.size(); ++i) {
+      if (argv[i] == "--json" && i + 1 < argv.size()) return argv[i + 1];
+      if (argv[i].rfind("--json=", 0) == 0) return argv[i].substr(7);
+    }
+  }
+  const char* env = std::getenv("SDSS_BENCH_JSON");
+  return env != nullptr ? env : "";
+}
+
+}  // namespace sdss::telemetry

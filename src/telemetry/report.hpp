@@ -1,0 +1,119 @@
+// Unified run reports: the machine-readable record of one measured run.
+//
+// Every bench and example funnels its measurements through a RunReport: the
+// reduced PhaseLedger (wall + CPU seconds per phase, max over ranks — the
+// SPMD critical path the paper plots), per-rank CommStats, load balance
+// (RDFA, Tables 3/4), workload and configuration metadata (distribution,
+// delta, N, p, tau thresholds, adaptive decisions), and the simulated
+// network parameters that priced the run. A ReportRegistry accumulates the
+// reports of one process — a bench that sweeps 15 configurations writes one
+// file with 15 reports — and serializes them with a schema version so
+// downstream tooling (report_diff, plotting scripts, regression gates) can
+// evolve without guessing.
+//
+// Schema sketch (full annotated example in docs/OBSERVABILITY.md):
+//   { "schema_version": 1, "generator": "sdss-bench",
+//     "reports": [ { "name", "experiment", "algorithm", "workload",
+//                    "params": {..}, "cluster": {..}, "outcome": {..},
+//                    "phases": {..}, "comm": {..}, "load_balance": {..} } ] }
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/comm_stats.hpp"
+#include "telemetry/json.hpp"
+#include "util/phase_ledger.hpp"
+
+namespace sdss::telemetry {
+
+/// Bumped whenever a field is renamed, removed, or changes meaning. Adding
+/// fields is backward-compatible and does not bump it.
+inline constexpr int kReportSchemaVersion = 1;
+inline constexpr const char* kReportGenerator = "sdss-bench";
+
+struct RunReport {
+  /// Identifies the configuration within the file; report_diff matches
+  /// before/after reports by this name. E.g. "fig8/zipf-1.4/p=32/SDS-Sort".
+  std::string name;
+  std::string experiment;  ///< bench header, e.g. "Fig. 8 — weak scaling"
+  std::string algorithm;   ///< "SDS-Sort", "HykSort", ...
+  std::string workload;    ///< "uniform", "zipf:1.4", "ptf", ...
+
+  /// Free-form configuration metadata: delta, records/rank, tau thresholds,
+  /// adaptive decisions taken. Insertion-ordered for stable serialization.
+  std::vector<std::pair<std::string, std::string>> params;
+  void set_param(const std::string& key, std::string value);
+  const std::string* find_param(const std::string& key) const;
+
+  // Cluster + simulated network configuration.
+  int ranks = 0;
+  int cores_per_node = 1;
+  double net_latency_s = 0.0;
+  double net_bandwidth_Bps = 0.0;
+
+  // Outcome.
+  bool ok = true;
+  bool oom = false;
+  double wall_seconds = -1.0;  ///< slowest rank, barrier-bracketed
+  double crit_path_cpu_seconds = 0.0;  ///< max over ranks of CPU total
+
+  /// Per-phase wall + CPU seconds, element-wise max over ranks.
+  PhaseLedger phases;
+
+  // Communication: whole-cluster totals plus the per-rank counters (rank
+  // order), so imbalance in *traffic* is visible, not just in load.
+  sim::CommStats comm_total;
+  std::vector<sim::CommStats> comm_per_rank;
+
+  // Load balance of the output distribution (paper RDFA = max/avg).
+  double rdfa = 0.0;
+  std::uint64_t max_load = 0;
+  std::uint64_t total_records = 0;
+};
+
+/// Serialize one report to its JSON object form (stable member order).
+Json to_json(const RunReport& r);
+
+/// Rebuild a report from its JSON form. Unknown members are ignored;
+/// missing members keep their defaults (forward compatibility).
+RunReport report_from_json(const Json& j);
+
+/// The per-process accumulator: add() every measured configuration, then
+/// write() once. References returned by add() stay valid until the registry
+/// is destroyed (benches enrich the last report with post-run RDFA).
+class ReportRegistry {
+ public:
+  RunReport& add(RunReport r);
+
+  bool empty() const { return reports_.empty(); }
+  std::size_t size() const { return reports_.size(); }
+  const std::vector<RunReport>& reports() const { return reports_; }
+  RunReport* last() { return reports_.empty() ? nullptr : &reports_.back(); }
+
+  /// Find by exact name; nullptr when absent.
+  const RunReport* find(const std::string& name) const;
+
+  /// Write the full file: schema version + generator + every report.
+  void write(std::ostream& os) const;
+  Json to_json() const;
+
+  /// Load a report file produced by write(). Throws sdss::Error on
+  /// malformed JSON or a schema_version newer than this binary understands.
+  static ReportRegistry load(const Json& file);
+  static ReportRegistry load_file(const std::string& path);
+
+ private:
+  std::vector<RunReport> reports_;
+};
+
+/// Resolve the report output path for this process: the `--json <path>` /
+/// `--json=<path>` flag from /proc/self/cmdline when present (this is how
+/// argv-less bench mains still honor the flag), else the SDSS_BENCH_JSON
+/// environment variable, else "" (telemetry off).
+std::string report_path_from_cmdline_or_env();
+
+}  // namespace sdss::telemetry

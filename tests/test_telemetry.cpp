@@ -1,0 +1,333 @@
+// Telemetry layer: JSON model round-trips, report serialization schema,
+// registry files, and the report_diff regression-threshold logic.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "telemetry/diff.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/report.hpp"
+#include "util/error.hpp"
+
+namespace sdss::telemetry {
+namespace {
+
+// --- Json model ----------------------------------------------------------
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(Json::parse("null"), Json());
+  EXPECT_EQ(Json::parse("true"), Json(true));
+  EXPECT_EQ(Json::parse("false"), Json(false));
+  EXPECT_EQ(Json::parse("42"), Json(42.0));
+  EXPECT_EQ(Json::parse("-1.5e-3"), Json(-0.0015));
+  EXPECT_EQ(Json::parse("\"hi\""), Json("hi"));
+}
+
+TEST(Json, NumberFormattingIsShortestRoundTrip) {
+  EXPECT_EQ(Json(5.0).dump(), "5");
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(1234567890.0).dump(), "1234567890");
+  // A value with no short decimal form survives dump -> parse exactly.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(Json::parse(Json(v).dump()).number_or(), v);
+}
+
+TEST(Json, LargeCountsRoundTripExactly) {
+  const std::uint64_t bytes = (1ull << 52) + 12345;  // < 2^53: exact
+  EXPECT_EQ(Json::parse(Json(bytes).dump()).u64_or(), bytes);
+}
+
+TEST(Json, StringEscaping) {
+  const std::string nasty = "a\"b\\c\nd\te\rf\x01g";
+  const Json j(nasty);
+  EXPECT_EQ(Json::parse(j.dump()).string_value(), nasty);
+  EXPECT_NE(j.dump().find("\\u0001"), std::string::npos);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1).set("alpha", 2).set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Overwriting keeps the original position — serialization stays stable
+  // when a field is updated.
+  obj.set("alpha", 9);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, SerializationIsDeterministic) {
+  Json obj = Json::object();
+  obj.set("a", 1.25);
+  Json arr = Json::array();
+  arr.push_back("x");
+  arr.push_back(Json());
+  obj.set("b", std::move(arr));
+  EXPECT_EQ(obj.dump(2), obj.dump(2));
+  EXPECT_EQ(Json::parse(obj.dump(2)), obj);  // pretty form parses back
+}
+
+TEST(Json, NestedRoundTrip) {
+  const std::string text =
+      R"({"a": [1, 2.5, {"b": "c"}], "d": {"e": [], "f": {}}, "g": null})";
+  const Json j = Json::parse(text);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+  EXPECT_EQ(j.at("a").items()[2].at("b").string_value(), "c");
+  EXPECT_TRUE(j.at("g").is_null());
+  EXPECT_TRUE(j.at("missing").is_null());  // at() never throws
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(Json::parse("nul"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+  EXPECT_THROW(Json::parse("1e"), Error);
+}
+
+// --- RunReport serialization ---------------------------------------------
+
+RunReport sample_report(const std::string& name) {
+  RunReport r;
+  r.name = name;
+  r.experiment = "Fig. X — unit test";
+  r.algorithm = "SDS-Sort";
+  r.workload = "zipf:1.4";
+  r.set_param("records_per_rank", "20000");
+  r.set_param("exchange", "overlapped");
+  r.ranks = 16;
+  r.cores_per_node = 4;
+  r.net_latency_s = 1e-6;
+  r.net_bandwidth_Bps = 8e9;
+  r.ok = true;
+  r.oom = false;
+  r.wall_seconds = 1.25;
+  r.crit_path_cpu_seconds = 0.75;
+  r.phases.add(Phase::kPivotSelection, 0.125, 0.1);
+  r.phases.add(Phase::kExchange, 0.5, 0.25);
+  r.phases.add(Phase::kLocalOrdering, 0.25, 0.2);
+  r.phases.add(Phase::kNodeMerge, 0.0625, 0.05);
+  r.phases.add(Phase::kOther, 0.3125, 0.15);
+  r.comm_total = {100, 65536, 12, 4096};
+  r.comm_per_rank = {{60, 40000, 6, 2048}, {40, 25536, 6, 2048}};
+  r.rdfa = 1.75;
+  r.max_load = 35000;
+  r.total_records = 320000;
+  return r;
+}
+
+TEST(RunReport, SchemaFieldsPresentInStableOrder) {
+  const Json j = to_json(sample_report("r"));
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : j.members()) keys.push_back(k);
+  const std::vector<std::string> expected{
+      "name",    "experiment", "algorithm", "workload",     "params",
+      "cluster", "outcome",    "phases",    "comm",         "load_balance"};
+  EXPECT_EQ(keys, expected);
+
+  EXPECT_EQ(j.at("cluster").at("ranks").number_or(), 16.0);
+  EXPECT_EQ(j.at("outcome").at("wall_seconds").number_or(), 1.25);
+  EXPECT_EQ(j.at("phases").at("exchange").at("cpu_s").number_or(), 0.25);
+  EXPECT_EQ(j.at("phases").at("total").at("wall_s").number_or(), 1.25);
+  EXPECT_EQ(j.at("comm").at("p2p_bytes").u64_or(), 65536u);
+  EXPECT_EQ(j.at("comm").at("total_bytes").u64_or(), 65536u + 4096u);
+  EXPECT_EQ(j.at("comm").at("per_rank").size(), 2u);
+  EXPECT_EQ(j.at("load_balance").at("rdfa").number_or(), 1.75);
+  EXPECT_EQ(j.at("params").at("exchange").string_value(), "overlapped");
+}
+
+TEST(RunReport, RoundTripThroughJsonText) {
+  const RunReport r = sample_report("round-trip");
+  const RunReport back = report_from_json(Json::parse(to_json(r).dump(2)));
+
+  EXPECT_EQ(back.name, r.name);
+  EXPECT_EQ(back.experiment, r.experiment);
+  EXPECT_EQ(back.algorithm, r.algorithm);
+  EXPECT_EQ(back.workload, r.workload);
+  EXPECT_EQ(back.params, r.params);
+  EXPECT_EQ(back.ranks, r.ranks);
+  EXPECT_EQ(back.cores_per_node, r.cores_per_node);
+  EXPECT_EQ(back.net_latency_s, r.net_latency_s);
+  EXPECT_EQ(back.net_bandwidth_Bps, r.net_bandwidth_Bps);
+  EXPECT_EQ(back.ok, r.ok);
+  EXPECT_EQ(back.oom, r.oom);
+  EXPECT_EQ(back.wall_seconds, r.wall_seconds);
+  EXPECT_EQ(back.crit_path_cpu_seconds, r.crit_path_cpu_seconds);
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const auto p = static_cast<Phase>(i);
+    EXPECT_EQ(back.phases.seconds(p), r.phases.seconds(p));
+    EXPECT_EQ(back.phases.cpu_seconds(p), r.phases.cpu_seconds(p));
+  }
+  ASSERT_EQ(back.comm_per_rank.size(), r.comm_per_rank.size());
+  for (std::size_t i = 0; i < r.comm_per_rank.size(); ++i) {
+    EXPECT_EQ(back.comm_per_rank[i].p2p_messages,
+              r.comm_per_rank[i].p2p_messages);
+    EXPECT_EQ(back.comm_per_rank[i].p2p_bytes, r.comm_per_rank[i].p2p_bytes);
+  }
+  EXPECT_EQ(back.comm_total.total_bytes(), r.comm_total.total_bytes());
+  EXPECT_EQ(back.rdfa, r.rdfa);
+  EXPECT_EQ(back.max_load, r.max_load);
+  EXPECT_EQ(back.total_records, r.total_records);
+}
+
+TEST(ReportRegistry, WriteAndLoadFile) {
+  ReportRegistry reg;
+  reg.add(sample_report("a"));
+  reg.add(sample_report("b"));
+
+  std::ostringstream out;
+  reg.write(out);
+  const Json file = Json::parse(out.str());
+  EXPECT_EQ(file.at("schema_version").number_or(), kReportSchemaVersion);
+  EXPECT_EQ(file.at("generator").string_value(), kReportGenerator);
+  EXPECT_EQ(file.at("reports").size(), 2u);
+
+  const ReportRegistry back = ReportRegistry::load(file);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_NE(back.find("a"), nullptr);
+  EXPECT_NE(back.find("b"), nullptr);
+  EXPECT_EQ(back.find("missing"), nullptr);
+  EXPECT_EQ(back.find("a")->rdfa, 1.75);
+}
+
+TEST(ReportRegistry, RejectsNewerSchema) {
+  Json file = Json::object();
+  file.set("schema_version", kReportSchemaVersion + 1);
+  file.set("reports", Json::array());
+  EXPECT_THROW(ReportRegistry::load(file), Error);
+  file.set("schema_version", Json());  // missing entirely
+  EXPECT_THROW(ReportRegistry::load(file), Error);
+}
+
+TEST(ReportRegistry, EnvVarFallbackResolvesPath) {
+  // The test binary's own cmdline has no --json flag, so the env var wins.
+  ::setenv("SDSS_BENCH_JSON", "/tmp/sdss-telemetry-test.json", 1);
+  EXPECT_EQ(report_path_from_cmdline_or_env(),
+            "/tmp/sdss-telemetry-test.json");
+  ::unsetenv("SDSS_BENCH_JSON");
+  EXPECT_EQ(report_path_from_cmdline_or_env(), "");
+}
+
+// --- report_diff threshold logic -----------------------------------------
+
+ReportRegistry registry_with(const std::string& name, double exchange_cpu,
+                             bool ok = true) {
+  RunReport r = sample_report(name);
+  r.ok = ok;
+  r.phases.clear();
+  r.phases.add(Phase::kExchange, exchange_cpu * 2.0, exchange_cpu);
+  ReportRegistry reg;
+  reg.add(std::move(r));
+  return reg;
+}
+
+TEST(ReportDiff, IdenticalFilesShowNoRegression) {
+  const auto before = registry_with("run", 0.5);
+  const auto after = registry_with("run", 0.5);
+  const DiffResult d = diff_registries(before, after, {});
+  EXPECT_FALSE(d.any_regression);
+  EXPECT_TRUE(d.regressions().empty());
+  // 5 phases + total + wall compared for the one matched report.
+  EXPECT_EQ(d.deltas.size(), kNumPhases + 2);
+}
+
+TEST(ReportDiff, FlagsRegressionPastThreshold) {
+  const auto before = registry_with("run", 0.5);
+  const auto after = registry_with("run", 0.6);  // +20%
+  DiffOptions opts;
+  opts.threshold = 0.10;
+  const DiffResult d = diff_registries(before, after, opts);
+  EXPECT_TRUE(d.any_regression);
+  const auto regs = d.regressions();
+  ASSERT_FALSE(regs.empty());
+  EXPECT_EQ(regs.front().metric, "exchange");
+  EXPECT_NEAR(regs.front().relative(), 0.2, 1e-9);
+}
+
+TEST(ReportDiff, ToleratesSlowdownWithinThreshold) {
+  const auto before = registry_with("run", 0.5);
+  const auto after = registry_with("run", 0.54);  // +8%
+  DiffOptions opts;
+  opts.threshold = 0.10;
+  EXPECT_FALSE(diff_registries(before, after, opts).any_regression);
+}
+
+TEST(ReportDiff, ImprovementIsNeverARegression) {
+  const auto before = registry_with("run", 0.5);
+  const auto after = registry_with("run", 0.1);
+  EXPECT_FALSE(diff_registries(before, after, {}).any_regression);
+}
+
+TEST(ReportDiff, AbsoluteFloorSuppressesMicroJitter) {
+  // +100% relative but only +0.4 ms absolute: below the default 1 ms floor.
+  const auto before = registry_with("run", 0.0004);
+  const auto after = registry_with("run", 0.0008);
+  EXPECT_FALSE(diff_registries(before, after, {}).any_regression);
+
+  DiffOptions strict;
+  strict.min_seconds = 1e-5;
+  EXPECT_TRUE(diff_registries(before, after, strict).any_regression);
+}
+
+TEST(ReportDiff, WallClockModeComparesWallColumns) {
+  // cpu equal, wall doubled (registry_with sets wall = 2 * cpu).
+  auto before = registry_with("run", 0.5);
+  auto after = registry_with("run", 0.5);
+  ReportRegistry after2;
+  {
+    RunReport r = *after.find("run");
+    r.phases.clear();
+    r.phases.add(Phase::kExchange, 2.0, 0.5);  // wall regressed, cpu same
+    after2.add(std::move(r));
+  }
+  DiffOptions cpu_mode;
+  EXPECT_FALSE(diff_registries(before, after2, cpu_mode).any_regression);
+  DiffOptions wall_mode;
+  wall_mode.use_cpu = false;
+  EXPECT_TRUE(diff_registries(before, after2, wall_mode).any_regression);
+}
+
+TEST(ReportDiff, StatusFlipDominatesTiming) {
+  const auto before = registry_with("run", 0.5, /*ok=*/true);
+  const auto after = registry_with("run", 0.5, /*ok=*/false);
+  const DiffResult d = diff_registries(before, after, {});
+  EXPECT_TRUE(d.any_regression);
+  ASSERT_EQ(d.deltas.size(), 1u);
+  EXPECT_EQ(d.deltas.front().metric, "status: ok -> FAIL");
+
+  // The recovery direction is not a regression.
+  const DiffResult r = diff_registries(after, before, {});
+  EXPECT_FALSE(r.any_regression);
+  // Two runs that both failed have nothing to compare.
+  const DiffResult f = diff_registries(after, after, {});
+  EXPECT_TRUE(f.deltas.empty());
+  EXPECT_FALSE(f.any_regression);
+}
+
+TEST(ReportDiff, UnmatchedReportsAreListedNotCompared) {
+  ReportRegistry before;
+  before.add(sample_report("kept"));
+  before.add(sample_report("removed"));
+  ReportRegistry after;
+  after.add(sample_report("kept"));
+  after.add(sample_report("added"));
+  const DiffResult d = diff_registries(before, after, {});
+  EXPECT_EQ(d.only_before, std::vector<std::string>{"removed"});
+  EXPECT_EQ(d.only_after, std::vector<std::string>{"added"});
+  EXPECT_FALSE(d.any_regression);
+}
+
+TEST(ReportDiff, PrintedSummaryMentionsRegressions) {
+  const auto before = registry_with("run", 0.5);
+  const auto after = registry_with("run", 1.0);
+  const DiffOptions opts;
+  const DiffResult d = diff_registries(before, after, opts);
+  std::ostringstream os;
+  print_diff(os, d, opts);
+  EXPECT_NE(os.str().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(os.str().find("exchange"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdss::telemetry

@@ -25,6 +25,12 @@ namespace {
       "  --min-seconds=S    ignore regressions smaller than S absolute\n"
       "                     seconds (noise floor, default 0.001)\n"
       "  --wall             compare wall seconds instead of CPU seconds\n"
+      "  --bytes            also compare simulated comm counters (bytes\n"
+      "                     and message counts; deterministic, exact)\n"
+      "  --bytes-only       compare ONLY the comm counters — the\n"
+      "                     machine-independent CI regression gate\n"
+      "  --bytes-threshold=FRAC  relative growth tolerated for counters\n"
+      "                     (default 0 = any growth is a regression)\n"
       "exit: 0 no regression, 1 regression found, 2 error\n");
   std::exit(2);
 }
@@ -59,6 +65,12 @@ int main(int argc, char** argv) {
       opts.min_seconds = parse_value(arg, 14);
     } else if (arg == "--wall") {
       opts.use_cpu = false;
+    } else if (arg == "--bytes") {
+      opts.compare_bytes = true;
+    } else if (arg == "--bytes-only") {
+      opts.bytes_only = true;
+    } else if (arg.rfind("--bytes-threshold=", 0) == 0) {
+      opts.bytes_threshold = parse_value(arg, 18);
     } else if (arg == "-h" || arg == "--help") {
       usage();
     } else if (arg.rfind("--", 0) == 0) {

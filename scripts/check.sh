@@ -2,7 +2,14 @@
 # One-command repo health check: configure, build, test, then smoke the
 # telemetry path — run one fast bench with --json and validate the emitted
 # run-report file (report_diff file file exits 0 iff the file parses and
-# matches itself). See docs/BENCHMARKING.md.
+# matches itself) — then gate the collective wire-volume counters against
+# the checked-in baseline and run the collective tests under
+# ThreadSanitizer. See docs/BENCHMARKING.md.
+#
+# Environment knobs:
+#   BUILD_DIR     build tree (default: build)
+#   SDSS_NO_TSAN  set to 1 to skip the ThreadSanitizer step (it builds a
+#                 second tree under $BUILD_DIR-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,5 +30,23 @@ trap 'rm -f "$report"' EXIT
 "$BUILD_DIR"/bench/fig5c_local_ordering --json "$report"
 test -s "$report" || { echo "check: no report file written" >&2; exit 1; }
 "$BUILD_DIR"/bench/report_diff "$report" "$report"
+
+echo "== collective wire-volume gate =="
+# bench_collectives runs a FIXED iteration count, so its CommStats byte and
+# message counters are machine-independent; any drift from the checked-in
+# baseline is a real change in collective wire traffic. Refresh the baseline
+# deliberately (and explain why in the commit) when an algorithm change is
+# intended:  build/bench/bench_collectives --json bench/baselines/bench_collectives.json
+"$BUILD_DIR"/bench/bench_collectives --json "$report" >/dev/null
+"$BUILD_DIR"/bench/report_diff bench/baselines/bench_collectives.json \
+    "$report" --bytes-only
+
+if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
+  echo "== thread sanitizer (collective tests) =="
+  cmake -B "$BUILD_DIR-tsan" -S . -DSDSS_SANITIZE=thread >/dev/null
+  cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm
+  "$BUILD_DIR-tsan"/tests/test_collectives
+  "$BUILD_DIR-tsan"/tests/test_sim_comm
+fi
 
 echo "== OK =="

@@ -72,7 +72,15 @@ std::vector<T> sync_exchange(sim::Comm& comm, std::span<const T> data,
 /// Asynchronous exchange overlapped with incremental merging: chunks are
 /// merged pairwise (smallest two first, Huffman-style, ~O(n log p) total) as
 /// they arrive, so by the time the last message lands most ordering work is
-/// done. Non-stable only (completion order is arrival order). Returns the
+/// done. Non-stable only (completion order is arrival order).
+///
+/// Allocation-free hot path: chunks enter the merge pool as spans over
+/// existing storage (the caller's send buffer for the self-chunk, the
+/// receive buffer for arrivals) — never as per-chunk copies. Incremental
+/// merge outputs go into ONE lazily-allocated scratch buffer of
+/// `recv_total` records, used as a bump arena; when the arena fills, dead
+/// regions (consumed merge inputs) are compacted away, and if a merge still
+/// does not fit it is simply deferred to the final k-way drain. Returns the
 /// fully merged, sorted local output.
 template <typename T, KeyFunction<T> KeyFn = IdentityKey>
 std::vector<T> overlap_exchange_merge(sim::Comm& comm, std::span<const T> data,
@@ -100,16 +108,52 @@ std::vector<T> overlap_exchange_merge(sim::Comm& comm, std::span<const T> data,
         static_cast<int>(d), /*tag=*/3001);
   }
 
-  // Pool of sorted chunks awaiting merging; the self-chunk is available
-  // immediately.
-  std::vector<std::vector<T>> pool;
+  // Pool of sorted chunks awaiting merging, as views over existing storage.
+  // The self-chunk is available immediately — straight out of `data`, which
+  // outlives this call.
+  std::vector<std::span<const T>> pool;
+  pool.reserve(p);
   if (plan.scounts[me] > 0) {
-    pool.emplace_back(data.begin() + static_cast<std::ptrdiff_t>(plan.sdispls[me]),
-                      data.begin() + static_cast<std::ptrdiff_t>(
-                                         plan.sdispls[me] + plan.scounts[me]));
+    pool.push_back(data.subspan(plan.sdispls[me], plan.scounts[me]));
   }
 
-  // SdssMergeTwo: merge the two smallest chunks in the pool.
+  // Bump arena for incremental merge outputs. Total live records never
+  // exceed recv_total, but merge inputs stay live while the output is
+  // written, so the arena can fill with dead (already-consumed) regions.
+  std::vector<T> scratch;
+  std::size_t bump = 0;
+  auto in_scratch = [&](std::span<const T> s) {
+    return !scratch.empty() && s.data() >= scratch.data() &&
+           s.data() < scratch.data() + scratch.size();
+  };
+
+  // Slide every live scratch-resident span left (in address order, so the
+  // moves never clobber a not-yet-moved source) and rebase the pool views.
+  auto compact = [&]() {
+    std::size_t w = 0;
+    const T* prev = nullptr;
+    for (;;) {
+      std::size_t next = pool.size();
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (!in_scratch(pool[i])) continue;
+        if (prev != nullptr && pool[i].data() <= prev) continue;
+        if (next == pool.size() || pool[i].data() < pool[next].data()) next = i;
+      }
+      if (next == pool.size()) break;
+      prev = pool[next].data();
+      if (pool[next].data() != scratch.data() + w) {
+        std::memmove(scratch.data() + w, pool[next].data(),
+                     pool[next].size() * sizeof(T));
+      }
+      pool[next] = std::span<const T>(scratch.data() + w, pool[next].size());
+      w += pool[next].size();
+    }
+    bump = w;
+  };
+
+  // SdssMergeTwo: merge the two smallest chunks in the pool into the arena.
+  // Returns false (merge deferred) when even a compacted arena cannot hold
+  // the output alongside the still-live inputs.
   auto merge_two = [&]() {
     std::size_t a = 0, b = 1;
     if (pool[b].size() < pool[a].size()) std::swap(a, b);
@@ -121,17 +165,23 @@ std::vector<T> overlap_exchange_merge(sim::Comm& comm, std::span<const T> data,
         b = i;
       }
     }
-    std::vector<std::span<const T>> two{std::span<const T>(pool[a]),
-                                        std::span<const T>(pool[b])};
-    std::vector<T> merged(pool[a].size() + pool[b].size());
-    kway_merge<T, KeyFn>(two, merged, kf);
+    const std::size_t need = pool[a].size() + pool[b].size();
+    if (scratch.empty()) scratch.resize(plan.recv_total);
+    if (bump + need > scratch.size()) compact();
+    if (bump + need > scratch.size()) return false;
+    std::span<T> out(scratch.data() + bump, need);
+    std::vector<std::span<const T>> two{pool[a], pool[b]};
+    kway_merge<T, KeyFn>(two, out, kf);
+    bump += need;
     if (a > b) std::swap(a, b);
-    pool[a] = std::move(merged);
+    pool[a] = out;
     pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(b));
+    return true;
   };
 
-  // SdssFinished loop: whenever a receive completes, move its chunk into
-  // the pool; merge opportunistically while more data is in flight.
+  // SdssFinished loop: whenever a receive completes, its chunk joins the
+  // pool as a view of the receive buffer; merge opportunistically while
+  // more data is in flight.
   std::vector<char> done(reqs.size(), 0);
   std::size_t outstanding = reqs.size();
   while (outstanding > 0) {
@@ -140,19 +190,31 @@ std::vector<T> overlap_exchange_merge(sim::Comm& comm, std::span<const T> data,
     done[static_cast<std::size_t>(idx)] = 1;
     --outstanding;
     const std::size_t s = req_src[static_cast<std::size_t>(idx)];
-    pool.emplace_back(
-        recv.begin() + static_cast<std::ptrdiff_t>(plan.rdispls[s]),
-        recv.begin() +
-            static_cast<std::ptrdiff_t>(plan.rdispls[s] + plan.rcounts[s]));
+    pool.push_back(std::span<const T>(recv.data() + plan.rdispls[s],
+                                      plan.rcounts[s]));
     // One smallest-pair merge per arrival keeps the pool shallow without
     // degenerating into repeated prefix accumulation (always merging the
     // two smallest keeps the total work at ~O(n log p), Huffman-style).
     if (pool.size() >= 2 && outstanding > 0) merge_two();
   }
-  // Drain the pool.
-  while (pool.size() >= 2) merge_two();
+
+  // Drain: one k-way merge of everything still unmerged (including any
+  // deferred pairs). If a single span already covers a whole owned buffer,
+  // hand that buffer back without the final pass.
   if (pool.empty()) return {};
-  return std::move(pool.front());
+  if (pool.size() == 1) {
+    if (!recv.empty() && pool[0].data() == recv.data() &&
+        pool[0].size() == recv.size()) {
+      return recv;
+    }
+    if (!scratch.empty() && pool[0].data() == scratch.data() &&
+        pool[0].size() == scratch.size()) {
+      return scratch;
+    }
+  }
+  std::vector<T> out(plan.recv_total);
+  kway_merge<T, KeyFn>(pool, out, kf);
+  return out;
 }
 
 }  // namespace sdss

@@ -52,6 +52,7 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   st.cores_per_node = cfg.cores_per_node;
   st.network = cfg.network;
   st.mailboxes.resize(static_cast<std::size_t>(cfg.num_ranks));
+  st.posted_coll.resize(static_cast<std::size_t>(cfg.num_ranks), nullptr);
   st.ledgers.resize(static_cast<std::size_t>(cfg.num_ranks));
   st.comm_stats.resize(static_cast<std::size_t>(cfg.num_ranks));
   st.trace_enabled = cfg.enable_trace;
@@ -66,7 +67,6 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   for (int r = 0; r < cfg.num_ranks; ++r) {
     world.world_ranks[static_cast<std::size_t>(r)] = r;
   }
-  world.slot.resize(cfg.num_ranks);
   world.intra_node = cfg.num_ranks <= cfg.cores_per_node;
   st.contexts.emplace(0, std::move(world));
 

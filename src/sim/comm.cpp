@@ -1,10 +1,9 @@
 #include "sim/comm.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <cstring>
-#include <exception>
 #include <thread>
+#include <vector>
 
 #include "sim/state.hpp"
 
@@ -17,16 +16,45 @@ Comm make_comm(ClusterState* st, int ctx, int rank, int size, int world_rank) {
 }  // namespace detail
 
 using detail::Clock;
-using detail::CollSlot;
 using detail::ClusterState;
 using detail::ContextInfo;
 using detail::Mailbox;
 using detail::Message;
+using detail::PostedCollRecv;
+using detail::ZcState;
 
 namespace {
 
 void check_abort(const ClusterState& st) {
   if (st.aborted) throw SimAbortError(st.abort_cause);
+}
+
+/// Per-thread free list of message payload buffers. Senders draw from it,
+/// receivers refill it as they drain messages; since every rank both sends
+/// and receives, each rank thread's pool reaches a steady state and the
+/// messaging hot path stops allocating. Bounded so a burst of bulk traffic
+/// cannot pin unbounded memory; oversized buffers are dropped rather than
+/// cached.
+constexpr std::size_t kPayloadPoolSlots = 4;
+constexpr std::size_t kPayloadPoolMaxBytes = 1u << 20;
+thread_local std::vector<std::vector<std::byte>> t_payload_pool;
+
+std::vector<std::byte> pool_acquire(std::size_t bytes) {
+  std::vector<std::byte> v;
+  if (!t_payload_pool.empty()) {
+    v = std::move(t_payload_pool.back());
+    t_payload_pool.pop_back();
+  }
+  v.resize(bytes);
+  return v;
+}
+
+void pool_release(std::vector<std::byte>&& v) {
+  if (t_payload_pool.size() < kPayloadPoolSlots &&
+      v.capacity() <= kPayloadPoolMaxBytes) {
+    v.clear();
+    t_payload_pool.push_back(std::move(v));
+  }
 }
 
 /// Result of scanning a mailbox for a match.
@@ -39,14 +67,17 @@ struct MatchScan {
 
 /// Find the first matching message. Per-source FIFO is preserved: if the
 /// first match from some source is still in flight, later messages from that
-/// source are not allowed to overtake it.
+/// source are not allowed to overtake it. `internal` selects the matching
+/// namespace: collective-protocol messages never match user receives and
+/// vice versa, even under kAnySource/kAnyTag.
 MatchScan scan_mailbox(Mailbox& mb, int ctx, int src, int tag,
-                       Clock::time_point now) {
+                       Clock::time_point now, bool internal) {
   MatchScan r;
   // Sources whose earliest match is still in flight; at most a handful of
   // distinct sources have traffic pending in practice, linear scan is fine.
   std::vector<int> blocked;
   for (auto it = mb.messages.begin(); it != mb.messages.end(); ++it) {
+    if (it->internal != internal) continue;
     if (it->ctx != ctx) continue;
     if (src != Comm::kAnySource && it->src != src) continue;
     if (tag != Comm::kAnyTag && it->tag != tag) continue;
@@ -66,39 +97,6 @@ MatchScan scan_mailbox(Mailbox& mb, int ctx, int src, int tag,
     blocked.push_back(it->src);
   }
   return r;
-}
-
-std::size_t ceil_log2(std::size_t p) {
-  std::size_t bits = 0;
-  std::size_t v = 1;
-  while (v < p) {
-    v <<= 1;
-    ++bits;
-  }
-  return bits;
-}
-
-/// Record a collective's contribution to this rank's counters and trace,
-/// then sleep for its modeled network cost (outside any lock).
-void charge(ClusterState& st, int world_rank, bool intra_node,
-            std::size_t messages, std::size_t bytes_out, std::size_t bytes_in,
-            const char* op) {
-  CommStats& cs = st.comm_stats[static_cast<std::size_t>(world_rank)];
-  ++cs.collectives;
-  cs.collective_bytes_out += bytes_out;
-  double modeled = 0.0;
-  if (st.network.enabled() &&
-      (messages != 0 || bytes_out != 0 || bytes_in != 0)) {
-    modeled =
-        st.network.exchange_time(messages, bytes_out, bytes_in, intra_node);
-  }
-  if (st.trace_enabled) {
-    std::lock_guard<std::mutex> lk(st.mu);
-    const double now = st.trace_now();
-    st.trace.push_back(TraceEvent{TraceEvent::Kind::kCollective, world_rank,
-                                  -1, op, bytes_out, now, now + modeled});
-  }
-  if (modeled > 0.0) std::this_thread::sleep_for(st.network.to_duration(modeled));
 }
 
 }  // namespace
@@ -121,21 +119,28 @@ struct RequestImpl {
   bool completed = false;
   std::size_t received = 0;
   int actual_src = -1;
+  /// Matched payload awaiting copy-out (finish_detached). Detaching under
+  /// the lock and copying outside it keeps bulk memcpys from serializing
+  /// every other rank on the one cluster mutex.
+  std::vector<std::byte> detached;
+  bool has_detached = false;
 
-  /// Try to complete a receive. Caller holds st->mu. Returns the deadline of
-  /// an in-flight match via `out` when not completable yet.
+  /// Try to complete a receive by detaching a matched message. Caller holds
+  /// st->mu and must call finish_detached() after releasing it. Returns the
+  /// deadline of an in-flight match via `out` when not completable yet.
   bool try_complete(MatchScan* out) {
     if (completed) return true;
     Mailbox& mb = st->mailboxes[static_cast<std::size_t>(world_rank)];
-    MatchScan m = scan_mailbox(mb, ctx, src, tag, Clock::now());
+    MatchScan m =
+        scan_mailbox(mb, ctx, src, tag, Clock::now(), /*internal=*/false);
     if (m.ready) {
-      const Message& msg = *m.it;
-      if (msg.payload.size() > capacity) {
+      if (m.it->payload.size() > capacity) {
         throw CommError("irecv: message larger than receive buffer");
       }
-      std::memcpy(buf, msg.payload.data(), msg.payload.size());
-      received = msg.payload.size();
-      actual_src = msg.src;
+      received = m.it->payload.size();
+      actual_src = m.it->src;
+      detached = std::move(m.it->payload);
+      has_detached = true;
       mb.messages.erase(m.it);
       completed = true;
       return true;
@@ -143,32 +148,49 @@ struct RequestImpl {
     if (out != nullptr) *out = m;
     return false;
   }
+
+  /// Copy a detached payload into the user buffer. Caller must NOT hold
+  /// st->mu. No-op unless try_complete just detached a message.
+  void finish_detached() {
+    if (!has_detached) return;
+    if (received > 0) std::memcpy(buf, detached.data(), received);
+    pool_release(std::move(detached));
+    has_detached = false;
+  }
 };
 }  // namespace detail
 
 bool Request::test() {
   if (!impl_) throw CommError("test() on an empty request");
   if (impl_->completed) return true;
-  std::lock_guard<std::mutex> lk(impl_->st->mu);
-  check_abort(*impl_->st);
-  return impl_->try_complete(nullptr);
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lk(impl_->st->mu);
+    check_abort(*impl_->st);
+    done = impl_->try_complete(nullptr);
+  }
+  impl_->finish_detached();
+  return done;
 }
 
 void Request::wait() {
   if (!impl_) throw CommError("wait() on an empty request");
   if (impl_->completed) return;
-  std::unique_lock<std::mutex> lk(impl_->st->mu);
-  auto& cv = impl_->st->rank_cv(impl_->world_rank);
-  for (;;) {
-    check_abort(*impl_->st);
-    MatchScan m;
-    if (impl_->try_complete(&m)) return;
-    if (m.future) {
-      cv.wait_until(lk, m.deadline);
-    } else {
-      cv.wait(lk);
+  {
+    std::unique_lock<std::mutex> lk(impl_->st->mu);
+    auto& cv = impl_->st->rank_cv(impl_->world_rank);
+    for (;;) {
+      check_abort(*impl_->st);
+      MatchScan m;
+      if (impl_->try_complete(&m)) break;
+      if (m.future) {
+        cv.wait_until(lk, m.deadline);
+      } else {
+        cv.wait(lk);
+      }
     }
   }
+  impl_->finish_detached();
 }
 
 std::size_t Request::bytes() const {
@@ -197,33 +219,45 @@ int Request::wait_any(std::span<Request> reqs, std::span<const char> skip) {
       break;
     }
   }
-  std::unique_lock<std::mutex> lk(st->mu);
-  auto& owner_cv = st->rank_cv(owner);
-  for (;;) {
-    check_abort(*st);
-    bool any_pending = false;
-    bool have_deadline = false;
-    Clock::time_point deadline{};
-    for (std::size_t i = 0; i < reqs.size(); ++i) {
-      if (i < skip.size() && skip[i]) continue;
-      auto& impl = reqs[i].impl_;
-      if (!impl) continue;
-      if (impl->completed) return static_cast<int>(i);
-      any_pending = true;
-      MatchScan m;
-      if (impl->try_complete(&m)) return static_cast<int>(i);
-      if (m.future && (!have_deadline || m.deadline < deadline)) {
-        have_deadline = true;
-        deadline = m.deadline;
+  int found = -1;
+  {
+    std::unique_lock<std::mutex> lk(st->mu);
+    auto& owner_cv = st->rank_cv(owner);
+    while (found < 0) {
+      check_abort(*st);
+      bool any_pending = false;
+      bool have_deadline = false;
+      Clock::time_point deadline{};
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        if (i < skip.size() && skip[i]) continue;
+        auto& impl = reqs[i].impl_;
+        if (!impl) continue;
+        if (impl->completed) {
+          found = static_cast<int>(i);
+          break;
+        }
+        any_pending = true;
+        MatchScan m;
+        if (impl->try_complete(&m)) {
+          found = static_cast<int>(i);
+          break;
+        }
+        if (m.future && (!have_deadline || m.deadline < deadline)) {
+          have_deadline = true;
+          deadline = m.deadline;
+        }
+      }
+      if (found >= 0) break;
+      if (!any_pending) return -1;
+      if (have_deadline) {
+        owner_cv.wait_until(lk, deadline);
+      } else {
+        owner_cv.wait(lk);
       }
     }
-    if (!any_pending) return -1;
-    if (have_deadline) {
-      owner_cv.wait_until(lk, deadline);
-    } else {
-      owner_cv.wait(lk);
-    }
   }
+  reqs[static_cast<std::size_t>(found)].impl_->finish_detached();
+  return found;
 }
 
 // ---------------------------------------------------------------------------
@@ -243,29 +277,34 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
   msg.ctx = ctx_;
   msg.src = rank_;
   msg.tag = tag;
-  msg.payload.resize(bytes);
+  msg.payload = pool_acquire(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), data, bytes);
 
-  std::lock_guard<std::mutex> lk(st_->mu);
-  check_abort(*st_);
-  const int dest_world = world_rank_of(dest);
-  const bool intra = st_->node_of(dest_world) == st_->node_of(world_rank_);
-  msg.deliver_at = Clock::now();
-  if (st_->network.enabled()) {
-    msg.deliver_at += st_->network.to_duration(
-        st_->network.message_time(bytes, intra));
+  int dest_world = -1;
+  {
+    std::lock_guard<std::mutex> lk(st_->mu);
+    check_abort(*st_);
+    dest_world = world_rank_of(dest);
+    const bool intra = st_->node_of(dest_world) == st_->node_of(world_rank_);
+    msg.deliver_at = Clock::now();
+    if (st_->network.enabled()) {
+      msg.deliver_at += st_->network.to_duration(
+          st_->network.message_time(bytes, intra));
+    }
+    st_->mailboxes[static_cast<std::size_t>(dest_world)].messages.push_back(
+        std::move(msg));
+    CommStats& cs = st_->comm_stats[static_cast<std::size_t>(world_rank_)];
+    ++cs.p2p_messages;
+    cs.p2p_bytes += bytes;
+    if (st_->trace_enabled) {
+      const double now = st_->trace_now();
+      st_->trace.push_back(TraceEvent{TraceEvent::Kind::kSend, world_rank_,
+                                      dest_world, "send", bytes, now, now});
+    }
   }
-  st_->mailboxes[static_cast<std::size_t>(dest_world)].messages.push_back(
-      std::move(msg));
-  CommStats& cs = st_->comm_stats[static_cast<std::size_t>(world_rank_)];
-  ++cs.p2p_messages;
-  cs.p2p_bytes += bytes;
-  if (st_->trace_enabled) {
-    const double now = st_->trace_now();
-    st_->trace.push_back(TraceEvent{TraceEvent::Kind::kSend, world_rank_,
-                                    dest_world, "send", bytes, now, now});
-  }
-  st_->rank_cv(dest_world).notify_all();
+  // Notify after unlock so the woken receiver does not run straight into
+  // the still-held mutex.
+  st_->rank_cv(dest_world).notify_one();
 }
 
 std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
@@ -276,16 +315,21 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
   auto& cv = st_->rank_cv(world_rank_);
   for (;;) {
     check_abort(*st_);
-    MatchScan m = scan_mailbox(mb, ctx_, src, tag, Clock::now());
+    MatchScan m =
+        scan_mailbox(mb, ctx_, src, tag, Clock::now(), /*internal=*/false);
     if (m.ready) {
-      const Message& msg = *m.it;
-      if (msg.payload.size() > capacity) {
+      if (m.it->payload.size() > capacity) {
         throw CommError("recv: message larger than receive buffer");
       }
+      // Detach the message and copy it out WITHOUT the cluster lock: a bulk
+      // payload memcpy must not serialize every other rank's progress.
+      Message msg = std::move(*m.it);
+      mb.messages.erase(m.it);
+      lk.unlock();
       const std::size_t n = msg.payload.size();
       if (n > 0) std::memcpy(buf, msg.payload.data(), n);
+      pool_release(std::move(msg.payload));
       if (out_src != nullptr) *out_src = msg.src;
-      mb.messages.erase(m.it);
       return n;
     }
     if (m.future) {
@@ -303,7 +347,8 @@ std::size_t Comm::probe_bytes(int src, int tag, int* out_src) {
   auto& cv = st_->rank_cv(world_rank_);
   for (;;) {
     check_abort(*st_);
-    MatchScan m = scan_mailbox(mb, ctx_, src, tag, Clock::now());
+    MatchScan m =
+        scan_mailbox(mb, ctx_, src, tag, Clock::now(), /*internal=*/false);
     if (m.ready) {
       if (out_src != nullptr) *out_src = m.it->src;
       return m.it->payload.size();
@@ -347,248 +392,991 @@ Request Comm::irecv_bytes(void* buf, std::size_t capacity, int src, int tag) {
 
 // ---------------------------------------------------------------------------
 // Collective machinery
+//
+// Collectives run over internal point-to-point messages (Message::internal),
+// using the scalable algorithms a real MPI library would pick: binomial
+// trees for rooted ops, recursive doubling / dissemination for symmetric
+// ones, Bruck for small alltoall/allgather on non-power-of-two sizes, and
+// ring / pairwise exchange for bulk payloads. All ranks of a communicator
+// must issue collectives in the same order (as in MPI); correctness across
+// back-to-back collectives follows from per-(ctx, src, tag) FIFO matching —
+// within any one algorithm, a rank's receives from a given source happen in
+// the same order as that source's sends to it.
 // ---------------------------------------------------------------------------
 
 namespace {
 
-/// Runs the two-phase collective protocol. `deposit` publishes this rank's
-/// arguments into the slot (called under the lock); `copy` moves data (called
-/// WITHOUT the lock; peer deposits are stable because every rank blocks until
-/// all ranks departed).
-template <typename DepositFn, typename CopyFn>
-void run_collective(ClusterState* st, int ctx, int size, DepositFn&& deposit,
-                    CopyFn&& copy) {
-  std::unique_lock<std::mutex> lk(st->mu);
-  ContextInfo& info = st->contexts.at(ctx);
-  CollSlot& slot = info.slot;
+/// Internal message tags, one per collective family. The `internal` flag
+/// already separates these from user tags; distinct values just keep the
+/// algorithms' matching patterns disjoint.
+enum : int {
+  kTagBarrier = 0,
+  kTagBcast,
+  kTagGather,
+  kTagScatter,
+  kTagAllgather,
+  kTagAllgatherv,
+  kTagAlltoall,
+  kTagAlltoallv,
+  kTagReduce,
+  kTagAllreduce,
+  kTagExscan,
+};
 
-  // Wait for the slot to accept a new collective (the previous one must have
-  // fully drained).
-  while (slot.phase != CollSlot::PhaseState::kArriving) {
+// Algorithm-selection thresholds (see DESIGN.md, "Collective algorithms").
+// Small payloads take the latency-optimal O(log p)-round algorithm; bulk
+// payloads take the bandwidth-optimal one that moves each byte exactly once.
+constexpr std::size_t kAllgatherSmallTotal = 64u * 1024u;   // gathered bytes
+constexpr std::size_t kAllgathervSmallTotal = 64u * 1024u;  // gathered bytes
+constexpr std::size_t kAlltoallBruckMaxBlock = 1024u;       // per-peer bytes
+// Bulk blocks at or above this size go zero-copy (the receiver copies
+// straight from the sender's buffer); below it the extra acknowledgement
+// round-trip costs more than the pooled double copy saves.
+constexpr std::size_t kZeroCopyMinBytes = 4096u;
+
+/// Per-call context for one collective on one rank: identity plus the tally
+/// of internal messages/bytes this rank sent and received, folded into
+/// CommStats, the trace, and the modeled network charge by coll_finish().
+struct CollCtx {
+  ClusterState* st = nullptr;
+  int ctx = 0;
+  int rank = 0;
+  int size = 0;
+  int world_rank = 0;
+  const std::vector<int>* world_ranks = nullptr;  // comm rank -> world rank
+  bool intra_node = false;  // all members of this comm share one node
+  std::size_t messages = 0;
+  std::size_t bytes_out = 0;
+  std::size_t bytes_in = 0;  // feeds the network model, not CommStats
+  double t_begin = 0.0;
+  /// Zero-copy bookkeeping: `zc.outstanding` counts buffer loans peers have
+  /// not yet copied out (guarded by st->mu); `zc_used` is written only by
+  /// this rank's thread, so the drain can skip locking when no loan was
+  /// ever made.
+  ZcState zc;
+  bool zc_used = false;
+};
+
+CollCtx coll_begin(ClusterState* st, int ctx, int rank, int size,
+                   int world_rank) {
+  CollCtx c;
+  c.st = st;
+  c.ctx = ctx;
+  c.rank = rank;
+  c.size = size;
+  c.world_rank = world_rank;
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
     check_abort(*st);
-    st->cv.wait(lk);
+    // Context entries are never erased and std::map nodes are stable, so the
+    // pointer stays valid across the unlocked algorithm rounds.
+    const ContextInfo& info = st->contexts.at(ctx);
+    c.world_ranks = &info.world_ranks;
+    c.intra_node = info.intra_node;
   }
-  check_abort(*st);
+  if (st->trace_enabled) c.t_begin = st->trace_now();
+  return c;
+}
 
-  deposit(slot);
-  const std::uint64_t my_gen = slot.generation;
-  if (++slot.arrived == size) {
-    slot.phase = CollSlot::PhaseState::kCopying;
-    st->cv.notify_all();
-  } else {
-    while (!(slot.phase == CollSlot::PhaseState::kCopying &&
-             slot.generation == my_gen)) {
-      check_abort(*st);
-      st->cv.wait(lk);
+/// Close out one collective call: per-rank counters (this thread is the only
+/// writer of its own CommStats entry), one kCollective trace event named
+/// after the algorithm that ran, and one modeled-network sleep covering the
+/// whole call. Internal messages deliver instantaneously (deliver_at is not
+/// pushed into the future); instead each rank sleeps once here for
+/// exchange_time over the messages and bytes its part of the algorithm
+/// actually moved. Charging at call granularity keeps the modeled cost
+/// proportional to the selected algorithm's wire traffic without paying an
+/// OS-level timed wait per hop — on an oversubscribed host, per-hop waits
+/// serialize the dependent rounds into context-switch chains and swamp the
+/// measurement the simulation exists to take.
+/// Wait until every zero-copy buffer loan made during this collective has
+/// been copied out by its receiver. Must run before any lent buffer can be
+/// reused or go out of scope — i.e. before the collective returns to the
+/// caller, who owns the buffers.
+void coll_zc_drain(CollCtx& c) {
+  if (!c.zc_used) return;
+  ClusterState* st = c.st;
+  std::unique_lock<std::mutex> lk(st->mu);
+  auto& cv = st->rank_cv(c.world_rank);
+  while (c.zc.outstanding > 0 && !st->aborted) cv.wait(lk);
+  check_abort(*st);
+}
+
+void coll_finish(CollCtx& c, CollAlg alg) {
+  coll_zc_drain(c);
+  CommStats& cs = c.st->comm_stats[static_cast<std::size_t>(c.world_rank)];
+  ++cs.collectives;
+  cs.collective_bytes_out += c.bytes_out;
+  cs.collective_messages += c.messages;
+  CollAlgStats& as = cs.per_alg[static_cast<std::size_t>(alg)];
+  ++as.calls;
+  as.messages += c.messages;
+  as.bytes_out += c.bytes_out;
+  if (c.st->trace_enabled) {
+    std::lock_guard<std::mutex> lk(c.st->mu);
+    c.st->trace.push_back(TraceEvent{TraceEvent::Kind::kCollective,
+                                     c.world_rank, -1, coll_alg_name(alg),
+                                     c.bytes_out, c.t_begin,
+                                     c.st->trace_now()});
+  }
+  const NetworkModel& net = c.st->network;
+  if (net.enabled() &&
+      (c.messages != 0 || c.bytes_out != 0 || c.bytes_in != 0)) {
+    std::this_thread::sleep_for(net.to_duration(
+        net.exchange_time(c.messages, c.bytes_out, c.bytes_in, c.intra_node)));
+  }
+}
+
+// --- internal transport ----------------------------------------------------
+//
+// The collective algorithms below are round-structured: within one call a
+// rank alternates sends and blocking receives, and on a host with fewer
+// cores than ranks the receiver of any given message is usually already
+// blocked when the send happens. The transport exploits that with a
+// rendezvous fast path: a blocked receiver publishes a slot in
+// ClusterState::posted_coll, and a matching sender hands its (pooled)
+// payload buffer over by move — no allocation, no copy under the lock —
+// waking only that rank. When the receiver has not arrived yet, the payload
+// is buffered in a mailbox Message like any other send. Neither path
+// changes what is counted: CommStats sees the same messages and bytes
+// either way.
+
+/// Internal send: collective-namespace traffic — it does not count as
+/// point-to-point traffic and emits no kSend trace event (the collective
+/// gets one summary event). Delivery is immediate; the network model is
+/// charged once per collective in coll_finish(). If the destination rank is
+/// already blocked in a matching coll_recv, the payload goes straight into
+/// its buffer; otherwise it is buffered in the mailbox.
+void coll_send(CollCtx& c, const void* data, std::size_t bytes, int dest,
+               int tag) {
+  ClusterState* st = c.st;
+  const int dest_world = (*c.world_ranks)[static_cast<std::size_t>(dest)];
+  // Copy the payload into a pooled buffer before taking the lock; inside the
+  // critical section the buffer only changes hands by move. The mutex is
+  // held for deque/pointer work only — never across a memcpy or malloc.
+  std::vector<std::byte> payload = pool_acquire(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
+    check_abort(*st);
+    PostedCollRecv* slot =
+        st->posted_coll[static_cast<std::size_t>(dest_world)];
+    if (slot != nullptr && !slot->done && slot->ctx == c.ctx &&
+        slot->src == c.rank && slot->tag == tag) {
+      // Rendezvous: hand the buffer to the blocked receiver, which copies it
+      // out (and returns it to its own pool) after waking.
+      if (bytes > slot->capacity) {
+        slot->oversize = true;
+      } else {
+        slot->stash = std::move(payload);
+      }
+      slot->received = bytes;
+      slot->done = true;
+    } else {
+      Message msg;
+      msg.ctx = c.ctx;
+      msg.src = c.rank;
+      msg.tag = tag;
+      msg.internal = true;
+      msg.deliver_at = Clock::time_point{};  // epoch: always deliverable
+      msg.payload = std::move(payload);
+      st->mailboxes[static_cast<std::size_t>(dest_world)].messages.push_back(
+          std::move(msg));
     }
   }
+  // Notify after unlock: waking the (usually blocked) destination while
+  // still holding the mutex would have it run straight into the lock.
+  st->rank_cv(dest_world).notify_one();
+  ++c.messages;
+  c.bytes_out += bytes;
+}
 
-  // The copy runs without the lock; peer buffers stay valid because every
-  // rank blocks below until all ranks departed. If OUR copy throws (e.g. a
-  // count-validation error), the departure bookkeeping must still happen
-  // before unwinding — otherwise peers still copying could read this
-  // rank's send buffer after the caller destroys it.
+/// Zero-copy internal send for bulk blocks: publishes a loan of `data`
+/// instead of copying it into a pooled buffer. The receiver memcpys straight
+/// from `data` (outside the lock) and acknowledges; coll_zc_drain() blocks
+/// until every loan is returned, so `data` must stay valid and UNMODIFIED
+/// until the enclosing collective finishes. Only algorithms that never
+/// rewrite a region they have sent may use this (alltoall(v) sending from
+/// the caller's send buffer, ring allgather(v) forwarding write-once blocks
+/// of the output) — fold-in-place reductions must keep the copying path.
+void coll_send_zc(CollCtx& c, const void* data, std::size_t bytes, int dest,
+                  int tag) {
+  if (bytes < kZeroCopyMinBytes) {
+    coll_send(c, data, bytes, dest, tag);
+    return;
+  }
+  ClusterState* st = c.st;
+  const int dest_world = (*c.world_ranks)[static_cast<std::size_t>(dest)];
+  c.zc_used = true;
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
+    check_abort(*st);
+    ++c.zc.outstanding;
+    PostedCollRecv* slot =
+        st->posted_coll[static_cast<std::size_t>(dest_world)];
+    if (slot != nullptr && !slot->done && slot->ctx == c.ctx &&
+        slot->src == c.rank && slot->tag == tag) {
+      if (bytes > slot->capacity) slot->oversize = true;
+      slot->zc_data = static_cast<const std::byte*>(data);
+      slot->zc_bytes = bytes;
+      slot->zc_state = &c.zc;
+      slot->zc_sender_world = c.world_rank;
+      slot->received = bytes;
+      slot->done = true;
+    } else {
+      Message msg;
+      msg.ctx = c.ctx;
+      msg.src = c.rank;
+      msg.tag = tag;
+      msg.internal = true;
+      msg.deliver_at = Clock::time_point{};  // epoch: always deliverable
+      msg.zc_data = static_cast<const std::byte*>(data);
+      msg.zc_bytes = bytes;
+      msg.zc_state = &c.zc;
+      msg.zc_sender_world = c.world_rank;
+      st->mailboxes[static_cast<std::size_t>(dest_world)].messages.push_back(
+          std::move(msg));
+    }
+  }
+  st->rank_cv(dest_world).notify_one();
+  ++c.messages;
+  c.bytes_out += bytes;
+}
+
+/// Return a zero-copy loan after copying it out: decrement the sender's
+/// outstanding count under the lock and wake the sender if it is already
+/// draining. Called by the receiver with the lock NOT held.
+void coll_zc_ack(ClusterState* st, ZcState* zc, int sender_world) {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
+    last = (--zc->outstanding == 0);
+  }
+  if (last) st->rank_cv(sender_world).notify_one();
+}
+
+/// Internal receive; returns the payload size. The payload memcpy happens
+/// outside the cluster lock. `size_err`, when given, replaces the generic
+/// buffer-overflow message so validation errors read as the collective's own.
+std::size_t coll_recv(CollCtx& c, void* buf, std::size_t capacity, int src,
+                      int tag, const char* size_err = nullptr) {
+  ClusterState* st = c.st;
+  std::unique_lock<std::mutex> lk(st->mu);
+  check_abort(*st);
+  Mailbox& mb = st->mailboxes[static_cast<std::size_t>(c.world_rank)];
+  auto& cv = st->rank_cv(c.world_rank);
+  // Already buffered? Internal messages are always deliverable (no modeled
+  // per-message delay), so a ready scan is a plain front-to-back match.
+  MatchScan m = scan_mailbox(mb, c.ctx, src, tag, Clock::now(),
+                             /*internal=*/true);
+  if (m.ready) {
+    const std::size_t n =
+        m.it->zc_data != nullptr ? m.it->zc_bytes : m.it->payload.size();
+    if (n > capacity) {
+      throw CommError(size_err != nullptr
+                          ? size_err
+                          : "collective: internal message exceeds buffer");
+    }
+    Message msg = std::move(*m.it);
+    mb.messages.erase(m.it);
+    lk.unlock();
+    if (msg.zc_data != nullptr) {
+      // Zero-copy loan: the sender's buffer stays valid until we ack (the
+      // sender blocks in coll_zc_drain before reusing it).
+      std::memcpy(buf, msg.zc_data, n);
+      coll_zc_ack(st, msg.zc_state, msg.zc_sender_world);
+    } else {
+      if (n > 0) std::memcpy(buf, msg.payload.data(), n);
+      pool_release(std::move(msg.payload));
+    }
+    c.bytes_in += n;
+    return n;
+  }
+  // Nothing queued: publish a slot so the sender can hand its buffer over
+  // directly, and wait. No rescan is needed on wakeup — while the slot is
+  // published, a matching sender always takes the rendezvous path, so the
+  // message cannot arrive through the mailbox.
+  PostedCollRecv slot;
+  slot.ctx = c.ctx;
+  slot.src = src;
+  slot.tag = tag;
+  slot.capacity = capacity;
+  PostedCollRecv*& posted =
+      st->posted_coll[static_cast<std::size_t>(c.world_rank)];
+  posted = &slot;
+  while (!slot.done && !st->aborted) cv.wait(lk);
+  posted = nullptr;
+  check_abort(*st);
+  if (slot.oversize) {
+    throw CommError(size_err != nullptr
+                        ? size_err
+                        : "collective: internal message exceeds buffer");
+  }
   lk.unlock();
+  const std::size_t n = slot.received;
+  if (slot.zc_data != nullptr) {
+    std::memcpy(buf, slot.zc_data, n);
+    coll_zc_ack(st, slot.zc_state, slot.zc_sender_world);
+  } else {
+    if (n > 0) std::memcpy(buf, slot.stash.data(), n);
+    pool_release(std::move(slot.stash));
+  }
+  c.bytes_in += n;
+  return n;
+}
+
+// --- algorithms -----------------------------------------------------------
+
+/// Dissemination barrier: ceil(log2 p) rounds, any p. Round k: signal
+/// (rank+k) and wait for (rank-k).
+void dissemination_barrier(CollCtx& c) {
+  const int p = c.size;
+  for (int k = 1; k < p; k <<= 1) {
+    coll_send(c, nullptr, 0, (c.rank + k) % p, kTagBarrier);
+    coll_recv(c, nullptr, 0, (c.rank - k + p) % p, kTagBarrier);
+  }
+}
+
+/// Binomial-tree broadcast from `root`, any p, on relative ranks
+/// rel = (rank - root) mod p: receive from the parent, forward to children.
+void binomial_bcast(CollCtx& c, void* buf, std::size_t bytes, int root,
+                    int tag) {
+  const int p = c.size;
+  const int rel = (c.rank - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) {
+      coll_recv(c, buf, bytes, (rel - mask + root) % p, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (rel + mask < p) {
+      coll_send(c, buf, bytes, (rel + mask + root) % p, tag);
+    }
+    mask >>= 1;
+  }
+}
+
+/// Binomial-tree gather of equal `bytes` blocks to `root`: each rank
+/// accumulates its subtree's blocks (relative ranks [rel, rel+cap)) and
+/// sends them to its parent in one message; the root rotates the
+/// relative-ordered buffer into absolute rank order.
+void binomial_gather(CollCtx& c, const void* send, std::size_t bytes,
+                     void* recv, int root) {
+  const int p = c.size;
+  const int rel = (c.rank - root + p) % p;
+  const int cap = (rel == 0) ? p : std::min(rel & -rel, p - rel);
+  std::vector<std::byte> tmp(static_cast<std::size_t>(cap) * bytes);
+  if (bytes > 0) std::memcpy(tmp.data(), send, bytes);
+  int mask = 1;
+  while (mask < p) {
+    if (rel & mask) break;
+    const int src_rel = rel + mask;
+    if (src_rel < p) {
+      const int cnt = std::min(mask, p - src_rel);
+      coll_recv(c, tmp.data() + static_cast<std::size_t>(src_rel - rel) * bytes,
+                static_cast<std::size_t>(cnt) * bytes, (src_rel + root) % p,
+                kTagGather);
+    }
+    mask <<= 1;
+  }
+  if (rel != 0) {
+    // mask is now the lowest set bit of rel: the level at which this rank's
+    // subtree (cap blocks) hands off to its parent.
+    coll_send(c, tmp.data(), static_cast<std::size_t>(cap) * bytes,
+              (rel - mask + root) % p, kTagGather);
+  } else if (bytes > 0) {
+    auto* out = static_cast<std::byte*>(recv);
+    for (int i = 0; i < p; ++i) {
+      std::memcpy(out + static_cast<std::size_t>((i + root) % p) * bytes,
+                  tmp.data() + static_cast<std::size_t>(i) * bytes, bytes);
+    }
+  }
+}
+
+/// Binomial-tree scatter from `root` (gather's mirror): each rank receives
+/// its subtree's blocks from its parent and forwards the sub-subtrees.
+void binomial_scatter(CollCtx& c, const void* send, std::size_t bytes,
+                      void* recv, int root) {
+  const int p = c.size;
+  const int rel = (c.rank - root + p) % p;
+  std::vector<std::byte> tmp;
+  const std::byte* data = nullptr;  // blocks for relative ranks [rel, rel+cap)
+  int subtree;                      // pow2 span of this rank's subtree
+  if (rel == 0) {
+    subtree = 1;
+    while (subtree < p) subtree <<= 1;
+    if (root == 0) {
+      data = static_cast<const std::byte*>(send);
+    } else {
+      // Rotate into relative order once so every subtree is contiguous.
+      tmp.resize(static_cast<std::size_t>(p) * bytes);
+      const auto* in = static_cast<const std::byte*>(send);
+      for (int i = 0; i < p; ++i) {
+        if (bytes > 0) {
+          std::memcpy(tmp.data() + static_cast<std::size_t>(i) * bytes,
+                      in + static_cast<std::size_t>((i + root) % p) * bytes,
+                      bytes);
+        }
+      }
+      data = tmp.data();
+    }
+  } else {
+    subtree = rel & -rel;
+    const int cap = std::min(subtree, p - rel);
+    const int parent = (rel - subtree + root) % p;
+    if (cap == 1) {
+      coll_recv(c, recv, bytes, parent, kTagScatter);
+      data = static_cast<const std::byte*>(recv);
+    } else {
+      tmp.resize(static_cast<std::size_t>(cap) * bytes);
+      coll_recv(c, tmp.data(), tmp.size(), parent, kTagScatter);
+      data = tmp.data();
+    }
+  }
+  for (int m = subtree >> 1; m >= 1; m >>= 1) {
+    if (rel + m < p) {
+      const int cnt = std::min(m, p - (rel + m));
+      coll_send(c, data + static_cast<std::size_t>(m) * bytes,
+                static_cast<std::size_t>(cnt) * bytes, (rel + m + root) % p,
+                kTagScatter);
+    }
+  }
+  if (data != recv && bytes > 0) std::memcpy(recv, data, bytes);
+}
+
+/// Recursive-doubling allgather, power-of-two p only: in round k each rank
+/// swaps its accumulated 2^k-block window with partner rank^2^k, in place in
+/// the receive buffer. log2(p) rounds, (p-1)·bytes sent per rank.
+void rd_allgather(CollCtx& c, const void* send, std::size_t bytes, void* recv) {
+  const int p = c.size;
+  const int r = c.rank;
+  auto* out = static_cast<std::byte*>(recv);
+  if (bytes > 0) std::memcpy(out + static_cast<std::size_t>(r) * bytes, send, bytes);
+  for (int mask = 1; mask < p; mask <<= 1) {
+    const int partner = r ^ mask;
+    const int my_base = r & ~(mask - 1);
+    const int partner_base = partner & ~(mask - 1);
+    const std::size_t blk = static_cast<std::size_t>(mask) * bytes;
+    coll_send(c, out + static_cast<std::size_t>(my_base) * bytes, blk, partner,
+              kTagAllgather);
+    coll_recv(c, out + static_cast<std::size_t>(partner_base) * bytes, blk,
+              partner, kTagAllgather);
+  }
+}
+
+/// Bruck allgather, any p: tmp[i] accumulates the block of rank (rank+i)%p;
+/// round k ships the first min(k, p-k) blocks to (rank-k), doubling the
+/// prefix held; a final rotation restores absolute order.
+void bruck_allgather(CollCtx& c, const void* send, std::size_t bytes,
+                     void* recv) {
+  const int p = c.size;
+  const int r = c.rank;
+  std::vector<std::byte> tmp(static_cast<std::size_t>(p) * bytes);
+  if (bytes > 0) std::memcpy(tmp.data(), send, bytes);
+  for (int k = 1; k < p; k <<= 1) {
+    const std::size_t cnt =
+        static_cast<std::size_t>(std::min(k, p - k)) * bytes;
+    coll_send(c, tmp.data(), cnt, (r - k + p) % p, kTagAllgather);
+    coll_recv(c, tmp.data() + static_cast<std::size_t>(k) * bytes, cnt,
+              (r + k) % p, kTagAllgather);
+  }
+  if (bytes > 0) {
+    auto* out = static_cast<std::byte*>(recv);
+    for (int i = 0; i < p; ++i) {
+      std::memcpy(out + static_cast<std::size_t>((r + i) % p) * bytes,
+                  tmp.data() + static_cast<std::size_t>(i) * bytes, bytes);
+    }
+  }
+}
+
+/// Ring allgather for bulk payloads: p-1 rounds, each rank forwards the
+/// block it received last round to its right neighbor. Bandwidth-optimal:
+/// every byte crosses each link exactly once.
+void ring_allgather(CollCtx& c, const void* send, std::size_t bytes,
+                    void* recv) {
+  const int p = c.size;
+  const int r = c.rank;
+  auto* out = static_cast<std::byte*>(recv);
+  if (bytes > 0) std::memcpy(out + static_cast<std::size_t>(r) * bytes, send, bytes);
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  for (int k = 0; k < p - 1; ++k) {
+    const int sidx = (r - k + p) % p;
+    const int ridx = (r - k - 1 + p) % p;
+    // Zero-copy is safe here: each block of `out` is written exactly once
+    // (own block before the loop, received blocks as they arrive) and never
+    // after it has been forwarded.
+    coll_send_zc(c, out + static_cast<std::size_t>(sidx) * bytes, bytes, right,
+                 kTagAllgather);
+    coll_recv(c, out + static_cast<std::size_t>(ridx) * bytes, bytes, left,
+              kTagAllgather);
+  }
+}
+
+constexpr const char* kAllgathervMismatch =
+    "allgatherv: receive size disagrees with sender";
+
+/// Small-payload allgatherv: binomial gatherv into a packed buffer on rank
+/// 0 (everyone knows every count, so subtree sizes are computable locally),
+/// binomial bcast of the packed buffer, then a local scatter to the caller's
+/// displacements.
+void allgatherv_gather_bcast(CollCtx& c, const void* send,
+                             std::size_t send_bytes, void* recv,
+                             const std::size_t* recv_bytes,
+                             const std::size_t* recv_displs) {
+  const int p = c.size;
+  const int r = c.rank;
+  std::vector<std::size_t> off(static_cast<std::size_t>(p) + 1, 0);
+  for (int i = 0; i < p; ++i) {
+    off[static_cast<std::size_t>(i) + 1] =
+        off[static_cast<std::size_t>(i)] + recv_bytes[i];
+  }
+  const std::size_t total = off[static_cast<std::size_t>(p)];
+
+  // Binomial gatherv to rank 0 (root 0, so relative rank == rank and each
+  // subtree [r, r+cap) is a contiguous packed byte range).
+  const int cap = (r == 0) ? p : std::min(r & -r, p - r);
+  std::vector<std::byte> tmp(off[static_cast<std::size_t>(r + cap)] -
+                             off[static_cast<std::size_t>(r)]);
+  if (send_bytes > 0) std::memcpy(tmp.data(), send, send_bytes);
+  int mask = 1;
+  while (mask < p) {
+    if (r & mask) break;
+    const int src = r + mask;
+    if (src < p) {
+      const int scnt = std::min(mask, p - src);
+      const std::size_t sub = off[static_cast<std::size_t>(src + scnt)] -
+                              off[static_cast<std::size_t>(src)];
+      const std::size_t n = coll_recv(
+          c,
+          tmp.data() + (off[static_cast<std::size_t>(src)] -
+                        off[static_cast<std::size_t>(r)]),
+          sub, src, kTagAllgatherv, kAllgathervMismatch);
+      if (n != sub) throw CommError(kAllgathervMismatch);
+    }
+    mask <<= 1;
+  }
+  if (r != 0) coll_send(c, tmp.data(), tmp.size(), r - mask, kTagAllgatherv);
+
+  std::vector<std::byte> packed;
+  if (r != 0) packed.resize(total);
+  std::byte* pk = (r == 0) ? tmp.data() : packed.data();
+  binomial_bcast(c, pk, total, /*root=*/0, kTagAllgatherv);
+
+  auto* out = static_cast<std::byte*>(recv);
+  for (int i = 0; i < p; ++i) {
+    if (recv_bytes[i] > 0) {
+      std::memcpy(out + recv_displs[i], pk + off[static_cast<std::size_t>(i)],
+                  recv_bytes[i]);
+    }
+  }
+}
+
+/// Bulk allgatherv: ring, as in ring_allgather but with per-rank counts.
+void ring_allgatherv(CollCtx& c, const void* send, std::size_t send_bytes,
+                     void* recv, const std::size_t* recv_bytes,
+                     const std::size_t* recv_displs) {
+  const int p = c.size;
+  const int r = c.rank;
+  auto* out = static_cast<std::byte*>(recv);
+  if (send_bytes > 0) std::memcpy(out + recv_displs[r], send, send_bytes);
+  const int right = (r + 1) % p;
+  const int left = (r - 1 + p) % p;
+  for (int k = 0; k < p - 1; ++k) {
+    const int sidx = (r - k + p) % p;
+    const int ridx = (r - k - 1 + p) % p;
+    // Write-once blocks, as in ring_allgather: zero-copy forwarding is safe.
+    coll_send_zc(c, out + recv_displs[sidx], recv_bytes[sidx], right,
+                 kTagAllgatherv);
+    const std::size_t n =
+        coll_recv(c, out + recv_displs[ridx], recv_bytes[ridx], left,
+                  kTagAllgatherv, kAllgathervMismatch);
+    if (n != recv_bytes[ridx]) throw CommError(kAllgathervMismatch);
+  }
+}
+
+/// Bruck alltoall for small blocks: O(log p) rounds of packed block
+/// exchanges instead of p-1 point messages. Round k ships every block whose
+/// index has bit k set to rank+k; two local rotations bracket the rounds.
+void bruck_alltoall(CollCtx& c, const void* send, std::size_t bytes,
+                    void* recv) {
+  const int p = c.size;
+  const int r = c.rank;
+  const auto* in = static_cast<const std::byte*>(send);
+  std::vector<std::byte> tmp(static_cast<std::size_t>(p) * bytes);
+  if (bytes > 0) {
+    for (int i = 0; i < p; ++i) {
+      std::memcpy(tmp.data() + static_cast<std::size_t>(i) * bytes,
+                  in + static_cast<std::size_t>((r + i) % p) * bytes, bytes);
+    }
+  }
+  std::vector<std::byte> pack, unpack;
+  for (int k = 1; k < p; k <<= 1) {
+    std::size_t nblk = 0;
+    for (int i = 0; i < p; ++i) {
+      if (i & k) ++nblk;
+    }
+    pack.resize(nblk * bytes);
+    unpack.resize(nblk * bytes);
+    if (bytes > 0) {
+      std::size_t o = 0;
+      for (int i = 0; i < p; ++i) {
+        if (i & k) {
+          std::memcpy(pack.data() + o,
+                      tmp.data() + static_cast<std::size_t>(i) * bytes, bytes);
+          o += bytes;
+        }
+      }
+    }
+    coll_send(c, pack.data(), pack.size(), (r + k) % p, kTagAlltoall);
+    coll_recv(c, unpack.data(), unpack.size(), (r - k + p) % p, kTagAlltoall);
+    if (bytes > 0) {
+      std::size_t o = 0;
+      for (int i = 0; i < p; ++i) {
+        if (i & k) {
+          std::memcpy(tmp.data() + static_cast<std::size_t>(i) * bytes,
+                      unpack.data() + o, bytes);
+          o += bytes;
+        }
+      }
+    }
+  }
+  if (bytes > 0) {
+    auto* out = static_cast<std::byte*>(recv);
+    for (int i = 0; i < p; ++i) {
+      std::memcpy(out + static_cast<std::size_t>((r - i + p) % p) * bytes,
+                  tmp.data() + static_cast<std::size_t>(i) * bytes, bytes);
+    }
+  }
+}
+
+constexpr const char* kAlltoallvMismatch =
+    "alltoallv: send count from peer disagrees with expected receive count";
+
+/// Where one rank's alltoallv send data lives. Published to every peer via a
+/// small allgather; peers copy their blocks straight out of the owner's
+/// buffer. All three pointers stay valid until the owner passes the
+/// departure barrier at the end of the exchange.
+struct AtavDesc {
+  const std::byte* base;
+  const std::size_t* counts;
+  const std::size_t* displs;
+};
+
+/// Pairwise-exchange alltoallv — the bulk record exchange. Modeled (and
+/// counted) as the classic pairwise schedule: p-1 messages per rank, every
+/// byte crossing the wire exactly once. The *transport*, however, is
+/// pull-based: ranks allgather {buffer, counts, displs} descriptors
+/// (O(log p) tiny messages), then each rank copies its p-1 incoming blocks
+/// directly out of the senders' buffers with no lock held, and a
+/// dissemination barrier holds every rank until all peers have finished
+/// copying. Moving the bulk bytes through the mailbox instead would cost a
+/// lock acquisition and a wakeup per block — O(p) lock handoffs per rank,
+/// O(p^2) cluster-wide — which on an oversubscribed host turns into a
+/// context-switch storm that dwarfs the copies themselves.
+void pairwise_alltoallv(CollCtx& c, const void* send,
+                        const std::size_t* scounts, const std::size_t* sdispls,
+                        void* recv, const std::size_t* rcounts,
+                        const std::size_t* rdispls) {
+  const int p = c.size;
+  const int r = c.rank;
+  const auto* in = static_cast<const std::byte*>(send);
+  auto* out = static_cast<std::byte*>(recv);
+  if (scounts[r] != rcounts[r]) throw CommError(kAlltoallvMismatch);
+  if (scounts[r] > 0) std::memcpy(out + rdispls[r], in + sdispls[r], scounts[r]);
+
+  // The control traffic below is simulator bookkeeping, not modeled data
+  // movement: snapshot the counters and re-model the exchange afterwards.
+  const std::size_t m0 = c.messages;
+  const std::size_t bo0 = c.bytes_out;
+  const std::size_t bi0 = c.bytes_in;
+
+  AtavDesc mine{in, scounts, sdispls};
+  std::vector<AtavDesc> descs(static_cast<std::size_t>(p));
+  bruck_allgather(c, &mine, sizeof(AtavDesc), descs.data());
+
+  // Pull in pairwise order (round k reads from rank r-k). The sender's
+  // counts array is readable here too, so a count mismatch is validated
+  // against what the peer actually intends to send.
   std::exception_ptr copy_error;
   try {
-    copy(static_cast<const CollSlot&>(slot),
-         static_cast<const ContextInfo&>(info));
+    for (int k = 1; k < p; ++k) {
+      const int src = (r - k + p) % p;
+      const AtavDesc& d = descs[static_cast<std::size_t>(src)];
+      const std::size_t n = d.counts[r];
+      if (n != rcounts[src]) throw CommError(kAlltoallvMismatch);
+      if (n > 0) std::memcpy(out + rdispls[src], d.base + d.displs[r], n);
+    }
   } catch (...) {
     copy_error = std::current_exception();
   }
-  lk.lock();
-
-  if (++slot.departed == size) {
-    slot.arrived = 0;
-    slot.departed = 0;
-    slot.phase = CollSlot::PhaseState::kArriving;
-    ++slot.generation;
-    st->cv.notify_all();
-  } else {
-    while (slot.generation == my_gen) {
-      if (st->aborted) break;  // peers are unwinding; don't wait on them
-      st->cv.wait(lk);
-    }
+  // Departure barrier: peers may still be reading this rank's buffers. Runs
+  // even when our own validation failed — unwinding early could free the
+  // send buffer under a peer's memcpy. (If the cluster aborts meanwhile the
+  // barrier throws; prefer reporting the original error.)
+  try {
+    dissemination_barrier(c);
+  } catch (...) {
+    if (!copy_error) copy_error = std::current_exception();
   }
   if (copy_error) std::rethrow_exception(copy_error);
-  check_abort(*st);
+
+  c.messages = m0 + static_cast<std::size_t>(p) - 1;
+  c.bytes_out = bo0;
+  c.bytes_in = bi0;
+  for (int i = 0; i < p; ++i) {
+    if (i == r) continue;
+    c.bytes_out += scounts[i];
+    c.bytes_in += rcounts[i];
+  }
+}
+
+/// Pairwise-exchange alltoall for bulk blocks: the uniform-block special
+/// case of pairwise_alltoallv (same pull transport, same wire model).
+void pairwise_alltoall(CollCtx& c, const void* send, std::size_t bytes,
+                       void* recv) {
+  const int p = c.size;
+  std::vector<std::size_t> cnt(static_cast<std::size_t>(p), bytes);
+  std::vector<std::size_t> dsp(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    dsp[static_cast<std::size_t>(i)] = static_cast<std::size_t>(i) * bytes;
+  }
+  pairwise_alltoallv(c, send, cnt.data(), dsp.data(), recv, cnt.data(),
+                     dsp.data());
+}
+
+/// Binomial-tree reduce toward rank 0, then one hop to `root` if different.
+/// Anchoring the tree at rank 0 keeps the combine order the strict rank-
+/// order left fold (op(inout=lower-rank segment, in=higher-rank segment)),
+/// so associative but non-commutative operators reduce deterministically.
+void binomial_reduce(CollCtx& c, const void* send, void* recv,
+                     std::size_t bytes, const Comm::ReduceFn& op, int root) {
+  const int p = c.size;
+  const int r = c.rank;
+  std::vector<std::byte> acc(bytes), incoming(bytes);
+  if (bytes > 0) std::memcpy(acc.data(), send, bytes);
+  int mask = 1;
+  while (mask < p) {
+    if (r & mask) {
+      coll_send(c, acc.data(), bytes, r - mask, kTagReduce);
+      break;
+    }
+    const int src = r + mask;
+    if (src < p) {
+      coll_recv(c, incoming.data(), bytes, src, kTagReduce);
+      if (bytes > 0) op(acc.data(), incoming.data());
+    }
+    mask <<= 1;
+  }
+  if (root != 0) {
+    if (r == 0) coll_send(c, acc.data(), bytes, root, kTagReduce);
+    if (r == root) coll_recv(c, acc.data(), bytes, 0, kTagReduce);
+  }
+  if (r == root && bytes > 0) std::memcpy(recv, acc.data(), bytes);
+}
+
+/// Recursive-doubling allreduce with the MPICH-style non-power-of-two fold:
+/// the first 2·rem ranks pair up (even sends to odd), the surviving
+/// power-of-two set runs log2(p2) doubling rounds, and the folded-out even
+/// ranks get the result back at the end. Combine order respects newrank
+/// order, which is monotone in rank, so non-commutative-but-associative
+/// operators still reduce in rank order.
+void rd_allreduce(CollCtx& c, const void* send, void* recv, std::size_t bytes,
+                  const Comm::ReduceFn& op) {
+  const int p = c.size;
+  const int r = c.rank;
+  std::vector<std::byte> acc(bytes), other(bytes);
+  if (bytes > 0) std::memcpy(acc.data(), send, bytes);
+  int p2 = 1;
+  while (p2 * 2 <= p) p2 *= 2;
+  const int rem = p - p2;
+
+  int newrank;
+  if (r < 2 * rem) {
+    if (r % 2 == 0) {
+      coll_send(c, acc.data(), bytes, r + 1, kTagAllreduce);
+      newrank = -1;
+    } else {
+      coll_recv(c, other.data(), bytes, r - 1, kTagAllreduce);
+      if (bytes > 0) {
+        op(other.data(), acc.data());  // lower rank's segment first
+        acc.swap(other);
+      }
+      newrank = r / 2;
+    }
+  } else {
+    newrank = r - rem;
+  }
+
+  if (newrank >= 0) {
+    for (int mask = 1; mask < p2; mask <<= 1) {
+      const int newpartner = newrank ^ mask;
+      const int partner =
+          (newpartner < rem) ? newpartner * 2 + 1 : newpartner + rem;
+      coll_send(c, acc.data(), bytes, partner, kTagAllreduce);
+      coll_recv(c, other.data(), bytes, partner, kTagAllreduce);
+      if (bytes > 0) {
+        if (newrank < newpartner) {
+          op(acc.data(), other.data());
+        } else {
+          op(other.data(), acc.data());
+          acc.swap(other);
+        }
+      }
+    }
+  }
+
+  if (r < 2 * rem) {
+    if (r % 2 != 0) {
+      coll_send(c, acc.data(), bytes, r - 1, kTagAllreduce);
+    } else {
+      coll_recv(c, acc.data(), bytes, r + 1, kTagAllreduce);
+    }
+  }
+  if (bytes > 0) std::memcpy(recv, acc.data(), bytes);
+}
+
+/// Dissemination (Hillis–Steele) exclusive scan, any p: in round k each rank
+/// sends its inclusive window accumulator to rank+k and prepends what it
+/// receives from rank-k to both its result and its window. Rank 0's recv
+/// buffer is left untouched — the caller pre-fills the identity.
+void dissemination_exscan(CollCtx& c, const void* send, void* recv,
+                          std::size_t bytes, const Comm::ReduceFn& op) {
+  const int p = c.size;
+  const int r = c.rank;
+  std::vector<std::byte> window(bytes), t(bytes), pre(bytes);
+  if (bytes > 0) std::memcpy(window.data(), send, bytes);
+  bool have_result = false;
+  for (int k = 1; k < p; k <<= 1) {
+    if (r + k < p) coll_send(c, window.data(), bytes, r + k, kTagExscan);
+    if (r - k >= 0) {
+      coll_recv(c, t.data(), bytes, r - k, kTagExscan);
+      if (bytes > 0) {
+        if (have_result) {
+          std::memcpy(pre.data(), t.data(), bytes);
+          op(pre.data(), recv);  // result = incoming ⊕ result
+          std::memcpy(recv, pre.data(), bytes);
+        } else {
+          std::memcpy(recv, t.data(), bytes);
+          have_result = true;
+        }
+        op(t.data(), window.data());  // window = incoming ⊕ window
+        window.swap(t);
+      }
+    }
+  }
 }
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Collective entry points (algorithm selection + accounting)
+// ---------------------------------------------------------------------------
+
 void Comm::barrier() {
   require_valid();
-  bool intra = false;
-  run_collective(
-      st_, ctx_, size_, [](CollSlot&) {},
-      [&](const CollSlot&, const ContextInfo& info) {
-        intra = info.intra_node;
-      });
-  charge(*st_, world_rank_, intra,
-         ceil_log2(static_cast<std::size_t>(size_)), 0, 0, "barrier");
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  dissemination_barrier(c);
+  coll_finish(c, CollAlg::kBarrierDissemination);
 }
 
 void Comm::bcast_bytes(void* buf, std::size_t bytes, int root) {
   require_valid();
   if (root < 0 || root >= size_) throw CommError("bcast: root out of range");
-  const int me = rank_;
-  bool intra = false;
-  run_collective(
-      st_, ctx_, size_,
-      [&](CollSlot& slot) {
-        slot.send_ptr[static_cast<std::size_t>(me)] = buf;
-        slot.send_bytes[static_cast<std::size_t>(me)] = bytes;
-      },
-      [&](const CollSlot& slot, const ContextInfo& info) {
-        intra = info.intra_node;
-        if (me != root && bytes > 0) {
-          std::memcpy(buf, slot.send_ptr[static_cast<std::size_t>(root)],
-                      bytes);
-        }
-      });
-  if (me == root) {
-    charge(*st_, world_rank_, intra, ceil_log2(static_cast<std::size_t>(size_)),
-           bytes, 0, "bcast");
-  } else {
-    charge(*st_, world_rank_, intra, 1, 0, bytes, "bcast");
-  }
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  if (size_ > 1) binomial_bcast(c, buf, bytes, root, kTagBcast);
+  coll_finish(c, CollAlg::kBcastBinomial);
 }
 
 void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
                         int root) {
   require_valid();
   if (root < 0 || root >= size_) throw CommError("gather: root out of range");
-  const int me = rank_;
-  bool intra = false;
-  run_collective(
-      st_, ctx_, size_,
-      [&](CollSlot& slot) {
-        slot.send_ptr[static_cast<std::size_t>(me)] = send;
-        slot.send_bytes[static_cast<std::size_t>(me)] = bytes;
-      },
-      [&](const CollSlot& slot, const ContextInfo& info) {
-        intra = info.intra_node;
-        if (me == root && bytes > 0) {
-          auto* out = static_cast<std::byte*>(recv);
-          for (int s = 0; s < size_; ++s) {
-            std::memcpy(out + static_cast<std::size_t>(s) * bytes,
-                        slot.send_ptr[static_cast<std::size_t>(s)], bytes);
-          }
-        }
-      });
-  if (me == root) {
-    charge(*st_, world_rank_, intra, static_cast<std::size_t>(size_ - 1), 0,
-           bytes * static_cast<std::size_t>(size_ - 1), "gather");
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  if (size_ == 1) {
+    if (bytes > 0) std::memcpy(recv, send, bytes);
   } else {
-    charge(*st_, world_rank_, intra, 1, bytes, 0, "gather");
+    binomial_gather(c, send, bytes, recv, root);
   }
-}
-
-void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
-  require_valid();
-  const int me = rank_;
-  bool intra = false;
-  run_collective(
-      st_, ctx_, size_,
-      [&](CollSlot& slot) {
-        slot.send_ptr[static_cast<std::size_t>(me)] = send;
-        slot.send_bytes[static_cast<std::size_t>(me)] = bytes;
-      },
-      [&](const CollSlot& slot, const ContextInfo& info) {
-        intra = info.intra_node;
-        if (bytes == 0) return;
-        auto* out = static_cast<std::byte*>(recv);
-        for (int s = 0; s < size_; ++s) {
-          std::memcpy(out + static_cast<std::size_t>(s) * bytes,
-                      slot.send_ptr[static_cast<std::size_t>(s)], bytes);
-        }
-      });
-  const auto others = static_cast<std::size_t>(size_ - 1);
-  charge(*st_, world_rank_, intra, others, bytes * others, bytes * others, "allgather");
-}
-
-void Comm::allgatherv_bytes(const void* send, std::size_t send_bytes,
-                            void* recv, const std::size_t* recv_bytes,
-                            const std::size_t* recv_displs) {
-  require_valid();
-  const int me = rank_;
-  bool intra = false;
-  std::size_t total_in = 0;
-  run_collective(
-      st_, ctx_, size_,
-      [&](CollSlot& slot) {
-        slot.send_ptr[static_cast<std::size_t>(me)] = send;
-        slot.send_bytes[static_cast<std::size_t>(me)] = send_bytes;
-      },
-      [&](const CollSlot& slot, const ContextInfo& info) {
-        intra = info.intra_node;
-        auto* out = static_cast<std::byte*>(recv);
-        for (int s = 0; s < size_; ++s) {
-          const auto si = static_cast<std::size_t>(s);
-          if (recv_bytes[si] != slot.send_bytes[si]) {
-            throw CommError("allgatherv: receive size disagrees with sender");
-          }
-          if (recv_bytes[si] > 0) {
-            std::memcpy(out + recv_displs[si], slot.send_ptr[si],
-                        recv_bytes[si]);
-          }
-          if (s != me) total_in += recv_bytes[si];
-        }
-      });
-  const auto others = static_cast<std::size_t>(size_ - 1);
-  charge(*st_, world_rank_, intra, others, send_bytes * others, total_in, "allgatherv");
+  coll_finish(c, CollAlg::kGatherBinomial);
 }
 
 void Comm::scatter_bytes(const void* send, std::size_t bytes, void* recv,
                          int root) {
   require_valid();
   if (root < 0 || root >= size_) throw CommError("scatter: root out of range");
-  const int me = rank_;
-  bool intra = false;
-  run_collective(
-      st_, ctx_, size_,
-      [&](CollSlot& slot) {
-        slot.send_ptr[static_cast<std::size_t>(me)] = send;
-        slot.send_bytes[static_cast<std::size_t>(me)] = bytes;
-      },
-      [&](const CollSlot& slot, const ContextInfo& info) {
-        intra = info.intra_node;
-        if (bytes == 0) return;
-        const auto* in = static_cast<const std::byte*>(
-            slot.send_ptr[static_cast<std::size_t>(root)]);
-        std::memcpy(recv, in + static_cast<std::size_t>(me) * bytes, bytes);
-      });
-  if (me == root) {
-    charge(*st_, world_rank_, intra, static_cast<std::size_t>(size_ - 1),
-           bytes * static_cast<std::size_t>(size_ - 1), 0, "scatter");
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  if (size_ == 1) {
+    if (bytes > 0) std::memcpy(recv, send, bytes);
   } else {
-    charge(*st_, world_rank_, intra, 1, 0, bytes, "scatter");
+    binomial_scatter(c, send, bytes, recv, root);
   }
+  coll_finish(c, CollAlg::kScatterBinomial);
+}
+
+void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
+  require_valid();
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  CollAlg alg = CollAlg::kAllgatherRecDoubling;
+  if (size_ == 1) {
+    if (bytes > 0) std::memcpy(recv, send, bytes);
+  } else if (bytes * static_cast<std::size_t>(size_) > kAllgatherSmallTotal) {
+    alg = CollAlg::kAllgatherRing;
+    ring_allgather(c, send, bytes, recv);
+  } else if ((size_ & (size_ - 1)) == 0) {
+    rd_allgather(c, send, bytes, recv);
+  } else {
+    alg = CollAlg::kAllgatherBruck;
+    bruck_allgather(c, send, bytes, recv);
+  }
+  coll_finish(c, alg);
+}
+
+void Comm::allgatherv_bytes(const void* send, std::size_t send_bytes,
+                            void* recv, const std::size_t* recv_bytes,
+                            const std::size_t* recv_displs) {
+  require_valid();
+  if (send_bytes != recv_bytes[static_cast<std::size_t>(rank_)]) {
+    throw CommError(kAllgathervMismatch);
+  }
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  CollAlg alg = CollAlg::kAllgathervGatherBcast;
+  if (size_ == 1) {
+    if (send_bytes > 0) {
+      std::memcpy(static_cast<std::byte*>(recv) + recv_displs[0], send,
+                  send_bytes);
+    }
+  } else {
+    std::size_t total = 0;
+    for (int i = 0; i < size_; ++i) total += recv_bytes[i];
+    if (total > kAllgathervSmallTotal) {
+      alg = CollAlg::kAllgathervRing;
+      ring_allgatherv(c, send, send_bytes, recv, recv_bytes, recv_displs);
+    } else {
+      allgatherv_gather_bcast(c, send, send_bytes, recv, recv_bytes,
+                              recv_displs);
+    }
+  }
+  coll_finish(c, alg);
 }
 
 void Comm::alltoall_bytes(const void* send, std::size_t per_peer, void* recv) {
   require_valid();
-  const int me = rank_;
-  bool intra = false;
-  run_collective(
-      st_, ctx_, size_,
-      [&](CollSlot& slot) {
-        slot.send_ptr[static_cast<std::size_t>(me)] = send;
-        slot.send_bytes[static_cast<std::size_t>(me)] = per_peer;
-      },
-      [&](const CollSlot& slot, const ContextInfo& info) {
-        intra = info.intra_node;
-        if (per_peer == 0) return;
-        auto* out = static_cast<std::byte*>(recv);
-        for (int s = 0; s < size_; ++s) {
-          const auto* in =
-              static_cast<const std::byte*>(slot.send_ptr[static_cast<std::size_t>(s)]);
-          std::memcpy(out + static_cast<std::size_t>(s) * per_peer,
-                      in + static_cast<std::size_t>(me) * per_peer, per_peer);
-        }
-      });
-  const auto others = static_cast<std::size_t>(size_ - 1);
-  charge(*st_, world_rank_, intra, others, per_peer * others, per_peer * others, "alltoall");
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  CollAlg alg = CollAlg::kAlltoallBruck;
+  if (size_ == 1) {
+    if (per_peer > 0) std::memcpy(recv, send, per_peer);
+  } else if (per_peer > kAlltoallBruckMaxBlock) {
+    alg = CollAlg::kAlltoallPairwise;
+    pairwise_alltoall(c, send, per_peer, recv);
+  } else {
+    bruck_alltoall(c, send, per_peer, recv);
+  }
+  coll_finish(c, alg);
 }
 
 void Comm::alltoallv_bytes(const void* send, const std::size_t* scounts,
@@ -596,43 +1384,51 @@ void Comm::alltoallv_bytes(const void* send, const std::size_t* scounts,
                            const std::size_t* rcounts,
                            const std::size_t* rdispls) {
   require_valid();
-  const int me = rank_;
-  bool intra = false;
-  std::size_t bytes_out = 0;
-  std::size_t bytes_in = 0;
-  std::size_t peers = 0;
-  for (int s = 0; s < size_; ++s) {
-    if (s == me) continue;
-    const auto si = static_cast<std::size_t>(s);
-    bytes_out += scounts[si];
-    if (scounts[si] > 0 || rcounts[si] > 0) ++peers;
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  if (size_ == 1) {
+    if (scounts[0] != rcounts[0]) throw CommError(kAlltoallvMismatch);
+    if (scounts[0] > 0) {
+      std::memcpy(static_cast<std::byte*>(recv) + rdispls[0],
+                  static_cast<const std::byte*>(send) + sdispls[0],
+                  scounts[0]);
+    }
+  } else {
+    pairwise_alltoallv(c, send, scounts, sdispls, recv, rcounts, rdispls);
   }
-  run_collective(
-      st_, ctx_, size_,
-      [&](CollSlot& slot) {
-        const auto mi = static_cast<std::size_t>(me);
-        slot.send_ptr[mi] = send;
-        slot.send_counts[mi] = scounts;
-        slot.send_displs[mi] = sdispls;
-      },
-      [&](const CollSlot& slot, const ContextInfo& info) {
-        intra = info.intra_node;
-        auto* out = static_cast<std::byte*>(recv);
-        for (int s = 0; s < size_; ++s) {
-          const auto si = static_cast<std::size_t>(s);
-          const std::size_t len = slot.send_counts[si][me];
-          if (len != rcounts[si]) {
-            throw CommError(
-                "alltoallv: send count from peer disagrees with expected "
-                "receive count");
-          }
-          if (len == 0) continue;
-          const auto* in = static_cast<const std::byte*>(slot.send_ptr[si]);
-          std::memcpy(out + rdispls[si], in + slot.send_displs[si][me], len);
-          if (s != me) bytes_in += len;
-        }
-      });
-  charge(*st_, world_rank_, intra, peers, bytes_out, bytes_in, "alltoallv");
+  coll_finish(c, CollAlg::kAlltoallvPairwise);
+}
+
+void Comm::reduce_bytes(const void* send, void* recv, std::size_t bytes,
+                        const ReduceFn& op, int root) {
+  require_valid();
+  if (root < 0 || root >= size_) throw CommError("reduce: root out of range");
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  if (size_ == 1) {
+    if (bytes > 0) std::memcpy(recv, send, bytes);
+  } else {
+    binomial_reduce(c, send, recv, bytes, op, root);
+  }
+  coll_finish(c, CollAlg::kReduceBinomial);
+}
+
+void Comm::allreduce_bytes(const void* send, void* recv, std::size_t bytes,
+                           const ReduceFn& op) {
+  require_valid();
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  if (size_ == 1) {
+    if (bytes > 0) std::memcpy(recv, send, bytes);
+  } else {
+    rd_allreduce(c, send, recv, bytes, op);
+  }
+  coll_finish(c, CollAlg::kAllreduceRecDoubling);
+}
+
+void Comm::exscan_bytes(const void* send, void* recv, std::size_t bytes,
+                        const ReduceFn& op) {
+  require_valid();
+  CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
+  if (size_ > 1) dissemination_exscan(c, send, recv, bytes, op);
+  coll_finish(c, CollAlg::kExscanDissemination);
 }
 
 // ---------------------------------------------------------------------------
@@ -666,8 +1462,8 @@ Comm Comm::split(int color, int key) const {
     int key;
     int parent_rank;
   };
-  // const_cast-free: allgather is non-const because collectives mutate the
-  // slot; split is logically const on the communicator itself.
+  // const_cast-free: allgather is non-const because collectives mutate
+  // per-rank state; split is logically const on the communicator itself.
   Comm& self = *const_cast<Comm*>(this);
   const Triple mine{color, key, rank_};
   const auto all = self.allgather(mine);
@@ -724,7 +1520,6 @@ Comm Comm::split(int color, int key) const {
         info.world_ranks.push_back(
             parent.world_ranks[static_cast<std::size_t>(t.parent_rank)]);
       }
-      info.slot.resize(static_cast<int>(members.size()));
       info.intra_node = true;
       for (int wr : info.world_ranks) {
         if (st_->node_of(wr) != st_->node_of(info.world_ranks.front())) {
@@ -733,7 +1528,6 @@ Comm Comm::split(int color, int key) const {
         }
       }
       st_->contexts.emplace(ctx, std::move(info));
-      st_->cv.notify_all();
     }
   }
   return Comm(st_, ctx, new_rank, static_cast<int>(members.size()),

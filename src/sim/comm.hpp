@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <type_traits>
@@ -126,6 +127,25 @@ class Comm {
   void alltoallv_bytes(const void* send, const std::size_t* scounts,
                        const std::size_t* sdispls, void* recv,
                        const std::size_t* rcounts, const std::size_t* rdispls);
+
+  // --- Reductions (raw bytes). The operator combines two whole buffers:
+  // op(inout, in) must fold `in` into `inout`, where `inout` always holds
+  // the lower-ranked segment — reductions combine in strict rank order, so
+  // associativity suffices (commutativity is not required). ---------------
+  using ReduceFn = std::function<void(void* inout, const void* in)>;
+  /// Binomial-tree reduction onto `root`; `recv` is written on the root
+  /// only. O(log p) messages and bytes per rank.
+  void reduce_bytes(const void* send, void* recv, std::size_t bytes,
+                    const ReduceFn& op, int root);
+  /// Recursive-doubling allreduce (with non-power-of-two fold): every rank's
+  /// `recv` gets the full reduction at O(bytes · log p) wire cost per rank.
+  void allreduce_bytes(const void* send, void* recv, std::size_t bytes,
+                       const ReduceFn& op);
+  /// Dissemination exclusive scan: rank r's `recv` gets the fold of ranks
+  /// 0..r-1. Rank 0's `recv` is left untouched — pre-fill it with the
+  /// identity.
+  void exscan_bytes(const void* send, void* recv, std::size_t bytes,
+                    const ReduceFn& op);
 
   // --- Communicator management ----------------------------------------
   /// Split into sub-communicators by `color` (kUndefined opts out), ranked
@@ -283,61 +303,62 @@ class Comm {
     return out;
   }
 
-  /// Reduce a single value onto `root` (other ranks get their own value
-  /// back unchanged — check rank() == root before using the result).
+  /// Reduce a single value onto `root` via a binomial tree (other ranks get
+  /// their own value back unchanged — check rank() == root before using the
+  /// result). `op` must be associative; values combine in rank order.
   template <Transportable T, typename Op>
   T reduce(const T& mine, Op op, int root) {
-    std::vector<T> all(rank() == root ? static_cast<std::size_t>(size()) : 0);
-    gather_bytes(&mine, sizeof(T), all.data(), root);
-    if (rank() != root) return mine;
-    T acc = all[0];
-    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
-    return acc;
+    T out = mine;
+    reduce_bytes(&mine, &out, sizeof(T), elementwise_fn<T>(op, 1), root);
+    return out;
   }
 
-  /// Reduce a single value with a commutative-associative op, result on all
-  /// ranks. Implemented over allgather (p is small in the simulation).
+  /// Reduce a single value with an associative op, result on all ranks.
+  /// Recursive doubling: O(log p) messages per rank instead of the O(p)
+  /// an allgather-everywhere would cost.
   template <Transportable T, typename Op>
   T allreduce(const T& mine, Op op) {
-    const auto all = allgather(mine);
-    T acc = all[0];
-    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
-    return acc;
+    T out;
+    allreduce_bytes(&mine, &out, sizeof(T), elementwise_fn<T>(op, 1));
+    return out;
   }
 
-  /// Element-wise allreduce over equal-length vectors: gather to rank 0,
-  /// reduce there, broadcast the result (O(p·n) data movement total, not
-  /// the O(p²·n) an allgather-everywhere would cost).
+  /// Element-wise allreduce over equal-length vectors: recursive doubling
+  /// on the whole vector, O(n log p) bytes per rank instead of the O(p·n)
+  /// a gather-reduce-broadcast would cost.
   template <Transportable T, typename Op>
   std::vector<T> allreduce_vec(std::span<const T> mine, Op op) {
-    const std::size_t n = mine.size();
-    std::vector<T> acc(mine.begin(), mine.end());
+    std::vector<T> out(mine.begin(), mine.end());
     if (size() > 1) {
-      std::vector<T> pool;
-      if (rank() == 0) pool.resize(n * static_cast<std::size_t>(size()));
-      gather_bytes(mine.data(), mine.size_bytes(), pool.data(), /*root=*/0);
-      if (rank() == 0) {
-        for (std::size_t r = 1; r < static_cast<std::size_t>(size()); ++r) {
-          for (std::size_t i = 0; i < n; ++i) {
-            acc[i] = op(acc[i], pool[r * n + i]);
-          }
-        }
-      }
-      bcast(std::span<T>(acc), /*root=*/0);
+      allreduce_bytes(mine.data(), out.data(), mine.size_bytes(),
+                      elementwise_fn<T>(op, mine.size()));
     }
-    return acc;
+    return out;
   }
 
   /// Exclusive prefix sum of one value per rank (rank 0 gets T{}).
+  /// Dissemination scan: O(log p) messages per rank.
   template <Transportable T>
   T exscan_sum(const T& mine) {
-    const auto all = allgather(mine);
-    T acc{};
-    for (int i = 0; i < rank(); ++i) acc = acc + all[static_cast<std::size_t>(i)];
-    return acc;
+    T out{};
+    exscan_bytes(&mine, &out, sizeof(T),
+                 elementwise_fn<T>([](const T& a, const T& b) { return a + b; },
+                                   1));
+    return out;
   }
 
  private:
+  /// Wrap a binary element operator into a whole-buffer ReduceFn applied to
+  /// `n` consecutive elements.
+  template <Transportable T, typename Op>
+  static ReduceFn elementwise_fn(Op op, std::size_t n) {
+    return [op, n](void* inout, const void* in) {
+      T* a = static_cast<T*>(inout);
+      const T* b = static_cast<const T*>(in);
+      for (std::size_t i = 0; i < n; ++i) a[i] = op(a[i], b[i]);
+    };
+  }
+
   friend Comm detail::make_comm(detail::ClusterState*, int, int, int, int);
   Comm(detail::ClusterState* st, int ctx, int rank, int size, int world_rank)
       : st_(st), ctx_(ctx), rank_(rank), size_(size), world_rank_(world_rank) {}

@@ -5,18 +5,94 @@
 // benches quantify claims like the paper's Section 5 observation that
 // non-sampling sorts (bitonic: Θ(n log² p) volume) "need a significant
 // amount of communication" compared to single-exchange sampling sorts.
+//
+// Collectives are implemented over internal point-to-point messages with
+// scalable (logarithmic) algorithms; every internal message is attributed
+// to the *algorithm* that issued it (CollAlg), so a bench report can show
+// e.g. that an allreduce moved O(n log p) bytes per rank via recursive
+// doubling instead of the O(p·n) a gather-to-root would cost.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
 namespace sdss::sim {
 
+/// The collective algorithms the runtime can select. Each collective picks
+/// by payload size: latency-optimal trees / Bruck for small payloads,
+/// bandwidth-optimal ring / pairwise exchange for bulk data (thresholds in
+/// sim/comm.cpp; rationale in DESIGN.md §7).
+enum class CollAlg : std::uint8_t {
+  kBarrierDissemination,
+  kBcastBinomial,
+  kGatherBinomial,
+  kScatterBinomial,
+  kAllgatherRecDoubling,
+  kAllgatherBruck,
+  kAllgatherRing,
+  kAllgathervGatherBcast,
+  kAllgathervRing,
+  kAlltoallBruck,
+  kAlltoallPairwise,
+  kAlltoallvPairwise,
+  kReduceBinomial,
+  kAllreduceRecDoubling,
+  kExscanDissemination,
+};
+
+inline constexpr std::size_t kNumCollAlgs = 15;
+
+/// Stable identifier used in telemetry JSON ("algorithms" object keys).
+constexpr const char* coll_alg_name(CollAlg a) {
+  switch (a) {
+    case CollAlg::kBarrierDissemination: return "barrier/dissemination";
+    case CollAlg::kBcastBinomial: return "bcast/binomial";
+    case CollAlg::kGatherBinomial: return "gather/binomial";
+    case CollAlg::kScatterBinomial: return "scatter/binomial";
+    case CollAlg::kAllgatherRecDoubling: return "allgather/recursive-doubling";
+    case CollAlg::kAllgatherBruck: return "allgather/bruck";
+    case CollAlg::kAllgatherRing: return "allgather/ring";
+    case CollAlg::kAllgathervGatherBcast: return "allgatherv/gather-bcast";
+    case CollAlg::kAllgathervRing: return "allgatherv/ring";
+    case CollAlg::kAlltoallBruck: return "alltoall/bruck";
+    case CollAlg::kAlltoallPairwise: return "alltoall/pairwise";
+    case CollAlg::kAlltoallvPairwise: return "alltoallv/pairwise";
+    case CollAlg::kReduceBinomial: return "reduce/binomial";
+    case CollAlg::kAllreduceRecDoubling: return "allreduce/recursive-doubling";
+    case CollAlg::kExscanDissemination: return "exscan/dissemination";
+  }
+  return "unknown";
+}
+
+/// Per-algorithm attribution: how many collective calls selected this
+/// algorithm on this rank, and the internal messages/bytes it sent for them.
+struct CollAlgStats {
+  std::uint64_t calls = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes_out = 0;
+
+  CollAlgStats& operator+=(const CollAlgStats& o) {
+    calls += o.calls;
+    messages += o.messages;
+    bytes_out += o.bytes_out;
+    return *this;
+  }
+};
+
 struct CommStats {
   std::uint64_t p2p_messages = 0;   ///< point-to-point sends issued
   std::uint64_t p2p_bytes = 0;      ///< ... and their payload bytes
   std::uint64_t collectives = 0;    ///< collective operations entered
-  std::uint64_t collective_bytes_out = 0;  ///< bytes contributed to them
+  std::uint64_t collective_bytes_out = 0;  ///< bytes this rank sent in them
+  std::uint64_t collective_messages = 0;   ///< internal messages it sent
+
+  /// Breakdown of the collective traffic by algorithm, indexed by CollAlg.
+  std::array<CollAlgStats, kNumCollAlgs> per_alg{};
+
+  const CollAlgStats& alg(CollAlg a) const {
+    return per_alg[static_cast<std::size_t>(a)];
+  }
 
   std::uint64_t total_bytes() const { return p2p_bytes + collective_bytes_out; }
 
@@ -25,6 +101,8 @@ struct CommStats {
     p2p_bytes += o.p2p_bytes;
     collectives += o.collectives;
     collective_bytes_out += o.collective_bytes_out;
+    collective_messages += o.collective_messages;
+    for (std::size_t i = 0; i < kNumCollAlgs; ++i) per_alg[i] += o.per_alg[i];
     return *this;
   }
 };

@@ -2,13 +2,18 @@
 // API: include only from sim/*.cpp.
 //
 // Concurrency design: one big mutex (`mu`) plus one condition variable (`cv`)
-// guard all mailboxes, collective slots and context registration. Every
-// blocking operation waits on `cv` with a predicate that also observes the
+// guard all mailboxes and context registration. Every blocking operation
+// waits on a condition variable with a predicate that also observes the
 // abort flag, so a failing rank wakes every blocked peer. A single lock is
 // deliberately chosen over fine-grained locking: the runtime simulates a
 // cluster for algorithm-behaviour studies, it is not itself the object of
 // performance measurement, and one lock makes the blocking semantics easy to
 // reason about and impossible to deadlock by lock ordering.
+//
+// Collectives are message-based: they run over the same mailboxes as user
+// point-to-point traffic, but their messages carry `internal = true` and
+// live in a separate matching namespace, so a collective can never steal a
+// user receive (or vice versa) even under kAnySource/kAnyTag.
 #pragma once
 
 #include <chrono>
@@ -31,13 +36,29 @@ namespace sdss::sim::detail {
 
 using Clock = std::chrono::steady_clock;
 
-/// One in-flight point-to-point message.
+/// Sender-side completion state for zero-copy collective sends: the number
+/// of published blocks peers have not yet copied out. Guarded by
+/// ClusterState::mu; lives on the sending rank's stack for the duration of
+/// one collective call, which drains it to zero before returning.
+struct ZcState {
+  std::size_t outstanding = 0;
+};
+
+/// One in-flight point-to-point message. When `zc_data` is set the message
+/// carries no payload copy: it is a loan of the sender's buffer, which stays
+/// valid until the receiver copies it out and acknowledges via `zc_state`
+/// (the sender blocks in its collective until all loans are returned).
 struct Message {
   int ctx = 0;        ///< communicator context id
   int src = 0;        ///< sender's rank *within that communicator*
   int tag = 0;
+  bool internal = false;  ///< collective-protocol traffic (separate namespace)
   Clock::time_point deliver_at{};  ///< earliest matchable time (network model)
   std::vector<std::byte> payload;
+  const std::byte* zc_data = nullptr;  ///< borrowed sender buffer (or null)
+  std::size_t zc_bytes = 0;
+  ZcState* zc_state = nullptr;    ///< sender's completion counter
+  int zc_sender_world = -1;       ///< world rank to wake on last ack
 };
 
 /// Per-world-rank mailbox: FIFO per (ctx, src, tag) by construction because
@@ -46,36 +67,45 @@ struct Mailbox {
   std::deque<Message> messages;
 };
 
-/// Collective rendezvous slot: two-phase (arrive/deposit, then copy/depart)
-/// protocol keyed by the communicator's context. All ranks of a communicator
-/// must issue collectives in the same order, as in MPI.
-struct CollSlot {
-  enum class PhaseState { kArriving, kCopying };
-  PhaseState phase = PhaseState::kArriving;
-  std::uint64_t generation = 0;
-  int arrived = 0;
-  int departed = 0;
-
-  // Deposited views of each participant's arguments; valid for the duration
-  // of the collective because depositors block until everyone departed.
-  std::vector<const void*> send_ptr;
-  std::vector<std::size_t> send_bytes;
-  std::vector<const std::size_t*> send_counts;  // per-peer byte counts (v-ops)
-  std::vector<const std::size_t*> send_displs;  // per-peer byte displs (v-ops)
-
-  void resize(int p) {
-    send_ptr.assign(static_cast<std::size_t>(p), nullptr);
-    send_bytes.assign(static_cast<std::size_t>(p), 0);
-    send_counts.assign(static_cast<std::size_t>(p), nullptr);
-    send_displs.assign(static_cast<std::size_t>(p), nullptr);
-  }
+/// A blocked internal (collective-protocol) receive, published so a matching
+/// sender can deposit straight into the receiver's buffer — no intermediate
+/// Message, no allocation, one memcpy. Each rank thread runs at most one
+/// blocking collective receive at a time, so one slot per world rank
+/// suffices. The slot lives on the receiver's stack; it is registered,
+/// filled, and cleared entirely under ClusterState::mu.
+///
+/// Per-(ctx, src, tag) FIFO is preserved: the receiver only publishes a slot
+/// after scanning its mailbox and finding no queued match, and sends are
+/// serialized under the same mutex, so a direct deposit is always the oldest
+/// message of its (ctx, src, tag) stream.
+struct PostedCollRecv {
+  int ctx = 0;
+  int src = 0;  ///< sender's rank within the communicator (never wildcard)
+  int tag = 0;
+  std::size_t capacity = 0;
+  std::size_t received = 0;  ///< payload size (valid once done)
+  bool done = false;
+  bool oversize = false;  ///< payload exceeded capacity; receiver throws
+  /// Payload handed over by the sender (moved, not copied, under the lock);
+  /// the receiver copies it into its own buffer outside the lock. Keeping
+  /// every memcpy outside the mutex matters: on an oversubscribed host a
+  /// copy under the one global lock convoys every other rank.
+  std::vector<std::byte> stash;
+  /// Zero-copy variant: instead of a stash the sender lends its buffer and
+  /// the receiver copies from it directly, then acknowledges through
+  /// `zc_state` (see Message).
+  const std::byte* zc_data = nullptr;
+  std::size_t zc_bytes = 0;
+  ZcState* zc_state = nullptr;
+  int zc_sender_world = -1;
 };
 
 /// A communicator's identity: the world ranks of its members, in
-/// communicator-rank order.
+/// communicator-rank order. Stable once registered (contexts are never
+/// erased), so collectives may hold a pointer to `world_ranks` across
+/// unlocked regions.
 struct ContextInfo {
   std::vector<int> world_ranks;
-  CollSlot slot;
   bool intra_node = false;  ///< all members on the same simulated node
 };
 
@@ -100,6 +130,9 @@ struct ClusterState {
   std::string abort_cause;
 
   std::vector<Mailbox> mailboxes;           // indexed by world rank
+  /// Outstanding blocked collective receives, one slot per world rank
+  /// (nullptr when that rank is not waiting). Guarded by mu.
+  std::vector<PostedCollRecv*> posted_coll;
   std::map<int, ContextInfo> contexts;      // ctx id -> info
   int next_ctx = 1;                         // 0 is the world communicator
 

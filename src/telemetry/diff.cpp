@@ -1,6 +1,7 @@
 #include "telemetry/diff.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <ostream>
 
 #include "util/format.hpp"
@@ -25,6 +26,37 @@ void compare_metric(DiffResult& out, const std::string& report,
   d.regressed = is_regression(before, after, opts);
   out.any_regression = out.any_regression || d.regressed;
   out.deltas.push_back(std::move(d));
+}
+
+void compare_counter(DiffResult& out, const std::string& report,
+                     const std::string& metric, std::uint64_t before,
+                     std::uint64_t after, const DiffOptions& opts) {
+  PhaseDelta d;
+  d.report = report;
+  d.metric = metric;
+  d.before = static_cast<double>(before);
+  d.after = static_cast<double>(after);
+  d.is_bytes = true;
+  // Counters are deterministic: no absolute noise floor, any growth past
+  // the (default zero) tolerance is a regression.
+  d.regressed =
+      after > static_cast<std::uint64_t>(
+                  static_cast<double>(before) * (1.0 + opts.bytes_threshold));
+  out.any_regression = out.any_regression || d.regressed;
+  out.deltas.push_back(std::move(d));
+}
+
+void compare_comm(DiffResult& out, const RunReport& b, const RunReport& a,
+                  const DiffOptions& opts) {
+  const sim::CommStats& bc = b.comm_total;
+  const sim::CommStats& ac = a.comm_total;
+  compare_counter(out, b.name, "p2p_bytes", bc.p2p_bytes, ac.p2p_bytes, opts);
+  compare_counter(out, b.name, "p2p_messages", bc.p2p_messages,
+                  ac.p2p_messages, opts);
+  compare_counter(out, b.name, "coll_bytes_out", bc.collective_bytes_out,
+                  ac.collective_bytes_out, opts);
+  compare_counter(out, b.name, "coll_messages", bc.collective_messages,
+                  ac.collective_messages, opts);
 }
 
 }  // namespace
@@ -59,20 +91,25 @@ DiffResult diff_registries(const ReportRegistry& before,
       continue;
     }
     if (!b.ok) continue;  // both failed: nothing to time
-    for (std::size_t i = 0; i < kNumPhases; ++i) {
-      const auto p = static_cast<Phase>(i);
-      const double bv =
-          opts.use_cpu ? b.phases.cpu_seconds(p) : b.phases.seconds(p);
-      const double av =
-          opts.use_cpu ? a->phases.cpu_seconds(p) : a->phases.seconds(p);
-      compare_metric(out, b.name, std::string(phase_name(p)), bv, av, opts);
+    if (!opts.bytes_only) {
+      for (std::size_t i = 0; i < kNumPhases; ++i) {
+        const auto p = static_cast<Phase>(i);
+        const double bv =
+            opts.use_cpu ? b.phases.cpu_seconds(p) : b.phases.seconds(p);
+        const double av =
+            opts.use_cpu ? a->phases.cpu_seconds(p) : a->phases.seconds(p);
+        compare_metric(out, b.name, std::string(phase_name(p)), bv, av, opts);
+      }
+      compare_metric(out, b.name, "total",
+                     opts.use_cpu ? b.phases.cpu_total() : b.phases.total(),
+                     opts.use_cpu ? a->phases.cpu_total() : a->phases.total(),
+                     opts);
+      compare_metric(out, b.name, "wall", b.wall_seconds, a->wall_seconds,
+                     opts);
     }
-    compare_metric(out, b.name, "total",
-                   opts.use_cpu ? b.phases.cpu_total() : b.phases.total(),
-                   opts.use_cpu ? a->phases.cpu_total() : a->phases.total(),
-                   opts);
-    compare_metric(out, b.name, "wall", b.wall_seconds, a->wall_seconds,
-                   opts);
+    if (opts.compare_bytes || opts.bytes_only) {
+      compare_comm(out, b, *a, opts);
+    }
   }
   for (const RunReport& a : after.reports()) {
     if (before.find(a.name) == nullptr) out.only_after.push_back(a.name);
@@ -83,12 +120,19 @@ DiffResult diff_registries(const ReportRegistry& before,
 void print_diff(std::ostream& os, const DiffResult& d,
                 const DiffOptions& opts) {
   TextTable table;
-  table.header({"report", "metric", "before(s)", "after(s)", "delta", ""});
+  table.header({"report", "metric", "before", "after", "delta", ""});
   for (const PhaseDelta& pd : d.deltas) {
     const double rel = pd.relative();
     const char sign = rel >= 0.0 ? '+' : '-';
-    table.row({pd.report, pd.metric, fmt_seconds(pd.before),
-               fmt_seconds(pd.after),
+    // Timing rows render as seconds; counter rows as plain integers
+    // (bytes or message counts).
+    const std::string before =
+        pd.is_bytes ? std::to_string(static_cast<std::uint64_t>(pd.before))
+                    : fmt_seconds(pd.before);
+    const std::string after =
+        pd.is_bytes ? std::to_string(static_cast<std::uint64_t>(pd.after))
+                    : fmt_seconds(pd.after);
+    table.row({pd.report, pd.metric, before, after,
                sign + fmt_seconds(std::fabs(rel) * 100.0, 1) + "%",
                pd.regressed ? "REGRESSION" : ""});
   }
@@ -101,10 +145,16 @@ void print_diff(std::ostream& os, const DiffResult& d,
   }
   const auto regs = d.regressions();
   os << (regs.empty() ? "no regressions" : "REGRESSIONS: ")
-     << (regs.empty() ? "" : std::to_string(regs.size()))
-     << " (threshold " << fmt_seconds(opts.threshold * 100.0, 0)
-     << "%, floor " << fmt_seconds(opts.min_seconds, 4) << "s, "
-     << (opts.use_cpu ? "cpu" : "wall") << " clock)\n";
+     << (regs.empty() ? "" : std::to_string(regs.size()));
+  if (opts.bytes_only) {
+    os << " (comm counters only, tolerance "
+       << fmt_seconds(opts.bytes_threshold * 100.0, 0) << "%)\n";
+  } else {
+    os << " (threshold " << fmt_seconds(opts.threshold * 100.0, 0)
+       << "%, floor " << fmt_seconds(opts.min_seconds, 4) << "s, "
+       << (opts.use_cpu ? "cpu" : "wall") << " clock"
+       << (opts.compare_bytes ? ", + comm counters" : "") << ")\n";
+  }
 }
 
 }  // namespace sdss::telemetry

@@ -23,14 +23,24 @@ struct DiffOptions {
   double min_seconds = 1e-3;
   /// Compare CPU seconds (the critical-path proxy, default) or wall.
   bool use_cpu = true;
+  /// Also compare the simulated communication counters (p2p/collective
+  /// bytes and messages). Unlike timings these are deterministic for a
+  /// fixed workload, so the default tolerance is zero: ANY growth flags.
+  bool compare_bytes = false;
+  /// Relative growth allowed for byte/message counters (0 = exact gate).
+  double bytes_threshold = 0.0;
+  /// Compare ONLY the communication counters, skipping every timing
+  /// metric — the machine-independent regression gate run in CI.
+  bool bytes_only = false;
 };
 
 struct PhaseDelta {
   std::string report;  ///< RunReport::name
-  std::string metric;  ///< phase name, "total", or "wall"
+  std::string metric;  ///< phase name, "total", "wall", or a comm counter
   double before = 0.0;
   double after = 0.0;
   bool regressed = false;
+  bool is_bytes = false;  ///< comm-counter row (rendered as counts)
 
   /// Relative change, e.g. +0.25 = 25% slower. 0 when before is 0.
   double relative() const {

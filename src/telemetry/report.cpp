@@ -24,6 +24,21 @@ Json comm_entry(const sim::CommStats& c) {
   e.set("p2p_bytes", c.p2p_bytes);
   e.set("collectives", c.collectives);
   e.set("collective_bytes_out", c.collective_bytes_out);
+  e.set("collective_messages", c.collective_messages);
+  // Per-algorithm attribution, keyed by the stable coll_alg_name strings.
+  // Only algorithms actually selected appear — reports stay small and a
+  // future algorithm addition does not churn every checked-in baseline.
+  Json algs = Json::object();
+  for (std::size_t i = 0; i < sim::kNumCollAlgs; ++i) {
+    const auto& s = c.per_alg[i];
+    if (s.calls == 0 && s.messages == 0 && s.bytes_out == 0) continue;
+    Json a = Json::object();
+    a.set("calls", s.calls);
+    a.set("messages", s.messages);
+    a.set("bytes_out", s.bytes_out);
+    algs.set(sim::coll_alg_name(static_cast<sim::CollAlg>(i)), std::move(a));
+  }
+  e.set("algorithms", std::move(algs));
   return e;
 }
 
@@ -33,6 +48,14 @@ sim::CommStats comm_from_json(const Json& j) {
   c.p2p_bytes = j.at("p2p_bytes").u64_or();
   c.collectives = j.at("collectives").u64_or();
   c.collective_bytes_out = j.at("collective_bytes_out").u64_or();
+  c.collective_messages = j.at("collective_messages").u64_or();
+  const Json& algs = j.at("algorithms");
+  for (std::size_t i = 0; i < sim::kNumCollAlgs; ++i) {
+    const Json& a = algs.at(sim::coll_alg_name(static_cast<sim::CollAlg>(i)));
+    c.per_alg[i].calls = a.at("calls").u64_or();
+    c.per_alg[i].messages = a.at("messages").u64_or();
+    c.per_alg[i].bytes_out = a.at("bytes_out").u64_or();
+  }
   return c;
 }
 
@@ -96,12 +119,14 @@ Json to_json(const RunReport& r) {
   Json per_rank = Json::array();
   for (const sim::CommStats& c : r.comm_per_rank) {
     // Compact fixed-position row: [p2p_messages, p2p_bytes, collectives,
-    // collective_bytes_out] — 256-rank runs stay readable and small.
+    // collective_bytes_out, collective_messages] — 256-rank runs stay
+    // readable and small. New columns append; the reader accepts >= 4.
     Json row = Json::array();
     row.push_back(c.p2p_messages);
     row.push_back(c.p2p_bytes);
     row.push_back(c.collectives);
     row.push_back(c.collective_bytes_out);
+    row.push_back(c.collective_messages);
     per_rank.push_back(std::move(row));
   }
   comm.set("per_rank", std::move(per_rank));
@@ -150,11 +175,12 @@ RunReport report_from_json(const Json& j) {
   for (const Json& row : comm.at("per_rank").items()) {
     sim::CommStats c;
     const auto& cells = row.items();
-    if (cells.size() == 4) {
+    if (cells.size() >= 4) {
       c.p2p_messages = cells[0].u64_or();
       c.p2p_bytes = cells[1].u64_or();
       c.collectives = cells[2].u64_or();
       c.collective_bytes_out = cells[3].u64_or();
+      if (cells.size() >= 5) c.collective_messages = cells[4].u64_or();
     }
     r.comm_per_rank.push_back(c);
   }

@@ -1,0 +1,404 @@
+// Randomized differential tests for the collective layer: every collective
+// is checked against a sequential reference computed from the same
+// pseudo-random per-rank contributions. Because the contribution of rank r
+// is a pure function of (seed, r), every rank can regenerate everyone
+// else's input locally and verify its own result in isolation — no extra
+// communication inside the checks.
+//
+// Communicator widths cover both power-of-two and odd sizes so every
+// algorithm variant runs (recursive doubling AND Bruck/non-pow2 folds),
+// payload sizes straddle the selection thresholds so both the
+// latency-optimized and bandwidth-optimized paths run, and zero-length
+// contributions exercise the degenerate cases.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/comm.hpp"
+#include "util/rng.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+
+const std::vector<int> kSizes = {1, 2, 3, 5, 8, 16};
+
+/// Deterministic contribution of `rank` for round `round`: `len` values any
+/// rank can regenerate. Length may be zero.
+std::vector<std::uint64_t> contribution(std::uint64_t seed, int rank,
+                                        int round, std::size_t len) {
+  SplitMix64 rng(derive_seed(seed, (static_cast<std::uint64_t>(rank) << 16) ^
+                                       static_cast<std::uint64_t>(round)));
+  std::vector<std::uint64_t> out(len);
+  for (auto& x : out) x = rng.next();
+  return out;
+}
+
+/// Variable per-rank length for the v-collectives: 0 for every third rank.
+std::size_t vlen(int rank, std::size_t base) {
+  return rank % 3 == 2 ? 0 : base + static_cast<std::size_t>(rank);
+}
+
+// Payload element counts straddling the algorithm-selection thresholds
+// (allgather small/large at 64 KiB total, alltoall Bruck at 1 KiB/block).
+const std::vector<std::size_t> kLens = {0, 1, 7, 300, 3000};
+
+TEST(Collectives, BcastMatchesRoot) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      for (std::size_t len : kLens) {
+        for (int root = 0; root < c.size(); root += 3) {
+          auto expect = contribution(11, root, root, len);
+          auto buf = c.rank() == root ? expect
+                                      : std::vector<std::uint64_t>(len);
+          c.bcast<std::uint64_t>(buf, root);
+          EXPECT_EQ(buf, expect) << "p=" << p << " len=" << len;
+        }
+      }
+    });
+  }
+}
+
+TEST(Collectives, GatherConcatenatesInRankOrder) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      for (std::size_t len : kLens) {
+        const int root = p - 1;
+        auto mine = contribution(12, c.rank(), 0, len);
+        std::vector<std::uint64_t> recv(
+            static_cast<std::size_t>(p) * len);
+        c.gather_bytes(mine.data(), len * sizeof(std::uint64_t), recv.data(),
+                       root);
+        if (c.rank() == root) {
+          for (int r = 0; r < p; ++r) {
+            auto expect = contribution(12, r, 0, len);
+            for (std::size_t i = 0; i < len; ++i) {
+              ASSERT_EQ(recv[static_cast<std::size_t>(r) * len + i],
+                        expect[i])
+                  << "p=" << p << " len=" << len << " src=" << r;
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST(Collectives, ScatterDeliversOwnSlice) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      for (std::size_t len : kLens) {
+        const int root = 0;
+        std::vector<std::uint64_t> send;
+        if (c.rank() == root) {
+          for (int r = 0; r < p; ++r) {
+            auto part = contribution(13, r, 1, len);
+            send.insert(send.end(), part.begin(), part.end());
+          }
+        }
+        std::vector<std::uint64_t> mine(len);
+        c.scatter_bytes(send.data(), len * sizeof(std::uint64_t), mine.data(),
+                        root);
+        EXPECT_EQ(mine, contribution(13, c.rank(), 1, len))
+            << "p=" << p << " len=" << len;
+      }
+    });
+  }
+}
+
+TEST(Collectives, AllgatherMatchesReference) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      for (std::size_t len : kLens) {
+        auto mine = contribution(14, c.rank(), 2, len);
+        std::vector<std::uint64_t> recv(static_cast<std::size_t>(p) * len);
+        c.allgather_bytes(mine.data(), len * sizeof(std::uint64_t),
+                          recv.data());
+        for (int r = 0; r < p; ++r) {
+          auto expect = contribution(14, r, 2, len);
+          for (std::size_t i = 0; i < len; ++i) {
+            ASSERT_EQ(recv[static_cast<std::size_t>(r) * len + i], expect[i])
+                << "p=" << p << " len=" << len << " src=" << r;
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST(Collectives, AllgathervHandlesEmptyRanks) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      for (std::size_t base : {std::size_t{0}, std::size_t{5},
+                               std::size_t{2000}}) {
+        auto mine =
+            contribution(15, c.rank(), 3, vlen(c.rank(), base));
+        auto got = c.allgatherv<std::uint64_t>(mine);
+        std::vector<std::uint64_t> expect;
+        for (int r = 0; r < p; ++r) {
+          auto part = contribution(15, r, 3, vlen(r, base));
+          expect.insert(expect.end(), part.begin(), part.end());
+        }
+        EXPECT_EQ(got, expect) << "p=" << p << " base=" << base;
+      }
+    });
+  }
+}
+
+TEST(Collectives, AlltoallTransposesBlocks) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      // Block lengths on both sides of the Bruck/pairwise threshold
+      // (1 KiB per block = 128 u64).
+      for (std::size_t len : {std::size_t{1}, std::size_t{60},
+                              std::size_t{500}}) {
+        // Rank r's block for destination d: contribution keyed by (r, d).
+        std::vector<std::uint64_t> send;
+        for (int d = 0; d < p; ++d) {
+          auto part = contribution(16, c.rank(), d, len);
+          send.insert(send.end(), part.begin(), part.end());
+        }
+        std::vector<std::uint64_t> recv(static_cast<std::size_t>(p) * len);
+        c.alltoall_bytes(send.data(), len * sizeof(std::uint64_t),
+                         recv.data());
+        for (int r = 0; r < p; ++r) {
+          auto expect = contribution(16, r, c.rank(), len);
+          for (std::size_t i = 0; i < len; ++i) {
+            ASSERT_EQ(recv[static_cast<std::size_t>(r) * len + i], expect[i])
+                << "p=" << p << " len=" << len << " src=" << r;
+          }
+        }
+      }
+    });
+  }
+}
+
+TEST(Collectives, AlltoallvIrregularCounts) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      // Count from src to dst is a function of both: (src + 2*dst) % 5,
+      // scaled; several pairs exchange nothing.
+      auto count = [](int src, int dst) {
+        return static_cast<std::size_t>((src + 2 * dst) % 5) * 40;
+      };
+      const int me = c.rank();
+      std::vector<std::size_t> scounts(static_cast<std::size_t>(p)),
+          sdispls(static_cast<std::size_t>(p)),
+          rcounts(static_cast<std::size_t>(p)),
+          rdispls(static_cast<std::size_t>(p));
+      std::vector<std::uint64_t> send;
+      for (int d = 0; d < p; ++d) {
+        sdispls[static_cast<std::size_t>(d)] = send.size();
+        scounts[static_cast<std::size_t>(d)] = count(me, d);
+        auto part = contribution(17, me, d, count(me, d));
+        send.insert(send.end(), part.begin(), part.end());
+      }
+      std::size_t off = 0;
+      for (int s = 0; s < p; ++s) {
+        rdispls[static_cast<std::size_t>(s)] = off;
+        rcounts[static_cast<std::size_t>(s)] = count(s, me);
+        off += count(s, me);
+      }
+      std::vector<std::uint64_t> recv(off);
+      c.alltoallv<std::uint64_t>(send, scounts, sdispls, recv, rcounts,
+                                 rdispls);
+      for (int s = 0; s < p; ++s) {
+        auto expect = contribution(17, s, me, count(s, me));
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+          ASSERT_EQ(recv[rdispls[static_cast<std::size_t>(s)] + i], expect[i])
+              << "p=" << p << " src=" << s;
+        }
+      }
+    });
+  }
+}
+
+/// Bit-string concatenation: associative (as the reduction contract
+/// requires) but NOT commutative — any combine that is not a strict
+/// rank-order fold produces a different bit pattern.
+struct Cat {
+  std::uint64_t bits = 0;
+  std::uint64_t len = 0;
+  bool operator==(const Cat&) const = default;
+};
+Cat cat(Cat a, Cat b) {
+  return Cat{(a.bits << b.len) | b.bits, a.len + b.len};
+}
+
+TEST(Collectives, ReduceFoldsInRankOrder) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      const int root = p / 2;
+      const Cat mine{static_cast<std::uint64_t>(c.rank()) & 0xF, 4};
+      const Cat got = c.reduce<Cat>(mine, cat, root);
+      if (c.rank() == root) {
+        Cat expect{0, 4};  // rank 0's value
+        for (int r = 1; r < p; ++r) {
+          expect = cat(expect, Cat{static_cast<std::uint64_t>(r) & 0xF, 4});
+        }
+        EXPECT_EQ(got.bits, expect.bits) << "p=" << p;
+        EXPECT_EQ(got.len, expect.len) << "p=" << p;
+      }
+    });
+  }
+}
+
+TEST(Collectives, AllreduceAndExscanRespectRankOrder) {
+  // Same non-commutative concatenation through allreduce (recursive
+  // doubling with the non-pow2 fold) and exscan (dissemination).
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      const Cat mine{static_cast<std::uint64_t>(c.rank()) & 0xF, 4};
+      const Cat all = c.allreduce<Cat>(mine, cat);
+      Cat expect{0, 4};
+      for (int r = 1; r < p; ++r) {
+        expect = cat(expect, Cat{static_cast<std::uint64_t>(r) & 0xF, 4});
+      }
+      EXPECT_EQ(all, expect) << "p=" << p;
+
+      Cat pre{0, 0};  // identity pre-fill, as the exscan contract requires
+      c.exscan_bytes(&mine, &pre, sizeof(Cat),
+                     [](void* inout, const void* in) {
+                       auto* a = static_cast<Cat*>(inout);
+                       const auto* b = static_cast<const Cat*>(in);
+                       *a = cat(*a, *b);
+                     });
+      Cat expect_pre{0, 0};
+      for (int r = 0; r < c.rank(); ++r) {
+        expect_pre = cat(expect_pre, Cat{static_cast<std::uint64_t>(r) & 0xF, 4});
+      }
+      EXPECT_EQ(pre, expect_pre) << "p=" << p << " rank=" << c.rank();
+    });
+  }
+}
+
+TEST(Collectives, AllreduceVecMatchesElementwiseReference) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      // Vector lengths straddle nothing in particular — allreduce always
+      // uses recursive doubling — but exercise the non-pow2 fold at p=3,5.
+      for (std::size_t len : {std::size_t{1}, std::size_t{33},
+                              std::size_t{4096}}) {
+        auto mine = contribution(18, c.rank(), static_cast<int>(len), len);
+        auto got = c.allreduce_vec<std::uint64_t>(
+            mine, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        std::vector<std::uint64_t> expect(len, 0);
+        for (int r = 0; r < p; ++r) {
+          auto part = contribution(18, r, static_cast<int>(len), len);
+          for (std::size_t i = 0; i < len; ++i) expect[i] += part[i];
+        }
+        EXPECT_EQ(got, expect) << "p=" << p << " len=" << len;
+      }
+    });
+  }
+}
+
+TEST(Collectives, ExscanIsExclusivePrefixSum) {
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      const std::uint64_t mine =
+          static_cast<std::uint64_t>(c.rank() * c.rank()) + 1;
+      const std::uint64_t got = c.exscan_sum<std::uint64_t>(mine);
+      std::uint64_t expect = 0;
+      for (int r = 0; r < c.rank(); ++r) {
+        expect += static_cast<std::uint64_t>(r * r) + 1;
+      }
+      EXPECT_EQ(got, expect) << "p=" << p;
+    });
+  }
+}
+
+TEST(Collectives, MixedSequenceKeepsOrdering) {
+  // Back-to-back distinct collectives on the same communicator: per-op tag
+  // namespaces must keep the rounds of one from matching another's.
+  for (int p : kSizes) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      for (int round = 0; round < 20; ++round) {
+        std::uint64_t v = static_cast<std::uint64_t>(c.rank() + round);
+        c.bcast_value(v, round % p);
+        EXPECT_EQ(v, static_cast<std::uint64_t>(round % p + round));
+        const auto sum = c.allreduce<std::uint64_t>(
+            static_cast<std::uint64_t>(c.rank()),
+            [](std::uint64_t a, std::uint64_t b) { return a + b; });
+        EXPECT_EQ(sum, static_cast<std::uint64_t>(p * (p - 1) / 2));
+        const auto pre =
+            c.exscan_sum<std::uint64_t>(static_cast<std::uint64_t>(1));
+        EXPECT_EQ(pre, static_cast<std::uint64_t>(c.rank()));
+        c.barrier();
+      }
+    });
+  }
+}
+
+TEST(Collectives, ConcurrentCollectivesOnSiblingComms) {
+  // Split into sub-communicators that run DIFFERENT collective sequences
+  // concurrently: context isolation means no cross-talk even though all
+  // traffic shares the mailboxes.
+  for (int p : {4, 5, 8, 16}) {
+    Cluster(ClusterConfig{p}).run([&](Comm& c) {
+      Comm half = c.split(c.rank() % 2, c.rank());
+      ASSERT_TRUE(half.valid());
+      if (c.rank() % 2 == 0) {
+        for (int i = 0; i < 10; ++i) {
+          auto all = half.allgather<int>(half.rank() * 10 + i);
+          for (int r = 0; r < half.size(); ++r) {
+            ASSERT_EQ(all[static_cast<std::size_t>(r)], r * 10 + i);
+          }
+        }
+      } else {
+        for (int i = 0; i < 10; ++i) {
+          const auto sum = half.allreduce<int>(
+              half.rank() + i, [](int a, int b) { return a + b; });
+          const int q = half.size();
+          ASSERT_EQ(sum, q * (q - 1) / 2 + q * i);
+        }
+      }
+      // Rejoin the world for a final cross-check.
+      const auto total = c.allreduce<int>(1, [](int a, int b) { return a + b; });
+      EXPECT_EQ(total, p);
+    });
+  }
+}
+
+TEST(Collectives, SubCommunicatorRelativeRoots) {
+  // Collectives on a split comm use ranks RELATIVE to that comm; a
+  // three-way split with shuffled keys exercises the world-rank mapping.
+  Cluster(ClusterConfig{12}).run([](Comm& c) {
+    Comm third = c.split(c.rank() % 3, -c.rank());  // reversed rank order
+    ASSERT_TRUE(third.valid());
+    ASSERT_EQ(third.size(), 4);
+    // Reversed key: parent rank 9..11 become rank 0 of their comm.
+    std::uint64_t v = static_cast<std::uint64_t>(c.rank());
+    third.bcast_value(v, 0);
+    EXPECT_EQ(v, static_cast<std::uint64_t>(9 + c.rank() % 3));
+    auto gathered = third.allgather<int>(c.rank());
+    for (std::size_t i = 0; i + 1 < gathered.size(); ++i) {
+      EXPECT_GT(gathered[i], gathered[i + 1]) << "descending parent ranks";
+    }
+  });
+}
+
+TEST(Collectives, SingletonCommIsIdentity) {
+  Cluster(ClusterConfig{3}).run([](Comm& c) {
+    Comm solo = c.split(c.rank(), 0);
+    ASSERT_EQ(solo.size(), 1);
+    auto data = contribution(19, c.rank(), 0, 100);
+    auto expect = data;
+    solo.bcast<std::uint64_t>(data, 0);
+    EXPECT_EQ(data, expect);
+    EXPECT_EQ(solo.allreduce<int>(41, [](int a, int b) { return a + b; }), 41);
+    EXPECT_EQ(solo.exscan_sum<int>(5), 0);
+    auto all = solo.allgatherv<std::uint64_t>(expect);
+    EXPECT_EQ(all, expect);
+    solo.barrier();
+  });
+}
+
+}  // namespace
+}  // namespace sdss

@@ -49,14 +49,18 @@ TEST(CommStats, CountsPointToPointExactly) {
 
 TEST(CommStats, CountsCollectiveBytes) {
   auto res = Cluster(ClusterConfig{4}).run_collect([](Comm& c) {
-    // alltoall of one u64 per peer: each rank contributes 3 peers * 8 bytes.
+    // alltoall of one u64 per peer: small blocks select the Bruck algorithm,
+    // whose log2(4) = 2 rounds each ship 2 packed blocks per rank.
     std::vector<std::uint64_t> send(4, 1);
     c.alltoall<std::uint64_t>(send);
   });
   ASSERT_TRUE(res.ok);
   const auto total = res.total_comm();
   EXPECT_EQ(total.collectives, 4u);
-  EXPECT_EQ(total.collective_bytes_out, 4u * 3u * 8u);
+  EXPECT_EQ(total.collective_bytes_out, 4u * 4u * 8u);
+  EXPECT_EQ(total.collective_messages, 4u * 2u);
+  EXPECT_EQ(total.alg(sim::CollAlg::kAlltoallBruck).calls, 4u);
+  EXPECT_EQ(total.alg(sim::CollAlg::kAlltoallBruck).bytes_out, 4u * 4u * 8u);
 }
 
 TEST(CommStats, AccumulateOperator) {

@@ -2,8 +2,9 @@
 # One-command repo health check: configure, build, test, then smoke the
 # telemetry path — run one fast bench with --json and validate the emitted
 # run-report file (report_diff file file exits 0 iff the file parses and
-# matches itself) — then gate the collective wire-volume counters against
-# the checked-in baseline and run the collective tests under
+# matches itself) — then gate the collective wire-volume counters and the
+# local-sort kernel memory counters against their checked-in baselines and
+# run the collective, thread-pool, and sortcore tests under
 # ThreadSanitizer. See docs/BENCHMARKING.md.
 #
 # Environment knobs:
@@ -41,12 +42,27 @@ echo "== collective wire-volume gate =="
 "$BUILD_DIR"/bench/report_diff bench/baselines/bench_collectives.json \
     "$report" --bytes-only
 
+echo "== local sort kernel gate =="
+# bench_local_sort gates twice: its exit status enforces the in-process
+# >= 1.3x speedup of the arena-backed engine over the frozen legacy engine
+# on duplicate-heavy partially-ordered keys (plus zero steady-state kernel
+# heap allocations), and its single-thread kernel memory counters (bytes
+# moved, scratch bytes, arena high-water mark, allocations) are exactly
+# reproducible and diffed against the checked-in baseline. Refresh with:
+#   build/bench/bench_local_sort --json bench/baselines/bench_local_sort.json
+"$BUILD_DIR"/bench/bench_local_sort --json "$report" >/dev/null
+"$BUILD_DIR"/bench/report_diff bench/baselines/bench_local_sort.json \
+    "$report" --bytes-only
+
 if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
-  echo "== thread sanitizer (collective tests) =="
+  echo "== thread sanitizer (collective + sortcore/pool tests) =="
   cmake -B "$BUILD_DIR-tsan" -S . -DSDSS_SANITIZE=thread >/dev/null
-  cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm
+  cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm \
+      test_par test_sortcore
   "$BUILD_DIR-tsan"/tests/test_collectives
   "$BUILD_DIR-tsan"/tests/test_sim_comm
+  "$BUILD_DIR-tsan"/tests/test_par
+  "$BUILD_DIR-tsan"/tests/test_sortcore
 fi
 
 echo "== OK =="

@@ -12,11 +12,13 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/exchange.hpp"
 #include "core/local_order.hpp"
 #include "sim/comm.hpp"
+#include "sortcore/arena.hpp"
 #include "sortcore/key.hpp"
 #include "sortcore/radix.hpp"
 #include "util/phase_ledger.hpp"
@@ -43,8 +45,13 @@ std::vector<T> radix_sort_distributed(sim::Comm& comm, std::vector<T> data,
                 "distributed radix sort requires an unsigned integer key");
   PhaseLedger& ledger = comm.ledger();
   {
+    // Explicit span + arena-scratch form of the local radix pass: the O(n)
+    // ping-pong buffer comes from this rank's ScratchArena, so repeated
+    // distributed sorts reuse one warm buffer instead of reallocating.
     ScopedPhase phase(&ledger, Phase::kOther);
-    radix_sort(data, kf);
+    ArenaScope scope(ScratchArena::for_thread());
+    radix_sort<T, KeyFn>(std::span<T>(data), scope.acquire<T>(data.size()),
+                         kf);
   }
   const auto p = static_cast<std::size_t>(comm.size());
   if (p <= 1) return data;

@@ -13,6 +13,7 @@
 //    pairs as they complete, overlapping communication with local ordering.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstring>
 #include <span>
@@ -170,7 +171,7 @@ std::vector<T> overlap_exchange_merge(sim::Comm& comm, std::span<const T> data,
     if (bump + need > scratch.size()) compact();
     if (bump + need > scratch.size()) return false;
     std::span<T> out(scratch.data() + bump, need);
-    std::vector<std::span<const T>> two{pool[a], pool[b]};
+    const std::array<std::span<const T>, 2> two{pool[a], pool[b]};
     kway_merge<T, KeyFn>(two, out, kf);
     bump += need;
     if (a > b) std::swap(a, b);

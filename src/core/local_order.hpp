@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "sortcore/arena.hpp"
 #include "sortcore/key.hpp"
 #include "sortcore/local_sort.hpp"
 #include "sortcore/runs.hpp"
@@ -28,10 +29,10 @@ std::vector<T> merge_all(std::vector<T>&& recv,
                          std::span<const std::size_t> counts,
                          std::span<const std::size_t> displs, bool stable,
                          int threads, KeyFn kf = {}) {
-  std::vector<std::span<const T>> chunks;
-  chunks.reserve(counts.size());
+  ArenaScope scope(ScratchArena::for_thread());
+  auto chunks = scope.acquire<std::span<const T>>(counts.size());
   for (std::size_t s = 0; s < counts.size(); ++s) {
-    chunks.emplace_back(recv.data() + displs[s], counts[s]);
+    chunks[s] = std::span<const T>(recv.data() + displs[s], counts[s]);
   }
   std::vector<T> out(recv.size());
   parallel_merge_chunks<T, KeyFn>(chunks, out,

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/comm.hpp"
+#include "sortcore/arena.hpp"
 #include "sortcore/key.hpp"
 #include "sortcore/local_sort.hpp"
 
@@ -64,11 +65,11 @@ void node_merge(sim::Comm& local, std::vector<T>& data, bool stable,
     chunks.push_back(local.recv_any_size<T>(src, kTag));
   }
   std::size_t total = 0;
-  std::vector<std::span<const T>> spans;
-  spans.reserve(chunks.size());
-  for (const auto& c : chunks) {
-    spans.emplace_back(c);
-    total += c.size();
+  ArenaScope scope(ScratchArena::for_thread());
+  auto spans = scope.acquire<std::span<const T>>(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    spans[i] = std::span<const T>(chunks[i]);
+    total += chunks[i].size();
   }
   std::vector<T> merged(total);
   parallel_merge_chunks<T, KeyFn>(spans, merged,

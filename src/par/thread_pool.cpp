@@ -6,11 +6,14 @@ namespace sdss::par {
 
 // A Batch is one parallel_for invocation: an atomic claim counter over the
 // iteration space plus completion tracking. Workers and the caller all pull
-// indices with fetch_add until the space is exhausted.
+// strides of `grain` indices with fetch_add until the space is exhausted;
+// completion is counted in indices so the waiter wakes exactly once the
+// last stride finishes.
 struct ThreadPool::Batch {
   std::size_t begin = 0;
   std::size_t end = 0;
-  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
@@ -38,6 +41,14 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::auto_grain(std::size_t n) const {
+  // ~8 strides per participant keeps load balance without per-index
+  // dispatch; cap so one stride never starves the other participants.
+  const std::size_t parts = (workers_.size() + 1) * 8;
+  std::size_t g = n / parts;
+  return g == 0 ? 1 : g;
+}
+
 void ThreadPool::enqueue(std::shared_ptr<Batch> batch) {
   if (workers_.empty()) return;  // caller will drain the batch inline
   {
@@ -49,17 +60,20 @@ void ThreadPool::enqueue(std::shared_ptr<Batch> batch) {
 
 void ThreadPool::run_batch(Batch& batch) {
   const std::size_t n = batch.size();
+  const std::size_t grain = batch.grain;
   for (;;) {
-    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t i =
+        batch.next.fetch_add(grain, std::memory_order_relaxed);
     if (i >= n) break;
+    const std::size_t count = grain < n - i ? grain : n - i;
     try {
-      (*batch.body)(batch.begin + i);
+      (*batch.body)(batch.begin + i, batch.begin + i + count);
     } catch (...) {
       std::lock_guard<std::mutex> lk(batch.err_mu);
       if (!batch.error) batch.error = std::current_exception();
     }
     const std::size_t completed =
-        batch.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+        batch.done.fetch_add(count, std::memory_order_acq_rel) + count;
     if (completed == n) {
       std::lock_guard<std::mutex> lk(batch.done_mu);
       batch.done_cv.notify_all();
@@ -96,17 +110,7 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& body) {
-  if (begin >= end) return;
-  if (end - begin == 1) {
-    body(begin);
-    return;
-  }
-  auto batch = std::make_shared<Batch>();
-  batch->begin = begin;
-  batch->end = end;
-  batch->body = &body;
+void ThreadPool::run_and_wait(const std::shared_ptr<Batch>& batch) {
   enqueue(batch);
   run_batch(*batch);  // caller participates
   {
@@ -118,10 +122,45 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (batch->error) std::rethrow_exception(batch->error);
 }
 
+void ThreadPool::parallel_for_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) grain = auto_grain(n);
+  if (n <= grain || workers_.empty()) {
+    body(begin, end);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->begin = begin;
+  batch->end = end;
+  batch->grain = grain;
+  batch->body = &body;
+  run_and_wait(batch);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  if (end - begin == 1) {
+    body(begin);
+    return;
+  }
+  const std::function<void(std::size_t, std::size_t)> range_body =
+      [&body](std::size_t lo, std::size_t hi) {
+        for (; lo < hi; ++lo) body(lo);
+      };
+  parallel_for_ranges(begin, end, range_body, grain);
+}
+
 void ThreadPool::parallel_invoke(
     const std::vector<std::function<void()>>& thunks) {
   std::function<void(std::size_t)> body = [&](std::size_t i) { thunks[i](); };
-  parallel_for(0, thunks.size(), body);
+  // Thunks are heterogeneous tasks: per-index claiming load-balances best.
+  parallel_for(0, thunks.size(), body, /*grain=*/1);
 }
 
 ThreadPool& ThreadPool::global() {
@@ -133,8 +172,16 @@ ThreadPool& ThreadPool::global() {
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body) {
-  ThreadPool::global().parallel_for(begin, end, body);
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+void parallel_for_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  ThreadPool::global().parallel_for_ranges(begin, end, body, grain);
 }
 
 void parallel_invoke(const std::vector<std::function<void()>>& thunks) {

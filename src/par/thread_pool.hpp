@@ -9,6 +9,14 @@
 //    sequential execution and parallel_for never blocks on an idle pool.
 //  * Tasks submitted through parallel_for must not block on communication;
 //    they are pure compute (sort/merge kernels).
+//
+// Scheduling is chunked: workers claim [lo, lo+grain) strides off one atomic
+// counter instead of single indices, so a fine-grained loop pays one
+// fetch_add and one type-erased call per stride, not per iteration. The
+// index-based parallel_for wraps its body in a range loop and picks a grain
+// automatically; parallel_for_ranges exposes the range form directly for
+// kernels (radix scatter, bulk copies) that want to process a whole stride
+// with zero per-index dispatch.
 #pragma once
 
 #include <atomic>
@@ -22,7 +30,7 @@
 
 namespace sdss::par {
 
-/// A fixed pool of worker threads executing queued std::function jobs.
+/// A fixed pool of worker threads executing queued jobs.
 class ThreadPool {
  public:
   /// Creates `threads` workers. Zero is valid: all work runs inline in the
@@ -37,9 +45,21 @@ class ThreadPool {
 
   /// Run body(i) for i in [begin, end). The caller participates; returns when
   /// every iteration has finished. Exceptions from body are rethrown in the
-  /// caller (first one wins).
+  /// caller (first one wins). Iterations are claimed in chunked strides
+  /// (grain picked from the range size and pool width); pass `grain` to
+  /// force a stride, e.g. 1 for coarse tasks that must load-balance
+  /// per-index.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// Range form: run body(lo, hi) over disjoint strides covering
+  /// [begin, end). One type-erased call per stride — the fast path for
+  /// fine-grained kernels. grain == 0 picks automatically.
+  void parallel_for_ranges(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t grain = 0);
 
   /// Run each thunk once, in parallel; caller participates.
   void parallel_invoke(const std::vector<std::function<void()>>& thunks);
@@ -50,9 +70,11 @@ class ThreadPool {
  private:
   struct Batch;
 
+  std::size_t auto_grain(std::size_t n) const;
   void enqueue(std::shared_ptr<Batch> batch);
   void worker_loop();
   static void run_batch(Batch& batch);
+  void run_and_wait(const std::shared_ptr<Batch>& batch);
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -63,7 +85,12 @@ class ThreadPool {
 
 /// Convenience wrappers over the global pool.
 void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body);
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 0);
+void parallel_for_ranges(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain = 0);
 void parallel_invoke(const std::vector<std::function<void()>>& thunks);
 
 }  // namespace sdss::par

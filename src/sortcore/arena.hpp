@@ -1,0 +1,213 @@
+// ScratchArena: reusable bump-allocated scratch for the sort/merge kernels.
+//
+// Every local kernel needs transient O(n) workspace — radix ping-pong
+// buffers, run-merge output, loser-tree state, merge-part piece tables. The
+// pre-arena code allocated a fresh std::vector for each, so a steady-state
+// sort→merge pipeline paid one malloc/free pair (and the page faults of a
+// cold buffer) per chunk per phase. A ScratchArena amortizes all of that:
+// one grow-only buffer per thread, bump-allocated with stack discipline.
+//
+// Ownership model (DESIGN.md "Kernel memory discipline"):
+//  * one arena per thread — simulated ranks are threads, pool workers are
+//    threads, so "per rank" and "per worker" both fall out of
+//    ScratchArena::for_thread();
+//  * callers never reset an arena they did not create. Library code brackets
+//    its usage with an ArenaScope, which rewinds to the entry position on
+//    destruction, so nested kernels (sort_chunk → run_aware_sort →
+//    kway_merge) stack their workspace naturally;
+//  * growth never invalidates live spans: the arena is a chain of blocks,
+//    and running out of the current block allocates (or reuses) a further
+//    block instead of reallocating. Fully-rewound arenas coalesce the chain
+//    into one block, so the steady state is a single allocation-free buffer.
+//
+// Only trivially copyable, trivially destructible element types are
+// eligible — the arena never runs constructors or destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "sortcore/kernel_stats.hpp"
+
+namespace sdss {
+
+class ScratchArena {
+ public:
+  /// Position token for stack-discipline rewinds (see ArenaScope).
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+  };
+
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// This thread's arena. Pool workers and simulated rank threads each get
+  /// their own; it lives until the thread exits.
+  static ScratchArena& for_thread() {
+    static thread_local ScratchArena arena;
+    return arena;
+  }
+
+  Mark mark() const { return {cur_, off_}; }
+
+  /// Rewind to a previously taken mark. Blocks past the mark stay cached
+  /// for reuse; a rewind to the very start additionally coalesces a
+  /// fragmented chain into one right-sized block (steady state: one block,
+  /// zero further allocations).
+  void rewind(Mark m) {
+    cur_ = m.block;
+    off_ = m.offset;
+    live_ = live_at(m);
+    if (cur_ == 0 && off_ == 0 && blocks_.size() > 1) coalesce();
+  }
+
+  /// Borrow `n` elements of U. The returned span is valid until the arena
+  /// is rewound past the current position. Never value-initializes.
+  template <typename U>
+  std::span<U> acquire(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<U> &&
+                      std::is_trivially_destructible_v<U>,
+                  "ScratchArena holds raw bytes: U must be trivial");
+    if (n == 0) return {};
+    const std::size_t bytes = n * sizeof(U);
+    void* p = bump(bytes, alignof(U));
+    kernel_counters().scratch_bytes.fetch_add(bytes,
+                                              std::memory_order_relaxed);
+    publish_hwm();
+    return {static_cast<U*>(p), n};
+  }
+
+  /// Total bytes currently live (for tests and telemetry).
+  std::size_t used() const { return live_; }
+  /// Total bytes the block chain can serve without allocating.
+  std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const Block& b : blocks_) c += b.size;
+    return c;
+  }
+  /// Largest `used()` this arena has seen.
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t kMinBlock = 4096;
+
+  static std::size_t align_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) & ~(a - 1);
+  }
+
+  std::size_t live_at(Mark m) const {
+    std::size_t bytes = m.offset;
+    for (std::size_t b = 0; b < m.block; ++b) bytes += blocks_[b].size;
+    return bytes;
+  }
+
+  void* bump(std::size_t bytes, std::size_t align) {
+    if (!blocks_.empty()) {
+      const std::size_t at = align_up(off_, align);
+      if (at + bytes <= blocks_[cur_].size) {
+        off_ = at + bytes;
+        live_ = live_at({cur_, off_});
+        note_use();
+        return blocks_[cur_].mem.get() + at;
+      }
+      // Current block exhausted: move to a cached further block if one can
+      // hold the request. Blocks past the current position hold no live
+      // data, so dropping too-small ones is safe.
+      while (cur_ + 1 < blocks_.size() && blocks_[cur_ + 1].size < bytes) {
+        blocks_.erase(blocks_.begin() +
+                      static_cast<std::ptrdiff_t>(cur_ + 1));
+      }
+      if (cur_ + 1 < blocks_.size()) {
+        ++cur_;
+        off_ = bytes;
+        live_ = live_at({cur_, off_});
+        note_use();
+        return blocks_[cur_].mem.get();
+      }
+    }
+    // Grow: at least double the chain so amortized growth is O(log) blocks.
+    std::size_t size = capacity() * 2;
+    if (size < bytes) size = bytes;
+    if (size < kMinBlock) size = kMinBlock;
+    Block b;
+    b.mem = std::make_unique_for_overwrite<std::byte[]>(size);
+    b.size = size;
+    detail::count_heap_alloc();
+    blocks_.push_back(std::move(b));
+    cur_ = blocks_.size() - 1;
+    off_ = bytes;
+    live_ = live_at({cur_, off_});
+    note_use();
+    return blocks_[cur_].mem.get();
+  }
+
+  /// Replace a fully-rewound multi-block chain with one block covering the
+  /// whole capacity, so future acquisitions are contiguous and alloc-free.
+  void coalesce() {
+    const std::size_t total = capacity();
+    blocks_.clear();
+    Block b;
+    b.mem = std::make_unique_for_overwrite<std::byte[]>(total);
+    b.size = total;
+    detail::count_heap_alloc();
+    blocks_.push_back(std::move(b));
+    cur_ = 0;
+    off_ = 0;
+    live_ = 0;
+  }
+
+  void note_use() {
+    if (live_ > high_water_) high_water_ = live_;
+  }
+
+  void publish_hwm() {
+    auto& global = kernel_counters().arena_hwm;
+    std::uint64_t seen = global.load(std::memory_order_relaxed);
+    while (seen < high_water_ &&
+           !global.compare_exchange_weak(seen, high_water_,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;   ///< index of the block being bumped
+  std::size_t off_ = 0;   ///< bump offset within blocks_[cur_]
+  std::size_t live_ = 0;  ///< bytes live across the whole chain
+  std::size_t high_water_ = 0;
+};
+
+/// RAII bracket: everything acquired after construction is released (the
+/// arena position rewound) on destruction. The standard way for kernels to
+/// borrow workspace — nests safely to any depth on one thread.
+class ArenaScope {
+ public:
+  explicit ArenaScope(ScratchArena& arena)
+      : arena_(arena), mark_(arena.mark()) {}
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+  ~ArenaScope() { arena_.rewind(mark_); }
+
+  template <typename U>
+  std::span<U> acquire(std::size_t n) {
+    return arena_.acquire<U>(n);
+  }
+
+  ScratchArena& arena() { return arena_; }
+
+ private:
+  ScratchArena& arena_;
+  ScratchArena::Mark mark_;
+};
+
+}  // namespace sdss

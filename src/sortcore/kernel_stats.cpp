@@ -1,0 +1,20 @@
+#include "sortcore/kernel_stats.hpp"
+
+namespace sdss {
+
+KernelCounters& kernel_counters() {
+  static KernelCounters counters;
+  return counters;
+}
+
+KernelSnapshot snapshot_kernel_counters() {
+  const KernelCounters& c = kernel_counters();
+  KernelSnapshot s;
+  s.bytes_moved = c.bytes_moved.load(std::memory_order_relaxed);
+  s.scratch_bytes = c.scratch_bytes.load(std::memory_order_relaxed);
+  s.arena_hwm = c.arena_hwm.load(std::memory_order_relaxed);
+  s.heap_allocs = c.heap_allocs.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sdss

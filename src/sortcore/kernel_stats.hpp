@@ -1,0 +1,75 @@
+// Process-wide kernel memory-traffic counters.
+//
+// The simulated runtime already counts every wire byte (CommStats); this is
+// the analogous ledger for the *compute* kernels: how many record bytes the
+// sort/merge kernels write, how much scratch they borrow from the arenas,
+// how large the arenas grew, and — the number the allocation-free redesign
+// gates on — how many heap allocations the kernel paths performed. The
+// counters are deterministic for a fixed single-threaded workload, so
+// bench_local_sort can check them against a committed baseline the same way
+// bench_collectives gates wire volume (see docs/BENCHMARKING.md).
+//
+// Cost discipline: kernels bump the counters once per kernel *invocation*
+// (relaxed atomics, never per element), so the accounting is free relative
+// to the O(n) work it describes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sdss {
+
+struct KernelCounters {
+  /// Record bytes written by the sortcore kernels' explicit data movement:
+  /// radix scatter passes, k-way merge output, run-merge output, scratch
+  /// copy-backs. Comparison-sort internal moves (std::sort) are not
+  /// observable and are not counted.
+  std::atomic<std::uint64_t> bytes_moved{0};
+  /// Cumulative bytes acquired from ScratchArenas (every acquire, even when
+  /// served from an already-grown arena).
+  std::atomic<std::uint64_t> scratch_bytes{0};
+  /// High-water mark: the largest number of simultaneously-live arena bytes
+  /// observed on any one thread.
+  std::atomic<std::uint64_t> arena_hwm{0};
+  /// Heap allocations performed by kernel paths: arena block growth plus any
+  /// fallback vector the kernels still allocate. Zero in steady state.
+  std::atomic<std::uint64_t> heap_allocs{0};
+};
+
+/// The process-wide counter block (all threads share it).
+KernelCounters& kernel_counters();
+
+/// Plain-value snapshot for telemetry and before/after deltas.
+struct KernelSnapshot {
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t scratch_bytes = 0;
+  std::uint64_t arena_hwm = 0;
+  std::uint64_t heap_allocs = 0;
+
+  KernelSnapshot delta_since(const KernelSnapshot& before) const {
+    KernelSnapshot d;
+    d.bytes_moved = bytes_moved - before.bytes_moved;
+    d.scratch_bytes = scratch_bytes - before.scratch_bytes;
+    // The high-water mark is a maximum, not a flow: report the level, not a
+    // difference (a delta of maxima is meaningless).
+    d.arena_hwm = arena_hwm;
+    d.heap_allocs = heap_allocs - before.heap_allocs;
+    return d;
+  }
+};
+
+KernelSnapshot snapshot_kernel_counters();
+
+namespace detail {
+
+inline void count_bytes_moved(std::uint64_t bytes) {
+  kernel_counters().bytes_moved.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+inline void count_heap_alloc() {
+  kernel_counters().heap_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace sdss

@@ -6,36 +6,59 @@
 // SdssLocalSort. The merge is stable across runs: ties are won by the run
 // with the smaller index, so concatenating runs in origin order and merging
 // preserves the relative order of equal keys.
+//
+// Allocation discipline: all internal state (the live-run table, the
+// tournament tree, the per-run cursors) is borrowed from this thread's
+// ScratchArena — a steady-state merge performs zero heap allocations.
+//
+// Galloping: when one run keeps winning (duplicate-heavy inputs, or runs
+// with little key overlap), the drain loop switches to a bulk pop — it
+// computes the tree's runner-up, advances through the winning run while its
+// elements still beat the runner-up's head (ties resolve by run index, so
+// stability is preserved), and emits the whole stretch with one std::copy
+// instead of one tree replay per element.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "sortcore/arena.hpp"
+#include "sortcore/kernel_stats.hpp"
 #include "sortcore/key.hpp"
 
 namespace sdss {
 
 /// Tournament tree over k sorted runs. pop() yields the globally smallest
-/// remaining element (ties by run index) in O(log k). The tree is padded to
-/// the next power of two with permanently exhausted pseudo-runs.
+/// remaining element (ties by run index) in O(log k); pop_run() bulk-copies
+/// the winner's maximal emittable stretch. The tree is padded to the next
+/// power of two with permanently exhausted pseudo-runs. All storage comes
+/// from the ArenaScope passed at construction and must outlive the tree.
 template <typename T, typename KeyFn>
 class LoserTree {
  public:
-  LoserTree(std::span<const std::span<const T>> runs, KeyFn kf)
-      : runs_(runs.begin(), runs.end()), pos_(runs.size(), 0), kf_(kf) {
+  LoserTree(std::span<const std::span<const T>> runs, KeyFn kf,
+            ArenaScope& scope)
+      : runs_(runs), kf_(kf) {
     const std::size_t k = runs_.size();
     cap_ = 1;
     while (cap_ < k) cap_ <<= 1;
+    pos_ = scope.acquire<std::size_t>(k);
+    std::fill(pos_.begin(), pos_.end(), std::size_t{0});
+    tree_ = scope.acquire<std::size_t>(cap_);
+    std::fill(tree_.begin(), tree_.end(), kEmpty);
     remaining_ = 0;
     for (const auto& r : runs_) remaining_ += r.size();
 
     // Bottom-up tournament: w[x] is the winner at tree position x; internal
-    // node x stores the loser of the match played there.
-    tree_.assign(cap_, kEmpty);
-    std::vector<std::size_t> w(2 * cap_, kEmpty);
+    // node x stores the loser of the match played there. w is transient —
+    // scoped so its arena bytes release before the drain starts.
+    ArenaScope build(scope.arena());
+    auto w = build.acquire<std::size_t>(2 * cap_);
+    std::fill(w.begin(), w.end(), kEmpty);
     for (std::size_t i = 0; i < k; ++i) w[cap_ + i] = i;
     for (std::size_t node = cap_ - 1; node >= 1; --node) {
       const std::size_t a = w[2 * node];
@@ -67,6 +90,39 @@ class LoserTree {
     return v;
   }
 
+  /// Bulk pop: copy the winner's maximal stretch — every element that still
+  /// beats the runner-up's head under the (key, run index) order — to `out`
+  /// with one std::copy, then replay once. Returns the elements copied
+  /// (always >= 1). Precondition: !empty().
+  T* pop_run(T* out) {
+    const std::size_t w = winner_;
+    // The runner-up is the best of the losers stored on w's leaf-to-root
+    // path (every other run lost exactly once against that path).
+    std::size_t rival = kEmpty;
+    for (std::size_t node = (w + cap_) / 2; node >= 1; node /= 2) {
+      if (rival == kEmpty || beats(tree_[node], rival)) rival = tree_[node];
+    }
+    const std::span<const T>& run = runs_[w];
+    std::size_t i = pos_[w];
+    if (rival == kEmpty || exhausted(rival)) {
+      i = run.size();  // no contender: drain the whole run
+    } else {
+      const auto& limit = kf_(runs_[rival][pos_[rival]]);
+      if (w < rival) {
+        // Ties belong to w: advance while key <= limit.
+        while (i < run.size() && !(limit < kf_(run[i]))) ++i;
+      } else {
+        while (i < run.size() && kf_(run[i]) < limit) ++i;
+      }
+    }
+    out = std::copy(run.begin() + static_cast<std::ptrdiff_t>(pos_[w]),
+                    run.begin() + static_cast<std::ptrdiff_t>(i), out);
+    remaining_ -= i - pos_[w];
+    pos_[w] = i;
+    replay(w);
+    return out;
+  }
+
  private:
   static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
 
@@ -94,10 +150,10 @@ class LoserTree {
     winner_ = winner;
   }
 
-  std::vector<std::span<const T>> runs_;
-  std::vector<std::size_t> pos_;
-  std::vector<std::size_t> tree_;  // internal nodes hold losers; [1] is root
-  std::size_t cap_ = 1;            // padded leaf count (power of two)
+  std::span<const std::span<const T>> runs_;
+  std::span<std::size_t> pos_;
+  std::span<std::size_t> tree_;  // internal nodes hold losers; [1] is root
+  std::size_t cap_ = 1;          // padded leaf count (power of two)
   std::size_t remaining_ = 0;
   std::size_t winner_ = kEmpty;
   KeyFn kf_;
@@ -105,7 +161,8 @@ class LoserTree {
 
 /// Merge `runs` (each individually sorted by kf) into `out`, stably across
 /// run order. `out.size()` must equal the total input size. Small run counts
-/// use specialized paths (copy / two-way merge).
+/// use specialized paths (copy / two-way merge); three or more runs use the
+/// loser tree with the galloping drain.
 template <typename T, KeyFunction<T> KeyFn = IdentityKey>
 void kway_merge(std::span<const std::span<const T>> runs, std::span<T> out,
                 KeyFn kf = {}) {
@@ -114,13 +171,17 @@ void kway_merge(std::span<const std::span<const T>> runs, std::span<T> out,
   if (out.size() != total) {
     throw std::invalid_argument("kway_merge: output size mismatch");
   }
+  if (total == 0) return;
+  detail::count_bytes_moved(total * sizeof(T));
+
+  ArenaScope scope(ScratchArena::for_thread());
   // Drop empty runs but keep relative order (stability depends on it).
-  std::vector<std::span<const T>> live;
-  live.reserve(runs.size());
+  auto live_store = scope.acquire<std::span<const T>>(runs.size());
+  std::size_t nlive = 0;
   for (const auto& r : runs) {
-    if (!r.empty()) live.push_back(r);
+    if (!r.empty()) live_store[nlive++] = r;
   }
-  if (live.empty()) return;
+  const std::span<const std::span<const T>> live(live_store.data(), nlive);
   if (live.size() == 1) {
     std::copy(live[0].begin(), live[0].end(), out.begin());
     return;
@@ -141,9 +202,24 @@ void kway_merge(std::span<const std::span<const T>> runs, std::span<T> out,
     std::copy(b, live[1].end(), o);
     return;
   }
-  LoserTree<T, KeyFn> tree(live, kf);
-  auto o = out.begin();
-  while (!tree.empty()) *o++ = tree.pop();
+
+  LoserTree<T, KeyFn> tree(live, kf, scope);
+  T* o = out.data();
+  // Random interleavings stay on the cheap per-element pop; two consecutive
+  // wins by one run signal a stretch (duplicate runs, disjoint key ranges)
+  // and switch to the galloping bulk pop.
+  std::size_t last = static_cast<std::size_t>(-1);
+  bool streak = false;
+  while (!tree.empty()) {
+    const std::size_t r = tree.min_run();
+    if (r == last && streak) {
+      o = tree.pop_run(o);
+    } else {
+      streak = r == last;
+      *o++ = tree.pop();
+    }
+    last = r;
+  }
 }
 
 /// Convenience overload: merge and return a fresh vector.

@@ -7,14 +7,27 @@
 // the skew-aware partition of merge_partition.hpp, so heavily duplicated
 // keys still yield c near-equal merge tasks — "SdssLocalSort is a shared
 // memory version of SDS-Sort without network connection".
+//
+// Memory discipline: every transient buffer — radix ping-pong scratch,
+// run-merge output, the chunk/offset tables, the O(n) merge destination —
+// is borrowed from a per-thread ScratchArena (see arena.hpp). A steady-state
+// local_sort performs zero heap allocations; kernels sort chunks in place.
+//
+// When the caller explicitly selects the radix kernel for unsigned keys and
+// multiple threads, the chunk/sort/merge pipeline is bypassed entirely in
+// favor of radix_sort_parallel: LSD radix with per-block histograms is
+// already stable, parallel, and immune to key skew, so a post-merge would be
+// pure overhead.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "par/thread_pool.hpp"
 #include "sortcore/algo.hpp"
+#include "sortcore/arena.hpp"
 #include "sortcore/key.hpp"
 #include "sortcore/kway_merge.hpp"
 #include "sortcore/merge_partition.hpp"
@@ -39,7 +52,8 @@ struct LocalSortConfig {
 
 namespace detail {
 
-/// Sort one contiguous chunk with the selected kernel.
+/// Sort one contiguous chunk in place with the selected kernel. All scratch
+/// comes from the calling thread's arena — no per-chunk heap allocation.
 template <typename T, typename KeyFn>
 void sort_chunk(std::span<T> chunk, const LocalSortConfig& cfg, KeyFn kf) {
   using K = KeyType<KeyFn, T>;
@@ -54,9 +68,9 @@ void sort_chunk(std::span<T> chunk, const LocalSortConfig& cfg, KeyFn kf) {
   if (cfg.exploit_runs_below > 1 && chunk.size() > 1) {
     const std::size_t runs = count_runs<T, KeyFn>(chunk, kf);
     if (runs <= cfg.exploit_runs_below) {
-      std::vector<T> tmp(chunk.begin(), chunk.end());
-      run_aware_sort<T, KeyFn>(tmp, cfg.stable, kf, cfg.exploit_runs_below);
-      std::copy(tmp.begin(), tmp.end(), chunk.begin());
+      ArenaScope scope(ScratchArena::for_thread());
+      run_aware_sort<T, KeyFn>(chunk, scope.acquire<T>(chunk.size()),
+                               cfg.stable, kf, cfg.exploit_runs_below);
       return;
     }
   }
@@ -65,11 +79,8 @@ void sort_chunk(std::span<T> chunk, const LocalSortConfig& cfg, KeyFn kf) {
         cfg.algo == LocalSortAlgo::kRadix ||
         (cfg.algo == LocalSortAlgo::kAuto && chunk.size() >= 2048);
     if (use_radix) {
-      // radix_sort operates on a vector; chunks are array slices, so sort
-      // through a scratch vector. (Radix needs O(n) scratch regardless.)
-      std::vector<T> tmp(chunk.begin(), chunk.end());
-      radix_sort(tmp, kf);
-      std::copy(tmp.begin(), tmp.end(), chunk.begin());
+      ArenaScope scope(ScratchArena::for_thread());
+      radix_sort<T, KeyFn>(chunk, scope.acquire<T>(chunk.size()), kf);
       return;
     }
   }
@@ -91,21 +102,26 @@ void parallel_merge_chunks(std::span<const std::span<const T>> chunks,
   const MergePartition plan =
       plan_merge_partition<T, KeyFn>(chunks, parts, stable, method, kf);
 
-  // Output offset of each part.
-  std::vector<std::size_t> offsets(parts + 1, 0);
+  // Output offset of each part (caller-thread arena; read-only to workers).
+  ArenaScope scope(ScratchArena::for_thread());
+  auto offsets = scope.acquire<std::size_t>(parts + 1);
+  offsets[0] = 0;
   for (std::size_t t = 0; t < parts; ++t) {
     offsets[t + 1] = offsets[t] + plan.part_size(t);
   }
 
   auto merge_part = [&](std::size_t t) {
-    std::vector<std::span<const T>> pieces;
-    pieces.reserve(chunks.size());
+    // Piece table from the executing thread's own arena: merge parts run on
+    // pool workers, each of which has a private ScratchArena.
+    ArenaScope part_scope(ScratchArena::for_thread());
+    auto pieces = part_scope.acquire<std::span<const T>>(chunks.size());
     for (std::size_t j = 0; j < chunks.size(); ++j) {
       const std::size_t b = plan.bounds[t][j];
       const std::size_t e = plan.bounds[t + 1][j];
-      pieces.push_back(chunks[j].subspan(b, e - b));
+      pieces[j] = chunks[j].subspan(b, e - b);
     }
-    kway_merge<T, KeyFn>(pieces, out.subspan(offsets[t], offsets[t + 1] - offsets[t]),
+    kway_merge<T, KeyFn>(pieces,
+                         out.subspan(offsets[t], offsets[t + 1] - offsets[t]),
                          kf);
   };
 
@@ -114,13 +130,16 @@ void parallel_merge_chunks(std::span<const std::span<const T>> chunks,
     return;
   }
   par::ThreadPool& tp = pool != nullptr ? *pool : par::ThreadPool::global();
-  tp.parallel_for(0, parts, merge_part);
+  // Merge parts are coarse and deliberately size-balanced; grain 1 keeps
+  // one part per claim so idle workers can steal the stragglers.
+  tp.parallel_for(0, parts, merge_part, /*grain=*/1);
 }
 
 /// Sort `data` in place with c-way shared-memory parallelism.
 template <typename T, KeyFunction<T> KeyFn = IdentityKey>
 void local_sort(std::vector<T>& data, const LocalSortConfig& cfg, KeyFn kf = {},
                 par::ThreadPool* pool = nullptr) {
+  using K = KeyType<KeyFn, T>;
   const std::size_t n = data.size();
   const auto c = static_cast<std::size_t>(cfg.threads < 1 ? 1 : cfg.threads);
   if (c == 1 || n < cfg.seq_threshold || n < 2 * c) {
@@ -128,27 +147,46 @@ void local_sort(std::vector<T>& data, const LocalSortConfig& cfg, KeyFn kf = {},
     return;
   }
 
+  par::ThreadPool& tp = pool != nullptr ? *pool : par::ThreadPool::global();
+
+  if constexpr (std::is_unsigned_v<K>) {
+    if (cfg.algo == LocalSortAlgo::kRadix) {
+      // Whole-array parallel radix: stable and skew-immune by construction,
+      // so the chunk/sort/merge pipeline (and its partition planning) would
+      // only add work.
+      ArenaScope scope(ScratchArena::for_thread());
+      radix_sort_parallel<T, KeyFn>(std::span<T>(data), scope.acquire<T>(n),
+                                    tp, kf, /*blocks=*/c);
+      return;
+    }
+  }
+
   // Chunk boundaries: c near-equal contiguous chunks (origin order, which is
   // also the stability order).
-  std::vector<std::size_t> bounds(c + 1, 0);
+  ArenaScope scope(ScratchArena::for_thread());
+  auto bounds = scope.acquire<std::size_t>(c + 1);
   for (std::size_t i = 0; i <= c; ++i) bounds[i] = i * n / c;
 
-  par::ThreadPool& tp = pool != nullptr ? *pool : par::ThreadPool::global();
-  tp.parallel_for(0, c, [&](std::size_t i) {
-    detail::sort_chunk<T, KeyFn>(
-        std::span<T>(data.data() + bounds[i], bounds[i + 1] - bounds[i]), cfg,
-        kf);
-  });
+  // Chunk sorting is coarse: one chunk per claim for load balance.
+  tp.parallel_for(
+      0, c,
+      [&](std::size_t i) {
+        detail::sort_chunk<T, KeyFn>(
+            std::span<T>(data.data() + bounds[i], bounds[i + 1] - bounds[i]),
+            cfg, kf);
+      },
+      /*grain=*/1);
 
-  std::vector<std::span<const T>> chunks(c);
+  auto chunks = scope.acquire<std::span<const T>>(c);
   for (std::size_t i = 0; i < c; ++i) {
     chunks[i] = std::span<const T>(data.data() + bounds[i],
                                    bounds[i + 1] - bounds[i]);
   }
-  std::vector<T> scratch(n);
+  auto scratch = scope.acquire<T>(n);
   parallel_merge_chunks<T, KeyFn>(chunks, scratch, c, cfg.stable, cfg.method,
                                   kf, &tp);
-  data = std::move(scratch);
+  std::copy(scratch.begin(), scratch.end(), data.begin());
+  detail::count_bytes_moved(n * sizeof(T));
 }
 
 }  // namespace sdss

@@ -5,38 +5,80 @@
 // stable sequential sort for integer-keyed records (e.g. cosmology cluster
 // IDs). Stable by construction: each digit pass is a counting sort that
 // preserves the order of equal digits.
+//
+// Three entry points, cheapest first:
+//  * radix_sort(span data, span scratch) — the allocation-free core: caller
+//    provides the O(n) scratch (normally from a ScratchArena), passes
+//    ping-pong between data and scratch, and the final copy-back happens
+//    only when an odd number of non-trivial passes ran;
+//  * radix_sort(vector) — compatibility wrapper; borrows scratch from this
+//    thread's arena instead of allocating;
+//  * radix_sort_parallel(span data, span scratch, pool) — per-thread
+//    histograms: the input splits into blocks, each pass computes per-block
+//    digit counts in parallel, a (bucket-major, block-minor) prefix sum
+//    assigns every block a private write cursor per bucket, and the scatter
+//    runs in parallel with no atomics on the data path. Stable, because
+//    bucket-major/block-minor order preserves block order within a digit.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
+#include "par/thread_pool.hpp"
+#include "sortcore/arena.hpp"
+#include "sortcore/kernel_stats.hpp"
 #include "sortcore/key.hpp"
 
 namespace sdss {
 
-/// Sort `data` by kf(record), which must yield an unsigned integer type.
-/// 8-bit digits, least significant first; passes covering only zero digits
-/// across the whole input are skipped.
+namespace detail {
+
+inline constexpr int kRadixDigitBits = 8;
+inline constexpr std::size_t kRadixBuckets = 1u << kRadixDigitBits;
+
+/// Decide which digit passes can be skipped: a pass is trivial when every
+/// key shares the same digit. `hist` is kPasses x kBuckets.
+template <std::size_t kBuckets>
+bool pass_is_trivial(const std::array<std::size_t, kBuckets>& h,
+                     std::size_t n) {
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (h[b] == n) return true;
+    if (h[b] != 0) return false;
+  }
+  return true;  // n == 0
+}
+
+}  // namespace detail
+
+/// Allocation-free core: sort `data` by kf(record) using caller-provided
+/// scratch of at least data.size() elements. The sorted result always ends
+/// in `data`; the tail copy is skipped whenever an even number of
+/// non-trivial passes ran (ping-pong parity).
 template <typename T, typename KeyFn = IdentityKey>
-void radix_sort(std::vector<T>& data, KeyFn kf = {}) {
+void radix_sort(std::span<T> data, std::span<T> scratch, KeyFn kf = {}) {
   using Key = KeyType<KeyFn, T>;
   static_assert(std::is_unsigned_v<Key>,
                 "radix_sort requires an unsigned integer key");
-  constexpr int kDigitBits = 8;
-  constexpr std::size_t kBuckets = 1u << kDigitBits;
+  constexpr int kDigitBits = detail::kRadixDigitBits;
+  constexpr std::size_t kBuckets = detail::kRadixBuckets;
   constexpr int kPasses = static_cast<int>(sizeof(Key));
 
   const std::size_t n = data.size();
   if (n <= 1) return;
+  if (scratch.size() < n) {
+    throw std::invalid_argument("radix_sort: scratch smaller than data");
+  }
 
   // One histogram per pass, computed in a single sweep.
-  std::vector<std::array<std::size_t, kBuckets>> hist(
-      static_cast<std::size_t>(kPasses));
-  for (auto& h : hist) h.fill(0);
+  std::array<std::array<std::size_t, kBuckets>,
+             static_cast<std::size_t>(kPasses)>
+      hist{};
   for (const T& v : data) {
     Key k = kf(v);
     for (int pass = 0; pass < kPasses; ++pass) {
@@ -45,22 +87,13 @@ void radix_sort(std::vector<T>& data, KeyFn kf = {}) {
     }
   }
 
-  std::vector<T> scratch(n);
   T* src = data.data();
   T* dst = scratch.data();
   bool swapped = false;
+  std::uint64_t moved = 0;
   for (int pass = 0; pass < kPasses; ++pass) {
     auto& h = hist[static_cast<std::size_t>(pass)];
-    // Skip passes where every key has the same digit.
-    bool trivial = false;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-      if (h[b] == n) {
-        trivial = true;
-        break;
-      }
-      if (h[b] != 0) break;
-    }
-    if (trivial) continue;
+    if (detail::pass_is_trivial<kBuckets>(h, n)) continue;
     // Exclusive prefix sum -> bucket start offsets.
     std::size_t sum = 0;
     for (std::size_t b = 0; b < kBuckets; ++b) {
@@ -77,11 +110,163 @@ void radix_sort(std::vector<T>& data, KeyFn kf = {}) {
     }
     std::swap(src, dst);
     swapped = !swapped;
+    moved += n * sizeof(T);
   }
   if (swapped) {
-    // Result currently lives in `scratch`.
-    std::copy(scratch.begin(), scratch.end(), data.begin());
+    // Odd pass count: the result lives in `scratch`; copy back once.
+    std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(n),
+              data.begin());
+    moved += n * sizeof(T);
   }
+  detail::count_bytes_moved(moved);
+}
+
+/// Compatibility wrapper: sorts a vector in place, borrowing the O(n)
+/// scratch from this thread's ScratchArena (no per-call heap allocation in
+/// steady state).
+template <typename T, typename KeyFn = IdentityKey>
+void radix_sort(std::vector<T>& data, KeyFn kf = {}) {
+  if (data.size() <= 1) return;
+  ArenaScope scope(ScratchArena::for_thread());
+  radix_sort(std::span<T>(data), scope.acquire<T>(data.size()), kf);
+}
+
+/// Parallel LSD radix with per-thread histograms. `data` splits into
+/// `blocks` contiguous stripes; every pass histograms the stripes in
+/// parallel, prefix-sums bucket-major/block-minor (so stability across
+/// stripes is preserved), then scatters the stripes in parallel — each
+/// (stripe, bucket) pair owns a disjoint output range, so the scatter needs
+/// no synchronization. `blocks == 0` picks a block count from the pool
+/// width. Falls back to the sequential kernel for small inputs.
+template <typename T, typename KeyFn = IdentityKey>
+void radix_sort_parallel(std::span<T> data, std::span<T> scratch,
+                         par::ThreadPool& pool, KeyFn kf = {},
+                         std::size_t blocks = 0) {
+  using Key = KeyType<KeyFn, T>;
+  static_assert(std::is_unsigned_v<Key>,
+                "radix_sort requires an unsigned integer key");
+  constexpr int kDigitBits = detail::kRadixDigitBits;
+  constexpr std::size_t kBuckets = detail::kRadixBuckets;
+  constexpr int kPasses = static_cast<int>(sizeof(Key));
+
+  const std::size_t n = data.size();
+  if (blocks == 0) blocks = pool.thread_count() + 1;
+  if (n < 4096 || blocks <= 1) {
+    radix_sort(data, scratch, kf);
+    return;
+  }
+  if (scratch.size() < n) {
+    throw std::invalid_argument("radix_sort_parallel: scratch too small");
+  }
+  if (blocks > n / 1024) blocks = n / 1024;  // keep stripes cache-friendly
+  if (blocks < 2) {
+    radix_sort(data, scratch, kf);
+    return;
+  }
+
+  ArenaScope scope(ScratchArena::for_thread());
+  // Global per-pass digit totals, computed in one parallel sweep. Totals
+  // depend only on the key multiset (not on element placement), so they stay
+  // valid across passes and decide skippability up front. The per-block
+  // histograms, by contrast, describe the *current* layout and must be
+  // recomputed before every scatter.
+  auto totals = scope.acquire<std::size_t>(static_cast<std::size_t>(kPasses) *
+                                           blocks * kBuckets);
+  std::fill(totals.begin(), totals.end(), std::size_t{0});
+  auto block_bounds = [n, blocks](std::size_t b) { return b * n / blocks; };
+
+  pool.parallel_for(
+      0, blocks,
+      [&](std::size_t b) {
+        std::size_t* h = totals.data() +
+                         b * static_cast<std::size_t>(kPasses) * kBuckets;
+        const std::size_t lo = block_bounds(b), hi = block_bounds(b + 1);
+        for (std::size_t i = lo; i < hi; ++i) {
+          Key k = kf(data[i]);
+          for (int pass = 0; pass < kPasses; ++pass) {
+            ++h[static_cast<std::size_t>(pass) * kBuckets +
+                (k & (kBuckets - 1))];
+            k >>= kDigitBits;
+          }
+        }
+      },
+      /*grain=*/1);
+  std::array<bool, static_cast<std::size_t>(kPasses)> trivial{};
+  for (int pass = 0; pass < kPasses; ++pass) {
+    std::array<std::size_t, kBuckets> total{};
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t* h =
+          totals.data() +
+          (b * static_cast<std::size_t>(kPasses) +
+           static_cast<std::size_t>(pass)) *
+              kBuckets;
+      for (std::size_t d = 0; d < kBuckets; ++d) total[d] += h[d];
+    }
+    trivial[static_cast<std::size_t>(pass)] =
+        detail::pass_is_trivial<kBuckets>(total, n);
+  }
+
+  // hist[block*kBuckets + bucket] for the current pass; doubles as the
+  // per-(block, bucket) write cursors after the prefix sum.
+  auto hist = scope.acquire<std::size_t>(blocks * kBuckets);
+  T* src = data.data();
+  T* dst = scratch.data();
+  bool swapped = false;
+  std::uint64_t moved = 0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    if (trivial[static_cast<std::size_t>(pass)]) continue;
+    const int shift = pass * kDigitBits;
+    std::fill(hist.begin(), hist.end(), std::size_t{0});
+    pool.parallel_for(
+        0, blocks,
+        [&](std::size_t b) {
+          std::size_t* h = hist.data() + b * kBuckets;
+          const std::size_t lo = block_bounds(b), hi = block_bounds(b + 1);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Key k = kf(src[i]);
+            ++h[(k >> shift) & (kBuckets - 1)];
+          }
+        },
+        /*grain=*/1);
+    // Bucket-major, block-minor exclusive prefix sum: hist[b][d] becomes
+    // the offset where block b writes its first record with digit d.
+    std::size_t sum = 0;
+    for (std::size_t d = 0; d < kBuckets; ++d) {
+      for (std::size_t b = 0; b < blocks; ++b) {
+        const std::size_t c = hist[b * kBuckets + d];
+        hist[b * kBuckets + d] = sum;
+        sum += c;
+      }
+    }
+    pool.parallel_for(
+        0, blocks,
+        [&](std::size_t b) {
+          std::size_t* cur = hist.data() + b * kBuckets;
+          const std::size_t lo = block_bounds(b), hi = block_bounds(b + 1);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const Key k = kf(src[i]);
+            const auto digit =
+                static_cast<std::size_t>((k >> shift) & (kBuckets - 1));
+            dst[cur[digit]++] = src[i];
+          }
+        },
+        /*grain=*/1);
+    std::swap(src, dst);
+    swapped = !swapped;
+    moved += n * sizeof(T);
+  }
+  if (swapped) {
+    pool.parallel_for_ranges(
+        0, n,
+        [&](std::size_t lo, std::size_t hi) {
+          std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+                    scratch.begin() + static_cast<std::ptrdiff_t>(hi),
+                    data.begin() + static_cast<std::ptrdiff_t>(lo));
+        },
+        /*grain=*/(n + blocks - 1) / blocks);
+    moved += n * sizeof(T);
+  }
+  detail::count_bytes_moved(moved);
 }
 
 }  // namespace sdss

@@ -13,9 +13,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <span>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "sortcore/arena.hpp"
 #include "sortcore/key.hpp"
 #include "sortcore/kway_merge.hpp"
 #include "sortcore/seq_sort.hpp"
@@ -90,12 +92,16 @@ struct RunAwareResult {
   std::size_t runs = 0;
 };
 
-/// Sort `data`, exploiting partial order. The run-merge path is taken when
-/// the run count is at most `max_merge_runs` (0 picks a heuristic bound).
-/// Stable when `stable` is set (descending runs are then not reversed).
+/// Allocation-free core: sort `data` in place, exploiting partial order.
+/// The run-merge path is taken when the run count is at most
+/// `max_merge_runs` (0 picks a heuristic bound) and merges the runs into
+/// caller-provided `scratch` (>= data.size() elements, normally borrowed
+/// from a ScratchArena) before copying back once. Stable when `stable` is
+/// set (descending runs are then not reversed).
 template <typename T, KeyFunction<T> KeyFn = IdentityKey>
-RunAwareResult run_aware_sort(std::vector<T>& data, bool stable,
-                              KeyFn kf = {}, std::size_t max_merge_runs = 0) {
+RunAwareResult run_aware_sort(std::span<T> data, std::span<T> scratch,
+                              bool stable, KeyFn kf = {},
+                              std::size_t max_merge_runs = 0) {
   RunAwareResult res;
   const std::size_t n = data.size();
   if (n <= 1) {
@@ -120,17 +126,38 @@ RunAwareResult run_aware_sort(std::vector<T>& data, bool stable,
     seq_sort<T, KeyFn>(data, stable, kf);
     return res;
   }
-  res.strategy = OrderingStrategy::kRunMerge;
-  std::vector<std::span<const T>> runs;
-  runs.reserve(res.runs);
-  for (std::size_t r = 0; r + 1 < scan.bounds.size(); ++r) {
-    runs.emplace_back(data.data() + scan.bounds[r],
-                      scan.bounds[r + 1] - scan.bounds[r]);
+  if (scratch.size() < n) {
+    throw std::invalid_argument("run_aware_sort: scratch smaller than data");
   }
-  std::vector<T> out(n);
-  kway_merge<T, KeyFn>(runs, out, kf);
-  data = std::move(out);
+  res.strategy = OrderingStrategy::kRunMerge;
+  ArenaScope scope(ScratchArena::for_thread());
+  auto runs = scope.acquire<std::span<const T>>(res.runs);
+  for (std::size_t r = 0; r + 1 < scan.bounds.size(); ++r) {
+    runs[r] = std::span<const T>(data.data() + scan.bounds[r],
+                                 scan.bounds[r + 1] - scan.bounds[r]);
+  }
+  kway_merge<T, KeyFn>(runs, scratch.first(n), kf);
+  std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(n),
+            data.begin());
+  detail::count_bytes_moved(n * sizeof(T));
   return res;
+}
+
+/// Compatibility wrapper: sorts a vector in place, borrowing merge scratch
+/// from this thread's ScratchArena.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+RunAwareResult run_aware_sort(std::vector<T>& data, bool stable,
+                              KeyFn kf = {}, std::size_t max_merge_runs = 0) {
+  if (data.size() <= 1) {
+    RunAwareResult res;
+    res.strategy = OrderingStrategy::kAlreadySorted;
+    res.runs = data.size();
+    return res;
+  }
+  ArenaScope scope(ScratchArena::for_thread());
+  return run_aware_sort<T, KeyFn>(std::span<T>(data),
+                                  scope.acquire<T>(data.size()), stable, kf,
+                                  max_merge_runs);
 }
 
 }  // namespace sdss

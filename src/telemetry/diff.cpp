@@ -59,6 +59,22 @@ void compare_comm(DiffResult& out, const RunReport& b, const RunReport& a,
                   ac.collective_messages, opts);
 }
 
+void compare_kernel(DiffResult& out, const RunReport& b, const RunReport& a,
+                    const DiffOptions& opts) {
+  // Only when both sides recorded kernel counters: a baseline written before
+  // the kernel section existed must not read as "everything regressed from
+  // zero" (or silently pass as all-zero).
+  if (!b.has_kernel || !a.has_kernel) return;
+  compare_counter(out, b.name, "kernel_bytes_moved", b.kernel_bytes_moved,
+                  a.kernel_bytes_moved, opts);
+  compare_counter(out, b.name, "kernel_scratch_bytes", b.kernel_scratch_bytes,
+                  a.kernel_scratch_bytes, opts);
+  compare_counter(out, b.name, "kernel_heap_allocs", b.kernel_heap_allocs,
+                  a.kernel_heap_allocs, opts);
+  compare_counter(out, b.name, "kernel_arena_hwm", b.kernel_arena_hwm,
+                  a.kernel_arena_hwm, opts);
+}
+
 }  // namespace
 
 std::vector<PhaseDelta> DiffResult::regressions() const {
@@ -109,6 +125,7 @@ DiffResult diff_registries(const ReportRegistry& before,
     }
     if (opts.compare_bytes || opts.bytes_only) {
       compare_comm(out, b, *a, opts);
+      compare_kernel(out, b, *a, opts);
     }
   }
   for (const RunReport& a : after.reports()) {
@@ -147,7 +164,7 @@ void print_diff(std::ostream& os, const DiffResult& d,
   os << (regs.empty() ? "no regressions" : "REGRESSIONS: ")
      << (regs.empty() ? "" : std::to_string(regs.size()));
   if (opts.bytes_only) {
-    os << " (comm counters only, tolerance "
+    os << " (comm + kernel counters only, tolerance "
        << fmt_seconds(opts.bytes_threshold * 100.0, 0) << "%)\n";
   } else {
     os << " (threshold " << fmt_seconds(opts.threshold * 100.0, 0)

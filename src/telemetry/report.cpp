@@ -137,6 +137,15 @@ Json to_json(const RunReport& r) {
   lb.set("max_load", r.max_load);
   lb.set("total_records", r.total_records);
   j.set("load_balance", std::move(lb));
+
+  if (r.has_kernel) {
+    Json kernel = Json::object();
+    kernel.set("bytes_moved", r.kernel_bytes_moved);
+    kernel.set("scratch_bytes", r.kernel_scratch_bytes);
+    kernel.set("heap_allocs", r.kernel_heap_allocs);
+    kernel.set("arena_hwm", r.kernel_arena_hwm);
+    j.set("kernel", std::move(kernel));
+  }
   return j;
 }
 
@@ -189,6 +198,14 @@ RunReport report_from_json(const Json& j) {
   r.rdfa = lb.at("rdfa").number_or();
   r.max_load = lb.at("max_load").u64_or();
   r.total_records = lb.at("total_records").u64_or();
+
+  if (const Json* kernel = j.find("kernel")) {
+    r.has_kernel = true;
+    r.kernel_bytes_moved = kernel->at("bytes_moved").u64_or();
+    r.kernel_scratch_bytes = kernel->at("scratch_bytes").u64_or();
+    r.kernel_heap_allocs = kernel->at("heap_allocs").u64_or();
+    r.kernel_arena_hwm = kernel->at("arena_hwm").u64_or();
+  }
   return r;
 }
 

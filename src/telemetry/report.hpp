@@ -73,6 +73,16 @@ struct RunReport {
   double rdfa = 0.0;
   std::uint64_t max_load = 0;
   std::uint64_t total_records = 0;
+
+  // Local-kernel memory traffic (sortcore kernel_counters() deltas over the
+  // measured region). Deterministic for single-threaded fixed workloads, so
+  // report_diff can gate them exactly. has_kernel distinguishes "no kernel
+  // data recorded" (older files) from genuine zeros.
+  bool has_kernel = false;
+  std::uint64_t kernel_bytes_moved = 0;
+  std::uint64_t kernel_scratch_bytes = 0;
+  std::uint64_t kernel_heap_allocs = 0;
+  std::uint64_t kernel_arena_hwm = 0;  ///< peak live arena bytes (level)
 };
 
 /// Serialize one report to its JSON object form (stable member order).

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -99,6 +100,98 @@ TEST(ThreadPool, NestedParallelForFromWorkerCompletes) {
     pool.parallel_for(0, 8, [&](std::size_t) { n.fetch_add(1); });
   });
   EXPECT_EQ(n.load(), 32);
+}
+
+TEST(ThreadPool, ExplicitGrainRunsEveryIndexOnce) {
+  ThreadPool pool(3);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                            std::size_t{10000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(
+        0, hits.size(),
+        [&](std::size_t i) { hits[i].fetch_add(1); }, grain);
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, RangesCoverDisjointStrides) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(5000);
+  std::atomic<int> calls{0};
+  pool.parallel_for_ranges(
+      100, 5100,
+      [&](std::size_t lo, std::size_t hi) {
+        ASSERT_LT(lo, hi);
+        calls.fetch_add(1);
+        for (std::size_t i = lo; i < hi; ++i) {
+          hits[i - 100].fetch_add(1);
+        }
+      },
+      /*grain=*/256);
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  // 5000 indices at grain 256 is at most ceil(5000/256) = 20 stride calls —
+  // the whole point of chunking is orders fewer dispatches than indices.
+  EXPECT_LE(calls.load(), 20);
+}
+
+TEST(ThreadPool, RangesRunInlineWithoutWorkers) {
+  ThreadPool pool(0);
+  std::atomic<int> calls{0};
+  long sum = 0;
+  pool.parallel_for_ranges(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    calls.fetch_add(1);
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(calls.load(), 1);  // one inline call over the whole range
+  EXPECT_EQ(sum, 499500);
+}
+
+TEST(ThreadPool, RangeExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_ranges(
+                   0, 1000,
+                   [](std::size_t lo, std::size_t) {
+                     if (lo >= 500) throw std::runtime_error("boom");
+                   },
+                   /*grain=*/100),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentRanksNestChunkedLoops) {
+  // The SDS-Sort usage pattern under TSan: several simulated rank threads
+  // share one pool, and each rank's parallel_for body issues further chunked
+  // loops (sort_chunk -> merge). All claims must stay disjoint and all
+  // writes must be ordered by the batch completion protocol.
+  ThreadPool pool(3);
+  constexpr std::size_t kRanks = 4;
+  constexpr std::size_t kN = 2048;
+  std::vector<std::vector<std::uint32_t>> out(kRanks,
+                                              std::vector<std::uint32_t>(kN));
+  std::vector<std::thread> ranks;
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    ranks.emplace_back([&pool, &out, r] {
+      pool.parallel_for(
+          0, 8,
+          [&](std::size_t part) {
+            const std::size_t lo = part * kN / 8, hi = (part + 1) * kN / 8;
+            pool.parallel_for_ranges(
+                lo, hi,
+                [&](std::size_t a, std::size_t b) {
+                  for (std::size_t i = a; i < b; ++i) {
+                    out[r][i] = static_cast<std::uint32_t>(i ^ r);
+                  }
+                },
+                /*grain=*/64);
+          },
+          /*grain=*/1);
+    });
+  }
+  for (auto& t : ranks) t.join();
+  for (std::size_t r = 0; r < kRanks; ++r) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[r][i], static_cast<std::uint32_t>(i ^ r));
+    }
+  }
 }
 
 }  // namespace

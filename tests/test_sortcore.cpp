@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "sortcore/arena.hpp"
+#include "sortcore/kernel_stats.hpp"
 #include "sortcore/key.hpp"
 #include "sortcore/kway_merge.hpp"
 #include "sortcore/local_sort.hpp"
@@ -516,6 +518,257 @@ TEST(LocalSort, SortsFloatKeysViaProjection) {
   for (std::size_t i = 1; i < v.size(); ++i) {
     ASSERT_LE(v[i - 1].score, v[i].score);
   }
+}
+
+// --- ScratchArena -----------------------------------------------------------
+
+TEST(ScratchArena, MarkRewindReusesMemory) {
+  ScratchArena arena;
+  const auto m = arena.mark();
+  auto a = arena.acquire<std::uint64_t>(100);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_GE(arena.used(), 100 * sizeof(std::uint64_t));
+  std::uint64_t* first = a.data();
+  arena.rewind(m);
+  EXPECT_EQ(arena.used(), 0u);
+  auto b = arena.acquire<std::uint64_t>(100);
+  EXPECT_EQ(b.data(), first);  // same storage handed back
+}
+
+TEST(ScratchArena, GrowthKeepsLiveSpansValid) {
+  ScratchArena arena;
+  auto a = arena.acquire<std::uint64_t>(16);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 1000 + i;
+  // Force growth well past the first block: the arena must chain new blocks,
+  // never move the bytes `a` points into.
+  for (int round = 0; round < 8; ++round) {
+    auto big = arena.acquire<std::uint64_t>(1u << (10 + round));
+    std::fill(big.begin(), big.end(), std::uint64_t{0xDEAD});
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], 1000 + i);
+}
+
+TEST(ScratchArena, SteadyStateDoesNotAllocate) {
+  ScratchArena arena;
+  // Warm up with the workload's shape, then rewind fully (which coalesces).
+  {
+    const auto m = arena.mark();
+    arena.acquire<std::uint64_t>(5000);
+    arena.acquire<std::uint32_t>(3000);
+    arena.rewind(m);
+  }
+  const std::uint64_t allocs_before =
+      kernel_counters().heap_allocs.load(std::memory_order_relaxed);
+  for (int round = 0; round < 50; ++round) {
+    const auto m = arena.mark();
+    arena.acquire<std::uint64_t>(5000);
+    arena.acquire<std::uint32_t>(3000);
+    arena.rewind(m);
+  }
+  const std::uint64_t allocs_after =
+      kernel_counters().heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(allocs_after, allocs_before);
+}
+
+TEST(ScratchArena, NestedScopesStack) {
+  ScratchArena arena;
+  ArenaScope outer(arena);
+  auto a = outer.acquire<std::uint32_t>(10);
+  a[0] = 7;
+  const std::size_t used_outer = arena.used();
+  {
+    ArenaScope inner(arena);
+    inner.acquire<std::uint32_t>(1000);
+    EXPECT_GT(arena.used(), used_outer);
+  }
+  EXPECT_EQ(arena.used(), used_outer);
+  EXPECT_EQ(a[0], 7u);
+  EXPECT_GE(arena.high_water(), used_outer + 1000 * sizeof(std::uint32_t));
+}
+
+// --- span-based radix vs vector API ----------------------------------------
+
+TEST(RadixSpan, MatchesVectorApiOnRandomKeys) {
+  auto expect = random_keys(30000, 991, ~std::uint64_t{0});
+  std::vector<std::uint64_t> spanned = expect;
+  radix_sort(expect);  // vector API (arena-backed wrapper)
+  std::vector<std::uint64_t> scratch(spanned.size());
+  radix_sort(std::span<std::uint64_t>(spanned),
+             std::span<std::uint64_t>(scratch));
+  EXPECT_EQ(spanned, expect);
+}
+
+TEST(RadixSpan, MatchesVectorApiOnAllEqualKeys) {
+  std::vector<std::uint64_t> expect(10000, 42);
+  std::vector<std::uint64_t> spanned = expect;
+  radix_sort(expect);
+  std::vector<std::uint64_t> scratch(spanned.size());
+  radix_sort(std::span<std::uint64_t>(spanned),
+             std::span<std::uint64_t>(scratch));
+  EXPECT_EQ(spanned, expect);
+}
+
+TEST(RadixSpan, MatchesVectorApiOnAlreadySorted) {
+  std::vector<std::uint64_t> expect(10000);
+  for (std::size_t i = 0; i < expect.size(); ++i) expect[i] = i * 3;
+  std::vector<std::uint64_t> spanned = expect;
+  radix_sort(expect);
+  std::vector<std::uint64_t> scratch(spanned.size());
+  radix_sort(std::span<std::uint64_t>(spanned),
+             std::span<std::uint64_t>(scratch));
+  EXPECT_EQ(spanned, expect);
+}
+
+TEST(RadixSpan, UndersizedScratchThrows) {
+  std::vector<std::uint64_t> v = random_keys(100, 5, 1000);
+  std::vector<std::uint64_t> scratch(50);
+  EXPECT_THROW(radix_sort(std::span<std::uint64_t>(v),
+                          std::span<std::uint64_t>(scratch)),
+               std::invalid_argument);
+}
+
+TEST(RadixParallel, MatchesSequentialRadix) {
+  par::ThreadPool pool(3);
+  auto expect = random_keys(100000, 313, ~std::uint64_t{0});
+  std::vector<std::uint64_t> parallel = expect;
+  radix_sort(expect);
+  std::vector<std::uint64_t> scratch(parallel.size());
+  radix_sort_parallel(std::span<std::uint64_t>(parallel),
+                      std::span<std::uint64_t>(scratch), pool);
+  EXPECT_EQ(parallel, expect);
+}
+
+TEST(RadixParallel, StableOnRecords) {
+  struct Rec {
+    std::uint16_t key;
+    std::uint32_t seq;
+  };
+  par::ThreadPool pool(3);
+  SplitMix64 rng(17);
+  std::vector<Rec> v;
+  for (std::uint32_t i = 0; i < 60000; ++i) {
+    v.push_back({static_cast<std::uint16_t>(rng.next_below(64)), i});
+  }
+  std::vector<Rec> scratch(v.size());
+  radix_sort_parallel(std::span<Rec>(v), std::span<Rec>(scratch), pool,
+                      [](const Rec& r) { return r.key; });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].key, v[i].key);
+    if (v[i - 1].key == v[i].key) ASSERT_LT(v[i - 1].seq, v[i].seq);
+  }
+}
+
+// --- galloping merge: stability + correctness on duplicate-heavy runs -------
+
+TEST(KwayMergeGallop, StableOnDuplicateHeavyRuns) {
+  // Long stretches of equal keys inside and across 5 runs drive the drain
+  // loop through the galloping bulk-copy path; every element carries its
+  // (run, position) origin so stability violations are pinpointed exactly.
+  struct Rec {
+    std::uint32_t key;
+    std::uint32_t run;
+    std::uint32_t pos;
+  };
+  constexpr std::size_t kRuns = 5;
+  SplitMix64 rng(271);
+  std::vector<std::vector<Rec>> runs(kRuns);
+  for (std::uint32_t r = 0; r < kRuns; ++r) {
+    std::uint32_t key = 0;
+    std::uint32_t pos = 0;
+    while (runs[r].size() < 4000) {
+      // Each run advances through keys 0..~40 in long duplicate stretches of
+      // varying length, so runs repeatedly tie with each other.
+      const std::size_t stretch = 1 + rng.next_below(200);
+      for (std::size_t s = 0; s < stretch; ++s) {
+        runs[r].push_back({key, r, pos++});
+      }
+      key += static_cast<std::uint32_t>(rng.next_below(3));
+    }
+  }
+  auto spans = as_spans(runs);
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  std::vector<Rec> out(total);
+  kway_merge<Rec>(spans, out, [](const Rec& r) { return r.key; });
+
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].key, out[i].key);
+    if (out[i - 1].key == out[i].key) {
+      // Stable across runs: lower run index first; within a run, original
+      // position order.
+      ASSERT_LE(out[i - 1].run, out[i].run);
+      if (out[i - 1].run == out[i].run) {
+        ASSERT_LT(out[i - 1].pos, out[i].pos);
+      }
+    }
+  }
+}
+
+TEST(KwayMergeGallop, DisjointRangesMatchConcatenation) {
+  // Fully disjoint key ranges: the gallop should drain each run in a few
+  // bulk copies; the result must equal the runs concatenated in key order.
+  std::vector<std::vector<std::uint64_t>> runs(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      runs[r].push_back(r * 1000000 + i);
+    }
+  }
+  // Feed them in shuffled order (merge input order != key order).
+  std::vector<std::vector<std::uint64_t>> shuffled{runs[2], runs[0], runs[3],
+                                                   runs[1]};
+  auto spans = as_spans(shuffled);
+  std::vector<std::uint64_t> out(20000);
+  kway_merge<std::uint64_t>(spans, out);
+  std::vector<std::uint64_t> expect;
+  for (const auto& r : runs) {
+    expect.insert(expect.end(), r.begin(), r.end());
+  }
+  EXPECT_EQ(out, expect);
+}
+
+TEST(KwayMergeGallop, RepeatedMergesReuseArena) {
+  // After a warm-up call, further identically-shaped merges must perform
+  // zero heap allocations (satellite: live/tree/cursor tables live in the
+  // arena, not in per-call vectors).
+  std::vector<std::vector<std::uint64_t>> runs(6);
+  SplitMix64 rng(99);
+  for (auto& r : runs) {
+    r = random_keys(2000, rng.next(), 1000);
+    std::sort(r.begin(), r.end());
+  }
+  auto spans = as_spans(runs);
+  std::vector<std::uint64_t> out(12000);
+  kway_merge<std::uint64_t>(spans, out);  // warm-up: arena may grow
+  const std::uint64_t allocs_before =
+      kernel_counters().heap_allocs.load(std::memory_order_relaxed);
+  for (int round = 0; round < 10; ++round) {
+    kway_merge<std::uint64_t>(spans, out);
+  }
+  const std::uint64_t allocs_after =
+      kernel_counters().heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(allocs_after, allocs_before);
+}
+
+// --- run_aware_sort span API ------------------------------------------------
+
+TEST(Runs, SpanApiMatchesVectorApi) {
+  SplitMix64 rng(1234);
+  std::vector<std::uint64_t> expect;
+  for (int run = 0; run < 10; ++run) {
+    std::uint64_t v = rng.next_below(100);
+    for (int i = 0; i < 500; ++i) {
+      expect.push_back(v);
+      v += rng.next_below(5);
+    }
+  }
+  std::vector<std::uint64_t> spanned = expect;
+  run_aware_sort(expect, /*stable=*/false);
+  std::vector<std::uint64_t> scratch(spanned.size());
+  const RunAwareResult res =
+      run_aware_sort(std::span<std::uint64_t>(spanned),
+                     std::span<std::uint64_t>(scratch), /*stable=*/false);
+  EXPECT_EQ(res.strategy, OrderingStrategy::kRunMerge);
+  EXPECT_EQ(spanned, expect);
 }
 
 }  // namespace

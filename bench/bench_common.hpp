@@ -188,6 +188,14 @@ inline TimedResult time_spmd(
   rep.net_bandwidth_Bps = cc.network.bandwidth_Bps;
   rep.ok = out.ok;
   rep.oom = out.oom;
+  rep.failure_class = sim::failure_class_name(res.failure);
+  rep.failed_rank = res.failed_rank;
+  if (cc.chaos.any()) {
+    rep.has_chaos = true;
+    rep.chaos_seed = cc.chaos.seed;
+    rep.fault_events = std::move(res.fault_events);
+    rep.jittered_messages = res.jittered_messages;
+  }
   rep.wall_seconds = out.ok ? out.seconds : -1.0;
   rep.crit_path_cpu_seconds = out.crit_path_cpu;
   rep.phases = out.breakdown;

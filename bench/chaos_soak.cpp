@@ -1,0 +1,249 @@
+// Chaos soak harness: exhaustive crash-point sweep plus straggler and
+// delivery-jitter endurance runs over the three distributed sorts.
+//
+// For every algorithm (SDS-Sort, HykSort, samplesort) at P=8 the sweep
+// crashes one rank at every communication-op index it executes — every such
+// run must terminate with a classified kInjectedCrash result; a hang would
+// instead trip the deadlock watchdog and show up as an unexpected
+// classification. Straggler and jitter phases then inject rate-based stalls
+// and point-to-point delivery delays across several fixed seeds and require
+// the sorts to still complete correctly.
+//
+// All seeds are fixed, so the fault schedules — and therefore the printed
+// classification table — are reproducible run to run. Exits nonzero on any
+// unexpected classification, which is how scripts/check.sh gates it.
+// `--quick` thins the sweep (3 victim ranks, strided op indices) for CI;
+// the default sweeps every rank at every op index.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/hyksort.hpp"
+#include "baselines/samplesort.hpp"
+#include "bench_common.hpp"
+#include "sim/chaos.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::ChaosSpec;
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+using sim::FailureClass;
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::RunResult;
+
+constexpr int kRanks = 8;
+constexpr std::size_t kRecordsPerRank = 600;
+
+struct Algo {
+  const char* name;
+  std::function<void(Comm&)> body;
+};
+
+std::vector<std::uint64_t> shard(Comm& w, std::uint64_t salt) {
+  return workloads::zipf_keys(
+      kRecordsPerRank, 1.0,
+      derive_seed(salt, static_cast<std::uint64_t>(w.rank())));
+}
+
+std::vector<Algo> algorithms() {
+  return {
+      {"sds-sort",
+       [](Comm& w) { sds_sort<std::uint64_t>(w, shard(w, 11)); }},
+      {"hyksort",
+       [](Comm& w) { baselines::hyksort<std::uint64_t>(w, shard(w, 12)); }},
+      {"samplesort",
+       [](Comm& w) {
+         baselines::sample_sort<std::uint64_t>(w, shard(w, 13));
+       }},
+  };
+}
+
+ClusterConfig chaos_config(ChaosSpec spec, double watchdog_s = 5.0) {
+  ClusterConfig cfg;
+  cfg.num_ranks = kRanks;
+  cfg.chaos = std::move(spec);
+  cfg.watchdog_timeout_s = watchdog_s;
+  return cfg;
+}
+
+/// Per-algorithm soak outcome, aggregated into the printed table and the
+/// telemetry report.
+struct Tally {
+  int runs = 0;
+  int unexpected = 0;
+  std::map<std::string, int> by_class;
+
+  void count(const RunResult& res, bool expected) {
+    ++runs;
+    ++by_class[sim::failure_class_name(res.failure)];
+    if (!expected) ++unexpected;
+  }
+};
+
+/// Crash the victim at every swept op index; every run must come back
+/// classified kInjectedCrash with the victim as the failed rank.
+void crash_sweep(const Algo& a, bool quick, Tally& tally) {
+  const RunResult probe =
+      Cluster(chaos_config(ChaosSpec{})).run_collect(a.body);
+  if (!probe.ok) {
+    std::cout << "  " << a.name << ": fault-free probe run FAILED: "
+              << probe.error << "\n";
+    ++tally.unexpected;
+    return;
+  }
+
+  std::vector<int> victims;
+  if (quick) {
+    victims = {0, kRanks / 2, kRanks - 1};
+  } else {
+    for (int r = 0; r < kRanks; ++r) victims.push_back(r);
+  }
+
+  for (int victim : victims) {
+    const std::uint64_t ops =
+        probe.comm_ops[static_cast<std::size_t>(victim)];
+    const std::uint64_t step =
+        quick ? std::max<std::uint64_t>(1, ops / 8) : 1;
+    for (std::uint64_t k = 0; k < ops; k += step) {
+      ChaosSpec spec;
+      spec.seed = 0xC0FFEE + k;
+      spec.forced.push_back(FaultEvent{FaultKind::kCrash, victim, k, 0.0});
+      const RunResult res =
+          Cluster(chaos_config(spec)).run_collect(a.body);
+      const bool expected = !res.ok &&
+                            res.failure == FailureClass::kInjectedCrash &&
+                            res.failed_rank == victim;
+      tally.count(res, expected);
+      if (!expected) {
+        std::cout << "  UNEXPECTED " << a.name << " victim=" << victim
+                  << " op=" << k << ": class="
+                  << sim::failure_class_name(res.failure)
+                  << " failed_rank=" << res.failed_rank << " error=\""
+                  << res.error << "\"\n";
+      }
+    }
+  }
+}
+
+/// Rate-based stragglers: the sort must complete (correct and classified
+/// kNone) and the stalls must not trip the watchdog.
+void straggler_soak(const Algo& a, Tally& tally) {
+  for (std::uint64_t seed : {101u, 102u, 103u, 104u, 105u}) {
+    ChaosSpec spec;
+    spec.seed = seed;
+    spec.stall_prob = 0.25;
+    spec.max_stall_s = 0.002;
+    const RunResult res =
+        Cluster(chaos_config(spec, /*watchdog_s=*/0.5)).run_collect(a.body);
+    const bool expected = res.ok && res.failure == FailureClass::kNone;
+    tally.count(res, expected);
+    if (!expected) {
+      std::cout << "  UNEXPECTED " << a.name << " straggler seed=" << seed
+                << ": class=" << sim::failure_class_name(res.failure)
+                << " error=\"" << res.error << "\"\n";
+    }
+  }
+}
+
+/// Point-to-point delivery jitter: reordering pressure on the record
+/// exchange must never change the result or wedge the run.
+void jitter_soak(const Algo& a, Tally& tally) {
+  for (std::uint64_t seed : {201u, 202u, 203u}) {
+    ChaosSpec spec;
+    spec.seed = seed;
+    spec.jitter_prob = 0.5;
+    spec.max_jitter_s = 0.0005;
+    const RunResult res =
+        Cluster(chaos_config(spec)).run_collect(a.body);
+    const bool expected = res.ok && res.failure == FailureClass::kNone;
+    tally.count(res, expected);
+    if (!expected) {
+      std::cout << "  UNEXPECTED " << a.name << " jitter seed=" << seed
+                << ": class=" << sim::failure_class_name(res.failure)
+                << " error=\"" << res.error << "\"\n";
+    }
+  }
+}
+
+void record_report(const Algo& a, const Tally& tally) {
+  auto& reporter = bench::BenchReporter::instance();
+  telemetry::RunReport rep;
+  rep.name = std::string("chaos-soak/") + a.name;
+  rep.experiment = reporter.experiment();
+  rep.algorithm = a.name;
+  rep.workload = "zipf(1.0)";
+  rep.ranks = kRanks;
+  rep.ok = tally.unexpected == 0;
+  rep.has_chaos = true;
+  rep.chaos_seed = 0xC0FFEE;
+  rep.params.emplace_back("soak_runs", std::to_string(tally.runs));
+  rep.params.emplace_back("unexpected", std::to_string(tally.unexpected));
+  for (const auto& [cls, n] : tally.by_class) {
+    rep.params.emplace_back("class." + cls, std::to_string(n));
+  }
+  reporter.registry().add(std::move(rep));
+}
+
+int run_soak(bool quick) {
+  bench::print_header(
+      "chaos_soak",
+      std::string("Fixed-seed fault-injection soak at P=") +
+          std::to_string(kRanks) +
+          (quick ? " (quick sweep)" : " (full sweep)") +
+          ": crash every swept comm-op index on each victim rank, then\n"
+          "straggler and delivery-jitter endurance runs. Every run must\n"
+          "terminate with the expected classification — never hang.");
+
+  int total_runs = 0;
+  int total_unexpected = 0;
+  std::map<std::string, int> totals;
+  for (const Algo& a : algorithms()) {
+    Tally tally;
+    crash_sweep(a, quick, tally);
+    straggler_soak(a, tally);
+    jitter_soak(a, tally);
+    record_report(a, tally);
+    std::cout << "  " << a.name << ": " << tally.runs << " runs";
+    for (const auto& [cls, n] : tally.by_class) {
+      std::cout << "  " << cls << "=" << n;
+      totals[cls] += n;
+    }
+    std::cout << "  unexpected=" << tally.unexpected << "\n";
+    total_runs += tally.runs;
+    total_unexpected += tally.unexpected;
+  }
+
+  std::cout << "\n  total: " << total_runs << " runs";
+  for (const auto& [cls, n] : totals) std::cout << "  " << cls << "=" << n;
+  std::cout << "  unexpected=" << total_unexpected << "\n\n";
+
+  bench::print_shape(
+      "every injected crash terminates classified (injected-crash, correct "
+      "failed rank); stragglers and jitter never corrupt or wedge a sort");
+  bench::print_verdict(total_unexpected == 0
+                           ? "all runs classified as expected"
+                           : std::to_string(total_unexpected) +
+                                 " run(s) with unexpected classification");
+  return total_unexpected == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sdss
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  return sdss::run_soak(quick);
+}

@@ -3,8 +3,9 @@
 # telemetry path — run one fast bench with --json and validate the emitted
 # run-report file (report_diff file file exits 0 iff the file parses and
 # matches itself) — then gate the collective wire-volume counters and the
-# local-sort kernel memory counters against their checked-in baselines and
-# run the collective, thread-pool, and sortcore tests under
+# local-sort kernel memory counters against their checked-in baselines, run
+# the fixed-seed chaos soak (crash-point sweep + straggler/jitter runs), and
+# run the collective, thread-pool, sortcore, and chaos tests under
 # ThreadSanitizer. See docs/BENCHMARKING.md.
 #
 # Environment knobs:
@@ -54,15 +55,25 @@ echo "== local sort kernel gate =="
 "$BUILD_DIR"/bench/report_diff bench/baselines/bench_local_sort.json \
     "$report" --bytes-only
 
+echo "== chaos soak (fixed-seed fault injection) =="
+# chaos_soak force-crashes a victim rank at swept comm-op indices for each of
+# the three distributed sorts, then runs straggler and delivery-jitter
+# endurance seeds. Every run must terminate with the expected classification;
+# a hang would trip the in-sim deadlock watchdog (and the nonzero exit), not
+# this script's patience. --quick thins the sweep for CI; drop it to sweep
+# every rank at every op index.
+"$BUILD_DIR"/bench/chaos_soak --quick
+
 if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
   echo "== thread sanitizer (collective + sortcore/pool tests) =="
   cmake -B "$BUILD_DIR-tsan" -S . -DSDSS_SANITIZE=thread >/dev/null
   cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm \
-      test_par test_sortcore
+      test_par test_sortcore test_chaos
   "$BUILD_DIR-tsan"/tests/test_collectives
   "$BUILD_DIR-tsan"/tests/test_sim_comm
   "$BUILD_DIR-tsan"/tests/test_par
   "$BUILD_DIR-tsan"/tests/test_sortcore
+  "$BUILD_DIR-tsan"/tests/test_chaos
 fi
 
 echo "== OK =="

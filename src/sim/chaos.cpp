@@ -1,0 +1,181 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "sim/state.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace sdss::sim {
+
+namespace {
+
+// Domain-separation salts for the per-decision hash streams: the same
+// (seed, rank, op) must give independent stall and jitter draws.
+constexpr std::uint64_t kSaltStallGate = 0x5354414c4c3f0001ULL;
+constexpr std::uint64_t kSaltStallLen = 0x5354414c4c3f0002ULL;
+constexpr std::uint64_t kSaltJitterGate = 0x4a49545445520001ULL;
+constexpr std::uint64_t kSaltJitterLen = 0x4a49545445520002ULL;
+constexpr std::uint64_t kSaltCrashRank = 0x435241534852414bULL;
+constexpr std::uint64_t kSaltCrashOp = 0x43524153482d4f50ULL;
+
+/// Pure-function 64-bit draw: no generator state, so the value a rank sees
+/// for its op K never depends on what other ranks drew in the meantime.
+std::uint64_t draw(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                   std::uint64_t b) {
+  std::uint64_t h = mix64(seed ^ salt);
+  h = mix64(h ^ (a + 0x9e3779b97f4a7c15ULL));
+  h = mix64(h ^ (b + 0x517cc1b727220a95ULL));
+  return h;
+}
+
+double draw_u01(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                std::uint64_t b) {
+  return static_cast<double>(draw(seed, salt, a, b) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kJitter:
+      return "jitter";
+  }
+  return "unknown";
+}
+
+FaultKind fault_kind_from_name(const char* name) {
+  if (std::strcmp(name, "stall") == 0) return FaultKind::kStall;
+  if (std::strcmp(name, "jitter") == 0) return FaultKind::kJitter;
+  return FaultKind::kCrash;
+}
+
+FaultPlan::FaultPlan(const ChaosSpec& spec, int num_ranks) {
+  if (num_ranks < 1 || !spec.any()) return;
+  enabled_ = true;
+  seed_ = spec.seed;
+  stall_prob_ = spec.stall_prob;
+  max_stall_s_ = spec.max_stall_s;
+  jitter_prob_ = spec.jitter_prob;
+  max_jitter_s_ = spec.max_jitter_s;
+  crash_op_.assign(static_cast<std::size_t>(num_ranks), kNever);
+  forced_stalls_.resize(static_cast<std::size_t>(num_ranks));
+
+  // Derived crashes: pick `crash_ranks` distinct victims by iterating the
+  // draw stream (deterministic; duplicates advance the stream).
+  const int want = std::min(spec.crash_ranks, num_ranks);
+  int chosen = 0;
+  for (std::uint64_t i = 0; chosen < want; ++i) {
+    const int victim = static_cast<int>(
+        draw(seed_, kSaltCrashRank, i, 0) %
+        static_cast<std::uint64_t>(num_ranks));
+    auto& slot = crash_op_[static_cast<std::size_t>(victim)];
+    if (slot != kNever) continue;
+    const std::uint64_t range = std::max<std::uint64_t>(spec.crash_op_range, 1);
+    slot = draw(seed_, kSaltCrashOp, i, static_cast<std::uint64_t>(victim)) %
+           range;
+    ++chosen;
+  }
+
+  // Forced events override/extend the derived schedule.
+  for (const FaultEvent& e : spec.forced) {
+    if (e.rank < 0 || e.rank >= num_ranks) {
+      throw Error("chaos: forced fault event rank out of range");
+    }
+    const auto r = static_cast<std::size_t>(e.rank);
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        crash_op_[r] = std::min(crash_op_[r], e.op_index);
+        break;
+      case FaultKind::kStall:
+        forced_stalls_[r].push_back(e);
+        break;
+      case FaultKind::kJitter:
+        break;  // jitter is rate-based only
+    }
+  }
+  for (auto& stalls : forced_stalls_) {
+    std::sort(stalls.begin(), stalls.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                return a.op_index < b.op_index;
+              });
+  }
+}
+
+std::uint64_t FaultPlan::crash_op(int rank) const {
+  if (!enabled_ || rank < 0 ||
+      static_cast<std::size_t>(rank) >= crash_op_.size()) {
+    return kNever;
+  }
+  return crash_op_[static_cast<std::size_t>(rank)];
+}
+
+double FaultPlan::stall_before(int rank, std::uint64_t k) const {
+  if (!enabled_) return 0.0;
+  double total = 0.0;
+  const auto& stalls = forced_stalls_[static_cast<std::size_t>(rank)];
+  // The per-rank forced list is tiny (a sweep schedules one or two events).
+  for (const FaultEvent& e : stalls) {
+    if (e.op_index == k) total += e.seconds;
+    if (e.op_index > k) break;
+  }
+  if (stall_prob_ > 0.0 &&
+      draw_u01(seed_, kSaltStallGate, static_cast<std::uint64_t>(rank), k) <
+          stall_prob_) {
+    total += max_stall_s_ *
+             draw_u01(seed_, kSaltStallLen, static_cast<std::uint64_t>(rank), k);
+  }
+  return total;
+}
+
+double FaultPlan::jitter_for(int rank, std::uint64_t k) const {
+  if (!enabled_ || jitter_prob_ <= 0.0) return 0.0;
+  if (draw_u01(seed_, kSaltJitterGate, static_cast<std::uint64_t>(rank), k) >=
+      jitter_prob_) {
+    return 0.0;
+  }
+  return max_jitter_s_ *
+         draw_u01(seed_, kSaltJitterLen, static_cast<std::uint64_t>(rank), k);
+}
+
+namespace detail {
+
+std::uint64_t chaos_before_op(ClusterState* st, int world_rank,
+                              const char* op) {
+  const auto r = static_cast<std::size_t>(world_rank);
+  const std::uint64_t k = st->op_counts[r]++;
+  const FaultPlan& plan = st->chaos;
+  if (!plan.enabled()) return k;
+
+  const double stall = plan.stall_before(world_rank, k);
+  if (stall > 0.0) {
+    {
+      std::lock_guard<std::mutex> lk(st->mu);
+      st->fired.push_back(
+          FaultEvent{FaultKind::kStall, world_rank, k, stall});
+    }
+    // Sleep outside the lock: a straggler must slow only itself down.
+    std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+  }
+  if (plan.crash_op(world_rank) == k) {
+    {
+      std::lock_guard<std::mutex> lk(st->mu);
+      st->fired.push_back(FaultEvent{FaultKind::kCrash, world_rank, k, 0.0});
+    }
+    throw SimInjectedFault(world_rank, k, op, plan.seed());
+  }
+  return k;
+}
+
+}  // namespace detail
+
+}  // namespace sdss::sim
+

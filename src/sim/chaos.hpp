@@ -1,0 +1,114 @@
+// Deterministic, seeded fault injection for the simulated cluster.
+//
+// A `ChaosSpec` describes *what kinds* of faults to inject (crashes,
+// stragglers, delivery jitter) and with which seed; a `FaultPlan` is the
+// fully materialized, deterministic schedule derived from it. Every decision
+// the plan makes is a pure function of (seed, rank, comm-op index), so the
+// same seed replays the same fault sequence bit-for-bit regardless of thread
+// scheduling — the foundation of the crash-point sweep harness
+// (bench/chaos_soak.cpp, tests/test_chaos.cpp).
+//
+// Fault model (see DESIGN.md §9):
+//  * crash — the victim rank throws `SimInjectedFault` immediately before
+//    executing its K-th communication operation (public Comm entry points
+//    count; a collective counts as one op). Peers unwind via the normal
+//    abort machinery and the run is classified kInjectedCrash.
+//  * stall — the victim sleeps for a bounded wall-clock duration before a
+//    communication op: a straggler. Stalls never change results, only
+//    timing, and must not trip the deadlock watchdog (a stalled rank is
+//    running, not blocked).
+//  * jitter — a point-to-point message's delivery time is pushed into the
+//    future by a bounded amount. FIFO per (src, tag) still holds: the
+//    mailbox matcher never lets a later message from the same source
+//    overtake an earlier in-flight one. Collective-internal messages are
+//    never jittered (their transport relies on immediate delivery).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sdss::sim {
+
+enum class FaultKind : std::uint8_t { kCrash, kStall, kJitter };
+
+/// Stable lowercase names used in telemetry reports ("crash", "stall",
+/// "jitter"). Round-trips via fault_kind_from_name.
+const char* fault_kind_name(FaultKind k);
+FaultKind fault_kind_from_name(const char* name);
+
+/// One scheduled — or, in RunResult::fault_events, one fired — fault.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  int rank = -1;                ///< victim world rank
+  std::uint64_t op_index = 0;   ///< comm-op ordinal on that rank (0-based)
+  double seconds = 0.0;         ///< stall duration / jitter delay; 0 for crash
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Declarative chaos configuration. Default-constructed = no chaos at all.
+/// `forced` events are deterministic regardless of the seed; the *_prob /
+/// crash_ranks knobs derive a random-but-reproducible schedule from it.
+struct ChaosSpec {
+  std::uint64_t seed = 0;
+
+  /// Number of distinct ranks that get one scheduled crash each, at an op
+  /// index drawn uniformly from [0, crash_op_range).
+  int crash_ranks = 0;
+  std::uint64_t crash_op_range = 64;
+
+  /// Per-op probability that the rank stalls before the op, and the stall
+  /// duration bound (uniform in (0, max_stall_s]).
+  double stall_prob = 0.0;
+  double max_stall_s = 0.005;
+
+  /// Per-message probability of extra point-to-point delivery delay,
+  /// uniform in (0, max_jitter_s].
+  double jitter_prob = 0.0;
+  double max_jitter_s = 0.0005;
+
+  /// Explicit events (e.g. "crash rank 3 at op 17" for a crash-point
+  /// sweep). kJitter entries are ignored — jitter is rate-based only.
+  std::vector<FaultEvent> forced;
+
+  /// True when this spec injects anything at all.
+  bool any() const {
+    return crash_ranks > 0 || stall_prob > 0.0 || jitter_prob > 0.0 ||
+           !forced.empty();
+  }
+};
+
+/// The materialized schedule: cheap value, immutable after construction,
+/// safe to read concurrently from every rank thread.
+class FaultPlan {
+ public:
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+  FaultPlan() = default;
+  FaultPlan(const ChaosSpec& spec, int num_ranks);
+
+  bool enabled() const { return enabled_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Op index at which `rank` is scheduled to crash, or kNever.
+  std::uint64_t crash_op(int rank) const;
+
+  /// Stall duration before op `k` on `rank`, 0 when none is scheduled.
+  double stall_before(int rank, std::uint64_t k) const;
+
+  /// Extra delivery delay for the point-to-point message `rank` sends as
+  /// its op `k`, 0 when the message is not jittered.
+  double jitter_for(int rank, std::uint64_t k) const;
+
+ private:
+  bool enabled_ = false;
+  std::uint64_t seed_ = 0;
+  double stall_prob_ = 0.0;
+  double max_stall_s_ = 0.0;
+  double jitter_prob_ = 0.0;
+  double max_jitter_s_ = 0.0;
+  std::vector<std::uint64_t> crash_op_;                 // per rank
+  std::vector<std::vector<FaultEvent>> forced_stalls_;  // per rank, op-sorted
+};
+
+}  // namespace sdss::sim

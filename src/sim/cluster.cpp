@@ -1,14 +1,19 @@
 #include "sim/cluster.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "sim/state.hpp"
 #include "util/error.hpp"
 
 namespace sdss::sim {
 
+using detail::BlockedOp;
+using detail::Clock;
 using detail::ClusterState;
 using detail::ContextInfo;
 
@@ -24,6 +29,24 @@ CommStats RunResult::total_comm() const {
   return out;
 }
 
+const char* failure_class_name(FailureClass c) {
+  switch (c) {
+    case FailureClass::kNone:
+      return "none";
+    case FailureClass::kOom:
+      return "oom";
+    case FailureClass::kDeadlock:
+      return "deadlock";
+    case FailureClass::kInjectedCrash:
+      return "injected-crash";
+    case FailureClass::kPeerAbort:
+      return "peer-abort";
+    case FailureClass::kLogicError:
+      return "logic-error";
+  }
+  return "unknown";
+}
+
 Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
   if (cfg_.num_ranks < 1) throw CommError("cluster needs at least one rank");
   if (cfg_.cores_per_node < 1) {
@@ -33,14 +56,147 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(cfg) {
 
 namespace {
 
+/// Classify one rank's exception into the failure taxonomy.
+FailureClass classify_failure(const std::exception_ptr& e) {
+  if (!e) return FailureClass::kNone;
+  try {
+    std::rethrow_exception(e);
+  } catch (const SimOomError&) {
+    return FailureClass::kOom;
+  } catch (const SimDeadlockError&) {
+    return FailureClass::kDeadlock;
+  } catch (const SimInjectedFault&) {
+    return FailureClass::kInjectedCrash;
+  } catch (const SimAbortError&) {
+    return FailureClass::kPeerAbort;
+  } catch (...) {
+    return FailureClass::kLogicError;
+  }
+}
+
+std::string failure_what(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 /// Launch one thread per rank, run fn, join; returns the first non-abort
-/// exception (if any), the rank that raised it, and the per-rank ledgers.
+/// exception (if any), every rank's classified unwind, and the per-rank
+/// ledgers and chaos accounting.
 struct LaunchOutcome {
   std::exception_ptr primary;
   int failed_rank = -1;
+  /// Every rank that unwound (primary and secondaries), unsorted.
+  std::vector<std::pair<int, std::exception_ptr>> unwound;
   std::vector<PhaseLedger> ledgers;
   std::vector<CommStats> comm_stats;
   std::vector<TraceEvent> trace;
+  std::vector<FaultEvent> fired;
+  std::uint64_t jittered_messages = 0;
+  std::vector<std::uint64_t> op_counts;
+};
+
+/// The no-progress watchdog. Runs on its own thread; fires only when every
+/// live rank has sat blocked (deadline-free) with no mailbox progress for
+/// the full threshold, and even then only after a probe wake-up gives every
+/// thread one more chance to advance (guards against a woken-but-descheduled
+/// rank being mistaken for a dead one on an oversubscribed host).
+class Watchdog {
+ public:
+  Watchdog(ClusterState* st, double timeout_s)
+      : st_(st), timeout_(std::chrono::duration<double>(timeout_s)) {}
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(st_->mu);
+      stop_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until stop(); sets *fired to the deadlock error if it fired.
+  void run(std::exception_ptr* fired_error) {
+    std::unique_lock<std::mutex> lk(st_->mu);
+    const auto tick = std::min(
+        std::chrono::duration_cast<Clock::duration>(timeout_ / 4),
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::milliseconds(100)));
+    std::uint64_t last_epoch = st_->progress_epoch;
+    auto window_start = Clock::now();
+    bool probed = false;
+    while (!stop_ && !st_->aborted) {
+      cv_.wait_for(lk, std::max(tick, Clock::duration(1)));
+      if (stop_ || st_->aborted) return;
+
+      if (st_->progress_epoch != last_epoch || !all_live_blocked()) {
+        last_epoch = st_->progress_epoch;
+        window_start = Clock::now();
+        probed = false;
+        continue;
+      }
+      if (Clock::now() - window_start < timeout_) continue;
+      if (!probed) {
+        // Probe: wake every rank for one spurious rescan. A rank with a
+        // deliverable message will consume it and bump the epoch; a truly
+        // deadlocked cluster stays silent through the grace tick.
+        probed = true;
+        window_start = Clock::now() - std::chrono::duration_cast<
+                                          Clock::duration>(timeout_) + tick;
+        for (auto& cv : st_->rank_cvs) cv->notify_all();
+        st_->cv.notify_all();
+        continue;
+      }
+      // Verdict: deadlock. Build the per-rank dump and abort the run.
+      std::vector<BlockedRankDump> dump;
+      dump.reserve(static_cast<std::size_t>(st_->num_ranks));
+      for (int r = 0; r < st_->num_ranks; ++r) {
+        const auto i = static_cast<std::size_t>(r);
+        BlockedRankDump d;
+        d.rank = r;
+        if (st_->finished[i] != 0u) {
+          d.finished = true;
+        } else {
+          const BlockedOp& b = st_->blocked[i];
+          d.op = b.op != nullptr ? b.op : "running";
+          d.src = b.src;
+          d.tag = b.tag;
+          d.ctx = b.ctx;
+        }
+        dump.push_back(std::move(d));
+      }
+      *fired_error = std::make_exception_ptr(SimDeadlockError(
+          std::move(dump), std::chrono::duration<double>(timeout_).count()));
+      st_->aborted = true;
+      st_->abort_cause = "deadlock watchdog: no progress";
+      st_->cv.notify_all();
+      for (auto& cv : st_->rank_cvs) cv->notify_all();
+      return;
+    }
+  }
+
+ private:
+  /// Caller holds st_->mu. True iff at least one rank is still running and
+  /// every unfinished rank is blocked with no self-wake deadline pending.
+  bool all_live_blocked() const {
+    int live = 0;
+    for (int r = 0; r < st_->num_ranks; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (st_->finished[i] != 0u) continue;
+      ++live;
+      const BlockedOp& b = st_->blocked[i];
+      if (b.op == nullptr || b.has_deadline) return false;
+    }
+    return live > 0;
+  }
+
+  ClusterState* st_;
+  std::chrono::duration<double> timeout_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by st_->mu
 };
 
 LaunchOutcome launch(const ClusterConfig& cfg,
@@ -57,6 +213,10 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   st.comm_stats.resize(static_cast<std::size_t>(cfg.num_ranks));
   st.trace_enabled = cfg.enable_trace;
   st.trace_epoch = detail::Clock::now();
+  st.chaos = FaultPlan(cfg.chaos, cfg.num_ranks);
+  st.op_counts.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
+  st.blocked.resize(static_cast<std::size_t>(cfg.num_ranks));
+  st.finished.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
   st.rank_cvs.reserve(static_cast<std::size_t>(cfg.num_ranks));
   for (int r = 0; r < cfg.num_ranks; ++r) {
     st.rank_cvs.push_back(std::make_unique<std::condition_variable>());
@@ -83,41 +243,68 @@ LaunchOutcome launch(const ClusterConfig& cfg,
     for (auto& cv : st.rank_cvs) cv->notify_all();
   };
 
+  // The watchdog breaks genuine deadlocks (which would otherwise hang the
+  // joins below forever) by aborting the cluster with a classified error.
+  Watchdog watchdog(&st, cfg.watchdog_timeout_s);
+  std::exception_ptr watchdog_error;
+  std::thread watchdog_thread;
+  if (cfg.watchdog_timeout_s > 0.0) {
+    watchdog_thread = std::thread(
+        [&watchdog, &watchdog_error] { watchdog.run(&watchdog_error); });
+  }
+
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(cfg.num_ranks));
   for (int r = 0; r < cfg.num_ranks; ++r) {
     threads.emplace_back([&, r] {
       Comm world_comm = detail::make_comm(&st, /*ctx=*/0, /*rank=*/r,
                                           cfg.num_ranks, /*world_rank=*/r);
+      auto record = [&](bool primary_candidate) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        out.unwound.emplace_back(r, std::current_exception());
+        if (primary_candidate && !out.primary) {
+          out.primary = std::current_exception();
+          out.failed_rank = r;
+        }
+      };
       try {
         fn(world_comm);
       } catch (const SimAbortError&) {
-        // Secondary casualty of another rank's failure; ignore.
+        // Secondary casualty of another rank's failure: recorded (and later
+        // classified kPeerAbort), but never the primary.
+        record(false);
       } catch (const std::exception& e) {
-        {
-          std::lock_guard<std::mutex> lk(err_mu);
-          if (!out.primary) {
-            out.primary = std::current_exception();
-            out.failed_rank = r;
-          }
-        }
+        record(true);
         abort_cluster(e.what());
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lk(err_mu);
-          if (!out.primary) {
-            out.primary = std::current_exception();
-            out.failed_rank = r;
-          }
-        }
+        record(true);
         abort_cluster("unknown exception");
+      }
+      {
+        std::lock_guard<std::mutex> lk(st.mu);
+        st.finished[static_cast<std::size_t>(r)] = 1;
+        ++st.progress_epoch;
       }
     });
   }
   for (auto& t : threads) t.join();
+  watchdog.stop();
+  if (watchdog_thread.joinable()) watchdog_thread.join();
+  if (watchdog_error) {
+    std::lock_guard<std::mutex> lk(err_mu);
+    // The deadlock verdict outranks the secondary unwinds it triggered —
+    // but a real rank error that raced the verdict keeps primacy.
+    if (!out.primary) {
+      out.primary = watchdog_error;
+      out.failed_rank = -1;
+    }
+  }
   out.ledgers = std::move(st.ledgers);
   out.comm_stats = std::move(st.comm_stats);
   out.trace = std::move(st.trace);
+  out.fired = std::move(st.fired);
+  out.jittered_messages = st.jittered_messages;
+  out.op_counts = std::move(st.op_counts);
   return out;
 }
 
@@ -129,20 +316,36 @@ RunResult Cluster::run_collect(const std::function<void(Comm&)>& fn) {
   res.ledgers = std::move(lo.ledgers);
   res.comm_stats = std::move(lo.comm_stats);
   res.trace = std::move(lo.trace);
+  res.comm_ops = std::move(lo.op_counts);
+  res.jittered_messages = lo.jittered_messages;
+  res.fault_events = std::move(lo.fired);
+  std::sort(res.fault_events.begin(), res.fault_events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              if (a.op_index != b.op_index) return a.op_index < b.op_index;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
   if (lo.primary) {
     res.ok = false;
     res.failed_rank = lo.failed_rank;
-    try {
-      std::rethrow_exception(lo.primary);
-    } catch (const SimOomError& e) {
-      res.oom = true;
-      res.error = e.what();
-    } catch (const std::exception& e) {
-      res.error = e.what();
-    } catch (...) {
-      res.error = "unknown exception";
-    }
+    res.failure = classify_failure(lo.primary);
+    res.oom = res.failure == FailureClass::kOom;
+    res.error = failure_what(lo.primary);
   }
+  for (const auto& [rank, e] : lo.unwound) {
+    res.rank_failures.push_back(
+        RankFailure{rank, classify_failure(e), failure_what(e)});
+  }
+  if (lo.primary && lo.failed_rank < 0) {
+    // Watchdog verdict: surface the deadlock itself in the per-rank list
+    // position -1 so rank_failures covers the primary too.
+    res.rank_failures.push_back(
+        RankFailure{-1, res.failure, res.error});
+  }
+  std::sort(res.rank_failures.begin(), res.rank_failures.end(),
+            [](const RankFailure& a, const RankFailure& b) {
+              return a.rank < b.rank;
+            });
   return res;
 }
 

@@ -8,11 +8,13 @@
 // exception is surfaced (run) or captured (run_collect).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/chaos.hpp"
 #include "sim/comm.hpp"
 #include "sim/comm_stats.hpp"
 #include "sim/network.hpp"
@@ -27,6 +29,41 @@ struct ClusterConfig {
   NetworkModel network{};
   /// Record every send/collective into RunResult::trace (see sim/trace.hpp).
   bool enable_trace = false;
+  /// Deterministic fault injection (see sim/chaos.hpp). Default: none.
+  ChaosSpec chaos{};
+  /// No-progress watchdog: when every live rank has been blocked in a
+  /// receive/collective with no mailbox activity for this long (wall
+  /// clock), the run aborts with a classified SimDeadlockError instead of
+  /// hanging. 0 disables. The predicate is exact — a rank doing local
+  /// compute, sleeping in the network model, or waiting on a modeled
+  /// delivery time never counts as deadlocked — so the threshold only
+  /// bounds detection latency, not correctness.
+  double watchdog_timeout_s = 5.0;
+};
+
+/// How a failed run failed. `kPeerAbort` marks ranks that were unwound by
+/// the cluster abort after another rank's primary failure; it never
+/// classifies a whole run.
+enum class FailureClass : std::uint8_t {
+  kNone = 0,       ///< the run succeeded
+  kOom,            ///< SimOomError: simulated memory budget exceeded
+  kDeadlock,       ///< SimDeadlockError: the no-progress watchdog fired
+  kInjectedCrash,  ///< SimInjectedFault: a chaos-engine crash
+  kPeerAbort,      ///< SimAbortError: collateral of another rank's failure
+  kLogicError,     ///< anything else (CommError, std::exception, ...)
+};
+
+/// Stable lowercase-hyphen names ("none", "oom", "deadlock",
+/// "injected-crash", "peer-abort", "logic-error") used in telemetry reports.
+const char* failure_class_name(FailureClass c);
+
+/// One rank's classified failure. run_collect records an entry for every
+/// rank that unwound — the primary *and* the secondary peer-abort
+/// casualties — so nothing is swallowed.
+struct RankFailure {
+  int rank = -1;
+  FailureClass failure = FailureClass::kNone;
+  std::string error;  ///< what() of that rank's exception
 };
 
 /// Outcome of a run_collect(): per-rank phase ledgers plus error state, so a
@@ -35,8 +72,22 @@ struct ClusterConfig {
 struct RunResult {
   bool ok = true;
   std::string error;       ///< what() of the primary exception, if any
-  int failed_rank = -1;    ///< rank that raised it
+  int failed_rank = -1;    ///< rank that raised it (-1 for a deadlock)
   bool oom = false;        ///< primary exception was a SimOomError
+  /// Classification of the primary failure (kNone when ok).
+  FailureClass failure = FailureClass::kNone;
+  /// Every rank that unwound, sorted by rank: the primary failure plus the
+  /// peer-abort secondaries.
+  std::vector<RankFailure> rank_failures;
+
+  /// Chaos events that actually fired, sorted by (rank, op_index) so the
+  /// same seed yields the same list run-to-run.
+  std::vector<FaultEvent> fault_events;
+  std::uint64_t jittered_messages = 0;  ///< p2p sends that got delivery jitter
+  /// Per-rank count of public Comm operations issued (crash-point sweeps
+  /// probe a fault-free run to learn the sweep range).
+  std::vector<std::uint64_t> comm_ops;
+
   std::vector<PhaseLedger> ledgers;  ///< indexed by world rank
   std::vector<CommStats> comm_stats;  ///< indexed by world rank
   std::vector<TraceEvent> trace;      ///< populated when enable_trace is set

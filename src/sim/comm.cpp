@@ -29,6 +29,38 @@ void check_abort(const ClusterState& st) {
   if (st.aborted) throw SimAbortError(st.abort_cause);
 }
 
+/// RAII publication of the calling rank's blocked state for the deadlock
+/// watchdog. All writes happen under st->mu: set()/clear() are called with
+/// the lock held, and the destructor only writes when still armed — i.e. on
+/// exception unwinds, which run before the enclosing unique_lock releases
+/// (declare the guard AFTER the lock). Success paths clear() explicitly
+/// before unlocking.
+class BlockedGuard {
+ public:
+  BlockedGuard(ClusterState* st, int world_rank)
+      : st_(st), rank_(static_cast<std::size_t>(world_rank)) {}
+  BlockedGuard(const BlockedGuard&) = delete;
+  BlockedGuard& operator=(const BlockedGuard&) = delete;
+  ~BlockedGuard() { clear(); }
+
+  void set(const char* op, int src, int tag, int ctx, bool has_deadline) {
+    st_->blocked[rank_] = detail::BlockedOp{op, src, tag, ctx, has_deadline};
+    armed_ = true;
+  }
+
+  void clear() {
+    if (armed_) {
+      st_->blocked[rank_].op = nullptr;
+      armed_ = false;
+    }
+  }
+
+ private:
+  ClusterState* st_;
+  std::size_t rank_;
+  bool armed_ = false;
+};
+
 /// Per-thread free list of message payload buffers. Senders draw from it,
 /// receivers refill it as they drain messages; since every rank both sends
 /// and receives, each rank thread's pool reaches a steady state and the
@@ -142,6 +174,7 @@ struct RequestImpl {
       detached = std::move(m.it->payload);
       has_detached = true;
       mb.messages.erase(m.it);
+      ++st->progress_epoch;
       completed = true;
       return true;
     }
@@ -178,11 +211,13 @@ void Request::wait() {
   if (impl_->completed) return;
   {
     std::unique_lock<std::mutex> lk(impl_->st->mu);
+    BlockedGuard guard(impl_->st, impl_->world_rank);
     auto& cv = impl_->st->rank_cv(impl_->world_rank);
     for (;;) {
       check_abort(*impl_->st);
       MatchScan m;
       if (impl_->try_complete(&m)) break;
+      guard.set("req_wait", impl_->src, impl_->tag, impl_->ctx, m.future);
       if (m.future) {
         cv.wait_until(lk, m.deadline);
       } else {
@@ -222,6 +257,7 @@ int Request::wait_any(std::span<Request> reqs, std::span<const char> skip) {
   int found = -1;
   {
     std::unique_lock<std::mutex> lk(st->mu);
+    BlockedGuard guard(st, owner);
     auto& owner_cv = st->rank_cv(owner);
     while (found < 0) {
       check_abort(*st);
@@ -249,6 +285,8 @@ int Request::wait_any(std::span<Request> reqs, std::span<const char> skip) {
       }
       if (found >= 0) break;
       if (!any_pending) return -1;
+      guard.set("req_wait_any", Comm::kAnySource, Comm::kAnyTag, 0,
+                have_deadline);
       if (have_deadline) {
         owner_cv.wait_until(lk, deadline);
       } else {
@@ -273,6 +311,10 @@ int Comm::world_rank_of(int comm_rank) const {
 void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
   require_valid();
   if (dest < 0 || dest >= size_) throw CommError("send: destination out of range");
+  const std::uint64_t op_k = detail::chaos_before_op(st_, world_rank_, "send");
+  // Jitter only user p2p traffic: internal collective messages must stay
+  // immediately deliverable or a posted rendezvous slot would never fill.
+  const double jitter = st_->chaos.jitter_for(world_rank_, op_k);
   Message msg;
   msg.ctx = ctx_;
   msg.src = rank_;
@@ -291,8 +333,13 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
       msg.deliver_at += st_->network.to_duration(
           st_->network.message_time(bytes, intra));
     }
+    if (jitter > 0.0) {
+      msg.deliver_at += st_->network.to_duration(jitter);
+      ++st_->jittered_messages;
+    }
     st_->mailboxes[static_cast<std::size_t>(dest_world)].messages.push_back(
         std::move(msg));
+    ++st_->progress_epoch;
     CommStats& cs = st_->comm_stats[static_cast<std::size_t>(world_rank_)];
     ++cs.p2p_messages;
     cs.p2p_bytes += bytes;
@@ -310,7 +357,9 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
 std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
                              int* out_src) {
   require_valid();
+  detail::chaos_before_op(st_, world_rank_, "recv");
   std::unique_lock<std::mutex> lk(st_->mu);
+  BlockedGuard guard(st_, world_rank_);
   Mailbox& mb = st_->mailboxes[static_cast<std::size_t>(world_rank_)];
   auto& cv = st_->rank_cv(world_rank_);
   for (;;) {
@@ -325,6 +374,8 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
       // payload memcpy must not serialize every other rank's progress.
       Message msg = std::move(*m.it);
       mb.messages.erase(m.it);
+      ++st_->progress_epoch;
+      guard.clear();
       lk.unlock();
       const std::size_t n = msg.payload.size();
       if (n > 0) std::memcpy(buf, msg.payload.data(), n);
@@ -332,6 +383,7 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
       if (out_src != nullptr) *out_src = msg.src;
       return n;
     }
+    guard.set("recv", src, tag, ctx_, m.future);
     if (m.future) {
       cv.wait_until(lk, m.deadline);
     } else {
@@ -342,7 +394,9 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
 
 std::size_t Comm::probe_bytes(int src, int tag, int* out_src) {
   require_valid();
+  detail::chaos_before_op(st_, world_rank_, "probe");
   std::unique_lock<std::mutex> lk(st_->mu);
+  BlockedGuard guard(st_, world_rank_);
   Mailbox& mb = st_->mailboxes[static_cast<std::size_t>(world_rank_)];
   auto& cv = st_->rank_cv(world_rank_);
   for (;;) {
@@ -353,6 +407,7 @@ std::size_t Comm::probe_bytes(int src, int tag, int* out_src) {
       if (out_src != nullptr) *out_src = m.it->src;
       return m.it->payload.size();
     }
+    guard.set("probe", src, tag, ctx_, m.future);
     if (m.future) {
       cv.wait_until(lk, m.deadline);
     } else {
@@ -376,6 +431,7 @@ Request Comm::isend_bytes(const void* data, std::size_t bytes, int dest,
 
 Request Comm::irecv_bytes(void* buf, std::size_t capacity, int src, int tag) {
   require_valid();
+  detail::chaos_before_op(st_, world_rank_, "irecv");
   Request r;
   r.impl_ = std::make_shared<detail::RequestImpl>();
   auto& impl = *r.impl_;
@@ -497,8 +553,12 @@ void coll_zc_drain(CollCtx& c) {
   if (!c.zc_used) return;
   ClusterState* st = c.st;
   std::unique_lock<std::mutex> lk(st->mu);
+  BlockedGuard guard(st, c.world_rank);
   auto& cv = st->rank_cv(c.world_rank);
+  guard.set("zc_drain", Comm::kAnySource, Comm::kAnyTag, c.ctx,
+            /*has_deadline=*/false);
   while (c.zc.outstanding > 0 && !st->aborted) cv.wait(lk);
+  guard.clear();
   check_abort(*st);
 }
 
@@ -583,6 +643,7 @@ void coll_send(CollCtx& c, const void* data, std::size_t bytes, int dest,
       st->mailboxes[static_cast<std::size_t>(dest_world)].messages.push_back(
           std::move(msg));
     }
+    ++st->progress_epoch;
   }
   // Notify after unlock: waking the (usually blocked) destination while
   // still holding the mutex would have it run straight into the lock.
@@ -637,6 +698,7 @@ void coll_send_zc(CollCtx& c, const void* data, std::size_t bytes, int dest,
       st->mailboxes[static_cast<std::size_t>(dest_world)].messages.push_back(
           std::move(msg));
     }
+    ++st->progress_epoch;
   }
   st->rank_cv(dest_world).notify_one();
   ++c.messages;
@@ -651,6 +713,7 @@ void coll_zc_ack(ClusterState* st, ZcState* zc, int sender_world) {
   {
     std::lock_guard<std::mutex> lk(st->mu);
     last = (--zc->outstanding == 0);
+    ++st->progress_epoch;
   }
   if (last) st->rank_cv(sender_world).notify_one();
 }
@@ -679,6 +742,7 @@ std::size_t coll_recv(CollCtx& c, void* buf, std::size_t capacity, int src,
     }
     Message msg = std::move(*m.it);
     mb.messages.erase(m.it);
+    ++st->progress_epoch;
     lk.unlock();
     if (msg.zc_data != nullptr) {
       // Zero-copy loan: the sender's buffer stays valid until we ack (the
@@ -704,8 +768,11 @@ std::size_t coll_recv(CollCtx& c, void* buf, std::size_t capacity, int src,
   PostedCollRecv*& posted =
       st->posted_coll[static_cast<std::size_t>(c.world_rank)];
   posted = &slot;
+  BlockedGuard guard(st, c.world_rank);
+  guard.set("coll_recv", src, tag, c.ctx, /*has_deadline=*/false);
   while (!slot.done && !st->aborted) cv.wait(lk);
   posted = nullptr;
+  guard.clear();
   check_abort(*st);
   if (slot.oversize) {
     throw CommError(size_err != nullptr
@@ -1279,6 +1346,7 @@ void dissemination_exscan(CollCtx& c, const void* send, void* recv,
 
 void Comm::barrier() {
   require_valid();
+  detail::chaos_before_op(st_, world_rank_, "barrier");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   dissemination_barrier(c);
   coll_finish(c, CollAlg::kBarrierDissemination);
@@ -1287,6 +1355,7 @@ void Comm::barrier() {
 void Comm::bcast_bytes(void* buf, std::size_t bytes, int root) {
   require_valid();
   if (root < 0 || root >= size_) throw CommError("bcast: root out of range");
+  detail::chaos_before_op(st_, world_rank_, "bcast");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   if (size_ > 1) binomial_bcast(c, buf, bytes, root, kTagBcast);
   coll_finish(c, CollAlg::kBcastBinomial);
@@ -1296,6 +1365,7 @@ void Comm::gather_bytes(const void* send, std::size_t bytes, void* recv,
                         int root) {
   require_valid();
   if (root < 0 || root >= size_) throw CommError("gather: root out of range");
+  detail::chaos_before_op(st_, world_rank_, "gather");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   if (size_ == 1) {
     if (bytes > 0) std::memcpy(recv, send, bytes);
@@ -1309,6 +1379,7 @@ void Comm::scatter_bytes(const void* send, std::size_t bytes, void* recv,
                          int root) {
   require_valid();
   if (root < 0 || root >= size_) throw CommError("scatter: root out of range");
+  detail::chaos_before_op(st_, world_rank_, "scatter");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   if (size_ == 1) {
     if (bytes > 0) std::memcpy(recv, send, bytes);
@@ -1320,6 +1391,7 @@ void Comm::scatter_bytes(const void* send, std::size_t bytes, void* recv,
 
 void Comm::allgather_bytes(const void* send, std::size_t bytes, void* recv) {
   require_valid();
+  detail::chaos_before_op(st_, world_rank_, "allgather");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   CollAlg alg = CollAlg::kAllgatherRecDoubling;
   if (size_ == 1) {
@@ -1343,6 +1415,7 @@ void Comm::allgatherv_bytes(const void* send, std::size_t send_bytes,
   if (send_bytes != recv_bytes[static_cast<std::size_t>(rank_)]) {
     throw CommError(kAllgathervMismatch);
   }
+  detail::chaos_before_op(st_, world_rank_, "allgatherv");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   CollAlg alg = CollAlg::kAllgathervGatherBcast;
   if (size_ == 1) {
@@ -1366,6 +1439,7 @@ void Comm::allgatherv_bytes(const void* send, std::size_t send_bytes,
 
 void Comm::alltoall_bytes(const void* send, std::size_t per_peer, void* recv) {
   require_valid();
+  detail::chaos_before_op(st_, world_rank_, "alltoall");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   CollAlg alg = CollAlg::kAlltoallBruck;
   if (size_ == 1) {
@@ -1384,6 +1458,7 @@ void Comm::alltoallv_bytes(const void* send, const std::size_t* scounts,
                            const std::size_t* rcounts,
                            const std::size_t* rdispls) {
   require_valid();
+  detail::chaos_before_op(st_, world_rank_, "alltoallv");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   if (size_ == 1) {
     if (scounts[0] != rcounts[0]) throw CommError(kAlltoallvMismatch);
@@ -1402,6 +1477,7 @@ void Comm::reduce_bytes(const void* send, void* recv, std::size_t bytes,
                         const ReduceFn& op, int root) {
   require_valid();
   if (root < 0 || root >= size_) throw CommError("reduce: root out of range");
+  detail::chaos_before_op(st_, world_rank_, "reduce");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   if (size_ == 1) {
     if (bytes > 0) std::memcpy(recv, send, bytes);
@@ -1414,6 +1490,7 @@ void Comm::reduce_bytes(const void* send, void* recv, std::size_t bytes,
 void Comm::allreduce_bytes(const void* send, void* recv, std::size_t bytes,
                            const ReduceFn& op) {
   require_valid();
+  detail::chaos_before_op(st_, world_rank_, "allreduce");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   if (size_ == 1) {
     if (bytes > 0) std::memcpy(recv, send, bytes);
@@ -1426,6 +1503,7 @@ void Comm::allreduce_bytes(const void* send, void* recv, std::size_t bytes,
 void Comm::exscan_bytes(const void* send, void* recv, std::size_t bytes,
                         const ReduceFn& op) {
   require_valid();
+  detail::chaos_before_op(st_, world_rank_, "exscan");
   CollCtx c = coll_begin(st_, ctx_, rank_, size_, world_rank_);
   if (size_ > 1) dissemination_exscan(c, send, recv, bytes, op);
   coll_finish(c, CollAlg::kExscanDissemination);

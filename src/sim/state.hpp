@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/chaos.hpp"
 #include "sim/comm_stats.hpp"
 #include "sim/network.hpp"
 #include "sim/trace.hpp"
@@ -109,6 +110,20 @@ struct ContextInfo {
   bool intra_node = false;  ///< all members on the same simulated node
 };
 
+/// What a rank is currently blocked on, published for the deadlock watchdog
+/// (guarded by ClusterState::mu; set and cleared inside the wait loops,
+/// which already hold the lock). `op == nullptr` means the rank is running.
+/// `has_deadline` marks a wait that will self-wake (a modeled-network
+/// delivery time is pending) — such a rank is making progress, so the
+/// watchdog never counts it toward a deadlock.
+struct BlockedOp {
+  const char* op = nullptr;  ///< "recv", "probe", "req_wait", "coll_recv", ...
+  int src = -1;
+  int tag = -1;
+  int ctx = 0;
+  bool has_deadline = false;
+};
+
 struct ClusterState {
   std::mutex mu;
   /// Collective-protocol and abort wakeups.
@@ -143,11 +158,36 @@ struct ClusterState {
   Clock::time_point trace_epoch{};
   std::vector<TraceEvent> trace;            // guarded by mu
 
+  // --- chaos engine (see sim/chaos.hpp) ---------------------------------
+  /// Immutable after launch; read concurrently by every rank thread.
+  FaultPlan chaos;
+  /// Per-rank count of public Comm operations issued. Each slot is written
+  /// only by its owning rank thread (no lock; the joins at teardown order
+  /// the final reads), so chaos decisions stay off the global mutex.
+  std::vector<std::uint64_t> op_counts;
+  std::vector<FaultEvent> fired;        ///< chaos events that fired (mu)
+  std::uint64_t jittered_messages = 0;  ///< p2p sends that got jitter (mu)
+
+  // --- deadlock watchdog bookkeeping (guarded by mu) --------------------
+  std::vector<BlockedOp> blocked;       ///< indexed by world rank
+  std::vector<std::uint8_t> finished;   ///< rank returned from fn
+  /// Bumped on every state change a blocked rank could observe: a mailbox
+  /// push, a message match/erase, a posted-slot fill, a zero-copy ack, a
+  /// rank finishing. If every live rank is blocked (deadline-free) and this
+  /// stays unchanged past the watchdog threshold, the run is deadlocked.
+  std::uint64_t progress_epoch = 0;
+
   double trace_now() const {
     return std::chrono::duration<double>(Clock::now() - trace_epoch).count();
   }
 
   int node_of(int world_rank) const { return world_rank / cores_per_node; }
 };
+
+/// Chaos hook: count one public Comm operation on `world_rank`, firing any
+/// scheduled stall (sleeps) or crash (throws SimInjectedFault) for that op
+/// index. Returns the op's 0-based ordinal. Called without st->mu held.
+std::uint64_t chaos_before_op(ClusterState* st, int world_rank,
+                              const char* op);
 
 }  // namespace sdss::sim::detail

@@ -99,9 +99,28 @@ Json to_json(const RunReport& r) {
   Json outcome = Json::object();
   outcome.set("ok", r.ok);
   outcome.set("oom", r.oom);
+  outcome.set("failure_class", r.failure_class);
+  outcome.set("failed_rank", r.failed_rank);
   outcome.set("wall_seconds", r.wall_seconds);
   outcome.set("crit_path_cpu_seconds", r.crit_path_cpu_seconds);
   j.set("outcome", std::move(outcome));
+
+  if (r.has_chaos) {
+    Json chaos = Json::object();
+    chaos.set("seed", r.chaos_seed);
+    chaos.set("jittered_messages", r.jittered_messages);
+    Json events = Json::array();
+    for (const sim::FaultEvent& e : r.fault_events) {
+      Json ev = Json::object();
+      ev.set("kind", std::string(sim::fault_kind_name(e.kind)));
+      ev.set("rank", e.rank);
+      ev.set("op_index", e.op_index);
+      ev.set("seconds", e.seconds);
+      events.push_back(std::move(ev));
+    }
+    chaos.set("fault_events", std::move(events));
+    j.set("chaos", std::move(chaos));
+  }
 
   Json phases = Json::object();
   for (std::size_t i = 0; i < kNumPhases; ++i) {
@@ -169,8 +188,24 @@ RunReport report_from_json(const Json& j) {
   const Json& outcome = j.at("outcome");
   r.ok = outcome.at("ok").bool_or(true);
   r.oom = outcome.at("oom").bool_or(false);
+  r.failure_class = outcome.at("failure_class").string_or("none");
+  r.failed_rank = static_cast<int>(outcome.at("failed_rank").number_or(-1.0));
   r.wall_seconds = outcome.at("wall_seconds").number_or(-1.0);
   r.crit_path_cpu_seconds = outcome.at("crit_path_cpu_seconds").number_or();
+
+  if (const Json* chaos = j.find("chaos")) {
+    r.has_chaos = true;
+    r.chaos_seed = chaos->at("seed").u64_or();
+    r.jittered_messages = chaos->at("jittered_messages").u64_or();
+    for (const Json& ev : chaos->at("fault_events").items()) {
+      sim::FaultEvent e;
+      e.kind = sim::fault_kind_from_name(ev.at("kind").string_value().c_str());
+      e.rank = static_cast<int>(ev.at("rank").number_or(-1.0));
+      e.op_index = ev.at("op_index").u64_or();
+      e.seconds = ev.at("seconds").number_or();
+      r.fault_events.push_back(e);
+    }
+  }
 
   const Json& phases = j.at("phases");
   for (std::size_t i = 0; i < kNumPhases; ++i) {

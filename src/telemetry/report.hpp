@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/chaos.hpp"
 #include "sim/comm_stats.hpp"
 #include "telemetry/json.hpp"
 #include "util/phase_ledger.hpp"
@@ -58,8 +59,21 @@ struct RunReport {
   // Outcome.
   bool ok = true;
   bool oom = false;
+  /// Failure taxonomy (sim::failure_class_name): "none", "oom", "deadlock",
+  /// "injected-crash", "peer-abort", "logic-error". Adding these fields is
+  /// backward-compatible (no schema bump); old files read back as "none"/-1.
+  std::string failure_class = "none";
+  int failed_rank = -1;  ///< rank of the primary failure; -1 when ok/deadlock
   double wall_seconds = -1.0;  ///< slowest rank, barrier-bracketed
   double crit_path_cpu_seconds = 0.0;  ///< max over ranks of CPU total
+
+  // Chaos engine (sim/chaos.hpp): present only for fault-injection runs.
+  // `fault_events` is the deterministic fired schedule (crashes + stalls;
+  // jitter is aggregated into jittered_messages).
+  bool has_chaos = false;
+  std::uint64_t chaos_seed = 0;
+  std::vector<sim::FaultEvent> fault_events;
+  std::uint64_t jittered_messages = 0;
 
   /// Per-phase wall + CPU seconds, element-wise max over ranks.
   PhaseLedger phases;

@@ -7,8 +7,34 @@ namespace sdss {
 namespace {
 std::string oom_message(int rank, std::size_t required, std::size_t limit) {
   std::ostringstream os;
-  os << "simulated out-of-memory on rank " << rank << ": requires " << required
-     << " records but the per-rank limit is " << limit;
+  os << "simulated out-of-memory on rank " << rank << ": would receive "
+     << required << " records but mem_limit_records = " << limit << " (over by "
+     << (required > limit ? required - limit : 0) << ")";
+  return os.str();
+}
+
+std::string injected_message(int rank, std::uint64_t op_index, const char* op,
+                             std::uint64_t seed) {
+  std::ostringstream os;
+  os << "injected crash on rank " << rank << " at comm op " << op_index << " ("
+     << op << "; chaos seed " << seed << ")";
+  return os.str();
+}
+
+std::string deadlock_message(const std::vector<BlockedRankDump>& ranks,
+                             double timeout_s) {
+  std::ostringstream os;
+  os << "deadlock: no mailbox progress for " << timeout_s
+     << "s with every live rank blocked;";
+  for (const BlockedRankDump& b : ranks) {
+    os << " rank " << b.rank << ": ";
+    if (b.finished) {
+      os << "finished;";
+    } else {
+      os << b.op << "(src=" << b.src << ", tag=" << b.tag << ", ctx=" << b.ctx
+         << ");";
+    }
+  }
   return os.str();
 }
 }  // namespace
@@ -18,5 +44,15 @@ SimOomError::SimOomError(int rank, std::size_t required, std::size_t limit)
       rank_(rank),
       required_(required),
       limit_(limit) {}
+
+SimInjectedFault::SimInjectedFault(int rank, std::uint64_t op_index,
+                                   const char* op, std::uint64_t seed)
+    : Error(injected_message(rank, op_index, op, seed)),
+      rank_(rank),
+      op_index_(op_index) {}
+
+SimDeadlockError::SimDeadlockError(std::vector<BlockedRankDump> ranks,
+                                   double timeout_s)
+    : Error(deadlock_message(ranks, timeout_s)), ranks_(std::move(ranks)) {}
 
 }  // namespace sdss

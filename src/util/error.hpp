@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace sdss {
 
@@ -46,6 +48,48 @@ class SimAbortError : public Error {
  public:
   explicit SimAbortError(const std::string& cause)
       : Error("cluster aborted: " + cause) {}
+};
+
+/// A chaos-engine fault (see sim/chaos.hpp) killed this rank: the rank's
+/// FaultPlan scheduled a crash at this communication-operation index. Runs
+/// classify this as FailureClass::kInjectedCrash, never as a logic error.
+class SimInjectedFault : public Error {
+ public:
+  SimInjectedFault(int rank, std::uint64_t op_index, const char* op,
+                   std::uint64_t seed);
+
+  int rank() const noexcept { return rank_; }
+  std::uint64_t op_index() const noexcept { return op_index_; }
+
+ private:
+  int rank_;
+  std::uint64_t op_index_;
+};
+
+/// What one rank was blocked on when the deadlock watchdog fired. `src` and
+/// `tag` are in the blocked communicator's numbering (`ctx`); src -1 means
+/// any-source (or not applicable, e.g. a zero-copy drain).
+struct BlockedRankDump {
+  int rank = -1;       ///< world rank
+  std::string op;      ///< "recv", "probe", "req_wait", "coll_recv", ...
+  int src = -1;
+  int tag = -1;
+  int ctx = 0;
+  bool finished = false;  ///< rank had already returned from fn
+};
+
+/// The no-progress watchdog aborted the run: every live rank sat blocked in
+/// a receive/collective with no mailbox activity past the configured
+/// threshold. The message carries the per-rank blocked-op dump; the same
+/// data is available structurally via ranks().
+class SimDeadlockError : public Error {
+ public:
+  SimDeadlockError(std::vector<BlockedRankDump> ranks, double timeout_s);
+
+  const std::vector<BlockedRankDump>& ranks() const noexcept { return ranks_; }
+
+ private:
+  std::vector<BlockedRankDump> ranks_;
 };
 
 /// Misuse of the communication API (mismatched message sizes, invalid rank,

@@ -1,0 +1,403 @@
+// Chaos-engine tests: deterministic fault schedules (same seed → bit-for-bit
+// identical fault sequence), crash-point sweeps over every comm-op index,
+// straggler and jitter injection, the no-progress deadlock watchdog, and the
+// classified failure taxonomy in RunResult.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/hyksort.hpp"
+#include "baselines/samplesort.hpp"
+#include "core/driver.hpp"
+#include "sim/chaos.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::ChaosSpec;
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+using sim::FailureClass;
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::FaultPlan;
+using sim::RunResult;
+
+constexpr int kRanks = 8;
+
+std::function<void(Comm&)> sds_body(std::uint64_t seed, std::size_t n = 1200) {
+  return [seed, n](Comm& w) {
+    auto data = workloads::zipf_keys(
+        n, 1.0, derive_seed(seed, static_cast<std::uint64_t>(w.rank())));
+    sds_sort<std::uint64_t>(w, std::move(data));
+  };
+}
+
+ClusterConfig chaos_config(ChaosSpec spec, double watchdog_s = 5.0) {
+  ClusterConfig cfg;
+  cfg.num_ranks = kRanks;
+  cfg.chaos = std::move(spec);
+  cfg.watchdog_timeout_s = watchdog_s;
+  return cfg;
+}
+
+// --- the plan is a pure function of the seed -------------------------------
+
+TEST(FaultPlan, SameSeedSameScheduleBitForBit) {
+  ChaosSpec spec;
+  spec.seed = 12345;
+  spec.crash_ranks = 3;
+  spec.crash_op_range = 32;
+  spec.stall_prob = 0.25;
+  spec.jitter_prob = 0.5;
+  const FaultPlan a(spec, kRanks);
+  const FaultPlan b(spec, kRanks);
+  ASSERT_TRUE(a.enabled());
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(a.crash_op(r), b.crash_op(r));
+    for (std::uint64_t k = 0; k < 64; ++k) {
+      EXPECT_EQ(a.stall_before(r, k), b.stall_before(r, k));
+      EXPECT_EQ(a.jitter_for(r, k), b.jitter_for(r, k));
+    }
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  ChaosSpec spec;
+  spec.crash_ranks = 2;
+  spec.stall_prob = 0.25;
+  spec.seed = 1;
+  const FaultPlan a(spec, kRanks);
+  spec.seed = 2;
+  const FaultPlan b(spec, kRanks);
+  bool differ = false;
+  for (int r = 0; r < kRanks && !differ; ++r) {
+    if (a.crash_op(r) != b.crash_op(r)) differ = true;
+    for (std::uint64_t k = 0; k < 64 && !differ; ++k) {
+      if (a.stall_before(r, k) != b.stall_before(r, k)) differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultPlan, ForcedEventRankOutOfRangeRejected) {
+  ChaosSpec spec;
+  spec.forced.push_back(FaultEvent{FaultKind::kCrash, kRanks, 0, 0.0});
+  EXPECT_THROW(FaultPlan(spec, kRanks), Error);
+}
+
+TEST(FaultPlan, StableKindNames) {
+  EXPECT_STREQ(sim::fault_kind_name(FaultKind::kCrash), "crash");
+  EXPECT_STREQ(sim::fault_kind_name(FaultKind::kStall), "stall");
+  EXPECT_STREQ(sim::fault_kind_name(FaultKind::kJitter), "jitter");
+  EXPECT_EQ(sim::fault_kind_from_name("stall"), FaultKind::kStall);
+  EXPECT_STREQ(sim::failure_class_name(FailureClass::kNone), "none");
+  EXPECT_STREQ(sim::failure_class_name(FailureClass::kOom), "oom");
+  EXPECT_STREQ(sim::failure_class_name(FailureClass::kDeadlock), "deadlock");
+  EXPECT_STREQ(sim::failure_class_name(FailureClass::kInjectedCrash),
+               "injected-crash");
+  EXPECT_STREQ(sim::failure_class_name(FailureClass::kPeerAbort),
+               "peer-abort");
+  EXPECT_STREQ(sim::failure_class_name(FailureClass::kLogicError),
+               "logic-error");
+}
+
+// --- deterministic replay (same seed twice → identical everything) ---------
+
+TEST(Replay, CrashRunReplaysIdentically) {
+  ChaosSpec spec;
+  spec.seed = 99;
+  spec.forced.push_back(FaultEvent{FaultKind::kCrash, 3, 5, 0.0});
+  const RunResult a = Cluster(chaos_config(spec)).run_collect(sds_body(31));
+  const RunResult b = Cluster(chaos_config(spec)).run_collect(sds_body(31));
+  ASSERT_FALSE(a.ok);
+  EXPECT_EQ(a.failure, FailureClass::kInjectedCrash);
+  EXPECT_EQ(a.failed_rank, 3);
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.failed_rank, b.failed_rank);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+}
+
+TEST(Replay, StallScheduleReplaysIdentically) {
+  ChaosSpec spec;
+  spec.seed = 7;
+  spec.stall_prob = 0.3;
+  spec.max_stall_s = 0.001;
+  const RunResult a = Cluster(chaos_config(spec)).run_collect(sds_body(32));
+  const RunResult b = Cluster(chaos_config(spec)).run_collect(sds_body(32));
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_FALSE(a.fault_events.empty());
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.comm_ops, b.comm_ops);
+}
+
+// --- crash-point sweep: kill a rank at every comm-op index -----------------
+
+void sweep_all_ops(const std::function<void(Comm&)>& body, int victim) {
+  // Probe run (no chaos) to learn the victim's op count, then crash it at
+  // every single index. Every run must terminate classified — a hang would
+  // trip the 5 s watchdog and fail the kInjectedCrash assertion instead.
+  const RunResult probe = Cluster(chaos_config(ChaosSpec{})).run_collect(body);
+  ASSERT_TRUE(probe.ok) << probe.error;
+  ASSERT_EQ(probe.comm_ops.size(), static_cast<std::size_t>(kRanks));
+  const std::uint64_t ops = probe.comm_ops[static_cast<std::size_t>(victim)];
+  ASSERT_GT(ops, 0u);
+  for (std::uint64_t k = 0; k < ops; ++k) {
+    ChaosSpec spec;
+    spec.seed = 1000 + k;
+    spec.forced.push_back(FaultEvent{FaultKind::kCrash, victim, k, 0.0});
+    const RunResult res = Cluster(chaos_config(spec)).run_collect(body);
+    ASSERT_FALSE(res.ok) << "crash at op " << k << " did not fail";
+    EXPECT_EQ(res.failure, FailureClass::kInjectedCrash)
+        << "crash at op " << k << ": " << res.error;
+    EXPECT_EQ(res.failed_rank, victim) << res.error;
+    const FaultEvent crash{FaultKind::kCrash, victim, k, 0.0};
+    EXPECT_NE(std::find(res.fault_events.begin(), res.fault_events.end(),
+                        crash),
+              res.fault_events.end());
+    // Secondary unwinds are recorded, never swallowed, and all classified.
+    bool victim_recorded = false;
+    for (const sim::RankFailure& f : res.rank_failures) {
+      EXPECT_NE(f.failure, FailureClass::kNone);
+      if (f.rank == victim) {
+        victim_recorded = true;
+        EXPECT_EQ(f.failure, FailureClass::kInjectedCrash);
+      }
+    }
+    EXPECT_TRUE(victim_recorded);
+  }
+}
+
+TEST(CrashSweep, SdsSortEveryOpIndex) { sweep_all_ops(sds_body(41, 800), 2); }
+
+TEST(CrashSweep, HykSortEveryOpIndex) {
+  sweep_all_ops(
+      [](Comm& w) {
+        auto data = workloads::zipf_keys(
+            800, 1.0, derive_seed(42, static_cast<std::uint64_t>(w.rank())));
+        baselines::hyksort<std::uint64_t>(w, std::move(data));
+      },
+      5);
+}
+
+TEST(CrashSweep, SamplesortEveryOpIndex) {
+  sweep_all_ops(
+      [](Comm& w) {
+        auto data = workloads::zipf_keys(
+            800, 1.0, derive_seed(43, static_cast<std::uint64_t>(w.rank())));
+        baselines::sample_sort<std::uint64_t>(w, std::move(data));
+      },
+      0);
+}
+
+// --- the deadlock watchdog -------------------------------------------------
+
+TEST(Watchdog, ClassifiesCrossRecvDeadlock) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.watchdog_timeout_s = 0.25;
+  const RunResult res = Cluster(cfg).run_collect([](Comm& w) {
+    // Both ranks receive, nobody sends: a textbook deadlock.
+    (void)w.recv_value<int>(1 - w.rank(), /*tag=*/5);
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure, FailureClass::kDeadlock);
+  EXPECT_EQ(res.failed_rank, -1);
+  // The message carries the per-rank blocked-op dump.
+  EXPECT_NE(res.error.find("deadlock"), std::string::npos) << res.error;
+  EXPECT_NE(res.error.find("rank 0: recv(src=1, tag=5"), std::string::npos)
+      << res.error;
+  EXPECT_NE(res.error.find("rank 1: recv(src=0, tag=5"), std::string::npos)
+      << res.error;
+  // rank_failures covers the verdict (-1) plus both aborted ranks.
+  bool saw_verdict = false;
+  int peer_aborts = 0;
+  for (const sim::RankFailure& f : res.rank_failures) {
+    if (f.rank == -1) {
+      saw_verdict = true;
+      EXPECT_EQ(f.failure, FailureClass::kDeadlock);
+    }
+    if (f.failure == FailureClass::kPeerAbort) ++peer_aborts;
+  }
+  EXPECT_TRUE(saw_verdict);
+  EXPECT_EQ(peer_aborts, 2);
+}
+
+TEST(Watchdog, DumpsCollectiveMismatchDeadlock) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.watchdog_timeout_s = 0.25;
+  const RunResult res = Cluster(cfg).run_collect([](Comm& w) {
+    // Rank 3 skips the barrier: the other three block forever inside the
+    // dissemination rounds.
+    if (w.rank() != 3) w.barrier();
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure, FailureClass::kDeadlock);
+  EXPECT_NE(res.error.find("coll_recv"), std::string::npos) << res.error;
+  EXPECT_NE(res.error.find("rank 3: finished"), std::string::npos)
+      << res.error;
+}
+
+TEST(Watchdog, NoFalsePositiveOnCleanSort) {
+  ChaosSpec none;
+  const RunResult res =
+      Cluster(chaos_config(none, /*watchdog_s=*/0.15))
+          .run_collect(sds_body(51, 4000));
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.failure, FailureClass::kNone);
+  EXPECT_TRUE(res.rank_failures.empty());
+}
+
+TEST(Watchdog, NoFalsePositiveWhileOneRankComputes) {
+  // Every other rank sits blocked in a collective for ~3x the watchdog
+  // threshold while rank 0 does "compute" (sleeps). A computing rank is not
+  // blocked, so the predicate must never fire.
+  ClusterConfig cfg;
+  cfg.num_ranks = 4;
+  cfg.watchdog_timeout_s = 0.15;
+  const RunResult res = Cluster(cfg).run_collect([](Comm& w) {
+    if (w.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(450));
+    }
+    w.barrier();
+  });
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(Watchdog, ZeroTimeoutDisablesIt) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.watchdog_timeout_s = 0.0;
+  // A run that finishes instantly: just prove launch works without the
+  // watchdog thread (a deadlock here would hang, so keep the body trivial).
+  const RunResult res = Cluster(cfg).run_collect([](Comm& w) { w.barrier(); });
+  EXPECT_TRUE(res.ok);
+}
+
+// --- stragglers and jitter -------------------------------------------------
+
+TEST(Straggler, ForcedStallSlowsButCompletes) {
+  ChaosSpec spec;
+  spec.seed = 61;
+  spec.forced.push_back(FaultEvent{FaultKind::kStall, 1, 2, 0.05});
+  const RunResult res = Cluster(chaos_config(spec, /*watchdog_s=*/0.2))
+                            .run_collect(sds_body(62));
+  ASSERT_TRUE(res.ok) << res.error;
+  const FaultEvent stall{FaultKind::kStall, 1, 2, 0.05};
+  EXPECT_NE(
+      std::find(res.fault_events.begin(), res.fault_events.end(), stall),
+      res.fault_events.end());
+}
+
+TEST(Jitter, PreservesPerSourceFifoOrder) {
+  constexpr int kMessages = 50;
+  ChaosSpec spec;
+  spec.seed = 71;
+  spec.jitter_prob = 1.0;
+  spec.max_jitter_s = 0.001;
+  ClusterConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.chaos = spec;
+  const RunResult res = Cluster(cfg).run_collect([](Comm& w) {
+    if (w.rank() == 0) {
+      for (int i = 0; i < kMessages; ++i) w.send_value<int>(i, /*dest=*/1);
+    } else {
+      for (int i = 0; i < kMessages; ++i) {
+        ASSERT_EQ(w.recv_value<int>(/*src=*/0), i);
+      }
+    }
+  });
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_GT(res.jittered_messages, 0u);
+  EXPECT_LE(res.jittered_messages, static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(Jitter, SortStaysCorrectUnderDeliveryJitter) {
+  ChaosSpec spec;
+  spec.seed = 72;
+  spec.jitter_prob = 0.5;
+  spec.max_jitter_s = 0.0005;
+  const RunResult res =
+      Cluster(chaos_config(spec)).run_collect([](Comm& w) {
+        auto data = workloads::zipf_keys(
+            1500, 1.2, derive_seed(73, static_cast<std::uint64_t>(w.rank())));
+        auto out = sds_sort<std::uint64_t>(w, std::move(data));
+        ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+      });
+  EXPECT_TRUE(res.ok) << res.error;
+}
+
+// --- failure taxonomy ------------------------------------------------------
+
+TEST(Taxonomy, OomMessageCarriesRankCountAndLimit) {
+  const RunResult res = Cluster(ClusterConfig{kRanks}).run_collect([](Comm& w) {
+    auto data = workloads::zipf_keys(
+        2000, 0.8, derive_seed(81, static_cast<std::uint64_t>(w.rank())));
+    Config cfg;
+    cfg.mem_limit_records = 1;  // impossible: everyone receives more
+    sds_sort<std::uint64_t>(w, std::move(data), cfg);
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure, FailureClass::kOom);
+  EXPECT_TRUE(res.oom);
+  EXPECT_NE(res.error.find("simulated out-of-memory on rank "),
+            std::string::npos)
+      << res.error;
+  EXPECT_NE(res.error.find("would receive "), std::string::npos) << res.error;
+  EXPECT_NE(res.error.find("mem_limit_records = 1"), std::string::npos)
+      << res.error;
+}
+
+TEST(Taxonomy, PeerAbortSecondariesRecordedNotSwallowed) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 4;
+  const RunResult res = Cluster(cfg).run_collect([](Comm& w) {
+    w.barrier();
+    if (w.rank() == 1) throw Error("boom on purpose");
+    w.barrier();  // cannot complete: rank 1 is gone
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure, FailureClass::kLogicError);
+  EXPECT_EQ(res.failed_rank, 1);
+  ASSERT_EQ(res.rank_failures.size(), 4u);  // primary + 3 secondaries
+  int peer_aborts = 0;
+  for (const sim::RankFailure& f : res.rank_failures) {
+    ASSERT_NE(f.failure, FailureClass::kNone);
+    if (f.rank == 1) {
+      EXPECT_EQ(f.failure, FailureClass::kLogicError);
+      EXPECT_NE(f.error.find("boom on purpose"), std::string::npos);
+    } else {
+      EXPECT_EQ(f.failure, FailureClass::kPeerAbort);
+      ++peer_aborts;
+    }
+  }
+  EXPECT_EQ(peer_aborts, 3);
+}
+
+TEST(Taxonomy, InjectedFaultAccessorsAndMessage) {
+  const SimInjectedFault e(3, 7, "allgather", 42);
+  EXPECT_EQ(e.rank(), 3);
+  EXPECT_EQ(e.op_index(), 7u);
+  const std::string what = e.what();
+  EXPECT_NE(what.find("injected crash on rank 3 at comm op 7"),
+            std::string::npos);
+  EXPECT_NE(what.find("allgather"), std::string::npos);
+  EXPECT_NE(what.find("chaos seed 42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdss

@@ -171,6 +171,44 @@ TEST(RunReport, RoundTripThroughJsonText) {
   EXPECT_EQ(back.total_records, r.total_records);
 }
 
+TEST(RunReport, FailureAndChaosFieldsRoundTrip) {
+  RunReport r = sample_report("chaos");
+  r.ok = false;
+  r.failure_class = "injected-crash";
+  r.failed_rank = 3;
+  r.has_chaos = true;
+  r.chaos_seed = 12345;
+  r.jittered_messages = 42;
+  r.fault_events.push_back(
+      sim::FaultEvent{sim::FaultKind::kStall, 1, 4, 0.002});
+  r.fault_events.push_back(sim::FaultEvent{sim::FaultKind::kCrash, 3, 7, 0.0});
+
+  const RunReport back = report_from_json(Json::parse(to_json(r).dump(2)));
+  EXPECT_EQ(back.failure_class, "injected-crash");
+  EXPECT_EQ(back.failed_rank, 3);
+  EXPECT_TRUE(back.has_chaos);
+  EXPECT_EQ(back.chaos_seed, 12345u);
+  EXPECT_EQ(back.jittered_messages, 42u);
+  EXPECT_EQ(back.fault_events, r.fault_events);
+}
+
+TEST(RunReport, OldFilesWithoutFailureFieldsReadAsDefaults) {
+  // Simulate a pre-taxonomy report: serialize, strip the new members.
+  Json j = to_json(sample_report("legacy"));
+  Json outcome = Json::object();
+  outcome.set("ok", true);
+  outcome.set("oom", false);
+  outcome.set("wall_seconds", 1.0);
+  outcome.set("crit_path_cpu_seconds", 2.0);
+  j.set("outcome", std::move(outcome));  // replaces: no failure_class/rank
+
+  const RunReport back = report_from_json(j);
+  EXPECT_EQ(back.failure_class, "none");
+  EXPECT_EQ(back.failed_rank, -1);
+  EXPECT_FALSE(back.has_chaos);
+  EXPECT_TRUE(back.fault_events.empty());
+}
+
 TEST(ReportRegistry, WriteAndLoadFile) {
   ReportRegistry reg;
   reg.add(sample_report("a"));

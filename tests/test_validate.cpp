@@ -1,0 +1,153 @@
+// Adversarial tests for the distributed output validators in
+// core/validate.hpp: duplicate runs spanning rank boundaries, empty ranks,
+// boundary inversions (including across empty ranks), locally-unsorted data,
+// and permutation-checksum corruption (dropped, duplicated, altered records).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "sim/cluster.hpp"
+#include "util/hash.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+
+using Keys = std::vector<std::uint64_t>;
+
+std::span<const std::uint64_t> as_span(const Keys& v) {
+  return std::span<const std::uint64_t>(v);
+}
+
+/// Run `body` on 4 ranks and require the run itself to succeed (the
+/// validators must report verdicts, not throw).
+void run4(const std::function<void(Comm&)>& body) {
+  const auto res = Cluster(ClusterConfig{4}).run_collect(body);
+  ASSERT_TRUE(res.ok) << res.error;
+}
+
+// --- global sortedness -----------------------------------------------------
+
+TEST(GloballySorted, DuplicateRunSpanningEveryRankBoundary) {
+  run4([](Comm& w) {
+    // One giant run of equal keys across all ranks: min == max == prev_max
+    // at every boundary, which is sorted (ties are allowed to touch).
+    const Keys mine(5, 42);
+    EXPECT_TRUE(is_globally_sorted<std::uint64_t>(w, as_span(mine)));
+  });
+}
+
+TEST(GloballySorted, DuplicatesTouchingBoundariesAccepted) {
+  run4([](Comm& w) {
+    const Keys per_rank[4] = {{1, 5, 5}, {5, 5, 7}, {7, 7, 7}, {9}};
+    const Keys& mine = per_rank[w.rank()];
+    EXPECT_TRUE(is_globally_sorted<std::uint64_t>(w, as_span(mine)));
+  });
+}
+
+TEST(GloballySorted, BoundaryInversionCaughtOnEveryRank) {
+  run4([](Comm& w) {
+    // Rank 1's minimum (9) undercuts rank 0's maximum (10); the verdict is
+    // collective, so every rank — not just the offenders — sees false.
+    const Keys per_rank[4] = {{1, 10}, {9, 20}, {21, 22}, {23}};
+    const Keys& mine = per_rank[w.rank()];
+    EXPECT_FALSE(is_globally_sorted<std::uint64_t>(w, as_span(mine)));
+  });
+}
+
+TEST(GloballySorted, EmptyRanksAreSkipped) {
+  run4([](Comm& w) {
+    const Keys per_rank[4] = {{1, 2}, {}, {}, {3, 4}};
+    const Keys& mine = per_rank[w.rank()];
+    EXPECT_TRUE(is_globally_sorted<std::uint64_t>(w, as_span(mine)));
+  });
+}
+
+TEST(GloballySorted, InversionAcrossEmptyRankCaught) {
+  run4([](Comm& w) {
+    // The previous *non-empty* rank's max must carry across empty ranks:
+    // rank 0 ends at 6, rank 3 starts at 1.
+    const Keys per_rank[4] = {{5, 6}, {}, {}, {1, 2}};
+    const Keys& mine = per_rank[w.rank()];
+    EXPECT_FALSE(is_globally_sorted<std::uint64_t>(w, as_span(mine)));
+  });
+}
+
+TEST(GloballySorted, AllRanksEmptyIsSorted) {
+  run4([](Comm& w) {
+    const Keys mine;
+    EXPECT_TRUE(is_globally_sorted<std::uint64_t>(w, as_span(mine)));
+  });
+}
+
+TEST(GloballySorted, LocallyUnsortedCaughtEverywhere) {
+  run4([](Comm& w) {
+    // Rank 2's local data is unsorted even though the boundary extremes
+    // (min=3, max=9) line up globally.
+    const Keys per_rank[4] = {{1, 2}, {2, 3}, {3, 9, 4}, {10}};
+    const Keys& mine = per_rank[w.rank()];
+    EXPECT_FALSE(is_globally_sorted<std::uint64_t>(w, as_span(mine)));
+  });
+}
+
+// --- permutation checksum --------------------------------------------------
+
+TEST(GlobalChecksum, InvariantUnderRedistribution) {
+  run4([](Comm& w) {
+    const Keys before[4] = {{1, 2, 3}, {4, 5}, {}, {6}};
+    // Same multiset, completely different placement and order.
+    const Keys after[4] = {{6, 5}, {}, {3, 1}, {2, 4}};
+    const auto a = global_checksum<std::uint64_t>(w, as_span(before[w.rank()]));
+    const auto b = global_checksum<std::uint64_t>(w, as_span(after[w.rank()]));
+    EXPECT_EQ(a, b);
+  });
+}
+
+TEST(GlobalChecksum, DroppedRecordDetected) {
+  run4([](Comm& w) {
+    const Keys before[4] = {{1, 2, 3}, {4, 5}, {6}, {7}};
+    const Keys after[4] = {{1, 2, 3}, {4, 5}, {}, {7}};  // rank 2 lost 6
+    const auto a = global_checksum<std::uint64_t>(w, as_span(before[w.rank()]));
+    const auto b = global_checksum<std::uint64_t>(w, as_span(after[w.rank()]));
+    EXPECT_FALSE(a == b);
+  });
+}
+
+TEST(GlobalChecksum, DuplicatedRecordDetected) {
+  run4([](Comm& w) {
+    const Keys before[4] = {{1, 2}, {3}, {4}, {5}};
+    const Keys after[4] = {{1, 2}, {3, 3}, {4}, {5}};  // 3 appears twice
+    const auto a = global_checksum<std::uint64_t>(w, as_span(before[w.rank()]));
+    const auto b = global_checksum<std::uint64_t>(w, as_span(after[w.rank()]));
+    EXPECT_FALSE(a == b);
+  });
+}
+
+TEST(GlobalChecksum, CorruptedRecordDetected) {
+  run4([](Comm& w) {
+    // One bit flipped in one record on one rank.
+    const Keys before[4] = {{10, 20}, {30}, {40}, {50}};
+    const Keys after[4] = {{10, 20}, {30}, {41}, {50}};
+    const auto a = global_checksum<std::uint64_t>(w, as_span(before[w.rank()]));
+    const auto b = global_checksum<std::uint64_t>(w, as_span(after[w.rank()]));
+    EXPECT_FALSE(a == b);
+  });
+}
+
+TEST(GatherAll, ConcatenatesInRankOrder) {
+  run4([](Comm& w) {
+    const Keys per_rank[4] = {{1}, {}, {2, 3}, {4}};
+    const auto all = gather_all<std::uint64_t>(w, as_span(per_rank[w.rank()]));
+    EXPECT_EQ(all, (Keys{1, 2, 3, 4}));
+  });
+}
+
+}  // namespace
+}  // namespace sdss

@@ -199,8 +199,14 @@ inline TimedResult time_spmd(
   rep.wall_seconds = out.ok ? out.seconds : -1.0;
   rep.crit_path_cpu_seconds = out.crit_path_cpu;
   rep.phases = out.breakdown;
+  rep.phases_per_rank = std::move(res.ledgers);
   rep.comm_total = res.total_comm();
   rep.comm_per_rank = std::move(res.comm_stats);
+  // Tracing defaults on: analyze the event lanes into the critical-path /
+  // λ / blocked-time summary the report's "trace" object carries.
+  if (!res.trace.lanes.empty()) {
+    telemetry::set_trace(rep, trace::analyze_trace(res.trace));
+  }
   reporter.registry().add(std::move(rep));
   return out;
 }

@@ -1,0 +1,205 @@
+// trace_analyze — read a bench report file and explain its skew.
+//
+// For every report that carries a trace section this prints:
+//   * the per-phase critical-path table: which rank bounded each phase, by
+//     how much (margin over the runner-up), the paper's λ = max/avg, and
+//     how much of the critical rank's time was spent blocked inside
+//     collectives (skew showing up as wait time on the *other* ranks);
+//   * a per-rank × per-phase heatmap shaded from the report's
+//     phases.per_rank distribution (CPU seconds, each phase column
+//     normalized to its own maximum) — the straggler is the dark row;
+//   * a straggler ranking: ranks ordered by total CPU seconds.
+//
+// Gate mode (`--gate baseline.json`): compares the deterministic
+// λ(recv_records) of every traced report against the same-named report in
+// the baseline file. Record-count skew is a pure function of (workload
+// seed, partitioner), so growth past the tolerance means the partitioner
+// got worse at handling skew — exit 1. Used by scripts/check.sh with
+// bench/baselines/bench_trace.json. See docs/BENCHMARKING.md for a worked
+// diagnosis session.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "telemetry/report.hpp"
+#include "util/error.hpp"
+#include "util/format.hpp"
+#include "util/phase_ledger.hpp"
+
+namespace {
+using namespace sdss;
+using telemetry::ReportRegistry;
+using telemetry::RunReport;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: trace_analyze <report.json> [options]\n"
+      "  --gate=BASELINE.json  compare lambda(recv_records) per report\n"
+      "                        name against BASELINE; exit 1 on regression\n"
+      "  --tol=FRAC            relative lambda growth tolerated by the\n"
+      "                        gate (default 0.02)\n"
+      "exit: 0 ok, 1 lambda regression, 2 usage/file error\n");
+  std::exit(2);
+}
+
+/// Shade a [0,1] intensity for the heatmap. The blank low end keeps idle
+/// cells visually silent.
+const char* shade(double frac) {
+  static const char* kRamp[] = {"  ", "░░", "▒▒", "▓▓", "██"};
+  const int idx = std::clamp(static_cast<int>(frac * 5.0), 0, 4);
+  return kRamp[idx];
+}
+
+void print_report(const RunReport& r) {
+  std::cout << "=== " << r.name << " ===\n";
+  std::cout << "events " << r.trace_events << ", lambda(recv_records) "
+            << fmt_seconds(r.trace_lambda_records, 4)
+            << ", blocked fraction "
+            << fmt_seconds(r.trace_blocked_frac * 100.0, 1) << "%\n\n";
+
+  TextTable table;
+  table.header({"phase", "crit rank", "max(s)", "avg(s)", "lambda",
+                "margin(s)", "blocked(s)"});
+  for (const RunReport::TracePhase& p : r.trace_phases) {
+    table.row({p.name, std::to_string(p.critical_rank),
+               fmt_seconds(p.max_s), fmt_seconds(p.avg_s),
+               fmt_seconds(p.lambda, 3), fmt_seconds(p.margin_s),
+               fmt_seconds(p.blocked_s)});
+  }
+  std::cout << table.str();
+
+  // Heatmap + straggler ranking need the full per-rank distribution.
+  const std::vector<PhaseLedger>& per_rank = r.phases_per_rank;
+  if (per_rank.empty()) {
+    std::cout << "(no phases.per_rank in this report: heatmap skipped)\n\n";
+    return;
+  }
+
+  // Per-phase column maxima (CPU seconds) for normalization.
+  std::vector<double> col_max(kNumPhases, 0.0);
+  for (const PhaseLedger& l : per_rank) {
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      col_max[p] = std::max(col_max[p], l.cpu_seconds(static_cast<Phase>(p)));
+    }
+  }
+
+  std::cout << "\nper-rank x per-phase heatmap (CPU s, each column "
+               "normalized to its max):\n       ";
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    std::printf("%-6.5s", std::string(phase_name(static_cast<Phase>(p))).c_str());
+  }
+  std::printf("  total(s)\n");
+  for (std::size_t rank = 0; rank < per_rank.size(); ++rank) {
+    std::printf("  r%-3zu ", rank);
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      const double v = per_rank[rank].cpu_seconds(static_cast<Phase>(p));
+      const double frac = col_max[p] > 0.0 ? v / col_max[p] : 0.0;
+      std::printf("%s    ", shade(frac));
+    }
+    std::printf("  %s\n", fmt_seconds(per_rank[rank].cpu_total()).c_str());
+  }
+
+  std::vector<std::size_t> order(per_rank.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return per_rank[a].cpu_total() > per_rank[b].cpu_total();
+  });
+  double sum = 0.0;
+  for (const PhaseLedger& l : per_rank) sum += l.cpu_total();
+  const double avg = sum / static_cast<double>(per_rank.size());
+  std::cout << "\nstragglers (total CPU s vs " << fmt_seconds(avg)
+            << "s average):\n";
+  const std::size_t top = std::min<std::size_t>(3, order.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const std::size_t rank = order[i];
+    const double total = per_rank[rank].cpu_total();
+    std::cout << "  " << (i + 1) << ". rank " << rank << "  "
+              << fmt_seconds(total) << "s ("
+              << fmt_seconds(avg > 0.0 ? total / avg : 0.0, 2) << "x avg)\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report_path;
+  std::string gate_path;
+  double tol = 0.02;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--gate=", 0) == 0) {
+      gate_path = arg.substr(7);
+    } else if (arg == "--gate" && i + 1 < argc) {
+      gate_path = argv[++i];
+    } else if (arg.rfind("--tol=", 0) == 0) {
+      tol = std::atof(arg.c_str() + 6);
+    } else if (arg == "-h" || arg == "--help" || arg[0] == '-') {
+      usage();
+    } else if (report_path.empty()) {
+      report_path = arg;
+    } else {
+      usage();
+    }
+  }
+  if (report_path.empty()) usage();
+
+  ReportRegistry reg;
+  ReportRegistry baseline;
+  try {
+    reg = ReportRegistry::load_file(report_path);
+    if (!gate_path.empty()) baseline = ReportRegistry::load_file(gate_path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "trace_analyze: %s\n", e.what());
+    return 2;
+  }
+
+  std::size_t traced = 0;
+  for (const RunReport& r : reg.reports()) {
+    if (!r.has_trace) continue;
+    ++traced;
+    print_report(r);
+  }
+  if (traced == 0) {
+    std::fprintf(stderr,
+                 "trace_analyze: no report in %s carries a trace section\n",
+                 report_path.c_str());
+    return 2;
+  }
+
+  if (gate_path.empty()) return 0;
+
+  // λ gate: any traced report whose name also appears (traced) in the
+  // baseline must not have grown its record-count skew past the tolerance.
+  std::size_t compared = 0;
+  bool regressed = false;
+  for (const RunReport& r : reg.reports()) {
+    if (!r.has_trace || r.trace_lambda_records <= 0.0) continue;
+    const RunReport* base = baseline.find(r.name);
+    if (base == nullptr || !base->has_trace ||
+        base->trace_lambda_records <= 0.0) {
+      continue;
+    }
+    ++compared;
+    const double bound = base->trace_lambda_records * (1.0 + tol) + 1e-9;
+    const bool bad = r.trace_lambda_records > bound;
+    regressed = regressed || bad;
+    std::cout << "gate " << r.name << ": lambda "
+              << fmt_seconds(base->trace_lambda_records, 4) << " -> "
+              << fmt_seconds(r.trace_lambda_records, 4)
+              << (bad ? "  LAMBDA REGRESSION" : "  ok") << "\n";
+  }
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "trace_analyze: gate found no matching traced reports "
+                 "between %s and %s\n",
+                 report_path.c_str(), gate_path.c_str());
+    return 2;
+  }
+  return regressed ? 1 : 0;
+}

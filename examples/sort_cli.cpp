@@ -123,7 +123,8 @@ int main(int argc, char** argv) {
   cc.network = net == "aries"  ? sim::NetworkModel::aries_like()
                : net == "slow" ? sim::NetworkModel::slow_ethernet_like()
                                : sim::NetworkModel::none();
-  cc.enable_trace = !trace_path.empty();
+  // Tracing is always on (ClusterConfig's default); --trace only controls
+  // whether the collected timeline is exported to a Perfetto-loadable file.
   sim::Cluster cluster(cc);
   const auto budget =
       static_cast<std::size_t>(budget_factor * static_cast<double>(per_rank));
@@ -201,8 +202,12 @@ int main(int argc, char** argv) {
       rep.crit_path_cpu_seconds =
           std::max(rep.crit_path_cpu_seconds, l.cpu_total());
     }
+    rep.phases_per_rank = result.ledgers;
     rep.comm_total = result.total_comm();
     rep.comm_per_rank = result.comm_stats;
+    if (!result.trace.lanes.empty()) {
+      telemetry::set_trace(rep, trace::analyze_trace(result.trace));
+    }
     rep.rdfa = balance.rdfa;
     rep.max_load = balance.max_load;
     rep.total_records = balance.total;
@@ -222,7 +227,7 @@ int main(int argc, char** argv) {
     std::ofstream tf(trace_path);
     sim::write_chrome_trace(tf, result.trace);
     std::printf("wrote %zu trace events to %s (open in chrome://tracing)\n",
-                result.trace.size(), trace_path.c_str());
+                result.trace.total_events(), trace_path.c_str());
   }
   const auto breakdown = result.max_ledger();
   std::printf("wall time %.4fs | crit-path phases (CPU): pivot %.4fs, "

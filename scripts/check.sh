@@ -3,10 +3,12 @@
 # telemetry path — run one fast bench with --json and validate the emitted
 # run-report file (report_diff file file exits 0 iff the file parses and
 # matches itself) — then gate the collective wire-volume counters and the
-# local-sort kernel memory counters against their checked-in baselines, run
-# the fixed-seed chaos soak (crash-point sweep + straggler/jitter runs), and
-# run the collective, thread-pool, sortcore, and chaos tests under
-# ThreadSanitizer. See docs/BENCHMARKING.md.
+# local-sort kernel memory counters against their checked-in baselines,
+# enforce the always-on tracing overhead bound and the deterministic
+# received-record skew (lambda) baseline, run the fixed-seed chaos soak
+# (crash-point sweep + straggler/jitter runs), and run the collective,
+# thread-pool, sortcore, chaos, and trace tests under ThreadSanitizer. See
+# docs/BENCHMARKING.md.
 #
 # Environment knobs:
 #   BUILD_DIR     build tree (default: build)
@@ -55,6 +57,18 @@ echo "== local sort kernel gate =="
 "$BUILD_DIR"/bench/report_diff bench/baselines/bench_local_sort.json \
     "$report" --bytes-only
 
+echo "== tracing overhead + skew gate =="
+# bench_trace's exit status enforces the always-on tracing promise (traced
+# min critical-path CPU <= untraced * 1.05 + 0.05s, interleaved reps), and
+# its traced fixed-seed report carries the deterministic per-rank
+# received-record skew. trace_analyze --gate diffs that lambda against the
+# checked-in baseline: growth means the partitioner got worse at skew.
+# Refresh deliberately with:
+#   build/bench/bench_trace --json bench/baselines/bench_trace.json
+"$BUILD_DIR"/bench/bench_trace --json "$report"
+"$BUILD_DIR"/bench/trace_analyze "$report" \
+    --gate=bench/baselines/bench_trace.json
+
 echo "== chaos soak (fixed-seed fault injection) =="
 # chaos_soak force-crashes a victim rank at swept comm-op indices for each of
 # the three distributed sorts, then runs straggler and delivery-jitter
@@ -68,12 +82,13 @@ if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
   echo "== thread sanitizer (collective + sortcore/pool tests) =="
   cmake -B "$BUILD_DIR-tsan" -S . -DSDSS_SANITIZE=thread >/dev/null
   cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm \
-      test_par test_sortcore test_chaos
+      test_par test_sortcore test_chaos test_trace
   "$BUILD_DIR-tsan"/tests/test_collectives
   "$BUILD_DIR-tsan"/tests/test_sim_comm
   "$BUILD_DIR-tsan"/tests/test_par
   "$BUILD_DIR-tsan"/tests/test_sortcore
   "$BUILD_DIR-tsan"/tests/test_chaos
+  "$BUILD_DIR-tsan"/tests/test_trace
 fi
 
 echo "== OK =="

@@ -177,6 +177,10 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
     plan = plan_exchange(active, bounds, cfg.mem_limit_records);
   }
   rep.recv_records = plan.recv_total;
+  // The per-rank receive volume is the trace's deterministic skew signal:
+  // λ = max/avg of these counters is exactly reproducible for a fixed seed,
+  // unlike the wall-clock λ, so it is what the CI gate diffs.
+  if (trace::active()) trace::counter("recv_records", plan.recv_total);
 
   std::vector<T> out;
   const bool overlap =

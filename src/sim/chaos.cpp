@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "sim/state.hpp"
+#include "trace/recorder.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
@@ -162,6 +163,12 @@ std::uint64_t chaos_before_op(ClusterState* st, int world_rank,
       st->fired.push_back(
           FaultEvent{FaultKind::kStall, world_rank, k, stall});
     }
+    // Runs on the victim rank's own thread, so the instant lands on its
+    // lane — visible in the Perfetto timeline right where the stall began.
+    if (trace::active()) {
+      trace::instant(trace::EventCat::kChaos, "stall", k, -1,
+                     static_cast<std::uint64_t>(stall * 1e9));
+    }
     // Sleep outside the lock: a straggler must slow only itself down.
     std::this_thread::sleep_for(std::chrono::duration<double>(stall));
   }
@@ -169,6 +176,9 @@ std::uint64_t chaos_before_op(ClusterState* st, int world_rank,
     {
       std::lock_guard<std::mutex> lk(st->mu);
       st->fired.push_back(FaultEvent{FaultKind::kCrash, world_rank, k, 0.0});
+    }
+    if (trace::active()) {
+      trace::instant(trace::EventCat::kChaos, "crash", k);
     }
     throw SimInjectedFault(world_rank, k, op, plan.seed());
   }

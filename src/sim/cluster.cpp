@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "sim/state.hpp"
+#include "trace/recorder.hpp"
 #include "util/error.hpp"
 
 namespace sdss::sim {
@@ -94,7 +95,7 @@ struct LaunchOutcome {
   std::vector<std::pair<int, std::exception_ptr>> unwound;
   std::vector<PhaseLedger> ledgers;
   std::vector<CommStats> comm_stats;
-  std::vector<TraceEvent> trace;
+  TraceLog trace;
   std::vector<FaultEvent> fired;
   std::uint64_t jittered_messages = 0;
   std::vector<std::uint64_t> op_counts;
@@ -168,6 +169,16 @@ class Watchdog {
         }
         dump.push_back(std::move(d));
       }
+      // The watchdog thread is the sole writer of the recorder's cluster
+      // lane, so the verdict instant needs no lock either.
+      if (st_->recorder.enabled()) {
+        trace::Event ev;
+        ev.t_ns = st_->recorder.now_ns();
+        ev.name = "deadlock-verdict";
+        ev.kind = trace::EventKind::kInstant;
+        ev.cat = trace::EventCat::kWatchdog;
+        st_->recorder.cluster_lane()->append(ev);
+      }
       *fired_error = std::make_exception_ptr(SimDeadlockError(
           std::move(dump), std::chrono::duration<double>(timeout_).count()));
       st_->aborted = true;
@@ -212,7 +223,7 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   st.ledgers.resize(static_cast<std::size_t>(cfg.num_ranks));
   st.comm_stats.resize(static_cast<std::size_t>(cfg.num_ranks));
   st.trace_enabled = cfg.enable_trace;
-  st.trace_epoch = detail::Clock::now();
+  if (cfg.enable_trace) st.recorder.reset(cfg.num_ranks);
   st.chaos = FaultPlan(cfg.chaos, cfg.num_ranks);
   st.op_counts.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
   st.blocked.resize(static_cast<std::size_t>(cfg.num_ranks));
@@ -257,6 +268,11 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   threads.reserve(static_cast<std::size_t>(cfg.num_ranks));
   for (int r = 0; r < cfg.num_ranks; ++r) {
     threads.emplace_back([&, r] {
+      // Bind this thread to its private event lane: every trace emit from
+      // here on is a lock-free bump-append (see trace/recorder.hpp).
+      if (st.recorder.enabled()) {
+        trace::bind_thread(&st.recorder, static_cast<std::size_t>(r));
+      }
       Comm world_comm = detail::make_comm(&st, /*ctx=*/0, /*rank=*/r,
                                           cfg.num_ranks, /*world_rank=*/r);
       auto record = [&](bool primary_candidate) {
@@ -301,7 +317,8 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   }
   out.ledgers = std::move(st.ledgers);
   out.comm_stats = std::move(st.comm_stats);
-  out.trace = std::move(st.trace);
+  // Safe to read the lanes lock-free: every writer thread is joined above.
+  if (st.recorder.enabled()) out.trace = st.recorder.collect();
   out.fired = std::move(st.fired);
   out.jittered_messages = st.jittered_messages;
   out.op_counts = std::move(st.op_counts);

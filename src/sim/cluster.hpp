@@ -27,8 +27,12 @@ struct ClusterConfig {
   int num_ranks = 1;
   int cores_per_node = 1;
   NetworkModel network{};
-  /// Record every send/collective into RunResult::trace (see sim/trace.hpp).
-  bool enable_trace = false;
+  /// Record phase spans, comm ops, chaos firings and counters into
+  /// RunResult::trace. Defaults ON: the recorder is a lock-free per-rank
+  /// bump-append buffer (see sim/trace.hpp) cheap enough for timed benches
+  /// — bench/bench_trace.cpp gates the overhead at <= 5%. Disable only to
+  /// reclaim the per-lane buffer memory on very large runs.
+  bool enable_trace = true;
   /// Deterministic fault injection (see sim/chaos.hpp). Default: none.
   ChaosSpec chaos{};
   /// No-progress watchdog: when every live rank has been blocked in a
@@ -90,7 +94,7 @@ struct RunResult {
 
   std::vector<PhaseLedger> ledgers;  ///< indexed by world rank
   std::vector<CommStats> comm_stats;  ///< indexed by world rank
-  std::vector<TraceEvent> trace;      ///< populated when enable_trace is set
+  TraceLog trace;  ///< per-rank event timelines (empty when trace disabled)
 
   /// Critical-path breakdown: element-wise max over ranks.
   PhaseLedger max_ledger() const;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/state.hpp"
+#include "trace/recorder.hpp"
 
 namespace sdss::sim {
 
@@ -209,6 +210,7 @@ bool Request::test() {
 void Request::wait() {
   if (!impl_) throw CommError("wait() on an empty request");
   if (impl_->completed) return;
+  const std::uint64_t t_wait = trace::active() ? trace::now_ns() : 0;
   {
     std::unique_lock<std::mutex> lk(impl_->st->mu);
     BlockedGuard guard(impl_->st, impl_->world_rank);
@@ -226,6 +228,10 @@ void Request::wait() {
     }
   }
   impl_->finish_detached();
+  if (trace::active()) {
+    trace::complete(trace::EventCat::kP2p, "req_wait", t_wait,
+                    impl_->received, impl_->actual_src);
+  }
 }
 
 std::size_t Request::bytes() const {
@@ -247,6 +253,7 @@ int Request::wait_any(std::span<Request> reqs, std::span<const char> skip) {
     }
   }
   if (st == nullptr) return -1;
+  const std::uint64_t t_wait = trace::active() ? trace::now_ns() : 0;
   int owner = -1;
   for (auto& r : reqs) {
     if (r.impl_) {
@@ -295,6 +302,11 @@ int Request::wait_any(std::span<Request> reqs, std::span<const char> skip) {
     }
   }
   reqs[static_cast<std::size_t>(found)].impl_->finish_detached();
+  if (trace::active()) {
+    auto& impl = reqs[static_cast<std::size_t>(found)].impl_;
+    trace::complete(trace::EventCat::kP2p, "req_wait_any", t_wait,
+                    impl->received, impl->actual_src);
+  }
   return found;
 }
 
@@ -343,11 +355,9 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
     CommStats& cs = st_->comm_stats[static_cast<std::size_t>(world_rank_)];
     ++cs.p2p_messages;
     cs.p2p_bytes += bytes;
-    if (st_->trace_enabled) {
-      const double now = st_->trace_now();
-      st_->trace.push_back(TraceEvent{TraceEvent::Kind::kSend, world_rank_,
-                                      dest_world, "send", bytes, now, now});
-    }
+  }
+  if (trace::active()) {
+    trace::instant(trace::EventCat::kP2p, "send", bytes, dest_world);
   }
   // Notify after unlock so the woken receiver does not run straight into
   // the still-held mutex.
@@ -358,6 +368,7 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
                              int* out_src) {
   require_valid();
   detail::chaos_before_op(st_, world_rank_, "recv");
+  const std::uint64_t t_recv = trace::active() ? trace::now_ns() : 0;
   std::unique_lock<std::mutex> lk(st_->mu);
   BlockedGuard guard(st_, world_rank_);
   Mailbox& mb = st_->mailboxes[static_cast<std::size_t>(world_rank_)];
@@ -381,6 +392,9 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
       if (n > 0) std::memcpy(buf, msg.payload.data(), n);
       pool_release(std::move(msg.payload));
       if (out_src != nullptr) *out_src = msg.src;
+      if (trace::active()) {
+        trace::complete(trace::EventCat::kP2p, "recv", t_recv, n, msg.src);
+      }
       return n;
     }
     guard.set("recv", src, tag, ctx_, m.future);
@@ -395,6 +409,7 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
 std::size_t Comm::probe_bytes(int src, int tag, int* out_src) {
   require_valid();
   detail::chaos_before_op(st_, world_rank_, "probe");
+  const std::uint64_t t_probe = trace::active() ? trace::now_ns() : 0;
   std::unique_lock<std::mutex> lk(st_->mu);
   BlockedGuard guard(st_, world_rank_);
   Mailbox& mb = st_->mailboxes[static_cast<std::size_t>(world_rank_)];
@@ -405,6 +420,10 @@ std::size_t Comm::probe_bytes(int src, int tag, int* out_src) {
         scan_mailbox(mb, ctx_, src, tag, Clock::now(), /*internal=*/false);
     if (m.ready) {
       if (out_src != nullptr) *out_src = m.it->src;
+      if (trace::active()) {
+        trace::complete(trace::EventCat::kP2p, "probe", t_probe,
+                        m.it->payload.size(), m.it->src);
+      }
       return m.it->payload.size();
     }
     guard.set("probe", src, tag, ctx_, m.future);
@@ -504,7 +523,12 @@ struct CollCtx {
   std::size_t messages = 0;
   std::size_t bytes_out = 0;
   std::size_t bytes_in = 0;  // feeds the network model, not CommStats
-  double t_begin = 0.0;
+  std::uint64_t t_begin_ns = 0;
+  /// Time this rank spent blocked inside the call — waiting on a posted
+  /// receive, draining zero-copy loans, or sleeping for the modeled network
+  /// — as opposed to computing (packing, reducing, copying). Lands in the
+  /// collective span's `aux` for blocked-vs-compute attribution.
+  std::uint64_t blocked_ns = 0;
   /// Zero-copy bookkeeping: `zc.outstanding` counts buffer loans peers have
   /// not yet copied out (guarded by st->mu); `zc_used` is written only by
   /// this rank's thread, so the drain can skip locking when no loan was
@@ -530,7 +554,7 @@ CollCtx coll_begin(ClusterState* st, int ctx, int rank, int size,
     c.world_ranks = &info.world_ranks;
     c.intra_node = info.intra_node;
   }
-  if (st->trace_enabled) c.t_begin = st->trace_now();
+  if (trace::active()) c.t_begin_ns = trace::now_ns();
   return c;
 }
 
@@ -557,7 +581,10 @@ void coll_zc_drain(CollCtx& c) {
   auto& cv = st->rank_cv(c.world_rank);
   guard.set("zc_drain", Comm::kAnySource, Comm::kAnyTag, c.ctx,
             /*has_deadline=*/false);
+  const bool traced = trace::active();
+  const std::uint64_t t0 = traced ? trace::now_ns() : 0;
   while (c.zc.outstanding > 0 && !st->aborted) cv.wait(lk);
+  if (traced) c.blocked_ns += trace::now_ns() - t0;
   guard.clear();
   check_abort(*st);
 }
@@ -572,18 +599,20 @@ void coll_finish(CollCtx& c, CollAlg alg) {
   ++as.calls;
   as.messages += c.messages;
   as.bytes_out += c.bytes_out;
-  if (c.st->trace_enabled) {
-    std::lock_guard<std::mutex> lk(c.st->mu);
-    c.st->trace.push_back(TraceEvent{TraceEvent::Kind::kCollective,
-                                     c.world_rank, -1, coll_alg_name(alg),
-                                     c.bytes_out, c.t_begin,
-                                     c.st->trace_now()});
-  }
   const NetworkModel& net = c.st->network;
   if (net.enabled() &&
       (c.messages != 0 || c.bytes_out != 0 || c.bytes_in != 0)) {
-    std::this_thread::sleep_for(net.to_duration(
-        net.exchange_time(c.messages, c.bytes_out, c.bytes_in, c.intra_node)));
+    const double t =
+        net.exchange_time(c.messages, c.bytes_out, c.bytes_in, c.intra_node);
+    std::this_thread::sleep_for(net.to_duration(t));
+    c.blocked_ns += static_cast<std::uint64_t>(t * 1e9);
+  }
+  // One span per collective call, named after the algorithm that actually
+  // ran, spanning begin-to-return (modeled network sleep included) with the
+  // blocked share in aux. Lock-free append on this rank's own lane.
+  if (trace::active()) {
+    trace::complete(trace::EventCat::kCollective, coll_alg_name(alg),
+                    c.t_begin_ns, c.bytes_out, -1, c.blocked_ns);
   }
 }
 
@@ -770,7 +799,10 @@ std::size_t coll_recv(CollCtx& c, void* buf, std::size_t capacity, int src,
   posted = &slot;
   BlockedGuard guard(st, c.world_rank);
   guard.set("coll_recv", src, tag, c.ctx, /*has_deadline=*/false);
+  const bool traced = trace::active();
+  const std::uint64_t t0 = traced ? trace::now_ns() : 0;
   while (!slot.done && !st->aborted) cv.wait(lk);
+  if (traced) c.blocked_ns += trace::now_ns() - t0;
   posted = nullptr;
   guard.clear();
   check_abort(*st);

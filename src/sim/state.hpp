@@ -155,8 +155,10 @@ struct ClusterState {
   std::vector<CommStats> comm_stats;        // indexed by world rank
 
   bool trace_enabled = false;
-  Clock::time_point trace_epoch{};
-  std::vector<TraceEvent> trace;            // guarded by mu
+  /// Lock-free per-rank event lanes (plus one for the watchdog). Each rank
+  /// thread binds to its lane at spawn and appends without taking mu; the
+  /// joins at teardown order the collect() read, like op_counts below.
+  trace::TraceRecorder recorder;
 
   // --- chaos engine (see sim/chaos.hpp) ---------------------------------
   /// Immutable after launch; read concurrently by every rank thread.
@@ -176,10 +178,6 @@ struct ClusterState {
   /// rank finishing. If every live rank is blocked (deadline-free) and this
   /// stays unchanged past the watchdog threshold, the run is deadlocked.
   std::uint64_t progress_epoch = 0;
-
-  double trace_now() const {
-    return std::chrono::duration<double>(Clock::now() - trace_epoch).count();
-  }
 
   int node_of(int world_rank) const { return world_rank / cores_per_node; }
 };

@@ -75,6 +75,26 @@ void compare_kernel(DiffResult& out, const RunReport& b, const RunReport& a,
                   a.kernel_arena_hwm, opts);
 }
 
+void compare_trace(DiffResult& out, const RunReport& b, const RunReport& a,
+                   const DiffOptions& opts) {
+  // Same both-sides rule as compare_kernel: a pre-trace baseline must not
+  // fake a regression from zero. λ of per-rank received records is a record
+  // *count* ratio — deterministic for a fixed seed — so it sits with the
+  // counter gates, with the same growth tolerance (it is a small ratio, not
+  // a byte count, hence compare directly rather than through the u64 path).
+  if (!b.has_trace || !a.has_trace) return;
+  if (b.trace_lambda_records <= 0.0 && a.trace_lambda_records <= 0.0) return;
+  PhaseDelta d;
+  d.report = b.name;
+  d.metric = "trace_lambda_records";
+  d.before = b.trace_lambda_records;
+  d.after = a.trace_lambda_records;
+  d.regressed =
+      d.after > d.before * (1.0 + opts.bytes_threshold) + 1e-9;
+  out.any_regression = out.any_regression || d.regressed;
+  out.deltas.push_back(std::move(d));
+}
+
 }  // namespace
 
 std::vector<PhaseDelta> DiffResult::regressions() const {
@@ -126,6 +146,7 @@ DiffResult diff_registries(const ReportRegistry& before,
     if (opts.compare_bytes || opts.bytes_only) {
       compare_comm(out, b, *a, opts);
       compare_kernel(out, b, *a, opts);
+      compare_trace(out, b, *a, opts);
     }
   }
   for (const RunReport& a : after.reports()) {
@@ -164,7 +185,7 @@ void print_diff(std::ostream& os, const DiffResult& d,
   os << (regs.empty() ? "no regressions" : "REGRESSIONS: ")
      << (regs.empty() ? "" : std::to_string(regs.size()));
   if (opts.bytes_only) {
-    os << " (comm + kernel counters only, tolerance "
+    os << " (comm/kernel counters + trace lambda only, tolerance "
        << fmt_seconds(opts.bytes_threshold * 100.0, 0) << "%)\n";
   } else {
     os << " (threshold " << fmt_seconds(opts.threshold * 100.0, 0)

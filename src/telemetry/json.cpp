@@ -25,38 +25,6 @@ void write_number(std::ostream& os, double v) {
   os.write(buf, res.ptr - buf);
 }
 
-void write_string(std::ostream& os, std::string_view s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        os << "\\\"";
-        break;
-      case '\\':
-        os << "\\\\";
-        break;
-      case '\n':
-        os << "\\n";
-        break;
-      case '\t':
-        os << "\\t";
-        break;
-      case '\r':
-        os << "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
 
 void newline_indent(std::ostream& os, int indent, int depth) {
   if (indent <= 0) return;
@@ -281,6 +249,45 @@ class Parser {
 
 }  // namespace
 
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\b':
+        os << "\\b";
+        break;
+      case '\f':
+        os << "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
 void Json::push_back(Json v) {
   if (type_ == Type::kNull) type_ = Type::kArray;
   if (type_ != Type::kArray) throw Error("Json::push_back on non-array");
@@ -351,7 +358,7 @@ void Json::write_indented(std::ostream& os, int indent, int depth) const {
       write_number(os, num_);
       break;
     case Type::kString:
-      write_string(os, str_);
+      write_json_string(os, str_);
       break;
     case Type::kArray: {
       if (arr_.empty()) {
@@ -379,7 +386,7 @@ void Json::write_indented(std::ostream& os, int indent, int depth) const {
         if (!first) os << ',';
         first = false;
         newline_indent(os, indent, depth + 1);
-        write_string(os, k);
+        write_json_string(os, k);
         os << (indent > 0 ? ": " : ":");
         v.write_indented(os, indent, depth + 1);
       }

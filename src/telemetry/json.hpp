@@ -112,4 +112,10 @@ class Json {
   std::vector<std::pair<std::string, Json>> obj_;
 };
 
+/// Write `s` as a JSON string literal — quoted, with quotes, backslashes
+/// and all control characters escaped. The one escaping routine shared by
+/// the document writer above and streaming emitters (the Chrome-trace
+/// exporter) that build JSON without materializing a Json tree.
+void write_json_string(std::ostream& os, std::string_view s);
+
 }  // namespace sdss::telemetry

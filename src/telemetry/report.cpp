@@ -78,6 +78,25 @@ const std::string* RunReport::find_param(const std::string& key) const {
   return nullptr;
 }
 
+void set_trace(RunReport& r, const trace::TraceAnalysis& a) {
+  r.has_trace = true;
+  r.trace_lambda_records = a.lambda_records;
+  r.trace_blocked_frac = a.blocked_frac;
+  r.trace_events = a.total_events;
+  r.trace_phases.clear();
+  for (const trace::PhaseStat& s : a.phases) {
+    RunReport::TracePhase p;
+    p.name = s.name;
+    p.critical_rank = s.critical_rank;
+    p.max_s = s.max_s;
+    p.avg_s = s.avg_s;
+    p.lambda = s.lambda;
+    p.margin_s = s.margin_s;
+    p.blocked_s = s.blocked_s;
+    r.trace_phases.push_back(std::move(p));
+  }
+}
+
 Json to_json(const RunReport& r) {
   Json j = Json::object();
   j.set("name", r.name);
@@ -131,6 +150,22 @@ Json to_json(const RunReport& r) {
   total.set("wall_s", r.phases.total());
   total.set("cpu_s", r.phases.cpu_total());
   phases.set("total", std::move(total));
+  if (!r.phases_per_rank.empty()) {
+    // Compact fixed-position rows (same convention as comm.per_rank):
+    // [wall_0, cpu_0, wall_1, cpu_1, ...] in phase-enum order — the full
+    // per-rank distribution behind the max-over-ranks entries above.
+    Json per_rank = Json::array();
+    for (const PhaseLedger& l : r.phases_per_rank) {
+      Json row = Json::array();
+      for (std::size_t i = 0; i < kNumPhases; ++i) {
+        const auto p = static_cast<Phase>(i);
+        row.push_back(l.seconds(p));
+        row.push_back(l.cpu_seconds(p));
+      }
+      per_rank.push_back(std::move(row));
+    }
+    phases.set("per_rank", std::move(per_rank));
+  }
   j.set("phases", std::move(phases));
 
   Json comm = comm_entry(r.comm_total);
@@ -164,6 +199,26 @@ Json to_json(const RunReport& r) {
     kernel.set("heap_allocs", r.kernel_heap_allocs);
     kernel.set("arena_hwm", r.kernel_arena_hwm);
     j.set("kernel", std::move(kernel));
+  }
+
+  if (r.has_trace) {
+    Json trace = Json::object();
+    trace.set("lambda_records", r.trace_lambda_records);
+    trace.set("blocked_frac", r.trace_blocked_frac);
+    trace.set("events", r.trace_events);
+    Json tp = Json::object();
+    for (const RunReport::TracePhase& p : r.trace_phases) {
+      Json e = Json::object();
+      e.set("critical_rank", p.critical_rank);
+      e.set("max_s", p.max_s);
+      e.set("avg_s", p.avg_s);
+      e.set("lambda", p.lambda);
+      e.set("margin_s", p.margin_s);
+      e.set("blocked_s", p.blocked_s);
+      tp.set(p.name, std::move(e));
+    }
+    trace.set("phases", std::move(tp));
+    j.set("trace", std::move(trace));
   }
   return j;
 }
@@ -213,6 +268,18 @@ RunReport report_from_json(const Json& j) {
     const Json& e = phases.at(std::string(phase_name(p)));
     r.phases.add(p, e.at("wall_s").number_or(), e.at("cpu_s").number_or());
   }
+  if (const Json* per_rank = phases.find("per_rank")) {
+    for (const Json& row : per_rank->items()) {
+      PhaseLedger l;
+      const auto& cells = row.items();
+      for (std::size_t i = 0; i < kNumPhases; ++i) {
+        if (2 * i + 1 >= cells.size()) break;
+        l.add(static_cast<Phase>(i), cells[2 * i].number_or(),
+              cells[2 * i + 1].number_or());
+      }
+      r.phases_per_rank.push_back(l);
+    }
+  }
 
   const Json& comm = j.at("comm");
   r.comm_total = comm_from_json(comm);
@@ -240,6 +307,24 @@ RunReport report_from_json(const Json& j) {
     r.kernel_scratch_bytes = kernel->at("scratch_bytes").u64_or();
     r.kernel_heap_allocs = kernel->at("heap_allocs").u64_or();
     r.kernel_arena_hwm = kernel->at("arena_hwm").u64_or();
+  }
+
+  if (const Json* trace = j.find("trace")) {
+    r.has_trace = true;
+    r.trace_lambda_records = trace->at("lambda_records").number_or();
+    r.trace_blocked_frac = trace->at("blocked_frac").number_or();
+    r.trace_events = trace->at("events").u64_or();
+    for (const auto& [name, e] : trace->at("phases").members()) {
+      RunReport::TracePhase p;
+      p.name = name;
+      p.critical_rank = static_cast<int>(e.at("critical_rank").number_or(-1));
+      p.max_s = e.at("max_s").number_or();
+      p.avg_s = e.at("avg_s").number_or();
+      p.lambda = e.at("lambda").number_or();
+      p.margin_s = e.at("margin_s").number_or();
+      p.blocked_s = e.at("blocked_s").number_or();
+      r.trace_phases.push_back(std::move(p));
+    }
   }
   return r;
 }

@@ -27,6 +27,7 @@
 #include "sim/chaos.hpp"
 #include "sim/comm_stats.hpp"
 #include "telemetry/json.hpp"
+#include "trace/analyze.hpp"
 #include "util/phase_ledger.hpp"
 
 namespace sdss::telemetry {
@@ -77,6 +78,31 @@ struct RunReport {
 
   /// Per-phase wall + CPU seconds, element-wise max over ranks.
   PhaseLedger phases;
+  /// The full per-rank distribution behind that max (rank order; empty for
+  /// local runs). This is what makes imbalance recoverable from the report
+  /// file alone — the max says *that* a phase was slow, the distribution
+  /// says *which rank* made it so.
+  std::vector<PhaseLedger> phases_per_rank;
+
+  // Trace analysis (trace/analyze.hpp), summarized per phase: which rank
+  // bounded the phase, by how much, and how skewed the distribution was.
+  // has_trace distinguishes "no trace recorded" (older files, tracing
+  // disabled) from genuine zeros.
+  struct TracePhase {
+    std::string name;
+    int critical_rank = -1;
+    double max_s = 0.0;
+    double avg_s = 0.0;
+    double lambda = 0.0;    ///< max/avg — the paper's imbalance factor
+    double margin_s = 0.0;  ///< max minus runner-up
+    double blocked_s = 0.0; ///< critical rank's blocked-in-collective time
+  };
+  bool has_trace = false;
+  std::vector<TracePhase> trace_phases;
+  double trace_lambda_records = 0.0;  ///< λ of per-rank received records —
+                                      ///< deterministic, the CI gate's input
+  double trace_blocked_frac = 0.0;    ///< blocked share of all phase time
+  std::uint64_t trace_events = 0;
 
   // Communication: whole-cluster totals plus the per-rank counters (rank
   // order), so imbalance in *traffic* is visible, not just in load.
@@ -98,6 +124,10 @@ struct RunReport {
   std::uint64_t kernel_heap_allocs = 0;
   std::uint64_t kernel_arena_hwm = 0;  ///< peak live arena bytes (level)
 };
+
+/// Fill a report's trace section from an analyzed run trace (sets
+/// has_trace and the per-phase critical-path/λ summaries).
+void set_trace(RunReport& r, const trace::TraceAnalysis& a);
 
 /// Serialize one report to its JSON object form (stable member order).
 Json to_json(const RunReport& r);

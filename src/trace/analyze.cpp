@@ -1,0 +1,163 @@
+#include "trace/analyze.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "util/phase_ledger.hpp"
+
+namespace sdss::trace {
+
+namespace {
+
+struct PhaseAccum {
+  std::vector<double> seconds;
+  std::vector<double> blocked;
+  std::size_t first_seen = 0;  ///< tie-break ordering for non-ledger names
+};
+
+double ns_to_s(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+
+/// Canonical position of a phase name: ledger phases sort in their enum
+/// order (the paper's pipeline order), anything else after, by appearance.
+std::size_t canonical_rank(const std::string& name) {
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    if (name == phase_name(static_cast<Phase>(p))) return p;
+  }
+  return kNumPhases;
+}
+
+}  // namespace
+
+TraceAnalysis analyze_trace(const TraceLog& log) {
+  TraceAnalysis out;
+  out.total_events = log.total_events();
+  const int ranks = log.num_ranks();
+  if (ranks <= 0) return out;
+
+  std::map<std::string, PhaseAccum> phases;
+  std::size_t name_seq = kNumPhases + 1;
+  std::vector<double> recv_records(static_cast<std::size_t>(ranks), -1.0);
+
+  for (std::size_t lane = 0; lane < log.lanes.size(); ++lane) {
+    const bool is_rank = lane < static_cast<std::size_t>(ranks);
+    // Open phase spans on this lane, innermost last. A span left open by a
+    // mid-phase failure closes at the lane's last event time.
+    std::vector<std::pair<const char*, std::uint64_t>> open;
+    std::uint64_t lane_end = 0;
+
+    auto charge = [&](const char* name, std::uint64_t begin,
+                      std::uint64_t end, double blocked) {
+      PhaseAccum& acc = phases[name];
+      if (acc.seconds.empty()) {
+        acc.seconds.assign(static_cast<std::size_t>(ranks), 0.0);
+        acc.blocked.assign(static_cast<std::size_t>(ranks), 0.0);
+        acc.first_seen = name_seq++;
+      }
+      if (end > begin) acc.seconds[lane] += ns_to_s(end - begin);
+      acc.blocked[lane] += blocked;
+    };
+
+    for (const Event& e : log.lanes[lane]) {
+      lane_end = std::max(lane_end, e.t_ns + e.dur_ns);
+      switch (e.kind) {
+        case EventKind::kSpanBegin:
+          if (is_rank && e.cat == EventCat::kPhase) {
+            open.emplace_back(e.name, e.t_ns);
+          }
+          break;
+        case EventKind::kSpanEnd:
+          if (is_rank && e.cat == EventCat::kPhase && !open.empty()) {
+            // Close the innermost span with this name (normally the top).
+            for (std::size_t i = open.size(); i-- > 0;) {
+              if (std::strcmp(open[i].first, e.name) == 0) {
+                charge(open[i].first, open[i].second, e.t_ns, 0.0);
+                open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+                break;
+              }
+            }
+          }
+          break;
+        case EventKind::kComplete:
+          if (is_rank && e.cat == EventCat::kCollective && !open.empty()) {
+            charge(open.back().first, 0, 0, ns_to_s(e.aux));
+          }
+          break;
+        case EventKind::kCounter:
+          if (is_rank && std::strcmp(e.name, "recv_records") == 0) {
+            recv_records[lane] = static_cast<double>(e.value);
+          }
+          break;
+        case EventKind::kInstant:
+          if (e.cat == EventCat::kChaos) ++out.chaos_events;
+          if (e.cat == EventCat::kWatchdog) ++out.watchdog_events;
+          break;
+      }
+    }
+    // Spans the lane never closed (crash unwound past the dtor, or a
+    // deadlock verdict aborted the run) still count up to the last event.
+    for (const auto& [name, begin] : open) charge(name, begin, lane_end, 0.0);
+  }
+
+  // Reduce per-phase, in canonical order.
+  std::vector<std::pair<std::size_t, const std::string*>> order;
+  order.reserve(phases.size());
+  for (const auto& [name, acc] : phases) {
+    const std::size_t rank = canonical_rank(name);
+    order.emplace_back(rank < kNumPhases ? rank : acc.first_seen, &name);
+  }
+  std::sort(order.begin(), order.end());
+
+  double total_s = 0.0;
+  double total_blocked_s = 0.0;
+  for (const auto& [key, name] : order) {
+    const PhaseAccum& acc = phases[*name];
+    PhaseStat stat;
+    stat.name = *name;
+    stat.per_rank_s = acc.seconds;
+    stat.per_rank_blocked_s = acc.blocked;
+    double sum = 0.0;
+    double runner_up = 0.0;
+    for (int r = 0; r < ranks; ++r) {
+      const double s = acc.seconds[static_cast<std::size_t>(r)];
+      sum += s;
+      total_blocked_s += acc.blocked[static_cast<std::size_t>(r)];
+      if (s > stat.max_s) {
+        runner_up = stat.max_s;
+        stat.max_s = s;
+        stat.critical_rank = r;
+      } else if (s > runner_up) {
+        runner_up = s;
+      }
+    }
+    total_s += sum;
+    stat.avg_s = sum / ranks;
+    stat.lambda = stat.avg_s > 0.0 ? stat.max_s / stat.avg_s : 0.0;
+    stat.margin_s = stat.max_s - runner_up;
+    if (stat.critical_rank >= 0) {
+      stat.blocked_s =
+          acc.blocked[static_cast<std::size_t>(stat.critical_rank)];
+    }
+    out.phases.push_back(std::move(stat));
+  }
+  out.blocked_frac = total_s > 0.0 ? total_blocked_s / total_s : 0.0;
+
+  // Deterministic λ from received-record counts (ranks that never reached
+  // the exchange — e.g. handed their data to a node leader — are skipped).
+  double rec_sum = 0.0;
+  double rec_max = 0.0;
+  int rec_n = 0;
+  for (const double v : recv_records) {
+    if (v < 0.0) continue;
+    rec_sum += v;
+    rec_max = std::max(rec_max, v);
+    ++rec_n;
+  }
+  if (rec_n > 0 && rec_sum > 0.0) {
+    out.lambda_records = rec_max / (rec_sum / rec_n);
+  }
+  return out;
+}
+
+}  // namespace sdss::trace

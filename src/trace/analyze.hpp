@@ -1,0 +1,47 @@
+// Post-run trace analysis: per-phase critical path (which rank bounded the
+// phase and by how much), the paper's load-imbalance factor λ = max/avg —
+// both from wall time per phase and, deterministically, from per-rank
+// received-record counts — and blocked-vs-compute attribution inside
+// collectives. Consumes the TraceLog a Cluster run collects; feeds the
+// telemetry RunReport "trace" object and the trace_analyze CLI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace sdss::trace {
+
+/// Summary of one phase across all rank lanes.
+struct PhaseStat {
+  std::string name;
+  int critical_rank = -1;  ///< rank with the largest in-phase wall time
+  double max_s = 0.0;      ///< that rank's time: the phase's critical path
+  double avg_s = 0.0;      ///< mean over all ranks (absent ranks count 0)
+  double lambda = 0.0;     ///< max/avg — the paper's imbalance factor
+  double margin_s = 0.0;   ///< max minus runner-up: the slack the critical
+                           ///< rank alone adds to the makespan
+  double blocked_s = 0.0;  ///< of the critical rank's phase time, how much
+                           ///< was spent blocked inside collectives
+  std::vector<double> per_rank_s;          ///< in-phase wall time per rank
+  std::vector<double> per_rank_blocked_s;  ///< collective blocked time "
+};
+
+struct TraceAnalysis {
+  std::vector<PhaseStat> phases;  ///< phases that appeared, canonical order
+  /// λ from the last "recv_records" counter per rank: exactly reproducible
+  /// for a fixed seed (no clocks involved), which is what the CI gate
+  /// diffs. 0 when no rank emitted the counter.
+  double lambda_records = 0.0;
+  /// Fraction of all in-phase rank time spent blocked inside collectives.
+  double blocked_frac = 0.0;
+  std::uint64_t chaos_events = 0;
+  std::uint64_t watchdog_events = 0;
+  std::uint64_t total_events = 0;
+};
+
+TraceAnalysis analyze_trace(const TraceLog& log);
+
+}  // namespace sdss::trace

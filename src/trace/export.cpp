@@ -1,0 +1,127 @@
+#include "trace/export.hpp"
+
+#include <ostream>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace sdss::trace {
+
+namespace {
+
+/// Timestamps: the trace-event format wants microseconds; emit fractional
+/// µs to keep the recorder's nanosecond resolution.
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void key(std::ostream& os, const char* name) {
+  telemetry::write_json_string(os, name);
+  os << ":";
+}
+
+void prelude(std::ostream& os, bool& first, const Event& e, const char* ph,
+             std::size_t tid) {
+  if (!first) os << ",";
+  first = false;
+  os << "\n  {";
+  key(os, "name");
+  telemetry::write_json_string(os, e.name);
+  os << ",";
+  key(os, "cat");
+  telemetry::write_json_string(os, event_cat_name(e.cat));
+  os << ",";
+  key(os, "ph");
+  os << "\"" << ph << "\",";
+  key(os, "pid");
+  os << "1,";
+  key(os, "tid");
+  os << tid << ",";
+  key(os, "ts");
+  os << us(e.t_ns);
+}
+
+void args_open(std::ostream& os) {
+  os << ",";
+  key(os, "args");
+  os << "{";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceLog& log) {
+  os << "[";
+  bool first = true;
+  const std::size_t ranks = static_cast<std::size_t>(log.num_ranks());
+  for (std::size_t tid = 0; tid < log.lanes.size(); ++tid) {
+    // Track naming metadata so Perfetto labels lanes "rank N" / "cluster".
+    if (!first) os << ",";
+    first = false;
+    const std::string label =
+        tid < ranks ? "rank " + std::to_string(tid) : std::string("cluster");
+    os << "\n  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << tid << ",\"args\":{\"name\":";
+    telemetry::write_json_string(os, label);
+    os << "}}";
+
+    for (const Event& e : log.lanes[tid]) {
+      switch (e.kind) {
+        case EventKind::kSpanBegin:
+          prelude(os, first, e, "B", tid);
+          os << "}";
+          break;
+        case EventKind::kSpanEnd:
+          prelude(os, first, e, "E", tid);
+          os << "}";
+          break;
+        case EventKind::kComplete: {
+          prelude(os, first, e, "X", tid);
+          os << ",";
+          key(os, "dur");
+          // Sub-µs ops still get a visible sliver.
+          os << (e.dur_ns < 1000 ? 1.0 : us(e.dur_ns));
+          args_open(os);
+          key(os, "bytes");
+          os << e.value;
+          if (e.peer >= 0) {
+            os << ",";
+            key(os, "peer");
+            os << e.peer;
+          }
+          if (e.aux > 0) {
+            os << ",";
+            key(os, "blocked_us");
+            os << us(e.aux);
+          }
+          os << "}}";
+          break;
+        }
+        case EventKind::kInstant: {
+          prelude(os, first, e, "i", tid);
+          os << ",";
+          key(os, "s");
+          os << "\"t\"";
+          args_open(os);
+          key(os, "value");
+          os << e.value;
+          if (e.peer >= 0) {
+            os << ",";
+            key(os, "peer");
+            os << e.peer;
+          }
+          os << "}}";
+          break;
+        }
+        case EventKind::kCounter: {
+          prelude(os, first, e, "C", tid);
+          args_open(os);
+          key(os, "value");
+          os << e.value;
+          os << "}}";
+          break;
+        }
+      }
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace sdss::trace

@@ -1,0 +1,17 @@
+// Chrome trace-event export: serialize a TraceLog as the JSON array format
+// that chrome://tracing and https://ui.perfetto.dev load directly. Each
+// rank gets its own named track (tid), the cluster runtime a final one;
+// phases render as nested B/E spans, comm ops as X spans/instants beneath
+// them, chaos firings and watchdog verdicts as flagged instants, and
+// counter samples as "C" series.
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/recorder.hpp"
+
+namespace sdss::trace {
+
+void write_chrome_trace(std::ostream& os, const TraceLog& log);
+
+}  // namespace sdss::trace

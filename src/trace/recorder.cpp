@@ -1,0 +1,150 @@
+#include "trace/recorder.hpp"
+
+#include <utility>
+
+#include "sortcore/kernel_stats.hpp"
+
+namespace sdss::trace {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kSpanBegin: return "span-begin";
+    case EventKind::kSpanEnd: return "span-end";
+    case EventKind::kComplete: return "complete";
+    case EventKind::kInstant: return "instant";
+    case EventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+const char* event_cat_name(EventCat c) {
+  switch (c) {
+    case EventCat::kPhase: return "phase";
+    case EventCat::kP2p: return "p2p";
+    case EventCat::kCollective: return "collective";
+    case EventCat::kChaos: return "chaos";
+    case EventCat::kWatchdog: return "watchdog";
+    case EventCat::kCounter: return "counter";
+  }
+  return "?";
+}
+
+// The chunk chain is singly linked through unique_ptr; a long run would
+// otherwise tear it down by recursion, one stack frame per chunk.
+TraceLane::~TraceLane() {
+  std::unique_ptr<Chunk> cur = std::move(head_);
+  while (cur) cur = std::move(cur->next);
+}
+
+TraceLane::TraceLane(TraceLane&& other) noexcept
+    : head_(std::move(other.head_)),
+      tail_(std::exchange(other.tail_, nullptr)) {}
+
+TraceLane& TraceLane::operator=(TraceLane&& other) noexcept {
+  if (this != &other) {
+    this->~TraceLane();
+    head_ = std::move(other.head_);
+    tail_ = std::exchange(other.tail_, nullptr);
+  }
+  return *this;
+}
+
+void TraceLane::grow() {
+  auto chunk = std::make_unique<Chunk>();
+  Chunk* raw = chunk.get();
+  if (tail_ == nullptr) {
+    head_ = std::move(chunk);
+  } else {
+    tail_->next = std::move(chunk);
+  }
+  tail_ = raw;
+}
+
+std::size_t TraceLane::size() const {
+  std::size_t n = 0;
+  for (const Chunk* c = head_.get(); c != nullptr; c = c->next.get()) {
+    n += c->used;
+  }
+  return n;
+}
+
+std::vector<Event> TraceLane::collect() const {
+  std::vector<Event> out;
+  out.reserve(size());
+  for (const Chunk* c = head_.get(); c != nullptr; c = c->next.get()) {
+    out.insert(out.end(), c->events.begin(), c->events.begin() + c->used);
+  }
+  return out;
+}
+
+bool TraceLog::empty() const {
+  for (const auto& lane : lanes) {
+    if (!lane.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t TraceLog::total_events() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes) n += lane.size();
+  return n;
+}
+
+void TraceRecorder::reset(int num_ranks) {
+  lanes_.clear();
+  lanes_.resize(static_cast<std::size_t>(num_ranks) + 1);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceLog TraceRecorder::collect() const {
+  TraceLog log;
+  log.lanes.reserve(lanes_.size());
+  for (const TraceLane& lane : lanes_) log.lanes.push_back(lane.collect());
+  return log;
+}
+
+namespace detail {
+thread_local ThreadLane t_lane;
+}  // namespace detail
+
+void bind_thread(TraceRecorder* rec, std::size_t index) {
+  detail::t_lane.lane = rec->lane(index);
+  detail::t_lane.epoch = rec->epoch();
+}
+
+void unbind_thread() { detail::t_lane = detail::ThreadLane{}; }
+
+void phase_begin(const char* phase) {
+  Event e;
+  e.t_ns = now_ns();
+  e.name = phase;
+  e.kind = EventKind::kSpanBegin;
+  e.cat = EventCat::kPhase;
+  emit(e);
+}
+
+void phase_end(const char* phase) {
+  // Sample the process-wide kernel counters just inside the closing span so
+  // Perfetto plots their growth per phase. The values are cumulative across
+  // all ranks of the process (the counters are process-wide by design), so
+  // they chart totals, not per-rank attribution.
+  const KernelSnapshot s = snapshot_kernel_counters();
+  counter("kernel_bytes_moved", s.bytes_moved);
+  counter("kernel_scratch_bytes", s.scratch_bytes);
+  counter("kernel_heap_allocs", s.heap_allocs);
+  Event e;
+  e.t_ns = now_ns();
+  e.name = phase;
+  e.kind = EventKind::kSpanEnd;
+  e.cat = EventCat::kPhase;
+  emit(e);
+}
+
+}  // namespace sdss::trace

@@ -1,0 +1,201 @@
+// Always-on event recorder: one single-writer chunked buffer ("lane") per
+// simulated rank, plus one for the cluster runtime (watchdog).
+//
+// Cost model (why this can stay on during timed benches): the writer is the
+// rank's own thread, so an append is a bump-pointer store into the lane's
+// current chunk — no lock, no atomic, no allocation in steady state (chunks
+// are 1024 events and are only allocated when one fills). Op names are
+// interned as static string literals, so an Event stores a `const char*`,
+// never copies characters. Readers (the analyzer and the Chrome-trace
+// exporter) only run after Cluster::launch() has joined every rank thread;
+// the joins establish the happens-before edge that makes the lock-free
+// writes visible, exactly like the existing per-rank `op_counts`.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sdss::trace {
+
+enum class EventKind : std::uint8_t {
+  kSpanBegin,  ///< open a nested span (phases) — paired with kSpanEnd
+  kSpanEnd,
+  kComplete,   ///< a finished span recorded in one event (comm ops)
+  kInstant,    ///< a point in time (p2p sends, chaos firings, verdicts)
+  kCounter,    ///< a sampled value (records received, kernel counters)
+};
+
+enum class EventCat : std::uint8_t {
+  kPhase,
+  kP2p,
+  kCollective,
+  kChaos,
+  kWatchdog,
+  kCounter,
+};
+
+const char* event_kind_name(EventKind k);
+const char* event_cat_name(EventCat c);
+
+/// One trace record. Timestamps are nanoseconds of steady_clock since the
+/// recorder's epoch (set at Cluster::launch()). `name` must be a string
+/// with static storage duration — the interning convention.
+struct Event {
+  std::uint64_t t_ns = 0;    ///< begin time (kComplete) or event time
+  std::uint64_t dur_ns = 0;  ///< kComplete only
+  std::uint64_t value = 0;   ///< bytes (comm), counter value, op index
+  std::uint64_t aux = 0;     ///< blocked ns inside a collective; stall ns
+  const char* name = "";     ///< interned: op/phase/counter name
+  std::int32_t peer = -1;    ///< destination/source world rank, or -1
+  EventKind kind = EventKind::kInstant;
+  EventCat cat = EventCat::kP2p;
+};
+
+/// Single-producer append-only event buffer: a chain of fixed-size chunks
+/// written bump-pointer style by exactly one thread. Never shrinks; read
+/// only after the writer thread has been joined.
+class TraceLane {
+ public:
+  TraceLane() = default;
+  ~TraceLane();
+  TraceLane(TraceLane&& other) noexcept;
+  TraceLane& operator=(TraceLane&& other) noexcept;
+
+  void append(const Event& e) {
+    if (tail_ == nullptr || tail_->used == kChunkEvents) grow();
+    tail_->events[tail_->used++] = e;
+  }
+
+  std::size_t size() const;
+  std::vector<Event> collect() const;
+
+ private:
+  static constexpr std::size_t kChunkEvents = 1024;
+  struct Chunk {
+    std::array<Event, kChunkEvents> events;
+    std::size_t used = 0;
+    std::unique_ptr<Chunk> next;
+  };
+
+  void grow();
+
+  std::unique_ptr<Chunk> head_;
+  Chunk* tail_ = nullptr;
+};
+
+/// The collected, immutable result of a traced run: lanes[0..R-1] are the
+/// rank timelines, lanes[R] is the cluster runtime (watchdog verdicts).
+/// Empty when the run was launched with tracing disabled.
+struct TraceLog {
+  std::vector<std::vector<Event>> lanes;
+
+  int num_ranks() const {
+    return lanes.empty() ? 0 : static_cast<int>(lanes.size()) - 1;
+  }
+  bool empty() const;
+  std::size_t total_events() const;
+};
+
+/// Owns the lanes for one cluster run. reset() arms it; collect() snapshots
+/// everything after the rank threads have joined.
+class TraceRecorder {
+ public:
+  /// Arm the recorder with num_ranks rank lanes plus the cluster lane, and
+  /// stamp the timestamp epoch. Discards any previous run's events.
+  void reset(int num_ranks);
+
+  bool enabled() const { return !lanes_.empty(); }
+  TraceLane* lane(std::size_t index) { return &lanes_[index]; }
+  TraceLane* cluster_lane() { return &lanes_.back(); }
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+  std::uint64_t now_ns() const;
+
+  TraceLog collect() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_{};
+  std::vector<TraceLane> lanes_;
+};
+
+namespace detail {
+/// The calling thread's lane binding. Null lane = tracing inactive on this
+/// thread; every emit helper is a no-op behind one TLS pointer test.
+struct ThreadLane {
+  TraceLane* lane = nullptr;
+  std::chrono::steady_clock::time_point epoch{};
+};
+extern thread_local ThreadLane t_lane;
+}  // namespace detail
+
+/// True iff the calling thread is bound to a lane (the fast-path gate every
+/// instrumentation site checks first).
+inline bool active() { return detail::t_lane.lane != nullptr; }
+
+/// Bind/unbind the calling thread to lane `index` of `rec`. Cluster::launch
+/// binds each rank thread to its own lane and the watchdog to the cluster
+/// lane; each lane must have at most one writer thread at a time.
+void bind_thread(TraceRecorder* rec, std::size_t index);
+void unbind_thread();
+
+/// Nanoseconds since the bound recorder's epoch. Only valid when active().
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - detail::t_lane.epoch)
+          .count());
+}
+
+/// Emit helpers. All require active(); callers gate with `if (active())`
+/// so an untraced run pays exactly one TLS load and branch per site.
+inline void emit(const Event& e) { detail::t_lane.lane->append(e); }
+
+inline void instant(EventCat cat, const char* name, std::uint64_t value = 0,
+                    std::int32_t peer = -1, std::uint64_t aux = 0) {
+  Event e;
+  e.t_ns = now_ns();
+  e.value = value;
+  e.aux = aux;
+  e.name = name;
+  e.peer = peer;
+  e.kind = EventKind::kInstant;
+  e.cat = cat;
+  emit(e);
+}
+
+inline void complete(EventCat cat, const char* name, std::uint64_t begin_ns,
+                     std::uint64_t value = 0, std::int32_t peer = -1,
+                     std::uint64_t aux = 0) {
+  Event e;
+  const std::uint64_t end_ns = now_ns();
+  e.t_ns = begin_ns;
+  e.dur_ns = end_ns > begin_ns ? end_ns - begin_ns : 0;
+  e.value = value;
+  e.aux = aux;
+  e.name = name;
+  e.peer = peer;
+  e.kind = EventKind::kComplete;
+  e.cat = cat;
+  emit(e);
+}
+
+inline void counter(const char* name, std::uint64_t value) {
+  Event e;
+  e.t_ns = now_ns();
+  e.value = value;
+  e.name = name;
+  e.kind = EventKind::kCounter;
+  e.cat = EventCat::kCounter;
+  emit(e);
+}
+
+/// Phase hooks, outlined because the end hook also samples the process-wide
+/// kernel counters (sortcore/kernel_stats) into counter events. Callers
+/// gate with active().
+void phase_begin(const char* phase);
+void phase_end(const char* phase);
+
+}  // namespace sdss::trace

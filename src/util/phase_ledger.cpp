@@ -6,7 +6,7 @@
 
 namespace sdss {
 
-std::string_view phase_name(Phase p) {
+const char* phase_cname(Phase p) {
   switch (p) {
     case Phase::kPivotSelection:
       return "pivot-selection";
@@ -21,6 +21,8 @@ std::string_view phase_name(Phase p) {
   }
   return "unknown";
 }
+
+std::string_view phase_name(Phase p) { return phase_cname(p); }
 
 double thread_cpu_seconds() {
   timespec ts{};

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <string_view>
 
+#include "trace/recorder.hpp"
 #include "util/timer.hpp"
 
 namespace sdss {
@@ -35,6 +36,10 @@ enum class Phase : int {
 inline constexpr std::size_t kNumPhases = 5;
 
 std::string_view phase_name(Phase p);
+
+/// Same names as phase_name, as a static C string — the interned form the
+/// trace recorder stores in events.
+const char* phase_cname(Phase p);
 
 /// Current thread's consumed CPU seconds (CLOCK_THREAD_CPUTIME_ID).
 double thread_cpu_seconds();
@@ -72,12 +77,18 @@ class PhaseLedger {
 };
 
 /// RAII phase bracket. A null ledger makes it a no-op so library code can be
-/// called without any accounting.
+/// called without any accounting. On a thread bound to a trace lane it also
+/// emits a begin/end span (plus kernel-counter samples at the close), so
+/// every rank's phase timeline lands in the run's trace; the unwind path
+/// closes the span too, which is what keeps crashed runs analyzable.
 class ScopedPhase {
  public:
   ScopedPhase(PhaseLedger* ledger, Phase phase)
       : ledger_(ledger), phase_(phase) {
-    if (ledger_ != nullptr) cpu_start_ = thread_cpu_seconds();
+    if (ledger_ != nullptr) {
+      cpu_start_ = thread_cpu_seconds();
+      if (trace::active()) trace::phase_begin(phase_cname(phase_));
+    }
   }
 
   ScopedPhase(const ScopedPhase&) = delete;
@@ -87,6 +98,7 @@ class ScopedPhase {
     if (ledger_ != nullptr) {
       ledger_->add(phase_, timer_.seconds(),
                    thread_cpu_seconds() - cpu_start_);
+      if (trace::active()) trace::phase_end(phase_cname(phase_));
     }
   }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <numeric>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "sim/cluster.hpp"
@@ -586,7 +587,7 @@ TEST(SimLedger, PerRankLedgersAreCollected) {
 namespace sdss::sim {
 namespace {
 
-TEST(SimTrace, DisabledByDefault) {
+TEST(SimTrace, EnabledByDefault) {
   Cluster cl{ClusterConfig{2}};
   auto res = cl.run_collect([](Comm& c) {
     c.send_value<int>(1, 1 - c.rank(), 0);
@@ -594,12 +595,29 @@ TEST(SimTrace, DisabledByDefault) {
     c.barrier();
   });
   ASSERT_TRUE(res.ok);
+  // 2 rank lanes + the cluster lane, with events on every rank lane.
+  ASSERT_EQ(res.trace.lanes.size(), 3u);
+  EXPECT_EQ(res.trace.num_ranks(), 2);
+  EXPECT_FALSE(res.trace.lanes[0].empty());
+  EXPECT_FALSE(res.trace.lanes[1].empty());
+  EXPECT_GT(res.trace.total_events(), 0u);
+}
+
+TEST(SimTrace, ExplicitlyDisabledCollectsNothing) {
+  ClusterConfig cc{2};
+  cc.enable_trace = false;
+  auto res = Cluster(cc).run_collect([](Comm& c) {
+    c.send_value<int>(1, 1 - c.rank(), 0);
+    c.recv_value<int>(1 - c.rank(), 0);
+    c.barrier();
+  });
+  ASSERT_TRUE(res.ok);
   EXPECT_TRUE(res.trace.empty());
+  EXPECT_TRUE(res.trace.lanes.empty());
 }
 
 TEST(SimTrace, RecordsSendsAndCollectives) {
   ClusterConfig cc{3};
-  cc.enable_trace = true;
   auto res = Cluster(cc).run_collect([](Comm& c) {
     if (c.rank() == 0) {
       std::vector<int> v(10, 1);
@@ -613,34 +631,66 @@ TEST(SimTrace, RecordsSendsAndCollectives) {
     (void)all;
   });
   ASSERT_TRUE(res.ok);
-  std::size_t sends = 0, collectives = 0;
+  std::size_t sends = 0, recvs = 0, collectives = 0;
   bool saw_send_bytes = false;
-  for (const auto& e : res.trace) {
-    if (e.kind == TraceEvent::Kind::kSend) {
-      ++sends;
-      if (e.bytes == 40 && e.rank == 0 && e.peer == 1) saw_send_bytes = true;
-    } else {
-      ++collectives;
+  for (std::size_t lane = 0; lane < res.trace.lanes.size(); ++lane) {
+    for (const trace::Event& e : res.trace.lanes[lane]) {
+      if (e.cat == trace::EventCat::kP2p) {
+        if (std::string_view(e.name) == "send") {
+          ++sends;
+          if (e.kind == trace::EventKind::kInstant && e.value == 40 &&
+              lane == 0 && e.peer == 1) {
+            saw_send_bytes = true;
+          }
+        } else if (std::string_view(e.name) == "recv") {
+          ++recvs;
+        }
+      } else if (e.cat == trace::EventCat::kCollective) {
+        EXPECT_EQ(e.kind, trace::EventKind::kComplete);
+        ++collectives;
+      }
     }
   }
   EXPECT_EQ(sends, 1u);
+  EXPECT_EQ(recvs, 1u);
   EXPECT_TRUE(saw_send_bytes);
   EXPECT_EQ(collectives, 6u);  // 3 ranks x (barrier + allgather)
 }
 
 TEST(SimTrace, ChromeTraceJsonShape) {
-  std::vector<TraceEvent> events{
-      {TraceEvent::Kind::kSend, 0, 1, "send", 128, 0.001, 0.001},
-      {TraceEvent::Kind::kCollective, 1, -1, "alltoallv", 4096, 0.002, 0.004},
-  };
+  trace::TraceLog log;
+  log.lanes.resize(3);  // 2 rank lanes + cluster lane
+  trace::Event send;
+  send.t_ns = 1'000'000;
+  send.value = 128;
+  send.name = "send";
+  send.peer = 1;
+  send.kind = trace::EventKind::kInstant;
+  send.cat = trace::EventCat::kP2p;
+  log.lanes[0].push_back(send);
+  trace::Event coll;
+  coll.t_ns = 2'000'000;
+  coll.dur_ns = 4'000'000;
+  coll.value = 4096;
+  coll.aux = 1'500'000;  // blocked ns
+  coll.name = "alltoallv";
+  coll.kind = trace::EventKind::kComplete;
+  coll.cat = trace::EventCat::kCollective;
+  log.lanes[1].push_back(coll);
   std::ostringstream os;
-  write_chrome_trace(os, events);
+  write_chrome_trace(os, log);
   const std::string json = os.str();
+  ASSERT_FALSE(json.empty());
   EXPECT_EQ(json.front(), '[');
-  EXPECT_NE(json.find("\"name\": \"send\""), std::string::npos);
-  EXPECT_NE(json.find("\"name\": \"alltoallv\""), std::string::npos);
-  EXPECT_NE(json.find("\"peer\": 1"), std::string::npos);
-  EXPECT_NE(json.find("\"bytes\": 4096"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"send\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alltoallv\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster\""), std::string::npos);
+  EXPECT_NE(json.find("\"peer\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));
 }

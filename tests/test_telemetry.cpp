@@ -356,6 +356,110 @@ TEST(ReportDiff, UnmatchedReportsAreListedNotCompared) {
   EXPECT_FALSE(d.any_regression);
 }
 
+// --- trace section + per-rank phases -------------------------------------
+
+RunReport traced_report(const std::string& name, double lambda_records) {
+  RunReport r = sample_report(name);
+  PhaseLedger fast;
+  fast.add(Phase::kExchange, 0.25, 0.2);
+  PhaseLedger slow;
+  slow.add(Phase::kExchange, 0.5, 0.25);
+  slow.add(Phase::kLocalOrdering, 0.25, 0.2);
+  r.phases_per_rank = {fast, slow};
+  r.has_trace = true;
+  RunReport::TracePhase p;
+  p.name = "exchange";
+  p.critical_rank = 1;
+  p.max_s = 0.5;
+  p.avg_s = 0.375;
+  p.lambda = 0.5 / 0.375;
+  p.margin_s = 0.25;
+  p.blocked_s = 0.125;
+  r.trace_phases.push_back(p);
+  r.trace_lambda_records = lambda_records;
+  r.trace_blocked_frac = 0.1;
+  r.trace_events = 4242;
+  return r;
+}
+
+TEST(RunReport, TraceAndPerRankPhasesRoundTrip) {
+  const RunReport r = traced_report("traced", 1.5);
+  const RunReport back = report_from_json(Json::parse(to_json(r).dump(2)));
+
+  ASSERT_EQ(back.phases_per_rank.size(), 2u);
+  EXPECT_EQ(back.phases_per_rank[0].seconds(Phase::kExchange), 0.25);
+  EXPECT_EQ(back.phases_per_rank[1].seconds(Phase::kExchange), 0.5);
+  EXPECT_EQ(back.phases_per_rank[1].cpu_seconds(Phase::kLocalOrdering), 0.2);
+
+  EXPECT_TRUE(back.has_trace);
+  EXPECT_EQ(back.trace_lambda_records, 1.5);
+  EXPECT_EQ(back.trace_blocked_frac, 0.1);
+  EXPECT_EQ(back.trace_events, 4242u);
+  ASSERT_EQ(back.trace_phases.size(), 1u);
+  EXPECT_EQ(back.trace_phases[0].name, "exchange");
+  EXPECT_EQ(back.trace_phases[0].critical_rank, 1);
+  EXPECT_EQ(back.trace_phases[0].max_s, 0.5);
+  EXPECT_EQ(back.trace_phases[0].lambda, 0.5 / 0.375);
+  EXPECT_EQ(back.trace_phases[0].margin_s, 0.25);
+  EXPECT_EQ(back.trace_phases[0].blocked_s, 0.125);
+}
+
+TEST(RunReport, OldFilesWithoutTraceReadAsUntraced) {
+  // A report written before the trace section existed: has_trace stays
+  // false (so report_diff skips the λ gate) and per-rank phases stay empty.
+  const Json j = to_json(sample_report("pre-trace"));
+  EXPECT_EQ(j.find("trace"), nullptr);
+  const RunReport back = report_from_json(j);
+  EXPECT_FALSE(back.has_trace);
+  EXPECT_TRUE(back.trace_phases.empty());
+  EXPECT_TRUE(back.phases_per_rank.empty());
+}
+
+TEST(ReportDiff, FlagsTraceLambdaRegressionInBytesOnlyMode) {
+  ReportRegistry before;
+  before.add(traced_report("run", 1.2));
+  ReportRegistry after;
+  after.add(traced_report("run", 1.5));  // skew got worse
+  DiffOptions opts;
+  opts.bytes_only = true;
+  const DiffResult d = diff_registries(before, after, opts);
+  EXPECT_TRUE(d.any_regression);
+  bool saw_lambda = false;
+  for (const PhaseDelta& pd : d.regressions()) {
+    if (pd.metric == "trace_lambda_records") saw_lambda = true;
+  }
+  EXPECT_TRUE(saw_lambda);
+}
+
+TEST(ReportDiff, TraceLambdaWithinToleranceAndImprovementPass) {
+  ReportRegistry before;
+  before.add(traced_report("run", 1.5));
+  ReportRegistry after;
+  after.add(traced_report("run", 1.5));
+  DiffOptions opts;
+  opts.bytes_only = true;
+  EXPECT_FALSE(diff_registries(before, after, opts).any_regression);
+
+  ReportRegistry better;
+  better.add(traced_report("run", 1.1));
+  EXPECT_FALSE(diff_registries(before, better, opts).any_regression);
+}
+
+TEST(ReportDiff, UntracedBaselineSkipsLambdaGate) {
+  // Baseline predates tracing: the λ column must not fabricate a
+  // regression from has_trace=false.
+  ReportRegistry before;
+  before.add(sample_report("run"));
+  ReportRegistry after;
+  after.add(traced_report("run", 2.0));
+  DiffOptions opts;
+  opts.bytes_only = true;
+  const DiffResult d = diff_registries(before, after, opts);
+  for (const PhaseDelta& pd : d.deltas) {
+    EXPECT_NE(pd.metric, "trace_lambda_records");
+  }
+}
+
 TEST(ReportDiff, PrintedSummaryMentionsRegressions) {
   const auto before = registry_with("run", 0.5);
   const auto after = registry_with("run", 1.0);

@@ -1,0 +1,382 @@
+// The unified tracing subsystem: recorder chunk mechanics, the analyzer's
+// critical-path / λ / blocked-time math against hand-built event streams
+// with known answers, chaos and watchdog instants on real runs, event-stream
+// determinism for a fixed seed, and the Chrome-trace exporter's JSON.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "sdss.hpp"
+#include "sim/chaos.hpp"
+#include "sim/cluster.hpp"
+#include "sim/comm.hpp"
+#include "telemetry/json.hpp"
+#include "trace/analyze.hpp"
+#include "trace/export.hpp"
+#include "trace/recorder.hpp"
+#include "util/rng.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss::trace {
+namespace {
+
+// --- recorder ------------------------------------------------------------
+
+TEST(TraceRecorder, ChunkBoundaryPreservesOrderAndCount) {
+  // 3000 events spans three 1024-event chunks: order and count must survive
+  // the chunk chain.
+  TraceRecorder rec;
+  rec.reset(1);
+  bind_thread(&rec, 0);
+  ASSERT_TRUE(active());
+  constexpr std::uint64_t kEvents = 3000;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    instant(EventCat::kP2p, "send", /*value=*/i, /*peer=*/1);
+  }
+  unbind_thread();
+  EXPECT_FALSE(active());
+
+  const TraceLog log = rec.collect();
+  ASSERT_EQ(log.lanes.size(), 2u);  // rank 0 + cluster lane
+  ASSERT_EQ(log.lanes[0].size(), kEvents);
+  EXPECT_TRUE(log.lanes[1].empty());
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    EXPECT_EQ(log.lanes[0][i].value, i);
+    EXPECT_EQ(log.lanes[0][i].kind, EventKind::kInstant);
+  }
+  EXPECT_EQ(log.total_events(), kEvents);
+}
+
+TEST(TraceRecorder, ResetDiscardsPreviousRun) {
+  TraceRecorder rec;
+  rec.reset(2);
+  bind_thread(&rec, 0);
+  instant(EventCat::kP2p, "send");
+  unbind_thread();
+  rec.reset(2);
+  EXPECT_EQ(rec.collect().total_events(), 0u);
+}
+
+TEST(TraceRecorder, InactiveThreadEmitsNothing) {
+  // No binding: active() is false and instrumentation sites skip emission.
+  EXPECT_FALSE(active());
+}
+
+// --- analyzer against hand-built streams with known answers --------------
+
+Event span(EventKind kind, const char* name, std::uint64_t t_ns) {
+  Event e;
+  e.t_ns = t_ns;
+  e.name = name;
+  e.kind = kind;
+  e.cat = EventCat::kPhase;
+  return e;
+}
+
+Event coll(std::uint64_t t_ns, std::uint64_t dur_ns, std::uint64_t bytes,
+           std::uint64_t blocked_ns) {
+  Event e;
+  e.t_ns = t_ns;
+  e.dur_ns = dur_ns;
+  e.value = bytes;
+  e.aux = blocked_ns;
+  e.name = "alltoallv";
+  e.kind = EventKind::kComplete;
+  e.cat = EventCat::kCollective;
+  return e;
+}
+
+Event counter_ev(const char* name, std::uint64_t value) {
+  Event e;
+  e.value = value;
+  e.name = name;
+  e.kind = EventKind::kCounter;
+  e.cat = EventCat::kCounter;
+  return e;
+}
+
+TEST(TraceAnalyze, CriticalPathLambdaMarginAndBlocked) {
+  // Two ranks, one "exchange" phase: rank 0 takes 1s, rank 1 takes 3s of
+  // which 1s is blocked inside a collective. Every summary statistic has a
+  // closed-form expected value.
+  TraceLog log;
+  log.lanes.resize(3);
+  log.lanes[0] = {span(EventKind::kSpanBegin, "exchange", 0),
+                  span(EventKind::kSpanEnd, "exchange", 1'000'000'000)};
+  log.lanes[1] = {span(EventKind::kSpanBegin, "exchange", 0),
+                  coll(500'000'000, 1'200'000'000, 4096, 1'000'000'000),
+                  span(EventKind::kSpanEnd, "exchange", 3'000'000'000)};
+
+  const TraceAnalysis a = analyze_trace(log);
+  ASSERT_EQ(a.phases.size(), 1u);
+  const PhaseStat& p = a.phases[0];
+  EXPECT_EQ(p.name, "exchange");
+  EXPECT_EQ(p.critical_rank, 1);
+  EXPECT_DOUBLE_EQ(p.max_s, 3.0);
+  EXPECT_DOUBLE_EQ(p.avg_s, 2.0);
+  EXPECT_DOUBLE_EQ(p.lambda, 1.5);
+  EXPECT_DOUBLE_EQ(p.margin_s, 2.0);  // 3s max minus 1s runner-up
+  EXPECT_DOUBLE_EQ(p.blocked_s, 1.0);
+  ASSERT_EQ(p.per_rank_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.per_rank_s[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.per_rank_s[1], 3.0);
+  // 1s blocked out of 4s total in-phase time across both ranks.
+  EXPECT_DOUBLE_EQ(a.blocked_frac, 0.25);
+  EXPECT_EQ(a.total_events, 5u);
+}
+
+TEST(TraceAnalyze, PhasesReduceInPipelineOrder) {
+  // Emitted out of order on the lane; the summary must come back in the
+  // paper's pipeline order (ledger enum order).
+  TraceLog log;
+  log.lanes.resize(2);
+  log.lanes[0] = {span(EventKind::kSpanBegin, "local-ordering", 0),
+                  span(EventKind::kSpanEnd, "local-ordering", 100),
+                  span(EventKind::kSpanBegin, "pivot-selection", 200),
+                  span(EventKind::kSpanEnd, "pivot-selection", 300),
+                  span(EventKind::kSpanBegin, "exchange", 400),
+                  span(EventKind::kSpanEnd, "exchange", 500)};
+  const TraceAnalysis a = analyze_trace(log);
+  ASSERT_EQ(a.phases.size(), 3u);
+  EXPECT_EQ(a.phases[0].name, "pivot-selection");
+  EXPECT_EQ(a.phases[1].name, "exchange");
+  EXPECT_EQ(a.phases[2].name, "local-ordering");
+}
+
+TEST(TraceAnalyze, UnclosedSpanChargesUpToLaneEnd) {
+  // A rank that crashed mid-phase never emits kSpanEnd; its open span
+  // closes at the lane's last event time so the phase still shows up.
+  TraceLog log;
+  log.lanes.resize(2);
+  Event crash;
+  crash.t_ns = 2'000'000'000;
+  crash.name = "crash";
+  crash.kind = EventKind::kInstant;
+  crash.cat = EventCat::kChaos;
+  log.lanes[0] = {span(EventKind::kSpanBegin, "exchange", 0), crash};
+
+  const TraceAnalysis a = analyze_trace(log);
+  ASSERT_EQ(a.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.phases[0].max_s, 2.0);
+  EXPECT_EQ(a.chaos_events, 1u);
+}
+
+TEST(TraceAnalyze, LambdaFromRecvRecordCounters) {
+  // recv_records counters: 100 vs 300 → λ = 300 / 200 = 1.5, independent
+  // of any wall time. The last counter per rank wins.
+  TraceLog log;
+  log.lanes.resize(3);
+  log.lanes[0] = {counter_ev("recv_records", 700),
+                  counter_ev("recv_records", 100)};
+  log.lanes[1] = {counter_ev("recv_records", 300)};
+  const TraceAnalysis a = analyze_trace(log);
+  EXPECT_DOUBLE_EQ(a.lambda_records, 1.5);
+}
+
+TEST(TraceAnalyze, EmptyLogYieldsZeroAnalysis) {
+  const TraceAnalysis a = analyze_trace(TraceLog{});
+  EXPECT_TRUE(a.phases.empty());
+  EXPECT_EQ(a.lambda_records, 0.0);
+  EXPECT_EQ(a.total_events, 0u);
+}
+
+// --- real runs: chaos, watchdog, determinism -----------------------------
+
+TEST(TraceRun, ForcedCrashLandsOnVictimLane) {
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = 3;
+  cfg.chaos.seed = 7;
+  cfg.chaos.forced.push_back(
+      sim::FaultEvent{sim::FaultKind::kCrash, /*rank=*/1, /*op_index=*/2});
+  const sim::RunResult res =
+      sim::Cluster(cfg).run_collect([](sim::Comm& w) {
+        w.barrier();
+        w.barrier();
+        w.barrier();
+        w.barrier();
+      });
+  ASSERT_FALSE(res.ok);
+  ASSERT_EQ(res.trace.lanes.size(), 4u);
+  std::size_t crashes = 0;
+  for (const Event& e : res.trace.lanes[1]) {
+    if (e.cat == EventCat::kChaos &&
+        std::string_view(e.name) == "crash") {
+      ++crashes;
+    }
+  }
+  EXPECT_EQ(crashes, 1u);
+  for (const std::size_t lane : {0u, 2u, 3u}) {
+    for (const Event& e : res.trace.lanes[lane]) {
+      EXPECT_NE(e.cat, EventCat::kChaos) << "chaos event on lane " << lane;
+    }
+  }
+  EXPECT_EQ(analyze_trace(res.trace).chaos_events, 1u);
+}
+
+TEST(TraceRun, WatchdogVerdictLandsOnClusterLane) {
+  sim::ClusterConfig cfg;
+  cfg.num_ranks = 2;
+  cfg.watchdog_timeout_s = 0.25;
+  const sim::RunResult res =
+      sim::Cluster(cfg).run_collect([](sim::Comm& w) {
+        // Both ranks receive, nobody sends: a textbook deadlock.
+        (void)w.recv_value<int>(1 - w.rank(), /*tag=*/5);
+      });
+  ASSERT_FALSE(res.ok);
+  ASSERT_EQ(res.trace.lanes.size(), 3u);
+  std::size_t verdicts = 0;
+  for (const Event& e : res.trace.lanes[2]) {
+    if (e.cat == EventCat::kWatchdog &&
+        std::string_view(e.name) == "deadlock-verdict") {
+      ++verdicts;
+    }
+  }
+  EXPECT_EQ(verdicts, 1u);
+  EXPECT_EQ(analyze_trace(res.trace).watchdog_events, 1u);
+}
+
+/// The timestamp-free shape of an event stream: everything that must be a
+/// pure function of (seed, program) — kinds, categories, interned names,
+/// peers, and payload sizes for comm events. Counter values are excluded
+/// (kernel counters are process-wide) as are all clocks and blocked times.
+using EventSig =
+    std::tuple<EventKind, EventCat, std::string, int, std::uint64_t>;
+
+std::vector<std::vector<EventSig>> signature(const TraceLog& log) {
+  std::vector<std::vector<EventSig>> out(log.lanes.size());
+  for (std::size_t lane = 0; lane < log.lanes.size(); ++lane) {
+    for (const Event& e : log.lanes[lane]) {
+      const bool comm =
+          e.cat == EventCat::kP2p || e.cat == EventCat::kCollective;
+      out[lane].emplace_back(e.kind, e.cat, std::string(e.name), e.peer,
+                             comm ? e.value : 0);
+    }
+  }
+  return out;
+}
+
+TEST(TraceRun, SameSeedSameEventSequenceModuloTimestamps) {
+  // Two identical stable-mode zipf sorts: the per-lane event sequences must
+  // match exactly once timestamps (and process-wide counter samples) are
+  // masked out. Stable mode forces the synchronous exchange, whose message
+  // order is a pure function of the data.
+  auto run = [] {
+    sim::ClusterConfig cc;
+    cc.num_ranks = 4;
+    return sim::Cluster(cc).run_collect([](sim::Comm& w) {
+      auto data = workloads::zipf_keys(
+          2000, 1.2, derive_seed(77, static_cast<std::uint64_t>(w.rank())));
+      Config cfg;
+      cfg.stable = true;
+      sds_sort<std::uint64_t>(w, std::move(data), cfg);
+    });
+  };
+  const sim::RunResult a = run();
+  const sim::RunResult b = run();
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_FALSE(a.trace.lanes.empty());
+  EXPECT_GT(a.trace.total_events(), 0u);
+  EXPECT_EQ(signature(a.trace), signature(b.trace));
+}
+
+// --- Chrome-trace export -------------------------------------------------
+
+TEST(ChromeTrace, OutputIsValidJsonWithExpectedRecords) {
+  TraceLog log;
+  log.lanes.resize(2);
+  log.lanes[0] = {span(EventKind::kSpanBegin, "exchange", 1'000),
+                  coll(2'000, 5'000'000, 4096, 2'000'000),
+                  span(EventKind::kSpanEnd, "exchange", 6'000'000)};
+  Event c = counter_ev("recv_records", 123);
+  c.t_ns = 500;
+  log.lanes[0].push_back(c);
+
+  std::ostringstream os;
+  write_chrome_trace(os, log);
+  const telemetry::Json doc = telemetry::Json::parse(os.str());
+  ASSERT_TRUE(doc.is_array());
+
+  std::size_t meta = 0, begins = 0, ends = 0, completes = 0, counters = 0;
+  for (const telemetry::Json& rec : doc.items()) {
+    const std::string ph = rec.at("ph").string_value();
+    if (ph == "M") {
+      ++meta;
+      EXPECT_EQ(rec.at("name").string_value(), "thread_name");
+    } else if (ph == "B") {
+      ++begins;
+      EXPECT_EQ(rec.at("name").string_value(), "exchange");
+    } else if (ph == "E") {
+      ++ends;
+    } else if (ph == "X") {
+      ++completes;
+      EXPECT_EQ(rec.at("args").at("bytes").u64_or(), 4096u);
+      EXPECT_EQ(rec.at("dur").number_or(), 5000.0);  // µs
+      EXPECT_EQ(rec.at("args").at("blocked_us").number_or(), 2000.0);
+    } else if (ph == "C") {
+      ++counters;
+      EXPECT_EQ(rec.at("args").at("value").u64_or(), 123u);
+    }
+  }
+  EXPECT_EQ(meta, 2u);  // one thread_name per lane
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(ends, 1u);
+  EXPECT_EQ(completes, 1u);
+  EXPECT_EQ(counters, 1u);
+}
+
+TEST(ChromeTrace, SubMicrosecondCompleteGetsVisibleSliver) {
+  TraceLog log;
+  log.lanes.resize(1);
+  log.lanes[0] = {coll(0, /*dur_ns=*/40, /*bytes=*/8, /*blocked_ns=*/0)};
+  std::ostringstream os;
+  write_chrome_trace(os, log);
+  const telemetry::Json doc = telemetry::Json::parse(os.str());
+  EXPECT_EQ(doc.items().back().at("dur").number_or(), 1.0);
+}
+
+TEST(ChromeTrace, AdversarialNamesAreEscaped) {
+  // Interning means names are static strings, but nothing stops a static
+  // string from containing JSON-hostile characters. The writer must escape
+  // them; the parser round-trips them.
+  static const char kEvil[] = "q\"uote\\back\nnew\ttab";
+  TraceLog log;
+  log.lanes.resize(1);
+  Event e;
+  e.name = kEvil;
+  e.kind = EventKind::kInstant;
+  e.cat = EventCat::kChaos;
+  log.lanes[0] = {e};
+  std::ostringstream os;
+  write_chrome_trace(os, log);
+  const telemetry::Json doc = telemetry::Json::parse(os.str());
+  bool found = false;
+  for (const telemetry::Json& rec : doc.items()) {
+    if (rec.at("ph").string_value() == "i") {
+      EXPECT_EQ(rec.at("name").string_value(), kEvil);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JsonString, EscapingRoundTripsEveryByteClass) {
+  // The shared write_json_string routine behind both the document writer
+  // and the streaming trace exporter: quotes, backslashes, named control
+  // escapes, and raw control bytes all survive a parse.
+  const std::string original =
+      std::string("plain \"quoted\" back\\slash \n\r\t\b\f bell") + '\x07' +
+      "nul-adjacent" + '\x1f' + " end";
+  std::ostringstream os;
+  telemetry::write_json_string(os, original);
+  const telemetry::Json back = telemetry::Json::parse(os.str());
+  EXPECT_EQ(back.string_value(), original);
+}
+
+}  // namespace
+}  // namespace sdss::trace

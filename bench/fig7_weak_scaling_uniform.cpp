@@ -3,31 +3,42 @@
 // Paper: at 128K cores / 52.4 TB, SDS-Sort (111 TB/min) is ~51% faster than
 // HykSort (73.8 TB/min); SDS-Sort/stable trails both (54 TB/min) because of
 // its extra pivot-selection and ordering work. All three complete.
+#include <cstring>
 #include <iostream>
 
 #include "weak_scaling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdss;
   using namespace sdss::bench;
+  // --large: extend the sweep into the 1k-rank regime (scheduler fibers;
+  // smaller shards keep the single-host wall time in budget).
+  bool large = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--large") == 0) large = true;
+  }
+  const auto& ranks = large ? kWeakRanksLarge : kWeakRanks;
+  const std::size_t per_rank = large ? kWeakPerRankLarge : kWeakPerRank;
   print_header("Fig. 7 — weak scaling, Uniform workload",
-               "20k records/rank, Aries-like model; end-to-end sort time "
-               "and throughput.");
+               std::to_string(per_rank / 1000) +
+                   "k records/rank, Aries-like model; end-to-end sort time "
+                   "and throughput.");
 
   TextTable table;
   table.header({"p", "HykSort(s)", "SDS-Sort(s)", "SDS-Sort/stable(s)",
                 "SDS thpt(MB/min)"});
   double last_hyk = 0.0, last_sds = 0.0, last_stable = 0.0;
-  for (int p : kWeakRanks) {
-    auto hyk = weak_scaling_point(p, WeakWorkload::kUniform, Algo::kHykSort);
-    auto sds = weak_scaling_point(p, WeakWorkload::kUniform, Algo::kSds);
-    auto stab =
-        weak_scaling_point(p, WeakWorkload::kUniform, Algo::kSdsStable);
+  for (int p : ranks) {
+    auto hyk =
+        weak_scaling_point(p, WeakWorkload::kUniform, Algo::kHykSort, per_rank);
+    auto sds =
+        weak_scaling_point(p, WeakWorkload::kUniform, Algo::kSds, per_rank);
+    auto stab = weak_scaling_point(p, WeakWorkload::kUniform, Algo::kSdsStable,
+                                   per_rank);
     last_hyk = hyk.timing.seconds;
     last_sds = sds.timing.seconds;
     last_stable = stab.timing.seconds;
-    const auto records =
-        static_cast<std::uint64_t>(p) * kWeakPerRank;
+    const auto records = static_cast<std::uint64_t>(p) * per_rank;
     table.row({std::to_string(p), time_cell(hyk.timing),
                time_cell(sds.timing), time_cell(stab.timing),
                fmt_seconds(mb_per_min(records, sizeof(std::uint64_t),

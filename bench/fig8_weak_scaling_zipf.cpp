@@ -4,29 +4,41 @@
 // workload (the duplicated key's whole population lands on one rank); both
 // SDS-Sort variants deliver times similar to the Uniform runs (SDS-Sort
 // 117 TB/min at 128K cores).
+#include <cstring>
 #include <iostream>
 
 #include "weak_scaling.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sdss;
   using namespace sdss::bench;
+  // --large: extend the sweep into the 1k-rank regime (scheduler fibers;
+  // smaller shards keep the single-host wall time in budget).
+  bool large = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--large") == 0) large = true;
+  }
+  const auto& ranks = large ? kWeakRanksLarge : kWeakRanks;
+  const std::size_t per_rank = large ? kWeakPerRankLarge : kWeakPerRank;
   print_header("Fig. 8 — weak scaling, Zipf workload",
-               "20k records/rank, alpha=1.4 (delta~32%), per-rank budget 3x "
-               "average; HykSort is expected to OOM.");
+               std::to_string(per_rank / 1000) +
+                   "k records/rank, alpha=1.4 (delta~32%), per-rank budget "
+                   "3x average; HykSort is expected to OOM.");
 
   TextTable table;
   table.header({"p", "HykSort(s)", "SDS-Sort(s)", "SDS-Sort/stable(s)",
                 "SDS thpt(MB/min)"});
   int hyk_ooms = 0;
   bool sds_all_ok = true;
-  for (int p : kWeakRanks) {
-    auto hyk = weak_scaling_point(p, WeakWorkload::kZipf, Algo::kHykSort);
-    auto sds = weak_scaling_point(p, WeakWorkload::kZipf, Algo::kSds);
-    auto stab = weak_scaling_point(p, WeakWorkload::kZipf, Algo::kSdsStable);
+  for (int p : ranks) {
+    auto hyk =
+        weak_scaling_point(p, WeakWorkload::kZipf, Algo::kHykSort, per_rank);
+    auto sds = weak_scaling_point(p, WeakWorkload::kZipf, Algo::kSds, per_rank);
+    auto stab =
+        weak_scaling_point(p, WeakWorkload::kZipf, Algo::kSdsStable, per_rank);
     if (hyk.timing.oom) ++hyk_ooms;
     sds_all_ok = sds_all_ok && sds.timing.ok && stab.timing.ok;
-    const auto records = static_cast<std::uint64_t>(p) * kWeakPerRank;
+    const auto records = static_cast<std::uint64_t>(p) * per_rank;
     table.row({std::to_string(p), time_cell(hyk.timing),
                time_cell(sds.timing), time_cell(stab.timing),
                fmt_seconds(mb_per_min(records, sizeof(std::uint64_t),
@@ -39,7 +51,7 @@ int main() {
       "SDS-Sort and SDS-Sort/stable complete with times similar to the "
       "Uniform runs.");
   print_verdict("HykSort OOM at " + std::to_string(hyk_ooms) + "/" +
-                std::to_string(kWeakRanks.size()) +
+                std::to_string(ranks.size()) +
                 " scales; SDS variants all completed: " +
                 (sds_all_ok ? "yes" : "no") + ".");
   return 0;

@@ -22,17 +22,26 @@ namespace sdss::bench {
 inline constexpr std::size_t kWeakPerRank = 20000;
 inline const std::vector<int> kWeakRanks{4, 8, 16, 32, 64};
 
+/// Large-P sweep (figs 7/8 `--large`): rank counts in the regime the paper
+/// actually evaluates, runnable since ranks became scheduler fibers instead
+/// of OS threads. Fewer records per rank keep the total dataset (and the
+/// single-host wall time) comparable to the standard sweep while the
+/// communication structure — collective depth, splitter fan-in — scales.
+inline constexpr std::size_t kWeakPerRankLarge = 2000;
+inline const std::vector<int> kWeakRanksLarge{256, 1024};
+
 enum class WeakWorkload { kUniform, kZipf };
 
-inline std::vector<std::uint64_t> weak_shard(WeakWorkload w, int rank) {
+inline std::vector<std::uint64_t> weak_shard(WeakWorkload w, int rank,
+                                             std::size_t per_rank) {
   const std::uint64_t seed =
       derive_seed(70701, static_cast<std::uint64_t>(rank));
   if (w == WeakWorkload::kUniform) {
-    return workloads::uniform_u64(kWeakPerRank, seed, 1ull << 40);
+    return workloads::uniform_u64(per_rank, seed, 1ull << 40);
   }
   // Paper Fig. 8 labels the workload "Zipf(0.7-2.0)"; alpha 1.4 is the
   // midpoint and matches Table 1's delta = 32% row.
-  return workloads::zipf_keys(kWeakPerRank, 1.4, seed);
+  return workloads::zipf_keys(per_rank, 1.4, seed);
 }
 
 enum class Algo { kHykSort, kSds, kSdsStable };
@@ -60,11 +69,16 @@ inline const char* weak_workload_name(WeakWorkload w) {
 
 /// One weak-scaling measurement: run `algo` on `p` ranks over `w`, with a
 /// per-rank budget of 3x the average (the paper's OOM trigger for HykSort
-/// on skewed data).
-inline WeakPoint weak_scaling_point(int p, WeakWorkload w, Algo algo) {
-  sim::Cluster cluster(
-      sim::ClusterConfig{p, 1, sim::NetworkModel::aries_like()});
-  const std::size_t budget = 3 * kWeakPerRank;
+/// on skewed data). `per_rank` defaults to the standard sweep's shard size;
+/// the large-P sweep passes kWeakPerRankLarge.
+inline WeakPoint weak_scaling_point(int p, WeakWorkload w, Algo algo,
+                                    std::size_t per_rank = kWeakPerRank) {
+  sim::ClusterConfig ccfg{p, 1, sim::NetworkModel::aries_like()};
+  // Past a few hundred ranks the per-lane trace buffers dominate memory;
+  // the weak-scaling measurement doesn't read the trace.
+  if (p >= 256) ccfg.enable_trace = false;
+  sim::Cluster cluster(ccfg);
+  const std::size_t budget = 3 * per_rank;
   WeakPoint point;
   std::mutex mu;
   LoadBalance balance;
@@ -75,12 +89,12 @@ inline WeakPoint weak_scaling_point(int p, WeakWorkload w, Algo algo) {
               "/p=" + std::to_string(p) + "/" + algo_name(algo);
   meta.algorithm = algo_name(algo);
   meta.workload = weak_workload_name(w);
-  meta.params = {{"records_per_rank", std::to_string(kWeakPerRank)},
+  meta.params = {{"records_per_rank", std::to_string(per_rank)},
                  {"mem_budget_records", std::to_string(budget)}};
   point.timing = time_spmd(
       cluster,
       [&](sim::Comm& world) {
-        auto data = weak_shard(w, world.rank());
+        auto data = weak_shard(w, world.rank(), per_rank);
         std::vector<std::uint64_t> out;
         SortReport rank_report;
         const double secs = timed_section(world, [&] {

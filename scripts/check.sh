@@ -5,10 +5,11 @@
 # matches itself) — then gate the collective wire-volume counters and the
 # local-sort kernel memory counters against their checked-in baselines,
 # enforce the always-on tracing overhead bound and the deterministic
-# received-record skew (lambda) baseline, run the fixed-seed chaos soak
-# (crash-point sweep + straggler/jitter runs), and run the collective,
-# thread-pool, sortcore, chaos, and trace tests under ThreadSanitizer. See
-# docs/BENCHMARKING.md.
+# received-record skew (lambda) baseline, gate the large-P fiber-scheduler
+# sweep (full sort at up to 4096 ranks) against its counter baseline, run
+# the fixed-seed chaos soak (crash-point sweep + straggler/jitter runs),
+# and run the collective, thread-pool, sortcore, chaos, trace, and
+# scheduler tests under ThreadSanitizer. See docs/BENCHMARKING.md.
 #
 # Environment knobs:
 #   BUILD_DIR     build tree (default: build)
@@ -69,6 +70,18 @@ echo "== tracing overhead + skew gate =="
 "$BUILD_DIR"/bench/trace_analyze "$report" \
     --gate=bench/baselines/bench_trace.json
 
+echo "== scheduler scale gate (256..4096 fiber ranks) =="
+# bench_sched_scale runs the full sort at P in {256, 1024, 4096} on the
+# fiber scheduler with a fixed shard and no network model. It is both the
+# large-P smoke test (a lost wakeup or handoff bug deadlocks or crashes it
+# — the in-sim watchdog, not this script's patience, catches a hang) and a
+# determinism gate: the cluster-total message/byte counters are exactly
+# reproducible and diffed against the checked-in baseline. Refresh with:
+#   build/bench/bench_sched_scale --json bench/baselines/bench_sched_scale.json
+"$BUILD_DIR"/bench/bench_sched_scale --json "$report" >/dev/null
+"$BUILD_DIR"/bench/report_diff bench/baselines/bench_sched_scale.json \
+    "$report" --bytes-only
+
 echo "== chaos soak (fixed-seed fault injection) =="
 # chaos_soak force-crashes a victim rank at swept comm-op indices for each of
 # the three distributed sorts, then runs straggler and delivery-jitter
@@ -79,16 +92,19 @@ echo "== chaos soak (fixed-seed fault injection) =="
 "$BUILD_DIR"/bench/chaos_soak --quick
 
 if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
-  echo "== thread sanitizer (collective + sortcore/pool tests) =="
+  echo "== thread sanitizer (collective + sortcore/pool + scheduler tests) =="
+  # test_sched runs with the multi-worker pool enabled, so TSan watches the
+  # fiber handoff (off_cpu acquire/release) and the trace-lane rebinding.
   cmake -B "$BUILD_DIR-tsan" -S . -DSDSS_SANITIZE=thread >/dev/null
   cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm \
-      test_par test_sortcore test_chaos test_trace
+      test_par test_sortcore test_chaos test_trace test_sched
   "$BUILD_DIR-tsan"/tests/test_collectives
   "$BUILD_DIR-tsan"/tests/test_sim_comm
   "$BUILD_DIR-tsan"/tests/test_par
   "$BUILD_DIR-tsan"/tests/test_sortcore
   "$BUILD_DIR-tsan"/tests/test_chaos
   "$BUILD_DIR-tsan"/tests/test_trace
+  "$BUILD_DIR-tsan"/tests/test_sched
 fi
 
 echo "== OK =="

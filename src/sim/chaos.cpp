@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cstring>
 #include <mutex>
-#include <thread>
 
 #include "sim/state.hpp"
 #include "trace/recorder.hpp"
@@ -163,14 +162,16 @@ std::uint64_t chaos_before_op(ClusterState* st, int world_rank,
       st->fired.push_back(
           FaultEvent{FaultKind::kStall, world_rank, k, stall});
     }
-    // Runs on the victim rank's own thread, so the instant lands on its
-    // lane — visible in the Perfetto timeline right where the stall began.
+    // Runs on the victim rank's fiber, so the instant lands on its lane —
+    // visible in the Perfetto timeline right where the stall began.
     if (trace::active()) {
       trace::instant(trace::EventCat::kChaos, "stall", k, -1,
                      static_cast<std::uint64_t>(stall * 1e9));
     }
-    // Sleep outside the lock: a straggler must slow only itself down.
-    std::this_thread::sleep_for(std::chrono::duration<double>(stall));
+    // Cooperative sleep outside the lock: a straggler parks only its own
+    // fiber; the worker keeps running other ranks meanwhile.
+    st->sched->sleep_for(std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(stall)));
   }
   if (plan.crash_op(world_rank) == k) {
     {

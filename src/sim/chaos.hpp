@@ -79,7 +79,7 @@ struct ChaosSpec {
 };
 
 /// The materialized schedule: cheap value, immutable after construction,
-/// safe to read concurrently from every rank thread.
+/// safe to read concurrently from every rank fiber and scheduler worker.
 class FaultPlan {
  public:
   static constexpr std::uint64_t kNever = ~std::uint64_t{0};

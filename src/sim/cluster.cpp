@@ -85,9 +85,9 @@ std::string failure_what(const std::exception_ptr& e) {
   }
 }
 
-/// Launch one thread per rank, run fn, join; returns the first non-abort
-/// exception (if any), every rank's classified unwind, and the per-rank
-/// ledgers and chaos accounting.
+/// Run one fiber per rank on the scheduler's worker pool; returns the first
+/// non-abort exception (if any), every rank's classified unwind, and the
+/// per-rank ledgers and chaos accounting.
 struct LaunchOutcome {
   std::exception_ptr primary;
   int failed_rank = -1;
@@ -99,13 +99,16 @@ struct LaunchOutcome {
   std::vector<FaultEvent> fired;
   std::uint64_t jittered_messages = 0;
   std::vector<std::uint64_t> op_counts;
+  std::vector<std::int32_t> schedule;
 };
 
-/// The no-progress watchdog. Runs on its own thread; fires only when every
-/// live rank has sat blocked (deadline-free) with no mailbox progress for
-/// the full threshold, and even then only after a probe wake-up gives every
-/// thread one more chance to advance (guards against a woken-but-descheduled
-/// rank being mistaken for a dead one on an oversubscribed host).
+/// The no-progress watchdog. Runs on its own OS thread, outside the fiber
+/// scheduler; fires only when every live rank has sat blocked
+/// (deadline-free) with no mailbox progress for the full threshold — and
+/// the scheduler is idle, so a woken-but-not-yet-resumed fiber (whose stale
+/// BlockedOp is still published) is never mistaken for a dead one — and
+/// even then only after a probe wake-up gives every rank one more chance to
+/// advance.
 class Watchdog {
  public:
   Watchdog(ClusterState* st, double timeout_s)
@@ -147,8 +150,7 @@ class Watchdog {
         probed = true;
         window_start = Clock::now() - std::chrono::duration_cast<
                                           Clock::duration>(timeout_) + tick;
-        for (auto& cv : st_->rank_cvs) cv->notify_all();
-        st_->cv.notify_all();
+        st_->sched->wake_all();
         continue;
       }
       // Verdict: deadlock. Build the per-rank dump and abort the run.
@@ -183,15 +185,17 @@ class Watchdog {
           std::move(dump), std::chrono::duration<double>(timeout_).count()));
       st_->aborted = true;
       st_->abort_cause = "deadlock watchdog: no progress";
-      st_->cv.notify_all();
-      for (auto& cv : st_->rank_cvs) cv->notify_all();
+      st_->sched->wake_all();
       return;
     }
   }
 
  private:
-  /// Caller holds st_->mu. True iff at least one rank is still running and
-  /// every unfinished rank is blocked with no self-wake deadline pending.
+  /// Caller holds st_->mu. True iff at least one rank is still running,
+  /// every unfinished rank is blocked with no self-wake deadline pending,
+  /// and the scheduler has nothing queued or on a worker — a fiber that was
+  /// woken but not yet resumed still publishes its stale BlockedOp, and
+  /// only idle() separates "waiting for CPU" from "waiting on a peer".
   bool all_live_blocked() const {
     int live = 0;
     for (int r = 0; r < st_->num_ranks; ++r) {
@@ -201,7 +205,7 @@ class Watchdog {
       const BlockedOp& b = st_->blocked[i];
       if (b.op == nullptr || b.has_deadline) return false;
     }
-    return live > 0;
+    return live > 0 && st_->sched->idle();
   }
 
   ClusterState* st_;
@@ -228,10 +232,14 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   st.op_counts.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
   st.blocked.resize(static_cast<std::size_t>(cfg.num_ranks));
   st.finished.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
-  st.rank_cvs.reserve(static_cast<std::size_t>(cfg.num_ranks));
-  for (int r = 0; r < cfg.num_ranks; ++r) {
-    st.rank_cvs.push_back(std::make_unique<std::condition_variable>());
-  }
+
+  detail::RankScheduler::Config scfg;
+  scfg.workers = cfg.sched_workers;
+  scfg.stack_bytes = cfg.fiber_stack_bytes;
+  scfg.record_schedule = cfg.record_schedule;
+  detail::RankScheduler sched(&st.mu, cfg.num_ranks, scfg);
+  st.sched = &sched;
+  if (cfg.enable_trace) sched.set_trace(&st.recorder);
 
   ContextInfo world;
   world.world_ranks.resize(static_cast<std::size_t>(cfg.num_ranks));
@@ -250,8 +258,7 @@ LaunchOutcome launch(const ClusterConfig& cfg,
       st.aborted = true;
       st.abort_cause = cause;
     }
-    st.cv.notify_all();
-    for (auto& cv : st.rank_cvs) cv->notify_all();
+    st.sched->wake_all();
   };
 
   // The watchdog breaks genuine deadlocks (which would otherwise hang the
@@ -264,46 +271,38 @@ LaunchOutcome launch(const ClusterConfig& cfg,
         [&watchdog, &watchdog_error] { watchdog.run(&watchdog_error); });
   }
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(cfg.num_ranks));
-  for (int r = 0; r < cfg.num_ranks; ++r) {
-    threads.emplace_back([&, r] {
-      // Bind this thread to its private event lane: every trace emit from
-      // here on is a lock-free bump-append (see trace/recorder.hpp).
-      if (st.recorder.enabled()) {
-        trace::bind_thread(&st.recorder, static_cast<std::size_t>(r));
+  // Each rank body runs as a fiber; the scheduler binds the rank's trace
+  // lane to whichever worker resumes it, so no bind here.
+  sched.run([&](int r) {
+    Comm world_comm = detail::make_comm(&st, /*ctx=*/0, /*rank=*/r,
+                                        cfg.num_ranks, /*world_rank=*/r);
+    auto record = [&](bool primary_candidate) {
+      std::lock_guard<std::mutex> lk(err_mu);
+      out.unwound.emplace_back(r, std::current_exception());
+      if (primary_candidate && !out.primary) {
+        out.primary = std::current_exception();
+        out.failed_rank = r;
       }
-      Comm world_comm = detail::make_comm(&st, /*ctx=*/0, /*rank=*/r,
-                                          cfg.num_ranks, /*world_rank=*/r);
-      auto record = [&](bool primary_candidate) {
-        std::lock_guard<std::mutex> lk(err_mu);
-        out.unwound.emplace_back(r, std::current_exception());
-        if (primary_candidate && !out.primary) {
-          out.primary = std::current_exception();
-          out.failed_rank = r;
-        }
-      };
-      try {
-        fn(world_comm);
-      } catch (const SimAbortError&) {
-        // Secondary casualty of another rank's failure: recorded (and later
-        // classified kPeerAbort), but never the primary.
-        record(false);
-      } catch (const std::exception& e) {
-        record(true);
-        abort_cluster(e.what());
-      } catch (...) {
-        record(true);
-        abort_cluster("unknown exception");
-      }
-      {
-        std::lock_guard<std::mutex> lk(st.mu);
-        st.finished[static_cast<std::size_t>(r)] = 1;
-        ++st.progress_epoch;
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+    };
+    try {
+      fn(world_comm);
+    } catch (const SimAbortError&) {
+      // Secondary casualty of another rank's failure: recorded (and later
+      // classified kPeerAbort), but never the primary.
+      record(false);
+    } catch (const std::exception& e) {
+      record(true);
+      abort_cluster(e.what());
+    } catch (...) {
+      record(true);
+      abort_cluster("unknown exception");
+    }
+    {
+      std::lock_guard<std::mutex> lk(st.mu);
+      st.finished[static_cast<std::size_t>(r)] = 1;
+      ++st.progress_epoch;
+    }
+  });
   watchdog.stop();
   if (watchdog_thread.joinable()) watchdog_thread.join();
   if (watchdog_error) {
@@ -317,11 +316,14 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   }
   out.ledgers = std::move(st.ledgers);
   out.comm_stats = std::move(st.comm_stats);
-  // Safe to read the lanes lock-free: every writer thread is joined above.
+  // Safe to read the lanes lock-free: every scheduler worker is joined
+  // inside sched.run() above.
   if (st.recorder.enabled()) out.trace = st.recorder.collect();
   out.fired = std::move(st.fired);
   out.jittered_messages = st.jittered_messages;
   out.op_counts = std::move(st.op_counts);
+  out.schedule = sched.schedule();
+  st.sched = nullptr;
   return out;
 }
 
@@ -334,6 +336,7 @@ RunResult Cluster::run_collect(const std::function<void(Comm&)>& fn) {
   res.comm_stats = std::move(lo.comm_stats);
   res.trace = std::move(lo.trace);
   res.comm_ops = std::move(lo.op_counts);
+  res.schedule = std::move(lo.schedule);
   res.jittered_messages = lo.jittered_messages;
   res.fault_events = std::move(lo.fired);
   std::sort(res.fault_events.begin(), res.fault_events.end(),

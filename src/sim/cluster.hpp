@@ -1,13 +1,17 @@
 // Cluster: the launcher of a simulated SPMD run.
 //
-// A Cluster spawns one thread per simulated MPI rank, hands each a world
-// `Comm`, and joins them. Ranks are grouped into simulated nodes of
+// A Cluster runs one cooperatively scheduled fiber per simulated MPI rank
+// on a small worker pool (sim/sched.hpp), hands each a world `Comm`, and
+// waits for all of them. Decoupling ranks from OS threads is what lets a
+// single host sweep 1k–8k ranks — the regime where the paper's weak-scaling
+// figures live. Ranks are grouped into simulated nodes of
 // `cores_per_node` consecutive ranks; the `NetworkModel` prices inter- and
 // intra-node traffic. If any rank throws, the cluster aborts: all peers
 // blocked in communication unwind with `SimAbortError` and the primary
 // exception is surfaced (run) or captured (run_collect).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -43,6 +47,17 @@ struct ClusterConfig {
   /// delivery time never counts as deadlocked — so the threshold only
   /// bounds detection latency, not correctness.
   double watchdog_timeout_s = 5.0;
+  /// OS worker threads driving the rank fibers. 0 = scheduler default (2).
+  /// 1 makes the rank interleaving fully deterministic (FIFO run-queue, no
+  /// cross-thread races) when the network model is also deterministic.
+  int sched_workers = 0;
+  /// Stack bytes per rank fiber (0 = scheduler default, 512 KiB). Stacks
+  /// are lazily committed with a guard page, so large-P runs reserve
+  /// address space, not RAM.
+  std::size_t fiber_stack_bytes = 0;
+  /// Record the scheduler's resume order into RunResult::schedule (the
+  /// interleaving-determinism tests use it; off by default).
+  bool record_schedule = false;
 };
 
 /// How a failed run failed. `kPeerAbort` marks ranks that were unwound by
@@ -95,6 +110,10 @@ struct RunResult {
   std::vector<PhaseLedger> ledgers;  ///< indexed by world rank
   std::vector<CommStats> comm_stats;  ///< indexed by world rank
   TraceLog trace;  ///< per-rank event timelines (empty when trace disabled)
+
+  /// Fiber resume order (ranks, in sequence) when
+  /// ClusterConfig::record_schedule was set; empty otherwise.
+  std::vector<std::int32_t> schedule;
 
   /// Critical-path breakdown: element-wise max over ranks.
   PhaseLedger max_ledger() const;

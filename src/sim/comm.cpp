@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <thread>
 #include <vector>
 
 #include "sim/state.hpp"
@@ -62,17 +61,21 @@ class BlockedGuard {
   bool armed_ = false;
 };
 
-/// Per-thread free list of message payload buffers. Senders draw from it,
-/// receivers refill it as they drain messages; since every rank both sends
-/// and receives, each rank thread's pool reaches a steady state and the
-/// messaging hot path stops allocating. Bounded so a burst of bulk traffic
-/// cannot pin unbounded memory; oversized buffers are dropped rather than
-/// cached.
+/// Per-worker free list of message payload buffers. Senders draw from it,
+/// receivers refill it as they drain messages; since every scheduler worker
+/// both sends and receives on behalf of the ranks it runs, each pool
+/// reaches a steady state and the messaging hot path stops allocating.
+/// Deliberately left per OS thread rather than moved to fiber-local storage:
+/// it is only a cache, so which worker's pool a buffer lands in does not
+/// affect correctness — but the accessors must stay out of line so the TLS
+/// address is never cached across a fiber suspension. Bounded so a burst of
+/// bulk traffic cannot pin unbounded memory; oversized buffers are dropped
+/// rather than cached.
 constexpr std::size_t kPayloadPoolSlots = 4;
 constexpr std::size_t kPayloadPoolMaxBytes = 1u << 20;
 thread_local std::vector<std::vector<std::byte>> t_payload_pool;
 
-std::vector<std::byte> pool_acquire(std::size_t bytes) {
+[[gnu::noinline]] std::vector<std::byte> pool_acquire(std::size_t bytes) {
   std::vector<std::byte> v;
   if (!t_payload_pool.empty()) {
     v = std::move(t_payload_pool.back());
@@ -82,7 +85,7 @@ std::vector<std::byte> pool_acquire(std::size_t bytes) {
   return v;
 }
 
-void pool_release(std::vector<std::byte>&& v) {
+[[gnu::noinline]] void pool_release(std::vector<std::byte>&& v) {
   if (t_payload_pool.size() < kPayloadPoolSlots &&
       v.capacity() <= kPayloadPoolMaxBytes) {
     v.clear();
@@ -214,16 +217,16 @@ void Request::wait() {
   {
     std::unique_lock<std::mutex> lk(impl_->st->mu);
     BlockedGuard guard(impl_->st, impl_->world_rank);
-    auto& cv = impl_->st->rank_cv(impl_->world_rank);
+    detail::RankScheduler* sched = impl_->st->sched;
     for (;;) {
       check_abort(*impl_->st);
       MatchScan m;
       if (impl_->try_complete(&m)) break;
       guard.set("req_wait", impl_->src, impl_->tag, impl_->ctx, m.future);
       if (m.future) {
-        cv.wait_until(lk, m.deadline);
+        sched->wait_until(lk, m.deadline);
       } else {
-        cv.wait(lk);
+        sched->wait(lk);
       }
     }
   }
@@ -265,7 +268,7 @@ int Request::wait_any(std::span<Request> reqs, std::span<const char> skip) {
   {
     std::unique_lock<std::mutex> lk(st->mu);
     BlockedGuard guard(st, owner);
-    auto& owner_cv = st->rank_cv(owner);
+    detail::RankScheduler* sched = st->sched;
     while (found < 0) {
       check_abort(*st);
       bool any_pending = false;
@@ -295,9 +298,9 @@ int Request::wait_any(std::span<Request> reqs, std::span<const char> skip) {
       guard.set("req_wait_any", Comm::kAnySource, Comm::kAnyTag, 0,
                 have_deadline);
       if (have_deadline) {
-        owner_cv.wait_until(lk, deadline);
+        sched->wait_until(lk, deadline);
       } else {
-        owner_cv.wait(lk);
+        sched->wait(lk);
       }
     }
   }
@@ -355,13 +358,15 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
     CommStats& cs = st_->comm_stats[static_cast<std::size_t>(world_rank_)];
     ++cs.p2p_messages;
     cs.p2p_bytes += bytes;
+    // Wake exactly the destination rank. Scheduler wakes are queue pushes
+    // under the lock we already hold — the woken fiber cannot "run into"
+    // the held mutex the way a notified thread could, it just becomes
+    // ready and is resumed by a worker later.
+    st_->sched->wake(dest_world);
   }
   if (trace::active()) {
     trace::instant(trace::EventCat::kP2p, "send", bytes, dest_world);
   }
-  // Notify after unlock so the woken receiver does not run straight into
-  // the still-held mutex.
-  st_->rank_cv(dest_world).notify_one();
 }
 
 std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
@@ -372,7 +377,7 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
   std::unique_lock<std::mutex> lk(st_->mu);
   BlockedGuard guard(st_, world_rank_);
   Mailbox& mb = st_->mailboxes[static_cast<std::size_t>(world_rank_)];
-  auto& cv = st_->rank_cv(world_rank_);
+  detail::RankScheduler* sched = st_->sched;
   for (;;) {
     check_abort(*st_);
     MatchScan m =
@@ -399,9 +404,9 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
     }
     guard.set("recv", src, tag, ctx_, m.future);
     if (m.future) {
-      cv.wait_until(lk, m.deadline);
+      sched->wait_until(lk, m.deadline);
     } else {
-      cv.wait(lk);
+      sched->wait(lk);
     }
   }
 }
@@ -413,7 +418,7 @@ std::size_t Comm::probe_bytes(int src, int tag, int* out_src) {
   std::unique_lock<std::mutex> lk(st_->mu);
   BlockedGuard guard(st_, world_rank_);
   Mailbox& mb = st_->mailboxes[static_cast<std::size_t>(world_rank_)];
-  auto& cv = st_->rank_cv(world_rank_);
+  detail::RankScheduler* sched = st_->sched;
   for (;;) {
     check_abort(*st_);
     MatchScan m =
@@ -428,9 +433,9 @@ std::size_t Comm::probe_bytes(int src, int tag, int* out_src) {
     }
     guard.set("probe", src, tag, ctx_, m.future);
     if (m.future) {
-      cv.wait_until(lk, m.deadline);
+      sched->wait_until(lk, m.deadline);
     } else {
-      cv.wait(lk);
+      sched->wait(lk);
     }
   }
 }
@@ -578,12 +583,11 @@ void coll_zc_drain(CollCtx& c) {
   ClusterState* st = c.st;
   std::unique_lock<std::mutex> lk(st->mu);
   BlockedGuard guard(st, c.world_rank);
-  auto& cv = st->rank_cv(c.world_rank);
   guard.set("zc_drain", Comm::kAnySource, Comm::kAnyTag, c.ctx,
             /*has_deadline=*/false);
   const bool traced = trace::active();
   const std::uint64_t t0 = traced ? trace::now_ns() : 0;
-  while (c.zc.outstanding > 0 && !st->aborted) cv.wait(lk);
+  while (c.zc.outstanding > 0 && !st->aborted) st->sched->wait(lk);
   if (traced) c.blocked_ns += trace::now_ns() - t0;
   guard.clear();
   check_abort(*st);
@@ -604,7 +608,10 @@ void coll_finish(CollCtx& c, CollAlg alg) {
       (c.messages != 0 || c.bytes_out != 0 || c.bytes_in != 0)) {
     const double t =
         net.exchange_time(c.messages, c.bytes_out, c.bytes_in, c.intra_node);
-    std::this_thread::sleep_for(net.to_duration(t));
+    // Cooperative sleep: the fiber parks in the scheduler's timer heap and
+    // the worker runs other ranks meanwhile.
+    c.st->sched->sleep_for(std::chrono::duration_cast<detail::Clock::duration>(
+        net.to_duration(t)));
     c.blocked_ns += static_cast<std::uint64_t>(t * 1e9);
   }
   // One span per collective call, named after the algorithm that actually
@@ -673,10 +680,10 @@ void coll_send(CollCtx& c, const void* data, std::size_t bytes, int dest,
           std::move(msg));
     }
     ++st->progress_epoch;
+    // Wake under the lock: a scheduler wake is just a run-queue push, so
+    // there is no run-into-the-held-mutex hazard to dodge.
+    st->sched->wake(dest_world);
   }
-  // Notify after unlock: waking the (usually blocked) destination while
-  // still holding the mutex would have it run straight into the lock.
-  st->rank_cv(dest_world).notify_one();
   ++c.messages;
   c.bytes_out += bytes;
 }
@@ -728,8 +735,8 @@ void coll_send_zc(CollCtx& c, const void* data, std::size_t bytes, int dest,
           std::move(msg));
     }
     ++st->progress_epoch;
+    st->sched->wake(dest_world);
   }
-  st->rank_cv(dest_world).notify_one();
   ++c.messages;
   c.bytes_out += bytes;
 }
@@ -738,13 +745,9 @@ void coll_send_zc(CollCtx& c, const void* data, std::size_t bytes, int dest,
 /// outstanding count under the lock and wake the sender if it is already
 /// draining. Called by the receiver with the lock NOT held.
 void coll_zc_ack(ClusterState* st, ZcState* zc, int sender_world) {
-  bool last = false;
-  {
-    std::lock_guard<std::mutex> lk(st->mu);
-    last = (--zc->outstanding == 0);
-    ++st->progress_epoch;
-  }
-  if (last) st->rank_cv(sender_world).notify_one();
+  std::lock_guard<std::mutex> lk(st->mu);
+  ++st->progress_epoch;
+  if (--zc->outstanding == 0) st->sched->wake(sender_world);
 }
 
 /// Internal receive; returns the payload size. The payload memcpy happens
@@ -756,7 +759,6 @@ std::size_t coll_recv(CollCtx& c, void* buf, std::size_t capacity, int src,
   std::unique_lock<std::mutex> lk(st->mu);
   check_abort(*st);
   Mailbox& mb = st->mailboxes[static_cast<std::size_t>(c.world_rank)];
-  auto& cv = st->rank_cv(c.world_rank);
   // Already buffered? Internal messages are always deliverable (no modeled
   // per-message delay), so a ready scan is a plain front-to-back match.
   MatchScan m = scan_mailbox(mb, c.ctx, src, tag, Clock::now(),
@@ -801,7 +803,7 @@ std::size_t coll_recv(CollCtx& c, void* buf, std::size_t capacity, int src,
   guard.set("coll_recv", src, tag, c.ctx, /*has_deadline=*/false);
   const bool traced = trace::active();
   const std::uint64_t t0 = traced ? trace::now_ns() : 0;
-  while (!slot.done && !st->aborted) cv.wait(lk);
+  while (!slot.done && !st->aborted) st->sched->wait(lk);
   if (traced) c.blocked_ns += trace::now_ns() - t0;
   posted = nullptr;
   guard.clear();

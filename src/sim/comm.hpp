@@ -4,8 +4,11 @@
 // nonblocking point-to-point with tag matching, the collectives used by the
 // algorithm (barrier, bcast, gather, allgather(v), alltoall(v), allreduce,
 // exscan), and communicator splitting including split-by-node (the analogue
-// of MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)). Ranks are threads inside a
-// `Cluster` (see sim/cluster.hpp); a Comm is a cheap value handle.
+// of MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)). Ranks are cooperatively
+// scheduled fibers inside a `Cluster` (see sim/cluster.hpp and
+// sim/sched.hpp); every blocking call below parks the calling fiber on the
+// rank scheduler instead of an OS condition variable. A Comm is a cheap
+// value handle.
 //
 // Typed convenience wrappers (templates at the bottom) operate on
 // trivially-copyable element types and element counts; the raw *_bytes

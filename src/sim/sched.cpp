@@ -1,0 +1,368 @@
+#include "sim/sched.hpp"
+
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "trace/recorder.hpp"
+#include "util/error.hpp"
+#include "util/fls.hpp"
+#include "util/phase_ledger.hpp"
+
+// ThreadSanitizer cannot see through a raw ucontext switch: its unwinder
+// walks whatever stack the thread is on using the OS thread's recorded
+// bounds, so the first event on a fiber stack reads into the guard page and
+// kills the process. The TSan fiber API announces every stack switch.
+#if defined(__SANITIZE_THREAD__)
+#define SDSS_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SDSS_TSAN_FIBERS 1
+#endif
+#endif
+#ifdef SDSS_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace sdss::sim::detail {
+
+namespace {
+constexpr int kDefaultWorkers = 2;
+constexpr std::size_t kDefaultStackBytes = 512u * 1024u;
+}  // namespace
+
+struct Fiber {
+  enum class St : std::uint8_t {
+    kReady,        ///< in the run-queue
+    kRunning,      ///< on a worker (or between "queued" and "switched in")
+    kBlocked,      ///< parked in wait(); wake() re-queues it
+    kBlockedTimed, ///< parked in wait_until(); wake() or the timer re-queues
+    kSleeping,     ///< parked in sleep_for(); only its timer re-queues it
+    kFinished,     ///< body returned; never resumed again
+  };
+
+  ucontext_t ctx{};
+  /// Where to switch back to: the resuming worker's loop context. Rewritten
+  /// by that worker before every switch-in, so it is correct even after the
+  /// fiber migrates between workers.
+  ucontext_t* ret = nullptr;
+  RankScheduler* sched = nullptr;
+  int rank = -1;
+
+  // Guarded by the cluster mutex.
+  St state = St::kReady;
+  /// Bumped whenever the fiber leaves a parked state; timer-heap entries
+  /// carry the gen at arming time so entries that were superseded by an
+  /// early wake() are recognized as stale and dropped.
+  std::uint64_t gen = 0;
+
+  /// Off-CPU handoff: true once the fiber's register state is fully saved
+  /// and no worker is executing on its stack. The next resumer spins on it,
+  /// closing the race where a wake lands between "state published under mu"
+  /// and "switched out".
+  std::atomic<bool> off_cpu{true};
+
+  void* map_base = nullptr;  ///< mmap'd guard page + stack
+  std::size_t map_len = 0;
+  void* tsan_fiber = nullptr;  ///< TSan shadow state for this stack (or null)
+
+  /// Context that follows the fiber across workers (see sched.hpp).
+  fls::Block fls_block;
+  double cpu_accum = 0.0;        ///< CPU seconds from completed time slices
+  double cpu_resume_base = 0.0;  ///< worker's raw CPU clock at switch-in
+
+  ~Fiber() {
+#ifdef SDSS_TSAN_FIBERS
+    if (tsan_fiber != nullptr) __tsan_destroy_fiber(tsan_fiber);
+#endif
+    if (map_base != nullptr) ::munmap(map_base, map_len);
+  }
+};
+
+namespace {
+
+using St = Fiber::St;
+
+/// The fiber currently executing on this OS thread (null in worker loops
+/// and on non-scheduler threads), and the worker loop's own context. Read
+/// these only from frames that cannot straddle a context switch — or, in
+/// wait()/sleep_for(), exactly once before the switch.
+thread_local Fiber* t_fiber = nullptr;
+thread_local ucontext_t t_worker_ctx;
+#ifdef SDSS_TSAN_FIBERS
+/// TSan's handle for the worker loop's own stack, captured at loop entry so
+/// suspending fibers can announce the switch back.
+thread_local void* t_worker_tsan_fiber = nullptr;
+#endif
+
+/// Announce an imminent swapcontext to TSan. Must be the last TSan-visible
+/// operation before the switch itself (no locks/atomics in between).
+inline void tsan_switch_to(Fiber* f) {
+#ifdef SDSS_TSAN_FIBERS
+  __tsan_switch_to_fiber(f->tsan_fiber, 0);
+#else
+  (void)f;
+#endif
+}
+inline void tsan_switch_to_worker() {
+#ifdef SDSS_TSAN_FIBERS
+  __tsan_switch_to_fiber(t_worker_tsan_fiber, 0);
+#endif
+}
+
+double raw_thread_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Virtualized CPU clock installed into util/phase_ledger: per-fiber when a
+/// fiber is on this thread (its own accumulated slices, so a ledger span
+/// that migrates workers still measures one rank's work), raw per-thread
+/// otherwise. noinline: called around suspension points.
+[[gnu::noinline]] double sched_cpu_seconds() {
+  Fiber* f = t_fiber;
+  if (f == nullptr) return raw_thread_cpu_seconds();
+  return f->cpu_accum + (raw_thread_cpu_seconds() - f->cpu_resume_base);
+}
+
+void alloc_stack(Fiber* f, std::size_t stack_bytes) {
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t stack = (stack_bytes + page - 1) & ~(page - 1);
+  const std::size_t len = stack + page;  // + low guard page
+  void* base =
+      ::mmap(nullptr, len, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) throw Error("sched: fiber stack mmap failed");
+  if (::mprotect(static_cast<char*>(base) + page, stack,
+                 PROT_READ | PROT_WRITE) != 0) {
+    ::munmap(base, len);
+    throw Error("sched: fiber stack mprotect failed");
+  }
+  f->map_base = base;
+  f->map_len = len;
+}
+
+}  // namespace
+
+/// Runs on the fiber's own stack. Never returns: after the body finishes
+/// (the launcher's wrapper has already caught every exception) the fiber
+/// marks itself finished and switches back to the worker for the last time.
+void fiber_entry_point(Fiber* f) {
+  RankScheduler* s = f->sched;
+  s->body_(f->rank);
+  {
+    std::lock_guard<std::mutex> lk(*s->mu_);
+    f->state = St::kFinished;
+  }
+  tsan_switch_to_worker();
+  swapcontext(&f->ctx, f->ret);
+  std::abort();  // a finished fiber must never be resumed
+}
+
+namespace {
+/// makecontext entry (plain void() function): recover the fiber from the
+/// worker's TLS, set immediately before the first switch-in.
+void fiber_trampoline() { fiber_entry_point(t_fiber); }
+}  // namespace
+
+RankScheduler::RankScheduler(std::mutex* mu, int num_ranks, Config cfg)
+    : mu_(mu), num_ranks_(num_ranks), cfg_(cfg) {
+  // Route phase-ledger CPU attribution through the fiber-aware clock. The
+  // override is global and permanent; it degrades to the raw per-thread
+  // clock on any thread not running a fiber.
+  sdss::detail::set_thread_cpu_clock(&sched_cpu_seconds);
+}
+
+RankScheduler::~RankScheduler() = default;
+
+int RankScheduler::current_rank() {
+  Fiber* f = t_fiber;
+  return f != nullptr ? f->rank : -1;
+}
+
+void RankScheduler::make_ready(Fiber* f) {
+  f->state = St::kReady;
+  ++f->gen;
+  runq_.push_back(f);
+  workers_cv_.notify_one();
+}
+
+void RankScheduler::wake(int world_rank) {
+  if (fibers_.empty()) return;  // before run() / after teardown
+  Fiber* f = fibers_[static_cast<std::size_t>(world_rank)].get();
+  if (f->state == St::kBlocked || f->state == St::kBlockedTimed) {
+    make_ready(f);
+  }
+}
+
+void RankScheduler::wake_all() {
+  for (auto& f : fibers_) {
+    if (f->state == St::kBlocked || f->state == St::kBlockedTimed) {
+      make_ready(f.get());
+    }
+  }
+}
+
+void RankScheduler::wait(std::unique_lock<std::mutex>& lk) {
+  Fiber* f = t_fiber;  // read once: stale after the switch
+  f->state = St::kBlocked;
+  lk.unlock();
+  tsan_switch_to_worker();
+  swapcontext(&f->ctx, f->ret);
+  lk.lock();
+}
+
+void RankScheduler::wait_until(std::unique_lock<std::mutex>& lk,
+                               Clock::time_point deadline) {
+  Fiber* f = t_fiber;
+  f->state = St::kBlockedTimed;
+  timers_.push(TimerEntry{deadline, f, f->gen});
+  workers_cv_.notify_one();  // an idle worker may need the earlier deadline
+  lk.unlock();
+  tsan_switch_to_worker();
+  swapcontext(&f->ctx, f->ret);
+  lk.lock();
+}
+
+void RankScheduler::sleep_for(Clock::duration d) {
+  Fiber* f = t_fiber;
+  if (f == nullptr) {
+    std::this_thread::sleep_for(d);
+    return;
+  }
+  if (d <= Clock::duration::zero()) return;
+  std::unique_lock<std::mutex> lk(*mu_);
+  f->state = St::kSleeping;
+  timers_.push(TimerEntry{Clock::now() + d, f, f->gen});
+  workers_cv_.notify_one();
+  lk.unlock();
+  tsan_switch_to_worker();
+  swapcontext(&f->ctx, f->ret);
+}
+
+void RankScheduler::resume(Fiber* f, std::unique_lock<std::mutex>& lk) {
+  f->state = St::kRunning;
+  ++running_;
+  if (cfg_.record_schedule) schedule_.push_back(f->rank);
+  lk.unlock();
+  // Wait for the previous worker to fully vacate the fiber's stack. The
+  // window is one swapcontext wide; yield instead of pure spinning because
+  // on a single-core host the vacating worker needs the CPU to finish.
+  while (!f->off_cpu.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  f->off_cpu.store(false, std::memory_order_relaxed);
+  f->ret = &t_worker_ctx;
+  t_fiber = f;
+  if (rec_ != nullptr) {
+    trace::bind_thread(rec_, static_cast<std::size_t>(f->rank));
+  }
+  fls::set_current(&f->fls_block);
+  f->cpu_resume_base = raw_thread_cpu_seconds();
+  tsan_switch_to(f);
+  swapcontext(&t_worker_ctx, &f->ctx);
+  // The fiber suspended (or finished). Tear its context off this thread
+  // BEFORE publishing off_cpu: the release store is what licenses the next
+  // worker to switch it back in.
+  f->cpu_accum += raw_thread_cpu_seconds() - f->cpu_resume_base;
+  fls::set_current(nullptr);
+  if (rec_ != nullptr) trace::unbind_thread();
+  t_fiber = nullptr;
+  f->off_cpu.store(true, std::memory_order_release);
+  lk.lock();
+  --running_;
+  if (f->state == St::kFinished) {
+    ++finished_;
+    if (finished_ == num_ranks_) workers_cv_.notify_all();
+  }
+}
+
+void RankScheduler::worker_loop() {
+#ifdef SDSS_TSAN_FIBERS
+  t_worker_tsan_fiber = __tsan_get_current_fiber();
+#endif
+  std::unique_lock<std::mutex> lk(*mu_);
+  while (finished_ < num_ranks_) {
+    // Promote expired timers (timed waits and sleeps) to the run-queue.
+    const auto now = Clock::now();
+    while (!timers_.empty() && timers_.top().when <= now) {
+      const TimerEntry e = timers_.top();
+      timers_.pop();
+      if (e.gen == e.fiber->gen &&
+          (e.fiber->state == St::kBlockedTimed ||
+           e.fiber->state == St::kSleeping)) {
+        make_ready(e.fiber);
+      }
+    }
+    if (!runq_.empty()) {
+      Fiber* f = runq_.front();
+      runq_.pop_front();
+      resume(f, lk);
+      continue;
+    }
+    if (finished_ == num_ranks_) break;
+    if (!timers_.empty()) {
+      workers_cv_.wait_until(lk, timers_.top().when);
+    } else {
+      workers_cv_.wait(lk);
+    }
+  }
+  workers_cv_.notify_all();
+}
+
+void RankScheduler::run(const std::function<void(int)>& body) {
+  body_ = body;
+  const std::size_t stack_bytes =
+      cfg_.stack_bytes != 0 ? cfg_.stack_bytes : kDefaultStackBytes;
+  {
+    std::lock_guard<std::mutex> lk(*mu_);
+    schedule_.clear();
+    finished_ = 0;
+    running_ = 0;
+    fibers_.reserve(static_cast<std::size_t>(num_ranks_));
+    for (int r = 0; r < num_ranks_; ++r) {
+      auto f = std::make_unique<Fiber>();
+      f->sched = this;
+      f->rank = r;
+      alloc_stack(f.get(), stack_bytes);
+      // getcontext fills uc_stack with the calling thread's stack; point it
+      // at the fiber's own mapping (above the guard page) before makecontext.
+      if (getcontext(&f->ctx) != 0) throw Error("sched: getcontext failed");
+      const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+      f->ctx.uc_stack.ss_sp = static_cast<char*>(f->map_base) + page;
+      f->ctx.uc_stack.ss_size = f->map_len - page;
+      f->ctx.uc_link = nullptr;
+      makecontext(&f->ctx, &fiber_trampoline, 0);
+#ifdef SDSS_TSAN_FIBERS
+      f->tsan_fiber = __tsan_create_fiber(0);
+#endif
+      runq_.push_back(f.get());
+      fibers_.push_back(std::move(f));
+    }
+  }
+  const int workers = cfg_.workers > 0 ? cfg_.workers : kDefaultWorkers;
+  std::vector<std::thread> extra;
+  extra.reserve(static_cast<std::size_t>(workers - 1));
+  for (int i = 1; i < workers; ++i) {
+    extra.emplace_back([this] { worker_loop(); });
+  }
+  worker_loop();  // the calling thread is worker 0
+  for (auto& t : extra) t.join();
+  {
+    // All fibers finished and all workers joined: release the stacks now
+    // rather than at destructor time (4k ranks hold ~2 GB of reservations).
+    std::lock_guard<std::mutex> lk(*mu_);
+    fibers_.clear();
+    runq_.clear();
+    while (!timers_.empty()) timers_.pop();
+  }
+  body_ = nullptr;
+}
+
+}  // namespace sdss::sim::detail

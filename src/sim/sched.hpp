@@ -1,0 +1,171 @@
+// RankScheduler: cooperative execution of simulated MPI ranks.
+//
+// Each rank runs as a stackful fiber (ucontext, mmap'd stack with a guard
+// page) driven by an explicit run-queue on a small pool of OS worker
+// threads. A rank holds a worker only while it is computing; every blocking
+// point in sim/comm.cpp — p2p waits, collective rendezvous, zero-copy
+// drains, modeled-network and chaos-stall sleeps — yields the fiber back to
+// the scheduler, which resumes the next ready rank. That decouples the rank
+// count from the OS thread count: the thread-per-rank launcher capped sweeps
+// at ~64–128 ranks per host, while fibers run 1k–8k ranks in a handful of
+// threads (the regime where the paper's weak-scaling figures live). See
+// docs/SIMULATOR.md for the full design.
+//
+// Locking: the scheduler has no lock of its own. Run-queue, timer heap and
+// fiber states are guarded by the same ClusterState::mu that already guards
+// every mailbox, so the existing wait loops keep their shape — the
+// condition-variable wait simply becomes a fiber yield under the same lock.
+// The one hard rule is that mu is NEVER held across a context switch
+// (unlocking a mutex from a different OS thread than locked it is undefined
+// behaviour): a fiber publishes its state under mu, releases mu, and only
+// then switches out. The gap this opens — a waker can see the fiber
+// "blocked" and re-queue it before the old worker has actually switched off
+// its stack — is closed by a per-fiber `off_cpu` handoff flag that the next
+// worker spins on before switching in.
+//
+// Wakeups (wake / wake_all) are level-triggered and run under mu, so the
+// lost-wakeup race of condition variables cannot occur: a waker either sees
+// the fiber blocked and queues it, or the fiber has not yet blocked and
+// will re-test its predicate (which the waker already made true) before
+// yielding... the wait loops re-scan after every resume, as they always did.
+//
+// Timed waits (a modeled in-flight message's delivery time) and cooperative
+// sleeps (the per-collective network charge, chaos stalls) park the fiber in
+// a timer min-heap; idle workers sleep until the earliest deadline. A sleep
+// is NOT interruptible by wake() — it models elapsed time, exactly like the
+// std::this_thread::sleep_for it replaces — while a timed wait is.
+//
+// Per-rank context that used to ride on the rank's OS thread follows the
+// fiber instead: the scheduler rebinds the trace lane (trace::bind_thread)
+// and the fiber-local-storage block (util/fls.hpp) on every resume, and
+// virtualizes the per-thread CPU clock (util/phase_ledger.hpp) so phase CPU
+// attribution is per rank, not per worker.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace sdss::trace {
+class TraceRecorder;
+}
+
+namespace sdss::sim::detail {
+
+struct Fiber;
+
+class RankScheduler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Config {
+    /// OS worker threads that run the fibers. 0 = default (2). With 1, the
+    /// interleaving is a deterministic function of the run-queue: FIFO
+    /// resume order, no cross-thread races (the determinism tests and
+    /// RunResult::schedule rely on this).
+    int workers = 0;
+    /// Stack bytes per fiber, rounded up to whole pages; 0 = default
+    /// (512 KiB). Stacks are mmap'd lazily-committed with a PROT_NONE guard
+    /// page below, so 4k ranks reserve ~2 GB of address space but touch
+    /// only what they use — and an overflow faults loudly instead of
+    /// corrupting a neighbouring stack.
+    std::size_t stack_bytes = 0;
+    /// Append each resumed fiber's rank to schedule() (the interleaving
+    /// determinism tests read it back via RunResult::schedule).
+    bool record_schedule = false;
+  };
+
+  /// `mu` is ClusterState::mu: all scheduler state is guarded by it.
+  RankScheduler(std::mutex* mu, int num_ranks, Config cfg);
+  ~RankScheduler();
+  RankScheduler(const RankScheduler&) = delete;
+  RankScheduler& operator=(const RankScheduler&) = delete;
+
+  /// Bind rank fibers to this recorder's lanes on every resume (null = no
+  /// tracing). Set before run().
+  void set_trace(trace::TraceRecorder* rec) { rec_ = rec; }
+
+  /// Run body(rank) for every rank to completion. The calling thread acts
+  /// as worker 0; workers-1 extra threads are spawned for the duration.
+  void run(const std::function<void(int)>& body);
+
+  // --- fiber side (call only from inside a rank body) ---------------------
+
+  /// Yield until wake(); `lk` (on the cluster mutex) is released across the
+  /// switch and re-acquired before returning. Spurious returns are allowed
+  /// and expected — callers loop on their predicate.
+  void wait(std::unique_lock<std::mutex>& lk);
+
+  /// Like wait(), but also self-wakes at `deadline` (modeled message
+  /// delivery times).
+  void wait_until(std::unique_lock<std::mutex>& lk, Clock::time_point deadline);
+
+  /// Cooperatively sleep for `d`, yielding the worker meanwhile. Not
+  /// interruptible by wake() — models elapsed simulated time. Falls back to
+  /// std::this_thread::sleep_for off-fiber. Call WITHOUT the cluster mutex.
+  void sleep_for(Clock::duration d);
+
+  /// World rank of the calling fiber, -1 when not on a fiber.
+  static int current_rank();
+
+  // --- waker side (caller holds the cluster mutex) ------------------------
+
+  /// Queue `world_rank` for resumption if it is blocked (timed or not).
+  /// No-op on running/ready/sleeping/finished fibers.
+  void wake(int world_rank);
+
+  /// wake() every blocked fiber: cluster abort, watchdog probe/verdict.
+  void wake_all();
+
+  /// True iff no fiber is ready to run or currently on a worker. The
+  /// watchdog requires this before a deadlock verdict: a woken-but-not-yet-
+  /// resumed fiber still shows its (stale) BlockedOp, and only idle()
+  /// distinguishes "queued for CPU" from "waiting on a peer".
+  bool idle() const { return runq_.empty() && running_ == 0; }
+
+  /// Resume order of the last run() (ranks, in resume sequence). Filled
+  /// only when Config::record_schedule.
+  const std::vector<std::int32_t>& schedule() const { return schedule_; }
+
+ private:
+  struct TimerEntry {
+    Clock::time_point when;
+    Fiber* fiber;
+    std::uint64_t gen;  ///< stale once the fiber's gen moves on
+  };
+  struct TimerLater {
+    bool operator()(const TimerEntry& a, const TimerEntry& b) const {
+      return a.when > b.when;
+    }
+  };
+
+  void worker_loop();
+  void resume(Fiber* f, std::unique_lock<std::mutex>& lk);
+  void make_ready(Fiber* f);
+
+  std::mutex* mu_;
+  const int num_ranks_;
+  Config cfg_;
+  trace::TraceRecorder* rec_ = nullptr;
+  std::function<void(int)> body_;
+
+  // All below guarded by *mu_.
+  std::condition_variable workers_cv_;
+  std::deque<Fiber*> runq_;
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater> timers_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  int running_ = 0;
+  int finished_ = 0;
+  std::vector<std::int32_t> schedule_;
+
+  friend void fiber_entry_point(Fiber* f);
+};
+
+}  // namespace sdss::sim::detail

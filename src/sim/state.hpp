@@ -1,14 +1,17 @@
 // Internal shared state of a simulated cluster run. Not part of the public
 // API: include only from sim/*.cpp.
 //
-// Concurrency design: one big mutex (`mu`) plus one condition variable (`cv`)
-// guard all mailboxes and context registration. Every blocking operation
-// waits on a condition variable with a predicate that also observes the
-// abort flag, so a failing rank wakes every blocked peer. A single lock is
-// deliberately chosen over fine-grained locking: the runtime simulates a
-// cluster for algorithm-behaviour studies, it is not itself the object of
-// performance measurement, and one lock makes the blocking semantics easy to
-// reason about and impossible to deadlock by lock ordering.
+// Concurrency design: one big mutex (`mu`) guards all mailboxes, context
+// registration, and the rank scheduler's run-queue. Ranks execute as
+// cooperatively scheduled fibers (sim/sched.hpp): every blocking operation
+// loops on a predicate that also observes the abort flag, yielding to the
+// scheduler between tests, and wakers target the destination rank through
+// `sched->wake()` under mu — level-triggered, so the lost-wakeup hazard of
+// condition variables does not exist. A single lock is deliberately chosen
+// over fine-grained locking: the runtime simulates a cluster for
+// algorithm-behaviour studies, it is not itself the object of performance
+// measurement, and one lock makes the blocking semantics easy to reason
+// about and impossible to deadlock by lock ordering.
 //
 // Collectives are message-based: they run over the same mailboxes as user
 // point-to-point traffic, but their messages carry `internal = true` and
@@ -17,7 +20,6 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -30,6 +32,7 @@
 #include "sim/chaos.hpp"
 #include "sim/comm_stats.hpp"
 #include "sim/network.hpp"
+#include "sim/sched.hpp"
 #include "sim/trace.hpp"
 #include "util/phase_ledger.hpp"
 
@@ -70,9 +73,9 @@ struct Mailbox {
 
 /// A blocked internal (collective-protocol) receive, published so a matching
 /// sender can deposit straight into the receiver's buffer — no intermediate
-/// Message, no allocation, one memcpy. Each rank thread runs at most one
-/// blocking collective receive at a time, so one slot per world rank
-/// suffices. The slot lives on the receiver's stack; it is registered,
+/// Message, no allocation, one memcpy. Each rank runs at most one blocking
+/// collective receive at a time, so one slot per world rank suffices. The
+/// slot lives on the receiver's (fiber) stack; it is registered,
 /// filled, and cleared entirely under ClusterState::mu.
 ///
 /// Per-(ctx, src, tag) FIFO is preserved: the receiver only publishes a slot
@@ -126,16 +129,12 @@ struct BlockedOp {
 
 struct ClusterState {
   std::mutex mu;
-  /// Collective-protocol and abort wakeups.
-  std::condition_variable cv;
-  /// Per-rank mailbox wakeups: a sender notifies only the destination
-  /// rank's variable, so point-to-point traffic does not stampede every
-  /// blocked thread in the cluster.
-  std::vector<std::unique_ptr<std::condition_variable>> rank_cvs;
-
-  std::condition_variable& rank_cv(int world_rank) {
-    return *rank_cvs[static_cast<std::size_t>(world_rank)];
-  }
+  /// Fiber scheduler running the rank bodies; owned by launch() for the
+  /// duration of the run. All wakeups — mailbox pushes, rendezvous fills,
+  /// zero-copy acks, abort — go through sched->wake()/wake_all() with mu
+  /// held, targeting exactly the destination rank so point-to-point traffic
+  /// does not stampede every blocked fiber in the cluster.
+  RankScheduler* sched = nullptr;
 
   int num_ranks = 0;
   int cores_per_node = 1;
@@ -155,17 +154,21 @@ struct ClusterState {
   std::vector<CommStats> comm_stats;        // indexed by world rank
 
   bool trace_enabled = false;
-  /// Lock-free per-rank event lanes (plus one for the watchdog). Each rank
-  /// thread binds to its lane at spawn and appends without taking mu; the
-  /// joins at teardown order the collect() read, like op_counts below.
+  /// Lock-free per-rank event lanes (plus one for the watchdog). The
+  /// scheduler binds a rank's lane to whichever worker resumes its fiber
+  /// (the fiber handoff orders cross-worker appends), and the worker joins
+  /// at the end of RankScheduler::run() order the collect() read, like
+  /// op_counts below.
   trace::TraceRecorder recorder;
 
   // --- chaos engine (see sim/chaos.hpp) ---------------------------------
-  /// Immutable after launch; read concurrently by every rank thread.
+  /// Immutable after launch; read concurrently by every rank.
   FaultPlan chaos;
   /// Per-rank count of public Comm operations issued. Each slot is written
-  /// only by its owning rank thread (no lock; the joins at teardown order
-  /// the final reads), so chaos decisions stay off the global mutex.
+  /// only by its owning rank fiber (no lock: the scheduler's fiber handoff
+  /// orders writes across workers, and the worker joins at the end of the
+  /// run order the final reads), so chaos decisions stay off the global
+  /// mutex.
   std::vector<std::uint64_t> op_counts;
   std::vector<FaultEvent> fired;        ///< chaos events that fired (mu)
   std::uint64_t jittered_messages = 0;  ///< p2p sends that got jitter (mu)

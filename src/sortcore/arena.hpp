@@ -8,9 +8,10 @@
 // one grow-only buffer per thread, bump-allocated with stack discipline.
 //
 // Ownership model (DESIGN.md "Kernel memory discipline"):
-//  * one arena per thread — simulated ranks are threads, pool workers are
-//    threads, so "per rank" and "per worker" both fall out of
-//    ScratchArena::for_thread();
+//  * one arena per execution context — simulated ranks are fibers, pool
+//    workers are threads, and for_thread() resolves through fiber-local
+//    storage (util/fls.hpp) so each gets its own arena and a rank keeps its
+//    arena when the scheduler migrates it across workers;
 //  * callers never reset an arena they did not create. Library code brackets
 //    its usage with an ArenaScope, which rewinds to the entry position on
 //    destruction, so nested kernels (sort_chunk → run_aware_sort →
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "sortcore/kernel_stats.hpp"
+#include "util/fls.hpp"
 
 namespace sdss {
 
@@ -47,11 +49,18 @@ class ScratchArena {
   ScratchArena(const ScratchArena&) = delete;
   ScratchArena& operator=(const ScratchArena&) = delete;
 
-  /// This thread's arena. Pool workers and simulated rank threads each get
-  /// their own; it lives until the thread exits.
+  /// The calling context's arena: per rank fiber under the sim scheduler,
+  /// per OS thread otherwise. Lives until the fiber is destroyed (or the
+  /// thread exits). FLS-backed rather than thread_local so a rank's live
+  /// spans survive suspension and resumption on a different worker.
   static ScratchArena& for_thread() {
-    static thread_local ScratchArena arena;
-    return arena;
+    static const int slot = fls::alloc_slot();
+    auto* p = static_cast<ScratchArena*>(fls::get(slot));
+    if (p == nullptr) {
+      p = new ScratchArena();
+      fls::set(slot, p, [](void* q) { delete static_cast<ScratchArena*>(q); });
+    }
+    return *p;
   }
 
   Mark mark() const { return {cur_, off_}; }

@@ -114,6 +114,19 @@ namespace detail {
 thread_local ThreadLane t_lane;
 }  // namespace detail
 
+// noinline: see the header comment on active() — callers run on migrating
+// fibers, and the TLS address must be re-derived on every call.
+[[gnu::noinline]] bool active() { return detail::t_lane.lane != nullptr; }
+
+[[gnu::noinline]] std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - detail::t_lane.epoch)
+          .count());
+}
+
+[[gnu::noinline]] void emit(const Event& e) { detail::t_lane.lane->append(e); }
+
 void bind_thread(TraceRecorder* rec, std::size_t index) {
   detail::t_lane.lane = rec->lane(index);
   detail::t_lane.epoch = rec->epoch();

@@ -1,15 +1,18 @@
 // Always-on event recorder: one single-writer chunked buffer ("lane") per
 // simulated rank, plus one for the cluster runtime (watchdog).
 //
-// Cost model (why this can stay on during timed benches): the writer is the
-// rank's own thread, so an append is a bump-pointer store into the lane's
-// current chunk — no lock, no atomic, no allocation in steady state (chunks
-// are 1024 events and are only allocated when one fills). Op names are
-// interned as static string literals, so an Event stores a `const char*`,
-// never copies characters. Readers (the analyzer and the Chrome-trace
-// exporter) only run after Cluster::launch() has joined every rank thread;
-// the joins establish the happens-before edge that makes the lock-free
-// writes visible, exactly like the existing per-rank `op_counts`.
+// Cost model (why this can stay on during timed benches): each lane has at
+// most one writer at a time — the scheduler worker currently running that
+// rank's fiber binds the lane on resume and unbinds it on suspend — so an
+// append is a bump-pointer store into the lane's current chunk: no lock, no
+// atomic, no allocation in steady state (chunks are 1024 events and are
+// only allocated when one fills). Op names are interned as static string
+// literals, so an Event stores a `const char*`, never copies characters.
+// Successive writers of one lane are ordered by the scheduler's fiber
+// handoff (the off_cpu acquire/release edge in sim/sched.cpp); readers (the
+// analyzer and the Chrome-trace exporter) only run after Cluster::launch()
+// has joined the scheduler workers, which makes the lock-free writes
+// visible, exactly like the existing per-rank `op_counts`.
 #pragma once
 
 #include <array>
@@ -101,7 +104,7 @@ struct TraceLog {
 };
 
 /// Owns the lanes for one cluster run. reset() arms it; collect() snapshots
-/// everything after the rank threads have joined.
+/// everything after the scheduler workers have joined.
 class TraceRecorder {
  public:
   /// Arm the recorder with num_ranks rank lanes plus the cluster lane, and
@@ -133,25 +136,30 @@ extern thread_local ThreadLane t_lane;
 
 /// True iff the calling thread is bound to a lane (the fast-path gate every
 /// instrumentation site checks first).
-inline bool active() { return detail::t_lane.lane != nullptr; }
+///
+/// active/now_ns/emit are deliberately out-of-line (and noinline in the
+/// .cpp): instrumented code runs on rank fibers that can migrate between
+/// scheduler workers at any blocking call, and an inlined accessor would
+/// let the compiler cache the computed address of the previous worker's
+/// t_lane across a yield — appending events through a stale binding into
+/// another rank's lane. Out-of-line calls re-derive the TLS address of the
+/// worker actually executing the instruction.
+bool active();
 
-/// Bind/unbind the calling thread to lane `index` of `rec`. Cluster::launch
-/// binds each rank thread to its own lane and the watchdog to the cluster
-/// lane; each lane must have at most one writer thread at a time.
+/// Bind/unbind the calling thread to lane `index` of `rec`. The rank
+/// scheduler binds a worker to rank r's lane whenever it resumes rank r's
+/// fiber (and unbinds on suspend), so the binding follows the fiber across
+/// workers; the watchdog thread binds the cluster lane. Each lane must have
+/// at most one writer thread at a time.
 void bind_thread(TraceRecorder* rec, std::size_t index);
 void unbind_thread();
 
 /// Nanoseconds since the bound recorder's epoch. Only valid when active().
-inline std::uint64_t now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - detail::t_lane.epoch)
-          .count());
-}
+std::uint64_t now_ns();
 
 /// Emit helpers. All require active(); callers gate with `if (active())`
-/// so an untraced run pays exactly one TLS load and branch per site.
-inline void emit(const Event& e) { detail::t_lane.lane->append(e); }
+/// so an untraced run pays one call, TLS load, and branch per site.
+void emit(const Event& e);
 
 inline void instant(EventCat cat, const char* name, std::uint64_t value = 0,
                     std::int32_t peer = -1, std::uint64_t aux = 0) {

@@ -1,0 +1,51 @@
+#include "util/fls.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace sdss::fls {
+
+namespace {
+
+std::atomic<int> g_next_slot{0};
+
+/// Fallback block for plain OS threads, plus the override the scheduler
+/// installs while a fiber is on this thread. Touched only through the
+/// noinline accessors below, so the TLS addresses are always computed fresh
+/// inside a frame that cannot straddle a fiber suspension.
+thread_local Block t_block;
+thread_local Block* t_current = nullptr;
+
+[[gnu::noinline]] Block* current_block() {
+  Block* b = t_current;
+  return b != nullptr ? b : &t_block;
+}
+
+}  // namespace
+
+Block::~Block() {
+  for (int i = kMaxSlots - 1; i >= 0; --i) {
+    if (slots[i].p != nullptr && slots[i].cleanup != nullptr) {
+      slots[i].cleanup(slots[i].p);
+    }
+    slots[i] = Entry{};
+  }
+}
+
+int alloc_slot() {
+  const int s = g_next_slot.fetch_add(1, std::memory_order_relaxed);
+  if (s >= kMaxSlots) throw std::runtime_error("fls: out of slots");
+  return s;
+}
+
+[[gnu::noinline]] void* get(int slot) { return current_block()->slots[slot].p; }
+
+[[gnu::noinline]] void set(int slot, void* p, void (*cleanup)(void*)) {
+  Block::Entry& e = current_block()->slots[slot];
+  e.p = p;
+  e.cleanup = cleanup;
+}
+
+[[gnu::noinline]] void set_current(Block* b) { t_current = b; }
+
+}  // namespace sdss::fls

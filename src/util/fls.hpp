@@ -1,0 +1,60 @@
+// Fiber-local storage (FLS): thread_local that follows a cooperatively
+// scheduled execution context across OS threads.
+//
+// The simulated cluster runs each rank as a stackful fiber that can suspend
+// at a communication blocking point on one scheduler worker and resume on
+// another (see sim/sched.hpp). Plain `thread_local` state written by rank
+// code — the scratch arena is the prime case — would then be shared between
+// unrelated ranks that happen to land on the same worker, and a compiler is
+// free to cache a TLS address across the suspension point, which after a
+// migration points into the *previous* worker's thread. FLS fixes both: a
+// slot read resolves against the current fiber's block when one is active,
+// and against a per-OS-thread fallback block otherwise (thread-pool workers,
+// tests, main), so code using it is correct under either execution model.
+//
+// The accessors are deliberately out-of-line (and kept non-inlinable in the
+// .cpp): every TLS address computation happens inside a call frame that
+// contains no suspension point, so it can never be stale.
+#pragma once
+
+namespace sdss::fls {
+
+/// Slots available per block. alloc_slot() throws past this; bump it if a
+/// new subsystem needs a slot (each unused slot costs two pointers).
+inline constexpr int kMaxSlots = 4;
+
+/// One context's worth of slots. The scheduler embeds a Block in each fiber
+/// and installs it around every resume; a thread_local Block backs every
+/// plain OS thread. The destructor runs the registered cleanups (reverse
+/// slot order), which is what ends a fiber-lifetime object when its fiber
+/// is destroyed and a thread-lifetime object at thread exit.
+struct Block {
+  struct Entry {
+    void* p = nullptr;
+    void (*cleanup)(void*) = nullptr;
+  };
+  Entry slots[kMaxSlots];
+
+  Block() = default;
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+  ~Block();
+};
+
+/// Reserve a process-wide slot index. Call once per subsystem (from a
+/// function-local `static const int slot = fls::alloc_slot();`).
+int alloc_slot();
+
+/// Value of `slot` in the calling context's block (nullptr when unset).
+void* get(int slot);
+
+/// Bind `p` to `slot` in the calling context's block. `cleanup` (may be
+/// nullptr) runs when the block is destroyed.
+void set(int slot, void* p, void (*cleanup)(void*));
+
+/// Scheduler-only: route get/set on this OS thread to `b` (a fiber's block),
+/// or back to the thread's own fallback block when null. Called around every
+/// fiber resume/suspend.
+void set_current(Block* b);
+
+}  // namespace sdss::fls

@@ -3,8 +3,19 @@
 #include <time.h>
 
 #include <algorithm>
+#include <atomic>
 
 namespace sdss {
+
+namespace {
+std::atomic<double (*)()> g_cpu_clock{nullptr};
+}  // namespace
+
+namespace detail {
+void set_thread_cpu_clock(double (*fn)()) {
+  g_cpu_clock.store(fn, std::memory_order_release);
+}
+}  // namespace detail
 
 const char* phase_cname(Phase p) {
   switch (p) {
@@ -25,6 +36,9 @@ const char* phase_cname(Phase p) {
 std::string_view phase_name(Phase p) { return phase_cname(p); }
 
 double thread_cpu_seconds() {
+  if (double (*fn)() = g_cpu_clock.load(std::memory_order_acquire)) {
+    return fn();
+  }
   timespec ts{};
   if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
   return static_cast<double>(ts.tv_sec) +

@@ -10,7 +10,11 @@
 //  * wall seconds — elapsed real time. On a host with as many cores as
 //    simulated ranks this is the honest per-rank cost; on an oversubscribed
 //    host it is inflated by unrelated threads' timeslices.
-//  * CPU seconds — this thread's CLOCK_THREAD_CPUTIME_ID. Immune to
+//  * CPU seconds — the execution context's consumed CPU time. On a plain
+//    thread this is CLOCK_THREAD_CPUTIME_ID; when ranks run as fibers the
+//    scheduler installs a virtualized clock (detail::set_thread_cpu_clock)
+//    that charges a fiber only for its own time slices, even across
+//    suspensions and worker migrations. Either way it is immune to
 //    oversubscription, so max-over-ranks CPU time is the faithful proxy for
 //    the parallel critical path when the simulation runs on fewer cores
 //    than ranks (the load-imbalance experiments, Figs. 9/10, rely on it).
@@ -41,8 +45,18 @@ std::string_view phase_name(Phase p);
 /// trace recorder stores in events.
 const char* phase_cname(Phase p);
 
-/// Current thread's consumed CPU seconds (CLOCK_THREAD_CPUTIME_ID).
+/// Current execution context's consumed CPU seconds. Defaults to
+/// CLOCK_THREAD_CPUTIME_ID; see detail::set_thread_cpu_clock.
 double thread_cpu_seconds();
+
+namespace detail {
+/// Override the clock behind thread_cpu_seconds() process-wide. The rank
+/// scheduler installs a fiber-aware clock here so that a ScopedPhase whose
+/// span covers suspension points (every comm call) still measures one
+/// rank's CPU time rather than whatever the hosting worker ran meanwhile.
+/// Passing nullptr restores the raw per-thread clock.
+void set_thread_cpu_clock(double (*fn)());
+}  // namespace detail
 
 /// Accumulates wall-clock and thread-CPU seconds per phase. Not
 /// thread-safe: one ledger per rank, touched only by that rank's thread.

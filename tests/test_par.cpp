@@ -158,8 +158,9 @@ TEST(ThreadPool, RangeExceptionPropagates) {
 }
 
 TEST(ThreadPool, ConcurrentRanksNestChunkedLoops) {
-  // The SDS-Sort usage pattern under TSan: several simulated rank threads
-  // share one pool, and each rank's parallel_for body issues further chunked
+  // The SDS-Sort usage pattern under TSan: several concurrent submitters
+  // (in the simulator, scheduler workers running rank fibers) share one
+  // pool, and each submitter's parallel_for body issues further chunked
   // loops (sort_chunk -> merge). All claims must stay disjoint and all
   // writes must be ordered by the batch completion protocol.
   ThreadPool pool(3);

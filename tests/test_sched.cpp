@@ -1,0 +1,260 @@
+// Scheduler-invariant tests for the cooperative rank scheduler
+// (sim/sched.hpp): large-P runs that thread-per-rank could never launch,
+// same-seed determinism of the rank interleaving, watchdog semantics under
+// cooperative scheduling (real deadlocks detected, no false positives on
+// fault-free suites), chaos replay at P>=256 with identical fault
+// taxonomies, and the timed-wait path of the modeled network.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "baselines/samplesort.hpp"
+#include "core/driver.hpp"
+#include "sim/chaos.hpp"
+#include "sim/cluster.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::ChaosSpec;
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+using sim::FailureClass;
+using sim::FaultEvent;
+using sim::NetworkModel;
+using sim::RunResult;
+
+std::function<void(Comm&)> sort_body(std::uint64_t seed, std::size_t n) {
+  return [seed, n](Comm& w) {
+    auto data = workloads::zipf_keys(
+        n, 1.0, derive_seed(seed, static_cast<std::uint64_t>(w.rank())));
+    sds_sort<std::uint64_t>(w, std::move(data));
+  };
+}
+
+// --- large-P execution -----------------------------------------------------
+
+// The point of the refactor: rank counts far past the thread-per-rank limit
+// run on a two-worker pool. A P=1024 sort completes, globally sorted, with
+// every rank's keys accounted for.
+TEST(SchedLargeP, Sort1024RanksCompletes) {
+  constexpr int kP = 1024;
+  constexpr std::size_t kPerRank = 64;
+  ClusterConfig cfg;
+  cfg.num_ranks = kP;
+  cfg.cores_per_node = 32;
+  cfg.enable_trace = false;  // reclaim per-lane buffers at this scale
+  std::vector<std::vector<std::uint64_t>> outputs(kP);
+  Cluster cluster(cfg);
+  cluster.run([&outputs](Comm& w) {
+    auto data = workloads::zipf_keys(
+        kPerRank, 1.0, derive_seed(77, static_cast<std::uint64_t>(w.rank())));
+    auto out = sds_sort<std::uint64_t>(w, std::move(data));
+    outputs[static_cast<std::size_t>(w.rank())] = std::move(out);
+  });
+  std::size_t total = 0;
+  std::uint64_t prev = 0;
+  for (const auto& part : outputs) {
+    ASSERT_TRUE(std::is_sorted(part.begin(), part.end()));
+    if (!part.empty()) {
+      EXPECT_LE(prev, part.front());
+      prev = part.back();
+    }
+    total += part.size();
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kP) * kPerRank);
+}
+
+// Stack sizing is honored: a deliberately small (but workable) fiber stack
+// still completes a barrier-heavy run at P=512.
+TEST(SchedLargeP, CustomStackSize) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 512;
+  cfg.enable_trace = false;
+  cfg.fiber_stack_bytes = 256 * 1024;
+  std::atomic<int> done{0};
+  Cluster(cfg).run([&done](Comm& w) {
+    w.barrier();
+    const int sum =
+        w.allreduce(w.rank(), [](int a, int b) { return a + b; });
+    ASSERT_EQ(sum, 512 * 511 / 2);
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 512);
+}
+
+// --- interleaving determinism ----------------------------------------------
+
+// With one worker and no network model, the schedule is a pure function of
+// the program: two identical runs resume ranks in the identical order.
+TEST(SchedDeterminism, SameSeedSameInterleavingP256) {
+  constexpr int kP = 256;
+  auto run_once = [] {
+    ClusterConfig cfg;
+    cfg.num_ranks = kP;
+    cfg.enable_trace = false;
+    cfg.sched_workers = 1;
+    cfg.record_schedule = true;
+    Cluster cluster(cfg);
+    return cluster.run_collect(sort_body(4242, 32));
+  };
+  RunResult a = run_once();
+  RunResult b = run_once();
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  ASSERT_FALSE(a.schedule.empty());
+  EXPECT_EQ(a.schedule, b.schedule);
+}
+
+// record_schedule off → no schedule is accumulated (large runs shouldn't
+// pay for it).
+TEST(SchedDeterminism, ScheduleEmptyWhenNotRecorded) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 8;
+  RunResult r = Cluster(cfg).run_collect(sort_body(1, 64));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.schedule.empty());
+}
+
+// --- watchdog under cooperative scheduling ---------------------------------
+
+// A genuine deadlock — every rank receives from a peer that never sends —
+// is detected and classified, not hung, with the fiber pool far smaller
+// than the rank count.
+TEST(SchedWatchdog, DetectsDeadlockAtP64) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 64;
+  cfg.enable_trace = false;
+  cfg.watchdog_timeout_s = 0.25;
+  RunResult r = Cluster(cfg).run_collect([](Comm& w) {
+    w.recv_value<std::uint64_t>((w.rank() + 1) % w.size(), /*tag=*/7);
+  });
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.failure, FailureClass::kDeadlock);
+}
+
+// No false positives: a fault-free collective-heavy run at P=256 with a
+// tight watchdog completes cleanly even though at any instant almost every
+// fiber is blocked and only a couple are on workers.
+TEST(SchedWatchdog, NoFalsePositiveOnBusyLargeRun) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 256;
+  cfg.enable_trace = false;
+  cfg.watchdog_timeout_s = 0.5;
+  RunResult r = Cluster(cfg).run_collect(sort_body(99, 48));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.failure, FailureClass::kNone);
+}
+
+// A rank that computes (sleeps off-scheduler, op == nullptr) while every
+// other rank waits on it must not trip the watchdog: "running" is progress.
+TEST(SchedWatchdog, ComputeBoundRankIsNotADeadlock) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 8;
+  cfg.enable_trace = false;
+  cfg.watchdog_timeout_s = 0.15;
+  RunResult r = Cluster(cfg).run_collect([](Comm& w) {
+    if (w.rank() == 0) {
+      // Plain OS sleep, deliberately NOT the cooperative one: models a
+      // genuinely compute-bound rank pinning its worker.
+      std::this_thread::sleep_for(std::chrono::milliseconds(450));
+    }
+    w.barrier();
+  });
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+// --- chaos under cooperative scheduling ------------------------------------
+
+// Fault plans are a pure function of (seed, rank, op index), and with one
+// worker the schedule is deterministic too — so at P=256 the *fired* fault
+// list and the classified per-rank taxonomy replay identically, not just
+// the plan. (Which subset of a plan fires before abort propagation is
+// schedule-dependent by nature; pinning workers=1 makes the schedule, and
+// therefore the subset, reproducible.)
+TEST(SchedChaos, ReplayIdenticalTaxonomiesP256) {
+  auto run_once = [] {
+    ChaosSpec spec;
+    spec.seed = 31337;
+    spec.crash_ranks = 2;
+    spec.crash_op_range = 40;
+    ClusterConfig cfg;
+    cfg.num_ranks = 256;
+    cfg.enable_trace = false;
+    cfg.chaos = spec;
+    cfg.sched_workers = 1;
+    return Cluster(cfg).run_collect(sort_body(5, 32));
+  };
+  RunResult a = run_once();
+  RunResult b = run_once();
+  ASSERT_FALSE(a.ok);
+  ASSERT_EQ(a.failure, FailureClass::kInjectedCrash);
+  EXPECT_EQ(a.failure, b.failure);
+  // fault_events are sorted by (rank, op, kind): same plan → same list.
+  ASSERT_EQ(a.fault_events.size(), b.fault_events.size());
+  for (std::size_t i = 0; i < a.fault_events.size(); ++i) {
+    EXPECT_EQ(a.fault_events[i].rank, b.fault_events[i].rank);
+    EXPECT_EQ(a.fault_events[i].op_index, b.fault_events[i].op_index);
+    EXPECT_EQ(a.fault_events[i].kind, b.fault_events[i].kind);
+  }
+  // Classified per-rank failures match too (primary + peer aborts).
+  ASSERT_EQ(a.rank_failures.size(), b.rank_failures.size());
+  for (std::size_t i = 0; i < a.rank_failures.size(); ++i) {
+    EXPECT_EQ(a.rank_failures[i].rank, b.rank_failures[i].rank);
+    EXPECT_EQ(a.rank_failures[i].failure, b.rank_failures[i].failure);
+  }
+}
+
+// Chaos stalls park the victim's fiber cooperatively: with 2 workers and a
+// stalled rank, the other ranks keep making progress and the run completes.
+TEST(SchedChaos, StallDoesNotStarveOtherRanks) {
+  ChaosSpec spec;
+  spec.seed = 7;
+  spec.forced.push_back(
+      FaultEvent{sim::FaultKind::kStall, /*rank=*/3, /*op_index=*/2, 0.2});
+  ClusterConfig cfg;
+  cfg.num_ranks = 32;
+  cfg.enable_trace = false;
+  cfg.chaos = spec;
+  RunResult r = Cluster(cfg).run_collect(sort_body(11, 64));
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.fault_events.size(), 1u);
+  EXPECT_EQ(r.fault_events[0].rank, 3);
+}
+
+// --- timed waits (modeled network) -----------------------------------------
+
+// Under a network model every p2p delivery is a future deadline: the
+// timed-wait path (timer heap, self-wake) must deliver everything.
+TEST(SchedTimers, ModeledNetworkDeliversAtP128) {
+  ClusterConfig cfg;
+  cfg.num_ranks = 128;
+  cfg.enable_trace = false;
+  cfg.network = NetworkModel::aries_like();
+  RunResult r = Cluster(cfg).run_collect([](Comm& w) {
+    // Ring exchange: send right, receive left, twice.
+    for (int round = 0; round < 2; ++round) {
+      const std::uint64_t out =
+          static_cast<std::uint64_t>(w.rank()) * 1000 + round;
+      w.send_value(out, (w.rank() + 1) % w.size(), round);
+      const int left = (w.rank() - 1 + w.size()) % w.size();
+      const auto in = w.recv_value<std::uint64_t>(left, round);
+      ASSERT_EQ(in, static_cast<std::uint64_t>(left) * 1000 + round);
+    }
+  });
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+}  // namespace
+}  // namespace sdss

@@ -8,13 +8,17 @@
 # received-record skew (lambda) baseline, gate the large-P fiber-scheduler
 # sweep (full sort at up to 4096 ranks) against its counter baseline, run
 # the fixed-seed chaos soak (crash-point sweep + straggler/jitter runs),
-# and run the collective, thread-pool, sortcore, chaos, trace, and
-# scheduler tests under ThreadSanitizer. See docs/BENCHMARKING.md.
+# build a scalar-only leg (-DSDSS_FORCE_SCALAR=ON) and differentially check
+# it against the vectorized build, and run the collective, thread-pool,
+# sortcore, SIMD-kernel, chaos, trace, and scheduler tests under
+# ThreadSanitizer. See docs/BENCHMARKING.md.
 #
 # Environment knobs:
-#   BUILD_DIR     build tree (default: build)
-#   SDSS_NO_TSAN  set to 1 to skip the ThreadSanitizer step (it builds a
-#                 second tree under $BUILD_DIR-tsan)
+#   BUILD_DIR       build tree (default: build)
+#   SDSS_NO_TSAN    set to 1 to skip the ThreadSanitizer step (it builds a
+#                   second tree under $BUILD_DIR-tsan)
+#   SDSS_NO_SCALAR  set to 1 to skip the scalar-only leg (it builds a
+#                   second tree under $BUILD_DIR-scalar)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -47,11 +51,12 @@ echo "== collective wire-volume gate =="
     "$report" --bytes-only
 
 echo "== local sort kernel gate =="
-# bench_local_sort gates twice: its exit status enforces the in-process
-# >= 1.3x speedup of the arena-backed engine over the frozen legacy engine
-# on duplicate-heavy partially-ordered keys (plus zero steady-state kernel
-# heap allocations), and its single-thread kernel memory counters (bytes
-# moved, scratch bytes, arena high-water mark, allocations) are exactly
+# bench_local_sort gates three ways: its exit status enforces the in-process
+# >= 1.5x speedup of the arena-backed SIMD engine over the frozen legacy
+# engine on duplicate-heavy partially-ordered keys (plus zero steady-state
+# kernel heap allocations) and the >= 1.2x scalar-vs-SIMD sorting-network
+# ablation (skipped with a notice on scalar-only hosts/builds), and its
+# single-thread kernel memory + SIMD dispatch counters are exactly
 # reproducible and diffed against the checked-in baseline. Refresh with:
 #   build/bench/bench_local_sort --json bench/baselines/bench_local_sort.json
 "$BUILD_DIR"/bench/bench_local_sort --json "$report" >/dev/null
@@ -91,17 +96,38 @@ echo "== chaos soak (fixed-seed fault injection) =="
 # every rank at every op index.
 "$BUILD_DIR"/bench/chaos_soak --quick
 
+if [[ "${SDSS_NO_SCALAR:-0}" != "1" ]]; then
+  echo "== scalar-only leg (-DSDSS_FORCE_SCALAR=ON) =="
+  # The portable scalar kernels are a first-class build, not a dusty
+  # fallback: compile the whole library with every vector variant compiled
+  # out, rerun the sortcore + SIMD-kernel differential suites (they compare
+  # sorted output against std::sort/std::stable_sort, so green here plus
+  # green above means the two builds produce bit-identical output), and
+  # rerun bench_local_sort — its dispatch/byte counters are ISA-independent
+  # by design, so the SAME baseline must match; its ablation gate logs a
+  # skip notice on this leg.
+  cmake -B "$BUILD_DIR-scalar" -S . -DSDSS_FORCE_SCALAR=ON >/dev/null
+  cmake --build "$BUILD_DIR-scalar" -j --target test_sortcore \
+      test_simd_kernels bench_local_sort report_diff
+  "$BUILD_DIR-scalar"/tests/test_sortcore
+  "$BUILD_DIR-scalar"/tests/test_simd_kernels
+  "$BUILD_DIR-scalar"/bench/bench_local_sort --json "$report" >/dev/null
+  "$BUILD_DIR-scalar"/bench/report_diff bench/baselines/bench_local_sort.json \
+      "$report" --bytes-only
+fi
+
 if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
   echo "== thread sanitizer (collective + sortcore/pool + scheduler tests) =="
   # test_sched runs with the multi-worker pool enabled, so TSan watches the
   # fiber handoff (off_cpu acquire/release) and the trace-lane rebinding.
   cmake -B "$BUILD_DIR-tsan" -S . -DSDSS_SANITIZE=thread >/dev/null
   cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm \
-      test_par test_sortcore test_chaos test_trace test_sched
+      test_par test_sortcore test_simd_kernels test_chaos test_trace test_sched
   "$BUILD_DIR-tsan"/tests/test_collectives
   "$BUILD_DIR-tsan"/tests/test_sim_comm
   "$BUILD_DIR-tsan"/tests/test_par
   "$BUILD_DIR-tsan"/tests/test_sortcore
+  "$BUILD_DIR-tsan"/tests/test_simd_kernels
   "$BUILD_DIR-tsan"/tests/test_chaos
   "$BUILD_DIR-tsan"/tests/test_trace
   "$BUILD_DIR-tsan"/tests/test_sched

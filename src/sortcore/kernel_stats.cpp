@@ -14,6 +14,10 @@ KernelSnapshot snapshot_kernel_counters() {
   s.scratch_bytes = c.scratch_bytes.load(std::memory_order_relaxed);
   s.arena_hwm = c.arena_hwm.load(std::memory_order_relaxed);
   s.heap_allocs = c.heap_allocs.load(std::memory_order_relaxed);
+  s.merge_gallop_bytes = c.merge_gallop_bytes.load(std::memory_order_relaxed);
+  s.simd_hist_calls = c.simd_hist_calls.load(std::memory_order_relaxed);
+  s.simd_sortnet_calls = c.simd_sortnet_calls.load(std::memory_order_relaxed);
+  s.simd_gallop_calls = c.simd_gallop_calls.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -34,6 +34,20 @@ struct KernelCounters {
   /// Heap allocations performed by kernel paths: arena block growth plus any
   /// fallback vector the kernels still allocate. Zero in steady state.
   std::atomic<std::uint64_t> heap_allocs{0};
+  /// Record bytes emitted by the k-way merge's galloping bulk-copy fast
+  /// path — a subset of bytes_moved that attributes merge traffic to the
+  /// stretch-copy path specifically (duplicate-heavy or range-disjoint
+  /// runs drive this toward the merge's whole output).
+  std::atomic<std::uint64_t> merge_gallop_bytes{0};
+  /// SIMD shim dispatch counts per kernel family (util/simd.hpp +
+  /// sortcore/simd_kernels.hpp): how many times the histogram, sorting
+  /// network, and gallop-scan kernels went through the feature-detected
+  /// dispatch. ISA-independent by design (the cutoffs do not depend on the
+  /// active ISA), so they are deterministic for fixed single-thread
+  /// workloads and gate-able like the byte counters.
+  std::atomic<std::uint64_t> simd_hist_calls{0};
+  std::atomic<std::uint64_t> simd_sortnet_calls{0};
+  std::atomic<std::uint64_t> simd_gallop_calls{0};
 };
 
 /// The process-wide counter block (all threads share it).
@@ -45,6 +59,10 @@ struct KernelSnapshot {
   std::uint64_t scratch_bytes = 0;
   std::uint64_t arena_hwm = 0;
   std::uint64_t heap_allocs = 0;
+  std::uint64_t merge_gallop_bytes = 0;
+  std::uint64_t simd_hist_calls = 0;
+  std::uint64_t simd_sortnet_calls = 0;
+  std::uint64_t simd_gallop_calls = 0;
 
   KernelSnapshot delta_since(const KernelSnapshot& before) const {
     KernelSnapshot d;
@@ -54,6 +72,10 @@ struct KernelSnapshot {
     // difference (a delta of maxima is meaningless).
     d.arena_hwm = arena_hwm;
     d.heap_allocs = heap_allocs - before.heap_allocs;
+    d.merge_gallop_bytes = merge_gallop_bytes - before.merge_gallop_bytes;
+    d.simd_hist_calls = simd_hist_calls - before.simd_hist_calls;
+    d.simd_sortnet_calls = simd_sortnet_calls - before.simd_sortnet_calls;
+    d.simd_gallop_calls = simd_gallop_calls - before.simd_gallop_calls;
     return d;
   }
 };
@@ -68,6 +90,14 @@ inline void count_bytes_moved(std::uint64_t bytes) {
 
 inline void count_heap_alloc() {
   kernel_counters().heap_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Bumped once per kway_merge invocation with the bytes its galloping
+/// bulk copies emitted (never per stretch — cost discipline above).
+inline void count_merge_gallop_bytes(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  kernel_counters().merge_gallop_bytes.fetch_add(bytes,
+                                                 std::memory_order_relaxed);
 }
 
 }  // namespace detail

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <concepts>
 #include <cstdint>
 #include <functional>
@@ -20,6 +21,44 @@ struct IdentityKey {
   template <typename T>
   const T& operator()(const T& v) const noexcept {
     return v;
+  }
+};
+
+/// Order-preserving bijection from a signed integer to its unsigned
+/// counterpart: flipping the sign bit shifts the two's-complement range so
+/// that INT_MIN maps to 0 and INT_MAX to UINT_MAX. Lets the radix kernels
+/// (which require unsigned keys) sort signed data.
+struct SignedToUnsignedKey {
+  template <typename T>
+  std::make_unsigned_t<T> operator()(const T& v) const noexcept {
+    static_assert(std::is_integral_v<T> && std::is_signed_v<T>,
+                  "SignedToUnsignedKey requires a signed integer");
+    using U = std::make_unsigned_t<T>;
+    constexpr U sign = U{1} << (std::numeric_limits<U>::digits - 1);
+    return static_cast<U>(v) ^ sign;
+  }
+};
+
+/// Order-preserving bijection from IEEE-754 float/double to uint32/uint64.
+/// Non-negative values get the sign bit set (so they sort above every
+/// negative); negative values get all bits flipped (so more-negative sorts
+/// lower). This is IEEE totalOrder on non-NaN values: note -0.0 maps
+/// strictly below +0.0 even though they compare equal as floats. NaNs are
+/// the caller's problem (they map to the extremes of the unsigned range).
+struct FloatToUnsignedKey {
+  std::uint32_t operator()(const float& v) const noexcept {
+    const auto bits = std::bit_cast<std::uint32_t>(v);
+    const std::uint32_t mask =
+        static_cast<std::uint32_t>(-static_cast<std::int32_t>(bits >> 31)) |
+        0x80000000U;
+    return bits ^ mask;
+  }
+  std::uint64_t operator()(const double& v) const noexcept {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    const std::uint64_t mask =
+        static_cast<std::uint64_t>(-static_cast<std::int64_t>(bits >> 63)) |
+        0x8000000000000000ULL;
+    return bits ^ mask;
   }
 };
 

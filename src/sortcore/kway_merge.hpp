@@ -29,6 +29,7 @@
 #include "sortcore/arena.hpp"
 #include "sortcore/kernel_stats.hpp"
 #include "sortcore/key.hpp"
+#include "sortcore/simd_kernels.hpp"
 
 namespace sdss {
 
@@ -108,7 +109,12 @@ class LoserTree {
       i = run.size();  // no contender: drain the whole run
     } else {
       const auto& limit = kf_(runs_[rival][pos_[rival]]);
-      if (w < rival) {
+      if constexpr (simdk::eligible<T, KeyFn>) {
+        // Vectorized stop-lane scan; `w < rival` keeps the tie rule (ties
+        // belong to the lower run index) identical to the scalar loops.
+        i += simdk::gallop(run.data() + i, run.size() - i, limit,
+                           /*inclusive=*/w < rival);
+      } else if (w < rival) {
         // Ties belong to w: advance while key <= limit.
         while (i < run.size() && !(limit < kf_(run[i]))) ++i;
       } else {
@@ -117,11 +123,16 @@ class LoserTree {
     }
     out = std::copy(run.begin() + static_cast<std::ptrdiff_t>(pos_[w]),
                     run.begin() + static_cast<std::ptrdiff_t>(i), out);
+    gallop_bytes_ += (i - pos_[w]) * sizeof(T);
     remaining_ -= i - pos_[w];
     pos_[w] = i;
     replay(w);
     return out;
   }
+
+  /// Record bytes the galloping bulk copies emitted so far; kway_merge
+  /// flushes this into kernel_stats once per merge (cost discipline).
+  std::uint64_t gallop_bytes() const { return gallop_bytes_; }
 
  private:
   static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
@@ -156,6 +167,7 @@ class LoserTree {
   std::size_t cap_ = 1;          // padded leaf count (power of two)
   std::size_t remaining_ = 0;
   std::size_t winner_ = kEmpty;
+  std::uint64_t gallop_bytes_ = 0;
   KeyFn kf_;
 };
 
@@ -220,6 +232,7 @@ void kway_merge(std::span<const std::span<const T>> runs, std::span<T> out,
     }
     last = r;
   }
+  detail::count_merge_gallop_bytes(tree.gallop_bytes());
 }
 
 /// Convenience overload: merge and return a fresh vector.

@@ -63,6 +63,14 @@ void sort_chunk(std::span<T> chunk, const LocalSortConfig& cfg, KeyFn kf) {
           "LocalSortAlgo::kRadix requires an unsigned integer key");
     }
   }
+  if constexpr (simdk::eligible<T, KeyFn>) {
+    // Tiny chunk of plain integer keys: the branchless sorting network
+    // undercuts both the run scan and every full kernel below.
+    if (chunk.size() <= detail::kSortNetworkMaxN) {
+      simdk::sort_small(chunk.data(), chunk.size());
+      return;
+    }
+  }
   // Partially ordered input: a cheap O(n) scan decides whether run merging
   // beats re-sorting from scratch.
   if (cfg.exploit_runs_below > 1 && chunk.size() > 1) {

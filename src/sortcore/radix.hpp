@@ -34,6 +34,7 @@
 #include "sortcore/arena.hpp"
 #include "sortcore/kernel_stats.hpp"
 #include "sortcore/key.hpp"
+#include "sortcore/simd_kernels.hpp"
 
 namespace sdss {
 
@@ -74,16 +75,28 @@ void radix_sort(std::span<T> data, std::span<T> scratch, KeyFn kf = {}) {
   if (scratch.size() < n) {
     throw std::invalid_argument("radix_sort: scratch smaller than data");
   }
+  if constexpr (simdk::eligible<T, KeyFn>) {
+    // Small-n base case: the branchless sorting network beats setting up
+    // histograms for runs the network can swallow whole.
+    if (n <= detail::kSortNetworkMaxN) {
+      simdk::sort_small(data.data(), n);
+      return;
+    }
+  }
 
   // One histogram per pass, computed in a single sweep.
   std::array<std::array<std::size_t, kBuckets>,
              static_cast<std::size_t>(kPasses)>
       hist{};
-  for (const T& v : data) {
-    Key k = kf(v);
-    for (int pass = 0; pass < kPasses; ++pass) {
-      ++hist[static_cast<std::size_t>(pass)][k & (kBuckets - 1)];
-      k >>= kDigitBits;
+  if constexpr (simdk::eligible<T, KeyFn>) {
+    simdk::hist_all(data.data(), n, hist.data()->data());
+  } else {
+    for (const T& v : data) {
+      Key k = kf(v);
+      for (int pass = 0; pass < kPasses; ++pass) {
+        ++hist[static_cast<std::size_t>(pass)][k & (kBuckets - 1)];
+        k >>= kDigitBits;
+      }
     }
   }
 
@@ -151,15 +164,18 @@ void radix_sort_parallel(std::span<T> data, std::span<T> scratch,
 
   const std::size_t n = data.size();
   if (blocks == 0) blocks = pool.thread_count() + 1;
-  if (n < 4096 || blocks <= 1) {
+  if (n < detail::kRadixSeqFallbackN || blocks <= 1) {
     radix_sort(data, scratch, kf);
     return;
   }
   if (scratch.size() < n) {
     throw std::invalid_argument("radix_sort_parallel: scratch too small");
   }
-  if (blocks > n / 1024) blocks = n / 1024;  // keep stripes cache-friendly
-  if (blocks < 2) {
+  // Keep stripes cache-friendly: at least kRadixMinBlockRecords each.
+  if (blocks > n / detail::kRadixMinBlockRecords) {
+    blocks = n / detail::kRadixMinBlockRecords;
+  }
+  if (blocks < detail::kRadixMinParallelBlocks) {
     radix_sort(data, scratch, kf);
     return;
   }
@@ -181,12 +197,17 @@ void radix_sort_parallel(std::span<T> data, std::span<T> scratch,
         std::size_t* h = totals.data() +
                          b * static_cast<std::size_t>(kPasses) * kBuckets;
         const std::size_t lo = block_bounds(b), hi = block_bounds(b + 1);
-        for (std::size_t i = lo; i < hi; ++i) {
-          Key k = kf(data[i]);
-          for (int pass = 0; pass < kPasses; ++pass) {
-            ++h[static_cast<std::size_t>(pass) * kBuckets +
-                (k & (kBuckets - 1))];
-            k >>= kDigitBits;
+        if constexpr (simdk::eligible<T, KeyFn>) {
+          // totals uses the same pass-major layout hist_all fills.
+          simdk::hist_all(data.data() + lo, hi - lo, h);
+        } else {
+          for (std::size_t i = lo; i < hi; ++i) {
+            Key k = kf(data[i]);
+            for (int pass = 0; pass < kPasses; ++pass) {
+              ++h[static_cast<std::size_t>(pass) * kBuckets +
+                  (k & (kBuckets - 1))];
+              k >>= kDigitBits;
+            }
           }
         }
       },
@@ -222,9 +243,13 @@ void radix_sort_parallel(std::span<T> data, std::span<T> scratch,
         [&](std::size_t b) {
           std::size_t* h = hist.data() + b * kBuckets;
           const std::size_t lo = block_bounds(b), hi = block_bounds(b + 1);
-          for (std::size_t i = lo; i < hi; ++i) {
-            const Key k = kf(src[i]);
-            ++h[(k >> shift) & (kBuckets - 1)];
+          if constexpr (simdk::eligible<T, KeyFn>) {
+            simdk::hist_pass(src + lo, hi - lo, shift, h);
+          } else {
+            for (std::size_t i = lo; i < hi; ++i) {
+              const Key k = kf(src[i]);
+              ++h[(k >> shift) & (kBuckets - 1)];
+            }
           }
         },
         /*grain=*/1);

@@ -7,11 +7,20 @@
 #include <span>
 
 #include "sortcore/key.hpp"
+#include "sortcore/simd_kernels.hpp"
 
 namespace sdss {
 
 template <typename T, KeyFunction<T> KeyFn = IdentityKey>
 void seq_sort(std::span<T> data, bool stable, KeyFn kf = {}) {
+  if constexpr (simdk::eligible<T, KeyFn>) {
+    // Branchless sorting-network base case for plain integer keys; the
+    // stable flag is moot here (equal keys are identical records).
+    if (data.size() <= detail::kSortNetworkMaxN) {
+      simdk::sort_small(data.data(), data.size());
+      return;
+    }
+  }
   if (stable) {
     std::stable_sort(data.begin(), data.end(), by_key(kf));
   } else {

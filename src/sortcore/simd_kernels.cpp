@@ -1,0 +1,599 @@
+// Kernel implementations for the SIMD dispatch shim (simd_kernels.hpp).
+//
+// Layout of this file: portable scalar kernels first (always compiled, the
+// differential-testing reference and the kScalar dispatch target), then the
+// x86 variants (built with per-function target attributes so the rest of
+// the binary stays portable — no global -mavx2), then NEON, then the
+// dispatch wrappers that consult simd::active_isa() and bump the per-kernel
+// dispatch counters.
+#include "sortcore/simd_kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "sortcore/kernel_stats.hpp"
+#include "util/simd.hpp"
+
+#if defined(SDSS_SIMD_X86)
+#include <immintrin.h>
+#define SDSS_TGT_AVX2 __attribute__((target("avx2")))
+#define SDSS_TGT_SSE42 __attribute__((target("sse4.2")))
+#endif
+#if defined(SDSS_SIMD_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace sdss::simdk {
+
+namespace {
+
+// ===========================================================================
+// Scalar kernels — branchless, ILP-conscious reference implementations.
+// ===========================================================================
+
+// All-pass histogram with *independent* shifts per digit (the naive loop
+// shifts the key serially, chaining eight data-dependent shifts; extracting
+// each byte from the original key keeps the eight increments independent).
+void hist_all_u64_scalar(const std::uint64_t* keys, std::size_t n,
+                         std::size_t* h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t x = keys[i];
+    ++h[0 * 256 + (x & 0xFF)];
+    ++h[1 * 256 + ((x >> 8) & 0xFF)];
+    ++h[2 * 256 + ((x >> 16) & 0xFF)];
+    ++h[3 * 256 + ((x >> 24) & 0xFF)];
+    ++h[4 * 256 + ((x >> 32) & 0xFF)];
+    ++h[5 * 256 + ((x >> 40) & 0xFF)];
+    ++h[6 * 256 + ((x >> 48) & 0xFF)];
+    ++h[7 * 256 + ((x >> 56) & 0xFF)];
+  }
+}
+
+void hist_all_u32_scalar(const std::uint32_t* keys, std::size_t n,
+                         std::size_t* h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t x = keys[i];
+    ++h[0 * 256 + (x & 0xFF)];
+    ++h[1 * 256 + ((x >> 8) & 0xFF)];
+    ++h[2 * 256 + ((x >> 16) & 0xFF)];
+    ++h[3 * 256 + (x >> 24)];
+  }
+}
+
+template <typename U>
+void hist_pass_scalar(const U* keys, std::size_t n, int shift,
+                      std::size_t* h) {
+  for (std::size_t i = 0; i < n; ++i) {
+    ++h[(keys[i] >> shift) & 0xFF];
+  }
+}
+
+// Bitonic sorting network on a max-padded power-of-two buffer. The
+// compare-exchange schedule depends only on indices, so the two
+// conditional selects compile to cmov/min/max — no data-dependent branch
+// anywhere. Final stage (k == m) leaves everything ascending; the
+// max-value sentinels sink to the tail and are not copied back.
+template <typename U>
+void sortnet_scalar(U* v, std::size_t n) {
+  U buf[detail::kSortNetworkMaxN];
+  std::size_t m = 2;
+  while (m < n) m <<= 1;
+  std::copy(v, v + n, buf);
+  std::fill(buf + n, buf + m, std::numeric_limits<U>::max());
+  for (std::size_t k = 2; k <= m; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t l = i ^ j;
+        if (l <= i) continue;
+        const U a = buf[i];
+        const U b = buf[l];
+        const U mn = b < a ? b : a;
+        const U mx = b < a ? a : b;
+        const bool up = (i & k) == 0;  // index-only: predicted perfectly
+        buf[i] = up ? mn : mx;
+        buf[l] = up ? mx : mn;
+      }
+    }
+  }
+  std::copy(buf, buf + n, v);
+}
+
+template <typename U>
+std::size_t gallop_scalar(const U* p, std::size_t n, U limit, bool inclusive) {
+  std::size_t i = 0;
+  if (inclusive) {
+    while (i < n && p[i] <= limit) ++i;
+  } else {
+    while (i < n && p[i] < limit) ++i;
+  }
+  return i;
+}
+
+#if defined(SDSS_SIMD_X86)
+
+// ===========================================================================
+// x86 kernels. Per-function target attributes; callable only after the
+// runtime cpuid check in util/simd.cpp has confirmed the ISA.
+// ===========================================================================
+
+// --- AVX2: histogram --------------------------------------------------------
+//
+// Measured note (see docs/BENCHMARKING.md): hist_all has NO vector variant
+// on purpose. Lane-parallel counter increments need AVX-512CD conflict
+// detection, and every extraction workaround tried here lost to the scalar
+// ILP kernel — routing digit bytes through a vector store/reload cost ~4x
+// on uniform keys, and splitting counts across two histogram replicas
+// doubled the hot footprint past L1 and lost ~2x. The scalar
+// independent-shift kernel IS the fast path for all-pass histogramming;
+// only the single-pass re-histogram below (one shift, one mask — exactly
+// the shape vector shift+mask accelerates) keeps an AVX2 variant.
+
+// Vectorized shift+mask digit extraction; the increments stay scalar (x86
+// has no conflict-free scatter-increment below AVX-512CD).
+SDSS_TGT_AVX2 void hist_pass_u64_avx2(const std::uint64_t* keys,
+                                      std::size_t n, int shift,
+                                      std::size_t* h) {
+  const __m128i sh = _mm_cvtsi32_si128(shift);
+  const __m256i mask = _mm256_set1_epi64x(0xFF);
+  alignas(32) std::uint64_t d[8];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i + 4));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(d),
+                       _mm256_and_si256(_mm256_srl_epi64(a, sh), mask));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(d + 4),
+                       _mm256_and_si256(_mm256_srl_epi64(b, sh), mask));
+    ++h[d[0]];
+    ++h[d[1]];
+    ++h[d[2]];
+    ++h[d[3]];
+    ++h[d[4]];
+    ++h[d[5]];
+    ++h[d[6]];
+    ++h[d[7]];
+  }
+  for (; i < n; ++i) ++h[(keys[i] >> shift) & 0xFF];
+}
+
+SDSS_TGT_AVX2 void hist_pass_u32_avx2(const std::uint32_t* keys,
+                                      std::size_t n, int shift,
+                                      std::size_t* h) {
+  const __m128i sh = _mm_cvtsi32_si128(shift);
+  const __m256i mask = _mm256_set1_epi32(0xFF);
+  alignas(32) std::uint32_t d[8];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(d),
+                       _mm256_and_si256(_mm256_srl_epi32(a, sh), mask));
+    ++h[d[0]];
+    ++h[d[1]];
+    ++h[d[2]];
+    ++h[d[3]];
+    ++h[d[4]];
+    ++h[d[5]];
+    ++h[d[6]];
+    ++h[d[7]];
+  }
+  for (; i < n; ++i) ++h[(keys[i] >> shift) & 0xFF];
+}
+
+// --- AVX2: sorting network --------------------------------------------------
+
+// Unsigned 64-bit a > b (AVX2 only has signed compares): flip sign bits.
+SDSS_TGT_AVX2 inline __m256i cmpgt_u64v(__m256i a, __m256i b, __m256i sign) {
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(a, sign),
+                            _mm256_xor_si256(b, sign));
+}
+
+// Bitonic network over an L1-resident padded buffer. Stages with exchange
+// distance j >= lane count are whole-vector compare-exchanges between two
+// loads; smaller j exchange lanes in-register via permutes, selecting min
+// or max per lane with a precomputed keep-min mask:
+//   keepmin(lane i) = ((i & j) == 0) == ascending(i),
+//   ascending(i)    = ((i & k) == 0)  for the k-block the lane sits in.
+// Since vectors start at multiples of the lane count, ascending() is
+// constant per vector for every stage except the very first (k == 2),
+// whose mixed pattern is itself a compile-time constant.
+SDSS_TGT_AVX2 void sortnet_u64_avx2(std::uint64_t* v, std::size_t n) {
+  alignas(32) std::uint64_t buf[detail::kSortNetworkMaxN];
+  std::size_t m = 4;
+  while (m < n) m <<= 1;
+  std::copy(v, v + n, buf);
+  std::fill(buf + n, buf + m, std::numeric_limits<std::uint64_t>::max());
+
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  // Lane order of _mm256_set_epi64x is (e3, e2, e1, e0).
+  const __m256i kJ1Mixed = _mm256_set_epi64x(-1, 0, 0, -1);  // k == 2
+  const __m256i kJ1Up = _mm256_set_epi64x(0, -1, 0, -1);
+  const __m256i kJ1Dn = _mm256_set_epi64x(-1, 0, -1, 0);
+  const __m256i kJ2Up = _mm256_set_epi64x(0, 0, -1, -1);
+  const __m256i kJ2Dn = _mm256_set_epi64x(-1, -1, 0, 0);
+
+  for (std::size_t k = 2; k <= m; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      if (j >= 4) {
+        for (std::size_t base = 0; base < m; base += 4) {
+          if ((base & j) != 0) continue;  // handled as the partner
+          std::uint64_t* lo = buf + base;
+          std::uint64_t* hi = buf + base + j;
+          const __m256i a =
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(lo));
+          const __m256i b =
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(hi));
+          const __m256i gt = cmpgt_u64v(a, b, sign);
+          const __m256i mn = _mm256_blendv_epi8(a, b, gt);
+          const __m256i mx = _mm256_blendv_epi8(b, a, gt);
+          const bool up = (base & k) == 0;
+          _mm256_store_si256(reinterpret_cast<__m256i*>(lo), up ? mn : mx);
+          _mm256_store_si256(reinterpret_cast<__m256i*>(hi), up ? mx : mn);
+        }
+      } else {
+        for (std::size_t base = 0; base < m; base += 4) {
+          const __m256i x =
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(buf + base));
+          const __m256i y =
+              j == 1 ? _mm256_permute4x64_epi64(x, _MM_SHUFFLE(2, 3, 0, 1))
+                     : _mm256_permute4x64_epi64(x, _MM_SHUFFLE(1, 0, 3, 2));
+          const __m256i gt = cmpgt_u64v(x, y, sign);
+          const __m256i mn = _mm256_blendv_epi8(x, y, gt);
+          const __m256i mx = _mm256_blendv_epi8(y, x, gt);
+          __m256i keepmin;
+          if (k == 2) {
+            keepmin = kJ1Mixed;
+          } else {
+            const bool up = (base & k) == 0;
+            keepmin = j == 1 ? (up ? kJ1Up : kJ1Dn) : (up ? kJ2Up : kJ2Dn);
+          }
+          _mm256_store_si256(reinterpret_cast<__m256i*>(buf + base),
+                             _mm256_blendv_epi8(mx, mn, keepmin));
+        }
+      }
+    }
+  }
+  std::copy(buf, buf + n, v);
+}
+
+SDSS_TGT_AVX2 void sortnet_u32_avx2(std::uint32_t* v, std::size_t n) {
+  alignas(32) std::uint32_t buf[detail::kSortNetworkMaxN];
+  std::size_t m = 8;
+  while (m < n) m <<= 1;
+  std::copy(v, v + n, buf);
+  std::fill(buf + n, buf + m, std::numeric_limits<std::uint32_t>::max());
+
+  // Lane order of _mm256_set_epi32 is (e7, ..., e0).
+  const __m256i kPermJ1 = _mm256_set_epi32(6, 7, 4, 5, 2, 3, 0, 1);
+  const __m256i kPermJ2 = _mm256_set_epi32(5, 4, 7, 6, 1, 0, 3, 2);
+  const __m256i kPermJ4 = _mm256_set_epi32(3, 2, 1, 0, 7, 6, 5, 4);
+  const __m256i kK2J1 = _mm256_set_epi32(-1, 0, 0, -1, -1, 0, 0, -1);
+  const __m256i kK4J2 = _mm256_set_epi32(-1, -1, 0, 0, 0, 0, -1, -1);
+  const __m256i kK4J1 = _mm256_set_epi32(-1, 0, -1, 0, 0, -1, 0, -1);
+  const __m256i kJ1Up = _mm256_set_epi32(0, -1, 0, -1, 0, -1, 0, -1);
+  const __m256i kJ1Dn = _mm256_set_epi32(-1, 0, -1, 0, -1, 0, -1, 0);
+  const __m256i kJ2Up = _mm256_set_epi32(0, 0, -1, -1, 0, 0, -1, -1);
+  const __m256i kJ2Dn = _mm256_set_epi32(-1, -1, 0, 0, -1, -1, 0, 0);
+  const __m256i kJ4Up = _mm256_set_epi32(0, 0, 0, 0, -1, -1, -1, -1);
+  const __m256i kJ4Dn = _mm256_set_epi32(-1, -1, -1, -1, 0, 0, 0, 0);
+
+  for (std::size_t k = 2; k <= m; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      if (j >= 8) {
+        for (std::size_t base = 0; base < m; base += 8) {
+          if ((base & j) != 0) continue;
+          std::uint32_t* lo = buf + base;
+          std::uint32_t* hi = buf + base + j;
+          const __m256i a =
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(lo));
+          const __m256i b =
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(hi));
+          const __m256i mn = _mm256_min_epu32(a, b);
+          const __m256i mx = _mm256_max_epu32(a, b);
+          const bool up = (base & k) == 0;
+          _mm256_store_si256(reinterpret_cast<__m256i*>(lo), up ? mn : mx);
+          _mm256_store_si256(reinterpret_cast<__m256i*>(hi), up ? mx : mn);
+        }
+      } else {
+        const __m256i perm =
+            j == 1 ? kPermJ1 : (j == 2 ? kPermJ2 : kPermJ4);
+        for (std::size_t base = 0; base < m; base += 8) {
+          const __m256i x =
+              _mm256_load_si256(reinterpret_cast<const __m256i*>(buf + base));
+          const __m256i y = _mm256_permutevar8x32_epi32(x, perm);
+          const __m256i mn = _mm256_min_epu32(x, y);
+          const __m256i mx = _mm256_max_epu32(x, y);
+          __m256i keepmin;
+          if (k == 2) {
+            keepmin = kK2J1;
+          } else if (k == 4) {
+            keepmin = j == 2 ? kK4J2 : kK4J1;
+          } else {
+            const bool up = (base & k) == 0;
+            keepmin = j == 1   ? (up ? kJ1Up : kJ1Dn)
+                      : j == 2 ? (up ? kJ2Up : kJ2Dn)
+                               : (up ? kJ4Up : kJ4Dn);
+          }
+          _mm256_store_si256(reinterpret_cast<__m256i*>(buf + base),
+                             _mm256_blendv_epi8(mx, mn, keepmin));
+        }
+      }
+    }
+  }
+  std::copy(buf, buf + n, v);
+}
+
+// --- AVX2 / SSE4.2: gallop scan ---------------------------------------------
+
+SDSS_TGT_AVX2 std::size_t gallop_u64_avx2(const std::uint64_t* p,
+                                          std::size_t n, std::uint64_t limit,
+                                          bool inclusive) {
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m256i lim = _mm256_xor_si256(
+      _mm256_set1_epi64x(static_cast<long long>(limit)), sign);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)), sign);
+    // Stop at the first element that may not be emitted: x > limit when
+    // inclusive (ties belong to the winner), x >= limit otherwise.
+    const unsigned stop =
+        inclusive ? static_cast<unsigned>(
+                        _mm256_movemask_epi8(_mm256_cmpgt_epi64(x, lim)))
+                  : ~static_cast<unsigned>(
+                        _mm256_movemask_epi8(_mm256_cmpgt_epi64(lim, x)));
+    if (stop != 0) {
+      return i + (static_cast<std::size_t>(__builtin_ctz(stop)) >> 3);
+    }
+  }
+  for (; i < n; ++i) {
+    if (inclusive ? p[i] > limit : p[i] >= limit) break;
+  }
+  return i;
+}
+
+SDSS_TGT_AVX2 std::size_t gallop_u32_avx2(const std::uint32_t* p,
+                                          std::size_t n, std::uint32_t limit,
+                                          bool inclusive) {
+  const __m256i sign = _mm256_set1_epi32(
+      static_cast<int>(0x80000000U));
+  const __m256i lim = _mm256_xor_si256(
+      _mm256_set1_epi32(static_cast<int>(limit)), sign);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i)), sign);
+    const unsigned stop =
+        inclusive ? static_cast<unsigned>(
+                        _mm256_movemask_epi8(_mm256_cmpgt_epi32(x, lim)))
+                  : ~static_cast<unsigned>(
+                        _mm256_movemask_epi8(_mm256_cmpgt_epi32(lim, x)));
+    if (stop != 0) {
+      return i + (static_cast<std::size_t>(__builtin_ctz(stop)) >> 2);
+    }
+  }
+  for (; i < n; ++i) {
+    if (inclusive ? p[i] > limit : p[i] >= limit) break;
+  }
+  return i;
+}
+
+SDSS_TGT_SSE42 std::size_t gallop_u64_sse42(const std::uint64_t* p,
+                                            std::size_t n,
+                                            std::uint64_t limit,
+                                            bool inclusive) {
+  const __m128i sign = _mm_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m128i lim =
+      _mm_xor_si128(_mm_set1_epi64x(static_cast<long long>(limit)), sign);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i x = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)), sign);
+    const unsigned stop =
+        inclusive
+            ? static_cast<unsigned>(
+                  _mm_movemask_epi8(_mm_cmpgt_epi64(x, lim)))
+            : (~static_cast<unsigned>(
+                  _mm_movemask_epi8(_mm_cmpgt_epi64(lim, x)))) &
+                  0xFFFFU;
+    if (stop != 0) {
+      return i + (static_cast<std::size_t>(__builtin_ctz(stop)) >> 3);
+    }
+  }
+  for (; i < n; ++i) {
+    if (inclusive ? p[i] > limit : p[i] >= limit) break;
+  }
+  return i;
+}
+
+SDSS_TGT_SSE42 std::size_t gallop_u32_sse42(const std::uint32_t* p,
+                                            std::size_t n,
+                                            std::uint32_t limit,
+                                            bool inclusive) {
+  const __m128i sign = _mm_set1_epi32(static_cast<int>(0x80000000U));
+  const __m128i lim =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int>(limit)), sign);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i x = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i)), sign);
+    const unsigned stop =
+        inclusive
+            ? static_cast<unsigned>(
+                  _mm_movemask_epi8(_mm_cmpgt_epi32(x, lim)))
+            : (~static_cast<unsigned>(
+                  _mm_movemask_epi8(_mm_cmpgt_epi32(lim, x)))) &
+                  0xFFFFU;
+    if (stop != 0) {
+      return i + (static_cast<std::size_t>(__builtin_ctz(stop)) >> 2);
+    }
+  }
+  for (; i < n; ++i) {
+    if (inclusive ? p[i] > limit : p[i] >= limit) break;
+  }
+  return i;
+}
+
+#endif  // SDSS_SIMD_X86
+
+#if defined(SDSS_SIMD_NEON)
+
+// ===========================================================================
+// NEON kernels (aarch64 baseline — no runtime probe needed). Gallop only;
+// histogram and network run the scalar implementations, which aarch64
+// compilers already schedule well.
+// ===========================================================================
+
+std::size_t gallop_u64_neon(const std::uint64_t* p, std::size_t n,
+                            std::uint64_t limit, bool inclusive) {
+  const uint64x2_t vlim = vdupq_n_u64(limit);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t x = vld1q_u64(p + i);
+    const uint64x2_t stop = inclusive ? vcgtq_u64(x, vlim) : vcgeq_u64(x, vlim);
+    if (vgetq_lane_u64(stop, 0) != 0) return i;
+    if (vgetq_lane_u64(stop, 1) != 0) return i + 1;
+  }
+  for (; i < n; ++i) {
+    if (inclusive ? p[i] > limit : p[i] >= limit) break;
+  }
+  return i;
+}
+
+std::size_t gallop_u32_neon(const std::uint32_t* p, std::size_t n,
+                            std::uint32_t limit, bool inclusive) {
+  const uint32x4_t vlim = vdupq_n_u32(limit);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t x = vld1q_u32(p + i);
+    const uint32x4_t stop = inclusive ? vcgtq_u32(x, vlim) : vcgeq_u32(x, vlim);
+    if (vmaxvq_u32(stop) != 0) {
+      for (int l = 0; l < 4; ++l) {
+        if (inclusive ? p[i + static_cast<std::size_t>(l)] > limit
+                      : p[i + static_cast<std::size_t>(l)] >= limit) {
+          return i + static_cast<std::size_t>(l);
+        }
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (inclusive ? p[i] > limit : p[i] >= limit) break;
+  }
+  return i;
+}
+
+#endif  // SDSS_SIMD_NEON
+
+inline void count_dispatch(std::atomic<std::uint64_t>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// ===========================================================================
+// Dispatch wrappers. One relaxed active_isa() load per invocation; a kernel
+// family without a variant for the active ISA falls through to its best
+// lower tier (ultimately scalar). Dispatch counts are bumped before the ISA
+// branch so they are identical across ISAs.
+// ===========================================================================
+
+void hist_all(const std::uint64_t* keys, std::size_t n, std::size_t* h) {
+  count_dispatch(kernel_counters().simd_hist_calls);
+  // The scalar ILP kernel is the fast path on every ISA (measured note at
+  // the top of the x86 section).
+  hist_all_u64_scalar(keys, n, h);
+}
+
+void hist_all(const std::uint32_t* keys, std::size_t n, std::size_t* h) {
+  count_dispatch(kernel_counters().simd_hist_calls);
+  hist_all_u32_scalar(keys, n, h);
+}
+
+void hist_pass(const std::uint64_t* keys, std::size_t n, int shift,
+               std::size_t* h) {
+  count_dispatch(kernel_counters().simd_hist_calls);
+#if defined(SDSS_SIMD_X86)
+  if (simd::active_isa() == simd::Isa::kAvx2) {
+    hist_pass_u64_avx2(keys, n, shift, h);
+    return;
+  }
+#endif
+  hist_pass_scalar(keys, n, shift, h);
+}
+
+void hist_pass(const std::uint32_t* keys, std::size_t n, int shift,
+               std::size_t* h) {
+  count_dispatch(kernel_counters().simd_hist_calls);
+#if defined(SDSS_SIMD_X86)
+  if (simd::active_isa() == simd::Isa::kAvx2) {
+    hist_pass_u32_avx2(keys, n, shift, h);
+    return;
+  }
+#endif
+  hist_pass_scalar(keys, n, shift, h);
+}
+
+void sort_small(std::uint64_t* v, std::size_t n) {
+  if (n <= 1) return;
+  count_dispatch(kernel_counters().simd_sortnet_calls);
+  detail::count_bytes_moved(2 * n * sizeof(std::uint64_t));
+#if defined(SDSS_SIMD_X86)
+  // Below one full vector of work the setup overhead outruns the lanes.
+  if (n >= 8 && simd::active_isa() == simd::Isa::kAvx2) {
+    sortnet_u64_avx2(v, n);
+    return;
+  }
+#endif
+  sortnet_scalar(v, n);
+}
+
+void sort_small(std::uint32_t* v, std::size_t n) {
+  if (n <= 1) return;
+  count_dispatch(kernel_counters().simd_sortnet_calls);
+  detail::count_bytes_moved(2 * n * sizeof(std::uint32_t));
+#if defined(SDSS_SIMD_X86)
+  if (n >= 16 && simd::active_isa() == simd::Isa::kAvx2) {
+    sortnet_u32_avx2(v, n);
+    return;
+  }
+#endif
+  sortnet_scalar(v, n);
+}
+
+std::size_t gallop(const std::uint64_t* p, std::size_t n, std::uint64_t limit,
+                   bool inclusive) {
+  count_dispatch(kernel_counters().simd_gallop_calls);
+#if defined(SDSS_SIMD_X86)
+  const simd::Isa isa = simd::active_isa();
+  if (isa == simd::Isa::kAvx2) return gallop_u64_avx2(p, n, limit, inclusive);
+  if (isa == simd::Isa::kSse42) return gallop_u64_sse42(p, n, limit, inclusive);
+#elif defined(SDSS_SIMD_NEON)
+  if (simd::active_isa() == simd::Isa::kNeon) {
+    return gallop_u64_neon(p, n, limit, inclusive);
+  }
+#endif
+  return gallop_scalar(p, n, limit, inclusive);
+}
+
+std::size_t gallop(const std::uint32_t* p, std::size_t n, std::uint32_t limit,
+                   bool inclusive) {
+  count_dispatch(kernel_counters().simd_gallop_calls);
+#if defined(SDSS_SIMD_X86)
+  const simd::Isa isa = simd::active_isa();
+  if (isa == simd::Isa::kAvx2) return gallop_u32_avx2(p, n, limit, inclusive);
+  if (isa == simd::Isa::kSse42) return gallop_u32_sse42(p, n, limit, inclusive);
+#elif defined(SDSS_SIMD_NEON)
+  if (simd::active_isa() == simd::Isa::kNeon) {
+    return gallop_u32_neon(p, n, limit, inclusive);
+  }
+#endif
+  return gallop_scalar(p, n, limit, inclusive);
+}
+
+}  // namespace sdss::simdk

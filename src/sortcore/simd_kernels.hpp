@@ -1,0 +1,119 @@
+// SIMD/branchless sortcore kernels behind the feature-detected dispatch
+// shim (util/simd.hpp).
+//
+// Three kernel families, each with a portable scalar implementation that is
+// always compiled plus per-ISA vector variants selected at runtime:
+//
+//  * **Histogramming** — the radix sort's digit-count sweeps. `hist_all`
+//    counts every digit of every pass in one pass over the keys with
+//    branchless independent-shift extraction (replacing the serial
+//    `k >>= 8` dependency chain the radix loop used to carry); it is
+//    deliberately scalar on every ISA — the measured note in
+//    simd_kernels.cpp explains why the vector variants lost. `hist_pass`
+//    counts one digit position (the parallel radix re-histogram before
+//    every scatter); its AVX2 variant does the shift+mask extraction in
+//    SIMD registers, the one histogram shape where vectors win.
+//
+//  * **Sorting network** — a branchless bitonic network for runs of at most
+//    kSortNetworkMaxN records, the small-n base case under seq_sort /
+//    local_sort / radix_sort. Data-independent compare-exchange schedule:
+//    no branch mispredicts, and the AVX2 variants run 4 (u64) or 8 (u32)
+//    exchanges per instruction pair. Inputs pad to the next power of two
+//    with max-value sentinels in a local buffer. Only plain unsigned
+//    integer keys are eligible (see `eligible` below), for which equal keys
+//    mean identical records — so the unstable network trivially satisfies
+//    the library's stability contracts.
+//
+//  * **Gallop scan** — the bounded "advance while key beats the runner-up"
+//    scan inside the k-way merge's bulk-copy fast path. The vector variants
+//    compare a register of keys against the broadcast limit and find the
+//    first stop lane with a movemask, turning a serial dependent loop into
+//    a data-parallel scan.
+//
+// Eligibility: the vector fast paths engage only for `uint32_t`/`uint64_t`
+// elements under `IdentityKey`. Everything else (records, projections,
+// other widths) takes the existing generic code — the shim never changes
+// which algorithm runs, only how fast the inner loop executes, and the
+// scalar build (-DSDSS_FORCE_SCALAR=ON) is differentially tested to produce
+// bit-identical output.
+//
+// Every dispatch is counted once per invocation in kernel_stats
+// (simd_*_calls) so telemetry and the bench ablation can attribute wins.
+// The counts are ISA-independent by design: cutoffs below never consult
+// the active ISA, so the counters stay deterministic and gate-able.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "sortcore/key.hpp"
+
+namespace sdss {
+
+namespace detail {
+
+/// Largest run the branchless sorting network handles — the small-n base
+/// case cutoff under seq_sort/local_sort/radix_sort.
+inline constexpr std::size_t kSortNetworkMaxN = 64;
+
+/// Below this, radix_sort_parallel falls back to the sequential kernel:
+/// per-block histogram + prefix machinery costs more than it saves.
+inline constexpr std::size_t kRadixSeqFallbackN = 4096;
+
+/// Minimum records per parallel-radix stripe — keeps stripes large enough
+/// that per-block histograms stay cache-friendly.
+inline constexpr std::size_t kRadixMinBlockRecords = 1024;
+
+/// Fewer stripes than this and the parallel scatter is pure overhead.
+inline constexpr std::size_t kRadixMinParallelBlocks = 2;
+
+}  // namespace detail
+
+namespace simdk {
+
+/// Element types with vector kernel variants.
+template <typename T>
+inline constexpr bool is_vector_key =
+    std::is_same_v<T, std::uint32_t> || std::is_same_v<T, std::uint64_t>;
+
+/// The vector fast paths apply only to plain unsigned integer elements
+/// sorted by identity — exactly the case where equal keys are identical
+/// records and stability is vacuous.
+template <typename T, typename KeyFn>
+inline constexpr bool eligible =
+    std::is_same_v<KeyFn, IdentityKey> && is_vector_key<T>;
+
+// --- histogramming ----------------------------------------------------------
+
+/// All-pass digit histogram: h[pass * 256 + byte] += count for every of the
+/// sizeof(key) byte positions. h must be zero-initialized by the caller.
+void hist_all(const std::uint64_t* keys, std::size_t n, std::size_t* h);
+void hist_all(const std::uint32_t* keys, std::size_t n, std::size_t* h);
+
+/// Single-pass digit histogram for the digit at `shift`: h[digit] += count.
+void hist_pass(const std::uint64_t* keys, std::size_t n, int shift,
+               std::size_t* h);
+void hist_pass(const std::uint32_t* keys, std::size_t n, int shift,
+               std::size_t* h);
+
+// --- sorting network --------------------------------------------------------
+
+/// Sort v[0..n) ascending with a branchless bitonic network.
+/// Precondition: n <= detail::kSortNetworkMaxN.
+void sort_small(std::uint64_t* v, std::size_t n);
+void sort_small(std::uint32_t* v, std::size_t n);
+
+// --- gallop scan ------------------------------------------------------------
+
+/// Length of the maximal prefix of p[0..n) that the galloping merge may
+/// emit: elements with p[i] <= limit when `inclusive` (ties belong to the
+/// winning run), p[i] < limit otherwise.
+std::size_t gallop(const std::uint64_t* p, std::size_t n, std::uint64_t limit,
+                   bool inclusive);
+std::size_t gallop(const std::uint32_t* p, std::size_t n, std::uint32_t limit,
+                   bool inclusive);
+
+}  // namespace simdk
+
+}  // namespace sdss

@@ -73,6 +73,22 @@ void compare_kernel(DiffResult& out, const RunReport& b, const RunReport& a,
                   a.kernel_heap_allocs, opts);
   compare_counter(out, b.name, "kernel_arena_hwm", b.kernel_arena_hwm,
                   a.kernel_arena_hwm, opts);
+  // The simd subsection follows the same both-sides rule (older baselines
+  // predate it). The dispatch counts are ISA-independent by construction,
+  // so they diff exactly even across machines; the ISA name itself is a
+  // machine property and is deliberately not compared.
+  if (!b.has_kernel_simd || !a.has_kernel_simd) return;
+  compare_counter(out, b.name, "kernel_merge_gallop_bytes",
+                  b.kernel_merge_gallop_bytes, a.kernel_merge_gallop_bytes,
+                  opts);
+  compare_counter(out, b.name, "kernel_simd_hist_calls",
+                  b.kernel_simd_hist_calls, a.kernel_simd_hist_calls, opts);
+  compare_counter(out, b.name, "kernel_simd_sortnet_calls",
+                  b.kernel_simd_sortnet_calls, a.kernel_simd_sortnet_calls,
+                  opts);
+  compare_counter(out, b.name, "kernel_simd_gallop_calls",
+                  b.kernel_simd_gallop_calls, a.kernel_simd_gallop_calls,
+                  opts);
 }
 
 void compare_trace(DiffResult& out, const RunReport& b, const RunReport& a,

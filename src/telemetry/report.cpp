@@ -198,6 +198,16 @@ Json to_json(const RunReport& r) {
     kernel.set("scratch_bytes", r.kernel_scratch_bytes);
     kernel.set("heap_allocs", r.kernel_heap_allocs);
     kernel.set("arena_hwm", r.kernel_arena_hwm);
+    if (r.has_kernel_simd) {
+      kernel.set("merge_gallop_bytes", r.kernel_merge_gallop_bytes);
+      Json simd = Json::object();
+      simd.set("isa", r.kernel_simd_isa);
+      simd.set("lanes_u64", r.kernel_simd_lanes);
+      simd.set("hist_calls", r.kernel_simd_hist_calls);
+      simd.set("sortnet_calls", r.kernel_simd_sortnet_calls);
+      simd.set("gallop_calls", r.kernel_simd_gallop_calls);
+      kernel.set("simd", std::move(simd));
+    }
     j.set("kernel", std::move(kernel));
   }
 
@@ -307,6 +317,15 @@ RunReport report_from_json(const Json& j) {
     r.kernel_scratch_bytes = kernel->at("scratch_bytes").u64_or();
     r.kernel_heap_allocs = kernel->at("heap_allocs").u64_or();
     r.kernel_arena_hwm = kernel->at("arena_hwm").u64_or();
+    if (const Json* simd = kernel->find("simd")) {
+      r.has_kernel_simd = true;
+      r.kernel_merge_gallop_bytes = kernel->at("merge_gallop_bytes").u64_or();
+      r.kernel_simd_isa = simd->at("isa").string_value();
+      r.kernel_simd_lanes = static_cast<int>(simd->at("lanes_u64").u64_or(1));
+      r.kernel_simd_hist_calls = simd->at("hist_calls").u64_or();
+      r.kernel_simd_sortnet_calls = simd->at("sortnet_calls").u64_or();
+      r.kernel_simd_gallop_calls = simd->at("gallop_calls").u64_or();
+    }
   }
 
   if (const Json* trace = j.find("trace")) {

@@ -123,6 +123,20 @@ struct RunReport {
   std::uint64_t kernel_scratch_bytes = 0;
   std::uint64_t kernel_heap_allocs = 0;
   std::uint64_t kernel_arena_hwm = 0;  ///< peak live arena bytes (level)
+
+  // SIMD shim dispatch and merge-gallop traffic (the kernel.simd subobject
+  // plus kernel.merge_gallop_bytes). Separately flagged so a baseline
+  // written before the shim existed doesn't read as "all dispatches
+  // regressed to zero". The ISA name and lane count are recorded for
+  // diagnosis but never diffed (they are machine properties, not workload
+  // properties); the dispatch counts are ISA-independent and gate-able.
+  bool has_kernel_simd = false;
+  std::uint64_t kernel_merge_gallop_bytes = 0;
+  std::string kernel_simd_isa;        ///< resolved ISA ("avx2", "scalar", …)
+  int kernel_simd_lanes = 1;          ///< 64-bit lanes per vector op
+  std::uint64_t kernel_simd_hist_calls = 0;
+  std::uint64_t kernel_simd_sortnet_calls = 0;
+  std::uint64_t kernel_simd_gallop_calls = 0;
 };
 
 /// Fill a report's trace section from an analyzed run trace (sets

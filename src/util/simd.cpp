@@ -1,0 +1,91 @@
+#include "util/simd.hpp"
+
+#include <atomic>
+
+#include "util/error.hpp"
+
+namespace sdss::simd {
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse42:
+      return "sse4.2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+int isa_lanes_u64(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return 1;
+    case Isa::kSse42:
+      return 2;
+    case Isa::kAvx2:
+      return 4;
+    case Isa::kNeon:
+      return 2;
+  }
+  return 1;
+}
+
+Isa detect_isa() {
+#if defined(SDSS_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Isa::kSse42;
+  return Isa::kScalar;
+#elif defined(SDSS_SIMD_NEON)
+  return Isa::kNeon;  // NEON is baseline on aarch64
+#else
+  return Isa::kScalar;
+#endif
+}
+
+bool isa_available(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+#if defined(SDSS_SIMD_X86)
+  if (isa == Isa::kAvx2) return __builtin_cpu_supports("avx2") != 0;
+  if (isa == Isa::kSse42) return __builtin_cpu_supports("sse4.2") != 0;
+  return false;
+#elif defined(SDSS_SIMD_NEON)
+  return isa == Isa::kNeon;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+// -1 = unresolved; otherwise the cached Isa value. One relaxed load on the
+// kernel dispatch path; the (idempotent) detection race is benign.
+std::atomic<int> g_active{-1};
+
+}  // namespace
+
+Isa active_isa() {
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(detect_isa());
+    g_active.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<Isa>(v);
+}
+
+void force_isa(Isa isa) {
+  if (!isa_available(isa)) {
+    throw Error(std::string("simd::force_isa: ") + isa_name(isa) +
+                " is not available on this build/CPU");
+  }
+  g_active.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void reset_isa() {
+  g_active.store(static_cast<int>(detect_isa()), std::memory_order_relaxed);
+}
+
+}  // namespace sdss::simd

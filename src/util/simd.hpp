@@ -1,0 +1,80 @@
+// Feature-detected SIMD instruction-set shim.
+//
+// The sortcore hot loops (histogramming, small-array sorting networks, the
+// galloping merge scan) come in per-ISA variants; this header is the single
+// place that decides which variant runs. The model:
+//
+//  * **Compile-time availability.** An ISA variant exists in the binary only
+//    when the compiler can emit it: x86 variants are built with per-function
+//    target attributes (no global -mavx2, so every other translation unit
+//    stays portable), NEON is baseline on aarch64. A build with
+//    -DSDSS_FORCE_SCALAR=ON compiles none of them — the portable scalar
+//    kernels are always compiled and are the only ones in that build.
+//
+//  * **Runtime resolution, once.** The first query probes the CPU
+//    (__builtin_cpu_supports on x86) and caches the best ISA that is both
+//    compiled in and supported by the hardware. Kernels dispatch through
+//    that cached value, so the decision costs one relaxed load per kernel
+//    invocation and is recorded in telemetry (the `kernel.simd` object).
+//
+//  * **Scalar is a first-class citizen, not an afterthought.** The scalar
+//    kernels are real implementations (branchless, ILP-conscious), used for
+//    differential testing against every vector variant and forceable at
+//    runtime (`force_isa`) for in-process scalar-vs-SIMD ablations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+// Compile-time ISA availability. SDSS_FORCE_SCALAR (CMake option of the
+// same name) strips every vector path from the build.
+#if !defined(SDSS_FORCE_SCALAR)
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define SDSS_SIMD_X86 1
+#elif defined(__aarch64__)
+#define SDSS_SIMD_NEON 1
+#endif
+#endif
+
+namespace sdss::simd {
+
+/// Instruction sets the kernel shim knows about, best last. A given build
+/// compiles a contiguous prefix of variants per kernel family; a kernel
+/// without a variant for the active ISA silently runs its best lower tier
+/// (ultimately the scalar fallback).
+enum class Isa : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Short stable name for telemetry: "scalar", "sse4.2", "avx2", "neon".
+const char* isa_name(Isa isa);
+
+/// 64-bit lanes per vector register of the ISA (1 for scalar).
+int isa_lanes_u64(Isa isa);
+
+/// Best ISA that is compiled into this binary AND supported by this CPU.
+/// Pure detection — ignores any force_isa override.
+Isa detect_isa();
+
+/// True when `isa` could be activated on this build+CPU.
+bool isa_available(Isa isa);
+
+/// The ISA the kernels dispatch on. Resolved from detect_isa() on first
+/// use and cached; stable for the life of the process unless force_isa
+/// intervenes.
+Isa active_isa();
+
+/// Override the dispatch ISA (scalar is always accepted; vector ISAs only
+/// when isa_available). Used by the scalar-vs-SIMD ablation in
+/// bench_local_sort and by the differential tests; throws sdss::Error on an
+/// unavailable ISA. Not intended for production callers.
+void force_isa(Isa isa);
+
+/// Drop any force_isa override and return to the detected ISA.
+void reset_isa();
+
+}  // namespace sdss::simd

@@ -1,0 +1,439 @@
+// SIMD shim + kernel tests: the dispatch machinery (util/simd.hpp), the
+// three kernel families differentially against their scalar references
+// under every ISA available on the host, the sorting network at every size
+// 0..kSortNetworkMaxN, the order-preserving key bijections of key.hpp, and
+// the dispatch-count discipline. Under -DSDSS_FORCE_SCALAR=ON the available
+// ISA list collapses to {scalar} and every test still runs — that build is
+// the differential baseline scripts/check.sh compares against.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sortcore/arena.hpp"
+#include "sortcore/kernel_stats.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/kway_merge.hpp"
+#include "sortcore/local_sort.hpp"
+#include "sortcore/radix.hpp"
+#include "sortcore/seq_sort.hpp"
+#include "sortcore/simd_kernels.hpp"
+#include "util/error.hpp"
+#include "util/simd.hpp"
+
+namespace {
+using namespace sdss;
+
+std::vector<simd::Isa> available_isas() {
+  std::vector<simd::Isa> v;
+  for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse42,
+                        simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::isa_available(isa)) v.push_back(isa);
+  }
+  return v;
+}
+
+/// RAII: force an ISA for a test body, restore detection on exit.
+struct IsaGuard {
+  explicit IsaGuard(simd::Isa isa) { simd::force_isa(isa); }
+  ~IsaGuard() { simd::reset_isa(); }
+};
+
+// --- the shim itself --------------------------------------------------------
+
+TEST(SimdShim, ScalarIsAlwaysAvailableAndDetectionIsSane) {
+  EXPECT_TRUE(simd::isa_available(simd::Isa::kScalar));
+  const simd::Isa detected = simd::detect_isa();
+  EXPECT_TRUE(simd::isa_available(detected));
+  EXPECT_EQ(simd::active_isa(), detected);
+#if defined(SDSS_FORCE_SCALAR)
+  EXPECT_EQ(detected, simd::Isa::kScalar);
+#endif
+}
+
+TEST(SimdShim, NamesAndLanesAreConsistent) {
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kScalar), "scalar");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kSse42), "sse4.2");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kAvx2), "avx2");
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kNeon), "neon");
+  EXPECT_EQ(simd::isa_lanes_u64(simd::Isa::kScalar), 1);
+  EXPECT_EQ(simd::isa_lanes_u64(simd::Isa::kSse42), 2);
+  EXPECT_EQ(simd::isa_lanes_u64(simd::Isa::kAvx2), 4);
+  EXPECT_EQ(simd::isa_lanes_u64(simd::Isa::kNeon), 2);
+}
+
+TEST(SimdShim, ForceAndResetRoundTrip) {
+  for (simd::Isa isa : available_isas()) {
+    simd::force_isa(isa);
+    EXPECT_EQ(simd::active_isa(), isa) << simd::isa_name(isa);
+  }
+  simd::reset_isa();
+  EXPECT_EQ(simd::active_isa(), simd::detect_isa());
+}
+
+TEST(SimdShim, ForcingAnUnavailableIsaThrows) {
+  // At most one of NEON / AVX2 exists on any one machine, so one of these
+  // is always a valid "unavailable" probe.
+  const simd::Isa missing = simd::isa_available(simd::Isa::kNeon)
+                                ? simd::Isa::kAvx2
+                                : simd::Isa::kNeon;
+  if (simd::isa_available(missing)) GTEST_SKIP() << "both somehow available";
+  EXPECT_THROW(simd::force_isa(missing), sdss::Error);
+  EXPECT_EQ(simd::active_isa(), simd::detect_isa());  // state unchanged
+}
+
+// --- sorting network: every size, every available ISA -----------------------
+
+template <typename U>
+void check_network_all_sizes(simd::Isa isa) {
+  IsaGuard guard(isa);
+  std::mt19937_64 rng(0xC0FFEE);
+  for (std::size_t n = 0; n <= detail::kSortNetworkMaxN; ++n) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<U> v(n);
+      switch (trial % 4) {
+        case 0:  // random
+          for (auto& x : v) x = static_cast<U>(rng());
+          break;
+        case 1:  // duplicate-heavy
+          for (auto& x : v) x = static_cast<U>(rng() % 4);
+          break;
+        case 2:  // already sorted
+          for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<U>(i);
+          break;
+        default:  // reverse sorted, with extremes
+          for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<U>(n - i);
+          if (n >= 2) {
+            v.front() = std::numeric_limits<U>::max();
+            v.back() = 0;
+          }
+          break;
+      }
+      std::vector<U> ref = v;
+      std::stable_sort(ref.begin(), ref.end());
+      simdk::sort_small(v.data(), n);
+      ASSERT_EQ(v, ref) << "isa=" << simd::isa_name(isa) << " n=" << n
+                        << " trial=" << trial;
+    }
+  }
+}
+
+TEST(SortingNetwork, MatchesStableSortAtEverySizeU64) {
+  for (simd::Isa isa : available_isas()) {
+    check_network_all_sizes<std::uint64_t>(isa);
+  }
+}
+
+TEST(SortingNetwork, MatchesStableSortAtEverySizeU32) {
+  for (simd::Isa isa : available_isas()) {
+    check_network_all_sizes<std::uint32_t>(isa);
+  }
+}
+
+// --- histogram + gallop: differential vs plain loops, per ISA ---------------
+
+TEST(HistKernels, MatchNaiveCountsUnderEveryIsa) {
+  std::mt19937_64 rng(7);
+  for (simd::Isa isa : available_isas()) {
+    IsaGuard guard(isa);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                          std::size_t{64}, std::size_t{1000}}) {
+      std::vector<std::uint64_t> v(n);
+      for (auto& x : v) x = rng() % (n > 64 ? ~0ULL : 300);
+      std::vector<std::size_t> h(8 * 256, 0), ref(8 * 256, 0);
+      simdk::hist_all(v.data(), n, h.data());
+      for (auto x : v) {
+        for (int p = 0; p < 8; ++p) ++ref[p * 256 + ((x >> (8 * p)) & 0xFF)];
+      }
+      ASSERT_EQ(h, ref) << simd::isa_name(isa) << " n=" << n;
+
+      for (int shift : {0, 8, 32, 56}) {
+        std::vector<std::size_t> hp(256, 0), rp(256, 0);
+        simdk::hist_pass(v.data(), n, shift, hp.data());
+        for (auto x : v) ++rp[(x >> shift) & 0xFF];
+        ASSERT_EQ(hp, rp) << simd::isa_name(isa) << " shift=" << shift;
+      }
+
+      std::vector<std::uint32_t> w(n);
+      for (auto& x : w) x = static_cast<std::uint32_t>(rng());
+      std::vector<std::size_t> h4(4 * 256, 0), r4(4 * 256, 0);
+      simdk::hist_all(w.data(), n, h4.data());
+      for (auto x : w) {
+        for (int p = 0; p < 4; ++p) ++r4[p * 256 + ((x >> (8 * p)) & 0xFF)];
+      }
+      ASSERT_EQ(h4, r4) << simd::isa_name(isa) << " u32 n=" << n;
+    }
+  }
+}
+
+TEST(GallopKernel, MatchesLinearScanUnderEveryIsa) {
+  std::mt19937_64 rng(9);
+  for (simd::Isa isa : available_isas()) {
+    IsaGuard guard(isa);
+    for (int trial = 0; trial < 4000; ++trial) {
+      const std::size_t n = rng() % 50;
+      const bool inclusive = rng() & 1;
+      std::vector<std::uint64_t> v(n);
+      for (auto& x : v) x = rng() % 16;
+      std::sort(v.begin(), v.end());
+      const std::uint64_t lim = rng() % 16;
+      std::size_t want = 0;
+      while (want < n && (inclusive ? v[want] <= lim : v[want] < lim)) ++want;
+      ASSERT_EQ(simdk::gallop(v.data(), n, lim, inclusive), want)
+          << simd::isa_name(isa) << " n=" << n << " lim=" << lim
+          << " inc=" << inclusive;
+
+      std::vector<std::uint32_t> w(n);
+      for (auto& x : w) x = static_cast<std::uint32_t>(rng() % 16);
+      std::sort(w.begin(), w.end());
+      const auto lim32 = static_cast<std::uint32_t>(rng() % 16);
+      want = 0;
+      while (want < n && (inclusive ? w[want] <= lim32 : w[want] < lim32)) {
+        ++want;
+      }
+      ASSERT_EQ(simdk::gallop(w.data(), n, lim32, inclusive), want)
+          << simd::isa_name(isa) << " u32";
+    }
+  }
+}
+
+TEST(GallopKernel, BoundaryLimits) {
+  for (simd::Isa isa : available_isas()) {
+    IsaGuard guard(isa);
+    std::vector<std::uint64_t> v(37, 5);
+    // limit below / equal / above every element, both tie rules.
+    EXPECT_EQ(simdk::gallop(v.data(), v.size(), 4, true), 0u);
+    EXPECT_EQ(simdk::gallop(v.data(), v.size(), 5, true), v.size());
+    EXPECT_EQ(simdk::gallop(v.data(), v.size(), 5, false), 0u);
+    EXPECT_EQ(simdk::gallop(v.data(), v.size(), 6, false), v.size());
+    const std::uint64_t mx = std::numeric_limits<std::uint64_t>::max();
+    std::vector<std::uint64_t> top(9, mx);
+    EXPECT_EQ(simdk::gallop(top.data(), top.size(), mx, true), top.size());
+    EXPECT_EQ(simdk::gallop(top.data(), top.size(), mx, false), 0u);
+    EXPECT_EQ(simdk::gallop(top.data(), top.size(), 0, true), 0u);
+  }
+}
+
+// --- whole-sort differential: every ISA produces identical output -----------
+
+TEST(IsaDifferential, RadixAndLocalSortBitIdenticalAcrossIsas) {
+  std::mt19937_64 rng(11);
+  std::vector<std::uint64_t> input(20000);
+  for (auto& x : input) x = rng() % 1000;  // duplicate-heavy
+
+  std::vector<std::vector<std::uint64_t>> results;
+  for (simd::Isa isa : available_isas()) {
+    IsaGuard guard(isa);
+    std::vector<std::uint64_t> radixed = input;
+    radix_sort(radixed);
+    std::vector<std::uint64_t> local = input;
+    LocalSortConfig cfg;
+    cfg.threads = 3;
+    local_sort(local, cfg);
+    ASSERT_EQ(radixed, local) << simd::isa_name(isa);
+    results.push_back(std::move(radixed));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[0], results[i]) << "ISA output mismatch";
+  }
+  std::vector<std::uint64_t> ref = input;
+  std::sort(ref.begin(), ref.end());
+  ASSERT_EQ(results[0], ref);
+}
+
+TEST(IsaDifferential, KwayMergeIdenticalAcrossIsas) {
+  std::mt19937_64 rng(13);
+  constexpr std::size_t kRuns = 6, kLen = 700;
+  std::vector<std::vector<std::uint64_t>> storage(kRuns);
+  std::vector<std::span<const std::uint64_t>> runs(kRuns);
+  for (std::size_t r = 0; r < kRuns; ++r) {
+    storage[r].resize(kLen);
+    for (auto& x : storage[r]) x = rng() % 40;  // heavy ties across runs
+    std::sort(storage[r].begin(), storage[r].end());
+    runs[r] = storage[r];
+  }
+  std::vector<std::vector<std::uint64_t>> outs;
+  for (simd::Isa isa : available_isas()) {
+    IsaGuard guard(isa);
+    std::vector<std::uint64_t> out(kRuns * kLen);
+    kway_merge(std::span<const std::span<const std::uint64_t>>(runs),
+               std::span<std::uint64_t>(out));
+    ASSERT_TRUE(std::is_sorted(out.begin(), out.end()));
+    outs.push_back(std::move(out));
+  }
+  for (std::size_t i = 1; i < outs.size(); ++i) {
+    ASSERT_EQ(outs[0], outs[i]);
+  }
+}
+
+// --- key.hpp bijections -----------------------------------------------------
+
+TEST(KeyTransforms, SignedToUnsignedPreservesTotalOrder) {
+  const SignedToUnsignedKey kf;
+  const std::vector<std::int64_t> probes = {
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::min() + 1,
+      -1000000007LL,
+      -2,
+      -1,
+      0,
+      1,
+      2,
+      1000000007LL,
+      std::numeric_limits<std::int64_t>::max() - 1,
+      std::numeric_limits<std::int64_t>::max()};
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      EXPECT_EQ(probes[i] < probes[j], kf(probes[i]) < kf(probes[j]))
+          << probes[i] << " vs " << probes[j];
+    }
+  }
+  EXPECT_EQ(kf(std::numeric_limits<std::int64_t>::min()), 0u);
+  EXPECT_EQ(kf(std::numeric_limits<std::int64_t>::max()),
+            std::numeric_limits<std::uint64_t>::max());
+  // Narrower widths map through make_unsigned of the same width.
+  const std::int32_t a = -5, b = 5;
+  static_assert(
+      std::is_same_v<decltype(kf(a)), std::uint32_t>);
+  EXPECT_LT(kf(a), kf(b));
+}
+
+TEST(KeyTransforms, FloatToUnsignedPreservesTotalOrder) {
+  const FloatToUnsignedKey kf;
+  const std::vector<double> probes = {
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::lowest(),
+      -1e100,
+      -1.5,
+      -std::numeric_limits<double>::min(),       // largest negative magnitude
+      -std::numeric_limits<double>::denorm_min(),
+      0.0,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      1.5,
+      1e100,
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity()};
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      EXPECT_EQ(probes[i] < probes[j], kf(probes[i]) < kf(probes[j]))
+          << probes[i] << " vs " << probes[j];
+    }
+  }
+  // IEEE totalOrder semantics at the origin: -0.0 maps strictly below +0.0
+  // even though they compare equal as doubles.
+  EXPECT_LT(kf(-0.0), kf(0.0));
+  // Same checks for float/uint32.
+  const float fs[] = {-std::numeric_limits<float>::infinity(), -2.0f, -0.5f,
+                      0.0f, 0.5f, 2.0f,
+                      std::numeric_limits<float>::infinity()};
+  for (const float x : fs) {
+    for (const float y : fs) {
+      EXPECT_EQ(x < y, kf(x) < kf(y)) << x << " vs " << y;
+    }
+  }
+  EXPECT_LT(kf(-0.0f), kf(0.0f));
+}
+
+TEST(KeyTransforms, RadixSortsSignedAndFloatKeysCorrectly) {
+  std::mt19937_64 rng(17);
+  std::vector<std::int64_t> s(5000);
+  for (auto& x : s) x = static_cast<std::int64_t>(rng()) % 1000;
+  std::vector<std::int64_t> s_ref = s;
+  radix_sort(s, SignedToUnsignedKey{});
+  std::sort(s_ref.begin(), s_ref.end());
+  EXPECT_EQ(s, s_ref);
+
+  std::vector<double> d(5000);
+  for (auto& x : d) {
+    x = (static_cast<double>(rng() % 2000) - 1000.0) / 7.0;
+  }
+  std::vector<double> d_ref = d;
+  radix_sort(d, FloatToUnsignedKey{});
+  std::sort(d_ref.begin(), d_ref.end());
+  EXPECT_EQ(d, d_ref);
+}
+
+// --- dispatch-count discipline ---------------------------------------------
+
+TEST(DispatchCounters, CountsAreBumpedAndIsaIndependent) {
+  std::mt19937_64 rng(23);
+  std::vector<std::uint64_t> input(40000);
+  for (auto& x : input) x = rng() % 64;
+
+  auto run_once = [&] {
+    const KernelSnapshot before = snapshot_kernel_counters();
+    std::vector<std::uint64_t> v = input;
+    radix_sort(v);  // hist_all
+    std::vector<std::uint64_t> tiny(input.begin(), input.begin() + 32);
+    seq_sort(std::span<std::uint64_t>(tiny), /*stable=*/true);  // sortnet
+    // Three duplicate-heavy runs drive the merge through pop_run → gallop.
+    std::vector<std::uint64_t> r0(v.begin(), v.begin() + 10000);
+    std::vector<std::uint64_t> r1(v.begin() + 10000, v.begin() + 20000);
+    std::vector<std::uint64_t> r2(v.begin() + 20000, v.end());
+    std::vector<std::span<const std::uint64_t>> runs = {r0, r1, r2};
+    std::vector<std::uint64_t> out(v.size());
+    kway_merge(std::span<const std::span<const std::uint64_t>>(runs),
+               std::span<std::uint64_t>(out));
+    return snapshot_kernel_counters().delta_since(before);
+  };
+
+  std::vector<KernelSnapshot> deltas;
+  for (simd::Isa isa : available_isas()) {
+    IsaGuard guard(isa);
+    deltas.push_back(run_once());
+  }
+  EXPECT_GE(deltas[0].simd_hist_calls, 1u);
+  EXPECT_GE(deltas[0].simd_sortnet_calls, 1u);
+  EXPECT_GE(deltas[0].simd_gallop_calls, 1u);
+  EXPECT_GT(deltas[0].merge_gallop_bytes, 0u);
+  for (std::size_t i = 1; i < deltas.size(); ++i) {
+    // The cutoffs never consult the ISA, so dispatch counts and gallop
+    // traffic are identical whichever ISA actually ran.
+    EXPECT_EQ(deltas[0].simd_hist_calls, deltas[i].simd_hist_calls);
+    EXPECT_EQ(deltas[0].simd_sortnet_calls, deltas[i].simd_sortnet_calls);
+    EXPECT_EQ(deltas[0].simd_gallop_calls, deltas[i].simd_gallop_calls);
+    EXPECT_EQ(deltas[0].merge_gallop_bytes, deltas[i].merge_gallop_bytes);
+  }
+}
+
+TEST(DispatchCounters, SortSmallCountsBytesMoved) {
+  std::vector<std::uint64_t> v = {5, 3, 1, 4, 2};
+  const KernelSnapshot before = snapshot_kernel_counters();
+  simdk::sort_small(v.data(), v.size());
+  const KernelSnapshot d = snapshot_kernel_counters().delta_since(before);
+  EXPECT_EQ(d.simd_sortnet_calls, 1u);
+  EXPECT_EQ(d.bytes_moved, 2 * v.size() * sizeof(std::uint64_t));
+}
+
+// --- base-case integration: tiny inputs route through the network -----------
+
+TEST(BaseCaseCutoff, TinySortsAreCorrectThroughEveryEntryPoint) {
+  std::mt19937_64 rng(29);
+  for (std::size_t n : {std::size_t{2}, std::size_t{17}, std::size_t{64}}) {
+    std::vector<std::uint64_t> in(n);
+    for (auto& x : in) x = rng() % 10;
+    std::vector<std::uint64_t> ref = in;
+    std::sort(ref.begin(), ref.end());
+
+    std::vector<std::uint64_t> a = in;
+    seq_sort(std::span<std::uint64_t>(a), false);
+    EXPECT_EQ(a, ref);
+
+    std::vector<std::uint64_t> b = in;
+    radix_sort(b);
+    EXPECT_EQ(b, ref);
+
+    std::vector<std::uint64_t> c = in;
+    LocalSortConfig cfg;
+    local_sort(c, cfg);
+    EXPECT_EQ(c, ref);
+  }
+}
+
+}  // namespace

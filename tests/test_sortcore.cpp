@@ -654,7 +654,9 @@ TEST(RadixParallel, StableOnRecords) {
                       [](const Rec& r) { return r.key; });
   for (std::size_t i = 1; i < v.size(); ++i) {
     ASSERT_LE(v[i - 1].key, v[i].key);
-    if (v[i - 1].key == v[i].key) ASSERT_LT(v[i - 1].seq, v[i].seq);
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].seq, v[i].seq);
+    }
   }
 }
 

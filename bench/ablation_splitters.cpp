@@ -1,0 +1,284 @@
+// Ablation — splitter selection under skew: one-shot sampling vs. legacy
+// histogramming vs. ε-bounded refinement (plus the sample-seeded hybrid).
+//
+// Not a paper figure: the paper's answer to splitter-induced imbalance is
+// to repair it downstream in the skew-aware partition. This sweep isolates
+// what balance each *selection* method can guarantee by itself (skew-aware
+// run-splitting disabled for the sampling and legacy-histogram columns;
+// the ε-bounded engine brings its own fractional-splitter partition), over
+// uniform / Zipf(1.5) / two-value / all-duplicate workloads at P=64, with
+// an adversarial P=1024 fiber-scheduler leg.
+//
+// Gates (exit status):
+//  * every ε-bounded run completes with λ(recv_records) <= 1+ε (+ integer
+//    rounding) — on the adversarial workloads where one-shot sampling
+//    exceeds the 3x memory budget (OOM) or exhibits λ > 2;
+//  * per-round refinement candidate counts decrease monotonically (the
+//    interval-pruning invariant).
+// All seeds are fixed and no wall-clock enters any counter, so the comm +
+// refinement counters and trace λ are exactly reproducible;
+// scripts/check.sh diffs them against bench/baselines/ablation_splitters.json
+// with `report_diff --bytes-only`.
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "core/metrics.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/zipf.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+
+constexpr double kEps = 0.1;
+
+struct Method {
+  const char* name;
+  PivotSelection selection;
+  bool skew_aware;       // off for the baselines: isolate the selection
+  bool seed_with_samples;
+  bool eps_gated;        // λ <= 1+ε enforced via exit status
+};
+
+const Method kMethods[] = {
+    {"sampling", PivotSelection::kAuto, false, false, false},
+    {"histogram", PivotSelection::kHistogram, false, false, false},
+    {"hist-eps", PivotSelection::kHistogramEps, false, false, true},
+    {"hybrid", PivotSelection::kHistogramEps, false, true, true},
+};
+
+struct Workload {
+  const char* name;
+  bool adversarial;  // sampling expected to OOM / blow past λ=2
+};
+
+const Workload kWorkloads[] = {
+    {"uniform", false},
+    {"zipf:1.5", true},
+    {"two-value", true},
+    {"all-dup", true},
+};
+
+std::vector<std::uint64_t> make_shard(const std::string& workload,
+                                      std::size_t n, int rank) {
+  const auto seed = derive_seed(81601, static_cast<std::uint64_t>(rank));
+  if (workload == "uniform") {
+    return workloads::uniform_u64(n, seed, 1ull << 40);
+  }
+  if (workload == "zipf:1.5") return workloads::zipf_keys(n, 1.5, seed);
+  if (workload == "two-value") {
+    std::vector<std::uint64_t> data(n);
+    for (std::size_t i = 0; i < n; ++i) data[i] = i < n / 2 ? 7u : 9u;
+    return data;
+  }
+  return std::vector<std::uint64_t>(n, 42u);  // all-dup
+}
+
+struct Point {
+  TimedResult timed;
+  double lambda = 0.0;  // λ of recv_records, exact (identical on all ranks)
+  RefineStats refine;
+  bool has_refine = false;
+};
+
+Point run_point(int p, std::size_t per_rank, const Method& m,
+                const std::string& workload) {
+  sim::ClusterConfig ccfg{p, /*cores_per_node=*/32};
+  sim::Cluster cluster(ccfg);
+  RunMeta meta;
+  meta.name = "splitters/p=" + std::to_string(p) + "/" + workload + "/" +
+              m.name;
+  meta.algorithm = m.name;
+  meta.workload = workload;
+  meta.params = {{"records_per_rank", std::to_string(per_rank)},
+                 {"epsilon", m.eps_gated ? std::to_string(kEps) : "-"},
+                 {"mem_limit_records", std::to_string(3 * per_rank)}};
+  Point point;
+  std::mutex mu;
+  point.timed = time_spmd(
+      cluster,
+      [&](sim::Comm& world) {
+        auto data = make_shard(workload, per_rank, world.rank());
+        Config cfg;
+        cfg.skew_aware = m.skew_aware;
+        cfg.pivot_selection = m.selection;
+        cfg.histogram_eps.epsilon = kEps;
+        cfg.histogram_eps.seed_with_samples = m.seed_with_samples;
+        cfg.mem_limit_records = 3 * per_rank;  // the paper's OOM regime
+        SortReport rep;
+        const double secs = timed_section(world, [&] {
+          auto out = sds_sort<std::uint64_t>(world, std::move(data), cfg, {},
+                                             &rep);
+        });
+        const auto loads = world.allgather<std::uint64_t>(rep.recv_records);
+        std::uint64_t max = 0, total = 0;
+        for (auto l : loads) {
+          max = std::max(max, l);
+          total += l;
+        }
+        if (world.rank() == 0) {
+          std::lock_guard<std::mutex> lk(mu);
+          point.lambda = total == 0
+                             ? 1.0
+                             : static_cast<double>(max) *
+                                   static_cast<double>(loads.size()) /
+                                   static_cast<double>(total);
+          point.has_refine = rep.has_refinement;
+          point.refine = rep.refinement;
+        }
+        return secs;
+      },
+      std::move(meta));
+  if (telemetry::RunReport* rep = last_report()) {
+    if (point.timed.ok) {
+      rep->set_param("lambda_recv", fmt_seconds(point.lambda, 6));
+      rep->rdfa = point.lambda;
+      rep->max_load = 0;
+      rep->total_records = per_rank * static_cast<std::uint64_t>(p);
+    }
+    if (point.has_refine) telemetry::set_refinement(*rep, point.refine);
+  }
+  return point;
+}
+
+std::string rounds_cell(const Point& pt) {
+  if (!pt.has_refine || !pt.timed.ok) return "-";
+  std::string cells;
+  for (const RefineRound& rr : pt.refine.per_round) {
+    if (!cells.empty()) cells += ">";
+    cells += std::to_string(rr.candidates);
+  }
+  return std::to_string(pt.refine.rounds) + " (" + cells + ")";
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Ablation — splitter selection under skew (ε-bounded vs. sampling)",
+      "P=64 x 5k records/rank + adversarial P=1024 leg, 3x memory budget, "
+      "fixed seeds. Sampling and legacy histogram run WITHOUT downstream "
+      "skew-aware repair to isolate the selection method; hist-eps/hybrid "
+      "guarantee lambda <= 1+eps (eps=0.1) via fractional-rank splitters. "
+      "Counters gated against bench/baselines/ablation_splitters.json.");
+
+  bool gates_ok = true;
+  bool sampling_failed_adversarial = false;
+  std::vector<std::string> failures;
+
+  auto check_point = [&](const Point& pt, const Method& m,
+                         const Workload& w, int p, std::size_t per_rank) {
+    const double n_total =
+        static_cast<double>(per_rank) * static_cast<double>(p);
+    if (m.eps_gated) {
+      // The engine's contract: complete (no OOM possible at λ <= 1+ε under
+      // a 3x budget) with boundary placement within ε — plus the integer
+      // rounding of the N/p targets, O(p/N).
+      const double bound =
+          1.0 + kEps + static_cast<double>(p) / n_total + 1e-9;
+      if (!pt.timed.ok || pt.lambda > bound) {
+        gates_ok = false;
+        failures.push_back(std::string(m.name) + " on " + w.name + "/p=" +
+                           std::to_string(p) +
+                           (pt.timed.ok
+                                ? " lambda " + fmt_seconds(pt.lambda, 4) +
+                                      " > " + fmt_seconds(bound, 4)
+                                : " did not complete"));
+      }
+      if (pt.has_refine) {
+        for (std::size_t r = 1; r < pt.refine.per_round.size(); ++r) {
+          if (pt.refine.per_round[r].candidates >
+              pt.refine.per_round[r - 1].candidates) {
+            gates_ok = false;
+            failures.push_back(std::string(m.name) + " on " + w.name +
+                               ": candidate count grew in round " +
+                               std::to_string(r + 1));
+          }
+        }
+      }
+    } else if (w.adversarial && std::string(m.name) == "sampling" &&
+               (!pt.timed.ok || pt.lambda > 2.0)) {
+      sampling_failed_adversarial = true;
+    }
+  };
+
+  // ---- P=64 full sweep ----------------------------------------------------
+  constexpr int kP = 64;
+  constexpr std::size_t kPerRank = 5000;
+  TextTable table;
+  table.header({"workload", "method", "time(s)", "lambda", "achieved-eps",
+                "rounds (cands)"});
+  for (const Workload& w : kWorkloads) {
+    for (const Method& m : kMethods) {
+      const Point pt = run_point(kP, kPerRank, m, w.name);
+      check_point(pt, m, w, kP, kPerRank);
+      table.row({w.name, m.name, time_cell(pt.timed),
+                 pt.timed.ok ? fmt_seconds(pt.lambda, 4) : "inf",
+                 pt.has_refine && pt.timed.ok
+                     ? fmt_seconds(pt.refine.achieved_epsilon, 4)
+                     : "-",
+                 rounds_cell(pt)});
+    }
+  }
+  std::cout << table.str() << "\n";
+
+  // ---- adversarial P=1024 leg (fiber scheduler) ---------------------------
+  constexpr int kBigP = 1024;
+  constexpr std::size_t kBigPerRank = 1000;
+  TextTable big;
+  big.header({"workload", "method", "time(s)", "lambda", "achieved-eps",
+              "rounds (cands)"});
+  const Method& sampling = kMethods[0];
+  const Method& hist_eps = kMethods[2];
+  for (const Workload& w : kWorkloads) {
+    if (!w.adversarial) continue;
+    const Point pt = run_point(kBigP, kBigPerRank, hist_eps, w.name);
+    check_point(pt, hist_eps, w, kBigP, kBigPerRank);
+    big.row({w.name, hist_eps.name, time_cell(pt.timed),
+             pt.timed.ok ? fmt_seconds(pt.lambda, 4) : "inf",
+             pt.has_refine && pt.timed.ok
+                 ? fmt_seconds(pt.refine.achieved_epsilon, 4)
+                 : "-",
+             rounds_cell(pt)});
+  }
+  {
+    // The contrast column: one-shot sampling on 100% duplicates at P=1024
+    // concentrates everything on one rank — the paper's Fig. 8/10 OOM cell.
+    const Workload all_dup{"all-dup", true};
+    const Point pt = run_point(kBigP, kBigPerRank, sampling, all_dup.name);
+    check_point(pt, sampling, all_dup, kBigP, kBigPerRank);
+    big.row({all_dup.name, sampling.name, time_cell(pt.timed),
+             pt.timed.ok ? fmt_seconds(pt.lambda, 4) : "inf", "-", "-"});
+  }
+  std::cout << big.str() << "\n";
+
+  print_shape(
+      "one-shot sampling (and legacy histogramming) collapse on duplicate-"
+      "heavy keys — OOM under a 3x budget — while ε-bounded refinement "
+      "completes everywhere with lambda <= 1.1, resolving duplicate runs "
+      "exactly via fractional-rank splitters; its per-round candidate "
+      "gather shrinks monotonically.");
+
+  if (!sampling_failed_adversarial) {
+    gates_ok = false;
+    failures.push_back(
+        "expected one-shot sampling to OOM (or exceed lambda 2) on at least "
+        "one adversarial workload — the ablation's contrast is gone");
+  }
+  if (!gates_ok) {
+    print_verdict("FAIL:");
+    for (const std::string& f : failures) std::cout << "  - " << f << "\n";
+    return 1;
+  }
+  print_verdict(
+      "all ε-bounded runs completed with lambda <= 1+eps at P=64 and "
+      "P=1024; candidate gathers monotone; sampling failed the adversarial "
+      "workloads as expected.");
+  return 0;
+}

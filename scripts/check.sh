@@ -87,6 +87,20 @@ echo "== scheduler scale gate (256..4096 fiber ranks) =="
 "$BUILD_DIR"/bench/report_diff bench/baselines/bench_sched_scale.json \
     "$report" --bytes-only
 
+echo "== splitter-selection gate (eps-bounded lambda, P=64 + P=1024) =="
+# ablation_splitters sweeps sampling / legacy histogram / ε-bounded / hybrid
+# splitter selection over uniform, Zipf(1.5), two-value and all-duplicate
+# workloads under a 3x memory budget. Its exit status enforces the ε
+# contract — every kHistogramEps run completes with lambda(recv_records)
+# <= 1+ε where one-shot sampling OOMs, and the per-round refinement
+# candidate gathers shrink monotonically — and its comm + refinement
+# counters and trace lambda are fixed-seed deterministic, diffed against
+# the checked-in baseline. Refresh deliberately with:
+#   build/bench/ablation_splitters --json bench/baselines/ablation_splitters.json
+"$BUILD_DIR"/bench/ablation_splitters --json "$report" >/dev/null
+"$BUILD_DIR"/bench/report_diff bench/baselines/ablation_splitters.json \
+    "$report" --bytes-only
+
 echo "== chaos soak (fixed-seed fault injection) =="
 # chaos_soak force-crashes a victim rank at swept comm-op indices for each of
 # the three distributed sorts, then runs straggler and delivery-jitter
@@ -122,7 +136,8 @@ if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
   # fiber handoff (off_cpu acquire/release) and the trace-lane rebinding.
   cmake -B "$BUILD_DIR-tsan" -S . -DSDSS_SANITIZE=thread >/dev/null
   cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm \
-      test_par test_sortcore test_simd_kernels test_chaos test_trace test_sched
+      test_par test_sortcore test_simd_kernels test_chaos test_trace \
+      test_sched test_splitters
   "$BUILD_DIR-tsan"/tests/test_collectives
   "$BUILD_DIR-tsan"/tests/test_sim_comm
   "$BUILD_DIR-tsan"/tests/test_par
@@ -131,6 +146,10 @@ if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
   "$BUILD_DIR-tsan"/tests/test_chaos
   "$BUILD_DIR-tsan"/tests/test_trace
   "$BUILD_DIR-tsan"/tests/test_sched
+  # The ε-bounded splitter engine's collectives + fractional partition run
+  # across the P=64 fiber pool here: races in the allgatherv/allreduce_vec
+  # payload paths or the exscan-based duplicate split would surface.
+  "$BUILD_DIR-tsan"/tests/test_splitters
 fi
 
 echo "== OK =="

@@ -15,6 +15,32 @@ enum class PivotSelection {
   kHistogram, ///< iterative histogramming of the data (Solomonik & Kale,
               ///< discussed in paper Section 2.4; the skew-aware partition
               ///< repairs its duplicate-key blind spot downstream)
+  kHistogramEps, ///< ε-bounded histogram refinement (HSS-style): iterate
+                 ///< until every boundary's global rank is within
+                 ///< ε·N/(2p) of target, cutting inside duplicate runs
+                 ///< with fractional-rank splitters when no key value has
+                 ///< the target rank. Guarantees λ(recv_records) <= 1+ε.
+};
+
+/// Tunables of the ε-bounded refinement (PivotSelection::kHistogramEps).
+/// See DESIGN.md "ε-bounded histogram splitters".
+struct HistogramEpsConfig {
+  /// Load-imbalance bound: post-exchange λ = max/avg receive volume is at
+  /// most 1+ε (each boundary is placed within ε·N/(2p) records of its
+  /// target, so adjacent-boundary errors sum to at most ε·N/p).
+  double epsilon = 0.1;
+  /// Refinement-round cap. On hitting it the engine falls back to the best
+  /// bracketing key per unresolved boundary and reports the achieved ε.
+  int max_rounds = 32;
+  /// Candidate keys contributed per rank per round. 0 = auto:
+  /// max(8, 4k/p). Each round's contribution is additionally capped at the
+  /// previous round's, so the gathered candidate payload never grows.
+  std::size_t samples_per_round = 0;
+  /// Hybrid mode: seed the first round with the rank's regular stride
+  /// samples (the sampling path's pivot candidates) instead of fresh
+  /// whole-array probes — typically resolves near-uniform boundaries in
+  /// round one and leaves refinement to the skewed ones.
+  bool seed_with_samples = false;
 };
 
 struct Config {
@@ -54,6 +80,10 @@ struct Config {
   bool local_pivot_partition = true;
 
   PivotSelection pivot_selection = PivotSelection::kAuto;
+
+  /// ε-bounded refinement tunables, used when pivot_selection is
+  /// kHistogramEps.
+  HistogramEpsConfig histogram_eps;
 
   /// Per-chunk kernel of the shared-memory local sorts (paper: "dynamic
   /// selection of data processing algorithms"). kRadix/kAuto apply only to

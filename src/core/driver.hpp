@@ -20,12 +20,14 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/exchange.hpp"
 #include "core/histogram_pivots.hpp"
+#include "core/splitter.hpp"
 #include "core/local_order.hpp"
 #include "core/node_merge.hpp"
 #include "core/partition.hpp"
@@ -78,6 +80,10 @@ struct SortReport {
   bool active = true;             ///< false: handed data to the node leader
   ExchangeMode exchange = ExchangeMode::kNone;
   FinalOrdering ordering = FinalOrdering::kNone;
+  /// Filled when pivot_selection == kHistogramEps: per-round refinement
+  /// telemetry (identical on every active rank).
+  bool has_refinement = false;
+  RefineStats refinement;
 };
 
 /// Sort the distributed vector `data` (one shard per rank of `comm`) by
@@ -142,9 +148,23 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
     ScopedPhase phase(&ledger, Phase::kPivotSelection);
     const LocalSamples<K> samples = sample_local_pivots<T, KeyFn>(
         data, static_cast<std::size_t>(p - 1), kf);
-    std::vector<K> pivots;
-    if (cfg.pivot_selection == PivotSelection::kHistogram) {
-      pivots = histogram_select_splitters<T, KeyFn>(active, data, p, {}, kf);
+    if (cfg.pivot_selection == PivotSelection::kHistogramEps) {
+      // ε-bounded refinement yields (possibly fractional) splitters and its
+      // own partition path; it bypasses select_global_pivots entirely.
+      const auto seeds = cfg.histogram_eps.seed_with_samples
+                             ? std::span<const K>(samples.keys)
+                             : std::span<const K>();
+      const auto splitters = histogram_eps_splitters<T, KeyFn>(
+          active, data, p, cfg.histogram_eps, kf, &rep.refinement, seeds);
+      rep.has_refinement = true;
+      bounds = sdss_partition_splitters<T, KeyFn>(
+          active, data, samples, std::span<const Splitter<K>>(splitters), cfg,
+          kf);
+    } else if (cfg.pivot_selection == PivotSelection::kHistogram) {
+      const std::vector<K> pivots =
+          histogram_select_splitters<T, KeyFn>(active, data, p, {}, kf);
+      bounds =
+          sdss_partition<T, KeyFn>(active, data, samples, pivots, cfg, kf);
     } else {
       // Unbalanced input defeats stride-p selection (samples from small
       // shards outvote those from big ones); kAuto detects it and switches
@@ -160,6 +180,7 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
           });
       const bool unbalanced =
           agg.max * static_cast<std::uint64_t>(p) > 2 * agg.sum + 64;
+      std::vector<K> pivots;
       if (cfg.pivot_selection == PivotSelection::kAuto && unbalanced) {
         pivots = select_global_pivots_weighted<K>(active, samples.keys,
                                                   data.size());
@@ -167,8 +188,9 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
         pivots = select_global_pivots<K>(active, samples.keys,
                                          cfg.pivot_selection);
       }
+      bounds =
+          sdss_partition<T, KeyFn>(active, data, samples, pivots, cfg, kf);
     }
-    bounds = sdss_partition<T, KeyFn>(active, data, samples, pivots, cfg, kf);
   }
 
   ExchangePlan plan;

@@ -1,25 +1,43 @@
-// Histogram-based splitter selection (Solomonik & Kale, the paper's [24];
-// discussed and set aside in Section 2.4).
+// Histogram-based splitter selection.
 //
-// Iteratively refine a candidate set of key values so that the global rank
-// of splitter g approaches g·N/k: sample candidates from the local sorted
-// data, allreduce their global ranks, keep the closest per target, resample
-// inside the bracketing interval. HykSort selects its k-way splitters this
-// way, and SDS-Sort can optionally use it for global pivots
-// (PivotSelection::kHistogram). Its documented weakness — the paper's
-// reason for preferring regular sampling + skew-aware partitioning — is
-// that on duplicate-heavy keys no key VALUE has the target rank, so the
-// chosen splitters collapse onto the duplicated value; SDS-Sort's
-// partitioner then has to repair the imbalance downstream, while HykSort's
-// plain partition cannot.
+// Two engines live here:
+//
+//  * histogram_select_splitters — the legacy 2-round refiner (Solomonik &
+//    Kale, the paper's [24]; discussed and set aside in Section 2.4).
+//    Iteratively refine a candidate set of key values so that the global
+//    rank of splitter g approaches g·N/k. Its documented weakness — the
+//    paper's reason for preferring regular sampling + skew-aware
+//    partitioning — is that on duplicate-heavy keys no key VALUE has the
+//    target rank, so the chosen splitters collapse onto the duplicated
+//    value; SDS-Sort's partitioner then has to repair the imbalance
+//    downstream, while HykSort's plain partition cannot.
+//
+//  * histogram_eps_splitters — the ε-bounded production engine (HSS-style:
+//    Harsh, Kalé & Solomonik 2019; the (α,k)-minimal bound is the
+//    theoretical target, see PAPERS.md). It fixes the duplicate blind spot
+//    instead of working around it: refinement terminates only when every
+//    boundary's global rank is within ε·N/(2k) of target, and when no key
+//    value has the target rank — the duplicate case — it emits a
+//    *fractional-rank* splitter (core/splitter.hpp) that cuts inside the
+//    duplicated value's run at an exact global position. Candidate sets are
+//    interval-pruned: each round samples only inside the still-unresolved
+//    brackets, and each rank's contribution is capped at its previous
+//    round's, so the per-round allgather/allreduce payload is
+//    non-increasing (and in practice shrinks geometrically as boundaries
+//    resolve). The partition consumes the result via
+//    sdss_partition_splitters, giving λ(recv_records) <= 1+ε even on
+//    100%-duplicate input.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "core/config.hpp"
+#include "core/splitter.hpp"
 #include "sim/comm.hpp"
 #include "sortcore/key.hpp"
 
@@ -32,7 +50,8 @@ struct HistogramSelectConfig {
 
 /// Select k-1 splitter keys over the distributed sorted data such that
 /// splitter g's global rank is close to g·N/k. Collective; every rank
-/// returns the same non-decreasing splitter vector.
+/// returns the same non-decreasing splitter vector. Best effort: no bound
+/// on the residual rank error (use histogram_eps_splitters for that).
 template <typename T, KeyFunction<T> KeyFn = IdentityKey>
 std::vector<KeyType<KeyFn, T>> histogram_select_splitters(
     sim::Comm& comm, std::span<const T> sorted, int k,
@@ -79,69 +98,367 @@ std::vector<KeyType<KeyFn, T>> histogram_select_splitters(
       return splitters;
     }
     const auto ranks = global_ranks(cands);
+    // Candidates are sorted and ranks are cumulative counts, so `ranks` is
+    // non-decreasing: for every target the best candidate and the
+    // bracketing pair sit at the boundary index "first rank >= target",
+    // and because targets increase with g one pointer sweeps the whole
+    // candidate/target merge in O(|cands| + k) instead of O(k·|cands|).
     if (round + 1 >= cfg.refine_rounds) {
+      std::size_t j = 0;
       for (int g = 1; g < k; ++g) {
         const std::uint64_t target = total * static_cast<std::uint64_t>(g) /
                                      static_cast<std::uint64_t>(k);
-        std::size_t best = 0;
-        std::uint64_t best_err = std::numeric_limits<std::uint64_t>::max();
-        for (std::size_t i = 0; i < cands.size(); ++i) {
-          const std::uint64_t err =
-              ranks[i] > target ? ranks[i] - target : target - ranks[i];
-          if (err < best_err) {
-            best_err = err;
-            best = i;
-          }
+        while (j < cands.size() && ranks[j] < target) ++j;
+        std::size_t best;
+        if (j == 0) {
+          best = 0;
+        } else if (j == cands.size()) {
+          best = cands.size() - 1;
+        } else {
+          // Prefer the lower candidate on an error tie (the legacy scan
+          // kept the first strict minimum, which was the lower index).
+          best = (target - ranks[j - 1] <= ranks[j] - target) ? j - 1 : j;
         }
         splitters[static_cast<std::size_t>(g - 1)] = cands[best];
       }
       std::sort(splitters.begin(), splitters.end());
       return splitters;
     }
-    // Refinement: resample locally inside the bracket around each target.
+    // Refinement: resample locally inside the bracket around each target,
+    // and prune candidates that bracket no target — without pruning the
+    // allgatherv/allreduce payloads grow monotonically across rounds.
     std::vector<K> local_next;
+    std::vector<char> keep(cands.size(), 0);
     auto less_key = [&kf](const K& key, const T& e) { return key < kf(e); };
     auto key_less = [&kf](const T& e, const K& key) { return kf(e) < key; };
     const std::size_t per_target = std::max<std::size_t>(
         2, cfg.samples_per_rank / static_cast<std::size_t>(k));
+    std::size_t j = 0;
     for (int g = 1; g < k; ++g) {
       const std::uint64_t target = total * static_cast<std::uint64_t>(g) /
                                    static_cast<std::uint64_t>(k);
-      std::size_t lo_idx = 0;
-      bool have_lo = false;
-      std::size_t hi_idx = cands.size() - 1;
-      bool have_hi = false;
-      for (std::size_t i = 0; i < cands.size(); ++i) {
-        if (ranks[i] < target) {
-          lo_idx = i;
-          have_lo = true;
-        } else if (!have_hi) {
-          hi_idx = i;
-          have_hi = true;
-        }
-      }
+      while (j < cands.size() && ranks[j] < target) ++j;
+      const bool have_lo = j > 0;
+      const bool have_hi = j < cands.size();
       std::size_t lo = 0;
       std::size_t hi = sorted.size();
       if (have_lo) {
+        keep[j - 1] = 1;
         lo = static_cast<std::size_t>(
-            std::lower_bound(sorted.begin(), sorted.end(), cands[lo_idx],
+            std::lower_bound(sorted.begin(), sorted.end(), cands[j - 1],
                              key_less) -
             sorted.begin());
       }
       if (have_hi) {
+        keep[j] = 1;
         hi = static_cast<std::size_t>(
-            std::upper_bound(sorted.begin(), sorted.end(), cands[hi_idx],
+            std::upper_bound(sorted.begin(), sorted.end(), cands[j],
                              less_key) -
             sorted.begin());
       }
       auto extra = sample_range(lo, hi, per_target);
       local_next.insert(local_next.end(), extra.begin(), extra.end());
     }
+    std::vector<K> pruned;
+    pruned.reserve(2 * static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (keep[i]) pruned.push_back(cands[i]);
+    }
     auto next = comm.allgatherv<K>(local_next);
+    cands = std::move(pruned);
     cands.insert(cands.end(), next.begin(), next.end());
     std::sort(cands.begin(), cands.end());
     cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
   }
+}
+
+namespace detail {
+
+/// Append up to `count` evenly spaced midpoint keys of sorted[lo, hi).
+/// Midpoints (not prefix positions) make a single sample bisect its window,
+/// which is what gives the refinement its per-round geometric shrink.
+template <typename T, typename KeyFn, typename K>
+void midpoint_samples(std::span<const T> sorted, std::size_t lo,
+                      std::size_t hi, std::size_t count, KeyFn& kf,
+                      std::vector<K>& out) {
+  if (hi <= lo || count == 0) return;
+  const std::size_t len = hi - lo;
+  const std::size_t c = std::min(count, len);
+  for (std::size_t i = 0; i < c; ++i) {
+    out.push_back(kf(sorted[lo + (2 * i + 1) * len / (2 * c)]));
+  }
+}
+
+}  // namespace detail
+
+/// ε-bounded splitter refinement. Returns k-1 splitters (plain or
+/// fractional, sorted, identical on every rank) such that the number of
+/// records below boundary g differs from g·N/k by at most ε·N/(2k) — so
+/// adjacent-boundary errors sum to ε·N/k and the post-exchange
+/// λ = max/avg receive volume is at most 1+ε (plus the O(k/N) integer
+/// rounding of the targets themselves). Duplicate-heavy data resolves
+/// *exactly* (err 0) via fractional splitters, including 100%-duplicate
+/// input. Collective and deterministic: every counter in `stats_out` is a
+/// pure function of the distributed data, so CI can diff it.
+///
+/// `seed_keys` (optional, the hybrid mode) pre-loads round 1 with the
+/// caller's regular stride samples instead of fresh whole-array probes.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<Splitter<KeyType<KeyFn, T>>> histogram_eps_splitters(
+    sim::Comm& comm, std::span<const T> sorted, int k,
+    const HistogramEpsConfig& cfg = {}, KeyFn kf = {},
+    RefineStats* stats_out = nullptr,
+    std::span<const KeyType<KeyFn, T>> seed_keys = {}) {
+  using K = KeyType<KeyFn, T>;
+  RefineStats local_stats;
+  RefineStats& stats = stats_out != nullptr ? *stats_out : local_stats;
+  stats = RefineStats{};
+  stats.target_epsilon = cfg.epsilon;
+
+  std::vector<Splitter<K>> splitters;
+  if (k <= 1) return splitters;
+  const auto m = static_cast<std::size_t>(k - 1);
+  const std::size_t n = sorted.size();
+  const std::uint64_t total = comm.allreduce<std::uint64_t>(
+      static_cast<std::uint64_t>(n),
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  stats.total_records = total;
+  if (total == 0) {
+    splitters.assign(m, Splitter<K>{KeyLimits<K>::max(),
+                                    Splitter<K>::kTakeAll, false});
+    return splitters;
+  }
+  // Half the ε budget per boundary: a partition's size is bounded by the
+  // errors of BOTH its boundaries, so ε/2 each keeps λ <= 1+ε.
+  const auto tol = static_cast<std::uint64_t>(
+      cfg.epsilon * static_cast<double>(total) /
+      (2.0 * static_cast<double>(k)));
+  stats.tolerance_records = tol;
+
+  auto key_less = [&kf](const T& e, const K& key) { return kf(e) < key; };
+  auto less_key = [&kf](const K& key, const T& e) { return key < kf(e); };
+  auto lower_idx = [&](const K& key) {
+    return static_cast<std::size_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), key, key_less) -
+        sorted.begin());
+  };
+  auto upper_idx = [&](const K& key) {
+    return static_cast<std::size_t>(
+        std::upper_bound(sorted.begin(), sorted.end(), key, less_key) -
+        sorted.begin());
+  };
+
+  // Per-boundary state. `want` is the desired number of records strictly
+  // below the boundary. The bracket keys have KNOWN global ranks:
+  // lo_below_eq = #{key <= lo_key} < want, and hi_below = #{key < hi_key}
+  // > want, so the boundary key always lies strictly between the brackets
+  // and the local resample window [upper(lo_key), lower(hi_key)) only ever
+  // shrinks.
+  struct Target {
+    std::uint64_t want = 0;
+    bool resolved = false;
+    bool have_lo = false, have_hi = false;
+    K lo_key{}, hi_key{};
+    std::uint64_t lo_below_eq = 0;
+    std::uint64_t hi_below = 0;
+    Splitter<K> chosen{};
+    std::uint64_t err = 0;
+  };
+  std::vector<Target> targets(m);
+  for (std::size_t g = 1; g <= m; ++g) {
+    targets[g - 1].want =
+        total * static_cast<std::uint64_t>(g) / static_cast<std::uint64_t>(k);
+  }
+  auto interval_records = [&](const Target& t) {
+    return (t.have_hi ? t.hi_below : total) -
+           (t.have_lo ? t.lo_below_eq : 0);
+  };
+
+  const std::size_t budget =
+      cfg.samples_per_round != 0
+          ? cfg.samples_per_round
+          : std::max<std::size_t>(
+                8, 4 * static_cast<std::size_t>(k) /
+                       static_cast<std::size_t>(comm.size()));
+  // Each round's contribution is capped at the previous round's: together
+  // with windows that only shrink this makes the gathered candidate count
+  // non-increasing by construction — the telemetry gate asserts it.
+  std::size_t prev_contrib = std::numeric_limits<std::size_t>::max();
+
+  int round = 0;
+  while (round < cfg.max_rounds) {
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!targets[i].resolved) active.push_back(i);
+    }
+    if (active.empty()) break;
+    ++round;
+
+    // ---- contribute candidates (keys of records in unresolved windows) --
+    std::vector<K> mine;
+    const std::size_t cap = std::min(budget, prev_contrib);
+    if (round == 1) {
+      if (!seed_keys.empty()) {
+        const std::size_t c = std::min(cap, seed_keys.size());
+        for (std::size_t i = 0; i < c; ++i) {
+          mine.push_back(seed_keys[i * seed_keys.size() / c]);
+        }
+      }
+      if (mine.size() < cap) {
+        detail::midpoint_samples(sorted, 0, n, cap - mine.size(), kf, mine);
+      }
+    } else {
+      // Serve widest intervals first (interval sizes are global knowledge
+      // — the bracket ranks came out of an allreduce — so the order is
+      // identical on every rank), but rotate each rank's starting offset:
+      // when the per-rank cap covers only a few targets, p rotated windows
+      // of ~cap targets tile the whole active list, so every target gets
+      // ~p·cap/actives probes per round instead of the same few targets
+      // hogging all p contributions (which would need O(k/cap) rounds).
+      std::vector<std::size_t> order = active;
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return interval_records(targets[a]) >
+                                interval_records(targets[b]);
+                       });
+      const std::size_t per_target =
+          std::max<std::size_t>(1, cap / active.size());
+      const std::size_t start =
+          (static_cast<std::size_t>(comm.rank()) * order.size()) /
+          static_cast<std::size_t>(comm.size());
+      for (std::size_t q = 0; q < order.size(); ++q) {
+        if (mine.size() >= cap) break;
+        const Target& t = targets[order[(start + q) % order.size()]];
+        const std::size_t lo = t.have_lo ? upper_idx(t.lo_key) : 0;
+        const std::size_t hi = t.have_hi ? lower_idx(t.hi_key) : n;
+        detail::midpoint_samples(
+            sorted, lo, hi, std::min(per_target, cap - mine.size()), kf,
+            mine);
+      }
+    }
+    std::sort(mine.begin(), mine.end());
+    mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+    prev_contrib = mine.size();
+
+    auto gathered = comm.allgatherv<K>(mine);
+    RefineRound rr;
+    rr.active_targets = active.size();
+    rr.candidates = gathered.size();
+    rr.comm_bytes = gathered.size() * sizeof(K);
+    std::sort(gathered.begin(), gathered.end());
+    gathered.erase(std::unique(gathered.begin(), gathered.end()),
+                   gathered.end());
+    rr.unique_candidates = gathered.size();
+    stats.rounds = round;
+    if (gathered.empty()) {
+      stats.per_round.push_back(rr);
+      break;  // nothing left to probe anywhere: fall back below
+    }
+
+    // ---- global ranks: below(v) and below_eq(v) for every candidate ----
+    const std::size_t nc = gathered.size();
+    std::vector<std::uint64_t> local(2 * nc);
+    for (std::size_t i = 0; i < nc; ++i) {
+      local[i] = lower_idx(gathered[i]);
+      local[nc + i] = upper_idx(gathered[i]);
+    }
+    const auto ranks = comm.allreduce_vec<std::uint64_t>(
+        local, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+    rr.comm_bytes += 2 * nc * sizeof(std::uint64_t);
+    const auto below = [&](std::size_t i) { return ranks[i]; };
+    const auto below_eq = [&](std::size_t i) { return ranks[nc + i]; };
+
+    // ---- merged resolution sweep -----------------------------------------
+    // Candidates sorted by key => below/below_eq non-decreasing; actives
+    // visited in increasing `want`, so one pointer covers all targets.
+    std::size_t j = 0;
+    for (std::size_t idx : active) {
+      Target& t = targets[idx];
+      while (j < nc && below_eq(j) < t.want) ++j;
+      if (j < nc && below(j) <= t.want) {
+        // Candidate j's duplicate run covers global position `want`: the
+        // boundary resolves EXACTLY. A cut at the run's end is a plain
+        // splitter; anywhere inside is a fractional one.
+        if (below_eq(j) == t.want) {
+          t.chosen = Splitter<K>{gathered[j], Splitter<K>::kTakeAll, false};
+        } else {
+          t.chosen = Splitter<K>{gathered[j], t.want - below(j), true};
+        }
+        t.err = 0;
+        t.resolved = true;
+        continue;
+      }
+      // Nearest plain cut: the candidates bracketing `want`.
+      std::uint64_t best_err = std::numeric_limits<std::uint64_t>::max();
+      std::size_t best = nc;
+      if (j < nc) {
+        best_err = below_eq(j) - t.want;
+        best = j;
+      }
+      if (j > 0 && t.want - below_eq(j - 1) < best_err) {
+        best_err = t.want - below_eq(j - 1);
+        best = j - 1;
+      }
+      if (best != nc && best_err <= tol) {
+        t.chosen = Splitter<K>{gathered[best], Splitter<K>::kTakeAll, false};
+        t.err = best_err;
+        t.resolved = true;
+        continue;
+      }
+      // Unresolved: tighten the bracket. j-1 has below_eq < want (lower),
+      // j has below > want (upper — the straddle test above failed).
+      if (j > 0 && (!t.have_lo || below_eq(j - 1) > t.lo_below_eq)) {
+        t.lo_key = gathered[j - 1];
+        t.lo_below_eq = below_eq(j - 1);
+        t.have_lo = true;
+      }
+      if (j < nc && (!t.have_hi || below(j) < t.hi_below)) {
+        t.hi_key = gathered[j];
+        t.hi_below = below(j);
+        t.have_hi = true;
+      }
+      if (best != nc && best_err > rr.max_err) rr.max_err = best_err;
+    }
+    stats.per_round.push_back(rr);
+  }
+
+  // Fallback for targets the round cap (or a dry probe pool) left
+  // unresolved: the best bracketing cut, with the residual error reported.
+  std::uint64_t max_err = 0;
+  for (Target& t : targets) {
+    if (!t.resolved) {
+      stats.hit_round_cap = true;
+      const std::uint64_t lo_err =
+          t.have_lo ? t.want - t.lo_below_eq
+                    : std::numeric_limits<std::uint64_t>::max();
+      const std::uint64_t hi_err =
+          t.have_hi ? t.hi_below - t.want
+                    : std::numeric_limits<std::uint64_t>::max();
+      if (t.have_lo && lo_err <= hi_err) {
+        t.chosen = Splitter<K>{t.lo_key, Splitter<K>::kTakeAll, false};
+        t.err = lo_err;
+      } else if (t.have_hi) {
+        // take_below = 0: the boundary sits immediately below hi_key's run.
+        t.chosen = Splitter<K>{t.hi_key, 0, true};
+        t.err = hi_err;
+      } else {
+        t.chosen = Splitter<K>{KeyLimits<K>::max(), Splitter<K>::kTakeAll,
+                               false};
+        t.err = total - t.want;
+      }
+    }
+    if (t.err > max_err) max_err = t.err;
+    if (t.chosen.fractional) ++stats.fractional_splitters;
+    splitters.push_back(t.chosen);
+  }
+  stats.achieved_epsilon =
+      static_cast<double>(max_err) * 2.0 * static_cast<double>(k) /
+      static_cast<double>(total);
+  // Boundary positions are monotone in (key, take_below), so sorting the
+  // splitters guarantees monotone exchange bounds even when tolerance slop
+  // resolved two nearby targets out of key order.
+  std::sort(splitters.begin(), splitters.end());
+  return splitters;
 }
 
 }  // namespace sdss

@@ -29,6 +29,7 @@
 #include "core/config.hpp"
 #include "core/replicated.hpp"
 #include "core/sampling.hpp"
+#include "core/splitter.hpp"
 #include "sim/comm.hpp"
 #include "sortcore/key.hpp"
 
@@ -178,6 +179,82 @@ std::vector<std::size_t> sdss_partition(
   for (std::size_t d = 0; d < p; ++d) {
     if (bounds[d] > bounds[d + 1]) {
       throw std::logic_error("sdss_partition: non-monotone boundaries");
+    }
+  }
+  return bounds;
+}
+
+/// Send boundaries from ε-bounded splitters (histogram_eps_splitters),
+/// honouring fractional-rank cuts. For a fractional splitter (v, take) the
+/// global number of records with key == v falling below the boundary must
+/// be exactly `take`; this rank's share is determined by an exclusive
+/// prefix sum of per-rank duplicate counts (source-rank order), which makes
+/// the cut exact, deterministic, and stable-compatible — duplicates keep
+/// their source-rank relative order across the boundary. Collective
+/// whenever any splitter key group contains a fractional cut (the group
+/// structure is identical on every rank, so the exscan matches up).
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<std::size_t> sdss_partition_splitters(
+    sim::Comm& comm, std::span<const T> data,
+    const LocalSamples<KeyType<KeyFn, T>>& samples,
+    std::span<const Splitter<KeyType<KeyFn, T>>> splitters, const Config& cfg,
+    KeyFn kf = {}) {
+  using K = KeyType<KeyFn, T>;
+  const auto p = static_cast<std::size_t>(comm.size());
+  if (splitters.size() + 1 != p) {
+    throw std::invalid_argument(
+        "sdss_partition_splitters: need p-1 splitters");
+  }
+  std::vector<std::size_t> bounds(p + 1, 0);
+  bounds[p] = data.size();
+  if (p == 1) return bounds;
+
+  detail::WindowedSearch<T, KeyFn> search(
+      data, cfg.local_pivot_partition ? &samples : nullptr, kf);
+
+  std::size_t i = 0;
+  while (i < splitters.size()) {
+    const K& v = splitters[i].key;
+    std::size_t gs = 1;  // group of splitters sharing the key value v
+    bool any_fractional = splitters[i].fractional;
+    while (i + gs < splitters.size() &&
+           !(v < splitters[i + gs].key)) {
+      any_fractional = any_fractional || splitters[i + gs].fractional;
+      ++gs;
+    }
+    if (!any_fractional) {
+      const std::size_t pd = search.upper(v);
+      for (std::size_t q = 0; q < gs; ++q) bounds[i + q + 1] = pd;
+      i += gs;
+      continue;
+    }
+    const std::size_t lo = search.lower(v);
+    const std::size_t hi = search.upper(v);
+    const auto cnt = static_cast<std::uint64_t>(hi - lo);
+    // Records with key == v held by ranks before me, in source-rank order.
+    const std::uint64_t sb = comm.exscan_sum<std::uint64_t>(cnt);
+    for (std::size_t q = 0; q < gs; ++q) {
+      const Splitter<K>& s = splitters[i + q];
+      if (!s.fractional) {
+        bounds[i + q + 1] = hi;
+        continue;
+      }
+      // My slice of the global v-run is [sb, sb+cnt); the boundary cuts the
+      // global run at position `take_below`.
+      const std::uint64_t taken =
+          s.take_below <= sb
+              ? 0
+              : std::min<std::uint64_t>(s.take_below - sb, cnt);
+      bounds[i + q + 1] = lo + static_cast<std::size_t>(taken);
+    }
+    i += gs;
+  }
+  // Monotone by construction: groups are key-sorted, and within a group
+  // fractional cuts (sorted by take_below) precede plain ones (kTakeAll).
+  for (std::size_t d = 0; d < p; ++d) {
+    if (bounds[d] > bounds[d + 1]) {
+      throw std::logic_error(
+          "sdss_partition_splitters: non-monotone boundaries");
     }
   }
   return bounds;

@@ -168,6 +168,11 @@ std::vector<K> select_global_pivots(sim::Comm& comm,
           "histogram pivot selection operates on the data itself; use "
           "histogram_select_splitters (the sds_sort driver does this "
           "automatically for Config::pivot_selection = kHistogram)");
+    case PivotSelection::kHistogramEps:
+      throw std::invalid_argument(
+          "ε-bounded histogram selection operates on the data itself; use "
+          "histogram_eps_splitters (the sds_sort driver does this "
+          "automatically for Config::pivot_selection = kHistogramEps)");
   }
 
   std::vector<K> pivots(m);

@@ -1,0 +1,69 @@
+// Splitter representation shared by the ε-bounded histogram refinement
+// engine (core/histogram_pivots.hpp) and the partition (core/partition.hpp).
+//
+// A Splitter generalizes a plain pivot key. A *plain* splitter is the
+// classic "everything with key <= v goes below the boundary". A
+// *fractional* splitter additionally prescribes how many duplicates of its
+// key — counted globally, in source-rank order — fall below the boundary.
+// Fractional splitters are what make duplicate-heavy data partitionable
+// with a rank guarantee: when no key VALUE has the target global rank
+// (because one value covers a whole stretch of the sorted order), the
+// boundary is placed *inside* that value's duplicate run, at an exact
+// position. The ranks sharing the duplicated value then split it by
+// position instead of collapsing onto one destination.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sdss {
+
+template <typename K>
+struct Splitter {
+  K key{};
+  /// Records with key == `key` (global count, source-rank order) that fall
+  /// below this boundary. Meaningful only when `fractional`; plain
+  /// splitters use the kTakeAll sentinel so that sorting by (key,
+  /// take_below) orders a plain splitter after every fractional cut of the
+  /// same key (plain = take the whole run).
+  std::uint64_t take_below = 0;
+  bool fractional = false;
+
+  static constexpr std::uint64_t kTakeAll = ~std::uint64_t{0};
+
+  friend bool operator<(const Splitter& a, const Splitter& b) {
+    if (a.key < b.key) return true;
+    if (b.key < a.key) return false;
+    return a.take_below < b.take_below;
+  }
+};
+
+/// Per-round telemetry of one ε-bounded refinement. All counters are
+/// identical on every rank (they describe global, collective state), so any
+/// rank's copy can be reported.
+struct RefineRound {
+  std::uint64_t candidates = 0;        ///< gathered candidate keys (pre-dedup);
+                                       ///< structurally non-increasing by round
+  std::uint64_t unique_candidates = 0; ///< after global sort+unique
+  std::uint64_t active_targets = 0;    ///< unresolved boundaries entering round
+  std::uint64_t comm_bytes = 0;        ///< logical payload: allgathered keys +
+                                       ///< allreduced rank vectors
+  std::uint64_t max_err = 0;           ///< worst |rank−target| of the targets
+                                       ///< still unresolved after the round
+};
+
+/// Outcome of one ε-bounded refinement (histogram_eps_splitters).
+struct RefineStats {
+  int rounds = 0;
+  bool hit_round_cap = false;       ///< fell back to best bracket on >= 1 target
+  std::uint64_t total_records = 0;  ///< N
+  std::uint64_t tolerance_records = 0;  ///< per-boundary rank slack ε·N/(2k)
+  double target_epsilon = 0.0;
+  /// max over boundaries of err / (N/(2k)) — comparable to target_epsilon;
+  /// <= target_epsilon whenever the round cap was not hit.
+  double achieved_epsilon = 0.0;
+  std::uint64_t fractional_splitters = 0;
+  std::vector<RefineRound> per_round;
+};
+
+}  // namespace sdss

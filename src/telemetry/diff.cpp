@@ -111,6 +111,45 @@ void compare_trace(DiffResult& out, const RunReport& b, const RunReport& a,
   out.deltas.push_back(std::move(d));
 }
 
+void compare_refinement(DiffResult& out, const RunReport& b,
+                        const RunReport& a, const DiffOptions& opts) {
+  // Both-sides rule again: only gate when both runs used the ε-bounded
+  // refiner. All counters are pure functions of the distributed data, so
+  // they diff exactly; comm bytes and candidate counts are summed over
+  // rounds (the per-round monotone-decrease invariant is asserted by the
+  // ablation bench itself, the diff gates total refinement cost).
+  if (!b.has_refinement || !a.has_refinement) return;
+  const RefineStats& bs = b.refinement;
+  const RefineStats& as = a.refinement;
+  compare_counter(out, b.name, "refine_rounds",
+                  static_cast<std::uint64_t>(bs.rounds),
+                  static_cast<std::uint64_t>(as.rounds), opts);
+  std::uint64_t b_bytes = 0, a_bytes = 0, b_cands = 0, a_cands = 0;
+  for (const RefineRound& rr : bs.per_round) {
+    b_bytes += rr.comm_bytes;
+    b_cands += rr.candidates;
+  }
+  for (const RefineRound& rr : as.per_round) {
+    a_bytes += rr.comm_bytes;
+    a_cands += rr.candidates;
+  }
+  compare_counter(out, b.name, "refine_comm_bytes", b_bytes, a_bytes, opts);
+  compare_counter(out, b.name, "refine_candidates", b_cands, a_cands, opts);
+  compare_counter(out, b.name, "refine_fractional_splitters",
+                  bs.fractional_splitters, as.fractional_splitters, opts);
+  // Achieved ε is a small deterministic ratio like trace λ: growing past
+  // the counter tolerance (e.g. a boundary no longer resolving exactly)
+  // is a balance regression even if nothing OOMs.
+  PhaseDelta d;
+  d.report = b.name;
+  d.metric = "refine_achieved_eps";
+  d.before = bs.achieved_epsilon;
+  d.after = as.achieved_epsilon;
+  d.regressed = d.after > d.before * (1.0 + opts.bytes_threshold) + 1e-9;
+  out.any_regression = out.any_regression || d.regressed;
+  out.deltas.push_back(std::move(d));
+}
+
 }  // namespace
 
 std::vector<PhaseDelta> DiffResult::regressions() const {
@@ -162,6 +201,7 @@ DiffResult diff_registries(const ReportRegistry& before,
     if (opts.compare_bytes || opts.bytes_only) {
       compare_comm(out, b, *a, opts);
       compare_kernel(out, b, *a, opts);
+      compare_refinement(out, b, *a, opts);
       compare_trace(out, b, *a, opts);
     }
   }
@@ -201,7 +241,7 @@ void print_diff(std::ostream& os, const DiffResult& d,
   os << (regs.empty() ? "no regressions" : "REGRESSIONS: ")
      << (regs.empty() ? "" : std::to_string(regs.size()));
   if (opts.bytes_only) {
-    os << " (comm/kernel counters + trace lambda only, tolerance "
+    os << " (comm/kernel/refinement counters + trace lambda only, tolerance "
        << fmt_seconds(opts.bytes_threshold * 100.0, 0) << "%)\n";
   } else {
     os << " (threshold " << fmt_seconds(opts.threshold * 100.0, 0)

@@ -78,6 +78,11 @@ const std::string* RunReport::find_param(const std::string& key) const {
   return nullptr;
 }
 
+void set_refinement(RunReport& r, const RefineStats& s) {
+  r.has_refinement = true;
+  r.refinement = s;
+}
+
 void set_trace(RunReport& r, const trace::TraceAnalysis& a) {
   r.has_trace = true;
   r.trace_lambda_records = a.lambda_records;
@@ -211,6 +216,35 @@ Json to_json(const RunReport& r) {
     j.set("kernel", std::move(kernel));
   }
 
+  if (r.has_refinement) {
+    const RefineStats& s = r.refinement;
+    Json ref = Json::object();
+    ref.set("rounds", s.rounds);
+    ref.set("hit_round_cap", s.hit_round_cap);
+    ref.set("total_records", s.total_records);
+    ref.set("tolerance_records", s.tolerance_records);
+    ref.set("target_epsilon", s.target_epsilon);
+    ref.set("achieved_epsilon", s.achieved_epsilon);
+    ref.set("fractional_splitters", s.fractional_splitters);
+    // Compact fixed-position rows: [candidates, unique_candidates,
+    // active_targets, comm_bytes, max_err] per round. New columns append;
+    // the reader accepts >= 4.
+    Json rounds = Json::array();
+    for (const RefineRound& rr : s.per_round) {
+      Json row = Json::array();
+      row.push_back(rr.candidates);
+      row.push_back(rr.unique_candidates);
+      row.push_back(rr.active_targets);
+      row.push_back(rr.comm_bytes);
+      row.push_back(rr.max_err);
+      rounds.push_back(std::move(row));
+    }
+    ref.set("per_round", std::move(rounds));
+    Json partition = Json::object();
+    partition.set("refinement", std::move(ref));
+    j.set("partition", std::move(partition));
+  }
+
   if (r.has_trace) {
     Json trace = Json::object();
     trace.set("lambda_records", r.trace_lambda_records);
@@ -325,6 +359,32 @@ RunReport report_from_json(const Json& j) {
       r.kernel_simd_hist_calls = simd->at("hist_calls").u64_or();
       r.kernel_simd_sortnet_calls = simd->at("sortnet_calls").u64_or();
       r.kernel_simd_gallop_calls = simd->at("gallop_calls").u64_or();
+    }
+  }
+
+  if (const Json* partition = j.find("partition")) {
+    if (const Json* ref = partition->find("refinement")) {
+      r.has_refinement = true;
+      RefineStats& s = r.refinement;
+      s.rounds = static_cast<int>(ref->at("rounds").number_or());
+      s.hit_round_cap = ref->at("hit_round_cap").bool_or(false);
+      s.total_records = ref->at("total_records").u64_or();
+      s.tolerance_records = ref->at("tolerance_records").u64_or();
+      s.target_epsilon = ref->at("target_epsilon").number_or();
+      s.achieved_epsilon = ref->at("achieved_epsilon").number_or();
+      s.fractional_splitters = ref->at("fractional_splitters").u64_or();
+      for (const Json& row : ref->at("per_round").items()) {
+        const auto& cells = row.items();
+        RefineRound rr;
+        if (cells.size() >= 4) {
+          rr.candidates = cells[0].u64_or();
+          rr.unique_candidates = cells[1].u64_or();
+          rr.active_targets = cells[2].u64_or();
+          rr.comm_bytes = cells[3].u64_or();
+          if (cells.size() >= 5) rr.max_err = cells[4].u64_or();
+        }
+        s.per_round.push_back(rr);
+      }
     }
   }
 

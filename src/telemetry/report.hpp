@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/splitter.hpp"
 #include "sim/chaos.hpp"
 #include "sim/comm_stats.hpp"
 #include "telemetry/json.hpp"
@@ -137,7 +138,20 @@ struct RunReport {
   std::uint64_t kernel_simd_hist_calls = 0;
   std::uint64_t kernel_simd_sortnet_calls = 0;
   std::uint64_t kernel_simd_gallop_calls = 0;
+
+  // ε-bounded splitter refinement (the partition.refinement JSON subobject,
+  // docs/OBSERVABILITY.md). Every counter is a pure function of the
+  // distributed data — identical on all ranks and across reruns — so
+  // report_diff gates them exactly, including the per-round candidate
+  // counts whose monotone decrease is the interval-pruning invariant.
+  // has_refinement distinguishes "run didn't use kHistogramEps" from zeros.
+  bool has_refinement = false;
+  RefineStats refinement;
 };
+
+/// Fill a report's refinement section from the driver's RefineStats (sets
+/// has_refinement).
+void set_refinement(RunReport& r, const RefineStats& s);
 
 /// Fill a report's trace section from an analyzed run trace (sets
 /// has_trace and the per-phase critical-path/λ summaries).

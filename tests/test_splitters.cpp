@@ -1,0 +1,326 @@
+// Tests for the ε-bounded splitter engine (histogram_eps_splitters), the
+// fractional-splitter partition, and the degenerate sampling shards.
+//
+// The exact-λ assertions are the point of this file: on all-duplicate and
+// two-value inputs the legacy histogram selection provably collapses, while
+// the ε-bounded engine's fractional-rank splitters place every boundary at
+// an exact global position — so the post-exchange receive volume is not
+// merely bounded, it is *equal* across ranks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/histogram_pivots.hpp"
+#include "core/metrics.hpp"
+#include "core/sampling.hpp"
+#include "core/validate.hpp"
+#include "sim/cluster.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+
+// λ of the post-exchange receive volume, computed exactly from the
+// SortReport counters (the same quantity the trace gate diffs).
+double lambda_recv(Comm& w, const SortReport& rep) {
+  const auto loads = w.allgather<std::uint64_t>(rep.recv_records);
+  std::uint64_t max = 0, total = 0;
+  for (auto l : loads) {
+    max = std::max(max, l);
+    total += l;
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(max) * static_cast<double>(loads.size()) /
+         static_cast<double>(total);
+}
+
+// --- the engine ------------------------------------------------------------
+
+TEST(EpsSplitters, ExactRanksOnDenseUniqueKeys) {
+  Cluster(ClusterConfig{8}).run([](Comm& w) {
+    // Rank r holds [r*1000, (r+1)*1000): every global rank is occupied by
+    // exactly one key, so every boundary must resolve with error 0.
+    std::vector<std::uint64_t> data(1000);
+    for (std::size_t i = 0; i < 1000; ++i) {
+      data[i] = static_cast<std::uint64_t>(w.rank()) * 1000 + i;
+    }
+    RefineStats stats;
+    auto splitters = histogram_eps_splitters<std::uint64_t>(
+        w, data, w.size(), HistogramEpsConfig{}, {}, &stats);
+    ASSERT_EQ(splitters.size(), 7u);
+    EXPECT_FALSE(stats.hit_round_cap);
+    EXPECT_GE(stats.rounds, 1);
+    EXPECT_LE(stats.achieved_epsilon, stats.target_epsilon);
+    EXPECT_TRUE(std::is_sorted(splitters.begin(), splitters.end()));
+    for (std::size_t g = 0; g < splitters.size(); ++g) {
+      // Unique keys: boundary g resolves within tolerance of key
+      // (g+1)*1000 (the key whose global rank is the target).
+      const double target = static_cast<double>((g + 1) * 1000);
+      EXPECT_NEAR(static_cast<double>(splitters[g].key), target,
+                  static_cast<double>(stats.tolerance_records) + 1.0)
+          << "boundary " << g;
+    }
+  });
+}
+
+TEST(EpsSplitters, FractionalSplittersWhereLegacyCollapses) {
+  // The exact input of the legacy CollapseOntoDuplicatedValue test: 60% of
+  // all records share one key. The legacy refiner parks >= 2 splitters on
+  // the hot value (asserted in test_comm_stats_histogram.cpp); the
+  // ε-bounded engine instead cuts *inside* the hot run with fractional
+  // splitters, each boundary exact.
+  Cluster(ClusterConfig{8}).run([](Comm& w) {
+    SplitMix64 rng(derive_seed(809, static_cast<std::uint64_t>(w.rank())));
+    std::vector<std::uint64_t> data(2000);
+    for (auto& x : data) {
+      x = rng.next_below(10) < 6 ? 5000u : rng.next_below(10000);
+    }
+    std::sort(data.begin(), data.end());
+    RefineStats stats;
+    auto splitters = histogram_eps_splitters<std::uint64_t>(
+        w, data, w.size(), HistogramEpsConfig{}, {}, &stats);
+    std::size_t hot_fractional = 0;
+    for (const auto& s : splitters) {
+      if (s.fractional && s.key == 5000u) ++hot_fractional;
+    }
+    EXPECT_GE(hot_fractional, 2u)
+        << "the hot key's run should absorb several fractional boundaries";
+    EXPECT_EQ(stats.fractional_splitters, hot_fractional);
+    EXPECT_FALSE(stats.hit_round_cap);
+    EXPECT_LE(stats.achieved_epsilon, stats.target_epsilon);
+  });
+}
+
+TEST(EpsSplitters, CandidateCountNonIncreasingAcrossRounds) {
+  Cluster(ClusterConfig{8}).run([](Comm& w) {
+    auto data = workloads::zipf_keys(
+        4000, 1.5, derive_seed(812, static_cast<std::uint64_t>(w.rank())));
+    std::sort(data.begin(), data.end());
+    HistogramEpsConfig cfg;
+    cfg.epsilon = 0.01;  // tight bound forces several refinement rounds
+    RefineStats stats;
+    histogram_eps_splitters<std::uint64_t>(w, data, w.size(), cfg, {},
+                                           &stats);
+    ASSERT_GE(stats.rounds, 2) << "tight ε should need refinement";
+    ASSERT_EQ(stats.per_round.size(), static_cast<std::size_t>(stats.rounds));
+    for (std::size_t r = 1; r < stats.per_round.size(); ++r) {
+      EXPECT_LE(stats.per_round[r].candidates,
+                stats.per_round[r - 1].candidates)
+          << "round " << r << ": interval pruning must shrink the gather";
+      EXPECT_GT(stats.per_round[r].comm_bytes, 0u);
+    }
+    EXPECT_FALSE(stats.hit_round_cap);
+    EXPECT_LE(stats.achieved_epsilon, cfg.epsilon);
+  });
+}
+
+TEST(EpsSplitters, RoundCapFallsBackToBestBracket) {
+  Cluster(ClusterConfig{8}).run([](Comm& w) {
+    auto data = workloads::zipf_keys(
+        4000, 1.5, derive_seed(813, static_cast<std::uint64_t>(w.rank())));
+    std::sort(data.begin(), data.end());
+    HistogramEpsConfig cfg;
+    cfg.epsilon = 0.0001;
+    cfg.max_rounds = 1;  // guaranteed too few for this ε
+    RefineStats stats;
+    auto splitters = histogram_eps_splitters<std::uint64_t>(
+        w, data, w.size(), cfg, {}, &stats);
+    EXPECT_EQ(stats.rounds, 1);
+    ASSERT_EQ(splitters.size(), 7u);
+    EXPECT_TRUE(std::is_sorted(splitters.begin(), splitters.end()));
+    // The fallback reports honestly: either everything resolved in one
+    // round (possible for duplicate-heavy zipf: fractional cuts are exact)
+    // or the cap was hit and achieved ε exceeds the target.
+    if (stats.hit_round_cap) {
+      EXPECT_GT(stats.achieved_epsilon, cfg.epsilon);
+    } else {
+      EXPECT_LE(stats.achieved_epsilon, cfg.epsilon);
+    }
+  });
+}
+
+TEST(EpsSplitters, Degenerates) {
+  Cluster(ClusterConfig{4}).run([](Comm& w) {
+    std::vector<std::uint64_t> empty;
+    RefineStats stats;
+    auto splitters = histogram_eps_splitters<std::uint64_t>(
+        w, empty, w.size(), HistogramEpsConfig{}, {}, &stats);
+    ASSERT_EQ(splitters.size(), 3u);
+    for (const auto& s : splitters) {
+      EXPECT_EQ(s.key, KeyLimits<std::uint64_t>::max());
+      EXPECT_FALSE(s.fractional);
+    }
+    EXPECT_EQ(stats.total_records, 0u);
+    // k = 1: no boundaries at all.
+    EXPECT_TRUE((histogram_eps_splitters<std::uint64_t>(w, empty, 1).empty()));
+  });
+}
+
+// --- end-to-end λ guarantees through sds_sort ------------------------------
+
+void expect_exact_lambda_all_duplicate(int p, std::size_t per_rank) {
+  Cluster(ClusterConfig{p}).run([&](Comm& w) {
+    // 100%-duplicate input: the worst case for any value-based splitter.
+    std::vector<std::uint64_t> data(per_rank, 42u);
+    Config cfg;
+    cfg.pivot_selection = PivotSelection::kHistogramEps;
+    SortReport rep;
+    auto out = sds_sort<std::uint64_t>(w, std::move(data), cfg, {}, &rep);
+    ASSERT_TRUE(rep.has_refinement);
+    EXPECT_EQ(rep.refinement.fractional_splitters,
+              static_cast<std::uint64_t>(w.size() - 1));
+    EXPECT_EQ(rep.refinement.achieved_epsilon, 0.0);
+    // Fractional cuts are exact: every rank receives exactly N/p records.
+    EXPECT_EQ(rep.recv_records, per_rank);
+    EXPECT_DOUBLE_EQ(lambda_recv(w, rep), 1.0);
+    EXPECT_EQ(out.size(), per_rank);
+  });
+}
+
+TEST(EpsSort, AllDuplicateExactLambdaP8) {
+  expect_exact_lambda_all_duplicate(8, 4000);
+}
+
+TEST(EpsSort, AllDuplicateExactLambdaP64) {
+  expect_exact_lambda_all_duplicate(64, 1000);
+}
+
+void expect_exact_lambda_two_value(int p, std::size_t per_rank) {
+  Cluster(ClusterConfig{p}).run([&](Comm& w) {
+    // Two values, 50/50: p/2 boundaries have no key value at their rank.
+    std::vector<std::uint64_t> data(per_rank);
+    for (std::size_t i = 0; i < per_rank; ++i) {
+      data[i] = i < per_rank / 2 ? 7u : 9u;
+    }
+    Config cfg;
+    cfg.pivot_selection = PivotSelection::kHistogramEps;
+    SortReport rep;
+    auto before = global_checksum<std::uint64_t>(w, data);
+    auto out = sds_sort<std::uint64_t>(w, std::move(data), cfg, {}, &rep);
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(w, out)));
+    EXPECT_EQ(before, (global_checksum<std::uint64_t>(w, out)));
+    EXPECT_EQ(rep.recv_records, per_rank);
+    EXPECT_DOUBLE_EQ(lambda_recv(w, rep), 1.0);
+  });
+}
+
+TEST(EpsSort, TwoValueExactLambdaP8) { expect_exact_lambda_two_value(8, 4000); }
+
+TEST(EpsSort, TwoValueExactLambdaP64) {
+  expect_exact_lambda_two_value(64, 1000);
+}
+
+void expect_eps_bound_on_zipf(int p, std::size_t per_rank) {
+  Cluster(ClusterConfig{p}).run([&](Comm& w) {
+    auto data = workloads::zipf_keys(
+        per_rank, 1.5, derive_seed(814, static_cast<std::uint64_t>(w.rank())));
+    Config cfg;
+    cfg.pivot_selection = PivotSelection::kHistogramEps;
+    cfg.histogram_eps.epsilon = 0.1;
+    SortReport rep;
+    auto before = global_checksum<std::uint64_t>(w, data);
+    auto out = sds_sort<std::uint64_t>(w, std::move(data), cfg, {}, &rep);
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(w, out)));
+    EXPECT_EQ(before, (global_checksum<std::uint64_t>(w, out)));
+    ASSERT_TRUE(rep.has_refinement);
+    EXPECT_FALSE(rep.refinement.hit_round_cap);
+    // λ <= 1+ε plus the integer rounding of the N/p targets themselves.
+    EXPECT_LE(lambda_recv(w, rep),
+              1.1 + static_cast<double>(p) /
+                        static_cast<double>(p * per_rank));
+  });
+}
+
+TEST(EpsSort, ZipfLambdaBoundedP8) { expect_eps_bound_on_zipf(8, 4000); }
+
+TEST(EpsSort, ZipfLambdaBoundedP64) { expect_eps_bound_on_zipf(64, 1000); }
+
+TEST(EpsSort, StableModePreservesDuplicateOrder) {
+  // Records are (key << 32) | global-uid with a single key: the fractional
+  // partition cuts the one duplicate run; stable mode must keep the
+  // rank-major uid order, which makes the full 64-bit values globally
+  // sorted under the identity comparison.
+  struct KeyHi {
+    std::uint64_t operator()(const std::uint64_t& x) const { return x >> 32; }
+  };
+  Cluster(ClusterConfig{8}).run([](Comm& w) {
+    const std::size_t n = 3000;
+    std::vector<std::uint64_t> data(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      data[i] = (42ull << 32) |
+                (static_cast<std::uint64_t>(w.rank()) * n + i);
+    }
+    Config cfg;
+    cfg.stable = true;
+    cfg.pivot_selection = PivotSelection::kHistogramEps;
+    SortReport rep;
+    auto out =
+        sds_sort<std::uint64_t, KeyHi>(w, std::move(data), cfg, {}, &rep);
+    EXPECT_EQ(rep.recv_records, n);  // exact split of the single run
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(w, out)))
+        << "stable fractional cut must preserve source-rank order";
+  });
+}
+
+TEST(EpsSort, HybridSeededSelectionBalances) {
+  Cluster(ClusterConfig{8}).run([](Comm& w) {
+    auto data = workloads::uniform_u64(
+        4000, derive_seed(815, static_cast<std::uint64_t>(w.rank())),
+        1ull << 40);
+    Config cfg;
+    cfg.pivot_selection = PivotSelection::kHistogramEps;
+    cfg.histogram_eps.seed_with_samples = true;
+    SortReport rep;
+    auto out = sds_sort<std::uint64_t>(w, std::move(data), cfg, {}, &rep);
+    EXPECT_TRUE((is_globally_sorted<std::uint64_t>(w, out)));
+    ASSERT_TRUE(rep.has_refinement);
+    EXPECT_FALSE(rep.refinement.hit_round_cap);
+    EXPECT_LE(lambda_recv(w, rep), 1.1 + 1e-3);
+  });
+}
+
+// --- sampling degenerate shards (satellite) --------------------------------
+
+TEST(SampleLocalPivots, FewerRecordsThanPivots) {
+  const std::vector<std::uint64_t> data{10, 20, 30};
+  const auto s = sample_local_pivots<std::uint64_t>(data, 7);
+  ASSERT_EQ(s.keys.size(), 7u);
+  ASSERT_EQ(s.positions.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(s.keys.begin(), s.keys.end()));
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_LT(s.positions[i], data.size());
+    EXPECT_EQ(s.keys[i], data[s.positions[i]]);
+  }
+  // Trailing pivots clamp to the last element instead of running off the
+  // shard.
+  EXPECT_EQ(s.keys.back(), 30u);
+}
+
+TEST(SampleLocalPivots, EmptyShardContributesSentinels) {
+  const std::vector<std::uint64_t> data;
+  const auto s = sample_local_pivots<std::uint64_t>(data, 5);
+  ASSERT_EQ(s.keys.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.keys[i], KeyLimits<std::uint64_t>::max());
+    EXPECT_EQ(s.positions[i], 0u);
+  }
+}
+
+TEST(SampleLocalPivots, SingleRecordShard) {
+  const std::vector<std::uint64_t> data{99};
+  const auto s = sample_local_pivots<std::uint64_t>(data, 3);
+  ASSERT_EQ(s.keys.size(), 3u);
+  for (auto k : s.keys) EXPECT_EQ(k, 99u);
+}
+
+}  // namespace
+}  // namespace sdss

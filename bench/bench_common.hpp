@@ -189,6 +189,7 @@ inline TimedResult time_spmd(
   rep.ok = out.ok;
   rep.oom = out.oom;
   rep.failure_class = sim::failure_class_name(res.failure);
+  rep.failure_detail = res.failure_detail;
   rep.failed_rank = res.failed_rank;
   if (cc.chaos.any()) {
     rep.has_chaos = true;

@@ -1,0 +1,441 @@
+// Out-of-core degradation bench: the Fig. 8 Zipf shape at a budget where
+// both HykSort and strict SDS-Sort OOM, completed by MemoryPolicy::kSpill.
+//
+// Default mode (the CI gate, scripts/check.sh):
+//   * reference leg — strict SDS-Sort, unlimited budget (in-core);
+//   * strict leg   — the same sort at a budget below the per-rank receive
+//     volume: must OOM (phase "exchange");
+//   * HykSort leg  — same budget: must OOM (the paper's failure mode);
+//   * spill leg    — same budget under kSpill: must complete, with per-rank
+//     output byte-identical to the reference and wall time within a bounded
+//     slowdown factor.
+//   The spill leg's six telemetry counters (runs/frames/bytes spilled and
+//   reloaded, merge passes, resident peak) are deterministic for the fixed
+//   seed and are gated EXACTLY against bench/baselines/bench_spill.json
+//   in-process (report_diff's counter comparison is growth-only, so the
+//   bench itself enforces equality). --no-gate skips the comparison (used
+//   to regenerate the baseline), --baseline <path> points elsewhere.
+//
+// --chaos mode (the spill-fault soak, scripts/check.sh):
+//   probes a fault-free run for every rank's spill-op count, then sweeps a
+//   forced spill-write failure and a forced frame corruption over EVERY
+//   (rank, spill op) point, asserting the failure taxonomy: an injected
+//   failure yields exactly kSpillIoError on the victim; a corruption either
+//   fires and is caught by the reload checksum (kSpillIoError mentioning
+//   "checksum") or lands on a read op and the run completes. Also: a
+//   seeded slow-disk endurance leg under a tight watchdog (stalls must
+//   never read as deadlock), a forced comm-crash during the spill window
+//   (kInjectedCrash, not a spill class), and a fault-free tight-watchdog
+//   suite. Any unexpected classification exits nonzero.
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "baselines/hyksort.hpp"
+#include "bench_common.hpp"
+#include "core/driver.hpp"
+#include "telemetry/report.hpp"
+#include "workloads/zipf.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+
+constexpr int kRanks = 64;
+constexpr std::size_t kPerRank = 20000;
+constexpr std::size_t kBudget = 6000;  // < per-rank average receive volume
+constexpr std::size_t kFrame = 1024;
+constexpr double kAlpha = 1.5;
+constexpr double kMaxSlowdown = 50.0;  // spill vs in-core wall-time bound
+
+std::vector<std::uint64_t> shard(int rank, std::size_t per_rank) {
+  return workloads::zipf_keys(
+      per_rank, kAlpha, derive_seed(8801, static_cast<std::uint64_t>(rank)));
+}
+
+struct Leg {
+  TimedResult timing;
+  std::vector<std::vector<std::uint64_t>> outputs;
+};
+
+Leg run_sds(std::size_t budget, MemoryPolicy policy, const char* leg_name) {
+  sim::Cluster cluster(sim::ClusterConfig{kRanks, 1});
+  Leg leg;
+  leg.outputs.resize(kRanks);
+  std::mutex mu;
+  SpillStats spill_sum;
+  std::uint64_t max_passes = 0, max_peak = 0;
+  bool any_spilled = false;
+  RunMeta meta;
+  meta.name = std::string("bench_spill/p=") + std::to_string(kRanks) + "/" +
+              leg_name;
+  meta.algorithm = "SDS-Sort";
+  meta.workload = "zipf-1.5";
+  meta.params = {
+      {"mem_budget_records", std::to_string(budget)},
+      {"memory_policy",
+       policy == MemoryPolicy::kSpill ? "spill" : "strict"},
+      {"spill_frame_records", std::to_string(kFrame)}};
+  leg.timing = time_spmd(
+      cluster,
+      [&](sim::Comm& world) {
+        std::vector<std::uint64_t> data = shard(world.rank(), kPerRank);
+        std::vector<std::uint64_t> out;
+        SortReport rep;
+        const double secs = timed_section(world, [&] {
+          Config cfg;
+          cfg.stable = true;
+          cfg.mem_limit_records = budget;
+          cfg.memory_policy = policy;
+          cfg.spill_frame_records = kFrame;
+          out = sds_sort<std::uint64_t>(world, std::move(data), cfg, {}, &rep);
+        });
+        leg.outputs[static_cast<std::size_t>(world.rank())] = std::move(out);
+        if (rep.spilled) {
+          std::lock_guard<std::mutex> lk(mu);
+          any_spilled = true;
+          spill_sum += rep.spill;
+          max_passes = std::max(max_passes, rep.spill.merge_passes);
+          max_peak = std::max(max_peak, rep.spill.peak_resident_records);
+        }
+        return secs;
+      },
+      std::move(meta));
+  if (any_spilled) {
+    if (telemetry::RunReport* rep = last_report()) {
+      spill_sum.merge_passes = max_passes;
+      spill_sum.peak_resident_records = max_peak;
+      telemetry::add_spill(*rep, spill_sum);
+    }
+  }
+  return leg;
+}
+
+TimedResult run_hyksort(std::size_t budget) {
+  sim::Cluster cluster(sim::ClusterConfig{kRanks, 1});
+  RunMeta meta;
+  meta.name =
+      std::string("bench_spill/p=") + std::to_string(kRanks) + "/hyksort";
+  meta.algorithm = "HykSort";
+  meta.workload = "zipf-1.5";
+  meta.params = {{"mem_budget_records", std::to_string(budget)}};
+  return time_spmd(
+      cluster,
+      [&](sim::Comm& world) {
+        std::vector<std::uint64_t> data = shard(world.rank(), kPerRank);
+        return timed_section(world, [&] {
+          baselines::HykSortConfig cfg;
+          cfg.mem_limit_records = budget;
+          auto out = baselines::hyksort<std::uint64_t>(world, std::move(data),
+                                                       cfg);
+          (void)out;
+        });
+      },
+      std::move(meta));
+}
+
+/// Exact six-counter comparison of the spill leg against the checked-in
+/// baseline. Returns the number of mismatches (0 = gate passes).
+int gate_spill_counters(const std::string& baseline_path,
+                        const std::string& run_name) {
+  const telemetry::RunReport* cur =
+      BenchReporter::instance().registry().find(run_name);
+  if (cur == nullptr || !cur->has_spill) {
+    std::cerr << "gate: current run '" << run_name
+              << "' has no spill telemetry\n";
+    return 1;
+  }
+  telemetry::ReportRegistry base;
+  try {
+    base = telemetry::ReportRegistry::load_file(baseline_path);
+  } catch (const std::exception& e) {
+    std::cerr << "gate: cannot load baseline " << baseline_path << ": "
+              << e.what() << "\n";
+    return 1;
+  }
+  const telemetry::RunReport* ref = base.find(run_name);
+  if (ref == nullptr || !ref->has_spill) {
+    std::cerr << "gate: baseline " << baseline_path << " has no spill run '"
+              << run_name << "'\n";
+    return 1;
+  }
+  int bad = 0;
+  const auto check = [&](const char* what, std::uint64_t got,
+                         std::uint64_t want) {
+    if (got != want) {
+      std::cerr << "gate: spill." << what << " = " << got << ", baseline "
+                << want << "\n";
+      ++bad;
+    }
+  };
+  check("runs_written", cur->spill_runs_written, ref->spill_runs_written);
+  check("frames_written", cur->spill_frames_written,
+        ref->spill_frames_written);
+  check("bytes_spilled", cur->spill_bytes_spilled, ref->spill_bytes_spilled);
+  check("bytes_reloaded", cur->spill_bytes_reloaded,
+        ref->spill_bytes_reloaded);
+  check("merge_passes", cur->spill_merge_passes, ref->spill_merge_passes);
+  check("peak_resident_records", cur->spill_peak_resident_records,
+        ref->spill_peak_resident_records);
+  return bad;
+}
+
+int run_default(bool gate, const std::string& baseline_path) {
+  print_header(
+      "Out-of-core degradation — Zipf(1.5) under an OOM-tight budget",
+      std::to_string(kRanks) + " ranks x " + std::to_string(kPerRank / 1000) +
+          "k records, per-rank budget " + std::to_string(kBudget) +
+          " records (< the average receive volume): HykSort and strict "
+          "SDS-Sort must OOM; the spill policy must complete exactly.");
+
+  const Leg ref = run_sds(0, MemoryPolicy::kStrict, "reference");
+  const Leg strict = run_sds(kBudget, MemoryPolicy::kStrict, "strict");
+  const TimedResult hyk = run_hyksort(kBudget);
+  const Leg spill = run_sds(kBudget, MemoryPolicy::kSpill, "spill");
+
+  TextTable table;
+  table.header({"leg", "budget", "outcome", "wall(s)"});
+  table.row({"SDS strict (reference)", "unlimited",
+             ref.timing.ok ? "ok" : "FAIL", time_cell(ref.timing)});
+  table.row({"SDS strict", std::to_string(kBudget),
+             strict.timing.oom ? "OOM" : (strict.timing.ok ? "ok" : "FAIL"),
+             time_cell(strict.timing)});
+  table.row({"HykSort", std::to_string(kBudget),
+             hyk.oom ? "OOM" : (hyk.ok ? "ok" : "FAIL"), time_cell(hyk)});
+  table.row({"SDS spill", std::to_string(kBudget),
+             spill.timing.ok ? "ok" : "FAIL", time_cell(spill.timing)});
+  std::cout << table.str() << "\n";
+
+  int bad = 0;
+  if (!ref.timing.ok) {
+    std::cerr << "FAIL: unlimited reference leg did not complete\n";
+    ++bad;
+  }
+  if (!strict.timing.oom) {
+    std::cerr << "FAIL: strict leg at budget " << kBudget
+              << " did not OOM (out-of-core premise broken)\n";
+    ++bad;
+  }
+  if (!hyk.oom) {
+    std::cerr << "FAIL: HykSort at budget " << kBudget << " did not OOM\n";
+    ++bad;
+  }
+  if (!spill.timing.ok) {
+    std::cerr << "FAIL: spill leg did not complete\n";
+    ++bad;
+  } else {
+    // Output validation: the spill path must reproduce the in-core stable
+    // sort byte-for-byte on every rank.
+    for (int r = 0; r < kRanks; ++r) {
+      const auto i = static_cast<std::size_t>(r);
+      if (spill.outputs[i] != ref.outputs[i]) {
+        std::cerr << "FAIL: spill output differs from reference on rank " << r
+                  << "\n";
+        ++bad;
+        break;
+      }
+    }
+    if (ref.timing.seconds > 0.0 &&
+        spill.timing.seconds > kMaxSlowdown * ref.timing.seconds) {
+      std::cerr << "FAIL: spill slowdown "
+                << spill.timing.seconds / ref.timing.seconds << "x exceeds "
+                << kMaxSlowdown << "x bound\n";
+      ++bad;
+    }
+  }
+  if (gate && bad == 0) {
+    bad += gate_spill_counters(
+        baseline_path,
+        "bench_spill/p=" + std::to_string(kRanks) + "/spill");
+  }
+
+  print_shape(
+      "The budget kills both in-core paths (the paper's Fig. 8 OOM column); "
+      "the spill policy degrades to disk and finishes with identical "
+      "output.");
+  print_verdict(bad == 0 ? "spill leg completed, output exact, counters "
+                           "match baseline."
+                         : std::to_string(bad) + " gate failure(s).");
+  return bad == 0 ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// --chaos: exhaustive spill-fault sweep at small scale.
+
+constexpr int kChaosRanks = 8;
+constexpr std::size_t kChaosPerRank = 800;
+constexpr std::size_t kChaosBudget = 600;
+constexpr std::size_t kChaosFrame = 128;
+
+sim::RunResult chaos_run(const sim::ChaosSpec& spec, double watchdog_s = 5.0) {
+  sim::ClusterConfig cc{kChaosRanks};
+  cc.chaos = spec;
+  cc.watchdog_timeout_s = watchdog_s;
+  sim::Cluster cluster(cc);
+  return cluster.run_collect([](sim::Comm& w) {
+    Config cfg;
+    cfg.stable = true;
+    cfg.mem_limit_records = kChaosBudget;
+    cfg.memory_policy = MemoryPolicy::kSpill;
+    cfg.spill_frame_records = kChaosFrame;
+    auto out =
+        sds_sort<std::uint64_t>(w, shard(w.rank(), kChaosPerRank), cfg);
+    (void)out;
+  });
+}
+
+int run_chaos() {
+  print_header(
+      "Spill-fault soak — every (rank, spill op) failure point",
+      std::to_string(kChaosRanks) + " ranks, spill-mode Zipf sort; forced "
+      "write failures and frame corruptions swept over every spill op, "
+      "plus slow-disk endurance and a comm-crash leg.");
+
+  const sim::RunResult probe = chaos_run({});
+  if (!probe.ok) {
+    std::cerr << "FAIL: fault-free probe run failed: " << probe.error << "\n";
+    return 1;
+  }
+  std::uint64_t total_ops = 0;
+  for (const std::uint64_t n : probe.spill_ops) total_ops += n;
+  if (total_ops == 0) {
+    std::cerr << "FAIL: probe run performed no spill ops (workload no "
+                 "longer goes out-of-core)\n";
+    return 1;
+  }
+  std::cout << "probe: " << total_ops << " spill ops across "
+            << kChaosRanks << " ranks\n";
+
+  int bad = 0;
+  std::uint64_t fail_points = 0, corrupt_fired = 0, corrupt_missed = 0;
+  for (int r = 0; r < kChaosRanks; ++r) {
+    const std::uint64_t ops = probe.spill_ops[static_cast<std::size_t>(r)];
+    for (std::uint64_t k = 0; k < ops; ++k) {
+      // Forced spill-write/read failure at op k: must classify as
+      // kSpillIoError on the victim, never anything else.
+      sim::ChaosSpec fail_spec;
+      fail_spec.forced = {
+          {sim::FaultKind::kSpillFail, r, k, 0.0}};
+      const sim::RunResult res = chaos_run(fail_spec);
+      ++fail_points;
+      if (res.ok || res.failure != sim::FailureClass::kSpillIoError ||
+          res.failed_rank != r) {
+        std::cerr << "FAIL: spill-fail rank " << r << " op " << k
+                  << " classified as "
+                  << sim::failure_class_name(res.failure) << " (failed_rank "
+                  << res.failed_rank << ", ok=" << res.ok << "): "
+                  << res.error << "\n";
+        ++bad;
+      }
+
+      // Forced corruption of the frame written at op k: if op k is a write,
+      // the reload's checksum must catch it (kSpillIoError mentioning
+      // "checksum"); if op k is a read the corruption never lands and the
+      // run completes.
+      sim::ChaosSpec corrupt_spec;
+      corrupt_spec.forced = {
+          {sim::FaultKind::kSpillCorrupt, r, k, 0.0}};
+      const sim::RunResult cres = chaos_run(corrupt_spec);
+      bool fired = false;
+      for (const sim::FaultEvent& e : cres.fault_events) {
+        if (e.kind == sim::FaultKind::kSpillCorrupt) fired = true;
+      }
+      if (fired) {
+        ++corrupt_fired;
+        if (cres.ok || cres.failure != sim::FailureClass::kSpillIoError ||
+            cres.error.find("checksum") == std::string::npos) {
+          std::cerr << "FAIL: corruption at rank " << r << " op " << k
+                    << " fired but was not caught by the checksum: "
+                    << (cres.ok ? "run completed"
+                                : sim::failure_class_name(cres.failure))
+                    << ": " << cres.error << "\n";
+          ++bad;
+        }
+      } else {
+        ++corrupt_missed;
+        if (!cres.ok) {
+          std::cerr << "FAIL: corruption scheduled on a read op (rank " << r
+                    << " op " << k << ") but the run failed: " << cres.error
+                    << "\n";
+          ++bad;
+        }
+      }
+    }
+  }
+  std::cout << "swept " << fail_points << " spill-fail points; corruption "
+            << "fired on " << corrupt_fired << " write ops, inert on "
+            << corrupt_missed << " read ops\n";
+  if (corrupt_fired == 0) {
+    std::cerr << "FAIL: no corruption ever fired — sweep is vacuous\n";
+    ++bad;
+  }
+
+  // Slow-disk endurance: seeded stalls on spill ops under a tight watchdog.
+  // Stalled spill I/O counts as progress, so no deadlock may be reported.
+  sim::ChaosSpec stall_spec;
+  stall_spec.seed = 20260809;
+  stall_spec.spill_stall_prob = 0.25;
+  stall_spec.max_spill_stall_s = 0.001;
+  const sim::RunResult stall_res = chaos_run(stall_spec, /*watchdog_s=*/0.2);
+  bool stalled = false;
+  for (const sim::FaultEvent& e : stall_res.fault_events) {
+    if (e.kind == sim::FaultKind::kSpillStall) stalled = true;
+  }
+  if (!stall_res.ok || !stalled) {
+    std::cerr << "FAIL: slow-disk endurance leg "
+              << (stall_res.ok ? "fired no stalls" : "failed: " + stall_res.error)
+              << "\n";
+    ++bad;
+  }
+
+  // A comm-crash during the spill window stays an injected crash — the
+  // spill machinery must not re-classify unrelated failures.
+  sim::ChaosSpec crash_spec;
+  crash_spec.forced = {
+      {sim::FaultKind::kCrash, 3,
+       probe.comm_ops[3] > 2 ? probe.comm_ops[3] / 2 : 0, 0.0}};
+  const sim::RunResult crash_res = chaos_run(crash_spec);
+  if (crash_res.ok ||
+      crash_res.failure != sim::FailureClass::kInjectedCrash) {
+    std::cerr << "FAIL: forced comm crash classified as "
+              << sim::failure_class_name(crash_res.failure) << "\n";
+    ++bad;
+  }
+
+  // Fault-free suite under the same tight watchdog: zero false deadlocks.
+  for (int i = 0; i < 3; ++i) {
+    const sim::RunResult res = chaos_run({}, /*watchdog_s=*/0.2);
+    if (!res.ok) {
+      std::cerr << "FAIL: fault-free tight-watchdog run " << i
+                << " failed: " << res.error << "\n";
+      ++bad;
+    }
+  }
+
+  print_shape(
+      "Every injected spill fault classifies as spill-io on its victim; "
+      "corruption is caught by the reload checksum; stalls and tight "
+      "watchdogs never produce false deadlocks.");
+  print_verdict(bad == 0 ? "all " + std::to_string(2 * fail_points + 5) +
+                               " chaos legs classified as expected."
+                         : std::to_string(bad) + " unexpected outcome(s).");
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool chaos = false;
+  bool gate = true;
+  std::string baseline = "bench/baselines/bench_spill.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chaos") == 0) chaos = true;
+    if (std::strcmp(argv[i], "--no-gate") == 0) gate = false;
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline = argv[++i];
+    }
+  }
+  return chaos ? run_chaos() : run_default(gate, baseline);
+}

@@ -14,9 +14,15 @@ int main(int argc, char** argv) {
   using namespace sdss::bench;
   // --large: extend the sweep into the 1k-rank regime (scheduler fibers;
   // smaller shards keep the single-host wall time in budget).
+  // --spill: add an SDS-Sort leg under MemoryPolicy::kSpill — same budget,
+  // but an over-budget exchange degrades to the out-of-core path instead of
+  // OOMing (compare against the strict SDS column, which stays in-core at
+  // 3x average on this workload).
   bool large = false;
+  bool spill = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--large") == 0) large = true;
+    if (std::strcmp(argv[i], "--spill") == 0) spill = true;
   }
   const auto& ranks = large ? kWeakRanksLarge : kWeakRanks;
   const std::size_t per_rank = large ? kWeakPerRankLarge : kWeakPerRank;
@@ -25,11 +31,14 @@ int main(int argc, char** argv) {
                    "k records/rank, alpha=1.4 (delta~32%), per-rank budget "
                    "3x average; HykSort is expected to OOM.");
 
+  std::vector<std::string> head{"p", "HykSort(s)", "SDS-Sort(s)",
+                                "SDS-Sort/stable(s)", "SDS thpt(MB/min)"};
+  if (spill) head.push_back("SDS/spill(s)");
   TextTable table;
-  table.header({"p", "HykSort(s)", "SDS-Sort(s)", "SDS-Sort/stable(s)",
-                "SDS thpt(MB/min)"});
+  table.header(head);
   int hyk_ooms = 0;
   bool sds_all_ok = true;
+  bool spill_all_ok = true;
   for (int p : ranks) {
     auto hyk =
         weak_scaling_point(p, WeakWorkload::kZipf, Algo::kHykSort, per_rank);
@@ -39,20 +48,32 @@ int main(int argc, char** argv) {
     if (hyk.timing.oom) ++hyk_ooms;
     sds_all_ok = sds_all_ok && sds.timing.ok && stab.timing.ok;
     const auto records = static_cast<std::uint64_t>(p) * per_rank;
-    table.row({std::to_string(p), time_cell(hyk.timing),
-               time_cell(sds.timing), time_cell(stab.timing),
-               fmt_seconds(mb_per_min(records, sizeof(std::uint64_t),
-                                      sds.timing.seconds),
-                           0)});
+    std::vector<std::string> row{
+        std::to_string(p), time_cell(hyk.timing), time_cell(sds.timing),
+        time_cell(stab.timing),
+        fmt_seconds(
+            mb_per_min(records, sizeof(std::uint64_t), sds.timing.seconds),
+            0)};
+    if (spill) {
+      auto sp = weak_scaling_point(p, WeakWorkload::kZipf, Algo::kSds,
+                                   per_rank, MemoryPolicy::kSpill);
+      spill_all_ok = spill_all_ok && sp.timing.ok;
+      row.push_back(time_cell(sp.timing));
+    }
+    table.row(row);
   }
   std::cout << table.str() << "\n";
   print_shape(
       "HykSort hits OOM on the skewed workload (paper: at every scale); "
       "SDS-Sort and SDS-Sort/stable complete with times similar to the "
       "Uniform runs.");
-  print_verdict("HykSort OOM at " + std::to_string(hyk_ooms) + "/" +
-                std::to_string(ranks.size()) +
-                " scales; SDS variants all completed: " +
-                (sds_all_ok ? "yes" : "no") + ".");
+  std::string verdict = "HykSort OOM at " + std::to_string(hyk_ooms) + "/" +
+                        std::to_string(ranks.size()) +
+                        " scales; SDS variants all completed: " +
+                        (sds_all_ok ? "yes" : "no") + ".";
+  if (spill) {
+    verdict += " Spill leg completed: " + std::string(spill_all_ok ? "yes" : "no") + ".";
+  }
+  print_verdict(verdict);
   return 0;
 }

@@ -13,6 +13,7 @@
 // bucket exceeds it; SDS's skew-aware split stays well below).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -49,25 +50,32 @@ inline const char* real_algo_name(RealAlgo a) {
 /// Run one algorithm over per-rank shards produced by `make_shard(rank)`,
 /// sorting by `key`. Records both the phase breakdown and the RDFA, and
 /// annotates the run's telemetry report with the dataset name and the
-/// adaptive decisions the SDS driver took.
+/// adaptive decisions the SDS driver took. `policy` applies to the SDS
+/// variants only (HykSort has no spill path).
 template <typename T, typename KeyFn, typename MakeShard>
 RealDataResult run_real_data(int ranks, std::size_t mem_limit,
                              RealAlgo algo, MakeShard make_shard, KeyFn key,
-                             const std::string& dataset = "real-data") {
+                             const std::string& dataset = "real-data",
+                             MemoryPolicy policy = MemoryPolicy::kStrict) {
   sim::Cluster cluster(
       sim::ClusterConfig{ranks, 1, sim::NetworkModel::aries_like()});
+  const bool spill_leg = policy == MemoryPolicy::kSpill;
   RealDataResult result;
   std::mutex mu;
   LoadBalance balance;
   balance.rdfa = 0.0;
   SortReport decisions;
+  SpillStats spill_sum;
+  std::uint64_t spill_max_passes = 0, spill_max_peak = 0;
+  bool any_spilled = false;
   RunMeta meta;
   meta.name = dataset + "/p=" + std::to_string(ranks) + "/" +
-              real_algo_name(algo);
+              real_algo_name(algo) + (spill_leg ? "/spill" : "");
   meta.algorithm = real_algo_name(algo);
   meta.workload = dataset;
   meta.params = {{"mem_budget_records", std::to_string(mem_limit)},
                  {"record_bytes", std::to_string(sizeof(T))}};
+  if (spill_leg) meta.params.emplace_back("memory_policy", "spill");
   result.timing = time_spmd(
       cluster,
       [&](sim::Comm& world) {
@@ -87,6 +95,7 @@ RealDataResult run_real_data(int ranks, std::size_t mem_limit,
               Config cfg;
               cfg.stable = algo == RealAlgo::kSdsStable;
               cfg.mem_limit_records = mem_limit;
+              cfg.memory_policy = policy;
               // Scaled-down tau_o: Edison's 4096-core overlap threshold
               // maps to ~256 simulated ranks, so the PTF run (64 ranks,
               // like the paper's 192 cores) overlaps and the cosmology run
@@ -106,6 +115,15 @@ RealDataResult run_real_data(int ranks, std::size_t mem_limit,
           balance = std::move(lb);
           decisions = rank_report;
         }
+        if (rank_report.spilled) {
+          std::lock_guard<std::mutex> lk(mu);
+          any_spilled = true;
+          spill_sum += rank_report.spill;
+          spill_max_passes =
+              std::max(spill_max_passes, rank_report.spill.merge_passes);
+          spill_max_peak = std::max(spill_max_peak,
+                                    rank_report.spill.peak_resident_records);
+        }
         return secs;
       },
       std::move(meta));
@@ -118,6 +136,11 @@ RealDataResult run_real_data(int ranks, std::size_t mem_limit,
       rep->set_param("tau_o", "256");
       rep->set_param("exchange", to_string(decisions.exchange));
       rep->set_param("ordering", to_string(decisions.ordering));
+    }
+    if (any_spilled) {
+      spill_sum.merge_passes = spill_max_passes;
+      spill_sum.peak_resident_records = spill_max_peak;
+      telemetry::add_spill(*rep, spill_sum);
     }
   }
   return result;

@@ -6,6 +6,7 @@
 // model, HykSort budgeted at 3x the average load.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -70,27 +71,37 @@ inline const char* weak_workload_name(WeakWorkload w) {
 /// One weak-scaling measurement: run `algo` on `p` ranks over `w`, with a
 /// per-rank budget of 3x the average (the paper's OOM trigger for HykSort
 /// on skewed data). `per_rank` defaults to the standard sweep's shard size;
-/// the large-P sweep passes kWeakPerRankLarge.
+/// the large-P sweep passes kWeakPerRankLarge. `policy` selects what the
+/// budget means for SDS-Sort (strict OOM vs. out-of-core spill; HykSort has
+/// no spill path and ignores it).
 inline WeakPoint weak_scaling_point(int p, WeakWorkload w, Algo algo,
-                                    std::size_t per_rank = kWeakPerRank) {
+                                    std::size_t per_rank = kWeakPerRank,
+                                    MemoryPolicy policy =
+                                        MemoryPolicy::kStrict) {
   sim::ClusterConfig ccfg{p, 1, sim::NetworkModel::aries_like()};
   // Past a few hundred ranks the per-lane trace buffers dominate memory;
   // the weak-scaling measurement doesn't read the trace.
   if (p >= 256) ccfg.enable_trace = false;
   sim::Cluster cluster(ccfg);
   const std::size_t budget = 3 * per_rank;
+  const bool spill_leg = policy == MemoryPolicy::kSpill;
   WeakPoint point;
   std::mutex mu;
   LoadBalance balance;
   balance.rdfa = 0.0;  // failed runs report 0, as before (printed as "inf")
   SortReport decisions;
+  SpillStats spill_sum;
+  std::uint64_t spill_max_passes = 0, spill_max_peak = 0;
+  bool any_spilled = false;
   RunMeta meta;
   meta.name = std::string("weak-scaling/") + weak_workload_name(w) +
-              "/p=" + std::to_string(p) + "/" + algo_name(algo);
+              "/p=" + std::to_string(p) + "/" + algo_name(algo) +
+              (spill_leg ? "/spill" : "");
   meta.algorithm = algo_name(algo);
   meta.workload = weak_workload_name(w);
   meta.params = {{"records_per_rank", std::to_string(per_rank)},
                  {"mem_budget_records", std::to_string(budget)}};
+  if (spill_leg) meta.params.emplace_back("memory_policy", "spill");
   point.timing = time_spmd(
       cluster,
       [&](sim::Comm& world) {
@@ -111,6 +122,7 @@ inline WeakPoint weak_scaling_point(int p, WeakWorkload w, Algo algo,
               Config cfg;
               cfg.stable = algo == Algo::kSdsStable;
               cfg.mem_limit_records = budget;
+              cfg.memory_policy = policy;
               out = sds_sort<std::uint64_t>(world, std::move(data), cfg, {},
                                             &rank_report);
               break;
@@ -125,6 +137,15 @@ inline WeakPoint weak_scaling_point(int p, WeakWorkload w, Algo algo,
           balance = std::move(lb);
           decisions = rank_report;
         }
+        if (rank_report.spilled) {
+          std::lock_guard<std::mutex> lk(mu);
+          any_spilled = true;
+          spill_sum += rank_report.spill;
+          spill_max_passes =
+              std::max(spill_max_passes, rank_report.spill.merge_passes);
+          spill_max_peak = std::max(spill_max_peak,
+                                    rank_report.spill.peak_resident_records);
+        }
         return secs;
       },
       std::move(meta));
@@ -136,6 +157,11 @@ inline WeakPoint weak_scaling_point(int p, WeakWorkload w, Algo algo,
     if (algo != Algo::kHykSort && point.timing.ok) {
       rep->set_param("exchange", to_string(decisions.exchange));
       rep->set_param("ordering", to_string(decisions.ordering));
+    }
+    if (any_spilled) {
+      spill_sum.merge_passes = spill_max_passes;
+      spill_sum.peak_resident_records = spill_max_peak;
+      telemetry::add_spill(*rep, spill_sum);
     }
   }
   return point;

@@ -8,9 +8,11 @@
 # received-record skew (lambda) baseline, gate the large-P fiber-scheduler
 # sweep (full sort at up to 4096 ranks) against its counter baseline, run
 # the fixed-seed chaos soak (crash-point sweep + straggler/jitter runs),
-# build a scalar-only leg (-DSDSS_FORCE_SCALAR=ON) and differentially check
-# it against the vectorized build, and run the collective, thread-pool,
-# sortcore, SIMD-kernel, chaos, trace, and scheduler tests under
+# gate the out-of-core spill path (exact spill counters + output vs its
+# baseline) and soak every spill-fault injection point, build a scalar-only
+# leg (-DSDSS_FORCE_SCALAR=ON) and differentially check it against the
+# vectorized build, and run the collective, thread-pool, sortcore,
+# SIMD-kernel, chaos, spill, trace, and scheduler tests under
 # ThreadSanitizer. See docs/BENCHMARKING.md.
 #
 # Environment knobs:
@@ -110,6 +112,25 @@ echo "== chaos soak (fixed-seed fault injection) =="
 # every rank at every op index.
 "$BUILD_DIR"/bench/chaos_soak --quick
 
+echo "== out-of-core spill gate =="
+# bench_spill runs the Fig. 8 Zipf shape at a budget where HykSort and
+# strict SDS-Sort must OOM; the spill policy must complete with per-rank
+# output byte-identical to the unlimited in-core reference, bounded
+# slowdown, and spill run/frame/byte/pass counters EXACTLY equal to the
+# checked-in baseline (enforced in-process; the report_diff leg additionally
+# gates the comm counters). Refresh deliberately with:
+#   build/bench/bench_spill --no-gate --json bench/baselines/bench_spill.json
+"$BUILD_DIR"/bench/bench_spill --json "$report"
+"$BUILD_DIR"/bench/report_diff bench/baselines/bench_spill.json \
+    "$report" --bytes-only
+
+echo "== spill-fault soak (every rank x spill-op injection point) =="
+# Sweeps a forced spill-write failure and a forced frame corruption over
+# every (rank, spill op) of a spill-mode sort, plus slow-disk endurance
+# under a tight watchdog, a comm-crash leg, and fault-free tight-watchdog
+# runs. Exits nonzero on any unexpected failure classification.
+"$BUILD_DIR"/bench/bench_spill --chaos
+
 if [[ "${SDSS_NO_SCALAR:-0}" != "1" ]]; then
   echo "== scalar-only leg (-DSDSS_FORCE_SCALAR=ON) =="
   # The portable scalar kernels are a first-class build, not a dusty
@@ -136,14 +157,18 @@ if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
   # fiber handoff (off_cpu acquire/release) and the trace-lane rebinding.
   cmake -B "$BUILD_DIR-tsan" -S . -DSDSS_SANITIZE=thread >/dev/null
   cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm \
-      test_par test_sortcore test_simd_kernels test_chaos test_trace \
-      test_sched test_splitters
+      test_par test_sortcore test_simd_kernels test_chaos test_spill \
+      test_trace test_sched test_splitters
   "$BUILD_DIR-tsan"/tests/test_collectives
   "$BUILD_DIR-tsan"/tests/test_sim_comm
   "$BUILD_DIR-tsan"/tests/test_par
   "$BUILD_DIR-tsan"/tests/test_sortcore
   "$BUILD_DIR-tsan"/tests/test_simd_kernels
   "$BUILD_DIR-tsan"/tests/test_chaos
+  # Spill drains + the external merge run under the multi-worker fiber pool
+  # here: a race on the spill-op counters or the resident accounting would
+  # surface.
+  "$BUILD_DIR-tsan"/tests/test_spill
   "$BUILD_DIR-tsan"/tests/test_trace
   "$BUILD_DIR-tsan"/tests/test_sched
   # The ε-bounded splitter engine's collectives + fractional partition run

@@ -29,6 +29,7 @@
 #include "sortcore/key.hpp"
 #include "sortcore/kway_merge.hpp"
 #include "sortcore/local_sort.hpp"
+#include "util/error.hpp"
 #include "util/phase_ledger.hpp"
 
 namespace sdss::baselines {
@@ -125,9 +126,7 @@ std::vector<T> hyksort(sim::Comm& comm, std::vector<T> data,
         rdispls[s] = off;
         off += rcounts[s];
       }
-      if (cfg.mem_limit_records != 0 && off > cfg.mem_limit_records) {
-        throw SimOomError(cur.rank(), off, cfg.mem_limit_records);
-      }
+      check_mem_budget(cur.rank(), off, cfg.mem_limit_records);
       std::vector<T> recv(off);
       cur.alltoallv<T>(data, scounts, sdispls, recv, rcounts, rdispls);
 

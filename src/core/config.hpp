@@ -3,10 +3,25 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "sortcore/algo.hpp"
 
 namespace sdss {
+
+/// What exceeding `mem_limit_records` means (see sortcore/spill.hpp and
+/// DESIGN.md §12).
+enum class MemoryPolicy {
+  /// Today's semantics: throw SimOomError. Every existing gate/baseline
+  /// runs under this, so its counters stay byte-identical.
+  kStrict,
+  /// Graceful out-of-core degradation: an oversized exchange drains into
+  /// checksummed spill runs on disk and the final ordering becomes an
+  /// external k-way merge bounded by the same budget — the job completes
+  /// slowly instead of dying (ROADMAP item 5; turns Figs. 8/10's "OOM"
+  /// cells into measured slowdowns).
+  kSpill,
+};
 
 enum class PivotSelection {
   kAuto,      ///< distributed bitonic when p is a power of two, else gather
@@ -70,6 +85,18 @@ struct Config {
   /// exchange receive volume. 0 = unlimited. Models Edison's 64 GB nodes;
   /// exceeding it throws SimOomError (how HykSort fails in Figs. 8/10).
   std::size_t mem_limit_records = 0;
+
+  /// What exceeding the budget does: kStrict throws SimOomError (default,
+  /// preserves all existing semantics), kSpill degrades to the spill-to-disk
+  /// exchange + external merge.
+  MemoryPolicy memory_policy = MemoryPolicy::kStrict;
+
+  /// Spill tuning (kSpill only): records per spill frame — the checksum,
+  /// reload, and staging granularity of the out-of-core path.
+  std::size_t spill_frame_records = 4096;
+
+  /// Directory for spill run files; "" uses the system temp directory.
+  std::string spill_dir;
 
   /// Ablation: disable to use plain duplicated-pivot partitioning (the
   /// behaviour SDS-Sort fixes).

@@ -40,8 +40,14 @@
 
 namespace sdss {
 
-enum class ExchangeMode { kSync, kOverlapped, kNone };
-enum class FinalOrdering { kMergeAll, kResort, kOverlapMerge, kNone };
+enum class ExchangeMode { kSync, kOverlapped, kSpill, kNone };
+enum class FinalOrdering {
+  kMergeAll,
+  kResort,
+  kOverlapMerge,
+  kExternalMerge,
+  kNone
+};
 
 /// Stable names for the adaptive decisions, used by telemetry reports and
 /// bench output (docs/OBSERVABILITY.md documents the vocabulary).
@@ -51,6 +57,8 @@ inline const char* to_string(ExchangeMode m) {
       return "sync";
     case ExchangeMode::kOverlapped:
       return "overlapped";
+    case ExchangeMode::kSpill:
+      return "spill";
     case ExchangeMode::kNone:
       return "none";
   }
@@ -65,6 +73,8 @@ inline const char* to_string(FinalOrdering o) {
       return "re-sort";
     case FinalOrdering::kOverlapMerge:
       return "overlap-merge";
+    case FinalOrdering::kExternalMerge:
+      return "external-merge";
     case FinalOrdering::kNone:
       return "none";
   }
@@ -84,6 +94,10 @@ struct SortReport {
   /// telemetry (identical on every active rank).
   bool has_refinement = false;
   RefineStats refinement;
+  /// Filled when the exchange went out-of-core (MemoryPolicy::kSpill and the
+  /// receive volume exceeded the budget): spill run/byte/pass counters.
+  bool spilled = false;
+  SpillStats spill;
 };
 
 /// Sort the distributed vector `data` (one shard per rank of `comm`) by
@@ -123,7 +137,14 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
     const std::uint64_t avg_msg_bytes = total * sizeof(T) / (p * p);
     if (avg_msg_bytes <= cfg.tau_m_bytes) {
       NodeCommPair pair = refine_comm(comm);
-      node_merge<T, KeyFn>(pair.local, data, cfg.stable, kf, c);
+      NodeMergeBudget nb;
+      nb.mem_limit_records = cfg.mem_limit_records;
+      nb.policy = cfg.memory_policy;
+      nb.spill_frame_records = cfg.spill_frame_records;
+      nb.spill_dir = cfg.spill_dir;
+      nb.spilled = &rep.spilled;
+      nb.stats = &rep.spill;
+      node_merge<T, KeyFn>(pair.local, data, cfg.stable, kf, c, nb);
       rep.node_merged = true;
       if (!pair.leaders.valid()) {
         // This rank handed its data to the node leader and is done.
@@ -196,7 +217,8 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
   ExchangePlan plan;
   {
     ScopedPhase phase(&ledger, Phase::kExchange);
-    plan = plan_exchange(active, bounds, cfg.mem_limit_records);
+    plan = plan_exchange(active, bounds, cfg.mem_limit_records,
+                         cfg.memory_policy);
   }
   rep.recv_records = plan.recv_total;
   // The per-rank receive volume is the trace's deterministic skew signal:
@@ -205,6 +227,33 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
   if (trace::active()) trace::counter("recv_records", plan.recv_total);
 
   std::vector<T> out;
+  if (plan.overflow && cfg.memory_policy == MemoryPolicy::kSpill) {
+    // Out-of-core degradation: drain the exchange into checksummed spill
+    // runs (one per source rank, so run order preserves the stable
+    // source-rank tie order) and produce the output with a budget-bounded
+    // external merge instead of an in-memory ordering.
+    rep.exchange = ExchangeMode::kSpill;
+    rep.ordering = FinalOrdering::kExternalMerge;
+    rep.spilled = true;
+    SpillConfig scfg;
+    scfg.dir = cfg.spill_dir;
+    scfg.frame_records = cfg.spill_frame_records;
+    scfg.rank = active.rank();
+    SpillPool pool(scfg, active.spill_hook());
+    std::vector<std::size_t> runs;
+    {
+      ScopedPhase phase(&ledger, Phase::kExchange);
+      runs = spill_exchange<T>(active, data, plan, pool);
+    }
+    {
+      ScopedPhase phase(&ledger, Phase::kLocalOrdering);
+      out = external_kway_merge<T, KeyFn>(pool, runs, cfg.mem_limit_records,
+                                          kf);
+    }
+    rep.spill += pool.stats();  // += : node_merge may have spilled already
+    rep.output_records = out.size();
+    return out;
+  }
   const bool overlap =
       !cfg.stable && static_cast<std::size_t>(p) < cfg.tau_o;
   if (!overlap) {

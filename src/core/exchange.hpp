@@ -15,14 +15,17 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "core/config.hpp"
 #include "sim/comm.hpp"
 #include "sortcore/key.hpp"
 #include "sortcore/kway_merge.hpp"
+#include "sortcore/spill.hpp"
 #include "util/error.hpp"
 
 namespace sdss {
@@ -30,13 +33,20 @@ namespace sdss {
 struct ExchangePlan {
   std::vector<std::size_t> scounts, sdispls, rcounts, rdispls;
   std::size_t recv_total = 0;
+  /// kSpill planning only: the receive volume exceeds the budget, so the
+  /// exchange must go through the spill path (spill_exchange) instead of
+  /// materializing recv_total records in memory.
+  bool overflow = false;
 };
 
-/// Exchange counts and build the plan. Throws SimOomError if the receive
-/// volume exceeds `mem_limit_records` (0 = unlimited).
+/// Exchange counts and build the plan. Under MemoryPolicy::kStrict (the
+/// default) a receive volume above `mem_limit_records` throws SimOomError
+/// (0 = unlimited); under kSpill it sets plan.overflow instead.
 inline ExchangePlan plan_exchange(sim::Comm& comm,
                                   std::span<const std::size_t> bounds,
-                                  std::size_t mem_limit_records) {
+                                  std::size_t mem_limit_records,
+                                  MemoryPolicy policy = MemoryPolicy::kStrict,
+                                  const char* phase = "exchange") {
   const auto p = static_cast<std::size_t>(comm.size());
   ExchangePlan plan;
   plan.scounts.resize(p);
@@ -53,8 +63,23 @@ inline ExchangePlan plan_exchange(sim::Comm& comm,
     off += plan.rcounts[s];
   }
   plan.recv_total = off;
-  if (mem_limit_records != 0 && plan.recv_total > mem_limit_records) {
-    throw SimOomError(comm.rank(), plan.recv_total, mem_limit_records);
+  if (mem_limit_records != 0) {
+    const bool local_over = plan.recv_total > mem_limit_records;
+    if (policy == MemoryPolicy::kStrict) {
+      if (local_over) {
+        check_mem_budget(comm.rank(), plan.recv_total, mem_limit_records,
+                         phase);
+      }
+    } else {
+      // Spilling changes the wire protocol (framed p2p sends instead of the
+      // alltoallv), so the decision must be collective: one over-budget rank
+      // sends the whole cluster down the spill exchange.
+      plan.overflow = comm.allreduce<std::uint8_t>(
+                          local_over ? std::uint8_t{1} : std::uint8_t{0},
+                          [](std::uint8_t a, std::uint8_t b) {
+                            return static_cast<std::uint8_t>(a | b);
+                          }) != 0;
+    }
   }
   return plan;
 }
@@ -68,6 +93,74 @@ std::vector<T> sync_exchange(sim::Comm& comm, std::span<const T> data,
   comm.alltoallv<T>(data, plan.scounts, plan.sdispls, recv, plan.rcounts,
                     plan.rdispls);
   return recv;
+}
+
+/// Out-of-core exchange (MemoryPolicy::kSpill, overflow plans): instead of
+/// materializing recv_total records, each incoming chunk drains frame by
+/// frame into a checksummed spill run on disk. Resident memory is bounded by
+/// one staging frame (plus the sender-side views into `data`, which already
+/// exist). Returns the run ids, one per source rank with data, in source-rank
+/// order — so run-id order equals source-rank order and a stable external
+/// merge of these runs preserves the source-rank tie order that
+/// sync_exchange would have produced.
+///
+/// Senders post all non-self chunks as eager framed isends (the simulator
+/// buffers eagerly, so no send/recv deadlock); the receiver then walks
+/// sources in rank order, spilling the self chunk directly and receiving
+/// remote frames into the staging buffer. Every recv is a comm op and every
+/// frame append/read is a spill op, so both chaos sweeps cover this path.
+template <typename T>
+std::vector<std::size_t> spill_exchange(sim::Comm& comm,
+                                        std::span<const T> data,
+                                        const ExchangePlan& plan,
+                                        SpillPool& pool) {
+  static constexpr int kTag = 3002;
+  const auto p = static_cast<std::size_t>(comm.size());
+  const auto me = static_cast<std::size_t>(comm.rank());
+  const std::size_t frame = pool.config().frame_records;
+
+  for (std::size_t d = 0; d < p; ++d) {
+    if (d == me) continue;
+    std::size_t off = plan.sdispls[d];
+    std::size_t left = plan.scounts[d];
+    while (left > 0) {
+      const std::size_t n = left < frame ? left : frame;
+      comm.isend<T>(std::span<const T>(data.data() + off, n),
+                    static_cast<int>(d), kTag);
+      off += n;
+      left -= n;
+    }
+  }
+
+  pool.resident_acquire(frame);
+  std::vector<T> stage(frame);
+  std::vector<std::size_t> run_ids;
+  for (std::size_t s = 0; s < p; ++s) {
+    if (plan.rcounts[s] == 0) continue;
+    const std::size_t run = pool.begin_run();
+    if (s == me) {
+      std::size_t off = plan.sdispls[me];
+      std::size_t left = plan.scounts[me];
+      while (left > 0) {
+        const std::size_t n = left < frame ? left : frame;
+        pool.append_frame(run, data.data() + off, n * sizeof(T));
+        off += n;
+        left -= n;
+      }
+    } else {
+      std::size_t left = plan.rcounts[s];
+      while (left > 0) {
+        const std::size_t n = comm.recv<T>(
+            std::span<T>(stage.data(), frame), static_cast<int>(s), kTag);
+        pool.append_frame(run, stage.data(), n * sizeof(T));
+        left -= n;
+      }
+    }
+    pool.end_run(run);
+    run_ids.push_back(run);
+  }
+  pool.resident_release(frame);
+  return run_ids;
 }
 
 /// Asynchronous exchange overlapped with incremental merging: chunks are

@@ -16,13 +16,17 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "core/config.hpp"
 #include "sim/comm.hpp"
 #include "sortcore/arena.hpp"
 #include "sortcore/key.hpp"
 #include "sortcore/local_sort.hpp"
+#include "sortcore/spill.hpp"
+#include "util/error.hpp"
 
 namespace sdss {
 
@@ -42,14 +46,116 @@ inline NodeCommPair refine_comm(sim::Comm& comm) {
   return pair;
 }
 
+/// Memory-budget handling for node_merge. The default (mem_limit_records ==
+/// 0) keeps the historical path byte-identical: no extra collectives, no
+/// budget check. With a budget, the node ranks allgather their sizes; when
+/// the leader's merged total would bust the budget, kStrict throws
+/// SimOomError(phase "merge") and kSpill drains the gather into spill runs
+/// and external-merges them under the budget.
+struct NodeMergeBudget {
+  std::size_t mem_limit_records = 0;  ///< 0 = unlimited (historical path)
+  MemoryPolicy policy = MemoryPolicy::kStrict;
+  std::size_t spill_frame_records = 4096;
+  std::string spill_dir;
+  bool* spilled = nullptr;      ///< out (leader only): merge went out-of-core
+  SpillStats* stats = nullptr;  ///< out (leader only): spill counters, +='d
+};
+
+/// Out-of-core node merge: the leader drains the gather into one spill run
+/// per node rank (run-id order = node-rank order = consecutive global ranks,
+/// so the stable tie order survives) and external-merges under the budget.
+/// Peers send framed so the leader never stages more than one frame per
+/// message.
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+void node_merge_spill(sim::Comm& local, std::vector<T>& data,
+                      std::span<const std::size_t> sizes, KeyFn kf,
+                      const NodeMergeBudget& budget) {
+  constexpr int kTag = 2002;
+  const std::size_t frame =
+      budget.spill_frame_records != 0 ? budget.spill_frame_records : 4096;
+
+  if (local.rank() != 0) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t n =
+          data.size() - off < frame ? data.size() - off : frame;
+      local.send<T>(std::span<const T>(data.data() + off, n), 0, kTag);
+      off += n;
+    }
+    data.clear();
+    data.shrink_to_fit();
+    return;
+  }
+
+  SpillConfig scfg;
+  scfg.dir = budget.spill_dir;
+  scfg.frame_records = frame;
+  scfg.rank = local.rank();
+  SpillPool pool(scfg, local.spill_hook());
+  pool.resident_acquire(frame);
+  std::vector<T> stage(frame);
+  std::vector<std::size_t> runs;
+  for (int src = 0; src < local.size(); ++src) {
+    if (sizes[static_cast<std::size_t>(src)] == 0) continue;
+    const std::size_t run = pool.begin_run();
+    if (src == 0) {
+      std::size_t off = 0;
+      while (off < data.size()) {
+        const std::size_t n =
+            data.size() - off < frame ? data.size() - off : frame;
+        pool.append_frame(run, data.data() + off, n * sizeof(T));
+        off += n;
+      }
+    } else {
+      std::size_t left = sizes[static_cast<std::size_t>(src)];
+      while (left > 0) {
+        const std::size_t n =
+            local.recv<T>(std::span<T>(stage.data(), frame), src, kTag);
+        pool.append_frame(run, stage.data(), n * sizeof(T));
+        left -= n;
+      }
+    }
+    pool.end_run(run);
+    runs.push_back(run);
+  }
+  data.clear();
+  data.shrink_to_fit();
+  pool.resident_release(frame);
+  data = external_kway_merge<T, KeyFn>(pool, runs, budget.mem_limit_records,
+                                       kf);
+  if (budget.spilled != nullptr) *budget.spilled = true;
+  if (budget.stats != nullptr) *budget.stats += pool.stats();
+}
+
 /// SdssNodeMerge: gather every node rank's sorted `data` onto the node
 /// leader and merge (skew-aware, stable across source-rank order). On
 /// return the leader holds the merged node data; other ranks hold nothing.
 template <typename T, KeyFunction<T> KeyFn = IdentityKey>
 void node_merge(sim::Comm& local, std::vector<T>& data, bool stable,
-                KeyFn kf = {}, int merge_threads = 1) {
+                KeyFn kf = {}, int merge_threads = 1,
+                const NodeMergeBudget& budget = {}) {
   constexpr int kTag = 2001;
   if (local.size() <= 1) return;
+
+  if (budget.mem_limit_records != 0) {
+    const auto sizes = local.allgather<std::size_t>(data.size());
+    std::size_t total = 0;
+    for (const std::size_t s : sizes) total += s;
+    if (total > budget.mem_limit_records) {
+      if (budget.policy == MemoryPolicy::kStrict) {
+        // Only the leader materializes the merged node data, so only it
+        // OOMs; peers finish their sends normally (eager buffering).
+        if (local.rank() == 0) {
+          check_mem_budget(local.rank(), total, budget.mem_limit_records,
+                           "merge");
+        }
+      } else {
+        node_merge_spill<T, KeyFn>(local, data, sizes, kf, budget);
+        return;
+      }
+    }
+  }
+
   if (local.rank() != 0) {
     local.send<T>(data, 0, kTag);
     data.clear();

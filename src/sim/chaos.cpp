@@ -22,6 +22,8 @@ constexpr std::uint64_t kSaltJitterGate = 0x4a49545445520001ULL;
 constexpr std::uint64_t kSaltJitterLen = 0x4a49545445520002ULL;
 constexpr std::uint64_t kSaltCrashRank = 0x435241534852414bULL;
 constexpr std::uint64_t kSaltCrashOp = 0x43524153482d4f50ULL;
+constexpr std::uint64_t kSaltSpillGate = 0x5350494c4c3f0001ULL;
+constexpr std::uint64_t kSaltSpillLen = 0x5350494c4c3f0002ULL;
 
 /// Pure-function 64-bit draw: no generator state, so the value a rank sees
 /// for its op K never depends on what other ranks drew in the meantime.
@@ -48,6 +50,12 @@ const char* fault_kind_name(FaultKind k) {
       return "stall";
     case FaultKind::kJitter:
       return "jitter";
+    case FaultKind::kSpillFail:
+      return "spill-fail";
+    case FaultKind::kSpillCorrupt:
+      return "spill-corrupt";
+    case FaultKind::kSpillStall:
+      return "spill-stall";
   }
   return "unknown";
 }
@@ -55,6 +63,9 @@ const char* fault_kind_name(FaultKind k) {
 FaultKind fault_kind_from_name(const char* name) {
   if (std::strcmp(name, "stall") == 0) return FaultKind::kStall;
   if (std::strcmp(name, "jitter") == 0) return FaultKind::kJitter;
+  if (std::strcmp(name, "spill-fail") == 0) return FaultKind::kSpillFail;
+  if (std::strcmp(name, "spill-corrupt") == 0) return FaultKind::kSpillCorrupt;
+  if (std::strcmp(name, "spill-stall") == 0) return FaultKind::kSpillStall;
   return FaultKind::kCrash;
 }
 
@@ -66,8 +77,13 @@ FaultPlan::FaultPlan(const ChaosSpec& spec, int num_ranks) {
   max_stall_s_ = spec.max_stall_s;
   jitter_prob_ = spec.jitter_prob;
   max_jitter_s_ = spec.max_jitter_s;
+  spill_stall_prob_ = spec.spill_stall_prob;
+  max_spill_stall_s_ = spec.max_spill_stall_s;
   crash_op_.assign(static_cast<std::size_t>(num_ranks), kNever);
+  spill_fail_op_.assign(static_cast<std::size_t>(num_ranks), kNever);
+  spill_corrupt_op_.assign(static_cast<std::size_t>(num_ranks), kNever);
   forced_stalls_.resize(static_cast<std::size_t>(num_ranks));
+  forced_spill_stalls_.resize(static_cast<std::size_t>(num_ranks));
 
   // Derived crashes: pick `crash_ranks` distinct victims by iterating the
   // draw stream (deterministic; duplicates advance the stream).
@@ -100,13 +116,24 @@ FaultPlan::FaultPlan(const ChaosSpec& spec, int num_ranks) {
         break;
       case FaultKind::kJitter:
         break;  // jitter is rate-based only
+      case FaultKind::kSpillFail:
+        spill_fail_op_[r] = std::min(spill_fail_op_[r], e.op_index);
+        break;
+      case FaultKind::kSpillCorrupt:
+        spill_corrupt_op_[r] = std::min(spill_corrupt_op_[r], e.op_index);
+        break;
+      case FaultKind::kSpillStall:
+        forced_spill_stalls_[r].push_back(e);
+        break;
     }
   }
-  for (auto& stalls : forced_stalls_) {
-    std::sort(stalls.begin(), stalls.end(),
-              [](const FaultEvent& a, const FaultEvent& b) {
-                return a.op_index < b.op_index;
-              });
+  for (auto* lists : {&forced_stalls_, &forced_spill_stalls_}) {
+    for (auto& stalls : *lists) {
+      std::sort(stalls.begin(), stalls.end(),
+                [](const FaultEvent& a, const FaultEvent& b) {
+                  return a.op_index < b.op_index;
+                });
+    }
   }
 }
 
@@ -132,6 +159,39 @@ double FaultPlan::stall_before(int rank, std::uint64_t k) const {
           stall_prob_) {
     total += max_stall_s_ *
              draw_u01(seed_, kSaltStallLen, static_cast<std::uint64_t>(rank), k);
+  }
+  return total;
+}
+
+std::uint64_t FaultPlan::spill_fail_op(int rank) const {
+  if (!enabled_ || rank < 0 ||
+      static_cast<std::size_t>(rank) >= spill_fail_op_.size()) {
+    return kNever;
+  }
+  return spill_fail_op_[static_cast<std::size_t>(rank)];
+}
+
+std::uint64_t FaultPlan::spill_corrupt_op(int rank) const {
+  if (!enabled_ || rank < 0 ||
+      static_cast<std::size_t>(rank) >= spill_corrupt_op_.size()) {
+    return kNever;
+  }
+  return spill_corrupt_op_[static_cast<std::size_t>(rank)];
+}
+
+double FaultPlan::spill_stall_before(int rank, std::uint64_t k) const {
+  if (!enabled_) return 0.0;
+  double total = 0.0;
+  const auto& stalls = forced_spill_stalls_[static_cast<std::size_t>(rank)];
+  for (const FaultEvent& e : stalls) {
+    if (e.op_index == k) total += e.seconds;
+    if (e.op_index > k) break;
+  }
+  if (spill_stall_prob_ > 0.0 &&
+      draw_u01(seed_, kSaltSpillGate, static_cast<std::uint64_t>(rank), k) <
+          spill_stall_prob_) {
+    total += max_spill_stall_s_ *
+             draw_u01(seed_, kSaltSpillLen, static_cast<std::uint64_t>(rank), k);
   }
   return total;
 }
@@ -184,6 +244,61 @@ std::uint64_t chaos_before_op(ClusterState* st, int world_rank,
     throw SimInjectedFault(world_rank, k, op, plan.seed());
   }
   return k;
+}
+
+std::uint64_t RankSpillHook::before_op(const char* op) {
+  ClusterState* st = st_;
+  const auto r = static_cast<std::size_t>(world_rank_);
+  const std::uint64_t k = st->spill_op_counts[r]++;
+  const FaultPlan& plan = st->chaos;
+  if (!plan.enabled()) return k;
+
+  const double stall = plan.spill_stall_before(world_rank_, k);
+  if (stall > 0.0) {
+    {
+      std::lock_guard<std::mutex> lk(st->mu);
+      st->fired.push_back(
+          FaultEvent{FaultKind::kSpillStall, world_rank_, k, stall});
+    }
+    if (trace::active()) {
+      trace::instant(trace::EventCat::kChaos, "spill-stall", k, -1,
+                     static_cast<std::uint64_t>(stall * 1e9));
+    }
+    // Cooperative sleep, never a blocked wait: a slow disk parks only this
+    // fiber and keeps counting as progress, so the deadlock watchdog never
+    // mistakes spill I/O for a hang.
+    st->sched->sleep_for(std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(stall)));
+  }
+  if (plan.spill_fail_op(world_rank_) == k) {
+    {
+      std::lock_guard<std::mutex> lk(st->mu);
+      st->fired.push_back(
+          FaultEvent{FaultKind::kSpillFail, world_rank_, k, 0.0});
+    }
+    if (trace::active()) {
+      trace::instant(trace::EventCat::kChaos, "spill-fail", k);
+    }
+    throw SpillIoError(world_rank_, k, op,
+                       "injected spill I/O failure (chaos seed " +
+                           std::to_string(plan.seed()) + ")");
+  }
+  return k;
+}
+
+bool RankSpillHook::corrupt_write(std::uint64_t k) {
+  ClusterState* st = st_;
+  const FaultPlan& plan = st->chaos;
+  if (!plan.enabled() || plan.spill_corrupt_op(world_rank_) != k) return false;
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
+    st->fired.push_back(
+        FaultEvent{FaultKind::kSpillCorrupt, world_rank_, k, 0.0});
+  }
+  if (trace::active()) {
+    trace::instant(trace::EventCat::kChaos, "spill-corrupt", k);
+  }
+  return true;
 }
 
 }  // namespace detail

@@ -29,10 +29,21 @@
 
 namespace sdss::sim {
 
-enum class FaultKind : std::uint8_t { kCrash, kStall, kJitter };
+enum class FaultKind : std::uint8_t {
+  kCrash,
+  kStall,
+  kJitter,
+  // Spill-to-disk I/O faults (sortcore/spill.hpp; op_index counts *spill*
+  // ops on the victim rank, not comm ops):
+  kSpillFail,     ///< the K-th spill op throws SpillIoError (failed write)
+  kSpillCorrupt,  ///< frame written by the K-th spill op is corrupted on
+                  ///< disk; the reload's checksum verification catches it
+  kSpillStall,    ///< slow-disk straggler: sleep before the K-th spill op
+};
 
 /// Stable lowercase names used in telemetry reports ("crash", "stall",
-/// "jitter"). Round-trips via fault_kind_from_name.
+/// "jitter", "spill-fail", "spill-corrupt", "spill-stall"). Round-trips via
+/// fault_kind_from_name.
 const char* fault_kind_name(FaultKind k);
 FaultKind fault_kind_from_name(const char* name);
 
@@ -67,14 +78,20 @@ struct ChaosSpec {
   double jitter_prob = 0.0;
   double max_jitter_s = 0.0005;
 
+  /// Per-spill-op probability of a slow-disk stall (uniform in
+  /// (0, max_spill_stall_s]) — the endurance knob for the spill path.
+  double spill_stall_prob = 0.0;
+  double max_spill_stall_s = 0.002;
+
   /// Explicit events (e.g. "crash rank 3 at op 17" for a crash-point
-  /// sweep). kJitter entries are ignored — jitter is rate-based only.
+  /// sweep; kSpillFail/kSpillCorrupt/kSpillStall index *spill* ops).
+  /// kJitter entries are ignored — jitter is rate-based only.
   std::vector<FaultEvent> forced;
 
   /// True when this spec injects anything at all.
   bool any() const {
     return crash_ranks > 0 || stall_prob > 0.0 || jitter_prob > 0.0 ||
-           !forced.empty();
+           spill_stall_prob > 0.0 || !forced.empty();
   }
 };
 
@@ -100,6 +117,16 @@ class FaultPlan {
   /// its op `k`, 0 when the message is not jittered.
   double jitter_for(int rank, std::uint64_t k) const;
 
+  /// Spill-op index at which `rank`'s spill I/O throws, or kNever.
+  std::uint64_t spill_fail_op(int rank) const;
+
+  /// Spill-op index whose written frame is corrupted on disk, or kNever.
+  std::uint64_t spill_corrupt_op(int rank) const;
+
+  /// Stall duration before spill op `k` on `rank` (forced + seeded slow-disk
+  /// draws), 0 when none is scheduled.
+  double spill_stall_before(int rank, std::uint64_t k) const;
+
  private:
   bool enabled_ = false;
   std::uint64_t seed_ = 0;
@@ -107,8 +134,13 @@ class FaultPlan {
   double max_stall_s_ = 0.0;
   double jitter_prob_ = 0.0;
   double max_jitter_s_ = 0.0;
+  double spill_stall_prob_ = 0.0;
+  double max_spill_stall_s_ = 0.0;
   std::vector<std::uint64_t> crash_op_;                 // per rank
+  std::vector<std::uint64_t> spill_fail_op_;            // per rank
+  std::vector<std::uint64_t> spill_corrupt_op_;         // per rank
   std::vector<std::vector<FaultEvent>> forced_stalls_;  // per rank, op-sorted
+  std::vector<std::vector<FaultEvent>> forced_spill_stalls_;  // per rank
 };
 
 }  // namespace sdss::sim

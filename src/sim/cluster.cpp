@@ -42,6 +42,8 @@ const char* failure_class_name(FailureClass c) {
       return "injected-crash";
     case FailureClass::kPeerAbort:
       return "peer-abort";
+    case FailureClass::kSpillIoError:
+      return "spill-io";
     case FailureClass::kLogicError:
       return "logic-error";
   }
@@ -70,8 +72,25 @@ FailureClass classify_failure(const std::exception_ptr& e) {
     return FailureClass::kInjectedCrash;
   } catch (const SimAbortError&) {
     return FailureClass::kPeerAbort;
+  } catch (const SpillIoError&) {
+    return FailureClass::kSpillIoError;
   } catch (...) {
     return FailureClass::kLogicError;
+  }
+}
+
+/// One-line refinement of the classification (RunResult::failure_detail):
+/// the phase that OOMed, or the spill op class that failed.
+std::string classify_detail(const std::exception_ptr& e) {
+  if (!e) return "";
+  try {
+    std::rethrow_exception(e);
+  } catch (const SimOomError& oom) {
+    return oom.phase();
+  } catch (const SpillIoError& io) {
+    return io.op();
+  } catch (...) {
+    return "";
   }
 }
 
@@ -99,6 +118,7 @@ struct LaunchOutcome {
   std::vector<FaultEvent> fired;
   std::uint64_t jittered_messages = 0;
   std::vector<std::uint64_t> op_counts;
+  std::vector<std::uint64_t> spill_op_counts;
   std::vector<std::int32_t> schedule;
 };
 
@@ -230,6 +250,11 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   if (cfg.enable_trace) st.recorder.reset(cfg.num_ranks);
   st.chaos = FaultPlan(cfg.chaos, cfg.num_ranks);
   st.op_counts.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
+  st.spill_op_counts.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
+  st.spill_hooks.resize(static_cast<std::size_t>(cfg.num_ranks));
+  for (int r = 0; r < cfg.num_ranks; ++r) {
+    st.spill_hooks[static_cast<std::size_t>(r)].init(&st, r);
+  }
   st.blocked.resize(static_cast<std::size_t>(cfg.num_ranks));
   st.finished.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
 
@@ -322,6 +347,7 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   out.fired = std::move(st.fired);
   out.jittered_messages = st.jittered_messages;
   out.op_counts = std::move(st.op_counts);
+  out.spill_op_counts = std::move(st.spill_op_counts);
   out.schedule = sched.schedule();
   st.sched = nullptr;
   return out;
@@ -336,6 +362,7 @@ RunResult Cluster::run_collect(const std::function<void(Comm&)>& fn) {
   res.comm_stats = std::move(lo.comm_stats);
   res.trace = std::move(lo.trace);
   res.comm_ops = std::move(lo.op_counts);
+  res.spill_ops = std::move(lo.spill_op_counts);
   res.schedule = std::move(lo.schedule);
   res.jittered_messages = lo.jittered_messages;
   res.fault_events = std::move(lo.fired);
@@ -349,6 +376,7 @@ RunResult Cluster::run_collect(const std::function<void(Comm&)>& fn) {
     res.ok = false;
     res.failed_rank = lo.failed_rank;
     res.failure = classify_failure(lo.primary);
+    res.failure_detail = classify_detail(lo.primary);
     res.oom = res.failure == FailureClass::kOom;
     res.error = failure_what(lo.primary);
   }

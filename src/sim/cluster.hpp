@@ -69,11 +69,14 @@ enum class FailureClass : std::uint8_t {
   kDeadlock,       ///< SimDeadlockError: the no-progress watchdog fired
   kInjectedCrash,  ///< SimInjectedFault: a chaos-engine crash
   kPeerAbort,      ///< SimAbortError: collateral of another rank's failure
+  kSpillIoError,   ///< SpillIoError: spill-to-disk I/O failed (injected
+                   ///< write failure, short read, checksum mismatch)
   kLogicError,     ///< anything else (CommError, std::exception, ...)
 };
 
 /// Stable lowercase-hyphen names ("none", "oom", "deadlock",
-/// "injected-crash", "peer-abort", "logic-error") used in telemetry reports.
+/// "injected-crash", "peer-abort", "spill-io", "logic-error") used in
+/// telemetry reports.
 const char* failure_class_name(FailureClass c);
 
 /// One rank's classified failure. run_collect records an entry for every
@@ -95,6 +98,11 @@ struct RunResult {
   bool oom = false;        ///< primary exception was a SimOomError
   /// Classification of the primary failure (kNone when ok).
   FailureClass failure = FailureClass::kNone;
+  /// One-line refinement of `failure` for triage without trace spelunking:
+  /// the pipeline phase for an OOM ("exchange", "merge", ...), the spill op
+  /// class for a spill I/O error ("spill-write", "spill-read"), empty
+  /// otherwise.
+  std::string failure_detail;
   /// Every rank that unwound, sorted by rank: the primary failure plus the
   /// peer-abort secondaries.
   std::vector<RankFailure> rank_failures;
@@ -106,6 +114,9 @@ struct RunResult {
   /// Per-rank count of public Comm operations issued (crash-point sweeps
   /// probe a fault-free run to learn the sweep range).
   std::vector<std::uint64_t> comm_ops;
+  /// Per-rank count of spill I/O ops (writes + reloads); spill-fault sweeps
+  /// probe a fault-free run to learn their sweep range the same way.
+  std::vector<std::uint64_t> spill_ops;
 
   std::vector<PhaseLedger> ledgers;  ///< indexed by world rank
   std::vector<CommStats> comm_stats;  ///< indexed by world rank

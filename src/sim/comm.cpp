@@ -1562,6 +1562,11 @@ PhaseLedger& Comm::ledger() const {
   return st_->ledgers[static_cast<std::size_t>(world_rank_)];
 }
 
+SpillChaosHook* Comm::spill_hook() const {
+  require_valid();
+  return &st_->spill_hooks[static_cast<std::size_t>(world_rank_)];
+}
+
 const CommStats& Comm::stats() const {
   require_valid();
   return st_->comm_stats[static_cast<std::size_t>(world_rank_)];

@@ -27,6 +27,10 @@
 #include "util/error.hpp"
 #include "util/phase_ledger.hpp"
 
+namespace sdss {
+class SpillChaosHook;  // sortcore/spill_hook.hpp
+}
+
 namespace sdss::sim {
 
 class Comm;
@@ -93,6 +97,12 @@ class Comm {
 
   /// Per-rank phase ledger for time-breakdown reporting (Figs. 9/10).
   PhaseLedger& ledger() const;
+
+  /// This rank's spill-op chaos/accounting hook, to hand to a SpillPool
+  /// (sortcore/spill.hpp). Always non-null inside a cluster run: it counts
+  /// spill ops into RunResult::spill_ops even with chaos disabled, and
+  /// fires injected spill faults (stall/fail/corrupt) when enabled.
+  SpillChaosHook* spill_hook() const;
 
   /// Per-rank communication counters (messages and bytes this rank sent).
   const CommStats& stats() const;

@@ -34,6 +34,7 @@
 #include "sim/network.hpp"
 #include "sim/sched.hpp"
 #include "sim/trace.hpp"
+#include "sortcore/spill_hook.hpp"
 #include "util/phase_ledger.hpp"
 
 namespace sdss::sim::detail {
@@ -127,6 +128,28 @@ struct BlockedOp {
   bool has_deadline = false;
 };
 
+struct ClusterState;
+
+/// Per-rank implementation of the spill subsystem's fault-injection surface
+/// (sortcore/spill_hook.hpp): counts spill ops in `spill_op_counts` exactly
+/// like comm ops, fires slow-disk stalls as cooperative scheduler sleeps
+/// (watchdog-safe: a sleeping fiber is running, not blocked), and throws
+/// SpillIoError for injected write failures. Handed to SpillPool via
+/// Comm::spill_hook(). Methods are defined in chaos.cpp.
+class RankSpillHook final : public SpillChaosHook {
+ public:
+  void init(ClusterState* st, int world_rank) {
+    st_ = st;
+    world_rank_ = world_rank;
+  }
+  std::uint64_t before_op(const char* op) override;
+  bool corrupt_write(std::uint64_t k) override;
+
+ private:
+  ClusterState* st_ = nullptr;
+  int world_rank_ = -1;
+};
+
 struct ClusterState {
   std::mutex mu;
   /// Fiber scheduler running the rank bodies; owned by launch() for the
@@ -170,6 +193,11 @@ struct ClusterState {
   /// run order the final reads), so chaos decisions stay off the global
   /// mutex.
   std::vector<std::uint64_t> op_counts;
+  /// Per-rank count of spill I/O ops (writes + reloads), same single-writer
+  /// discipline as op_counts. Spill fault schedules index into this stream.
+  std::vector<std::uint64_t> spill_op_counts;
+  /// Per-rank spill chaos hooks (stable addresses: sized once at launch).
+  std::vector<RankSpillHook> spill_hooks;
   std::vector<FaultEvent> fired;        ///< chaos events that fired (mu)
   std::uint64_t jittered_messages = 0;  ///< p2p sends that got jitter (mu)
 

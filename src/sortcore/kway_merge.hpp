@@ -134,6 +134,27 @@ class LoserTree {
   /// flushes this into kernel_stats once per merge (cost discipline).
   std::uint64_t gallop_bytes() const { return gallop_bytes_; }
 
+  /// External-merge support (sortcore/spill.hpp): true when run r's current
+  /// backing span is fully consumed.
+  bool run_exhausted(std::size_t r) const { return pos_[r] >= runs_[r].size(); }
+
+  /// External-merge support: the caller replaced run r's exhausted backing
+  /// span in place (the constructor's `runs` span aliases caller storage, so
+  /// e.g. a file-backed cursor can load its next frame into the same slot)
+  /// and the run must be re-armed from position 0.
+  /// Precondition: run_exhausted(r) held before the span was swapped.
+  ///
+  /// This cannot use replay(): that walk is only sound for the run that just
+  /// won (its path's passing slot is free). An exhausted run lost its way
+  /// back in and is lodged in an internal node, so its key change invalidates
+  /// matches replay() would not revisit. A full bottom-up rebuild is O(k),
+  /// allocation-free, and amortizes to O(k/frame) per emitted record.
+  void refill_run(std::size_t r) {
+    pos_[r] = 0;
+    remaining_ += runs_[r].size();
+    winner_ = cap_ > 1 ? rebuild(1) : (runs_.empty() ? kEmpty : 0);
+  }
+
  private:
   static constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
 
@@ -150,6 +171,23 @@ class LoserTree {
     if (ka < kb) return true;
     if (kb < ka) return false;
     return a < b;  // stability: lower run index wins ties
+  }
+
+  /// Recompute every match in `node`'s subtree from the current run heads;
+  /// stores losers and returns the subtree winner.
+  std::size_t rebuild(std::size_t node) {
+    if (node >= cap_) {
+      const std::size_t i = node - cap_;
+      return i < runs_.size() ? i : kEmpty;
+    }
+    const std::size_t a = rebuild(2 * node);
+    const std::size_t b = rebuild(2 * node + 1);
+    if (beats(a, b)) {
+      tree_[node] = b;
+      return a;
+    }
+    tree_[node] = a;
+    return b;
   }
 
   /// Replay the path from run r's leaf to the root after its head changed.

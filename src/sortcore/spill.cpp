@@ -1,0 +1,217 @@
+#include "sortcore/spill.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "trace/recorder.hpp"
+
+namespace sdss {
+
+namespace {
+
+// Frame layout on disk: header then payload. The header is written and read
+// with memcpy into this exact struct; all fields are fixed-width and the
+// files never leave the machine that wrote them, so no endianness handling.
+struct FrameHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t seq = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+constexpr std::uint32_t kFrameMagic = 0x53445346;  // "SDSF"
+
+std::uint64_t fnv1a(const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Unique per process + pool instance + run: several rank fibers of one
+// simulated cluster share the process and the directory.
+std::atomic<std::uint64_t> g_pool_seq{0};
+
+std::string make_run_path(const std::string& dir, int rank,
+                          std::uint64_t pool_id, std::size_t id) {
+  namespace fs = std::filesystem;
+  fs::path base = dir.empty() ? fs::temp_directory_path() : fs::path(dir);
+  std::ostringstream name;
+  name << "sdss-spill-" << static_cast<unsigned long>(::getpid()) << "-"
+       << pool_id << "-r" << rank << "-" << id << ".run";
+  return (base / name.str()).string();
+}
+
+}  // namespace
+
+SpillPool::SpillPool(SpillConfig cfg, SpillChaosHook* hook)
+    : cfg_(std::move(cfg)), hook_(hook), pool_id_(g_pool_seq.fetch_add(1)) {
+  if (cfg_.frame_records == 0) cfg_.frame_records = 4096;
+}
+
+SpillPool::~SpillPool() {
+  for (Run& r : runs_) {
+    if (r.released) continue;
+    if (r.file != nullptr) std::fclose(r.file);
+    std::remove(r.path.c_str());  // best-effort cleanup
+  }
+}
+
+std::uint64_t SpillPool::next_op(const char* op) {
+  return hook_ != nullptr ? hook_->before_op(op) : local_ops_++;
+}
+
+SpillPool::Run& SpillPool::run_for_io(std::size_t run, const char* op) {
+  if (run >= runs_.size() || runs_[run].released) {
+    throw SpillIoError(cfg_.rank, local_ops_, op,
+                       "run id " + std::to_string(run) + " is not open");
+  }
+  return runs_[run];
+}
+
+std::size_t SpillPool::begin_run() {
+  Run r;
+  r.path = make_run_path(cfg_.dir, cfg_.rank, pool_id_, runs_.size());
+  r.file = std::fopen(r.path.c_str(), "wb+");
+  if (r.file == nullptr) {
+    throw SpillIoError(cfg_.rank, local_ops_, "spill-write",
+                       "cannot create run file " + r.path + ": " +
+                           std::strerror(errno));
+  }
+  ++stats_.runs_written;
+  runs_.push_back(std::move(r));
+  return runs_.size() - 1;
+}
+
+void SpillPool::append_frame(std::size_t run, const void* p,
+                             std::size_t bytes) {
+  // The hook call is the chaos injection point: it may sleep (slow disk) or
+  // throw SpillIoError (injected write failure) before any byte is written.
+  const std::uint64_t k = next_op("spill-write");
+  Run& r = run_for_io(run, "spill-write");
+  if (r.sealed) {
+    throw SpillIoError(cfg_.rank, k, "spill-write", "run is sealed");
+  }
+  const bool traced = trace::active();
+  const std::uint64_t begin_ns = traced ? trace::now_ns() : 0;
+
+  FrameHeader h;
+  h.magic = kFrameMagic;
+  h.seq = static_cast<std::uint32_t>(r.frames);
+  h.payload_bytes = bytes;
+  h.checksum = fnv1a(p, bytes);
+
+  // Injected corruption: damage the payload after the checksum was taken,
+  // so the reload's verification is what catches it.
+  std::vector<unsigned char> corrupted;
+  const void* payload = p;
+  if (hook_ != nullptr && bytes > 0 && hook_->corrupt_write(k)) {
+    corrupted.assign(static_cast<const unsigned char*>(p),
+                     static_cast<const unsigned char*>(p) + bytes);
+    corrupted[0] ^= 0xff;
+    payload = corrupted.data();
+  }
+
+  if (std::fwrite(&h, sizeof(h), 1, r.file) != 1 ||
+      (bytes > 0 && std::fwrite(payload, 1, bytes, r.file) != bytes)) {
+    throw SpillIoError(cfg_.rank, k, "spill-write",
+                       "short write to " + r.path);
+  }
+  ++r.frames;
+  ++stats_.frames_written;
+  stats_.bytes_spilled += bytes;
+  if (traced) {
+    trace::complete(trace::EventCat::kSpill, "spill-write", begin_ns, bytes);
+  }
+}
+
+void SpillPool::end_run(std::size_t run) {
+  Run& r = run_for_io(run, "spill-write");
+  if (std::fflush(r.file) != 0) {
+    throw SpillIoError(cfg_.rank, local_ops_, "spill-write",
+                       "flush failed for " + r.path);
+  }
+  r.sealed = true;
+}
+
+void SpillPool::open_run(std::size_t run) {
+  Run& r = run_for_io(run, "spill-read");
+  if (!r.sealed) {
+    throw SpillIoError(cfg_.rank, local_ops_, "spill-read",
+                       "run is not sealed");
+  }
+  std::rewind(r.file);
+  r.frames_read = 0;
+}
+
+std::size_t SpillPool::read_frame(std::size_t run, void* dst,
+                                  std::size_t capacity) {
+  Run& r = run_for_io(run, "spill-read");
+  if (r.frames_read >= r.frames) return 0;  // exhausted: not an I/O op
+  const std::uint64_t k = next_op("spill-read");
+  const bool traced = trace::active();
+  const std::uint64_t begin_ns = traced ? trace::now_ns() : 0;
+
+  FrameHeader h;
+  if (std::fread(&h, sizeof(h), 1, r.file) != 1) {
+    throw SpillIoError(cfg_.rank, k, "spill-read",
+                       "short header read from " + r.path);
+  }
+  if (h.magic != kFrameMagic ||
+      h.seq != static_cast<std::uint32_t>(r.frames_read)) {
+    throw SpillIoError(cfg_.rank, k, "spill-read",
+                       "damaged frame header in " + r.path);
+  }
+  if (h.payload_bytes > capacity) {
+    throw SpillIoError(cfg_.rank, k, "spill-read",
+                       "frame larger than reader buffer in " + r.path);
+  }
+  const std::size_t bytes = static_cast<std::size_t>(h.payload_bytes);
+  if (bytes > 0 && std::fread(dst, 1, bytes, r.file) != bytes) {
+    throw SpillIoError(cfg_.rank, k, "spill-read",
+                       "short payload read from " + r.path);
+  }
+  const std::uint64_t got = fnv1a(dst, bytes);
+  if (got != h.checksum) {
+    std::ostringstream os;
+    os << "frame checksum mismatch in " << r.path << " (frame "
+       << r.frames_read << ": stored " << h.checksum << ", computed " << got
+       << ")";
+    throw SpillIoError(cfg_.rank, k, "spill-read", os.str());
+  }
+  ++r.frames_read;
+  stats_.bytes_reloaded += bytes;
+  if (traced) {
+    trace::complete(trace::EventCat::kSpill, "spill-read", begin_ns, bytes);
+  }
+  return bytes;
+}
+
+void SpillPool::release_run(std::size_t run) {
+  if (run >= runs_.size() || runs_[run].released) return;
+  Run& r = runs_[run];
+  if (r.file != nullptr) std::fclose(r.file);
+  std::remove(r.path.c_str());
+  r.file = nullptr;
+  r.released = true;
+}
+
+void SpillPool::resident_acquire(std::size_t records) {
+  resident_ += records;
+  stats_.peak_resident_records =
+      std::max<std::uint64_t>(stats_.peak_resident_records, resident_);
+}
+
+void SpillPool::resident_release(std::size_t records) {
+  resident_ = records > resident_ ? 0 : resident_ - records;
+}
+
+}  // namespace sdss

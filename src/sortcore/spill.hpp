@@ -1,0 +1,277 @@
+// Spill-to-disk out-of-core machinery: budgeted run files + external merge.
+//
+// When a receive-side exchange would exceed `Config::mem_limit_records`, the
+// spill policy (core/config.hpp MemoryPolicy::kSpill) drains the incoming
+// volume into sorted *runs* on disk instead of throwing SimOomError, then
+// produces the final ordering with an external k-way merge whose resident
+// working set is bounded by the same budget.
+//
+// On-disk format: a run is a sequence of frames, each a fixed-layout header
+// (magic, sequence number, payload size, FNV-1a checksum) followed by the
+// payload. Frames are the unit of I/O, of checksum verification, and of
+// resident memory during the merge: a reload never needs more than
+// `frame_records` records of buffer per open run. Torn writes, truncated
+// files and bit rot all surface as SpillIoError at reload time, never as
+// silently wrong output.
+//
+// The external merge extends the in-memory loser tree (kway_merge.hpp):
+// each run contributes its current frame as the tree's backing span, and
+// when a frame drains the cursor loads the next one in place and re-arms
+// the run (LoserTree::refill_run). When the budget caps the fan-in below
+// the run count, intermediate passes merge groups of runs back into new
+// spilled runs, in run-id order, so the stability rule — ties go to the
+// lower run id — survives multi-pass merging.
+//
+// Fault injection and op accounting go through the abstract SpillChaosHook
+// (spill_hook.hpp); this file has no dependency on the simulator.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sortcore/arena.hpp"
+#include "sortcore/key.hpp"
+#include "sortcore/kway_merge.hpp"
+#include "sortcore/spill_hook.hpp"
+#include "util/error.hpp"
+
+namespace sdss {
+
+struct SpillConfig {
+  /// Directory for run files; "" uses the system temp directory. Files are
+  /// uniquely named per process/pool/run and removed by ~SpillPool.
+  std::string dir;
+  /// Records per frame: the checksum, reload, and staging granularity.
+  std::size_t frame_records = 4096;
+  /// Owning rank, for SpillIoError attribution; -1 outside a cluster run.
+  int rank = -1;
+};
+
+/// Counters of one pool's lifetime, reported in telemetry's `spill` object.
+/// All are deterministic for a fixed workload/seed/budget, so benches gate
+/// them exactly against checked-in baselines.
+struct SpillStats {
+  std::uint64_t runs_written = 0;
+  std::uint64_t frames_written = 0;
+  std::uint64_t bytes_spilled = 0;    ///< payload bytes written
+  std::uint64_t bytes_reloaded = 0;   ///< payload bytes read back
+  std::uint64_t merge_passes = 0;     ///< external merge passes (>= 1)
+  std::uint64_t peak_resident_records = 0;  ///< max staged records at once
+
+  SpillStats& operator+=(const SpillStats& o) {
+    runs_written += o.runs_written;
+    frames_written += o.frames_written;
+    bytes_spilled += o.bytes_spilled;
+    bytes_reloaded += o.bytes_reloaded;
+    merge_passes += o.merge_passes;
+    peak_resident_records =
+        std::max(peak_resident_records, o.peak_resident_records);
+    return *this;
+  }
+};
+
+/// Owns one rank's run files for the duration of a spill episode. All byte
+/// I/O funnels through append_frame/read_frame, which are the chaos-visible
+/// spill ops. Not thread-safe: one pool belongs to one rank fiber.
+class SpillPool {
+ public:
+  explicit SpillPool(SpillConfig cfg, SpillChaosHook* hook = nullptr);
+  ~SpillPool();
+  SpillPool(const SpillPool&) = delete;
+  SpillPool& operator=(const SpillPool&) = delete;
+
+  const SpillConfig& config() const { return cfg_; }
+  const SpillStats& stats() const { return stats_; }
+  std::size_t num_runs() const { return runs_.size(); }
+
+  /// Open a new run file and return its id. Create runs in the order the
+  /// stability rule requires (e.g. source-rank order): the external merge
+  /// awards ties to the lower run id.
+  std::size_t begin_run();
+  /// Append one framed, checksummed write (one spill op). `bytes` must not
+  /// exceed frame_records * record size for the type being staged — the
+  /// reader's buffer capacity is the frame size.
+  void append_frame(std::size_t run, const void* p, std::size_t bytes);
+  /// Seal the run: flush it and freeze its frame count.
+  void end_run(std::size_t run);
+
+  /// Rewind a sealed run for reading from its first frame.
+  void open_run(std::size_t run);
+  /// Load the next frame's payload into `dst` (one spill op); returns the
+  /// payload size, or 0 when the run is exhausted. A short read, a damaged
+  /// header, or a checksum mismatch throws SpillIoError.
+  std::size_t read_frame(std::size_t run, void* dst, std::size_t capacity);
+  /// Drop a run that has been fully merged away: close and unlink its file.
+  void release_run(std::size_t run);
+
+  /// Resident-record accounting: the exchange and the merge report their
+  /// bounded staging buffers here so `peak_resident_records` is an auditable
+  /// measure of the out-of-core promise.
+  void resident_acquire(std::size_t records);
+  void resident_release(std::size_t records);
+  std::size_t resident_records() const { return resident_; }
+  void bump_merge_pass() { ++stats_.merge_passes; }
+
+ private:
+  struct Run {
+    std::string path;
+    std::FILE* file = nullptr;
+    std::uint64_t frames = 0;       ///< frames written (frozen by end_run)
+    std::uint64_t frames_read = 0;  ///< cursor position, frames
+    bool sealed = false;
+    bool released = false;
+  };
+
+  std::uint64_t next_op(const char* op);
+  Run& run_for_io(std::size_t run, const char* op);
+
+  SpillConfig cfg_;
+  SpillChaosHook* hook_;
+  SpillStats stats_;
+  std::vector<Run> runs_;
+  std::size_t resident_ = 0;
+  std::uint64_t local_ops_ = 0;  ///< op ordinals when no hook is attached
+  std::uint64_t pool_id_ = 0;    ///< process-unique, for run file naming
+};
+
+/// Spill one already-sorted run, framed at frame_records granularity.
+template <typename T>
+std::size_t spill_run(SpillPool& pool, std::span<const T> records) {
+  const std::size_t id = pool.begin_run();
+  const std::size_t frame = pool.config().frame_records;
+  for (std::size_t i = 0; i < records.size(); i += frame) {
+    const std::size_t n = std::min(frame, records.size() - i);
+    pool.append_frame(id, records.data() + i, n * sizeof(T));
+  }
+  pool.end_run(id);
+  return id;
+}
+
+/// Frame-at-a-time typed cursor: holds exactly one frame of T resident.
+template <typename T>
+class SpillRunCursor {
+ public:
+  SpillRunCursor(SpillPool& pool, std::size_t run) : pool_(&pool), run_(run) {
+    pool_->open_run(run_);
+    buf_.resize(pool_->config().frame_records);
+  }
+
+  /// Load the next frame; an empty span means the run is exhausted.
+  std::span<const T> next() {
+    const std::size_t bytes =
+        pool_->read_frame(run_, buf_.data(), buf_.size() * sizeof(T));
+    return {buf_.data(), bytes / sizeof(T)};
+  }
+
+ private:
+  SpillPool* pool_;
+  std::size_t run_;
+  std::vector<T> buf_;
+};
+
+namespace spill_detail {
+
+/// Merge one group of spilled runs through the loser tree, feeding `emit`
+/// sorted chunks of at most one frame. Source runs are released afterwards.
+template <typename T, typename KeyFn, typename Emit>
+void merge_group(SpillPool& pool, std::span<const std::size_t> group, KeyFn kf,
+                 Emit&& emit) {
+  const std::size_t frame = pool.config().frame_records;
+  // Materialize cursors and their first frames; drop runs that are empty on
+  // disk but keep relative order (the stability contract).
+  std::vector<SpillRunCursor<T>> cursors;
+  std::vector<std::span<const T>> frames;
+  cursors.reserve(group.size());
+  frames.reserve(group.size());
+  for (const std::size_t id : group) {
+    SpillRunCursor<T> cur(pool, id);
+    std::span<const T> first = cur.next();
+    if (first.empty()) continue;
+    cursors.push_back(std::move(cur));
+    frames.push_back(first);
+  }
+  // `frames` backs the tree and is swapped in place on refill. The spans
+  // point into each cursor's heap buffer, which survives the push_back move
+  // (vector moves steal the allocation), so they stay valid.
+  const std::size_t live = cursors.size();
+  pool.resident_acquire(live * frame + frame);
+  {
+    std::vector<T> stage;
+    stage.reserve(frame);
+    ArenaScope scope(ScratchArena::for_thread());
+    LoserTree<T, KeyFn> tree({frames.data(), frames.size()}, kf, scope);
+    while (!tree.empty()) {
+      const std::size_t r = tree.min_run();
+      stage.push_back(tree.pop());
+      if (tree.run_exhausted(r)) {
+        // Refill before the next pop: a tie spanning r's frame boundary
+        // must keep winning for r, or cross-run stability breaks.
+        std::span<const T> nxt = cursors[r].next();
+        if (!nxt.empty()) {
+          frames[r] = nxt;
+          tree.refill_run(r);
+        }
+      }
+      if (stage.size() == frame) {
+        emit(std::span<const T>(stage.data(), stage.size()));
+        stage.clear();
+      }
+    }
+    if (!stage.empty()) emit(std::span<const T>(stage.data(), stage.size()));
+  }
+  pool.resident_release(live * frame + frame);
+  for (const std::size_t id : group) pool.release_run(id);
+}
+
+}  // namespace spill_detail
+
+/// External k-way merge of spilled runs under a resident-record budget.
+/// Fan-in per pass is bounded so that (open cursors + one output staging
+/// frame) fit in `budget_records`; when there are more runs than that,
+/// intermediate passes merge run groups back into new spilled runs. The
+/// result vector is the job's output and is not counted against the budget
+/// (the budget bounds *working* memory, matching plan_exchange's model of
+/// the strict path). budget_records == 0 means unlimited (single pass).
+template <typename T, KeyFunction<T> KeyFn = IdentityKey>
+std::vector<T> external_kway_merge(SpillPool& pool,
+                                   std::vector<std::size_t> runs,
+                                   std::size_t budget_records, KeyFn kf = {}) {
+  if (runs.empty()) return {};
+  const std::size_t frame = pool.config().frame_records;
+  std::size_t fan_in = runs.size();
+  if (budget_records != 0) {
+    fan_in = budget_records > 3 * frame ? budget_records / frame - 1 : 2;
+  }
+  while (runs.size() > fan_in) {
+    pool.bump_merge_pass();
+    std::vector<std::size_t> next;
+    next.reserve((runs.size() + fan_in - 1) / fan_in);
+    for (std::size_t i = 0; i < runs.size(); i += fan_in) {
+      const std::size_t n = std::min(fan_in, runs.size() - i);
+      const std::size_t out = pool.begin_run();
+      spill_detail::merge_group<T>(
+          pool, std::span<const std::size_t>(runs.data() + i, n), kf,
+          [&](std::span<const T> chunk) {
+            pool.append_frame(out, chunk.data(), chunk.size() * sizeof(T));
+          });
+      pool.end_run(out);
+      next.push_back(out);
+    }
+    runs = std::move(next);
+  }
+  pool.bump_merge_pass();
+  std::vector<T> out;
+  spill_detail::merge_group<T>(
+      pool, std::span<const std::size_t>(runs.data(), runs.size()), kf,
+      [&](std::span<const T> chunk) {
+        out.insert(out.end(), chunk.begin(), chunk.end());
+      });
+  return out;
+}
+
+}  // namespace sdss

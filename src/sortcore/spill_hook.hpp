@@ -1,0 +1,33 @@
+// Fault-injection / accounting surface of the spill subsystem.
+//
+// sortcore/spill.{hpp,cpp} is a plain library with no dependency on the
+// simulated cluster, yet the chaos engine (sim/chaos.hpp) must be able to
+// count, stall, fail, and corrupt individual spill I/O operations the same
+// way it does communication ops. The pool therefore takes this abstract
+// hook: inside a cluster run each rank's Comm hands out an implementation
+// backed by its FaultPlan (Comm::spill_hook()); standalone users (unit
+// tests, tools) pass nullptr and the pool counts ops privately.
+#pragma once
+
+#include <cstdint>
+
+namespace sdss {
+
+class SpillChaosHook {
+ public:
+  virtual ~SpillChaosHook() = default;
+
+  /// Called once before every spill I/O operation with its class name
+  /// ("spill-write" / "spill-read"). Returns the op's ordinal on this rank.
+  /// May block cooperatively (slow-disk straggler injection — inside the
+  /// simulator this is a scheduler sleep, never a watchdog-visible block)
+  /// and may throw SpillIoError (injected write/read failure).
+  virtual std::uint64_t before_op(const char* op) = 0;
+
+  /// True when the frame written by op ordinal `k` must be corrupted on
+  /// disk — the payload is damaged after its checksum was computed, so the
+  /// eventual reload detects it and raises SpillIoError.
+  virtual bool corrupt_write(std::uint64_t k) = 0;
+};
+
+}  // namespace sdss

@@ -150,6 +150,30 @@ void compare_refinement(DiffResult& out, const RunReport& b,
   out.deltas.push_back(std::move(d));
 }
 
+void compare_spill(DiffResult& out, const RunReport& b, const RunReport& a,
+                   const DiffOptions& opts) {
+  // Both-sides rule: only gate when both runs went out-of-core (a baseline
+  // written before the spill path existed, or an in-core run, must not fake
+  // a regression from zero). Every counter is deterministic for a fixed
+  // workload/config, so growth past the (default zero) tolerance — more
+  // runs, more reload traffic, an extra merge pass, a higher resident
+  // peak — is a real out-of-core cost regression.
+  if (!b.has_spill || !a.has_spill) return;
+  compare_counter(out, b.name, "spill_runs_written", b.spill_runs_written,
+                  a.spill_runs_written, opts);
+  compare_counter(out, b.name, "spill_frames_written", b.spill_frames_written,
+                  a.spill_frames_written, opts);
+  compare_counter(out, b.name, "spill_bytes_spilled", b.spill_bytes_spilled,
+                  a.spill_bytes_spilled, opts);
+  compare_counter(out, b.name, "spill_bytes_reloaded", b.spill_bytes_reloaded,
+                  a.spill_bytes_reloaded, opts);
+  compare_counter(out, b.name, "spill_merge_passes", b.spill_merge_passes,
+                  a.spill_merge_passes, opts);
+  compare_counter(out, b.name, "spill_peak_resident",
+                  b.spill_peak_resident_records,
+                  a.spill_peak_resident_records, opts);
+}
+
 }  // namespace
 
 std::vector<PhaseDelta> DiffResult::regressions() const {
@@ -202,6 +226,7 @@ DiffResult diff_registries(const ReportRegistry& before,
       compare_comm(out, b, *a, opts);
       compare_kernel(out, b, *a, opts);
       compare_refinement(out, b, *a, opts);
+      compare_spill(out, b, *a, opts);
       compare_trace(out, b, *a, opts);
     }
   }
@@ -241,7 +266,8 @@ void print_diff(std::ostream& os, const DiffResult& d,
   os << (regs.empty() ? "no regressions" : "REGRESSIONS: ")
      << (regs.empty() ? "" : std::to_string(regs.size()));
   if (opts.bytes_only) {
-    os << " (comm/kernel/refinement counters + trace lambda only, tolerance "
+    os << " (comm/kernel/refinement/spill counters + trace lambda only, "
+          "tolerance "
        << fmt_seconds(opts.bytes_threshold * 100.0, 0) << "%)\n";
   } else {
     os << " (threshold " << fmt_seconds(opts.threshold * 100.0, 0)

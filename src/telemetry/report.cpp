@@ -83,6 +83,20 @@ void set_refinement(RunReport& r, const RefineStats& s) {
   r.refinement = s;
 }
 
+void add_spill(RunReport& r, const SpillStats& s) {
+  r.has_spill = true;
+  r.spill_runs_written += s.runs_written;
+  r.spill_frames_written += s.frames_written;
+  r.spill_bytes_spilled += s.bytes_spilled;
+  r.spill_bytes_reloaded += s.bytes_reloaded;
+  if (s.merge_passes > r.spill_merge_passes) {
+    r.spill_merge_passes = s.merge_passes;
+  }
+  if (s.peak_resident_records > r.spill_peak_resident_records) {
+    r.spill_peak_resident_records = s.peak_resident_records;
+  }
+}
+
 void set_trace(RunReport& r, const trace::TraceAnalysis& a) {
   r.has_trace = true;
   r.trace_lambda_records = a.lambda_records;
@@ -124,6 +138,9 @@ Json to_json(const RunReport& r) {
   outcome.set("ok", r.ok);
   outcome.set("oom", r.oom);
   outcome.set("failure_class", r.failure_class);
+  if (!r.failure_detail.empty()) {
+    outcome.set("failure_detail", r.failure_detail);
+  }
   outcome.set("failed_rank", r.failed_rank);
   outcome.set("wall_seconds", r.wall_seconds);
   outcome.set("crit_path_cpu_seconds", r.crit_path_cpu_seconds);
@@ -245,6 +262,17 @@ Json to_json(const RunReport& r) {
     j.set("partition", std::move(partition));
   }
 
+  if (r.has_spill) {
+    Json spill = Json::object();
+    spill.set("runs_written", r.spill_runs_written);
+    spill.set("frames_written", r.spill_frames_written);
+    spill.set("bytes_spilled", r.spill_bytes_spilled);
+    spill.set("bytes_reloaded", r.spill_bytes_reloaded);
+    spill.set("merge_passes", r.spill_merge_passes);
+    spill.set("peak_resident_records", r.spill_peak_resident_records);
+    j.set("spill", std::move(spill));
+  }
+
   if (r.has_trace) {
     Json trace = Json::object();
     trace.set("lambda_records", r.trace_lambda_records);
@@ -288,6 +316,7 @@ RunReport report_from_json(const Json& j) {
   r.ok = outcome.at("ok").bool_or(true);
   r.oom = outcome.at("oom").bool_or(false);
   r.failure_class = outcome.at("failure_class").string_or("none");
+  r.failure_detail = outcome.at("failure_detail").string_or("");
   r.failed_rank = static_cast<int>(outcome.at("failed_rank").number_or(-1.0));
   r.wall_seconds = outcome.at("wall_seconds").number_or(-1.0);
   r.crit_path_cpu_seconds = outcome.at("crit_path_cpu_seconds").number_or();
@@ -386,6 +415,17 @@ RunReport report_from_json(const Json& j) {
         s.per_round.push_back(rr);
       }
     }
+  }
+
+  if (const Json* spill = j.find("spill")) {
+    r.has_spill = true;
+    r.spill_runs_written = spill->at("runs_written").u64_or();
+    r.spill_frames_written = spill->at("frames_written").u64_or();
+    r.spill_bytes_spilled = spill->at("bytes_spilled").u64_or();
+    r.spill_bytes_reloaded = spill->at("bytes_reloaded").u64_or();
+    r.spill_merge_passes = spill->at("merge_passes").u64_or();
+    r.spill_peak_resident_records =
+        spill->at("peak_resident_records").u64_or();
   }
 
   if (const Json* trace = j.find("trace")) {

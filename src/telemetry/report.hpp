@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/splitter.hpp"
+#include "sortcore/spill.hpp"
 #include "sim/chaos.hpp"
 #include "sim/comm_stats.hpp"
 #include "telemetry/json.hpp"
@@ -62,9 +63,14 @@ struct RunReport {
   bool ok = true;
   bool oom = false;
   /// Failure taxonomy (sim::failure_class_name): "none", "oom", "deadlock",
-  /// "injected-crash", "peer-abort", "logic-error". Adding these fields is
-  /// backward-compatible (no schema bump); old files read back as "none"/-1.
+  /// "injected-crash", "peer-abort", "spill-io", "logic-error". Adding these
+  /// fields is backward-compatible (no schema bump); old files read back as
+  /// "none"/-1.
   std::string failure_class = "none";
+  /// Sub-classification of the primary failure: the OOM phase ("partition",
+  /// "exchange", "merge") or the spill op class ("spill-write",
+  /// "spill-read"). "" when ok or not applicable.
+  std::string failure_detail;
   int failed_rank = -1;  ///< rank of the primary failure; -1 when ok/deadlock
   double wall_seconds = -1.0;  ///< slowest rank, barrier-bracketed
   double crit_path_cpu_seconds = 0.0;  ///< max over ranks of CPU total
@@ -147,11 +153,30 @@ struct RunReport {
   // has_refinement distinguishes "run didn't use kHistogramEps" from zeros.
   bool has_refinement = false;
   RefineStats refinement;
+
+  // Out-of-core spill path (sortcore/spill.hpp; the `spill` JSON subobject,
+  // docs/OBSERVABILITY.md). Counters are whole-cluster sums except
+  // peak_resident_records (max over ranks); all are deterministic for a
+  // fixed workload/config, so report_diff gates them exactly. has_spill
+  // distinguishes "run stayed in-core" from genuine zeros.
+  bool has_spill = false;
+  std::uint64_t spill_runs_written = 0;
+  std::uint64_t spill_frames_written = 0;
+  std::uint64_t spill_bytes_spilled = 0;
+  std::uint64_t spill_bytes_reloaded = 0;
+  std::uint64_t spill_merge_passes = 0;  ///< max over ranks
+  std::uint64_t spill_peak_resident_records = 0;  ///< max over ranks
 };
 
 /// Fill a report's refinement section from the driver's RefineStats (sets
 /// has_refinement).
 void set_refinement(RunReport& r, const RefineStats& s);
+
+/// Merge one rank's spill counters into the report's spill section (sets
+/// has_spill). Run/frame/byte counters sum across ranks; merge passes and
+/// the resident peak take the max — the per-rank out-of-core cost, not a
+/// meaningless sum over ranks that spilled independently.
+void add_spill(RunReport& r, const SpillStats& s);
 
 /// Fill a report's trace section from an analyzed run trace (sets
 /// has_trace and the per-phase critical-path/λ summaries).

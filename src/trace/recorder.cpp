@@ -25,6 +25,7 @@ const char* event_cat_name(EventCat c) {
     case EventCat::kChaos: return "chaos";
     case EventCat::kWatchdog: return "watchdog";
     case EventCat::kCounter: return "counter";
+    case EventCat::kSpill: return "spill";
   }
   return "?";
 }

@@ -39,6 +39,7 @@ enum class EventCat : std::uint8_t {
   kChaos,
   kWatchdog,
   kCounter,
+  kSpill,  ///< spill-to-disk run writes/reloads (sortcore/spill.hpp)
 };
 
 const char* event_kind_name(EventKind k);

@@ -5,11 +5,21 @@
 namespace sdss {
 
 namespace {
-std::string oom_message(int rank, std::size_t required, std::size_t limit) {
+std::string oom_message(int rank, std::size_t required, std::size_t limit,
+                        const char* phase) {
   std::ostringstream os;
-  os << "simulated out-of-memory on rank " << rank << ": would receive "
-     << required << " records but mem_limit_records = " << limit << " (over by "
-     << (required > limit ? required - limit : 0) << ")";
+  os << "simulated out-of-memory on rank " << rank << " during " << phase
+     << ": would receive " << required << " records but mem_limit_records = "
+     << limit << " (over by " << (required > limit ? required - limit : 0)
+     << ")";
+  return os.str();
+}
+
+std::string spill_io_message(int rank, std::uint64_t op_index, const char* op,
+                             const std::string& detail) {
+  std::ostringstream os;
+  os << "spill I/O error on rank " << rank << " at spill op " << op_index
+     << " (" << op << "): " << detail;
   return os.str();
 }
 
@@ -39,11 +49,20 @@ std::string deadlock_message(const std::vector<BlockedRankDump>& ranks,
 }
 }  // namespace
 
-SimOomError::SimOomError(int rank, std::size_t required, std::size_t limit)
-    : Error(oom_message(rank, required, limit)),
+SimOomError::SimOomError(int rank, std::size_t required, std::size_t limit,
+                         const char* phase)
+    : Error(oom_message(rank, required, limit, phase)),
       rank_(rank),
       required_(required),
-      limit_(limit) {}
+      limit_(limit),
+      phase_(phase) {}
+
+SpillIoError::SpillIoError(int rank, std::uint64_t op_index, const char* op,
+                           const std::string& detail)
+    : Error(spill_io_message(rank, op_index, op, detail)),
+      rank_(rank),
+      op_index_(op_index),
+      op_(op) {}
 
 SimInjectedFault::SimInjectedFault(int rank, std::uint64_t op_index,
                                    const char* op, std::uint64_t seed)

@@ -29,16 +29,52 @@ class Error : public std::runtime_error {
 /// that budget; exceeding it throws this.
 class SimOomError : public Error {
  public:
-  SimOomError(int rank, std::size_t required, std::size_t limit);
+  SimOomError(int rank, std::size_t required, std::size_t limit,
+              const char* phase = "exchange");
 
   int rank() const noexcept { return rank_; }
   std::size_t required() const noexcept { return required_; }
   std::size_t limit() const noexcept { return limit_; }
+  /// Pipeline phase that exceeded the budget ("partition", "exchange",
+  /// "node-merge", ...). Flows into RunResult::failure_detail so chaos-soak
+  /// triage can see where a job died without opening the trace.
+  const std::string& phase() const noexcept { return phase_; }
 
  private:
   int rank_;
   std::size_t required_;
   std::size_t limit_;
+  std::string phase_;
+};
+
+/// The single OOM accounting rule: a budget of 0 means unlimited, otherwise
+/// needing more than `limit` records resident throws SimOomError (strict
+/// policy). All exchange planners — the core path and every baseline — call
+/// this so OOM classifies identically everywhere.
+inline void check_mem_budget(int rank, std::size_t required, std::size_t limit,
+                             const char* phase = "exchange") {
+  if (limit != 0 && required > limit) {
+    throw SimOomError(rank, required, limit, phase);
+  }
+}
+
+/// A spill-to-disk I/O operation failed: short write, injected write failure,
+/// or a frame checksum mismatch detected on reload (see sortcore/spill.hpp).
+/// Runs classify this as FailureClass::kSpillIoError.
+class SpillIoError : public Error {
+ public:
+  SpillIoError(int rank, std::uint64_t op_index, const char* op,
+               const std::string& detail);
+
+  int rank() const noexcept { return rank_; }
+  std::uint64_t op_index() const noexcept { return op_index_; }
+  /// The spill op class that failed: "spill-write" or "spill-read".
+  const std::string& op() const noexcept { return op_; }
+
+ private:
+  int rank_;
+  std::uint64_t op_index_;
+  std::string op_;
 };
 
 /// Raised in ranks that were blocked in a communication call when another

@@ -17,6 +17,7 @@
 #include "core/driver.hpp"
 #include "sim/chaos.hpp"
 #include "sim/cluster.hpp"
+#include "telemetry/report.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "workloads/zipf.hpp"
@@ -101,7 +102,15 @@ TEST(FaultPlan, StableKindNames) {
   EXPECT_STREQ(sim::fault_kind_name(FaultKind::kCrash), "crash");
   EXPECT_STREQ(sim::fault_kind_name(FaultKind::kStall), "stall");
   EXPECT_STREQ(sim::fault_kind_name(FaultKind::kJitter), "jitter");
+  EXPECT_STREQ(sim::fault_kind_name(FaultKind::kSpillFail), "spill-fail");
+  EXPECT_STREQ(sim::fault_kind_name(FaultKind::kSpillCorrupt),
+               "spill-corrupt");
+  EXPECT_STREQ(sim::fault_kind_name(FaultKind::kSpillStall), "spill-stall");
   EXPECT_EQ(sim::fault_kind_from_name("stall"), FaultKind::kStall);
+  EXPECT_EQ(sim::fault_kind_from_name("spill-fail"), FaultKind::kSpillFail);
+  EXPECT_EQ(sim::fault_kind_from_name("spill-corrupt"),
+            FaultKind::kSpillCorrupt);
+  EXPECT_EQ(sim::fault_kind_from_name("spill-stall"), FaultKind::kSpillStall);
   EXPECT_STREQ(sim::failure_class_name(FailureClass::kNone), "none");
   EXPECT_STREQ(sim::failure_class_name(FailureClass::kOom), "oom");
   EXPECT_STREQ(sim::failure_class_name(FailureClass::kDeadlock), "deadlock");
@@ -109,6 +118,8 @@ TEST(FaultPlan, StableKindNames) {
                "injected-crash");
   EXPECT_STREQ(sim::failure_class_name(FailureClass::kPeerAbort),
                "peer-abort");
+  EXPECT_STREQ(sim::failure_class_name(FailureClass::kSpillIoError),
+               "spill-io");
   EXPECT_STREQ(sim::failure_class_name(FailureClass::kLogicError),
                "logic-error");
 }
@@ -386,6 +397,149 @@ TEST(Taxonomy, PeerAbortSecondariesRecordedNotSwallowed) {
     }
   }
   EXPECT_EQ(peer_aborts, 3);
+}
+
+// Satellite: the OOM taxonomy must not depend on how many OS workers drive
+// the fibers. An all-duplicate workload with skew-aware splitting disabled
+// routes every record to one deterministic victim at the exchange, so the
+// classification, the failed rank, the phase detail, and the full per-rank
+// failure list must be identical between the fully deterministic
+// single-worker scheduler and a racy multi-worker one — at P=256, the
+// large-scale regime the simulator exists for.
+TEST(Taxonomy, ExchangeOomIdenticalAcrossSchedulerWorkers) {
+  const auto run = [](int workers) {
+    ClusterConfig cfg;
+    cfg.num_ranks = 256;
+    cfg.sched_workers = workers;
+    return Cluster(cfg).run_collect([](Comm& w) {
+      // 64 copies of one key per rank: with skew_aware off, the splitter
+      // sends the whole population (16384 records) to a single rank, far
+      // over the 1000-record budget.
+      std::vector<std::uint64_t> data(64, 42);
+      Config scfg;
+      scfg.skew_aware = false;
+      scfg.mem_limit_records = 1000;
+      sds_sort<std::uint64_t>(w, std::move(data), scfg);
+    });
+  };
+  const RunResult a = run(1);
+  const RunResult b = run(4);
+  ASSERT_FALSE(a.ok);
+  ASSERT_FALSE(b.ok);
+  EXPECT_EQ(a.failure, FailureClass::kOom);
+  EXPECT_EQ(b.failure, a.failure);
+  EXPECT_TRUE(a.oom);
+  EXPECT_TRUE(b.oom);
+  EXPECT_EQ(a.failure_detail, "exchange");
+  EXPECT_EQ(b.failure_detail, a.failure_detail);
+  EXPECT_EQ(a.failed_rank, b.failed_rank);
+  EXPECT_EQ(a.error, b.error);
+  // The casualty *vocabulary* is worker-count invariant: exactly one kOom
+  // (the victim), everything else kPeerAbort. (The peer-abort *count* is
+  // not: fibers that had not yet started when the abort fired never unwind.)
+  for (const RunResult* res : {&a, &b}) {
+    int ooms = 0;
+    for (const sim::RankFailure& f : res->rank_failures) {
+      if (f.failure == FailureClass::kOom) {
+        ++ooms;
+        EXPECT_EQ(f.rank, res->failed_rank);
+      } else {
+        EXPECT_EQ(f.failure, FailureClass::kPeerAbort);
+      }
+    }
+    EXPECT_EQ(ooms, 1);
+  }
+}
+
+// --- spill fault schedules: determinism + telemetry round-trip -------------
+
+std::function<void(Comm&)> spill_body(std::uint64_t seed) {
+  return [seed](Comm& w) {
+    auto data = workloads::zipf_keys(
+        800, 1.5, derive_seed(seed, static_cast<std::uint64_t>(w.rank())));
+    Config cfg;
+    cfg.stable = true;
+    cfg.mem_limit_records = 600;
+    cfg.memory_policy = MemoryPolicy::kSpill;
+    cfg.spill_frame_records = 128;
+    sds_sort<std::uint64_t>(w, std::move(data), cfg);
+  };
+}
+
+TEST(SpillChaos, ForcedFailureReplaysIdentically) {
+  // A single forced spill failure: the only scheduled event, so the fired
+  // list, the classification, and the message replay bit-for-bit even
+  // though peers unwind racily.
+  ChaosSpec spec;
+  spec.seed = 4242;
+  spec.forced.push_back(FaultEvent{FaultKind::kSpillFail, 2, 9, 0.0});
+  const RunResult a = Cluster(chaos_config(spec)).run_collect(spill_body(71));
+  const RunResult b = Cluster(chaos_config(spec)).run_collect(spill_body(71));
+  ASSERT_FALSE(a.ok);
+  EXPECT_EQ(a.failure, FailureClass::kSpillIoError);
+  EXPECT_EQ(a.failed_rank, 2);
+  EXPECT_TRUE(a.failure_detail == "spill-write" ||
+              a.failure_detail == "spill-read")
+      << a.failure_detail;
+  EXPECT_EQ(a.failure, b.failure);
+  EXPECT_EQ(a.failed_rank, b.failed_rank);
+  EXPECT_EQ(a.failure_detail, b.failure_detail);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  ASSERT_EQ(a.fault_events.size(), 1u);
+  EXPECT_EQ(a.fault_events[0],
+            (FaultEvent{FaultKind::kSpillFail, 2, 9, 0.0}));
+}
+
+TEST(SpillChaos, SeededStallScheduleReplaysIdentically) {
+  // Seeded slow-disk stalls complete the run, so the full fired schedule and
+  // every rank's spill-op count are pure functions of (seed, data) —
+  // identical run to run regardless of worker interleaving.
+  ChaosSpec spec;
+  spec.seed = 7979;
+  spec.spill_stall_prob = 0.2;
+  spec.max_spill_stall_s = 0.0005;
+  const RunResult a = Cluster(chaos_config(spec)).run_collect(spill_body(72));
+  const RunResult b = Cluster(chaos_config(spec)).run_collect(spill_body(72));
+  ASSERT_TRUE(a.ok) << a.error;
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_FALSE(a.fault_events.empty());
+  for (const FaultEvent& e : a.fault_events) {
+    EXPECT_EQ(e.kind, FaultKind::kSpillStall);
+  }
+  EXPECT_EQ(a.fault_events, b.fault_events);
+  EXPECT_EQ(a.spill_ops, b.spill_ops);
+}
+
+TEST(SpillChaos, FaultEventsRoundTripThroughTelemetryUnchanged) {
+  // Fired spill events — real stalls from a completing run plus one of each
+  // injected kind — must serialize through the telemetry `chaos` object and
+  // parse back unchanged.
+  ChaosSpec spec;
+  spec.seed = 777;
+  spec.spill_stall_prob = 0.3;
+  spec.max_spill_stall_s = 0.0005;
+  const RunResult res =
+      Cluster(chaos_config(spec)).run_collect(spill_body(73));
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_FALSE(res.fault_events.empty());
+
+  telemetry::RunReport rep;
+  rep.name = "spill-chaos-roundtrip";
+  rep.has_chaos = true;
+  rep.chaos_seed = spec.seed;
+  rep.fault_events = res.fault_events;
+  rep.fault_events.push_back(FaultEvent{FaultKind::kSpillFail, 5, 11, 0.0});
+  rep.fault_events.push_back(
+      FaultEvent{FaultKind::kSpillCorrupt, 6, 12, 0.0});
+  const telemetry::RunReport back =
+      telemetry::report_from_json(telemetry::to_json(rep));
+  EXPECT_TRUE(back.has_chaos);
+  EXPECT_EQ(back.chaos_seed, spec.seed);
+  ASSERT_EQ(back.fault_events.size(), rep.fault_events.size());
+  for (std::size_t i = 0; i < rep.fault_events.size(); ++i) {
+    EXPECT_EQ(back.fault_events[i], rep.fault_events[i]) << i;
+  }
 }
 
 TEST(Taxonomy, InjectedFaultAccessorsAndMessage) {

@@ -1,0 +1,407 @@
+// Spill-to-disk out-of-core path: SpillPool run-file round-trips, checksum
+// verification, the budget-bounded external k-way merge (correctness,
+// stability, multi-pass), the driver's MemoryPolicy::kSpill degradation
+// (including the node-merge drain), OOM accounting via check_mem_budget, and
+// the kSpillIoError failure taxonomy under the fiber scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "sim/cluster.hpp"
+#include "sortcore/spill.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss {
+namespace {
+
+using sim::Cluster;
+using sim::ClusterConfig;
+using sim::Comm;
+using sim::FailureClass;
+using sim::RunResult;
+
+// --- SpillPool: framed run files -------------------------------------------
+
+TEST(SpillPool, RoundTripsFramesByteForByte) {
+  SpillConfig cfg;
+  cfg.frame_records = 64;
+  SpillPool pool(cfg);
+  std::vector<std::uint64_t> data(200);
+  std::iota(data.begin(), data.end(), 1000u);
+
+  const std::size_t run = pool.begin_run();
+  for (std::size_t off = 0; off < data.size(); off += 64) {
+    const std::size_t n = std::min<std::size_t>(64, data.size() - off);
+    pool.append_frame(run, data.data() + off, n * sizeof(std::uint64_t));
+  }
+  pool.end_run(run);
+  EXPECT_EQ(pool.stats().runs_written, 1u);
+  EXPECT_EQ(pool.stats().frames_written, 4u);  // 64+64+64+8
+  EXPECT_EQ(pool.stats().bytes_spilled, data.size() * sizeof(std::uint64_t));
+
+  pool.open_run(run);
+  std::vector<std::uint64_t> back;
+  std::vector<std::uint64_t> buf(64);
+  for (;;) {
+    const std::size_t b =
+        pool.read_frame(run, buf.data(), buf.size() * sizeof(std::uint64_t));
+    if (b == 0) break;
+    back.insert(back.end(), buf.begin(),
+                buf.begin() + static_cast<std::ptrdiff_t>(b / 8));
+  }
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(pool.stats().bytes_reloaded, pool.stats().bytes_spilled);
+  pool.release_run(run);
+}
+
+TEST(SpillPool, SpillRunHelperAndCursor) {
+  SpillConfig cfg;
+  cfg.frame_records = 16;
+  SpillPool pool(cfg);
+  std::vector<std::uint64_t> data(100);
+  std::iota(data.begin(), data.end(), 0u);
+  const std::size_t run =
+      spill_run<std::uint64_t>(pool, std::span<const std::uint64_t>(data));
+  std::vector<std::uint64_t> back;
+  SpillRunCursor<std::uint64_t> cur(pool, run);
+  for (std::span<const std::uint64_t> f = cur.next(); !f.empty();
+       f = cur.next()) {
+    back.insert(back.end(), f.begin(), f.end());
+  }
+  EXPECT_EQ(back, data);
+}
+
+// A deterministic stand-in for the simulator's chaos hook: counts ops
+// locally and corrupts the write issued as op `corrupt_at`.
+struct CorruptHook final : SpillChaosHook {
+  std::uint64_t next = 0;
+  std::uint64_t corrupt_at = ~std::uint64_t{0};
+  std::uint64_t before_op(const char* /*op*/) override { return next++; }
+  bool corrupt_write(std::uint64_t k) override { return k == corrupt_at; }
+};
+
+TEST(SpillPool, ChecksumCatchesCorruptedFrame) {
+  CorruptHook hook;
+  hook.corrupt_at = 1;  // second frame written
+  SpillConfig cfg;
+  cfg.frame_records = 32;
+  cfg.rank = 7;
+  SpillPool pool(cfg, &hook);
+  std::vector<std::uint64_t> data(96, 5);
+  const std::size_t run =
+      spill_run<std::uint64_t>(pool, std::span<const std::uint64_t>(data));
+  pool.open_run(run);
+  std::vector<std::uint64_t> buf(32);
+  // Frame 0 is intact; frame 1 must fail checksum verification.
+  EXPECT_GT(pool.read_frame(run, buf.data(), sizeof(std::uint64_t) * 32), 0u);
+  try {
+    pool.read_frame(run, buf.data(), sizeof(std::uint64_t) * 32);
+    FAIL() << "corrupted frame read back without a checksum error";
+  } catch (const SpillIoError& e) {
+    EXPECT_EQ(e.rank(), 7);
+    EXPECT_STREQ(e.op().c_str(), "spill-read");
+    EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- external k-way merge ---------------------------------------------------
+
+struct Rec {
+  std::uint64_t key;
+  std::uint64_t tag;  ///< origin marker for stability checks
+};
+struct RecKey {
+  std::uint64_t operator()(const Rec& r) const { return r.key; }
+};
+
+TEST(ExternalMerge, SortsAndKeepsRunOrderStability) {
+  SpillConfig cfg;
+  cfg.frame_records = 8;
+  SpillPool pool(cfg);
+  // Three sorted runs full of duplicate keys; tag encodes (run, position) so
+  // the stable order — run id first, then position — is checkable.
+  std::vector<std::size_t> runs;
+  std::vector<Rec> expect;
+  for (std::uint64_t r = 0; r < 3; ++r) {
+    std::vector<Rec> v;
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      v.push_back(Rec{i / 10, r * 1000 + i});
+    }
+    runs.push_back(spill_run<Rec>(pool, std::span<const Rec>(v)));
+    expect.insert(expect.end(), v.begin(), v.end());
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Rec& a, const Rec& b) { return a.key < b.key; });
+  const std::vector<Rec> out =
+      external_kway_merge<Rec, RecKey>(pool, runs, /*budget=*/0);
+  ASSERT_EQ(out.size(), expect.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].key, expect[i].key) << i;
+    EXPECT_EQ(out[i].tag, expect[i].tag) << i;
+  }
+  EXPECT_EQ(pool.stats().merge_passes, 1u);
+}
+
+TEST(ExternalMerge, MultiPassUnderTightBudgetStaysStableAndBounded) {
+  SpillConfig cfg;
+  cfg.frame_records = 16;
+  SpillPool pool(cfg);
+  // 20 runs but a budget that only admits a fan-in of 64/16 - 1 = 3 open
+  // cursors: the merge needs intermediate passes.
+  const std::size_t budget = 64;
+  std::vector<std::size_t> runs;
+  std::vector<Rec> expect;
+  std::uint64_t tag = 0;
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    std::vector<Rec> v;
+    for (std::uint64_t i = 0; i < 37; ++i) {
+      v.push_back(Rec{(i * 7 + r) % 13, tag++});
+    }
+    std::stable_sort(v.begin(), v.end(),
+                     [](const Rec& a, const Rec& b) { return a.key < b.key; });
+    runs.push_back(spill_run<Rec>(pool, std::span<const Rec>(v)));
+    expect.insert(expect.end(), v.begin(), v.end());
+  }
+  std::stable_sort(expect.begin(), expect.end(),
+                   [](const Rec& a, const Rec& b) { return a.key < b.key; });
+  const std::vector<Rec> out =
+      external_kway_merge<Rec, RecKey>(pool, runs, budget);
+  ASSERT_EQ(out.size(), expect.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].key, expect[i].key) << i;
+    EXPECT_EQ(out[i].tag, expect[i].tag) << i;
+  }
+  EXPECT_GT(pool.stats().merge_passes, 1u);
+  // The budget bounds *working* memory: open cursor frames + staging.
+  EXPECT_LE(pool.stats().peak_resident_records, budget);
+  EXPECT_GT(pool.stats().bytes_reloaded, pool.stats().bytes_spilled / 2);
+}
+
+// --- util: unified OOM accounting -------------------------------------------
+
+TEST(CheckMemBudget, ThrowsPhaseTaggedOomOnlyWhenOverLimit) {
+  EXPECT_NO_THROW(check_mem_budget(0, 100, 0));      // 0 = unlimited
+  EXPECT_NO_THROW(check_mem_budget(0, 100, 100));    // at the limit is fine
+  try {
+    check_mem_budget(3, 101, 100, "merge");
+    FAIL() << "over-limit did not throw";
+  } catch (const SimOomError& e) {
+    EXPECT_EQ(e.rank(), 3);
+    EXPECT_EQ(e.phase(), "merge");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("during merge"), std::string::npos) << what;
+    EXPECT_NE(what.find("simulated out-of-memory on rank 3"),
+              std::string::npos)
+        << what;
+  }
+}
+
+// --- the driver under MemoryPolicy::kSpill ----------------------------------
+
+constexpr int kRanks = 16;
+constexpr std::size_t kPerRank = 1500;
+
+std::vector<Rec> rec_shard(int rank) {
+  const auto keys = workloads::zipf_keys(
+      kPerRank, 1.2, derive_seed(7001, static_cast<std::uint64_t>(rank)));
+  std::vector<Rec> v(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    // Rank-major unique tags: the stable output must carry them in order.
+    v[i] = Rec{keys[i], static_cast<std::uint64_t>(rank) * kPerRank + i};
+  }
+  return v;
+}
+
+/// Run sds_sort over the Rec workload and collect every rank's output.
+RunResult run_rec_sort(const Config& cfg, std::vector<std::vector<Rec>>* outs,
+                       std::vector<SortReport>* reports = nullptr,
+                       int ranks = kRanks, int cores_per_node = 1) {
+  outs->assign(static_cast<std::size_t>(ranks), {});
+  if (reports != nullptr) {
+    reports->assign(static_cast<std::size_t>(ranks), {});
+  }
+  Cluster cluster(ClusterConfig{ranks, cores_per_node});
+  return cluster.run_collect([&, cfg](Comm& w) {
+    SortReport rep;
+    auto out = sds_sort<Rec, RecKey>(w, rec_shard(w.rank()), cfg, {}, &rep);
+    (*outs)[static_cast<std::size_t>(w.rank())] = std::move(out);
+    if (reports != nullptr) {
+      (*reports)[static_cast<std::size_t>(w.rank())] = rep;
+    }
+  });
+}
+
+TEST(SpillSort, MatchesInCoreStableSortExactly) {
+  // Reference: unlimited in-core stable sort.
+  Config ref_cfg;
+  ref_cfg.stable = true;
+  std::vector<std::vector<Rec>> ref;
+  const RunResult ref_res = run_rec_sort(ref_cfg, &ref);
+  ASSERT_TRUE(ref_res.ok) << ref_res.error;
+
+  // Same sort under a budget below the average receive volume: strict mode
+  // would OOM (proved below); spill mode must complete with byte-identical
+  // per-rank output.
+  Config cfg = ref_cfg;
+  cfg.mem_limit_records = kPerRank / 2;
+  cfg.memory_policy = MemoryPolicy::kSpill;
+  cfg.spill_frame_records = 128;
+  std::vector<std::vector<Rec>> out;
+  std::vector<SortReport> reports;
+  const RunResult res = run_rec_sort(cfg, &out, &reports);
+  ASSERT_TRUE(res.ok) << res.error;
+
+  bool any_spilled = false;
+  for (int r = 0; r < kRanks; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    ASSERT_EQ(out[i].size(), ref[i].size()) << "rank " << r;
+    for (std::size_t j = 0; j < out[i].size(); ++j) {
+      ASSERT_EQ(out[i][j].key, ref[i][j].key) << "rank " << r << " pos " << j;
+      ASSERT_EQ(out[i][j].tag, ref[i][j].tag) << "rank " << r << " pos " << j;
+    }
+    if (reports[i].spilled) {
+      any_spilled = true;
+      EXPECT_EQ(reports[i].exchange, ExchangeMode::kSpill);
+      EXPECT_EQ(reports[i].ordering, FinalOrdering::kExternalMerge);
+      EXPECT_GT(reports[i].spill.runs_written, 0u);
+      EXPECT_GT(reports[i].spill.bytes_spilled, 0u);
+      EXPECT_EQ(reports[i].spill.bytes_reloaded,
+                reports[i].spill.bytes_spilled);
+      EXPECT_GE(reports[i].spill.merge_passes, 1u);
+    }
+  }
+  EXPECT_TRUE(any_spilled);
+
+  // Strict mode at the same budget OOMs in the exchange — the default
+  // semantics are untouched by the spill machinery.
+  Config strict = cfg;
+  strict.memory_policy = MemoryPolicy::kStrict;
+  std::vector<std::vector<Rec>> dummy;
+  const RunResult oom = run_rec_sort(strict, &dummy);
+  ASSERT_FALSE(oom.ok);
+  EXPECT_EQ(oom.failure, FailureClass::kOom);
+  EXPECT_EQ(oom.failure_detail, "exchange");
+  EXPECT_TRUE(oom.oom);
+}
+
+TEST(SpillSort, NonStableSpillOutputMatchesStableReferenceKeys) {
+  // The spill path is stable by construction even when stability wasn't
+  // requested; keys must still match the in-core non-stable run's.
+  Config cfg;
+  cfg.mem_limit_records = kPerRank / 2;
+  cfg.memory_policy = MemoryPolicy::kSpill;
+  cfg.spill_frame_records = 64;
+  std::vector<std::vector<Rec>> out;
+  const RunResult res = run_rec_sort(cfg, &out);
+  ASSERT_TRUE(res.ok) << res.error;
+
+  Config ref_cfg;
+  std::vector<std::vector<Rec>> ref;
+  ASSERT_TRUE(run_rec_sort(ref_cfg, &ref).ok);
+  for (int r = 0; r < kRanks; ++r) {
+    const auto i = static_cast<std::size_t>(r);
+    ASSERT_EQ(out[i].size(), ref[i].size()) << "rank " << r;
+    for (std::size_t j = 0; j < out[i].size(); ++j) {
+      ASSERT_EQ(out[i][j].key, ref[i][j].key) << "rank " << r << " pos " << j;
+    }
+  }
+}
+
+TEST(SpillSort, NodeMergeDrainsThroughSpillRuns) {
+  // cores_per_node > 1 with a huge tau_m forces node merging; a budget below
+  // the merged node volume sends the gather through the spill drain. The
+  // leader's merged data must equal the in-core node-merge result.
+  Config ref_cfg;
+  ref_cfg.stable = true;
+  ref_cfg.tau_m_bytes = ~std::size_t{0};
+  std::vector<std::vector<Rec>> ref;
+  const RunResult ref_res =
+      run_rec_sort(ref_cfg, &ref, nullptr, 8, /*cores_per_node=*/4);
+  ASSERT_TRUE(ref_res.ok) << ref_res.error;
+
+  Config cfg = ref_cfg;
+  // Each node leader gathers 4 shards x 1500 = 6000 records; a 4000-record
+  // budget overflows the node merge (and the later 2-leader exchange).
+  cfg.mem_limit_records = 4000;
+  cfg.memory_policy = MemoryPolicy::kSpill;
+  cfg.spill_frame_records = 256;
+  std::vector<std::vector<Rec>> out;
+  std::vector<SortReport> reports;
+  const RunResult res =
+      run_rec_sort(cfg, &out, &reports, 8, /*cores_per_node=*/4);
+  ASSERT_TRUE(res.ok) << res.error;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i].size(), ref[i].size()) << "rank " << i;
+    for (std::size_t j = 0; j < out[i].size(); ++j) {
+      ASSERT_EQ(out[i][j].key, ref[i][j].key) << "rank " << i << " pos " << j;
+      ASSERT_EQ(out[i][j].tag, ref[i][j].tag) << "rank " << i << " pos " << j;
+    }
+  }
+  // In strict mode the same configuration OOMs with the "merge" phase tag.
+  Config strict = cfg;
+  strict.memory_policy = MemoryPolicy::kStrict;
+  std::vector<std::vector<Rec>> dummy;
+  const RunResult oom = run_rec_sort(strict, &dummy, nullptr, 8, 4);
+  ASSERT_FALSE(oom.ok);
+  EXPECT_EQ(oom.failure, FailureClass::kOom);
+  EXPECT_EQ(oom.failure_detail, "merge");
+}
+
+// --- taxonomy + watchdog ----------------------------------------------------
+
+TEST(SpillTaxonomy, SpillIoErrorClassifiedWithOpDetail) {
+  Cluster cluster(ClusterConfig{4});
+  const RunResult res = cluster.run_collect([](Comm& w) {
+    w.barrier();
+    if (w.rank() == 2) {
+      throw SpillIoError(2, 5, "spill-write", "fwrite short write");
+    }
+    w.barrier();
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure, FailureClass::kSpillIoError);
+  EXPECT_EQ(res.failed_rank, 2);
+  EXPECT_EQ(res.failure_detail, "spill-write");
+  EXPECT_FALSE(res.oom);
+  EXPECT_NE(res.error.find("spill I/O error on rank 2 at spill op 5"),
+            std::string::npos)
+      << res.error;
+}
+
+TEST(SpillWatchdog, FaultFreeSpillSuiteTripsNoFalseDeadlock) {
+  // Spill I/O points must behave as scheduler yields: a tight watchdog over
+  // a spill-heavy run must never produce a deadlock verdict.
+  ClusterConfig ccfg{kRanks};
+  ccfg.watchdog_timeout_s = 0.15;
+  Cluster cluster(ccfg);
+  const RunResult res = cluster.run_collect([](Comm& w) {
+    Config cfg;
+    cfg.stable = true;
+    cfg.mem_limit_records = kPerRank / 2;
+    cfg.memory_policy = MemoryPolicy::kSpill;
+    cfg.spill_frame_records = 64;
+    auto out = sds_sort<Rec, RecKey>(w, rec_shard(w.rank()), cfg);
+    EXPECT_TRUE(std::is_sorted(
+        out.begin(), out.end(),
+        [](const Rec& a, const Rec& b) { return a.key < b.key; }));
+  });
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.failure, FailureClass::kNone);
+  // Spill ops were counted on every rank that went out-of-core.
+  std::uint64_t total_ops = 0;
+  for (const std::uint64_t n : res.spill_ops) total_ops += n;
+  EXPECT_GT(total_ops, 0u);
+}
+
+}  // namespace
+}  // namespace sdss

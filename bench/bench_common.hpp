@@ -208,6 +208,9 @@ inline TimedResult time_spmd(
   if (!res.trace.lanes.empty()) {
     telemetry::set_trace(rep, trace::analyze_trace(res.trace));
   }
+  // Metrics default on too: the aggregated registry snapshot (counters,
+  // gauges, histograms, deterministic progress series) rides along.
+  if (res.has_metrics) telemetry::set_metrics(rep, res.metrics);
   reporter.registry().add(std::move(rep));
   return out;
 }

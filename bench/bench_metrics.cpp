@@ -1,0 +1,301 @@
+// bench_metrics — the cost of the always-on metrics registry, the
+// determinism of its progress series, and the forced-failure legs that
+// exercise the flight recorder end to end.
+//
+// Four jobs, mirroring bench_trace's structure:
+//
+//  * Overhead gate: the same P=8 Zipf SDS-Sort run is measured with the
+//    registry armed and disarmed, interleaved over several reps so machine
+//    drift hits both sides equally. Compared figure: each side's MINIMUM
+//    critical-path CPU seconds. Exits nonzero unless
+//    metered_min <= unmetered_min * 1.05 + 0.05s — the documented <=5%
+//    promise with an absolute floor against scheduler jitter.
+//
+//  * Counter baseline: rep 0's metered report (stable name, fixed seed)
+//    carries the metrics snapshot. scripts/check.sh re-runs this bench and
+//    diffs the fresh report against bench/baselines/bench_metrics.json with
+//    `report_diff --bytes-only`, which gates every deterministic counter,
+//    gauge, byte histogram and series exactly (nanos histograms skipped).
+//
+//  * Series determinism gate: the same seeded run at sched_workers=1 and
+//    sched_workers=4 must serialize byte-identical `series` JSON — the
+//    contract of obs/sampler.hpp (progress marks, not wall-clock samples).
+//
+//  * --forced-failures --outdir=DIR: force one OOM, one deadlock and one
+//    spill-io failure; assert each leaves a well-formed flight-recorder
+//    bundle whose blocked-op table and metrics snapshot round-trip.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/flight_recorder.hpp"
+#include "sdss.hpp"
+#include "util/rng.hpp"
+#include "workloads/zipf.hpp"
+
+namespace {
+using namespace sdss;
+using namespace sdss::bench;
+
+constexpr int kRanks = 8;
+constexpr std::size_t kPerRank = 20000;
+constexpr double kAlpha = 1.1;
+constexpr std::uint64_t kSeed = 424242;
+constexpr int kReps = 3;
+
+// The documented overhead promise: metered <= unmetered * (1 + 5%) + 50ms.
+constexpr double kMaxRelOverhead = 0.05;
+constexpr double kAbsFloorS = 0.05;
+
+sim::ClusterConfig cluster_config(bool metered) {
+  sim::ClusterConfig cc;
+  cc.num_ranks = kRanks;
+  cc.network = sim::NetworkModel::none();  // measure us, not the wire model
+  cc.enable_metrics = metered;
+  return cc;
+}
+
+void sort_body(sim::Comm& w) {
+  auto data = workloads::zipf_keys(
+      kPerRank, kAlpha,
+      derive_seed(kSeed, static_cast<std::uint64_t>(w.rank())));
+  Config cfg;
+  cfg.stable = true;  // sync exchange: fully deterministic counter stream
+  sds_sort<std::uint64_t>(w, std::move(data), cfg);
+}
+
+/// One measured rep; returns the run's critical-path CPU seconds.
+double measure_rep(bool metered, const std::string& name) {
+  sim::Cluster cluster(cluster_config(metered));
+  RunMeta meta;
+  meta.name = name;
+  meta.algorithm = "SDS-Sort";
+  meta.workload = "zipf:1.1";
+  meta.params = {{"records_per_rank", std::to_string(kPerRank)},
+                 {"metrics", metered ? "on" : "off"}};
+  const TimedResult r = time_spmd(
+      cluster,
+      [](sim::Comm& w) {
+        return timed_section(w, [&] { sort_body(w); });
+      },
+      std::move(meta));
+  if (!r.ok) {
+    std::cerr << "bench_metrics: measured run failed\n";
+    std::exit(2);
+  }
+  return r.crit_path_cpu;
+}
+
+/// The `series` JSON of one fixed-seed run at the given worker count.
+std::string series_json(int workers) {
+  sim::ClusterConfig cc = cluster_config(true);
+  cc.sched_workers = workers;
+  const sim::RunResult res = sim::Cluster(cc).run_collect(sort_body);
+  if (!res.ok || !res.has_metrics) {
+    std::cerr << "bench_metrics: determinism run failed\n";
+    std::exit(2);
+  }
+  return obs::to_json(res.metrics).at("series").dump();
+}
+
+/// True when the two fixed-seed runs serialize identical progress series.
+bool series_determinism_gate() {
+  const std::string w1 = series_json(1);
+  const std::string w4 = series_json(4);
+  print_shape(
+      "the metrics progress series is a pure function of input and seed: "
+      "byte-identical across sched_workers 1 and 4");
+  if (w1 != w4) {
+    std::cout << "SERIES DETERMINISM GATE FAILED:\n  workers=1: " << w1
+              << "\n  workers=4: " << w4 << "\n";
+    return false;
+  }
+  print_verdict("series identical across worker counts (" +
+                std::to_string(w1.size()) + " JSON bytes)");
+  return true;
+}
+
+/// Load the bundle at `path` and validate what the forced-failure legs
+/// promise: correct classification, a blocked-op entry per rank, and a
+/// non-empty metrics snapshot. Returns false (after printing why) on any
+/// violation.
+bool validate_bundle(const std::string& path, const std::string& cls,
+                     int ranks) {
+  obs::FlightRecord fr;
+  try {
+    fr = obs::load_flight_record(path);
+  } catch (const std::exception& e) {
+    std::cout << "bundle " << path << " failed to load: " << e.what() << "\n";
+    return false;
+  }
+  if (fr.failure_class != cls) {
+    std::cout << "bundle " << path << ": failure_class '" << fr.failure_class
+              << "', expected '" << cls << "'\n";
+    return false;
+  }
+  if (fr.blocked.size() != static_cast<std::size_t>(ranks)) {
+    std::cout << "bundle " << path << ": blocked-op table has "
+              << fr.blocked.size() << " entries, expected " << ranks << "\n";
+    return false;
+  }
+  if (fr.metrics.empty()) {
+    std::cout << "bundle " << path << ": empty metrics snapshot\n";
+    return false;
+  }
+  std::cout << "bundle " << path << ": ok (" << fr.failure_class << ", "
+            << fr.blocked.size() << " blocked entries, "
+            << fr.live_samples.size() << " live samples)\n";
+  return true;
+}
+
+/// Force an OOM, a deadlock, and a spill-io failure; each must leave a
+/// well-formed bundle in `outdir`. Returns the number of failed legs.
+int run_forced_failures(const std::string& outdir) {
+  int failures = 0;
+
+  {  // OOM: strict memory budget far below the receive volume.
+    sim::ClusterConfig cc = cluster_config(true);
+    cc.num_ranks = 4;
+    cc.postmortem_path = outdir + "/oom.json";
+    const sim::RunResult r = sim::Cluster(cc).run_collect([](sim::Comm& w) {
+      auto data = workloads::zipf_keys(
+          4000, kAlpha,
+          derive_seed(kSeed, static_cast<std::uint64_t>(w.rank())));
+      Config cfg;
+      cfg.stable = true;
+      cfg.mem_limit_records = 64;
+      cfg.memory_policy = MemoryPolicy::kStrict;
+      sds_sort<std::uint64_t>(w, std::move(data), cfg);
+    });
+    if (r.ok || r.failure != sim::FailureClass::kOom ||
+        r.postmortem_path != cc.postmortem_path ||
+        !validate_bundle(cc.postmortem_path, "oom", cc.num_ranks)) {
+      ++failures;
+    }
+  }
+
+  {  // Deadlock: every rank receives from a peer that never sends.
+    sim::ClusterConfig cc = cluster_config(true);
+    cc.num_ranks = 4;
+    cc.watchdog_timeout_s = 0.25;
+    cc.postmortem_path = outdir + "/deadlock.json";
+    const sim::RunResult r = sim::Cluster(cc).run_collect([](sim::Comm& w) {
+      // One completed ring exchange first, so the bundle's metrics
+      // snapshot has p2p activity to show; then a recv nobody serves.
+      const std::uint64_t token = static_cast<std::uint64_t>(w.rank());
+      w.send_value(token, (w.rank() + 1) % w.size(), /*tag=*/1);
+      w.recv_value<std::uint64_t>((w.rank() + w.size() - 1) % w.size(),
+                                  /*tag=*/1);
+      w.recv_value<std::uint64_t>((w.rank() + 1) % w.size(), /*tag=*/7);
+    });
+    if (r.ok || r.failure != sim::FailureClass::kDeadlock ||
+        r.postmortem_path != cc.postmortem_path ||
+        !validate_bundle(cc.postmortem_path, "deadlock", cc.num_ranks)) {
+      ++failures;
+    }
+  }
+
+  {  // Spill I/O: a forced write failure on the out-of-core path.
+    sim::ClusterConfig cc = cluster_config(true);
+    cc.num_ranks = 4;
+    cc.chaos.seed = kSeed;
+    cc.chaos.forced.push_back(
+        sim::FaultEvent{sim::FaultKind::kSpillFail, 2, 3, 0.0});
+    cc.postmortem_path = outdir + "/spill-io.json";
+    const sim::RunResult r = sim::Cluster(cc).run_collect([](sim::Comm& w) {
+      auto data = workloads::zipf_keys(
+          4000, kAlpha,
+          derive_seed(kSeed, static_cast<std::uint64_t>(w.rank())));
+      Config cfg;
+      cfg.stable = true;
+      cfg.mem_limit_records = 600;
+      cfg.memory_policy = MemoryPolicy::kSpill;
+      cfg.spill_frame_records = 128;
+      sds_sort<std::uint64_t>(w, std::move(data), cfg);
+    });
+    if (r.ok || r.failure != sim::FailureClass::kSpillIoError ||
+        r.postmortem_path != cc.postmortem_path ||
+        !validate_bundle(cc.postmortem_path, "spill-io", cc.num_ranks)) {
+      ++failures;
+    }
+  }
+
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool forced_failures = false;
+  std::string outdir = ".";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--forced-failures") forced_failures = true;
+    if (arg.rfind("--outdir=", 0) == 0) outdir = arg.substr(9);
+    // --json is consumed by bench_common's reporter via /proc/self/cmdline.
+  }
+
+  if (forced_failures) {
+    print_header("Flight recorder — forced-failure bundles",
+                 "OOM, deadlock and spill-io runs must each leave a "
+                 "well-formed post-mortem bundle in " +
+                     outdir + ".");
+    const int failed = run_forced_failures(outdir);
+    if (failed > 0) {
+      std::cout << "FORCED-FAILURE GATE FAILED: " << failed << " leg(s)\n";
+      return 1;
+    }
+    std::cout << "forced-failure gate passed\n";
+    return 0;
+  }
+
+  print_header("Metrics overhead — always-on registry vs disarmed",
+               "P=8 zipf SDS-Sort, " + std::to_string(kReps) +
+                   " interleaved reps per side; compared figure is min "
+                   "critical-path CPU seconds.");
+
+  double metered_min = 1e30;
+  double unmetered_min = 1e30;
+  TextTable table;
+  table.header({"rep", "metrics-off(s)", "metrics-on(s)"});
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Interleaved: any slow drift in host load lands on both sides.
+    const double off = measure_rep(
+        false, "bench_metrics/unmetered rep " + std::to_string(rep));
+    // Rep 0's metered report carries the stable name scripts/check.sh
+    // diffs against bench/baselines/bench_metrics.json.
+    const double on = measure_rep(
+        true, rep == 0 ? "bench_metrics/zipf-1.1/p=8"
+                       : "bench_metrics/metered rep " + std::to_string(rep));
+    unmetered_min = std::min(unmetered_min, off);
+    metered_min = std::min(metered_min, on);
+    table.row({std::to_string(rep), fmt_seconds(off), fmt_seconds(on)});
+  }
+  std::cout << table.str() << "\n";
+
+  bool ok = series_determinism_gate();
+
+  const double bound = unmetered_min * (1.0 + kMaxRelOverhead) + kAbsFloorS;
+  const double rel = unmetered_min > 0.0
+                         ? (metered_min - unmetered_min) / unmetered_min
+                         : 0.0;
+  print_shape("always-on metrics cost <= " +
+              fmt_seconds(kMaxRelOverhead * 100.0, 0) +
+              "% critical-path CPU (plus a " + fmt_seconds(kAbsFloorS, 2) +
+              "s jitter floor)");
+  print_verdict("metrics-off min " + fmt_seconds(unmetered_min) +
+                "s, metrics-on min " + fmt_seconds(metered_min) + "s (" +
+                (rel >= 0 ? "+" : "") + fmt_seconds(rel * 100.0, 1) + "%)");
+  if (metered_min > bound) {
+    std::cout << "OVERHEAD GATE FAILED: metered min "
+              << fmt_seconds(metered_min) << "s exceeds bound "
+              << fmt_seconds(bound) << "s\n";
+    ok = false;
+  } else {
+    std::cout << "overhead gate passed\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -16,6 +16,8 @@
 // the default sweeps every rank at every op index.
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
@@ -26,6 +28,7 @@
 #include "baselines/hyksort.hpp"
 #include "baselines/samplesort.hpp"
 #include "bench_common.hpp"
+#include "obs/flight_recorder.hpp"
 #include "sim/chaos.hpp"
 #include "workloads/zipf.hpp"
 
@@ -76,6 +79,49 @@ ClusterConfig chaos_config(ChaosSpec spec, double watchdog_s = 5.0) {
   return cfg;
 }
 
+/// Flight-recorder bundle violations across the whole soak: a classified
+/// failure that left no well-formed bundle, or a fault-free run that left
+/// one. Counted into the exit status alongside misclassifications.
+int g_bundle_violations = 0;
+
+/// Run one soak leg with the flight recorder armed. Every classified
+/// failure must leave a bundle that parses, carries the matching failure
+/// class and a non-empty blocked-op table; every fault-free completion
+/// must leave none.
+RunResult soak_run(ClusterConfig cfg, const std::function<void(Comm&)>& body) {
+  const std::string path = "chaos_soak_postmortem.json";
+  std::remove(path.c_str());
+  cfg.postmortem_path = path;
+  const RunResult res = Cluster(cfg).run_collect(body);
+  if (res.ok) {
+    if (std::ifstream(path).good()) {
+      std::cout << "  BUNDLE VIOLATION: fault-free run left " << path << "\n";
+      ++g_bundle_violations;
+    }
+  } else {
+    try {
+      const obs::FlightRecord fr = obs::load_flight_record(path);
+      if (fr.failure_class != sim::failure_class_name(res.failure)) {
+        std::cout << "  BUNDLE VIOLATION: bundle class '" << fr.failure_class
+                  << "' != run class '"
+                  << sim::failure_class_name(res.failure) << "'\n";
+        ++g_bundle_violations;
+      } else if (fr.blocked.empty()) {
+        std::cout << "  BUNDLE VIOLATION: empty blocked-op table for "
+                  << fr.failure_class << "\n";
+        ++g_bundle_violations;
+      }
+    } catch (const std::exception& e) {
+      std::cout << "  BUNDLE VIOLATION: no well-formed bundle after "
+                << sim::failure_class_name(res.failure) << " ("
+                << e.what() << ")\n";
+      ++g_bundle_violations;
+    }
+  }
+  std::remove(path.c_str());
+  return res;
+}
+
 /// Per-algorithm soak outcome, aggregated into the printed table and the
 /// telemetry report.
 struct Tally {
@@ -93,8 +139,7 @@ struct Tally {
 /// Crash the victim at every swept op index; every run must come back
 /// classified kInjectedCrash with the victim as the failed rank.
 void crash_sweep(const Algo& a, bool quick, Tally& tally) {
-  const RunResult probe =
-      Cluster(chaos_config(ChaosSpec{})).run_collect(a.body);
+  const RunResult probe = soak_run(chaos_config(ChaosSpec{}), a.body);
   if (!probe.ok) {
     std::cout << "  " << a.name << ": fault-free probe run FAILED: "
               << probe.error << "\n";
@@ -118,8 +163,7 @@ void crash_sweep(const Algo& a, bool quick, Tally& tally) {
       ChaosSpec spec;
       spec.seed = 0xC0FFEE + k;
       spec.forced.push_back(FaultEvent{FaultKind::kCrash, victim, k, 0.0});
-      const RunResult res =
-          Cluster(chaos_config(spec)).run_collect(a.body);
+      const RunResult res = soak_run(chaos_config(spec), a.body);
       const bool expected = !res.ok &&
                             res.failure == FailureClass::kInjectedCrash &&
                             res.failed_rank == victim;
@@ -144,7 +188,7 @@ void straggler_soak(const Algo& a, Tally& tally) {
     spec.stall_prob = 0.25;
     spec.max_stall_s = 0.002;
     const RunResult res =
-        Cluster(chaos_config(spec, /*watchdog_s=*/0.5)).run_collect(a.body);
+        soak_run(chaos_config(spec, /*watchdog_s=*/0.5), a.body);
     const bool expected = res.ok && res.failure == FailureClass::kNone;
     tally.count(res, expected);
     if (!expected) {
@@ -163,8 +207,7 @@ void jitter_soak(const Algo& a, Tally& tally) {
     spec.seed = seed;
     spec.jitter_prob = 0.5;
     spec.max_jitter_s = 0.0005;
-    const RunResult res =
-        Cluster(chaos_config(spec)).run_collect(a.body);
+    const RunResult res = soak_run(chaos_config(spec), a.body);
     const bool expected = res.ok && res.failure == FailureClass::kNone;
     tally.count(res, expected);
     if (!expected) {
@@ -225,16 +268,21 @@ int run_soak(bool quick) {
 
   std::cout << "\n  total: " << total_runs << " runs";
   for (const auto& [cls, n] : totals) std::cout << "  " << cls << "=" << n;
-  std::cout << "  unexpected=" << total_unexpected << "\n\n";
+  std::cout << "  unexpected=" << total_unexpected
+            << "  bundle_violations=" << g_bundle_violations << "\n\n";
 
   bench::print_shape(
       "every injected crash terminates classified (injected-crash, correct "
-      "failed rank); stragglers and jitter never corrupt or wedge a sort");
-  bench::print_verdict(total_unexpected == 0
-                           ? "all runs classified as expected"
-                           : std::to_string(total_unexpected) +
-                                 " run(s) with unexpected classification");
-  return total_unexpected == 0 ? 0 : 1;
+      "failed rank) and leaves a well-formed flight-recorder bundle; "
+      "stragglers and jitter never corrupt or wedge a sort");
+  bench::print_verdict(
+      total_unexpected == 0 && g_bundle_violations == 0
+          ? "all runs classified as expected, every failure left a bundle"
+          : std::to_string(total_unexpected) +
+                " run(s) with unexpected classification, " +
+                std::to_string(g_bundle_violations) +
+                " flight-recorder bundle violation(s)");
+  return total_unexpected == 0 && g_bundle_violations == 0 ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// postmortem_analyze — human renderer + CI validator for flight-recorder
+// bundles (obs/flight_recorder.hpp).
+//
+//   postmortem_analyze [--strict] <bundle.json> [more bundles...]
+//
+// Renders the failure classification, the per-rank blocked-op table, the
+// final metrics snapshot (histograms with p50/p95/p99/max), the live-gauge
+// samples leading up to the failure, and any fired chaos events. Exit
+// codes: 0 rendered fine, 2 a bundle failed to load or parse. With
+// --strict (the CI mode used by scripts/check.sh) also exit 1 when a
+// bundle's blocked-op table or metrics snapshot is empty — a classified
+// failure must leave both.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "util/format.hpp"
+
+namespace {
+using namespace sdss;
+
+std::string cell_or(const std::string& s, const char* fallback) {
+  return s.empty() ? std::string(fallback) : s;
+}
+
+void render_blocked(const obs::FlightRecord& fr) {
+  std::cout << "blocked-op table (at first abort):\n";
+  TextTable t;
+  t.header({"rank", "op", "src", "tag", "ctx", "deadline", "state"});
+  for (const obs::BlockedOpRecord& b : fr.blocked) {
+    t.row({std::to_string(b.rank), cell_or(b.op, "-"),
+           b.src >= 0 ? std::to_string(b.src) : "-",
+           b.tag >= 0 ? std::to_string(b.tag) : "-", std::to_string(b.ctx),
+           b.has_deadline ? "yes" : "-",
+           b.finished ? "finished" : "blocked"});
+  }
+  std::cout << t.str();
+}
+
+void render_metrics(const obs::MetricsSnapshot& m) {
+  std::cout << "\nfinal metrics snapshot:\n";
+  if (m.empty()) {
+    std::cout << "  (empty)\n";
+    return;
+  }
+  if (!m.counters.empty() || !m.gauges.empty()) {
+    TextTable t;
+    t.header({"scalar", "kind", "unit", "value"});
+    for (const obs::ScalarSnapshot& s : m.counters) {
+      t.row({s.name, "counter", obs::metric_unit_name(s.unit),
+             std::to_string(s.value)});
+    }
+    for (const obs::ScalarSnapshot& s : m.gauges) {
+      t.row({s.name, "gauge", obs::metric_unit_name(s.unit),
+             std::to_string(s.value)});
+    }
+    std::cout << t.str();
+  }
+  if (!m.histograms.empty()) {
+    TextTable t;
+    t.header({"histogram", "unit", "count", "sum", "p50", "p95", "p99",
+              "max<="});
+    for (const obs::HistogramSnapshot& h : m.histograms) {
+      t.row({h.name, obs::metric_unit_name(h.unit), std::to_string(h.count),
+             std::to_string(h.sum), std::to_string(h.percentile(0.50)),
+             std::to_string(h.percentile(0.95)),
+             std::to_string(h.percentile(0.99)),
+             std::to_string(h.max_bound())});
+    }
+    std::cout << t.str();
+  }
+  for (const obs::SeriesSnapshot& s : m.series) {
+    std::size_t points = 0;
+    for (const auto& row : s.per_rank) points += row.size();
+    std::cout << "series " << s.name << ": " << s.per_rank.size()
+              << " rank(s), " << points << " progress point(s)\n";
+  }
+}
+
+void render_sampler(const obs::FlightRecord& fr) {
+  if (fr.live_samples.empty()) return;
+  std::cout << "\nlive-gauge samples before failure ("
+            << fr.live_samples.size() << "):\n";
+  TextTable t;
+  std::vector<std::string> head = {"seq", "t(ms)"};
+  for (const std::string& g : fr.sampled_gauges) head.push_back(g);
+  t.header(head);
+  // The tail matters most in a post-mortem: show at most the last 8.
+  const std::size_t first =
+      fr.live_samples.size() > 8 ? fr.live_samples.size() - 8 : 0;
+  for (std::size_t i = first; i < fr.live_samples.size(); ++i) {
+    const obs::LiveSample& s = fr.live_samples[i];
+    std::vector<std::string> row = {
+        std::to_string(s.seq),
+        fmt_seconds(static_cast<double>(s.t_ns) / 1e6, 1)};
+    for (std::uint64_t v : s.values) row.push_back(std::to_string(v));
+    t.row(row);
+  }
+  std::cout << t.str();
+}
+
+void render_tails(const obs::FlightRecord& fr) {
+  if (fr.trace_tails.empty()) return;
+  std::cout << "\ntrace-lane tails:\n";
+  for (std::size_t lane = 0; lane < fr.trace_tails.size(); ++lane) {
+    const auto& tail = fr.trace_tails[lane];
+    std::cout << "  lane " << lane
+              << (lane + 1 == fr.trace_tails.size() ? " (runtime)" : "")
+              << ": " << tail.size() << " event(s)";
+    if (!tail.empty()) {
+      const obs::TraceTailEvent& e = tail.back();
+      std::cout << ", last: " << e.kind << " " << cell_or(e.name, "?") << " ["
+                << e.cat << "] t=" << e.t_ns << "ns";
+      if (e.peer >= 0) std::cout << " peer=" << e.peer;
+    }
+    std::cout << "\n";
+  }
+}
+
+void render_chaos(const obs::FlightRecord& fr) {
+  if (fr.chaos_events.empty()) return;
+  std::cout << "\nfired chaos events:\n";
+  TextTable t;
+  t.header({"kind", "rank", "op#", "seconds"});
+  for (const obs::ChaosEventRecord& e : fr.chaos_events) {
+    t.row({e.kind, std::to_string(e.rank), std::to_string(e.op_index),
+           fmt_seconds(e.seconds, 4)});
+  }
+  std::cout << t.str();
+}
+
+/// Render one bundle; returns 0 ok, 1 strict violation, 2 load failure.
+int analyze(const std::string& path, bool strict) {
+  obs::FlightRecord fr;
+  try {
+    fr = obs::load_flight_record(path);
+  } catch (const std::exception& e) {
+    std::cerr << "postmortem_analyze: cannot load " << path << ": "
+              << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "=== " << path << " (schema v" << fr.schema_version
+            << ") ===\n";
+  std::cout << "failure: " << cell_or(fr.failure_class, "unclassified");
+  if (fr.failed_rank >= 0) std::cout << " at rank " << fr.failed_rank;
+  std::cout << "\n";
+  if (!fr.failure_detail.empty())
+    std::cout << "detail:  " << fr.failure_detail << "\n";
+  if (!fr.error.empty()) std::cout << "error:   " << fr.error << "\n";
+  std::cout << "\n";
+
+  render_blocked(fr);
+  render_metrics(fr.metrics);
+  render_sampler(fr);
+  render_tails(fr);
+  render_chaos(fr);
+  std::cout << "\n";
+
+  if (strict) {
+    if (fr.blocked.empty()) {
+      std::cerr << "postmortem_analyze: --strict: " << path
+                << " has an empty blocked-op table\n";
+      return 1;
+    }
+    if (fr.metrics.empty()) {
+      std::cerr << "postmortem_analyze: --strict: " << path
+                << " has an empty metrics snapshot\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool strict = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: postmortem_analyze [--strict] <bundle.json>...\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: postmortem_analyze [--strict] <bundle.json>...\n";
+    return 2;
+  }
+  int worst = 0;
+  for (const std::string& p : paths) {
+    const int rc = analyze(p, strict);
+    if (rc > worst) worst = rc;
+  }
+  return worst;
+}

@@ -31,6 +31,9 @@ namespace {
       "                     machine-independent CI regression gate\n"
       "  --bytes-threshold=FRAC  relative growth tolerated for counters\n"
       "                     (default 0 = any growth is a regression)\n"
+      "  --json             machine-readable output: newline-delimited\n"
+      "                     JSON, one object per compared metric plus a\n"
+      "                     final summary object (exit codes unchanged)\n"
       "exit: 0 no regression, 1 regression found, 2 error\n");
   std::exit(2);
 }
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
   std::string before_path;
   std::string after_path;
   DiffOptions opts;
+  bool json = false;
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,6 +75,8 @@ int main(int argc, char** argv) {
       opts.bytes_only = true;
     } else if (arg.rfind("--bytes-threshold=", 0) == 0) {
       opts.bytes_threshold = parse_value(arg, 18);
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "-h" || arg == "--help") {
       usage();
     } else if (arg.rfind("--", 0) == 0) {
@@ -94,7 +100,11 @@ int main(int argc, char** argv) {
     const ReportRegistry before = ReportRegistry::load_file(before_path);
     const ReportRegistry after = ReportRegistry::load_file(after_path);
     const DiffResult d = diff_registries(before, after, opts);
-    print_diff(std::cout, d, opts);
+    if (json) {
+      print_diff_json(std::cout, d, opts);
+    } else {
+      print_diff(std::cout, d, opts);
+    }
     return d.any_regression ? 1 : 0;
   } catch (const sdss::Error& e) {
     std::fprintf(stderr, "report_diff: %s\n", e.what());

@@ -5,7 +5,11 @@
 # matches itself) — then gate the collective wire-volume counters and the
 # local-sort kernel memory counters against their checked-in baselines,
 # enforce the always-on tracing overhead bound and the deterministic
-# received-record skew (lambda) baseline, gate the large-P fiber-scheduler
+# received-record skew (lambda) baseline, enforce the always-on metrics
+# overhead bound with its exact counter baseline and series determinism,
+# verify forced OOM/deadlock/spill-io failures each leave a well-formed
+# flight-recorder bundle (rendered by postmortem_analyze --strict), gate
+# the large-P fiber-scheduler
 # sweep (full sort at up to 4096 ranks) against its counter baseline, run
 # the fixed-seed chaos soak (crash-point sweep + straggler/jitter runs),
 # gate the out-of-core spill path (exact spill counters + output vs its
@@ -76,6 +80,31 @@ echo "== tracing overhead + skew gate =="
 "$BUILD_DIR"/bench/bench_trace --json "$report"
 "$BUILD_DIR"/bench/trace_analyze "$report" \
     --gate=bench/baselines/bench_trace.json
+
+echo "== metrics overhead + counter gate =="
+# bench_metrics's exit status enforces the always-on metrics promise
+# (metered min critical-path CPU <= unmetered * 1.05 + 0.05s, interleaved
+# reps) and the series determinism contract (progress series byte-identical
+# across sched_workers 1 and 4). The fixed-seed metered report's counters,
+# gauges, byte histograms and progress series are deterministic and gate
+# exactly against the checked-in baseline (nanos histograms are machine
+# properties and are never diffed). Refresh deliberately with:
+#   build/bench/bench_metrics --json bench/baselines/bench_metrics.json
+"$BUILD_DIR"/bench/bench_metrics --json "$report"
+"$BUILD_DIR"/bench/report_diff bench/baselines/bench_metrics.json \
+    "$report" --bytes-only
+
+echo "== flight recorder (forced-failure bundles) =="
+# Force an OOM, a deadlock and a spill-io failure; each must leave a
+# post-mortem bundle that parses, classifies correctly and carries a full
+# blocked-op table — then postmortem_analyze --strict must render all three
+# (it exits nonzero on a malformed bundle, an empty blocked-op table, or a
+# missing metrics snapshot).
+pmdir="$(mktemp -d /tmp/sdss-postmortem-XXXXXX)"
+trap 'rm -f "$report"; rm -rf "$pmdir"' EXIT
+"$BUILD_DIR"/bench/bench_metrics --forced-failures --outdir="$pmdir"
+"$BUILD_DIR"/bench/postmortem_analyze --strict \
+    "$pmdir"/oom.json "$pmdir"/deadlock.json "$pmdir"/spill-io.json >/dev/null
 
 echo "== scheduler scale gate (256..4096 fiber ranks) =="
 # bench_sched_scale runs the full sort at P in {256, 1024, 4096} on the
@@ -158,7 +187,7 @@ if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
   cmake -B "$BUILD_DIR-tsan" -S . -DSDSS_SANITIZE=thread >/dev/null
   cmake --build "$BUILD_DIR-tsan" -j --target test_collectives test_sim_comm \
       test_par test_sortcore test_simd_kernels test_chaos test_spill \
-      test_trace test_sched test_splitters
+      test_trace test_sched test_splitters test_metrics
   "$BUILD_DIR-tsan"/tests/test_collectives
   "$BUILD_DIR-tsan"/tests/test_sim_comm
   "$BUILD_DIR-tsan"/tests/test_par
@@ -175,6 +204,11 @@ if [[ "${SDSS_NO_TSAN:-0}" != "1" ]]; then
   # across the P=64 fiber pool here: races in the allgatherv/allreduce_vec
   # payload paths or the exscan-based duplicate split would surface.
   "$BUILD_DIR-tsan"/tests/test_splitters
+  # The metrics registry's single-writer atomics, the sampler fiber's
+  # concurrent gauge reads, and the flight-recorder snapshot path run under
+  # the multi-worker pool here: a racy cell or an unpublished histogram
+  # block would surface.
+  "$BUILD_DIR-tsan"/tests/test_metrics
 fi
 
 echo "== OK =="

@@ -33,12 +33,37 @@
 #include "core/partition.hpp"
 #include "core/pivots.hpp"
 #include "core/sampling.hpp"
+#include "obs/metrics.hpp"
 #include "sim/comm.hpp"
 #include "sortcore/key.hpp"
 #include "sortcore/local_sort.hpp"
 #include "util/phase_ledger.hpp"
 
 namespace sdss {
+
+namespace detail {
+// Driver progress metrics (obs/metrics.hpp), interned at static init. The
+// resident-records gauge doubles as the deterministic progress series:
+// series_mark() at the phase checkpoints below writes values (record
+// counts) that are pure functions of input and seed, so the report's time
+// series is byte-identical across sched_workers settings.
+inline const obs::MetricId kMSortRecordsIn = obs::register_metric(
+    "sort.records_in", obs::MetricKind::kCounter, obs::MetricUnit::kRecords);
+inline const obs::MetricId kMSortRecordsOut = obs::register_metric(
+    "sort.records_out", obs::MetricKind::kCounter, obs::MetricUnit::kRecords);
+inline const obs::MetricId kMSortRecvRecords = obs::register_metric(
+    "sort.recv_records", obs::MetricKind::kCounter, obs::MetricUnit::kRecords);
+inline const obs::MetricId kMSortResident = obs::register_metric(
+    "sort.resident_records", obs::MetricKind::kGauge,
+    obs::MetricUnit::kRecords);
+
+/// Phase checkpoint: update the live gauge (the sampler fiber watches it)
+/// and append to the deterministic progress series.
+inline void mark_resident(std::size_t records) {
+  obs::gauge_set(kMSortResident, records);
+  obs::series_mark(kMSortResident, records);
+}
+}  // namespace detail
 
 enum class ExchangeMode { kSync, kOverlapped, kSpill, kNone };
 enum class FinalOrdering {
@@ -114,6 +139,9 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
 
   int c = cfg.threads > 0 ? cfg.threads : comm.cores_per_node();
 
+  const bool metered = obs::active();
+  if (metered) obs::counter_add(detail::kMSortRecordsIn, data.size());
+
   {
     // Initial local ordering: lets regular sampling see the local value
     // distribution and makes every later step run-/merge-friendly.
@@ -124,6 +152,7 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
     lcfg.algo = cfg.local_algo;
     local_sort<T, KeyFn>(data, lcfg, kf);
   }
+  if (metered) detail::mark_resident(data.size());
 
   sim::Comm active = comm;
   if (comm.size() > 1 && cfg.tau_m_bytes > 0 && comm.cores_per_node() > 1) {
@@ -150,6 +179,7 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
         // This rank handed its data to the node leader and is done.
         rep.active = false;
         rep.output_records = 0;
+        if (metered) detail::mark_resident(0);
         return {};
       }
       active = pair.leaders;
@@ -160,6 +190,10 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
   const int p = active.size();
   if (p <= 1) {
     rep.output_records = data.size();
+    if (metered) {
+      obs::counter_add(detail::kMSortRecordsOut, data.size());
+      detail::mark_resident(data.size());
+    }
     return data;
   }
 
@@ -225,6 +259,10 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
   // λ = max/avg of these counters is exactly reproducible for a fixed seed,
   // unlike the wall-clock λ, so it is what the CI gate diffs.
   if (trace::active()) trace::counter("recv_records", plan.recv_total);
+  if (metered) {
+    obs::counter_add(detail::kMSortRecvRecords, plan.recv_total);
+    detail::mark_resident(plan.recv_total);
+  }
 
   std::vector<T> out;
   if (plan.overflow && cfg.memory_policy == MemoryPolicy::kSpill) {
@@ -252,6 +290,10 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
     }
     rep.spill += pool.stats();  // += : node_merge may have spilled already
     rep.output_records = out.size();
+    if (metered) {
+      obs::counter_add(detail::kMSortRecordsOut, out.size());
+      detail::mark_resident(out.size());
+    }
     return out;
   }
   const bool overlap =
@@ -283,6 +325,10 @@ std::vector<T> sds_sort(sim::Comm& comm, std::vector<T> data,
   }
 
   rep.output_records = out.size();
+  if (metered) {
+    obs::counter_add(detail::kMSortRecordsOut, out.size());
+    detail::mark_resident(out.size());
+  }
   return out;
 }
 

@@ -1,0 +1,173 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+
+namespace sdss::obs {
+
+using telemetry::Json;
+
+Json to_json(const FlightRecord& r) {
+  Json j = Json::object();
+  j.set("schema_version", r.schema_version);
+  Json failure = Json::object();
+  failure.set("class", r.failure_class);
+  failure.set("detail", r.failure_detail);
+  failure.set("error", r.error);
+  failure.set("failed_rank", r.failed_rank);
+  j.set("failure", std::move(failure));
+
+  Json blocked = Json::array();
+  for (const BlockedOpRecord& b : r.blocked) {
+    Json e = Json::object();
+    e.set("rank", b.rank);
+    e.set("op", b.op);
+    e.set("src", b.src);
+    e.set("tag", b.tag);
+    e.set("ctx", b.ctx);
+    e.set("has_deadline", b.has_deadline);
+    e.set("finished", b.finished);
+    blocked.push_back(std::move(e));
+  }
+  j.set("blocked", std::move(blocked));
+
+  Json tails = Json::array();
+  for (const auto& lane : r.trace_tails) {
+    Json l = Json::array();
+    for (const TraceTailEvent& ev : lane) {
+      Json e = Json::object();
+      e.set("t_ns", ev.t_ns);
+      e.set("dur_ns", ev.dur_ns);
+      e.set("value", ev.value);
+      e.set("aux", ev.aux);
+      e.set("name", ev.name);
+      e.set("peer", ev.peer);
+      e.set("kind", ev.kind);
+      e.set("cat", ev.cat);
+      l.push_back(std::move(e));
+    }
+    tails.push_back(std::move(l));
+  }
+  j.set("trace_tails", std::move(tails));
+
+  j.set("metrics", obs::to_json(r.metrics));
+
+  Json sampler = Json::object();
+  Json gauges = Json::array();
+  for (const std::string& g : r.sampled_gauges) gauges.push_back(g);
+  sampler.set("gauges", std::move(gauges));
+  Json samples = Json::array();
+  for (const LiveSample& s : r.live_samples) {
+    Json e = Json::object();
+    e.set("seq", s.seq);
+    e.set("t_ns", s.t_ns);
+    Json values = Json::array();
+    for (std::uint64_t v : s.values) values.push_back(v);
+    e.set("values", std::move(values));
+    samples.push_back(std::move(e));
+  }
+  sampler.set("samples", std::move(samples));
+  j.set("sampler", std::move(sampler));
+
+  Json chaos = Json::array();
+  for (const ChaosEventRecord& c : r.chaos_events) {
+    Json e = Json::object();
+    e.set("kind", c.kind);
+    e.set("rank", c.rank);
+    e.set("op_index", c.op_index);
+    e.set("seconds", c.seconds);
+    chaos.push_back(std::move(e));
+  }
+  j.set("chaos_events", std::move(chaos));
+  return j;
+}
+
+FlightRecord flight_record_from_json(const Json& j) {
+  FlightRecord r;
+  const int version = static_cast<int>(j.at("schema_version").number_or(-1));
+  if (version < 1 || version > kFlightRecordSchemaVersion) {
+    throw Error("unsupported flight-record schema_version " +
+                std::to_string(version));
+  }
+  r.schema_version = version;
+  const Json& failure = j.at("failure");
+  r.failure_class = failure.at("class").string_value();
+  r.failure_detail = failure.at("detail").string_value();
+  r.error = failure.at("error").string_value();
+  r.failed_rank = static_cast<int>(failure.at("failed_rank").number_or(-1));
+
+  for (const Json& e : j.at("blocked").items()) {
+    BlockedOpRecord b;
+    b.rank = static_cast<int>(e.at("rank").number_or(-1));
+    b.op = e.at("op").string_value();
+    b.src = static_cast<int>(e.at("src").number_or(-1));
+    b.tag = static_cast<int>(e.at("tag").number_or(-1));
+    b.ctx = static_cast<int>(e.at("ctx").number_or(0));
+    b.has_deadline = e.at("has_deadline").bool_or(false);
+    b.finished = e.at("finished").bool_or(false);
+    r.blocked.push_back(std::move(b));
+  }
+
+  for (const Json& lane : j.at("trace_tails").items()) {
+    std::vector<TraceTailEvent> l;
+    for (const Json& e : lane.items()) {
+      TraceTailEvent ev;
+      ev.t_ns = e.at("t_ns").u64_or();
+      ev.dur_ns = e.at("dur_ns").u64_or();
+      ev.value = e.at("value").u64_or();
+      ev.aux = e.at("aux").u64_or();
+      ev.name = e.at("name").string_value();
+      ev.peer = static_cast<int>(e.at("peer").number_or(-1));
+      ev.kind = e.at("kind").string_value();
+      ev.cat = e.at("cat").string_value();
+      l.push_back(std::move(ev));
+    }
+    r.trace_tails.push_back(std::move(l));
+  }
+
+  r.metrics = metrics_snapshot_from_json(j.at("metrics"));
+
+  const Json& sampler = j.at("sampler");
+  for (const Json& g : sampler.at("gauges").items()) {
+    r.sampled_gauges.push_back(g.string_value());
+  }
+  for (const Json& e : sampler.at("samples").items()) {
+    LiveSample s;
+    s.seq = e.at("seq").u64_or();
+    s.t_ns = e.at("t_ns").u64_or();
+    for (const Json& v : e.at("values").items()) {
+      s.values.push_back(v.u64_or());
+    }
+    r.live_samples.push_back(std::move(s));
+  }
+
+  for (const Json& e : j.at("chaos_events").items()) {
+    ChaosEventRecord c;
+    c.kind = e.at("kind").string_value();
+    c.rank = static_cast<int>(e.at("rank").number_or(-1));
+    c.op_index = e.at("op_index").u64_or();
+    c.seconds = e.at("seconds").number_or();
+    r.chaos_events.push_back(std::move(c));
+  }
+  return r;
+}
+
+void write_flight_record(const std::string& path, const FlightRecord& r) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write flight record: " + path);
+  to_json(r).write(out, 2);
+  out << '\n';
+}
+
+FlightRecord load_flight_record(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open flight record: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return flight_record_from_json(Json::parse(buf.str()));
+}
+
+}  // namespace sdss::obs

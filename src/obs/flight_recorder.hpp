@@ -1,0 +1,102 @@
+// Flight recorder: the post-mortem bundle written when a run dies.
+//
+// All other observability layers are post-run: a run that OOMs, deadlocks
+// or hits a spill I/O fault used to leave only an exception string. On any
+// classified failure the sim runtime (sim/cluster.cpp) now assembles a
+// FlightRecord — what every rank was blocked on when the cluster aborted,
+// the tail of every trace lane, the final aggregated metrics snapshot, the
+// live-gauge samples leading up to the failure, and the chaos events that
+// fired — and writes it as JSON next to the report (ClusterConfig::
+// postmortem_path, or the SDSS_POSTMORTEM_DIR environment variable).
+// bench/postmortem_analyze.cpp renders a bundle for humans and validates it
+// for CI. The structs here are deliberately sim-free (plain strings and
+// ints) so the obs layer does not depend on sim/ headers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+
+namespace sdss::telemetry {
+class Json;
+}
+
+namespace sdss::obs {
+
+/// Bumped on renames/removals/meaning changes; additions don't bump.
+inline constexpr int kFlightRecordSchemaVersion = 1;
+
+/// One rank's blocked-op table entry, snapshotted under the cluster mutex
+/// at the moment of the first abort (mirrors sim BlockedOp + finished).
+struct BlockedOpRecord {
+  int rank = -1;
+  std::string op;  ///< "recv", "req_wait", "coll_recv", ... or "running"
+  int src = -1;
+  int tag = -1;
+  int ctx = 0;
+  bool has_deadline = false;
+  bool finished = false;
+};
+
+/// One trace event of a lane tail, stringified (kind/cat names, not enums)
+/// so the bundle is self-describing without the trace headers.
+struct TraceTailEvent {
+  std::uint64_t t_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t value = 0;
+  std::uint64_t aux = 0;
+  std::string name;
+  int peer = -1;
+  std::string kind;
+  std::string cat;
+};
+
+/// One fired chaos event (mirrors sim::FaultEvent without the sim types).
+struct ChaosEventRecord {
+  std::string kind;
+  int rank = -1;
+  std::uint64_t op_index = 0;
+  double seconds = 0.0;
+};
+
+struct FlightRecord {
+  int schema_version = kFlightRecordSchemaVersion;
+
+  // Failure classification (sim::failure_class_name vocabulary).
+  std::string failure_class;  ///< "oom", "deadlock", "spill-io", ...
+  std::string failure_detail;
+  std::string error;  ///< what() of the primary exception
+  int failed_rank = -1;
+
+  /// The watchdog's blocked-op table at the first abort, one entry per
+  /// rank.
+  std::vector<BlockedOpRecord> blocked;
+
+  /// Per-lane trace tails: lanes 0..R-1 are ranks, lane R the cluster
+  /// runtime (watchdog). At most kTraceTailEvents per lane.
+  static constexpr std::size_t kTraceTailEvents = 64;
+  std::vector<std::vector<TraceTailEvent>> trace_tails;
+
+  /// Final aggregated metrics (post-join full snapshot).
+  MetricsSnapshot metrics;
+
+  /// Live-gauge ring from the sampler fiber: the last samples before the
+  /// failure. `sampled_gauges` names the columns of each sample's values.
+  std::vector<std::string> sampled_gauges;
+  std::vector<LiveSample> live_samples;
+
+  std::vector<ChaosEventRecord> chaos_events;
+};
+
+telemetry::Json to_json(const FlightRecord& r);
+FlightRecord flight_record_from_json(const telemetry::Json& j);
+
+/// Write/read one bundle file. load throws sdss::Error on malformed JSON
+/// or an unsupported schema version.
+void write_flight_record(const std::string& path, const FlightRecord& r);
+FlightRecord load_flight_record(const std::string& path);
+
+}  // namespace sdss::obs

@@ -1,0 +1,407 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cstring>
+#include <mutex>
+
+#include "telemetry/json.hpp"
+#include "util/error.hpp"
+
+namespace sdss::obs {
+
+namespace {
+
+/// Process-global definition table. Append-only; guarded by its own mutex
+/// (touched only at registration, never on the emit path).
+struct GlobalTable {
+  std::mutex mu;
+  std::vector<MetricDef> defs;
+};
+
+GlobalTable& table() {
+  static GlobalTable t;
+  return t;
+}
+
+/// Bucket of value v: bit_width(v), so bucket 0 is exactly v == 0 and
+/// bucket b >= 1 spans [2^(b-1), 2^b - 1].
+inline std::size_t bucket_of(std::uint64_t v) {
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+/// Upper bound of bucket b (the value percentile() reports).
+inline std::uint64_t bucket_upper(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const char* metric_unit_name(MetricUnit u) {
+  switch (u) {
+    case MetricUnit::kCount: return "count";
+    case MetricUnit::kBytes: return "bytes";
+    case MetricUnit::kRecords: return "records";
+    case MetricUnit::kNanos: return "nanos";
+  }
+  return "?";
+}
+
+MetricKind metric_kind_from_name(const std::string& s) {
+  if (s == "gauge") return MetricKind::kGauge;
+  if (s == "histogram") return MetricKind::kHistogram;
+  return MetricKind::kCounter;
+}
+
+MetricUnit metric_unit_from_name(const std::string& s) {
+  if (s == "bytes") return MetricUnit::kBytes;
+  if (s == "records") return MetricUnit::kRecords;
+  if (s == "nanos") return MetricUnit::kNanos;
+  return MetricUnit::kCount;
+}
+
+MetricId register_metric(const char* name, MetricKind kind, MetricUnit unit) {
+  GlobalTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  for (std::size_t i = 0; i < t.defs.size(); ++i) {
+    if (std::strcmp(t.defs[i].name, name) == 0) {
+      if (t.defs[i].kind != kind || t.defs[i].unit != unit) {
+        throw Error(std::string("obs: metric '") + name +
+                    "' re-registered with a different kind/unit");
+      }
+      return static_cast<MetricId>(i);
+    }
+  }
+  if (t.defs.size() >= kMaxMetrics) {
+    throw Error("obs: metric capacity exceeded (kMaxMetrics)");
+  }
+  t.defs.push_back(MetricDef{name, kind, unit});
+  return static_cast<MetricId>(t.defs.size() - 1);
+}
+
+std::vector<MetricDef> registered_metrics() {
+  GlobalTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  return t.defs;
+}
+
+RankMetrics::~RankMetrics() {
+  for (auto& h : hists) {
+    delete h.load(std::memory_order_relaxed);
+  }
+}
+
+RankMetrics::Hist* RankMetrics::hist_for_write(MetricId id) {
+  Hist* h = hists[id].load(std::memory_order_relaxed);
+  if (h == nullptr) {
+    h = new Hist();
+    // Release-publish so a sampler that acquires the pointer sees the
+    // zero-initialized cells. Single writer: no CAS needed.
+    hists[id].store(h, std::memory_order_release);
+  }
+  return h;
+}
+
+void RankMetrics::series_append(MetricId id, std::uint64_t value) {
+  // Deterministic decimation: accept every series_stride-th offered mark;
+  // when the buffer fills, keep every other kept point and double the
+  // stride. The kept set is a pure function of the offered sequence, so it
+  // is byte-identical across scheduler worker counts.
+  const std::uint64_t seq = series_seq++;
+  if (seq % series_stride != 0) return;
+  if (series.size() == kMaxSeriesPoints) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < series.size(); r += 2) series[w++] = series[r];
+    series.resize(w);
+    series_stride *= 2;
+    if (seq % series_stride != 0) return;
+  }
+  series.push_back(SeriesPoint{id, value});
+}
+
+std::uint64_t HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kHistBuckets; ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= target) return bucket_upper(b);
+  }
+  return max_bound();
+}
+
+std::uint64_t HistogramSnapshot::max_bound() const {
+  for (std::size_t b = kHistBuckets; b-- > 0;) {
+    if (buckets[b] != 0) return bucket_upper(b);
+  }
+  return 0;
+}
+
+void MetricsRegistry::reset(int num_ranks) {
+  ranks_.clear();
+  ranks_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    ranks_.push_back(std::make_unique<RankMetrics>());
+  }
+}
+
+std::uint64_t MetricsRegistry::live_scalar(MetricId id) const {
+  const std::vector<MetricDef> defs = registered_metrics();
+  const bool take_max =
+      id < defs.size() && defs[id].kind == MetricKind::kGauge;
+  std::uint64_t agg = 0;
+  for (const auto& r : ranks_) {
+    const std::uint64_t v = r->scalars[id].load(std::memory_order_relaxed);
+    if (take_max) {
+      if (v > agg) agg = v;
+    } else {
+      agg += v;
+    }
+  }
+  return agg;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  const std::vector<MetricDef> defs = registered_metrics();
+  for (std::size_t id = 0; id < defs.size(); ++id) {
+    const MetricDef& d = defs[id];
+    switch (d.kind) {
+      case MetricKind::kCounter: {
+        std::uint64_t sum = 0;
+        for (const auto& r : ranks_) {
+          sum += r->scalars[id].load(std::memory_order_relaxed);
+        }
+        if (sum != 0) {
+          out.counters.push_back(ScalarSnapshot{d.name, d.unit, sum});
+        }
+        break;
+      }
+      case MetricKind::kGauge: {
+        std::uint64_t mx = 0;
+        for (const auto& r : ranks_) {
+          const std::uint64_t v =
+              r->scalars[id].load(std::memory_order_relaxed);
+          if (v > mx) mx = v;
+        }
+        if (mx != 0) {
+          out.gauges.push_back(ScalarSnapshot{d.name, d.unit, mx});
+        }
+        break;
+      }
+      case MetricKind::kHistogram: {
+        HistogramSnapshot h;
+        h.name = d.name;
+        h.unit = d.unit;
+        for (const auto& r : ranks_) {
+          const RankMetrics::Hist* src =
+              r->hists[id].load(std::memory_order_acquire);
+          if (src == nullptr) continue;
+          h.count += src->count.load(std::memory_order_relaxed);
+          h.sum += src->sum.load(std::memory_order_relaxed);
+          for (std::size_t b = 0; b < kHistBuckets; ++b) {
+            h.buckets[b] += src->buckets[b].load(std::memory_order_relaxed);
+          }
+        }
+        if (h.count != 0) out.histograms.push_back(std::move(h));
+        break;
+      }
+    }
+  }
+  // Series: one snapshot entry per metric that any rank marked, rows in
+  // rank order (missing ranks get empty rows so positions stay stable).
+  for (std::size_t id = 0; id < defs.size(); ++id) {
+    bool any = false;
+    for (const auto& r : ranks_) {
+      for (const SeriesPoint& p : r->series) {
+        if (p.id == id) {
+          any = true;
+          break;
+        }
+      }
+      if (any) break;
+    }
+    if (!any) continue;
+    SeriesSnapshot s;
+    s.name = defs[id].name;
+    s.unit = defs[id].unit;
+    s.per_rank.reserve(ranks_.size());
+    for (const auto& r : ranks_) {
+      std::vector<std::uint64_t> row;
+      for (const SeriesPoint& p : r->series) {
+        if (p.id == id) row.push_back(p.value);
+      }
+      s.per_rank.push_back(std::move(row));
+    }
+    out.series.push_back(std::move(s));
+  }
+  return out;
+}
+
+// --- JSON ------------------------------------------------------------------
+
+namespace {
+
+telemetry::Json scalar_to_json(const ScalarSnapshot& s) {
+  telemetry::Json e = telemetry::Json::object();
+  e.set("name", s.name);
+  e.set("unit", std::string(metric_unit_name(s.unit)));
+  e.set("value", s.value);
+  return e;
+}
+
+ScalarSnapshot scalar_from_json(const telemetry::Json& j) {
+  ScalarSnapshot s;
+  s.name = j.at("name").string_value();
+  s.unit = metric_unit_from_name(j.at("unit").string_value());
+  s.value = j.at("value").u64_or();
+  return s;
+}
+
+}  // namespace
+
+telemetry::Json to_json(const MetricsSnapshot& s) {
+  using telemetry::Json;
+  Json j = Json::object();
+  Json counters = Json::array();
+  for (const ScalarSnapshot& c : s.counters) {
+    counters.push_back(scalar_to_json(c));
+  }
+  j.set("counters", std::move(counters));
+  Json gauges = Json::array();
+  for (const ScalarSnapshot& g : s.gauges) gauges.push_back(scalar_to_json(g));
+  j.set("gauges", std::move(gauges));
+  Json hists = Json::array();
+  for (const HistogramSnapshot& h : s.histograms) {
+    Json e = Json::object();
+    e.set("name", h.name);
+    e.set("unit", std::string(metric_unit_name(h.unit)));
+    e.set("count", h.count);
+    e.set("sum", h.sum);
+    // Sparse [bucket, count] pairs: most of the 65 buckets are empty.
+    Json buckets = Json::array();
+    for (std::size_t b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      Json pair = Json::array();
+      pair.push_back(static_cast<std::uint64_t>(b));
+      pair.push_back(h.buckets[b]);
+      buckets.push_back(std::move(pair));
+    }
+    e.set("buckets", std::move(buckets));
+    hists.push_back(std::move(e));
+  }
+  j.set("histograms", std::move(hists));
+  Json series = Json::array();
+  for (const SeriesSnapshot& ss : s.series) {
+    Json e = Json::object();
+    e.set("name", ss.name);
+    e.set("unit", std::string(metric_unit_name(ss.unit)));
+    Json per_rank = Json::array();
+    for (const auto& row : ss.per_rank) {
+      Json r = Json::array();
+      for (std::uint64_t v : row) r.push_back(v);
+      per_rank.push_back(std::move(r));
+    }
+    e.set("per_rank", std::move(per_rank));
+    series.push_back(std::move(e));
+  }
+  j.set("series", std::move(series));
+  return j;
+}
+
+MetricsSnapshot metrics_snapshot_from_json(const telemetry::Json& j) {
+  MetricsSnapshot s;
+  for (const telemetry::Json& e : j.at("counters").items()) {
+    s.counters.push_back(scalar_from_json(e));
+  }
+  for (const telemetry::Json& e : j.at("gauges").items()) {
+    s.gauges.push_back(scalar_from_json(e));
+  }
+  for (const telemetry::Json& e : j.at("histograms").items()) {
+    HistogramSnapshot h;
+    h.name = e.at("name").string_value();
+    h.unit = metric_unit_from_name(e.at("unit").string_value());
+    h.count = e.at("count").u64_or();
+    h.sum = e.at("sum").u64_or();
+    for (const telemetry::Json& pair : e.at("buckets").items()) {
+      const auto& cells = pair.items();
+      if (cells.size() < 2) continue;
+      const std::size_t b = static_cast<std::size_t>(cells[0].u64_or());
+      if (b < kHistBuckets) h.buckets[b] = cells[1].u64_or();
+    }
+    s.histograms.push_back(std::move(h));
+  }
+  for (const telemetry::Json& e : j.at("series").items()) {
+    SeriesSnapshot ss;
+    ss.name = e.at("name").string_value();
+    ss.unit = metric_unit_from_name(e.at("unit").string_value());
+    for (const telemetry::Json& row : e.at("per_rank").items()) {
+      std::vector<std::uint64_t> r;
+      r.reserve(row.items().size());
+      for (const telemetry::Json& v : row.items()) r.push_back(v.u64_or());
+      ss.per_rank.push_back(std::move(r));
+    }
+    s.series.push_back(std::move(ss));
+  }
+  return s;
+}
+
+// --- thread binding + emission ---------------------------------------------
+
+namespace detail {
+thread_local ThreadMetrics t_metrics;
+}  // namespace detail
+
+// noinline: see the header comment on active() — callers run on migrating
+// fibers, and the TLS address must be re-derived on every call (same
+// discipline as trace::active()).
+[[gnu::noinline]] bool active() {
+  return detail::t_metrics.rank != nullptr;
+}
+
+void bind_thread(MetricsRegistry* reg, std::size_t index) {
+  detail::t_metrics.rank = reg->rank(index);
+}
+
+void unbind_thread() { detail::t_metrics = detail::ThreadMetrics{}; }
+
+[[gnu::noinline]] void counter_add(MetricId id, std::uint64_t delta) {
+  detail::t_metrics.rank->scalars[id].fetch_add(delta,
+                                                std::memory_order_relaxed);
+}
+
+[[gnu::noinline]] void gauge_set(MetricId id, std::uint64_t value) {
+  detail::t_metrics.rank->scalars[id].store(value, std::memory_order_relaxed);
+}
+
+[[gnu::noinline]] void gauge_max(MetricId id, std::uint64_t value) {
+  std::atomic<std::uint64_t>& cell = detail::t_metrics.rank->scalars[id];
+  // Single writer: a plain read-compare-store is race-free on this cell.
+  if (value > cell.load(std::memory_order_relaxed)) {
+    cell.store(value, std::memory_order_relaxed);
+  }
+}
+
+[[gnu::noinline]] void hist_record(MetricId id, std::uint64_t value) {
+  RankMetrics* r = detail::t_metrics.rank;
+  RankMetrics::Hist* h = r->hist_for_write(id);
+  h->count.fetch_add(1, std::memory_order_relaxed);
+  h->sum.fetch_add(value, std::memory_order_relaxed);
+  h->buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+[[gnu::noinline]] void series_mark(MetricId id, std::uint64_t value) {
+  detail::t_metrics.rank->series_append(id, value);
+}
+
+}  // namespace sdss::obs

@@ -1,0 +1,241 @@
+// Live metrics registry: per-rank, single-writer counters, gauges and
+// log-bucketed histograms, cheap enough to leave always on.
+//
+// This is the fifth observability layer (docs/OBSERVABILITY.md): unlike the
+// post-run report/trace layers it is readable *while the run is in flight*
+// (the sampler fiber in obs/sampler.hpp and the flight recorder in
+// obs/flight_recorder.hpp both read it), which is what the ROADMAP's
+// sort-as-a-service item needs for admission control and backpressure.
+//
+// Write discipline mirrors trace/recorder.hpp: each rank owns one
+// RankMetrics block and only that rank's fiber writes it — the scheduler
+// binds the block to whichever worker resumes the fiber — so writes never
+// contend. Unlike trace lanes, the cells are relaxed std::atomic, because
+// the sampler fiber reads gauges concurrently with the owning writer
+// (trace lanes are only read after the workers join). Relaxed is enough:
+// each cell is an independent monotone counter or last-value gauge, no
+// cross-cell invariant is read mid-run, and the post-join full snapshot is
+// ordered by the scheduler's fiber handoff plus the worker joins exactly
+// like op_counts.
+//
+// Names are interned (static string literals) and registered once into a
+// process-global table; instrumentation sites hold the returned MetricId in
+// a namespace-scope constant so steady-state emission never touches the
+// registration lock.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sdss::telemetry {
+class Json;
+}
+
+namespace sdss::obs {
+
+enum class MetricKind : std::uint8_t {
+  kCounter,    ///< monotone; snapshot aggregates by SUM over ranks
+  kGauge,      ///< last value / high-water; snapshot aggregates by MAX
+  kHistogram,  ///< log2-bucketed distribution; snapshot merges buckets
+};
+
+enum class MetricUnit : std::uint8_t {
+  kCount,
+  kBytes,
+  kRecords,
+  kNanos,  ///< timing — machine-dependent, never diffed on value
+};
+
+const char* metric_kind_name(MetricKind k);
+const char* metric_unit_name(MetricUnit u);
+MetricKind metric_kind_from_name(const std::string& s);
+MetricUnit metric_unit_from_name(const std::string& s);
+
+/// Index into the process-global definition table. Stable for the life of
+/// the process (the table is append-only).
+using MetricId = std::uint32_t;
+
+/// Fixed per-rank slot capacity. A hard cap keeps the per-rank block a flat
+/// array (no growth, no locking on the write path); registration past it
+/// throws. 64 is ~4x the current instrumentation surface.
+inline constexpr std::size_t kMaxMetrics = 64;
+
+/// Histogram bucket b holds values whose bit_width is b: bucket 0 is the
+/// value 0, bucket b >= 1 spans [2^(b-1), 2^b - 1]. 65 buckets cover the
+/// full uint64 range, so p50/p95/p99/max are derivable from the buckets
+/// alone (to within a 2x bucket bound).
+inline constexpr std::size_t kHistBuckets = 65;
+
+struct MetricDef {
+  const char* name = "";  ///< interned: must have static storage duration
+  MetricKind kind = MetricKind::kCounter;
+  MetricUnit unit = MetricUnit::kCount;
+};
+
+/// Register (or re-find) a metric by interned name. Idempotent: a second
+/// registration of the same name returns the existing id (kind/unit must
+/// match — a mismatch throws, it is a programming error). Thread-safe;
+/// called from namespace-scope initializers at instrumentation sites.
+MetricId register_metric(const char* name, MetricKind kind, MetricUnit unit);
+
+/// Snapshot of the global definition table (ids 0..size-1, in
+/// registration order).
+std::vector<MetricDef> registered_metrics();
+
+/// One deterministic time-series point: a value a rank recorded at a
+/// logical progress checkpoint of its own pipeline. Owner-only storage —
+/// see MetricsRegistry below for the determinism contract.
+struct SeriesPoint {
+  MetricId id = 0;
+  std::uint64_t value = 0;
+};
+
+/// One rank's metric storage. Scalar/histogram cells are relaxed atomics
+/// (single writer, concurrent sampler reads); the series is plain owner-only
+/// data, read only after the scheduler workers join.
+class RankMetrics {
+ public:
+  RankMetrics() = default;
+  ~RankMetrics();
+  RankMetrics(const RankMetrics&) = delete;
+  RankMetrics& operator=(const RankMetrics&) = delete;
+
+  struct Hist {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+  };
+
+  /// Counters and gauges, indexed by MetricId.
+  std::array<std::atomic<std::uint64_t>, kMaxMetrics> scalars{};
+  /// Histogram blocks, lazily allocated by the owning writer on first
+  /// record and published with a release store (the sampler acquires).
+  std::array<std::atomic<Hist*>, kMaxMetrics> hists{};
+
+  /// Deterministic progress series: append-only by the owning fiber, with
+  /// stride-doubling decimation once kMaxSeriesPoints is hit (keep every
+  /// other point, double the accept stride) so it stays bounded while the
+  /// kept set remains a pure function of the append sequence.
+  static constexpr std::size_t kMaxSeriesPoints = 512;
+  std::vector<SeriesPoint> series;
+  std::uint64_t series_seq = 0;     ///< total marks offered (pre-decimation)
+  std::uint64_t series_stride = 1;  ///< current accept stride
+
+  Hist* hist_for_write(MetricId id);  ///< owner only: allocate-or-get
+  void series_append(MetricId id, std::uint64_t value);  ///< owner only
+};
+
+// --- aggregated snapshot ---------------------------------------------------
+
+struct ScalarSnapshot {
+  std::string name;
+  MetricUnit unit = MetricUnit::kCount;
+  std::uint64_t value = 0;  ///< counters: sum over ranks; gauges: max
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  MetricUnit unit = MetricUnit::kCount;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+
+  /// Upper bound of the bucket holding quantile q (0 < q <= 1): the
+  /// smallest v such that at least q*count recorded values are <= bucket
+  /// upper bound. 0 when empty.
+  std::uint64_t percentile(double q) const;
+  std::uint64_t max_bound() const;  ///< upper bound of highest hit bucket
+};
+
+struct SeriesSnapshot {
+  std::string name;
+  MetricUnit unit = MetricUnit::kCount;
+  /// One row per rank: that rank's kept progress samples, in program order.
+  /// Deterministic for a fixed seed and workload — byte-identical across
+  /// scheduler worker counts, which report_diff and bench_metrics gate.
+  std::vector<std::vector<std::uint64_t>> per_rank;
+};
+
+/// The aggregated, immutable result of one run's registry. Entries with no
+/// recorded activity are dropped, so presence tracks what the run actually
+/// did rather than which code paths happened to register metrics.
+struct MetricsSnapshot {
+  std::vector<ScalarSnapshot> counters;
+  std::vector<ScalarSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::vector<SeriesSnapshot> series;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           series.empty();
+  }
+};
+
+/// Stable JSON form (the report's `metrics` object and the flight
+/// recorder's snapshot section share it). Buckets serialize sparsely as
+/// [bucket, count] pairs.
+telemetry::Json to_json(const MetricsSnapshot& s);
+MetricsSnapshot metrics_snapshot_from_json(const telemetry::Json& j);
+
+/// Owns the per-rank blocks for one cluster run. reset() arms it;
+/// snapshot() aggregates after the scheduler workers have joined.
+class MetricsRegistry {
+ public:
+  /// Arm with one block per rank; discards any previous run's data.
+  void reset(int num_ranks);
+
+  bool enabled() const { return !ranks_.empty(); }
+  int num_ranks() const { return static_cast<int>(ranks_.size()); }
+  RankMetrics* rank(std::size_t index) { return ranks_[index].get(); }
+  const RankMetrics* rank(std::size_t index) const {
+    return ranks_[index].get();
+  }
+
+  /// Mid-run aggregate of one scalar metric across all ranks (relaxed
+  /// loads only — safe concurrently with the writers). Counters sum,
+  /// gauges max, matching snapshot() aggregation.
+  std::uint64_t live_scalar(MetricId id) const;
+
+  /// Full post-join aggregate, including the owner-only series. Call only
+  /// after the scheduler workers have joined.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::vector<std::unique_ptr<RankMetrics>> ranks_;
+};
+
+// --- thread binding + emission (mirrors trace/recorder.hpp) ---------------
+
+namespace detail {
+struct ThreadMetrics {
+  RankMetrics* rank = nullptr;
+};
+extern thread_local ThreadMetrics t_metrics;
+}  // namespace detail
+
+/// True iff the calling thread is bound to a rank's block. Out-of-line and
+/// noinline for the same reason as trace::active(): instrumented code runs
+/// on fibers that migrate between scheduler workers, and an inlined TLS
+/// access could be cached across a yield, writing another rank's block.
+bool active();
+
+/// Bind/unbind the calling thread to rank `index` of `reg`. The rank
+/// scheduler rebinds on every fiber resume, exactly like the trace lane.
+void bind_thread(MetricsRegistry* reg, std::size_t index);
+void unbind_thread();
+
+/// Emit helpers. All require active(); callers gate with `if (active())` so
+/// a metrics-off run pays one call, TLS load, and branch per site.
+void counter_add(MetricId id, std::uint64_t delta);
+void gauge_set(MetricId id, std::uint64_t value);
+void gauge_max(MetricId id, std::uint64_t value);  ///< high-water update
+void hist_record(MetricId id, std::uint64_t value);
+/// Append one deterministic progress point to the calling rank's series.
+void series_mark(MetricId id, std::uint64_t value);
+
+}  // namespace sdss::obs

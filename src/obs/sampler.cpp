@@ -1,0 +1,37 @@
+#include "obs/sampler.hpp"
+
+namespace sdss::obs {
+
+void LiveSampler::configure(const MetricsRegistry* reg, std::size_t capacity) {
+  reg_ = reg;
+  capacity_ = capacity;
+  ids_.clear();
+  names_.clear();
+  ring_.clear();
+  seq_ = 0;
+  const std::vector<MetricDef> defs = registered_metrics();
+  for (std::size_t id = 0; id < defs.size(); ++id) {
+    if (defs[id].kind != MetricKind::kGauge) continue;
+    ids_.push_back(static_cast<MetricId>(id));
+    names_.emplace_back(defs[id].name);
+  }
+}
+
+void LiveSampler::take(std::uint64_t t_ns) {
+  if (reg_ == nullptr || capacity_ == 0) return;
+  LiveSample s;
+  s.seq = seq_++;
+  s.t_ns = t_ns;
+  s.values.reserve(ids_.size());
+  for (const MetricId id : ids_) {
+    s.values.push_back(reg_->live_scalar(id));
+  }
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(std::move(s));
+}
+
+std::vector<LiveSample> LiveSampler::samples() const {
+  return std::vector<LiveSample>(ring_.begin(), ring_.end());
+}
+
+}  // namespace sdss::obs

@@ -1,0 +1,64 @@
+// Live-gauge sampler: the data side of the scheduler-driven sampler fiber.
+//
+// The sim runtime runs one service fiber (sim/cluster.cpp) that wakes on a
+// fixed `sleep_for` tick, aggregates every registered gauge across ranks
+// with relaxed loads (safe concurrently with the single-writer rank
+// fibers), and pushes the vector into a bounded ring here. The ring is the
+// flight recorder's "last seconds of telemetry before the crash": when a
+// run fails, the most recent samples ship in the post-mortem bundle.
+//
+// Determinism contract (documented in docs/OBSERVABILITY.md): these live
+// samples are taken on a *wall-clock* tick, so their values depend on the
+// worker interleaving — they feed ONLY the flight-recorder bundle, never
+// the telemetry report. The report's `metrics.series` object instead
+// carries the deterministic progress series that rank fibers record at
+// logical checkpoints (obs::series_mark), which IS byte-identical across
+// scheduler worker counts and is gated as such.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sdss::obs {
+
+/// One live snapshot: every watched gauge's cross-rank max, in ids() order.
+struct LiveSample {
+  std::uint64_t seq = 0;   ///< monotone sample index (ring may have dropped
+                           ///< earlier ones)
+  std::uint64_t t_ns = 0;  ///< wall ns since the sampler started
+  std::vector<std::uint64_t> values;
+};
+
+class LiveSampler {
+ public:
+  /// Arm against `reg`: watch every gauge registered at this point, keep at
+  /// most `capacity` samples (oldest dropped first). Call before the run.
+  void configure(const MetricsRegistry* reg, std::size_t capacity);
+
+  bool enabled() const { return reg_ != nullptr; }
+
+  /// Take one sample (relaxed aggregate reads). Called only by the sampler
+  /// service fiber — single writer, like a rank's metric block.
+  void take(std::uint64_t t_ns);
+
+  /// Names of the watched gauges, in LiveSample::values order.
+  const std::vector<std::string>& names() const { return names_; }
+  /// Ring contents in seq order, oldest first. Read after the run.
+  std::vector<LiveSample> samples() const;
+  std::uint64_t taken() const { return seq_; }
+
+ private:
+  const MetricsRegistry* reg_ = nullptr;
+  std::vector<MetricId> ids_;
+  std::vector<std::string> names_;
+  std::size_t capacity_ = 0;
+  std::deque<LiveSample> ring_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace sdss::obs

@@ -1,12 +1,15 @@
 #include "sim/cluster.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
 #include "sim/state.hpp"
 #include "trace/recorder.hpp"
 #include "util/error.hpp"
@@ -120,6 +123,15 @@ struct LaunchOutcome {
   std::vector<std::uint64_t> op_counts;
   std::vector<std::uint64_t> spill_op_counts;
   std::vector<std::int32_t> schedule;
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
+  /// Live-gauge samples from the sampler service fiber (flight recorder
+  /// only — wall-clock paced, machine-dependent).
+  std::vector<std::string> sampled_gauges;
+  std::vector<obs::LiveSample> live_samples;
+  /// Blocked-op table snapshotted at the first abort (empty on success).
+  std::vector<BlockedOp> failure_blocked;
+  std::vector<std::uint8_t> failure_finished;
 };
 
 /// The no-progress watchdog. Runs on its own OS thread, outside the fiber
@@ -173,7 +185,12 @@ class Watchdog {
         st_->sched->wake_all();
         continue;
       }
-      // Verdict: deadlock. Build the per-rank dump and abort the run.
+      // Verdict: deadlock. Snapshot the blocked-op table for the flight
+      // recorder before the abort unwinds it, then build the per-rank dump.
+      if (st_->failure_blocked.empty()) {
+        st_->failure_blocked = st_->blocked;
+        st_->failure_finished = st_->finished;
+      }
       std::vector<BlockedRankDump> dump;
       dump.reserve(static_cast<std::size_t>(st_->num_ranks));
       for (int r = 0; r < st_->num_ranks; ++r) {
@@ -234,6 +251,77 @@ class Watchdog {
   bool stop_ = false;  // guarded by st_->mu
 };
 
+/// Destination of the flight-recorder bundle: the explicit config path, or
+/// an auto-numbered file in $SDSS_POSTMORTEM_DIR, or "" (no bundle).
+std::string resolve_postmortem_path(const ClusterConfig& cfg) {
+  if (!cfg.postmortem_path.empty()) return cfg.postmortem_path;
+  const char* dir = std::getenv("SDSS_POSTMORTEM_DIR");
+  if (dir == nullptr || *dir == '\0') return "";
+  static std::atomic<std::uint64_t> counter{0};
+  return std::string(dir) + "/postmortem-" +
+         std::to_string(counter.fetch_add(1)) + ".json";
+}
+
+/// Assemble the post-mortem bundle for a failed run from the launch
+/// outcome and the already-classified RunResult.
+obs::FlightRecord build_flight_record(const LaunchOutcome& lo,
+                                      const RunResult& res) {
+  obs::FlightRecord fr;
+  fr.failure_class = failure_class_name(res.failure);
+  fr.failure_detail = res.failure_detail;
+  fr.error = res.error;
+  fr.failed_rank = res.failed_rank;
+
+  for (std::size_t r = 0; r < lo.failure_blocked.size(); ++r) {
+    obs::BlockedOpRecord b;
+    b.rank = static_cast<int>(r);
+    const bool fin =
+        r < lo.failure_finished.size() && lo.failure_finished[r] != 0u;
+    const BlockedOp& src = lo.failure_blocked[r];
+    b.op = fin ? "finished" : (src.op != nullptr ? src.op : "running");
+    b.src = src.src;
+    b.tag = src.tag;
+    b.ctx = src.ctx;
+    b.has_deadline = src.has_deadline;
+    b.finished = fin;
+    fr.blocked.push_back(std::move(b));
+  }
+
+  for (const auto& lane : res.trace.lanes) {
+    std::vector<obs::TraceTailEvent> tail;
+    const std::size_t keep =
+        std::min(lane.size(), obs::FlightRecord::kTraceTailEvents);
+    for (std::size_t i = lane.size() - keep; i < lane.size(); ++i) {
+      const trace::Event& e = lane[i];
+      obs::TraceTailEvent ev;
+      ev.t_ns = e.t_ns;
+      ev.dur_ns = e.dur_ns;
+      ev.value = e.value;
+      ev.aux = e.aux;
+      ev.name = e.name;
+      ev.peer = e.peer;
+      ev.kind = trace::event_kind_name(e.kind);
+      ev.cat = trace::event_cat_name(e.cat);
+      tail.push_back(std::move(ev));
+    }
+    fr.trace_tails.push_back(std::move(tail));
+  }
+
+  if (lo.has_metrics) fr.metrics = lo.metrics;
+  fr.sampled_gauges = lo.sampled_gauges;
+  fr.live_samples = lo.live_samples;
+
+  for (const FaultEvent& e : res.fault_events) {
+    obs::ChaosEventRecord c;
+    c.kind = fault_kind_name(e.kind);
+    c.rank = e.rank;
+    c.op_index = e.op_index;
+    c.seconds = e.seconds;
+    fr.chaos_events.push_back(std::move(c));
+  }
+  return fr;
+}
+
 LaunchOutcome launch(const ClusterConfig& cfg,
                      const std::function<void(Comm&)>& fn) {
   // Fresh state per run so a Cluster object is reusable and an aborted run
@@ -248,6 +336,7 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   st.comm_stats.resize(static_cast<std::size_t>(cfg.num_ranks));
   st.trace_enabled = cfg.enable_trace;
   if (cfg.enable_trace) st.recorder.reset(cfg.num_ranks);
+  if (cfg.enable_metrics) st.metrics.reset(cfg.num_ranks);
   st.chaos = FaultPlan(cfg.chaos, cfg.num_ranks);
   st.op_counts.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
   st.spill_op_counts.assign(static_cast<std::size_t>(cfg.num_ranks), 0);
@@ -265,6 +354,42 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   detail::RankScheduler sched(&st.mu, cfg.num_ranks, scfg);
   st.sched = &sched;
   if (cfg.enable_trace) sched.set_trace(&st.recorder);
+  if (cfg.enable_metrics) sched.set_metrics(&st.metrics);
+
+  // Live-gauge sampler: a service fiber that wakes on a wall-clock tick and
+  // snapshots the registered gauges into a bounded ring. Wall-clock paced,
+  // so its output feeds ONLY the flight-recorder bundle, never the report
+  // (obs/sampler.hpp documents the determinism contract). It is a service
+  // fiber — excluded from idle() — so its periodic readiness cannot reset
+  // the deadlock watchdog's no-progress window.
+  if (cfg.enable_metrics && cfg.metrics_sampler_interval_s > 0.0 &&
+      cfg.metrics_sampler_capacity > 0) {
+    st.sampler.configure(&st.metrics, cfg.metrics_sampler_capacity);
+    const auto tick = std::max(
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(cfg.metrics_sampler_interval_s)),
+        Clock::duration(1));
+    const auto epoch = Clock::now();
+    sched.add_service([&st, tick, epoch] {
+      for (;;) {
+        st.sched->sleep_for(tick);
+        std::lock_guard<std::mutex> lk(st.mu);
+        if (st.aborted) return;
+        bool all_done = true;
+        for (std::uint8_t f : st.finished) {
+          if (f == 0u) {
+            all_done = false;
+            break;
+          }
+        }
+        if (all_done) return;
+        st.sampler.take(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 epoch)
+                .count()));
+      }
+    });
+  }
 
   ContextInfo world;
   world.world_ranks.resize(static_cast<std::size_t>(cfg.num_ranks));
@@ -282,6 +407,11 @@ LaunchOutcome launch(const ClusterConfig& cfg,
     if (!st.aborted) {
       st.aborted = true;
       st.abort_cause = cause;
+      // First abort: freeze the blocked-op table for the flight recorder.
+      // The live table is useless post-mortem — BlockedGuards clear it as
+      // the peer fibers unwind with SimAbortError.
+      st.failure_blocked = st.blocked;
+      st.failure_finished = st.finished;
     }
     st.sched->wake_all();
   };
@@ -349,6 +479,16 @@ LaunchOutcome launch(const ClusterConfig& cfg,
   out.op_counts = std::move(st.op_counts);
   out.spill_op_counts = std::move(st.spill_op_counts);
   out.schedule = sched.schedule();
+  if (cfg.enable_metrics) {
+    // All workers joined inside sched.run(): the per-rank blocks are
+    // quiescent and the full (series-bearing) snapshot is safe.
+    out.has_metrics = true;
+    out.metrics = st.metrics.snapshot();
+    out.sampled_gauges = st.sampler.names();
+    out.live_samples = st.sampler.samples();
+  }
+  out.failure_blocked = std::move(st.failure_blocked);
+  out.failure_finished = std::move(st.failure_finished);
   st.sched = nullptr;
   return out;
 }
@@ -394,6 +534,20 @@ RunResult Cluster::run_collect(const std::function<void(Comm&)>& fn) {
             [](const RankFailure& a, const RankFailure& b) {
               return a.rank < b.rank;
             });
+  if (!res.ok) {
+    const std::string path = resolve_postmortem_path(cfg_);
+    if (!path.empty()) {
+      // Best-effort by design: a bundle-write failure must never mask the
+      // run failure being reported.
+      try {
+        write_flight_record(path, build_flight_record(lo, res));
+        res.postmortem_path = path;
+      } catch (const std::exception&) {
+      }
+    }
+  }
+  res.has_metrics = lo.has_metrics;
+  res.metrics = std::move(lo.metrics);
   return res;
 }
 

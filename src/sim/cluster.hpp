@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/chaos.hpp"
 #include "sim/comm.hpp"
 #include "sim/comm_stats.hpp"
@@ -58,6 +59,23 @@ struct ClusterConfig {
   /// Record the scheduler's resume order into RunResult::schedule (the
   /// interleaving-determinism tests use it; off by default).
   bool record_schedule = false;
+  /// Always-on metrics registry (obs/metrics.hpp): counters, gauges and
+  /// latency histograms emitted by comm/spill/driver instrumentation,
+  /// aggregated into RunResult::metrics. bench/bench_metrics.cpp gates the
+  /// overhead at <= 5% of critical-path CPU. Disable to reclaim the
+  /// per-rank blocks on very large runs.
+  bool enable_metrics = true;
+  /// Wall-clock period of the live-gauge sampler service fiber. Its
+  /// samples feed only the flight-recorder bundle (they are wall-clock
+  /// paced, hence machine-dependent — see obs/sampler.hpp). 0 disables
+  /// the sampler fiber entirely.
+  double metrics_sampler_interval_s = 0.005;
+  /// Bounded ring capacity of the live sampler (oldest samples dropped).
+  std::size_t metrics_sampler_capacity = 256;
+  /// Where to write the flight-recorder bundle on a classified failure.
+  /// Empty = fall back to $SDSS_POSTMORTEM_DIR (bundle named
+  /// postmortem-<n>.json there); both empty = no bundle.
+  std::string postmortem_path;
 };
 
 /// How a failed run failed. `kPeerAbort` marks ranks that were unwound by
@@ -125,6 +143,16 @@ struct RunResult {
   /// Fiber resume order (ranks, in sequence) when
   /// ClusterConfig::record_schedule was set; empty otherwise.
   std::vector<std::int32_t> schedule;
+
+  /// Aggregated metrics snapshot (counters summed, gauges maxed, histogram
+  /// buckets merged over ranks) when ClusterConfig::enable_metrics.
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
+
+  /// Path of the flight-recorder bundle actually written for this run's
+  /// failure (empty when the run succeeded or no destination was
+  /// configured).
+  std::string postmortem_path;
 
   /// Critical-path breakdown: element-wise max over ranks.
   PhaseLedger max_ledger() const;

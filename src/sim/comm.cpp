@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/state.hpp"
 #include "trace/recorder.hpp"
 
@@ -24,6 +25,31 @@ using detail::PostedCollRecv;
 using detail::ZcState;
 
 namespace {
+
+// Metric ids interned once at static init, so emission sites never touch
+// the registry lock. Every emit is gated on obs::active() — free when the
+// run was launched with metrics disabled.
+const obs::MetricId kMSendBytes = obs::register_metric(
+    "p2p.send_bytes", obs::MetricKind::kHistogram, obs::MetricUnit::kBytes);
+const obs::MetricId kMSentMessages = obs::register_metric(
+    "p2p.sent_messages", obs::MetricKind::kCounter, obs::MetricUnit::kCount);
+const obs::MetricId kMRecvBytes = obs::register_metric(
+    "p2p.recv_bytes", obs::MetricKind::kHistogram, obs::MetricUnit::kBytes);
+const obs::MetricId kMP2pBlockedNs = obs::register_metric(
+    "p2p.blocked_ns", obs::MetricKind::kHistogram, obs::MetricUnit::kNanos);
+const obs::MetricId kMCollCalls = obs::register_metric(
+    "coll.calls", obs::MetricKind::kCounter, obs::MetricUnit::kCount);
+const obs::MetricId kMCollBytesOut = obs::register_metric(
+    "coll.bytes_out", obs::MetricKind::kHistogram, obs::MetricUnit::kBytes);
+const obs::MetricId kMCollBlockedNs = obs::register_metric(
+    "coll.blocked_ns", obs::MetricKind::kHistogram, obs::MetricUnit::kNanos);
+
+/// Wall nanoseconds since `t0` (blocked-duration histograms).
+std::uint64_t elapsed_ns(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
+}
 
 void check_abort(const ClusterState& st) {
   if (st.aborted) throw SimAbortError(st.abort_cause);
@@ -214,6 +240,8 @@ void Request::wait() {
   if (!impl_) throw CommError("wait() on an empty request");
   if (impl_->completed) return;
   const std::uint64_t t_wait = trace::active() ? trace::now_ns() : 0;
+  const bool metered = obs::active();
+  const Clock::time_point m_t0 = metered ? Clock::now() : Clock::time_point{};
   {
     std::unique_lock<std::mutex> lk(impl_->st->mu);
     BlockedGuard guard(impl_->st, impl_->world_rank);
@@ -234,6 +262,10 @@ void Request::wait() {
   if (trace::active()) {
     trace::complete(trace::EventCat::kP2p, "req_wait", t_wait,
                     impl_->received, impl_->actual_src);
+  }
+  if (metered) {
+    obs::hist_record(kMRecvBytes, impl_->received);
+    obs::hist_record(kMP2pBlockedNs, elapsed_ns(m_t0));
   }
 }
 
@@ -367,6 +399,10 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dest, int tag) {
   if (trace::active()) {
     trace::instant(trace::EventCat::kP2p, "send", bytes, dest_world);
   }
+  if (obs::active()) {
+    obs::counter_add(kMSentMessages, 1);
+    obs::hist_record(kMSendBytes, bytes);
+  }
 }
 
 std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
@@ -374,6 +410,8 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
   require_valid();
   detail::chaos_before_op(st_, world_rank_, "recv");
   const std::uint64_t t_recv = trace::active() ? trace::now_ns() : 0;
+  const bool metered = obs::active();
+  const Clock::time_point m_t0 = metered ? Clock::now() : Clock::time_point{};
   std::unique_lock<std::mutex> lk(st_->mu);
   BlockedGuard guard(st_, world_rank_);
   Mailbox& mb = st_->mailboxes[static_cast<std::size_t>(world_rank_)];
@@ -399,6 +437,10 @@ std::size_t Comm::recv_bytes(void* buf, std::size_t capacity, int src, int tag,
       if (out_src != nullptr) *out_src = msg.src;
       if (trace::active()) {
         trace::complete(trace::EventCat::kP2p, "recv", t_recv, n, msg.src);
+      }
+      if (metered) {
+        obs::hist_record(kMRecvBytes, n);
+        obs::hist_record(kMP2pBlockedNs, elapsed_ns(m_t0));
       }
       return n;
     }
@@ -620,6 +662,11 @@ void coll_finish(CollCtx& c, CollAlg alg) {
   if (trace::active()) {
     trace::complete(trace::EventCat::kCollective, coll_alg_name(alg),
                     c.t_begin_ns, c.bytes_out, -1, c.blocked_ns);
+  }
+  if (obs::active()) {
+    obs::counter_add(kMCollCalls, 1);
+    obs::hist_record(kMCollBytesOut, c.bytes_out);
+    obs::hist_record(kMCollBlockedNs, c.blocked_ns);
   }
 }
 

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "trace/recorder.hpp"
 #include "util/error.hpp"
 #include "util/fls.hpp"
@@ -53,6 +54,10 @@ struct Fiber {
   ucontext_t* ret = nullptr;
   RankScheduler* sched = nullptr;
   int rank = -1;
+  /// Service fiber (sampler): runs its own body, excluded from idle(),
+  /// schedule recording, finished counting, and trace/metrics binding.
+  bool service = false;
+  std::function<void()> service_fn;
 
   // Guarded by the cluster mutex.
   St state = St::kReady;
@@ -155,7 +160,11 @@ void alloc_stack(Fiber* f, std::size_t stack_bytes) {
 /// marks itself finished and switches back to the worker for the last time.
 void fiber_entry_point(Fiber* f) {
   RankScheduler* s = f->sched;
-  s->body_(f->rank);
+  if (f->service) {
+    f->service_fn();
+  } else {
+    s->body_(f->rank);
+  }
   {
     std::lock_guard<std::mutex> lk(*s->mu_);
     f->state = St::kFinished;
@@ -189,8 +198,13 @@ int RankScheduler::current_rank() {
 void RankScheduler::make_ready(Fiber* f) {
   f->state = St::kReady;
   ++f->gen;
+  if (!f->service) ++ready_ranks_;
   runq_.push_back(f);
   workers_cv_.notify_one();
+}
+
+void RankScheduler::add_service(std::function<void()> fn) {
+  services_.push_back(std::move(fn));
 }
 
 void RankScheduler::wake(int world_rank) {
@@ -248,8 +262,8 @@ void RankScheduler::sleep_for(Clock::duration d) {
 
 void RankScheduler::resume(Fiber* f, std::unique_lock<std::mutex>& lk) {
   f->state = St::kRunning;
-  ++running_;
-  if (cfg_.record_schedule) schedule_.push_back(f->rank);
+  if (!f->service) ++running_;
+  if (cfg_.record_schedule && !f->service) schedule_.push_back(f->rank);
   lk.unlock();
   // Wait for the previous worker to fully vacate the fiber's stack. The
   // window is one swapcontext wide; yield instead of pure spinning because
@@ -260,8 +274,14 @@ void RankScheduler::resume(Fiber* f, std::unique_lock<std::mutex>& lk) {
   f->off_cpu.store(false, std::memory_order_relaxed);
   f->ret = &t_worker_ctx;
   t_fiber = f;
-  if (rec_ != nullptr) {
+  // Service fibers never bind a lane or metric block: lane index R belongs
+  // to the watchdog thread, and binding would make the sampler a second
+  // writer of some rank's single-writer storage.
+  if (rec_ != nullptr && !f->service) {
     trace::bind_thread(rec_, static_cast<std::size_t>(f->rank));
+  }
+  if (mreg_ != nullptr && !f->service) {
+    obs::bind_thread(mreg_, static_cast<std::size_t>(f->rank));
   }
   fls::set_current(&f->fls_block);
   f->cpu_resume_base = raw_thread_cpu_seconds();
@@ -272,12 +292,13 @@ void RankScheduler::resume(Fiber* f, std::unique_lock<std::mutex>& lk) {
   // worker to switch it back in.
   f->cpu_accum += raw_thread_cpu_seconds() - f->cpu_resume_base;
   fls::set_current(nullptr);
-  if (rec_ != nullptr) trace::unbind_thread();
+  if (rec_ != nullptr && !f->service) trace::unbind_thread();
+  if (mreg_ != nullptr && !f->service) obs::unbind_thread();
   t_fiber = nullptr;
   f->off_cpu.store(true, std::memory_order_release);
   lk.lock();
-  --running_;
-  if (f->state == St::kFinished) {
+  if (!f->service) --running_;
+  if (f->state == St::kFinished && !f->service) {
     ++finished_;
     if (finished_ == num_ranks_) workers_cv_.notify_all();
   }
@@ -303,6 +324,7 @@ void RankScheduler::worker_loop() {
     if (!runq_.empty()) {
       Fiber* f = runq_.front();
       runq_.pop_front();
+      if (!f->service) --ready_ranks_;
       resume(f, lk);
       continue;
     }
@@ -325,11 +347,14 @@ void RankScheduler::run(const std::function<void(int)>& body) {
     schedule_.clear();
     finished_ = 0;
     running_ = 0;
-    fibers_.reserve(static_cast<std::size_t>(num_ranks_));
-    for (int r = 0; r < num_ranks_; ++r) {
+    ready_ranks_ = 0;
+    // Rank fibers first (so fibers_[world_rank] indexing in wake() holds),
+    // then the service fibers.
+    fibers_.reserve(static_cast<std::size_t>(num_ranks_) + services_.size());
+    auto make_fiber = [&](int rank) {
       auto f = std::make_unique<Fiber>();
       f->sched = this;
-      f->rank = r;
+      f->rank = rank;
       alloc_stack(f.get(), stack_bytes);
       // getcontext fills uc_stack with the calling thread's stack; point it
       // at the fiber's own mapping (above the guard page) before makecontext.
@@ -344,6 +369,16 @@ void RankScheduler::run(const std::function<void(int)>& body) {
 #endif
       runq_.push_back(f.get());
       fibers_.push_back(std::move(f));
+      return fibers_.back().get();
+    };
+    for (int r = 0; r < num_ranks_; ++r) {
+      make_fiber(r);
+      ++ready_ranks_;
+    }
+    for (std::function<void()>& fn : services_) {
+      Fiber* f = make_fiber(/*rank=*/-1);
+      f->service = true;
+      f->service_fn = std::move(fn);
     }
   }
   const int workers = cfg_.workers > 0 ? cfg_.workers : kDefaultWorkers;
@@ -360,9 +395,11 @@ void RankScheduler::run(const std::function<void(int)>& body) {
     std::lock_guard<std::mutex> lk(*mu_);
     fibers_.clear();
     runq_.clear();
+    ready_ranks_ = 0;
     while (!timers_.empty()) timers_.pop();
   }
   body_ = nullptr;
+  services_.clear();
 }
 
 }  // namespace sdss::sim::detail

@@ -57,6 +57,10 @@ namespace sdss::trace {
 class TraceRecorder;
 }
 
+namespace sdss::obs {
+class MetricsRegistry;
+}
+
 namespace sdss::sim::detail {
 
 struct Fiber;
@@ -92,6 +96,21 @@ class RankScheduler {
   /// tracing). Set before run().
   void set_trace(trace::TraceRecorder* rec) { rec_ = rec; }
 
+  /// Bind rank fibers to this registry's per-rank metric blocks on every
+  /// resume (null = no metrics). Set before run().
+  void set_metrics(obs::MetricsRegistry* reg) { mreg_ = reg; }
+
+  /// Register a service fiber to run alongside the ranks (the live-gauge
+  /// sampler). Service fibers are runtime plumbing, not simulated ranks:
+  /// they are excluded from idle() (so the deadlock watchdog's predicate
+  /// stays exact), from schedule() recording (the interleaving determinism
+  /// tests), and from trace/metrics lane binding (lane R belongs to the
+  /// watchdog). run() does NOT wait for them — when the last rank finishes,
+  /// a parked service fiber is simply never resumed again and its stack is
+  /// torn down with the rest; a service body must yield promptly (sleep) so
+  /// workers can observe the run ending. Call before run(); cleared after.
+  void add_service(std::function<void()> fn);
+
   /// Run body(rank) for every rank to completion. The calling thread acts
   /// as worker 0; workers-1 extra threads are spawned for the duration.
   void run(const std::function<void(int)>& body);
@@ -124,11 +143,14 @@ class RankScheduler {
   /// wake() every blocked fiber: cluster abort, watchdog probe/verdict.
   void wake_all();
 
-  /// True iff no fiber is ready to run or currently on a worker. The
+  /// True iff no RANK fiber is ready to run or currently on a worker. The
   /// watchdog requires this before a deadlock verdict: a woken-but-not-yet-
   /// resumed fiber still shows its (stale) BlockedOp, and only idle()
-  /// distinguishes "queued for CPU" from "waiting on a peer".
-  bool idle() const { return runq_.empty() && running_ == 0; }
+  /// distinguishes "queued for CPU" from "waiting on a peer". Service
+  /// fibers (the sampler) are deliberately excluded — they run on a timer
+  /// regardless of rank progress, and counting them would reset the
+  /// watchdog's no-progress window forever.
+  bool idle() const { return ready_ranks_ == 0 && running_ == 0; }
 
   /// Resume order of the last run() (ranks, in resume sequence). Filled
   /// only when Config::record_schedule.
@@ -154,14 +176,17 @@ class RankScheduler {
   const int num_ranks_;
   Config cfg_;
   trace::TraceRecorder* rec_ = nullptr;
+  obs::MetricsRegistry* mreg_ = nullptr;
   std::function<void(int)> body_;
+  std::vector<std::function<void()>> services_;
 
   // All below guarded by *mu_.
   std::condition_variable workers_cv_;
   std::deque<Fiber*> runq_;
   std::priority_queue<TimerEntry, std::vector<TimerEntry>, TimerLater> timers_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
-  int running_ = 0;
+  int running_ = 0;      ///< rank fibers on a worker (service excluded)
+  int ready_ranks_ = 0;  ///< rank fibers in the run-queue (service excluded)
   int finished_ = 0;
   std::vector<std::int32_t> schedule_;
 

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "sim/chaos.hpp"
 #include "sim/comm_stats.hpp"
 #include "sim/network.hpp"
@@ -177,6 +179,16 @@ struct ClusterState {
   std::vector<CommStats> comm_stats;        // indexed by world rank
 
   bool trace_enabled = false;
+  /// Per-rank metric blocks (obs/metrics.hpp). The scheduler rebinds a
+  /// rank's block on every fiber resume, mirroring the trace lanes; the
+  /// sampler service fiber reads live gauges concurrently through relaxed
+  /// atomics. Disabled (0 ranks) when ClusterConfig::enable_metrics is off.
+  obs::MetricsRegistry metrics;
+  /// Live-gauge ring fed by the sampler service fiber. Wall-clock paced,
+  /// so its samples are machine-dependent: they go ONLY into the
+  /// flight-recorder bundle, never the telemetry report (see
+  /// obs/sampler.hpp for the determinism contract). Guarded by mu.
+  obs::LiveSampler sampler;
   /// Lock-free per-rank event lanes (plus one for the watchdog). The
   /// scheduler binds a rank's lane to whichever worker resumes its fiber
   /// (the fiber handoff orders cross-worker appends), and the worker joins
@@ -209,6 +221,14 @@ struct ClusterState {
   /// rank finishing. If every live rank is blocked (deadline-free) and this
   /// stays unchanged past the watchdog threshold, the run is deadlocked.
   std::uint64_t progress_epoch = 0;
+
+  // --- failure forensics (guarded by mu) --------------------------------
+  /// Snapshot of `blocked` / `finished` taken at the FIRST abort (a rank's
+  /// primary exception or the watchdog verdict). The live tables are
+  /// useless post-mortem: BlockedGuards clear them as the fibers unwind.
+  /// Consumed by the flight recorder (obs/flight_recorder.hpp).
+  std::vector<BlockedOp> failure_blocked;
+  std::vector<std::uint8_t> failure_finished;
 
   int node_of(int world_rank) const { return world_rank / cores_per_node; }
 };

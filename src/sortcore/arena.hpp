@@ -32,10 +32,18 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sortcore/kernel_stats.hpp"
 #include "util/fls.hpp"
 
 namespace sdss {
+
+namespace detail {
+/// Arena scratch high-water, aggregated max-over-ranks in the metrics
+/// snapshot (obs/metrics.hpp). Interned once at static init.
+inline const obs::MetricId kArenaHwmMetric = obs::register_metric(
+    "arena.bytes_hwm", obs::MetricKind::kGauge, obs::MetricUnit::kBytes);
+}  // namespace detail
 
 class ScratchArena {
  public:
@@ -187,6 +195,7 @@ class ScratchArena {
            !global.compare_exchange_weak(seen, high_water_,
                                          std::memory_order_relaxed)) {
     }
+    if (obs::active()) obs::gauge_max(detail::kArenaHwmMetric, high_water_);
   }
 
   std::vector<Block> blocks_;

@@ -4,16 +4,41 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "trace/recorder.hpp"
 
 namespace sdss {
 
 namespace {
+
+// Interned at static init; every emit below is gated on obs::active().
+const obs::MetricId kMSpillWriteNs = obs::register_metric(
+    "spill.write_ns", obs::MetricKind::kHistogram, obs::MetricUnit::kNanos);
+const obs::MetricId kMSpillReadNs = obs::register_metric(
+    "spill.read_ns", obs::MetricKind::kHistogram, obs::MetricUnit::kNanos);
+const obs::MetricId kMSpillFrameBytes = obs::register_metric(
+    "spill.frame_bytes", obs::MetricKind::kHistogram, obs::MetricUnit::kBytes);
+const obs::MetricId kMSpillResident = obs::register_metric(
+    "spill.resident_records", obs::MetricKind::kGauge,
+    obs::MetricUnit::kRecords);
+const obs::MetricId kMSpillResidentPeak = obs::register_metric(
+    "spill.resident_peak_records", obs::MetricKind::kGauge,
+    obs::MetricUnit::kRecords);
+
+using ObsClock = std::chrono::steady_clock;
+
+std::uint64_t obs_elapsed_ns(ObsClock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ObsClock::now() -
+                                                           t0)
+          .count());
+}
 
 // Frame layout on disk: header then payload. The header is written and read
 // with memcpy into this exact struct; all fields are fixed-width and the
@@ -102,6 +127,9 @@ void SpillPool::append_frame(std::size_t run, const void* p,
   }
   const bool traced = trace::active();
   const std::uint64_t begin_ns = traced ? trace::now_ns() : 0;
+  const bool metered = obs::active();
+  const ObsClock::time_point m_t0 =
+      metered ? ObsClock::now() : ObsClock::time_point{};
 
   FrameHeader h;
   h.magic = kFrameMagic;
@@ -131,6 +159,10 @@ void SpillPool::append_frame(std::size_t run, const void* p,
   if (traced) {
     trace::complete(trace::EventCat::kSpill, "spill-write", begin_ns, bytes);
   }
+  if (metered) {
+    obs::hist_record(kMSpillWriteNs, obs_elapsed_ns(m_t0));
+    obs::hist_record(kMSpillFrameBytes, bytes);
+  }
 }
 
 void SpillPool::end_run(std::size_t run) {
@@ -159,6 +191,9 @@ std::size_t SpillPool::read_frame(std::size_t run, void* dst,
   const std::uint64_t k = next_op("spill-read");
   const bool traced = trace::active();
   const std::uint64_t begin_ns = traced ? trace::now_ns() : 0;
+  const bool metered = obs::active();
+  const ObsClock::time_point m_t0 =
+      metered ? ObsClock::now() : ObsClock::time_point{};
 
   FrameHeader h;
   if (std::fread(&h, sizeof(h), 1, r.file) != 1) {
@@ -192,6 +227,7 @@ std::size_t SpillPool::read_frame(std::size_t run, void* dst,
   if (traced) {
     trace::complete(trace::EventCat::kSpill, "spill-read", begin_ns, bytes);
   }
+  if (metered) obs::hist_record(kMSpillReadNs, obs_elapsed_ns(m_t0));
   return bytes;
 }
 
@@ -208,10 +244,17 @@ void SpillPool::resident_acquire(std::size_t records) {
   resident_ += records;
   stats_.peak_resident_records =
       std::max<std::uint64_t>(stats_.peak_resident_records, resident_);
+  if (obs::active()) {
+    // Current residency is a live gauge (the sampler fiber watches it);
+    // the peak is a high-water gauge aggregated as max over ranks.
+    obs::gauge_set(kMSpillResident, resident_);
+    obs::gauge_max(kMSpillResidentPeak, resident_);
+  }
 }
 
 void SpillPool::resident_release(std::size_t records) {
   resident_ = records > resident_ ? 0 : resident_ - records;
+  if (obs::active()) obs::gauge_set(kMSpillResident, resident_);
 }
 
 }  // namespace sdss

@@ -23,7 +23,14 @@ void compare_metric(DiffResult& out, const std::string& report,
   d.metric = metric;
   d.before = before;
   d.after = after;
-  d.regressed = is_regression(before, after, opts);
+  // Non-finite values serialize as JSON null (telemetry/json.cpp), so they
+  // are legitimate report content, not parse errors. Both sides non-finite
+  // compares equal; one side flipping to (or from) non-finite is a
+  // divergence the ratio test cannot price, so it always flags.
+  const bool bf = std::isfinite(before);
+  const bool af = std::isfinite(after);
+  d.regressed =
+      bf != af ? true : (bf ? is_regression(before, after, opts) : false);
   out.any_regression = out.any_regression || d.regressed;
   out.deltas.push_back(std::move(d));
 }
@@ -174,6 +181,81 @@ void compare_spill(DiffResult& out, const RunReport& b, const RunReport& a,
                   a.spill_peak_resident_records, opts);
 }
 
+const obs::ScalarSnapshot* find_scalar(
+    const std::vector<obs::ScalarSnapshot>& v, const std::string& name) {
+  for (const obs::ScalarSnapshot& s : v) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+/// Compare one scalar list (counters or gauges) over the UNION of names: a
+/// metric present on only one side reads as 0 on the other, so activity
+/// appearing or disappearing is visible, not silently skipped. Nanosecond-
+/// valued scalars are machine properties and are never gated.
+void compare_scalar_union(DiffResult& out, const std::string& report,
+                          const std::vector<obs::ScalarSnapshot>& b,
+                          const std::vector<obs::ScalarSnapshot>& a,
+                          const DiffOptions& opts) {
+  for (const obs::ScalarSnapshot& sb : b) {
+    if (sb.unit == obs::MetricUnit::kNanos) continue;
+    const obs::ScalarSnapshot* sa = find_scalar(a, sb.name);
+    compare_counter(out, report, "metrics." + sb.name, sb.value,
+                    sa != nullptr ? sa->value : 0, opts);
+  }
+  for (const obs::ScalarSnapshot& sa : a) {
+    if (sa.unit == obs::MetricUnit::kNanos) continue;
+    if (find_scalar(b, sa.name) != nullptr) continue;
+    compare_counter(out, report, "metrics." + sa.name, 0, sa.value, opts);
+  }
+}
+
+void compare_metrics(DiffResult& out, const RunReport& b, const RunReport& a,
+                     const DiffOptions& opts) {
+  // Both-sides rule, like every optional section: a baseline written before
+  // the metrics layer existed (or with metrics disabled) is not a
+  // regression from zero.
+  if (!b.has_metrics || !a.has_metrics) return;
+  compare_scalar_union(out, b.name, b.metrics.counters, a.metrics.counters,
+                       opts);
+  compare_scalar_union(out, b.name, b.metrics.gauges, a.metrics.gauges, opts);
+  // Histograms: message-size distributions are deterministic (count and
+  // total bytes gate exactly); latency (nanos) histograms are wall-clock
+  // shaped and are never compared. Both-names-present only: a histogram is
+  // dropped from the snapshot when it recorded nothing, and zero activity
+  // vs no gate is already covered by the matching counters.
+  for (const obs::HistogramSnapshot& hb : b.metrics.histograms) {
+    if (hb.unit == obs::MetricUnit::kNanos) continue;
+    for (const obs::HistogramSnapshot& ha : a.metrics.histograms) {
+      if (ha.name != hb.name || ha.unit == obs::MetricUnit::kNanos) continue;
+      compare_counter(out, b.name, "metrics." + hb.name + ".count", hb.count,
+                      ha.count, opts);
+      compare_counter(out, b.name, "metrics." + hb.name + ".sum", hb.sum,
+                      ha.sum, opts);
+    }
+  }
+  // Deterministic progress series: sample count and value sum gate exactly
+  // (both-sides-present; values are record counts at phase checkpoints).
+  for (const obs::SeriesSnapshot& sb : b.metrics.series) {
+    for (const obs::SeriesSnapshot& sa : a.metrics.series) {
+      if (sa.name != sb.name) continue;
+      std::uint64_t b_n = 0, a_n = 0, b_sum = 0, a_sum = 0;
+      for (const auto& row : sb.per_rank) {
+        b_n += row.size();
+        for (std::uint64_t v : row) b_sum += v;
+      }
+      for (const auto& row : sa.per_rank) {
+        a_n += row.size();
+        for (std::uint64_t v : row) a_sum += v;
+      }
+      compare_counter(out, b.name, "metrics.series." + sb.name + ".samples",
+                      b_n, a_n, opts);
+      compare_counter(out, b.name, "metrics.series." + sb.name + ".sum",
+                      b_sum, a_sum, opts);
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<PhaseDelta> DiffResult::regressions() const {
@@ -227,6 +309,7 @@ DiffResult diff_registries(const ReportRegistry& before,
       compare_kernel(out, b, *a, opts);
       compare_refinement(out, b, *a, opts);
       compare_spill(out, b, *a, opts);
+      compare_metrics(out, b, *a, opts);
       compare_trace(out, b, *a, opts);
     }
   }
@@ -266,8 +349,8 @@ void print_diff(std::ostream& os, const DiffResult& d,
   os << (regs.empty() ? "no regressions" : "REGRESSIONS: ")
      << (regs.empty() ? "" : std::to_string(regs.size()));
   if (opts.bytes_only) {
-    os << " (comm/kernel/refinement/spill counters + trace lambda only, "
-          "tolerance "
+    os << " (comm/kernel/refinement/spill/metrics counters + trace lambda "
+          "only, tolerance "
        << fmt_seconds(opts.bytes_threshold * 100.0, 0) << "%)\n";
   } else {
     os << " (threshold " << fmt_seconds(opts.threshold * 100.0, 0)
@@ -275,6 +358,44 @@ void print_diff(std::ostream& os, const DiffResult& d,
        << (opts.use_cpu ? "cpu" : "wall") << " clock"
        << (opts.compare_bytes ? ", + comm counters" : "") << ")\n";
   }
+}
+
+void print_diff_json(std::ostream& os, const DiffResult& d,
+                     const DiffOptions& opts) {
+  for (const PhaseDelta& pd : d.deltas) {
+    Json j = Json::object();
+    j.set("type", "delta");
+    j.set("report", pd.report);
+    j.set("metric", pd.metric);
+    j.set("before", pd.before);
+    j.set("after", pd.after);
+    j.set("relative", pd.relative());
+    j.set("regression", pd.regressed);
+    j.set("counter", pd.is_bytes);
+    j.write(os, 0);
+    os << "\n";
+  }
+  for (const std::string& name : d.only_before) {
+    Json j = Json::object();
+    j.set("type", "only_before");
+    j.set("report", name);
+    j.write(os, 0);
+    os << "\n";
+  }
+  for (const std::string& name : d.only_after) {
+    Json j = Json::object();
+    j.set("type", "only_after");
+    j.set("report", name);
+    j.write(os, 0);
+    os << "\n";
+  }
+  Json j = Json::object();
+  j.set("type", "summary");
+  j.set("regressions", static_cast<std::uint64_t>(d.regressions().size()));
+  j.set("bytes_only", opts.bytes_only);
+  j.set("threshold", opts.bytes_only ? opts.bytes_threshold : opts.threshold);
+  j.write(os, 0);
+  os << "\n";
 }
 
 }  // namespace sdss::telemetry

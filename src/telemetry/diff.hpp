@@ -66,4 +66,12 @@ DiffResult diff_registries(const ReportRegistry& before,
 void print_diff(std::ostream& os, const DiffResult& d,
                 const DiffOptions& opts);
 
+/// Machine-readable rendering (report_diff --json): newline-delimited JSON,
+/// one object per compared metric ("type":"delta"), one per unmatched
+/// report ("only_before"/"only_after"), and a final "summary" object with
+/// the regression count. Non-finite before/after values serialize as null,
+/// like everywhere else in the telemetry layer.
+void print_diff_json(std::ostream& os, const DiffResult& d,
+                     const DiffOptions& opts);
+
 }  // namespace sdss::telemetry

@@ -116,6 +116,11 @@ void set_trace(RunReport& r, const trace::TraceAnalysis& a) {
   }
 }
 
+void set_metrics(RunReport& r, const obs::MetricsSnapshot& s) {
+  r.has_metrics = true;
+  r.metrics = s;
+}
+
 Json to_json(const RunReport& r) {
   Json j = Json::object();
   j.set("name", r.name);
@@ -273,6 +278,8 @@ Json to_json(const RunReport& r) {
     j.set("spill", std::move(spill));
   }
 
+  if (r.has_metrics) j.set("metrics", obs::to_json(r.metrics));
+
   if (r.has_trace) {
     Json trace = Json::object();
     trace.set("lambda_records", r.trace_lambda_records);
@@ -426,6 +433,13 @@ RunReport report_from_json(const Json& j) {
     r.spill_merge_passes = spill->at("merge_passes").u64_or();
     r.spill_peak_resident_records =
         spill->at("peak_resident_records").u64_or();
+  }
+
+  // Optional subobject: reports written before the metrics layer existed
+  // (or with metrics disabled) parse cleanly with has_metrics = false.
+  if (const Json* metrics = j.find("metrics")) {
+    r.has_metrics = true;
+    r.metrics = obs::metrics_snapshot_from_json(*metrics);
   }
 
   if (const Json* trace = j.find("trace")) {

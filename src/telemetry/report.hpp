@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/splitter.hpp"
+#include "obs/metrics.hpp"
 #include "sortcore/spill.hpp"
 #include "sim/chaos.hpp"
 #include "sim/comm_stats.hpp"
@@ -166,6 +167,17 @@ struct RunReport {
   std::uint64_t spill_bytes_reloaded = 0;
   std::uint64_t spill_merge_passes = 0;  ///< max over ranks
   std::uint64_t spill_peak_resident_records = 0;  ///< max over ranks
+
+  // Metrics registry snapshot (obs/metrics.hpp; the `metrics` JSON
+  // subobject, docs/OBSERVABILITY.md). Counters are cluster sums, gauges
+  // maxes, histograms bucket-merged; the series are the deterministic
+  // per-rank progress marks (never the wall-clock sampler — see
+  // obs/sampler.hpp). Deterministic counters/gauges are diffed exactly;
+  // nanosecond-valued histograms are reported but never gated (machine
+  // properties). has_metrics distinguishes "metrics disabled / old file"
+  // from an empty registry.
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
 };
 
 /// Fill a report's refinement section from the driver's RefineStats (sets
@@ -181,6 +193,10 @@ void add_spill(RunReport& r, const SpillStats& s);
 /// Fill a report's trace section from an analyzed run trace (sets
 /// has_trace and the per-phase critical-path/λ summaries).
 void set_trace(RunReport& r, const trace::TraceAnalysis& a);
+
+/// Fill a report's metrics section from a run's aggregated snapshot (sets
+/// has_metrics).
+void set_metrics(RunReport& r, const obs::MetricsSnapshot& s);
 
 /// Serialize one report to its JSON object form (stable member order).
 Json to_json(const RunReport& r);

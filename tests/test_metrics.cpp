@@ -1,0 +1,593 @@
+// The metrics observability layer: registry registration discipline,
+// single-writer emission and aggregation, histogram percentile math,
+// deterministic series decimation, JSON round-trips (including the empty
+// registry and non-finite numbers), the report's `metrics` object with its
+// schema-stability and diff rules, flight-recorder bundles on forced
+// failures, and worker-count determinism of the progress series on real
+// cluster runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "sdss.hpp"
+#include "sim/cluster.hpp"
+#include "sim/comm.hpp"
+#include "telemetry/diff.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/report.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/zipf.hpp"
+
+namespace sdss::obs {
+namespace {
+
+// --- registration ---------------------------------------------------------
+
+TEST(MetricsRegistration, IdempotentByNameAndCheckedOnMismatch) {
+  const MetricId a =
+      register_metric("test.reg.c", MetricKind::kCounter, MetricUnit::kCount);
+  const MetricId b =
+      register_metric("test.reg.c", MetricKind::kCounter, MetricUnit::kCount);
+  EXPECT_EQ(a, b);
+  // Same name, different kind or unit: a programming error, must throw.
+  EXPECT_THROW(
+      register_metric("test.reg.c", MetricKind::kGauge, MetricUnit::kCount),
+      Error);
+  EXPECT_THROW(
+      register_metric("test.reg.c", MetricKind::kCounter, MetricUnit::kBytes),
+      Error);
+}
+
+// --- emission + aggregation ----------------------------------------------
+
+const ScalarSnapshot* find_scalar(const std::vector<ScalarSnapshot>& v,
+                                  const std::string& name) {
+  for (const ScalarSnapshot& s : v) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(MetricsEmission, CountersSumAndGaugesMaxAcrossRanks) {
+  static const MetricId c =
+      register_metric("test.agg.c", MetricKind::kCounter, MetricUnit::kCount);
+  static const MetricId g = register_metric("test.agg.g", MetricKind::kGauge,
+                                            MetricUnit::kRecords);
+  // Registered but never written: must be dropped from the snapshot.
+  static const MetricId unused = register_metric(
+      "test.agg.unused", MetricKind::kCounter, MetricUnit::kCount);
+  (void)unused;
+
+  MetricsRegistry reg;
+  reg.reset(3);
+  EXPECT_FALSE(active());
+  for (std::size_t r = 0; r < 3; ++r) {
+    bind_thread(&reg, r);
+    ASSERT_TRUE(active());
+    counter_add(c, 10 * (r + 1));
+    gauge_set(g, 5 * (r + 1));
+    unbind_thread();
+  }
+  EXPECT_FALSE(active());
+
+  EXPECT_EQ(reg.live_scalar(c), 60u);  // 10+20+30
+  EXPECT_EQ(reg.live_scalar(g), 15u);  // max(5,10,15)
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const ScalarSnapshot* cs = find_scalar(snap.counters, "test.agg.c");
+  ASSERT_NE(cs, nullptr);
+  EXPECT_EQ(cs->value, 60u);
+  const ScalarSnapshot* gs = find_scalar(snap.gauges, "test.agg.g");
+  ASSERT_NE(gs, nullptr);
+  EXPECT_EQ(gs->value, 15u);
+  EXPECT_EQ(find_scalar(snap.counters, "test.agg.unused"), nullptr);
+}
+
+TEST(MetricsEmission, GaugeMaxIsHighWater) {
+  static const MetricId g = register_metric("test.hwm.g", MetricKind::kGauge,
+                                            MetricUnit::kBytes);
+  MetricsRegistry reg;
+  reg.reset(1);
+  bind_thread(&reg, 0);
+  gauge_max(g, 100);
+  gauge_max(g, 40);  // lower: must not regress the high-water
+  unbind_thread();
+  EXPECT_EQ(reg.live_scalar(g), 100u);
+}
+
+TEST(MetricsEmission, InstrumentationGateIsOffWhenUnbound) {
+  // The emit helpers require a bound thread; every instrumentation site
+  // gates with `if (obs::active())`. Off the gate, nothing records.
+  static const MetricId c = register_metric(
+      "test.unbound.c", MetricKind::kCounter, MetricUnit::kCount);
+  ASSERT_FALSE(active());
+  if (active()) counter_add(c, 7);  // the site idiom: gate skips the emit
+  MetricsRegistry reg;
+  reg.reset(1);
+  EXPECT_EQ(reg.live_scalar(c), 0u);
+}
+
+// --- histograms -----------------------------------------------------------
+
+TEST(MetricsHistogram, PercentileReturnsBucketUpperBounds) {
+  static const MetricId h = register_metric(
+      "test.hist.h", MetricKind::kHistogram, MetricUnit::kBytes);
+  MetricsRegistry reg;
+  reg.reset(1);
+  bind_thread(&reg, 0);
+  for (int i = 0; i < 100; ++i) hist_record(h, 1);  // bucket 1, bound 1
+  hist_record(h, 1000);  // bit_width 10 -> bucket 10, bound 1023
+  unbind_thread();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0];
+  EXPECT_EQ(hs.name, "test.hist.h");
+  EXPECT_EQ(hs.count, 101u);
+  EXPECT_EQ(hs.sum, 100u + 1000u);
+  EXPECT_EQ(hs.percentile(0.50), 1u);
+  EXPECT_EQ(hs.percentile(0.99), 1u);  // 100 of 101 values are <= 1
+  EXPECT_EQ(hs.percentile(1.0), 1023u);
+  EXPECT_EQ(hs.max_bound(), 1023u);
+}
+
+TEST(MetricsHistogram, ZeroValueLandsInBucketZero) {
+  static const MetricId h = register_metric(
+      "test.hist.zero", MetricKind::kHistogram, MetricUnit::kNanos);
+  MetricsRegistry reg;
+  reg.reset(1);
+  bind_thread(&reg, 0);
+  hist_record(h, 0);
+  unbind_thread();
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].buckets[0], 1u);
+  EXPECT_EQ(snap.histograms[0].percentile(0.5), 0u);
+}
+
+// --- deterministic series -------------------------------------------------
+
+std::vector<std::uint64_t> marked_series(std::size_t n) {
+  static const MetricId s = register_metric(
+      "test.series.s", MetricKind::kGauge, MetricUnit::kRecords);
+  MetricsRegistry reg;
+  reg.reset(1);
+  bind_thread(&reg, 0);
+  for (std::size_t i = 0; i < n; ++i) series_mark(s, i);
+  unbind_thread();
+  const MetricsSnapshot snap = reg.snapshot();
+  for (const SeriesSnapshot& row : snap.series) {
+    if (row.name == "test.series.s") return row.per_rank.at(0);
+  }
+  return {};
+}
+
+TEST(MetricsSeries, DecimationBoundsTheSeriesAndStaysDeterministic) {
+  const auto kept = marked_series(5000);
+  EXPECT_LE(kept.size(), RankMetrics::kMaxSeriesPoints);
+  EXPECT_GE(kept.size(), RankMetrics::kMaxSeriesPoints / 4);
+  // Kept points preserve program order.
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_LT(kept[i - 1], kept[i]);
+  }
+  // Pure function of the append sequence: a second identical run keeps the
+  // identical point set.
+  EXPECT_EQ(kept, marked_series(5000));
+  // Short series are kept verbatim.
+  const auto small = marked_series(10);
+  ASSERT_EQ(small.size(), 10u);
+  EXPECT_EQ(small.front(), 0u);
+  EXPECT_EQ(small.back(), 9u);
+}
+
+// --- snapshot JSON round-trip --------------------------------------------
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot s;
+  s.counters.push_back({"a.count", MetricUnit::kCount, 42});
+  s.gauges.push_back({"b.gauge", MetricUnit::kBytes, 1u << 20});
+  HistogramSnapshot h;
+  h.name = "c.hist";
+  h.unit = MetricUnit::kNanos;
+  h.count = 3;
+  h.sum = 1034;
+  h.buckets[1] = 2;
+  h.buckets[10] = 1;
+  s.histograms.push_back(h);
+  SeriesSnapshot ser;
+  ser.name = "d.series";
+  ser.unit = MetricUnit::kRecords;
+  ser.per_rank = {{1, 2, 3}, {}, {7}};
+  s.series.push_back(ser);
+  return s;
+}
+
+TEST(MetricsJson, SnapshotRoundTripsThroughText) {
+  const MetricsSnapshot s = sample_snapshot();
+  const telemetry::Json j =
+      telemetry::Json::parse(to_json(s).dump(2));  // through actual text
+  const MetricsSnapshot back = metrics_snapshot_from_json(j);
+  ASSERT_EQ(back.counters.size(), 1u);
+  EXPECT_EQ(back.counters[0].name, "a.count");
+  EXPECT_EQ(back.counters[0].value, 42u);
+  ASSERT_EQ(back.gauges.size(), 1u);
+  EXPECT_EQ(back.gauges[0].unit, MetricUnit::kBytes);
+  EXPECT_EQ(back.gauges[0].value, 1u << 20);
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms[0].count, 3u);
+  EXPECT_EQ(back.histograms[0].sum, 1034u);
+  EXPECT_EQ(back.histograms[0].buckets, s.histograms[0].buckets);
+  ASSERT_EQ(back.series.size(), 1u);
+  EXPECT_EQ(back.series[0].per_rank, s.series[0].per_rank);
+  // Serialization is deterministic: same snapshot, same bytes.
+  EXPECT_EQ(to_json(s).dump(), to_json(back).dump());
+}
+
+TEST(MetricsJson, EmptySnapshotRoundTrips) {
+  const MetricsSnapshot empty;
+  const MetricsSnapshot back = metrics_snapshot_from_json(
+      telemetry::Json::parse(to_json(empty).dump()));
+  EXPECT_TRUE(back.empty());
+}
+
+// --- non-finite numbers (satellite: telemetry/json) -----------------------
+
+TEST(MetricsJson, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(telemetry::Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(
+      telemetry::Json(std::numeric_limits<double>::infinity()).dump(),
+      "null");
+  EXPECT_EQ(
+      telemetry::Json(-std::numeric_limits<double>::infinity()).dump(),
+      "null");
+  const telemetry::Json j = telemetry::Json::parse("null");
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.number_or(42.0), 42.0);  // parse-back yields the default
+}
+
+TEST(MetricsJson, FiniteDoublesRoundTripAtFullPrecision) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-308, 1.7976931348623157e308,
+                   123456789.123456789, -0.0}) {
+    const telemetry::Json back = telemetry::Json::parse(
+        telemetry::Json(v).dump());
+    EXPECT_EQ(back.number_or(), v);
+  }
+}
+
+// --- report schema + diff rules ------------------------------------------
+
+telemetry::RunReport basic_report(const std::string& name) {
+  telemetry::RunReport r;
+  r.name = name;
+  r.ok = true;
+  r.ranks = 2;
+  return r;
+}
+
+TEST(MetricsReport, RoundTripsInsideRunReport) {
+  telemetry::RunReport r = basic_report("with-metrics");
+  telemetry::set_metrics(r, sample_snapshot());
+  const telemetry::Json j =
+      telemetry::Json::parse(telemetry::to_json(r).dump(2));
+  const telemetry::RunReport back = telemetry::report_from_json(j);
+  ASSERT_TRUE(back.has_metrics);
+  ASSERT_EQ(back.metrics.counters.size(), 1u);
+  EXPECT_EQ(back.metrics.counters[0].value, 42u);
+  EXPECT_EQ(back.metrics.series[0].per_rank,
+            r.metrics.series[0].per_rank);
+}
+
+TEST(MetricsReport, OldReportsWithoutMetricsKeyStillParse) {
+  // Schema stability: a pre-metrics report file has no "metrics" key; it
+  // must parse with has_metrics=false and diff cleanly against a new one.
+  const telemetry::RunReport r = basic_report("old");
+  const telemetry::Json j = telemetry::to_json(r);
+  EXPECT_EQ(j.find("metrics"), nullptr);
+  const telemetry::RunReport back = telemetry::report_from_json(j);
+  EXPECT_FALSE(back.has_metrics);
+}
+
+telemetry::DiffResult diff_two(const telemetry::RunReport& before,
+                               const telemetry::RunReport& after,
+                               telemetry::DiffOptions opts = [] {
+                                 telemetry::DiffOptions o;
+                                 o.bytes_only = true;
+                                 return o;
+                               }()) {
+  telemetry::ReportRegistry b;
+  telemetry::ReportRegistry a;
+  b.add(before);
+  a.add(after);
+  return diff_registries(b, a, opts);
+}
+
+bool has_delta(const telemetry::DiffResult& d, const std::string& metric,
+               bool regressed) {
+  for (const telemetry::PhaseDelta& pd : d.deltas) {
+    if (pd.metric == metric && pd.regressed == regressed) return true;
+  }
+  return false;
+}
+
+TEST(MetricsDiff, OneSidedMetricsObjectIsNotCompared) {
+  telemetry::RunReport with = basic_report("run");
+  telemetry::set_metrics(with, sample_snapshot());
+  const telemetry::RunReport without = basic_report("run");
+  const telemetry::DiffResult fwd = diff_two(without, with);
+  const telemetry::DiffResult rev = diff_two(with, without);
+  for (const telemetry::DiffResult* d : {&fwd, &rev}) {
+    EXPECT_FALSE(d->any_regression);
+    for (const telemetry::PhaseDelta& pd : d->deltas) {
+      EXPECT_EQ(pd.metric.rfind("metrics.", 0), std::string::npos) << pd.metric;
+    }
+  }
+}
+
+TEST(MetricsDiff, DeterministicCountersGateExactly) {
+  telemetry::RunReport before = basic_report("run");
+  telemetry::set_metrics(before, sample_snapshot());
+  telemetry::RunReport after = before;
+  after.metrics.counters[0].value = 43;  // +1 on an exact gate
+  const telemetry::DiffResult d = diff_two(before, after);
+  EXPECT_TRUE(d.any_regression);
+  EXPECT_TRUE(has_delta(d, "metrics.a.count", true));
+  // Shrinking is reported but is not a regression.
+  after.metrics.counters[0].value = 41;
+  const telemetry::DiffResult d2 = diff_two(before, after);
+  EXPECT_TRUE(has_delta(d2, "metrics.a.count", false));
+  EXPECT_FALSE(has_delta(d2, "metrics.a.count", true));
+  // Identical snapshots: clean.
+  EXPECT_FALSE(diff_two(before, before).any_regression);
+}
+
+TEST(MetricsDiff, MissingCounterComparesAsZero) {
+  telemetry::RunReport before = basic_report("run");
+  telemetry::set_metrics(before, sample_snapshot());
+  telemetry::RunReport after = before;
+  after.metrics.counters.push_back({"new.count", MetricUnit::kCount, 5});
+  const telemetry::DiffResult d = diff_two(before, after);
+  EXPECT_TRUE(has_delta(d, "metrics.new.count", true));  // 0 -> 5 grows
+}
+
+TEST(MetricsDiff, NanosMetricsAreNeverCompared) {
+  // c.hist in the sample snapshot is kNanos: change it wildly on one side
+  // and the diff must not notice.
+  telemetry::RunReport before = basic_report("run");
+  telemetry::set_metrics(before, sample_snapshot());
+  telemetry::RunReport after = before;
+  after.metrics.histograms[0].count = 999999;
+  after.metrics.histograms[0].sum = 999999;
+  const telemetry::DiffResult d = diff_two(before, after);
+  EXPECT_FALSE(d.any_regression);
+  for (const telemetry::PhaseDelta& pd : d.deltas) {
+    EXPECT_EQ(pd.metric.find("c.hist"), std::string::npos) << pd.metric;
+  }
+}
+
+TEST(MetricsDiff, SeriesCompareOnSampleCountAndSum) {
+  telemetry::RunReport before = basic_report("run");
+  telemetry::set_metrics(before, sample_snapshot());
+  telemetry::RunReport after = before;
+  after.metrics.series[0].per_rank[0].push_back(100);  // extra sample
+  const telemetry::DiffResult d = diff_two(before, after);
+  EXPECT_TRUE(d.any_regression);
+  EXPECT_TRUE(has_delta(d, "metrics.series.d.series.samples", true));
+}
+
+TEST(MetricsDiff, NonFiniteTimingsFollowBothSidesRule) {
+  const double nan = std::nan("");
+  telemetry::DiffOptions timing;  // default: timing comparison, CPU
+  timing.use_cpu = false;         // compare wall_seconds directly
+  // Both sides non-finite: equal, not a regression.
+  telemetry::RunReport b1 = basic_report("run");
+  telemetry::RunReport a1 = basic_report("run");
+  b1.wall_seconds = nan;
+  a1.wall_seconds = nan;
+  EXPECT_FALSE(diff_two(b1, a1, timing).any_regression);
+  // Finite before, non-finite after: always a regression.
+  telemetry::RunReport b2 = basic_report("run");
+  telemetry::RunReport a2 = basic_report("run");
+  b2.wall_seconds = 1.0;
+  a2.wall_seconds = nan;
+  const telemetry::DiffResult d = diff_two(b2, a2, timing);
+  EXPECT_TRUE(has_delta(d, "wall", true));
+  // One side flipping non-finite in EITHER direction is a divergence the
+  // ratio test cannot price: it always flags.
+  EXPECT_TRUE(has_delta(diff_two(a2, b2, timing), "wall", true));
+}
+
+TEST(MetricsDiff, JsonRenderingIsValidNdjson) {
+  telemetry::RunReport before = basic_report("run");
+  telemetry::set_metrics(before, sample_snapshot());
+  telemetry::RunReport after = before;
+  after.metrics.counters[0].value = 43;
+  const telemetry::DiffResult d = diff_two(before, after);
+  telemetry::DiffOptions opts;
+  opts.bytes_only = true;
+  std::ostringstream os;
+  telemetry::print_diff_json(os, d, opts);
+  std::istringstream is(os.str());
+  std::string line;
+  int deltas = 0;
+  int summaries = 0;
+  while (std::getline(is, line)) {
+    const telemetry::Json j = telemetry::Json::parse(line);  // throws if bad
+    const std::string type = j.at("type").string_or("");
+    if (type == "delta") ++deltas;
+    if (type == "summary") {
+      ++summaries;
+      EXPECT_EQ(j.at("regressions").u64_or(), d.regressions().size());
+    }
+  }
+  EXPECT_GT(deltas, 0);
+  EXPECT_EQ(summaries, 1);
+}
+
+// --- flight recorder ------------------------------------------------------
+
+TEST(FlightRecorder, BundleRoundTripsThroughFile) {
+  FlightRecord fr;
+  fr.failure_class = "oom";
+  fr.failure_detail = "rank 1 exceeded mem_limit_records";
+  fr.error = "SimOomError: ...";
+  fr.failed_rank = 1;
+  fr.blocked.push_back({0, "recv", 1, 7, 0, false, false});
+  fr.blocked.push_back({1, "finished", -1, -1, 0, false, true});
+  fr.trace_tails.resize(2);
+  fr.trace_tails[0].push_back(
+      {100, 50, 3, 0, "recv", 1, "span", "p2p"});
+  fr.metrics = sample_snapshot();
+  fr.sampled_gauges = {"sort.resident_records"};
+  fr.live_samples.push_back({0, 1000, {42}});
+  fr.chaos_events.push_back({"spill-fail", 2, 9, 0.0});
+
+  const std::string path = "test_metrics_bundle.json";
+  write_flight_record(path, fr);
+  const FlightRecord back = load_flight_record(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(back.schema_version, kFlightRecordSchemaVersion);
+  EXPECT_EQ(back.failure_class, "oom");
+  EXPECT_EQ(back.failed_rank, 1);
+  ASSERT_EQ(back.blocked.size(), 2u);
+  EXPECT_EQ(back.blocked[0].op, "recv");
+  EXPECT_EQ(back.blocked[0].src, 1);
+  EXPECT_TRUE(back.blocked[1].finished);
+  ASSERT_EQ(back.trace_tails.size(), 2u);
+  ASSERT_EQ(back.trace_tails[0].size(), 1u);
+  EXPECT_EQ(back.trace_tails[0][0].kind, "span");
+  EXPECT_EQ(back.trace_tails[0][0].peer, 1);
+  ASSERT_EQ(back.metrics.counters.size(), 1u);
+  EXPECT_EQ(back.metrics.counters[0].value, 42u);
+  ASSERT_EQ(back.sampled_gauges.size(), 1u);
+  ASSERT_EQ(back.live_samples.size(), 1u);
+  EXPECT_EQ(back.live_samples[0].values, std::vector<std::uint64_t>{42});
+  ASSERT_EQ(back.chaos_events.size(), 1u);
+  EXPECT_EQ(back.chaos_events[0].kind, "spill-fail");
+}
+
+TEST(FlightRecorder, LoadRejectsUnknownSchemaVersion) {
+  const std::string path = "test_metrics_bad_schema.json";
+  {
+    std::ofstream out(path);
+    out << "{\"schema_version\": 999}";
+  }
+  EXPECT_THROW(load_flight_record(path), Error);
+  std::remove(path.c_str());
+}
+
+// --- cluster integration --------------------------------------------------
+
+void small_sort_body(sim::Comm& w) {
+  auto data = workloads::zipf_keys(
+      3000, 1.1, derive_seed(99, static_cast<std::uint64_t>(w.rank())));
+  Config cfg;
+  cfg.stable = true;
+  sds_sort<std::uint64_t>(w, std::move(data), cfg);
+}
+
+sim::ClusterConfig small_cluster(int workers) {
+  sim::ClusterConfig cc;
+  cc.num_ranks = 4;
+  cc.network = sim::NetworkModel::none();
+  cc.sched_workers = workers;
+  return cc;
+}
+
+TEST(MetricsCluster, RunCarriesSnapshotWithExpectedCounters) {
+  const sim::RunResult res =
+      sim::Cluster(small_cluster(2)).run_collect(small_sort_body);
+  ASSERT_TRUE(res.ok);
+  ASSERT_TRUE(res.has_metrics);
+  const ScalarSnapshot* in =
+      find_scalar(res.metrics.counters, "sort.records_in");
+  ASSERT_NE(in, nullptr);
+  EXPECT_EQ(in->value, 4u * 3000u);
+  const ScalarSnapshot* out =
+      find_scalar(res.metrics.counters, "sort.records_out");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->value, 4u * 3000u);  // sort conserves records
+  EXPECT_NE(find_scalar(res.metrics.counters, "p2p.sent_messages"), nullptr);
+  // The progress series recorded marks for every rank.
+  bool found_series = false;
+  for (const SeriesSnapshot& s : res.metrics.series) {
+    if (s.name == "sort.resident_records") {
+      found_series = true;
+      ASSERT_EQ(s.per_rank.size(), 4u);
+      for (const auto& row : s.per_rank) EXPECT_FALSE(row.empty());
+    }
+  }
+  EXPECT_TRUE(found_series);
+}
+
+TEST(MetricsCluster, DisabledMetricsLeaveNoSnapshot) {
+  sim::ClusterConfig cc = small_cluster(2);
+  cc.enable_metrics = false;
+  const sim::RunResult res = sim::Cluster(cc).run_collect(small_sort_body);
+  ASSERT_TRUE(res.ok);
+  EXPECT_FALSE(res.has_metrics);
+  EXPECT_TRUE(res.metrics.empty());
+}
+
+TEST(MetricsCluster, SeriesIdenticalAcrossWorkerCounts) {
+  // The determinism contract of obs/sampler.hpp: progress series are a pure
+  // function of workload and seed, byte-identical across worker counts.
+  auto series_of = [](int workers) {
+    const sim::RunResult res =
+        sim::Cluster(small_cluster(workers)).run_collect(small_sort_body);
+    EXPECT_TRUE(res.ok);
+    return to_json(res.metrics).at("series").dump();
+  };
+  const std::string w1 = series_of(1);
+  EXPECT_EQ(w1, series_of(4));
+  EXPECT_NE(w1, "[]");
+}
+
+TEST(MetricsCluster, ForcedDeadlockLeavesWellFormedBundle) {
+  const std::string path = "test_metrics_deadlock_bundle.json";
+  std::remove(path.c_str());
+  sim::ClusterConfig cc = small_cluster(2);
+  cc.num_ranks = 2;
+  cc.watchdog_timeout_s = 0.2;
+  cc.postmortem_path = path;
+  const sim::RunResult res = sim::Cluster(cc).run_collect([](sim::Comm& w) {
+    w.recv_value<std::uint64_t>((w.rank() + 1) % w.size(), /*tag=*/3);
+  });
+  ASSERT_FALSE(res.ok);
+  EXPECT_EQ(res.failure, sim::FailureClass::kDeadlock);
+  EXPECT_EQ(res.postmortem_path, path);
+
+  const FlightRecord fr = load_flight_record(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(fr.failure_class, "deadlock");
+  ASSERT_EQ(fr.blocked.size(), 2u);
+  for (const BlockedOpRecord& b : fr.blocked) {
+    EXPECT_EQ(b.op, "recv");
+    EXPECT_FALSE(b.finished);
+  }
+}
+
+TEST(MetricsCluster, CleanRunLeavesNoBundle) {
+  const std::string path = "test_metrics_clean_bundle.json";
+  std::remove(path.c_str());
+  sim::ClusterConfig cc = small_cluster(2);
+  cc.postmortem_path = path;
+  const sim::RunResult res = sim::Cluster(cc).run_collect(small_sort_body);
+  ASSERT_TRUE(res.ok);
+  EXPECT_TRUE(res.postmortem_path.empty());
+  std::ifstream in(path);
+  EXPECT_FALSE(in.good());
+}
+
+}  // namespace
+}  // namespace sdss::obs
